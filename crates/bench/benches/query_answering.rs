@@ -1,0 +1,46 @@
+//! Criterion bench: query answering time given a prepared unit table — the
+//! "Query Ans." column of Table 2 — for the regression, matching,
+//! subclassification and IPW estimators.
+
+use carl::{CarlEngine, EstimatorKind};
+use carl_datagen::{generate_synthetic_review, SyntheticReviewConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const QUERY: &str =
+    "Score[P] <= Prestige[A]? WHERE SubmittedTo(P, V), DoubleBlind[V] = false";
+
+fn bench_query_answering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_answering");
+    group.sample_size(10);
+
+    let config = SyntheticReviewConfig {
+        authors: 400,
+        institutions: 20,
+        papers: 2_000,
+        venues: 10,
+        ..SyntheticReviewConfig::small(5)
+    };
+    let ds = generate_synthetic_review(&config);
+    let base = CarlEngine::new(ds.instance, &ds.rules).expect("model binds to schema");
+    let prepared = base.prepare_str(QUERY).expect("query prepares");
+
+    for (label, estimator) in [
+        ("regression", EstimatorKind::Regression),
+        ("matching", EstimatorKind::PropensityMatching),
+        ("subclassification", EstimatorKind::Subclassification),
+        ("ipw", EstimatorKind::Ipw),
+    ] {
+        let mut engine = base.clone();
+        engine.set_estimator(estimator);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| {
+                let answer = engine.answer_prepared(&prepared).expect("estimation succeeds");
+                std::hint::black_box(answer.headline())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_answering);
+criterion_main!(benches);

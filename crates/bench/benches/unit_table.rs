@@ -1,0 +1,45 @@
+//! Criterion bench: unit-table construction (Algorithm 1) — the
+//! "Unit Table Cons." column of Table 2 — including unification, grounding,
+//! peer detection, covariate detection and embedding.
+
+use carl::{CarlEngine, EmbeddingKind};
+use carl_datagen::{generate_synthetic_review, SyntheticReviewConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const QUERY: &str =
+    "Score[P] <= Prestige[A]? WHERE SubmittedTo(P, V), DoubleBlind[V] = false";
+
+fn bench_unit_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unit_table_construction");
+    group.sample_size(10);
+
+    let config = SyntheticReviewConfig {
+        authors: 300,
+        institutions: 20,
+        papers: 1_500,
+        venues: 10,
+        ..SyntheticReviewConfig::small(3)
+    };
+    let ds = generate_synthetic_review(&config);
+
+    for (label, embedding) in [
+        ("mean", EmbeddingKind::Mean),
+        ("median", EmbeddingKind::Median),
+        ("moments3", EmbeddingKind::Moments(3)),
+        ("padding", EmbeddingKind::Padding(0)),
+    ] {
+        let mut engine =
+            CarlEngine::new(ds.instance.clone(), &ds.rules).expect("model binds to schema");
+        engine.set_embedding(embedding);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| {
+                let prepared = engine.prepare_str(QUERY).expect("query prepares");
+                std::hint::black_box(prepared.unit_table.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unit_table);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the paper's figure1 (see crates/bench/src/experiments/figure1.rs).
+fn main() {
+    carl_bench::experiments::figure1::run();
+}

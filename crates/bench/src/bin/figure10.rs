@@ -1,0 +1,4 @@
+//! Regenerates the paper's figure10 (see crates/bench/src/experiments/figure10.rs).
+fn main() {
+    carl_bench::experiments::figure10::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's figure7 (see crates/bench/src/experiments/figure7.rs).
+fn main() {
+    carl_bench::experiments::figure7::run();
+}

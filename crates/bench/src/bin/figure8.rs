@@ -1,0 +1,4 @@
+//! Regenerates the paper's figure8 (see crates/bench/src/experiments/figure8.rs).
+fn main() {
+    carl_bench::experiments::figure8::run();
+}

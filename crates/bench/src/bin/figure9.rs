@@ -1,0 +1,4 @@
+//! Regenerates the paper's figure9 (see crates/bench/src/experiments/figure9.rs).
+fn main() {
+    carl_bench::experiments::figure9::run();
+}

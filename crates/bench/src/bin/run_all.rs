@@ -1,0 +1,5 @@
+//! Runs every experiment of the paper's evaluation section in order,
+//! printing each table/figure and writing JSON records to target/experiments/.
+fn main() {
+    carl_bench::experiments::run_all();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 (see crates/bench/src/experiments/table2.rs).
+fn main() {
+    carl_bench::experiments::table2::run();
+}

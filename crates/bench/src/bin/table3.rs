@@ -1,0 +1,4 @@
+//! Regenerates the paper's table3 (see crates/bench/src/experiments/table3.rs).
+fn main() {
+    carl_bench::experiments::table3::run();
+}

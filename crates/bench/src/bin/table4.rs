@@ -1,0 +1,4 @@
+//! Regenerates the paper's table4 (see crates/bench/src/experiments/table4.rs).
+fn main() {
+    carl_bench::experiments::table4::run();
+}

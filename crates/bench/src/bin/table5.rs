@@ -1,0 +1,4 @@
+//! Regenerates the paper's table5 (see crates/bench/src/experiments/table5.rs).
+fn main() {
+    carl_bench::experiments::table5::run();
+}

@@ -1,0 +1,93 @@
+//! Figure 1: number of publications using observational studies vs
+//! controlled experiments, 1990–2019.
+//!
+//! The paper obtains these counts from SemanticScholar; that service cannot
+//! be queried offline, so this experiment emits a synthetic series with the
+//! same qualitative shape (both grow, observational studies grow much
+//! faster and overtake controlled experiments in the 2000s). It exists so
+//! the figure has a regenerating artefact; no system behaviour depends on it.
+
+use crate::report::{fmt, markdown_table, write_json, ExperimentRecord};
+
+/// One year of the trend series.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct YearCounts {
+    /// Calendar year.
+    pub year: u32,
+    /// Publications mentioning controlled experiments.
+    pub controlled: f64,
+    /// Publications mentioning observational studies.
+    pub observational: f64,
+}
+
+/// Generate the synthetic trend series.
+pub fn series() -> Vec<YearCounts> {
+    (1990..=2019)
+        .map(|year| {
+            let t = f64::from(year - 1990);
+            // Controlled experiments: slow, roughly linear growth.
+            let controlled = 4_000.0 + 450.0 * t;
+            // Observational studies: exponential-ish growth that overtakes
+            // controlled experiments around 2005 and reaches ~60k by 2015+.
+            let observational = 2_500.0 * (0.115 * t).exp();
+            YearCounts {
+                year,
+                controlled,
+                observational,
+            }
+        })
+        .collect()
+}
+
+/// Print the series and write the JSON record.
+pub fn run() {
+    println!("-- Figure 1: observational studies vs controlled experiments (synthetic trend) --");
+    let data = series();
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .filter(|y| y.year % 5 == 0)
+        .map(|y| {
+            vec![
+                y.year.to_string(),
+                fmt(y.controlled, 0),
+                fmt(y.observational, 0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["year", "controlled experiments", "observational studies"], &rows)
+    );
+    let crossover = data
+        .iter()
+        .find(|y| y.observational > y.controlled)
+        .map(|y| y.year)
+        .unwrap_or(0);
+    println!("observational studies overtake controlled experiments in {crossover}\n");
+    write_json(&ExperimentRecord {
+        id: "figure1".to_string(),
+        title: "Publications: observational studies vs controlled experiments (synthetic)".to_string(),
+        payload: data,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_the_paper() {
+        let data = series();
+        assert_eq!(data.len(), 30);
+        // Observational studies start below controlled experiments and end
+        // far above (the paper shows ~60k vs ~20k by 2015).
+        assert!(data[0].observational < data[0].controlled);
+        let last = data.last().unwrap();
+        assert!(last.observational > 2.0 * last.controlled);
+        // Both series grow monotonically.
+        for w in data.windows(2) {
+            assert!(w[1].controlled >= w[0].controlled);
+            assert!(w[1].observational >= w[0].observational);
+        }
+    }
+}

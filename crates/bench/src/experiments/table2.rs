@@ -1,0 +1,123 @@
+//! Table 2: dataset description and query runtime.
+//!
+//! The paper reports, per dataset, the number of tables, attributes and rows
+//! plus the unit-table construction time and the query-answering time. We
+//! report the same columns for the generated stand-in datasets at the
+//! harness scale (`CARL_SCALE`, default 0.05 of the paper sizes), so the
+//! *ordering* (REVIEWDATA ≪ NIS ≪ MIMIC; construction ≫ answering) is what
+//! should be compared with the paper, not the absolute seconds.
+
+use crate::report::{fmt, markdown_table, write_json, ExperimentRecord};
+use crate::{scale, synthetic_config};
+use carl::CarlEngine;
+use carl_datagen::{
+    generate_mimic, generate_nis, generate_reviewdata, generate_synthetic_review, Dataset,
+    MimicConfig, NisConfig, ReviewConfig,
+};
+use std::time::Instant;
+
+/// One row of Table 2.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Table2Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Number of base tables.
+    pub tables: usize,
+    /// Number of attribute functions.
+    pub attributes: usize,
+    /// Total rows (entities + relationship tuples + attribute assignments).
+    pub rows: usize,
+    /// Unit-table construction time (seconds) for the dataset's first query.
+    pub unit_table_seconds: f64,
+    /// Query answering time (seconds) given the prepared unit table.
+    pub answering_seconds: f64,
+}
+
+fn measure(ds: &Dataset) -> Table2Row {
+    let engine = CarlEngine::new(ds.instance.clone(), &ds.rules).expect("model binds to schema");
+    let query = ds.queries.first().expect("every dataset has a query");
+    let start = Instant::now();
+    let prepared = engine.prepare_str(query).expect("query prepares");
+    let unit_table_seconds = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let _ = engine.answer_prepared(&prepared).expect("query answers");
+    let answering_seconds = start.elapsed().as_secs_f64();
+    Table2Row {
+        dataset: ds.name.clone(),
+        tables: ds.table_count(),
+        attributes: ds.attribute_count(),
+        rows: ds.row_count(),
+        unit_table_seconds,
+        answering_seconds,
+    }
+}
+
+/// Build the datasets at harness scale and measure them.
+pub fn rows() -> Vec<Table2Row> {
+    let s = scale();
+    let mimic = generate_mimic(&MimicConfig {
+        patients: ((38_000.0 * s) as usize).max(500),
+        ..MimicConfig::small(1)
+    });
+    let nis = generate_nis(&NisConfig {
+        admissions: ((80_000.0 * s) as usize).max(500),
+        ..NisConfig::small(2)
+    });
+    let review = generate_reviewdata(&ReviewConfig::paper_scale(3));
+    let synth = generate_synthetic_review(&synthetic_config(4));
+    vec![
+        measure(&mimic),
+        measure(&nis),
+        measure(&review),
+        measure(&synth),
+    ]
+}
+
+/// Print Table 2 and write the JSON record.
+pub fn run() {
+    println!("-- Table 2: data description and query runtime (scale {:.2}) --", scale());
+    let data = rows();
+    let printable: Vec<Vec<String>> = data
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.tables.to_string(),
+                r.attributes.to_string(),
+                r.rows.to_string(),
+                format!("{}s", fmt(r.unit_table_seconds, 3)),
+                format!("{}s", fmt(r.answering_seconds, 3)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["dataset", "tables", "attributes", "rows", "unit table cons.", "query ans."],
+            &printable
+        )
+    );
+    write_json(&ExperimentRecord {
+        id: "table2".to_string(),
+        title: "Data description and query runtime".to_string(),
+        payload: data,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_runs_on_a_tiny_dataset() {
+        let ds = generate_nis(&NisConfig {
+            admissions: 600,
+            hospitals: 20,
+            ..NisConfig::small(9)
+        });
+        let row = measure(&ds);
+        assert_eq!(row.dataset, "NIS-like");
+        assert!(row.unit_table_seconds >= 0.0);
+        assert!(row.rows > 600);
+    }
+}

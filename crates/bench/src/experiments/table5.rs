@@ -1,0 +1,208 @@
+//! Table 5: sensitivity of the estimate to the embedding choice, and the
+//! universal-table baseline.
+//!
+//! For query (37) on SYNTHETIC REVIEWDATA, the paper reports, per blinding
+//! regime, the estimate ± standard deviation for the mean, median,
+//! moment-summary and padding embeddings, next to propensity-score matching
+//! on the universal table. Finding: every CaRL embedding recovers the
+//! isolated effect (1.0 single-blind, 0.0 double-blind); the universal table
+//! does not (biased, high variance).
+
+use crate::report::{fmt, markdown_table, write_json, ExperimentRecord};
+use crate::synthetic_config;
+use carl::baseline::{universal_ate, UniversalBaseline};
+use carl::{CarlEngine, EmbeddingKind, EstimatorKind};
+use carl_datagen::generate_synthetic_review;
+use carl_stats::descriptive::{mean, std_dev};
+
+/// One row of Table 5: a method evaluated across seeds in both regimes.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Table5Row {
+    /// Method / embedding name.
+    pub method: String,
+    /// Mean estimate at single-blind venues.
+    pub single_estimate: f64,
+    /// Standard deviation across seeds (single-blind).
+    pub single_sd: f64,
+    /// Ground truth at single-blind venues.
+    pub single_true: f64,
+    /// Mean estimate at double-blind venues.
+    pub double_estimate: f64,
+    /// Standard deviation across seeds (double-blind).
+    pub double_sd: f64,
+    /// Ground truth at double-blind venues.
+    pub double_true: f64,
+}
+
+/// Number of independent replicate datasets used to compute the ± spread.
+pub const REPLICATES: u64 = 5;
+
+fn isolated_effect_estimate(engine: &CarlEngine, blind: &str) -> Option<f64> {
+    engine
+        .answer_str(&format!(
+            "Score[P] <= Prestige[A]? WHERE SubmittedTo(P, V), DoubleBlind[V] = {blind} \
+             WHEN MORE THAN 33% PEERS TREATED"
+        ))
+        .ok()
+        .and_then(|a| a.as_peer_effects().map(|p| p.aie))
+}
+
+/// Compute every row of Table 5.
+pub fn rows() -> Vec<Table5Row> {
+    let embeddings = [
+        ("Mean", EmbeddingKind::Mean),
+        ("Median", EmbeddingKind::Median),
+        ("Moment summary", EmbeddingKind::Moments(3)),
+        ("Padding", EmbeddingKind::Padding(0)),
+    ];
+    // Per method, per regime, the replicate estimates.
+    let mut carl_estimates: Vec<(Vec<f64>, Vec<f64>)> =
+        vec![(Vec::new(), Vec::new()); embeddings.len()];
+    let mut universal_estimates: (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
+    let mut truth = (1.0, 0.0);
+
+    for seed in 0..REPLICATES {
+        let config = synthetic_config(200 + seed);
+        let ds = generate_synthetic_review(&config);
+        truth = (
+            ds.ground_truth.isolated_single_blind.unwrap_or(1.0),
+            ds.ground_truth.isolated_double_blind.unwrap_or(0.0),
+        );
+        for (i, (_, embedding)) in embeddings.iter().enumerate() {
+            let mut engine =
+                CarlEngine::new(ds.instance.clone(), &ds.rules).expect("model binds to schema");
+            engine.set_embedding(*embedding);
+            if let Some(e) = isolated_effect_estimate(&engine, "false") {
+                carl_estimates[i].0.push(e);
+            }
+            if let Some(e) = isolated_effect_estimate(&engine, "true") {
+                carl_estimates[i].1.push(e);
+            }
+        }
+        // Universal-table baseline: propensity-score matching on the joined
+        // flat table, per regime (filter by venue blinding column).
+        for (slot, want_double) in [(0usize, false), (1usize, true)] {
+            let table = reldb::universal_table(&ds.instance).expect("join succeeds");
+            let filtered = table.filter_rows(|i| {
+                table
+                    .cell(i, "DoubleBlind")
+                    .ok()
+                    .and_then(reldb::Value::as_bool)
+                    .map(|b| b == want_double)
+                    .unwrap_or(false)
+            });
+            let config = UniversalBaseline {
+                treatment: "Prestige".into(),
+                outcome: "Score".into(),
+                covariates: Some(vec!["Qualification".into(), "Quality".into()]),
+                estimator: EstimatorKind::PropensityMatching,
+            };
+            if let Ok(ans) = carl::baseline::universal_ate_on(&filtered, &ds.instance, &config) {
+                if slot == 0 {
+                    universal_estimates.0.push(ans.ate);
+                } else {
+                    universal_estimates.1.push(ans.ate);
+                }
+            }
+        }
+        // Silence the unused-import lint for universal_ate while keeping the
+        // simpler entry point exercised at least once.
+        if seed == 0 {
+            let config = UniversalBaseline {
+                treatment: "Prestige".into(),
+                outcome: "Score".into(),
+                covariates: Some(vec!["Qualification".into()]),
+                estimator: EstimatorKind::Naive,
+            };
+            let _ = universal_ate(&ds.instance, &config);
+        }
+    }
+
+    let mut out = Vec::new();
+    for (i, (name, _)) in embeddings.iter().enumerate() {
+        out.push(Table5Row {
+            method: format!("CaRL ({name})"),
+            single_estimate: mean(&carl_estimates[i].0),
+            single_sd: std_dev(&carl_estimates[i].0),
+            single_true: truth.0,
+            double_estimate: mean(&carl_estimates[i].1),
+            double_sd: std_dev(&carl_estimates[i].1),
+            double_true: truth.1,
+        });
+    }
+    out.push(Table5Row {
+        method: "Universal table (PSM)".to_string(),
+        single_estimate: mean(&universal_estimates.0),
+        single_sd: std_dev(&universal_estimates.0),
+        single_true: truth.0,
+        double_estimate: mean(&universal_estimates.1),
+        double_sd: std_dev(&universal_estimates.1),
+        double_true: truth.1,
+    });
+    out
+}
+
+/// Print Table 5 and write the JSON record.
+pub fn run() {
+    println!("-- Table 5: sensitivity to the choice of embedding ({REPLICATES} replicate datasets) --");
+    let data = rows();
+    let printable: Vec<Vec<String>> = data
+        .iter()
+        .map(|r| {
+            vec![
+                r.method.clone(),
+                format!("{} ± {}", fmt(r.single_estimate, 3), fmt(r.single_sd, 3)),
+                fmt(r.single_true, 1),
+                format!("{} ± {}", fmt(r.double_estimate, 3), fmt(r.double_sd, 3)),
+                fmt(r.double_true, 1),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["method", "single-blind est.", "true", "double-blind est.", "true"],
+            &printable
+        )
+    );
+    write_json(&ExperimentRecord {
+        id: "table5".to_string(),
+        title: "Embedding sensitivity and universal-table baseline".to_string(),
+        payload: data,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "multi-replicate experiment; run explicitly or via the table5 binary"]
+    fn carl_rows_recover_truth_better_than_universal_table() {
+        let data = rows();
+        let universal = data.last().expect("baseline row");
+        for row in &data[..data.len() - 1] {
+            assert!(
+                (row.single_estimate - row.single_true).abs() < 0.35,
+                "{}: {} vs {}",
+                row.method,
+                row.single_estimate,
+                row.single_true
+            );
+            assert!(
+                (row.double_estimate - row.double_true).abs() < 0.35,
+                "{}: {} vs {}",
+                row.method,
+                row.double_estimate,
+                row.double_true
+            );
+        }
+        // The universal table is further from the truth at single-blind
+        // venues than the worst CaRL embedding.
+        let worst_carl = data[..data.len() - 1]
+            .iter()
+            .map(|r| (r.single_estimate - r.single_true).abs())
+            .fold(0.0f64, f64::max);
+        assert!((universal.single_estimate - universal.single_true).abs() > worst_carl);
+    }
+}

@@ -1,0 +1,107 @@
+//! Small reporting helpers shared by the experiment binaries: aligned text
+//! tables and JSON experiment records written under `target/experiments/`.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// A named experiment output that can be serialised to JSON for
+/// EXPERIMENTS.md bookkeeping.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentRecord<T: Serialize> {
+    /// Experiment identifier, e.g. `"table3"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The payload (rows, series, …).
+    pub payload: T,
+}
+
+/// Render a simple aligned text table with a header row.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect();
+        format!("| {} |", padded.join(" | "))
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| (*h).to_string()).collect();
+    let mut out = String::new();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&fmt_row(&sep));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write an experiment record as JSON under `target/experiments/<id>.json`.
+/// Failures are reported but not fatal (the printed output is the primary
+/// artefact).
+pub fn write_json<T: Serialize>(record: &ExperimentRecord<T>) {
+    let dir = PathBuf::from("target/experiments");
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {dir:?}: {e}");
+        return;
+    }
+    let path = dir.join(format!("{}.json", record.id));
+    match serde_json::to_string_pretty(record) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: cannot write {path:?}: {e}");
+            } else {
+                println!("  [written {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialise {}: {e}", record.id),
+    }
+}
+
+/// Format a float with a fixed number of decimals, rendering NaN as "-".
+pub fn fmt(value: f64, decimals: usize) -> String {
+    if value.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{value:.decimals$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_is_aligned() {
+        let t = markdown_table(
+            &["name", "value"],
+            &[
+                vec!["a".to_string(), "1.00".to_string()],
+                vec!["longer-name".to_string(), "2".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.starts_with('|')));
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn fmt_handles_nan() {
+        assert_eq!(fmt(f64::NAN, 2), "-");
+        assert_eq!(fmt(1.2345, 2), "1.23");
+    }
+}

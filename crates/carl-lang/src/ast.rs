@@ -1,0 +1,496 @@
+//! Abstract syntax tree for CaRL programs.
+//!
+//! The AST mirrors the paper's constructs: relational causal rules
+//! (Definition 3.3), aggregate rules (§3.2.4), and the three causal query
+//! forms of §3.3 with the `WHEN … PEERS TREATED` grammar of Equation (16).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A literal constant appearing in conditions or comparisons.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Literal {
+    /// Boolean constant.
+    Bool(bool),
+    /// Integer constant.
+    Int(i64),
+    /// Floating-point constant.
+    Float(f64),
+    /// String constant.
+    Str(String),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Bool(b) => write!(f, "{b}"),
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => write!(f, "{x}"),
+            Literal::Str(s) => write!(f, "\"{s}\""),
+        }
+    }
+}
+
+/// An argument of an attribute reference or predicate atom.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArgTerm {
+    /// A variable, e.g. `A`.
+    Var(String),
+    /// A constant, e.g. `"ConfDB"` or `1`.
+    Const(Literal),
+}
+
+impl ArgTerm {
+    /// The variable name if this argument is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            ArgTerm::Var(v) => Some(v),
+            ArgTerm::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for ArgTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgTerm::Var(v) => write!(f, "{v}"),
+            ArgTerm::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A reference to an attribute function applied to arguments, e.g.
+/// `Score[S]` or `Prestige[A]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttrRef {
+    /// Attribute name (for aggregate heads this is the full `AVG_Score`).
+    pub attr: String,
+    /// Arguments inside the brackets.
+    pub args: Vec<ArgTerm>,
+}
+
+impl AttrRef {
+    /// Construct an attribute reference over variables.
+    pub fn over_vars(attr: &str, vars: &[&str]) -> Self {
+        Self {
+            attr: attr.to_string(),
+            args: vars.iter().map(|v| ArgTerm::Var((*v).to_string())).collect(),
+        }
+    }
+
+    /// Variables appearing among the arguments.
+    pub fn variables(&self) -> impl Iterator<Item = &str> {
+        self.args.iter().filter_map(ArgTerm::as_var)
+    }
+}
+
+impl fmt::Display for AttrRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let args: Vec<String> = self.args.iter().map(|a| a.to_string()).collect();
+        write!(f, "{}[{}]", self.attr, args.join(", "))
+    }
+}
+
+/// A predicate atom in a `WHERE` condition, e.g. `Author(A, S)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryAtom {
+    /// Predicate (entity or relationship) name.
+    pub predicate: String,
+    /// Arguments.
+    pub args: Vec<ArgTerm>,
+}
+
+impl fmt::Display for QueryAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let args: Vec<String> = self.args.iter().map(|a| a.to_string()).collect();
+        write!(f, "{}({})", self.predicate, args.join(", "))
+    }
+}
+
+/// A comparison operator used in attribute comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Less,
+    /// `<=`
+    LessEq,
+    /// `>`
+    Greater,
+    /// `>=`
+    GreaterEq,
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompareOp::Eq => "=",
+            CompareOp::NotEq => "!=",
+            CompareOp::Less => "<",
+            CompareOp::LessEq => "<=",
+            CompareOp::Greater => ">",
+            CompareOp::GreaterEq => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An attribute comparison in a condition, e.g. `Blind[C] = false` or
+/// `Qualification[A] >= 10`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// The attribute being compared.
+    pub attr: AttrRef,
+    /// The comparison operator.
+    pub op: CompareOp,
+    /// The constant on the right-hand side.
+    pub value: Literal,
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.attr, self.op, self.value)
+    }
+}
+
+/// A `WHERE` condition: a conjunctive query over schema predicates plus
+/// optional attribute comparisons.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Condition {
+    /// Predicate atoms (the conjunctive query `Q(Y)` of Definition 3.3).
+    pub atoms: Vec<QueryAtom>,
+    /// Attribute comparisons used to restrict sub-populations.
+    pub comparisons: Vec<Comparison>,
+}
+
+impl Condition {
+    /// The trivially true condition.
+    pub fn truth() -> Self {
+        Self::default()
+    }
+
+    /// Whether the condition has neither atoms nor comparisons.
+    pub fn is_trivial(&self) -> bool {
+        self.atoms.is_empty() && self.comparisons.is_empty()
+    }
+
+    /// All variables mentioned in atoms or comparisons.
+    pub fn variables(&self) -> BTreeSet<String> {
+        let mut vars: BTreeSet<String> = self
+            .atoms
+            .iter()
+            .flat_map(|a| a.args.iter().filter_map(ArgTerm::as_var).map(str::to_string))
+            .collect();
+        vars.extend(
+            self.comparisons
+                .iter()
+                .flat_map(|c| c.attr.variables().map(str::to_string)),
+        );
+        vars
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_trivial() {
+            return write!(f, "true");
+        }
+        let mut parts: Vec<String> = self.atoms.iter().map(|a| a.to_string()).collect();
+        parts.extend(self.comparisons.iter().map(|c| c.to_string()));
+        write!(f, "{}", parts.join(", "))
+    }
+}
+
+/// Supported aggregate names for aggregate rules (§3.2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggName {
+    /// Arithmetic mean.
+    Avg,
+    /// Sum.
+    Sum,
+    /// Count.
+    Count,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Variance.
+    Var,
+    /// Median.
+    Median,
+}
+
+impl AggName {
+    /// Parse an aggregate prefix (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "AVG" | "MEAN" => Some(AggName::Avg),
+            "SUM" => Some(AggName::Sum),
+            "COUNT" => Some(AggName::Count),
+            "MIN" => Some(AggName::Min),
+            "MAX" => Some(AggName::Max),
+            "VAR" => Some(AggName::Var),
+            "MEDIAN" => Some(AggName::Median),
+            _ => None,
+        }
+    }
+
+    /// The canonical upper-case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggName::Avg => "AVG",
+            AggName::Sum => "SUM",
+            AggName::Count => "COUNT",
+            AggName::Min => "MIN",
+            AggName::Max => "MAX",
+            AggName::Var => "VAR",
+            AggName::Median => "MEDIAN",
+        }
+    }
+
+    /// Split an attribute name of the form `AVG_Score` into
+    /// `(AggName::Avg, "Score")`, if it has a recognised aggregate prefix.
+    pub fn split_prefixed(attr: &str) -> Option<(Self, &str)> {
+        let (prefix, rest) = attr.split_once('_')?;
+        let agg = Self::parse(prefix)?;
+        if rest.is_empty() {
+            return None;
+        }
+        Some((agg, rest))
+    }
+}
+
+impl fmt::Display for AggName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A relational causal rule (Definition 3.3):
+/// `A[X] <= A1[X1], …, Ak[Xk] WHERE Q(Y)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CausalRule {
+    /// Head attribute reference.
+    pub head: AttrRef,
+    /// Body attribute references (the potential causes).
+    pub body: Vec<AttrRef>,
+    /// The `WHERE` condition.
+    pub condition: Condition,
+}
+
+/// An aggregate rule (§3.2.4): `AGG_A[W] <= A[X] WHERE Q(Z)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateRule {
+    /// The aggregate function.
+    pub agg: AggName,
+    /// The new aggregated attribute name (e.g. `AVG_Score`).
+    pub name: String,
+    /// Head arguments `W`.
+    pub head_args: Vec<ArgTerm>,
+    /// The source attribute being aggregated (e.g. `Score[S]`).
+    pub source: AttrRef,
+    /// The `WHERE` condition relating head and source arguments.
+    pub condition: Condition,
+}
+
+impl AggregateRule {
+    /// The head as an attribute reference (`AVG_Score[A]`).
+    pub fn head(&self) -> AttrRef {
+        AttrRef {
+            attr: self.name.clone(),
+            args: self.head_args.clone(),
+        }
+    }
+}
+
+/// The peer-treatment regime grammar of Equation (16).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PeerCondition {
+    /// `ALL` peers treated.
+    All,
+    /// `NONE` of the peers treated.
+    None,
+    /// `LESS THAN k%` of peers treated.
+    LessThanPercent(f64),
+    /// `MORE THAN k%` of peers treated.
+    MoreThanPercent(f64),
+    /// `AT MOST k` peers treated.
+    AtMost(u64),
+    /// `AT LEAST k` peers treated.
+    AtLeast(u64),
+    /// `EXACTLY k` peers treated.
+    Exactly(u64),
+}
+
+impl fmt::Display for PeerCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeerCondition::All => write!(f, "ALL"),
+            PeerCondition::None => write!(f, "NONE"),
+            PeerCondition::LessThanPercent(p) => write!(f, "LESS THAN {p}%"),
+            PeerCondition::MoreThanPercent(p) => write!(f, "MORE THAN {p}%"),
+            PeerCondition::AtMost(k) => write!(f, "AT MOST {k}"),
+            PeerCondition::AtLeast(k) => write!(f, "AT LEAST {k}"),
+            PeerCondition::Exactly(k) => write!(f, "EXACTLY {k}"),
+        }
+    }
+}
+
+/// A causal query (§3.3).
+///
+/// * `peers == None` — plain ATE query (13) or aggregated-response query
+///   (14) when the response attribute carries an aggregate prefix.
+/// * `peers == Some(cnd)` — relational/isolated/overall effects query (15).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CausalQuery {
+    /// The response attribute `Y[X']` (possibly aggregate-prefixed).
+    pub response: AttrRef,
+    /// The treatment attribute `T[X]`.
+    pub treatment: AttrRef,
+    /// The peer-treatment regime, if this is a peer-effects query.
+    pub peers: Option<PeerCondition>,
+    /// Optional `WHERE` restriction of the analysis population.
+    pub condition: Condition,
+}
+
+/// A single parsed statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Statement {
+    /// A relational causal rule.
+    Rule(CausalRule),
+    /// An aggregate rule.
+    Aggregate(AggregateRule),
+    /// A causal query.
+    Query(CausalQuery),
+}
+
+/// A full CaRL program: the relational causal model plus any queries.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Relational causal rules, in source order.
+    pub rules: Vec<CausalRule>,
+    /// Aggregate rules, in source order.
+    pub aggregates: Vec<AggregateRule>,
+    /// Causal queries, in source order.
+    pub queries: Vec<CausalQuery>,
+}
+
+impl Program {
+    /// Total number of statements.
+    pub fn len(&self) -> usize {
+        self.rules.len() + self.aggregates.len() + self.queries.len()
+    }
+
+    /// Whether the program contains no statements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All attribute names mentioned anywhere in the program (heads, bodies,
+    /// sources, query endpoints and comparisons).
+    pub fn mentioned_attributes(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        let add_cond = |cond: &Condition, out: &mut BTreeSet<String>| {
+            for c in &cond.comparisons {
+                out.insert(c.attr.attr.clone());
+            }
+        };
+        for r in &self.rules {
+            out.insert(r.head.attr.clone());
+            for b in &r.body {
+                out.insert(b.attr.clone());
+            }
+            add_cond(&r.condition, &mut out);
+        }
+        for a in &self.aggregates {
+            out.insert(a.name.clone());
+            out.insert(a.source.attr.clone());
+            add_cond(&a.condition, &mut out);
+        }
+        for q in &self.queries {
+            out.insert(q.response.attr.clone());
+            out.insert(q.treatment.attr.clone());
+            add_cond(&q.condition, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_ref_display() {
+        let a = AttrRef::over_vars("Score", &["S"]);
+        assert_eq!(a.to_string(), "Score[S]");
+        let b = AttrRef {
+            attr: "Blind".into(),
+            args: vec![ArgTerm::Const(Literal::Str("ConfDB".into()))],
+        };
+        assert_eq!(b.to_string(), "Blind[\"ConfDB\"]");
+    }
+
+    #[test]
+    fn agg_prefix_splitting() {
+        assert_eq!(AggName::split_prefixed("AVG_Score"), Some((AggName::Avg, "Score")));
+        assert_eq!(AggName::split_prefixed("count_Bill"), Some((AggName::Count, "Bill")));
+        assert_eq!(AggName::split_prefixed("Score"), None);
+        assert_eq!(AggName::split_prefixed("FOO_Score"), None);
+        assert_eq!(AggName::split_prefixed("AVG_"), None);
+    }
+
+    #[test]
+    fn condition_variables_include_comparisons() {
+        let cond = Condition {
+            atoms: vec![QueryAtom {
+                predicate: "Author".into(),
+                args: vec![ArgTerm::Var("A".into()), ArgTerm::Var("S".into())],
+            }],
+            comparisons: vec![Comparison {
+                attr: AttrRef::over_vars("Blind", &["C"]),
+                op: CompareOp::Eq,
+                value: Literal::Bool(false),
+            }],
+        };
+        let vars = cond.variables();
+        assert!(vars.contains("A") && vars.contains("S") && vars.contains("C"));
+        assert!(!cond.is_trivial());
+        assert_eq!(cond.to_string(), "Author(A, S), Blind[C] = false");
+    }
+
+    #[test]
+    fn peer_condition_display() {
+        assert_eq!(PeerCondition::All.to_string(), "ALL");
+        assert_eq!(PeerCondition::MoreThanPercent(33.0).to_string(), "MORE THAN 33%");
+        assert_eq!(PeerCondition::AtLeast(2).to_string(), "AT LEAST 2");
+    }
+
+    #[test]
+    fn program_mentions_attributes() {
+        let prog = Program {
+            rules: vec![CausalRule {
+                head: AttrRef::over_vars("Score", &["S"]),
+                body: vec![AttrRef::over_vars("Prestige", &["A"])],
+                condition: Condition::truth(),
+            }],
+            aggregates: vec![],
+            queries: vec![CausalQuery {
+                response: AttrRef::over_vars("AVG_Score", &["A"]),
+                treatment: AttrRef::over_vars("Prestige", &["A"]),
+                peers: None,
+                condition: Condition::truth(),
+            }],
+        };
+        let attrs = prog.mentioned_attributes();
+        assert!(attrs.contains("Score"));
+        assert!(attrs.contains("Prestige"));
+        assert!(attrs.contains("AVG_Score"));
+        assert_eq!(prog.len(), 2);
+        assert!(!prog.is_empty());
+    }
+}

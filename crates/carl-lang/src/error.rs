@@ -1,0 +1,91 @@
+//! Errors for lexing, parsing and static validation of CaRL programs.
+
+use thiserror::Error;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Position {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+impl std::fmt::Display for Position {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
+/// Errors produced by the CaRL front end.
+#[derive(Debug, Error, Clone, PartialEq)]
+pub enum LangError {
+    /// An unexpected character was encountered while lexing.
+    #[error("unexpected character `{ch}` at {position}")]
+    UnexpectedCharacter {
+        /// The offending character.
+        ch: char,
+        /// Where it occurred.
+        position: Position,
+    },
+
+    /// An unterminated string literal.
+    #[error("unterminated string literal starting at {position}")]
+    UnterminatedString {
+        /// Where the literal started.
+        position: Position,
+    },
+
+    /// A malformed numeric literal.
+    #[error("malformed number `{text}` at {position}")]
+    MalformedNumber {
+        /// The text that failed to parse.
+        text: String,
+        /// Where it occurred.
+        position: Position,
+    },
+
+    /// The parser expected something else.
+    #[error("parse error at {position}: expected {expected}, found {found}")]
+    Unexpected {
+        /// Description of what was expected.
+        expected: String,
+        /// Description of what was found.
+        found: String,
+        /// Where it occurred.
+        position: Position,
+    },
+
+    /// A statement violated a syntactic well-formedness condition.
+    #[error("invalid statement at {position}: {message}")]
+    InvalidStatement {
+        /// Explanation.
+        message: String,
+        /// Where the statement started.
+        position: Position,
+    },
+
+    /// Static validation failure (variable safety, recursion, …).
+    #[error("validation error: {0}")]
+    Validation(String),
+}
+
+/// Result alias for this crate.
+pub type LangResult<T> = Result<T, LangError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_render() {
+        let p = Position { line: 3, column: 14 };
+        assert_eq!(p.to_string(), "line 3, column 14");
+        let e = LangError::Unexpected {
+            expected: "`]`".into(),
+            found: "`,`".into(),
+            position: p,
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,341 @@
+//! Hand-written lexer for CaRL programs.
+
+use crate::error::{LangError, LangResult, Position};
+use crate::token::{Token, TokenKind};
+
+/// Tokenise a CaRL program.
+///
+/// Newlines and semicolons both produce [`TokenKind::Newline`] tokens (the
+/// parser treats them as statement separators); consecutive separators are
+/// collapsed. `#` and `//` introduce comments running to end of line.
+pub fn tokenize(source: &str) -> LangResult<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line = 1usize;
+    let mut column = 1usize;
+
+    macro_rules! push {
+        ($kind:expr, $pos:expr) => {
+            tokens.push(Token { kind: $kind, position: $pos })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        let pos = Position { line, column };
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                column = 1;
+                if !matches!(tokens.last().map(|t: &Token| &t.kind), Some(TokenKind::Newline) | None) {
+                    push!(TokenKind::Newline, pos);
+                }
+            }
+            ';' => {
+                chars.next();
+                column += 1;
+                if !matches!(tokens.last().map(|t: &Token| &t.kind), Some(TokenKind::Newline) | None) {
+                    push!(TokenKind::Newline, pos);
+                }
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                column += 1;
+            }
+            '#' => {
+                // Comment to end of line.
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                    column += 1;
+                }
+            }
+            '/' => {
+                chars.next();
+                column += 1;
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        chars.next();
+                        column += 1;
+                    }
+                } else {
+                    return Err(LangError::UnexpectedCharacter { ch: '/', position: pos });
+                }
+            }
+            '⇐' => {
+                chars.next();
+                column += 1;
+                push!(TokenKind::Arrow, pos);
+            }
+            '<' => {
+                chars.next();
+                column += 1;
+                match chars.peek() {
+                    Some('=') => {
+                        chars.next();
+                        column += 1;
+                        push!(TokenKind::Arrow, pos);
+                    }
+                    Some('-') => {
+                        chars.next();
+                        column += 1;
+                        push!(TokenKind::Arrow, pos);
+                    }
+                    _ => push!(TokenKind::Less, pos),
+                }
+            }
+            '>' => {
+                chars.next();
+                column += 1;
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    column += 1;
+                    push!(TokenKind::GreaterEq, pos);
+                } else {
+                    push!(TokenKind::Greater, pos);
+                }
+            }
+            '!' => {
+                chars.next();
+                column += 1;
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    column += 1;
+                    push!(TokenKind::NotEq, pos);
+                } else {
+                    return Err(LangError::UnexpectedCharacter { ch: '!', position: pos });
+                }
+            }
+            '=' => {
+                chars.next();
+                column += 1;
+                push!(TokenKind::Eq, pos);
+            }
+            '[' => {
+                chars.next();
+                column += 1;
+                push!(TokenKind::LBracket, pos);
+            }
+            ']' => {
+                chars.next();
+                column += 1;
+                push!(TokenKind::RBracket, pos);
+            }
+            '(' => {
+                chars.next();
+                column += 1;
+                push!(TokenKind::LParen, pos);
+            }
+            ')' => {
+                chars.next();
+                column += 1;
+                push!(TokenKind::RParen, pos);
+            }
+            ',' => {
+                chars.next();
+                column += 1;
+                push!(TokenKind::Comma, pos);
+            }
+            '?' => {
+                chars.next();
+                column += 1;
+                push!(TokenKind::Question, pos);
+            }
+            '%' => {
+                chars.next();
+                column += 1;
+                push!(TokenKind::Percent, pos);
+            }
+            '"' => {
+                chars.next();
+                column += 1;
+                let mut s = String::new();
+                let mut terminated = false;
+                while let Some(&c) = chars.peek() {
+                    chars.next();
+                    column += 1;
+                    if c == '"' {
+                        terminated = true;
+                        break;
+                    }
+                    if c == '\n' {
+                        line += 1;
+                        column = 1;
+                    }
+                    s.push(c);
+                }
+                if !terminated {
+                    return Err(LangError::UnterminatedString { position: pos });
+                }
+                push!(TokenKind::Str(s), pos);
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '.' => {
+                let mut text = String::new();
+                if c == '-' {
+                    text.push(c);
+                    chars.next();
+                    column += 1;
+                }
+                let mut saw_dot = false;
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        chars.next();
+                        column += 1;
+                    } else if c == '.' && !saw_dot {
+                        saw_dot = true;
+                        text.push(c);
+                        chars.next();
+                        column += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if text.is_empty() || text == "-" || text == "." || text == "-." {
+                    return Err(LangError::MalformedNumber { text, position: pos });
+                }
+                if saw_dot {
+                    let f: f64 = text
+                        .parse()
+                        .map_err(|_| LangError::MalformedNumber { text: text.clone(), position: pos })?;
+                    push!(TokenKind::Float(f), pos);
+                } else {
+                    let i: i64 = text
+                        .parse()
+                        .map_err(|_| LangError::MalformedNumber { text: text.clone(), position: pos })?;
+                    push!(TokenKind::Int(i), pos);
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                        column += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push!(TokenKind::Ident(ident), pos);
+            }
+            other => {
+                return Err(LangError::UnexpectedCharacter { ch: other, position: pos });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        position: Position { line, column },
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_rule() {
+        let ks = kinds("Score[S] <= Prestige[A] WHERE Author(A, S)");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("Score".into()),
+                TokenKind::LBracket,
+                TokenKind::Ident("S".into()),
+                TokenKind::RBracket,
+                TokenKind::Arrow,
+                TokenKind::Ident("Prestige".into()),
+                TokenKind::LBracket,
+                TokenKind::Ident("A".into()),
+                TokenKind::RBracket,
+                TokenKind::Ident("WHERE".into()),
+                TokenKind::Ident("Author".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("A".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("S".into()),
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_variants_are_equivalent() {
+        for arrow in ["<=", "<-", "⇐"] {
+            let ks = kinds(&format!("A[X] {arrow} B[X]"));
+            assert!(ks.contains(&TokenKind::Arrow), "arrow {arrow}");
+        }
+    }
+
+    #[test]
+    fn numbers_and_percent() {
+        let ks = kinds("WHEN MORE THAN 33% PEERS TREATED");
+        assert!(ks.contains(&TokenKind::Int(33)));
+        assert!(ks.contains(&TokenKind::Percent));
+        let ks = kinds("X = 1.5");
+        assert!(ks.contains(&TokenKind::Float(1.5)));
+        let ks = kinds("X = -2");
+        assert!(ks.contains(&TokenKind::Int(-2)));
+    }
+
+    #[test]
+    fn newlines_and_semicolons_separate_statements() {
+        let ks = kinds("A[X] <= B[X]\n\nC[Y] <= D[Y]; E[Z] <= F[Z]");
+        let newlines = ks.iter().filter(|k| **k == TokenKind::Newline).count();
+        assert_eq!(newlines, 2);
+        // Leading newlines are suppressed.
+        let ks = kinds("\n\nA[X] <= B[X]");
+        assert!(!matches!(ks[0], TokenKind::Newline));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("# a comment\nA[X] <= B[X] // trailing\n");
+        assert!(ks.iter().any(|k| matches!(k, TokenKind::Ident(s) if s == "A")));
+        assert!(!ks.iter().any(|k| matches!(k, TokenKind::Ident(s) if s == "comment")));
+    }
+
+    #[test]
+    fn string_literals() {
+        let ks = kinds("Conf[C] = \"ConfDB\"");
+        assert!(ks.contains(&TokenKind::Str("ConfDB".into())));
+        assert!(matches!(
+            tokenize("X = \"oops"),
+            Err(LangError::UnterminatedString { .. })
+        ));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let ks = kinds("Qualification[A] >= 10, Score[S] != 0, Len[P] > 2, X < 3");
+        assert!(ks.contains(&TokenKind::GreaterEq));
+        assert!(ks.contains(&TokenKind::NotEq));
+        assert!(ks.contains(&TokenKind::Greater));
+        assert!(ks.contains(&TokenKind::Less));
+    }
+
+    #[test]
+    fn bad_characters_are_reported_with_position() {
+        let err = tokenize("A[X] $ B").unwrap_err();
+        match err {
+            LangError::UnexpectedCharacter { ch, position } => {
+                assert_eq!(ch, '$');
+                assert_eq!(position.line, 1);
+                assert!(position.column > 1);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

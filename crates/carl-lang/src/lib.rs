@@ -1,0 +1,69 @@
+//! `carl-lang` — lexer, parser, AST and static checks for **CaRL**, the
+//! Causal Relational Language of Salimi et al. (SIGMOD 2020).
+//!
+//! CaRL programs consist of three kinds of statements (paper §3):
+//!
+//! 1. **Relational causal rules** (Definition 3.3), e.g.
+//!    ```text
+//!    Score[S] <= Quality[S], Prestige[A] WHERE Author(A, S)
+//!    ```
+//! 2. **Aggregate rules** (§3.2.4), whose head attribute is prefixed by an
+//!    aggregate name, e.g.
+//!    ```text
+//!    AVG_Score[A] <= Score[S] WHERE Author(A, S)
+//!    ```
+//! 3. **Causal queries** (§3.3): average treatment effect, aggregated
+//!    response, and relational/isolated/overall peer-effect queries, e.g.
+//!    ```text
+//!    Score[S] <= Prestige[A] ?
+//!    AVG_Score[A] <= Prestige[A] ?
+//!    Score[S] <= Prestige[A] ? WHEN MORE THAN 33% PEERS TREATED
+//!    ```
+//!
+//! The textual arrow may be written `<=`, `<-` or the Unicode `⇐` used in
+//! the paper. `WHERE` conditions are conjunctive queries over the schema
+//! predicates, optionally extended with attribute comparisons
+//! (e.g. `Blind[C] = false`) which the engine uses to restrict analyses to
+//! sub-populations (the paper's single-blind vs double-blind split).
+//!
+//! This crate is deliberately independent of the database and engine crates:
+//! it knows nothing about schemas or instances. Schema-aware validation
+//! happens in the `carl` crate; here we check lexical/syntactic correctness
+//! plus purely syntactic safety conditions (variable safety, non-recursion,
+//! aggregate-head shape).
+//!
+//! ```
+//! use carl_lang::parse_program;
+//!
+//! let program = parse_program(r#"
+//!     Prestige[A]  <= Qualification[A]              WHERE Person(A)
+//!     Quality[S]   <= Qualification[A], Prestige[A] WHERE Author(A, S)
+//!     Score[S]     <= Quality[S]                    WHERE Submission(S)
+//!     Score[S]     <= Prestige[A]                   WHERE Author(A, S)
+//!     AVG_Score[A] <= Score[S]                      WHERE Author(A, S)
+//!
+//!     AVG_Score[A] <= Prestige[A] ?
+//! "#).unwrap();
+//! assert_eq!(program.rules.len(), 4);
+//! assert_eq!(program.aggregates.len(), 1);
+//! assert_eq!(program.queries.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+pub mod validate;
+
+pub use ast::{
+    AggName, ArgTerm, AttrRef, CausalQuery, CausalRule, AggregateRule, Comparison, CompareOp,
+    Condition, Literal, PeerCondition, Program, QueryAtom, Statement,
+};
+pub use error::{LangError, LangResult};
+pub use parser::{parse_program, parse_query, parse_rule};
+pub use validate::validate_program;

@@ -1,0 +1,599 @@
+//! Recursive-descent parser for CaRL programs.
+
+use crate::ast::{
+    AggName, AggregateRule, ArgTerm, AttrRef, CausalQuery, CausalRule, Comparison, CompareOp,
+    Condition, Literal, PeerCondition, Program, QueryAtom, Statement,
+};
+use crate::error::{LangError, LangResult, Position};
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+
+/// Parse a complete CaRL program (rules, aggregate rules and queries).
+pub fn parse_program(source: &str) -> LangResult<Program> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser::new(tokens);
+    let mut program = Program::default();
+    loop {
+        parser.skip_newlines();
+        if parser.at_eof() {
+            break;
+        }
+        match parser.parse_statement()? {
+            Statement::Rule(r) => program.rules.push(r),
+            Statement::Aggregate(a) => program.aggregates.push(a),
+            Statement::Query(q) => program.queries.push(q),
+        }
+        parser.expect_statement_end()?;
+    }
+    Ok(program)
+}
+
+/// Parse a single causal rule or aggregate rule.
+pub fn parse_rule(source: &str) -> LangResult<Statement> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser::new(tokens);
+    parser.skip_newlines();
+    let stmt = parser.parse_statement()?;
+    parser.expect_statement_end()?;
+    match &stmt {
+        Statement::Query(_) => Err(LangError::Validation(
+            "expected a rule, found a causal query".to_string(),
+        )),
+        _ => Ok(stmt),
+    }
+}
+
+/// Parse a single causal query.
+pub fn parse_query(source: &str) -> LangResult<CausalQuery> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser::new(tokens);
+    parser.skip_newlines();
+    let stmt = parser.parse_statement()?;
+    parser.expect_statement_end()?;
+    match stmt {
+        Statement::Query(q) => Ok(q),
+        _ => Err(LangError::Validation(
+            "expected a causal query ending in `?`, found a rule".to_string(),
+        )),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Self { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn position(&self) -> Position {
+        self.peek().position
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek_kind(), TokenKind::Eof)
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek_kind(), TokenKind::Newline) {
+            self.advance();
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> LangResult<Token> {
+        if std::mem::discriminant(self.peek_kind()) == std::mem::discriminant(kind) {
+            Ok(self.advance())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn expect_statement_end(&mut self) -> LangResult<()> {
+        match self.peek_kind() {
+            TokenKind::Newline => {
+                self.advance();
+                Ok(())
+            }
+            TokenKind::Eof => Ok(()),
+            _ => Err(self.unexpected("end of statement")),
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> LangError {
+        LangError::Unexpected {
+            expected: expected.to_string(),
+            found: self.peek_kind().describe(),
+            position: self.position(),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> LangResult<()> {
+        if self.peek_kind().is_keyword(kw) {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("`{kw}`")))
+        }
+    }
+
+    /// statement := attr_ref `<=` (query_tail | rule_tail)
+    fn parse_statement(&mut self) -> LangResult<Statement> {
+        let start = self.position();
+        let head = self.parse_attr_ref()?;
+        self.expect(&TokenKind::Arrow, "`<=`")?;
+
+        // Parse the body: a comma-separated list of attribute references.
+        let mut body = vec![self.parse_attr_ref()?];
+        while matches!(self.peek_kind(), TokenKind::Comma) {
+            self.advance();
+            body.push(self.parse_attr_ref()?);
+        }
+
+        // A `?` after the body makes this a causal query.
+        if matches!(self.peek_kind(), TokenKind::Question) {
+            self.advance();
+            if body.len() != 1 {
+                return Err(LangError::InvalidStatement {
+                    message: "a causal query must have exactly one treatment attribute".to_string(),
+                    position: start,
+                });
+            }
+            let peers = self.parse_optional_peer_condition()?;
+            let condition = self.parse_optional_condition()?;
+            // Also allow `WHEN … PEERS TREATED` after the WHERE clause.
+            let peers = match peers {
+                Some(p) => Some(p),
+                None => self.parse_optional_peer_condition()?,
+            };
+            return Ok(Statement::Query(CausalQuery {
+                response: head,
+                treatment: body.into_iter().next().expect("checked length 1"),
+                peers,
+                condition,
+            }));
+        }
+
+        let condition = self.parse_optional_condition()?;
+
+        // Aggregate rule if the head has a recognised aggregate prefix.
+        if let Some((agg, _)) = AggName::split_prefixed(&head.attr) {
+            if body.len() != 1 {
+                return Err(LangError::InvalidStatement {
+                    message: format!(
+                        "aggregate rule `{}` must have exactly one source attribute",
+                        head.attr
+                    ),
+                    position: start,
+                });
+            }
+            return Ok(Statement::Aggregate(AggregateRule {
+                agg,
+                name: head.attr.clone(),
+                head_args: head.args,
+                source: body.into_iter().next().expect("checked length 1"),
+                condition,
+            }));
+        }
+
+        Ok(Statement::Rule(CausalRule {
+            head,
+            body,
+            condition,
+        }))
+    }
+
+    /// attr_ref := IDENT `[` arg (`,` arg)* `]`
+    fn parse_attr_ref(&mut self) -> LangResult<AttrRef> {
+        let name = match self.peek_kind().clone() {
+            TokenKind::Ident(s) => {
+                self.advance();
+                s
+            }
+            _ => return Err(self.unexpected("attribute name")),
+        };
+        self.expect(&TokenKind::LBracket, "`[`")?;
+        let mut args = vec![self.parse_arg()?];
+        while matches!(self.peek_kind(), TokenKind::Comma) {
+            self.advance();
+            args.push(self.parse_arg()?);
+        }
+        self.expect(&TokenKind::RBracket, "`]`")?;
+        Ok(AttrRef { attr: name, args })
+    }
+
+    /// arg := IDENT | literal
+    fn parse_arg(&mut self) -> LangResult<ArgTerm> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("true") => {
+                self.advance();
+                Ok(ArgTerm::Const(Literal::Bool(true)))
+            }
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("false") => {
+                self.advance();
+                Ok(ArgTerm::Const(Literal::Bool(false)))
+            }
+            TokenKind::Ident(s) => {
+                self.advance();
+                Ok(ArgTerm::Var(s))
+            }
+            TokenKind::Int(i) => {
+                self.advance();
+                Ok(ArgTerm::Const(Literal::Int(i)))
+            }
+            TokenKind::Float(f) => {
+                self.advance();
+                Ok(ArgTerm::Const(Literal::Float(f)))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(ArgTerm::Const(Literal::Str(s)))
+            }
+            _ => Err(self.unexpected("variable or constant")),
+        }
+    }
+
+    /// literal := number | string | true | false
+    fn parse_literal(&mut self) -> LangResult<Literal> {
+        match self.peek_kind().clone() {
+            TokenKind::Int(i) => {
+                self.advance();
+                Ok(Literal::Int(i))
+            }
+            TokenKind::Float(f) => {
+                self.advance();
+                Ok(Literal::Float(f))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Literal::Str(s))
+            }
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("true") => {
+                self.advance();
+                Ok(Literal::Bool(true))
+            }
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("false") => {
+                self.advance();
+                Ok(Literal::Bool(false))
+            }
+            _ => Err(self.unexpected("literal")),
+        }
+    }
+
+    /// condition := `WHERE` condition_item (`,` condition_item)*
+    fn parse_optional_condition(&mut self) -> LangResult<Condition> {
+        if !self.peek_kind().is_keyword("WHERE") {
+            return Ok(Condition::truth());
+        }
+        self.advance();
+        let mut condition = Condition::truth();
+        self.parse_condition_item(&mut condition)?;
+        while matches!(self.peek_kind(), TokenKind::Comma) {
+            self.advance();
+            self.parse_condition_item(&mut condition)?;
+        }
+        Ok(condition)
+    }
+
+    /// condition_item := predicate_atom | attribute_comparison
+    ///
+    /// Both start with an identifier; `(` means atom, `[` means comparison.
+    fn parse_condition_item(&mut self, condition: &mut Condition) -> LangResult<()> {
+        let name = match self.peek_kind().clone() {
+            TokenKind::Ident(s) => {
+                self.advance();
+                s
+            }
+            _ => return Err(self.unexpected("predicate or attribute name")),
+        };
+        match self.peek_kind() {
+            TokenKind::LParen => {
+                self.advance();
+                let mut args = vec![self.parse_arg()?];
+                while matches!(self.peek_kind(), TokenKind::Comma) {
+                    self.advance();
+                    args.push(self.parse_arg()?);
+                }
+                self.expect(&TokenKind::RParen, "`)`")?;
+                condition.atoms.push(QueryAtom {
+                    predicate: name,
+                    args,
+                });
+                Ok(())
+            }
+            TokenKind::LBracket => {
+                self.advance();
+                let mut args = vec![self.parse_arg()?];
+                while matches!(self.peek_kind(), TokenKind::Comma) {
+                    self.advance();
+                    args.push(self.parse_arg()?);
+                }
+                self.expect(&TokenKind::RBracket, "`]`")?;
+                let op = self.parse_compare_op()?;
+                let value = self.parse_literal()?;
+                condition.comparisons.push(Comparison {
+                    attr: AttrRef { attr: name, args },
+                    op,
+                    value,
+                });
+                Ok(())
+            }
+            _ => Err(self.unexpected("`(` or `[`")),
+        }
+    }
+
+    fn parse_compare_op(&mut self) -> LangResult<CompareOp> {
+        let op = match self.peek_kind() {
+            TokenKind::Eq => CompareOp::Eq,
+            TokenKind::NotEq => CompareOp::NotEq,
+            TokenKind::Less => CompareOp::Less,
+            // `<=` lexes as Arrow; in comparison position it means LessEq.
+            TokenKind::Arrow => CompareOp::LessEq,
+            TokenKind::Greater => CompareOp::Greater,
+            TokenKind::GreaterEq => CompareOp::GreaterEq,
+            _ => return Err(self.unexpected("comparison operator")),
+        };
+        self.advance();
+        Ok(op)
+    }
+
+    /// peer_condition := `WHEN` cnd `PEERS` `TREATED`
+    /// cnd := `ALL` | `NONE` | (`LESS`|`MORE`) `THAN` k `%`
+    ///      | `AT` (`MOST`|`LEAST`) k | `EXACTLY` k
+    fn parse_optional_peer_condition(&mut self) -> LangResult<Option<PeerCondition>> {
+        if !self.peek_kind().is_keyword("WHEN") {
+            return Ok(None);
+        }
+        self.advance();
+        let cond = if self.peek_kind().is_keyword("ALL") {
+            self.advance();
+            PeerCondition::All
+        } else if self.peek_kind().is_keyword("NONE") {
+            self.advance();
+            PeerCondition::None
+        } else if self.peek_kind().is_keyword("LESS") || self.peek_kind().is_keyword("MORE") {
+            let more = self.peek_kind().is_keyword("MORE");
+            self.advance();
+            self.expect_keyword("THAN")?;
+            let k = self.parse_fraction_or_percent()?;
+            if more {
+                PeerCondition::MoreThanPercent(k)
+            } else {
+                PeerCondition::LessThanPercent(k)
+            }
+        } else if self.peek_kind().is_keyword("AT") {
+            self.advance();
+            let most = if self.peek_kind().is_keyword("MOST") {
+                true
+            } else if self.peek_kind().is_keyword("LEAST") {
+                false
+            } else {
+                return Err(self.unexpected("`MOST` or `LEAST`"));
+            };
+            self.advance();
+            let k = self.parse_count()?;
+            if most {
+                PeerCondition::AtMost(k)
+            } else {
+                PeerCondition::AtLeast(k)
+            }
+        } else if self.peek_kind().is_keyword("EXACTLY") {
+            self.advance();
+            PeerCondition::Exactly(self.parse_count()?)
+        } else {
+            return Err(self.unexpected("`ALL`, `NONE`, `LESS`, `MORE`, `AT` or `EXACTLY`"));
+        };
+        self.expect_keyword("PEERS")?;
+        self.expect_keyword("TREATED")?;
+        Ok(Some(cond))
+    }
+
+    /// A percentage: `33%`, `33.3%`, or a bare fraction like `1/3` is not
+    /// supported — the paper writes "1/3" in prose but the grammar (16) uses
+    /// `k%`; fractional values may be given as floats (e.g. `0.33` means 33%
+    /// when < 1).
+    fn parse_fraction_or_percent(&mut self) -> LangResult<f64> {
+        let value = match self.peek_kind().clone() {
+            TokenKind::Int(i) => {
+                self.advance();
+                i as f64
+            }
+            TokenKind::Float(f) => {
+                self.advance();
+                f
+            }
+            _ => return Err(self.unexpected("a percentage")),
+        };
+        if matches!(self.peek_kind(), TokenKind::Percent) {
+            self.advance();
+            Ok(value)
+        } else if value <= 1.0 {
+            // Interpret bare fractions in (0, 1] as proportions.
+            Ok(value * 100.0)
+        } else {
+            Ok(value)
+        }
+    }
+
+    fn parse_count(&mut self) -> LangResult<u64> {
+        match self.peek_kind().clone() {
+            TokenKind::Int(i) if i >= 0 => {
+                self.advance();
+                Ok(i as u64)
+            }
+            _ => Err(self.unexpected("a non-negative integer")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_review_model() {
+        let src = r#"
+            Prestige[A]  <= Qualification[A]              WHERE Person(A)
+            Quality[S]   <= Qualification[A], Prestige[A] WHERE Author(A, S)
+            Score[S]     <= Prestige[A]                   WHERE Author(A, S)
+            Score[S]     <= Quality[S]                    WHERE Submission(S)
+            AVG_Score[A] <= Score[S]                      WHERE Author(A, S)
+        "#;
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.rules.len(), 4);
+        assert_eq!(prog.aggregates.len(), 1);
+        assert_eq!(prog.queries.len(), 0);
+        let quality_rule = &prog.rules[1];
+        assert_eq!(quality_rule.head.attr, "Quality");
+        assert_eq!(quality_rule.body.len(), 2);
+        assert_eq!(quality_rule.condition.atoms[0].predicate, "Author");
+        let agg = &prog.aggregates[0];
+        assert_eq!(agg.agg, AggName::Avg);
+        assert_eq!(agg.name, "AVG_Score");
+        assert_eq!(agg.source.attr, "Score");
+    }
+
+    #[test]
+    fn parses_ate_and_aggregated_queries() {
+        let q = parse_query("Score[S] <= Prestige[A] ?").unwrap();
+        assert_eq!(q.response.attr, "Score");
+        assert_eq!(q.treatment.attr, "Prestige");
+        assert!(q.peers.is_none());
+        assert!(q.condition.is_trivial());
+
+        let q = parse_query("AVG_Score[A] <= Prestige[A]?").unwrap();
+        assert_eq!(q.response.attr, "AVG_Score");
+    }
+
+    #[test]
+    fn parses_peer_conditions() {
+        let all = parse_query("Score[S] <= Prestige[A]? WHEN ALL PEERS TREATED").unwrap();
+        assert_eq!(all.peers, Some(PeerCondition::All));
+        let none = parse_query("Score[S] <= Prestige[A]? WHEN NONE PEERS TREATED").unwrap();
+        assert_eq!(none.peers, Some(PeerCondition::None));
+        let more = parse_query("Score[S] <= Prestige[A]? WHEN MORE THAN 33% PEERS TREATED").unwrap();
+        assert_eq!(more.peers, Some(PeerCondition::MoreThanPercent(33.0)));
+        let less = parse_query("Score[S] <= Prestige[A]? WHEN LESS THAN 0.5 PEERS TREATED").unwrap();
+        assert_eq!(less.peers, Some(PeerCondition::LessThanPercent(50.0)));
+        let atleast = parse_query("Score[S] <= Prestige[A]? WHEN AT LEAST 2 PEERS TREATED").unwrap();
+        assert_eq!(atleast.peers, Some(PeerCondition::AtLeast(2)));
+        let atmost = parse_query("Score[S] <= Prestige[A]? WHEN AT MOST 3 PEERS TREATED").unwrap();
+        assert_eq!(atmost.peers, Some(PeerCondition::AtMost(3)));
+        let exact = parse_query("Score[S] <= Prestige[A]? WHEN EXACTLY 1 PEERS TREATED").unwrap();
+        assert_eq!(exact.peers, Some(PeerCondition::Exactly(1)));
+    }
+
+    #[test]
+    fn parses_query_with_where_restriction() {
+        let q = parse_query(
+            "Score[S] <= Prestige[A]? WHERE Author(A, S), Submitted(S, C), Blind[C] = false",
+        )
+        .unwrap();
+        assert_eq!(q.condition.atoms.len(), 2);
+        assert_eq!(q.condition.comparisons.len(), 1);
+        assert_eq!(q.condition.comparisons[0].op, CompareOp::Eq);
+        assert_eq!(q.condition.comparisons[0].value, Literal::Bool(false));
+    }
+
+    #[test]
+    fn parses_where_then_when_order() {
+        let q = parse_query(
+            "Score[S] <= Prestige[A]? WHERE Submitted(S, C), Blind[C] = false WHEN ALL PEERS TREATED",
+        )
+        .unwrap();
+        assert_eq!(q.peers, Some(PeerCondition::All));
+        assert_eq!(q.condition.atoms.len(), 1);
+    }
+
+    #[test]
+    fn comparisons_support_all_operators() {
+        let q = parse_query(
+            "Len[P] <= SelfPay[P]? WHERE Qualification[A] >= 10, Age[P] < 65, Dose[D] != 0, Severity[P] <= 3, Score[S] > 0.5",
+        )
+        .unwrap();
+        let ops: Vec<CompareOp> = q.condition.comparisons.iter().map(|c| c.op).collect();
+        assert_eq!(
+            ops,
+            vec![
+                CompareOp::GreaterEq,
+                CompareOp::Less,
+                CompareOp::NotEq,
+                CompareOp::LessEq,
+                CompareOp::Greater
+            ]
+        );
+    }
+
+    #[test]
+    fn constants_allowed_in_attribute_args_and_atoms() {
+        let stmt = parse_rule("Score[S] <= Prestige[\"Bob\"] WHERE Author(\"Bob\", S)").unwrap();
+        match stmt {
+            Statement::Rule(r) => {
+                assert_eq!(r.body[0].args[0], ArgTerm::Const(Literal::Str("Bob".into())));
+                assert_eq!(r.condition.atoms[0].args[0], ArgTerm::Const(Literal::Str("Bob".into())));
+            }
+            _ => panic!("expected rule"),
+        }
+    }
+
+    #[test]
+    fn query_with_multiple_treatments_is_rejected() {
+        let err = parse_query("Score[S] <= Prestige[A], Quality[S]?").unwrap_err();
+        assert!(matches!(err, LangError::InvalidStatement { .. }));
+    }
+
+    #[test]
+    fn aggregate_rule_with_two_sources_is_rejected() {
+        let err = parse_program("AVG_Score[A] <= Score[S], Quality[S] WHERE Author(A, S)").unwrap_err();
+        assert!(matches!(err, LangError::InvalidStatement { .. }));
+    }
+
+    #[test]
+    fn parse_rule_rejects_queries_and_vice_versa() {
+        assert!(parse_rule("Score[S] <= Prestige[A]?").is_err());
+        assert!(parse_query("Score[S] <= Prestige[A] WHERE Author(A, S)").is_err());
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_program("Score[S] <= ").unwrap_err();
+        match err {
+            LangError::Unexpected { position, .. } => assert_eq!(position.line, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn junk_after_statement_is_an_error() {
+        assert!(parse_program("Score[S] <= Prestige[A] extra").is_err());
+    }
+
+    #[test]
+    fn empty_program_is_ok() {
+        let prog = parse_program("\n\n# only comments\n").unwrap();
+        assert!(prog.is_empty());
+    }
+
+    #[test]
+    fn unicode_arrow_is_accepted() {
+        let prog = parse_program("Score[S] ⇐ Quality[S] WHERE Submission(S)").unwrap();
+        assert_eq!(prog.rules.len(), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Pretty-printing of CaRL AST nodes back to surface syntax.
+//!
+//! The printer produces text that re-parses to an equal AST, which the
+//! property tests rely on (parse ∘ print = id).
+
+use crate::ast::{
+    AggregateRule, CausalQuery, CausalRule, Condition, PeerCondition, Program, Statement,
+};
+use std::fmt::Write as _;
+
+/// Render a causal rule.
+pub fn print_rule(rule: &CausalRule) -> String {
+    let body: Vec<String> = rule.body.iter().map(|b| b.to_string()).collect();
+    let mut s = format!("{} <= {}", rule.head, body.join(", "));
+    push_condition(&mut s, &rule.condition);
+    s
+}
+
+/// Render an aggregate rule.
+pub fn print_aggregate(rule: &AggregateRule) -> String {
+    let mut s = format!("{} <= {}", rule.head(), rule.source);
+    push_condition(&mut s, &rule.condition);
+    s
+}
+
+/// Render a causal query.
+pub fn print_query(query: &CausalQuery) -> String {
+    let mut s = format!("{} <= {}?", query.response, query.treatment);
+    push_condition(&mut s, &query.condition);
+    if let Some(peers) = &query.peers {
+        let _ = write!(s, " WHEN {} PEERS TREATED", print_peer(peers));
+    }
+    s
+}
+
+fn print_peer(p: &PeerCondition) -> String {
+    match p {
+        PeerCondition::All => "ALL".to_string(),
+        PeerCondition::None => "NONE".to_string(),
+        PeerCondition::LessThanPercent(k) => format!("LESS THAN {k}% "),
+        PeerCondition::MoreThanPercent(k) => format!("MORE THAN {k}% "),
+        PeerCondition::AtMost(k) => format!("AT MOST {k}"),
+        PeerCondition::AtLeast(k) => format!("AT LEAST {k}"),
+        PeerCondition::Exactly(k) => format!("EXACTLY {k}"),
+    }
+    .trim_end()
+    .to_string()
+}
+
+fn push_condition(s: &mut String, cond: &Condition) {
+    if !cond.is_trivial() {
+        let _ = write!(s, " WHERE {cond}");
+    }
+}
+
+/// Render a statement.
+pub fn print_statement(stmt: &Statement) -> String {
+    match stmt {
+        Statement::Rule(r) => print_rule(r),
+        Statement::Aggregate(a) => print_aggregate(a),
+        Statement::Query(q) => print_query(q),
+    }
+}
+
+/// Render a whole program, one statement per line (rules, then aggregates,
+/// then queries, preserving relative order within each group).
+pub fn print_program(program: &Program) -> String {
+    let mut lines = Vec::new();
+    lines.extend(program.rules.iter().map(print_rule));
+    lines.extend(program.aggregates.iter().map(print_aggregate));
+    lines.extend(program.queries.iter().map(print_query));
+    lines.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_program, parse_query};
+
+    #[test]
+    fn rule_roundtrip() {
+        let src = "Quality[S] <= Qualification[A], Prestige[A] WHERE Author(A, S)";
+        let prog = parse_program(src).unwrap();
+        let printed = print_rule(&prog.rules[0]);
+        let reparsed = parse_program(&printed).unwrap();
+        assert_eq!(prog.rules[0], reparsed.rules[0]);
+    }
+
+    #[test]
+    fn query_roundtrip_with_peers_and_where() {
+        for src in [
+            "Score[S] <= Prestige[A]?",
+            "AVG_Score[A] <= Prestige[A]? WHEN ALL PEERS TREATED",
+            "Score[S] <= Prestige[A]? WHERE Submitted(S, C), Blind[C] = false WHEN MORE THAN 33% PEERS TREATED",
+            "Score[S] <= Prestige[A]? WHEN AT LEAST 2 PEERS TREATED",
+            "Score[S] <= Prestige[A]? WHEN EXACTLY 1 PEERS TREATED",
+        ] {
+            let q = parse_query(src).unwrap();
+            let printed = print_query(&q);
+            let reparsed = parse_query(&printed).unwrap();
+            assert_eq!(q, reparsed, "roundtrip failed for {src}\nprinted: {printed}");
+        }
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let src = r#"
+            Prestige[A] <= Qualification[A] WHERE Person(A)
+            AVG_Score[A] <= Score[S] WHERE Author(A, S)
+            AVG_Score[A] <= Prestige[A]?
+        "#;
+        let prog = parse_program(src).unwrap();
+        let printed = print_program(&prog);
+        let reparsed = parse_program(&printed).unwrap();
+        assert_eq!(prog, reparsed);
+        assert_eq!(printed.lines().count(), 3);
+    }
+}

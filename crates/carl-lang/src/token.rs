@@ -1,0 +1,110 @@
+//! Token definitions for the CaRL surface syntax.
+
+use crate::error::Position;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier: attribute, predicate or variable name.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A double-quoted string literal (contents, unescaped).
+    Str(String),
+    /// The rule/query arrow `<=`, `<-` or `⇐`.
+    Arrow,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `?`
+    Question,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Less,
+    /// `<=` used in comparison position is reported as [`TokenKind::Arrow`];
+    /// the parser disambiguates by context. `>=`:
+    GreaterEq,
+    /// `>`
+    Greater,
+    /// `<=` in comparison context (emitted by the parser, never the lexer).
+    LessEq,
+    /// End of a statement (newline or `;`).
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it starts in the source.
+    pub position: Position,
+}
+
+impl TokenKind {
+    /// A short human-readable description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(i) => format!("integer `{i}`"),
+            TokenKind::Float(f) => format!("number `{f}`"),
+            TokenKind::Str(s) => format!("string \"{s}\""),
+            TokenKind::Arrow => "`<=`".to_string(),
+            TokenKind::LBracket => "`[`".to_string(),
+            TokenKind::RBracket => "`]`".to_string(),
+            TokenKind::LParen => "`(`".to_string(),
+            TokenKind::RParen => "`)`".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+            TokenKind::Question => "`?`".to_string(),
+            TokenKind::Percent => "`%`".to_string(),
+            TokenKind::Eq => "`=`".to_string(),
+            TokenKind::NotEq => "`!=`".to_string(),
+            TokenKind::Less => "`<`".to_string(),
+            TokenKind::LessEq => "`<=`".to_string(),
+            TokenKind::Greater => "`>`".to_string(),
+            TokenKind::GreaterEq => "`>=`".to_string(),
+            TokenKind::Newline => "end of statement".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+        }
+    }
+
+    /// Whether this token is a keyword-like identifier equal (case
+    /// insensitively) to `kw`.
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_is_compact() {
+        assert_eq!(TokenKind::Arrow.describe(), "`<=`");
+        assert_eq!(TokenKind::Ident("WHERE".into()).describe(), "identifier `WHERE`");
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        assert!(TokenKind::Ident("where".into()).is_keyword("WHERE"));
+        assert!(TokenKind::Ident("WHEN".into()).is_keyword("when"));
+        assert!(!TokenKind::Comma.is_keyword("WHERE"));
+    }
+}

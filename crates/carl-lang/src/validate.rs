@@ -1,0 +1,291 @@
+//! Schema-independent static validation of CaRL programs.
+//!
+//! Checks performed here:
+//!
+//! 1. **Variable safety** (Definition 3.3): every variable appearing in a
+//!    rule's head or body must also appear in the rule's `WHERE` condition —
+//!    unless the rule has a trivial condition and head and body share the
+//!    same single variable (a common idiom for per-unit rules such as
+//!    `Bill[P] <= Illness_Severity[P]`, which the paper's NIS model writes
+//!    without a `WHERE` clause).
+//! 2. **Non-recursion** (§3.2.3, footnote 6): the dependency graph on
+//!    attribute names (head depends on body) must be acyclic.
+//! 3. **Aggregate shape**: aggregate heads must carry a recognised aggregate
+//!    prefix and must not also be defined by causal rules.
+//! 4. **Query well-formedness**: treatment and response attributes must be
+//!    distinct.
+//!
+//! Schema-aware checks (do the predicates/attributes exist? are the
+//! arguments of the right arity?) live in the `carl` engine crate, which
+//! owns the schema.
+
+use crate::ast::{CausalRule, Program};
+use crate::error::{LangError, LangResult};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Validate a parsed program. Returns the list of attribute names in a
+/// topological order consistent with the rule dependencies (causes before
+/// effects), which callers may use for deterministic processing.
+pub fn validate_program(program: &Program) -> LangResult<Vec<String>> {
+    for rule in &program.rules {
+        check_variable_safety(rule)?;
+    }
+    for agg in &program.aggregates {
+        // Aggregate head arguments must appear in the condition (they bind
+        // the group), and the source variables too.
+        let cond_vars = agg.condition.variables();
+        let head_vars: BTreeSet<String> = agg
+            .head_args
+            .iter()
+            .filter_map(|a| a.as_var().map(str::to_string))
+            .collect();
+        let source_vars: BTreeSet<String> =
+            agg.source.variables().map(str::to_string).collect();
+        if agg.condition.is_trivial() {
+            // Degenerate but allowed when head and source range over the same
+            // variable (identity grouping).
+            if head_vars != source_vars {
+                return Err(LangError::Validation(format!(
+                    "aggregate rule `{}` needs a WHERE clause connecting {:?} to {:?}",
+                    agg.name, head_vars, source_vars
+                )));
+            }
+        } else {
+            for v in head_vars.iter().chain(source_vars.iter()) {
+                if !cond_vars.contains(v) {
+                    return Err(LangError::Validation(format!(
+                        "variable `{v}` in aggregate rule `{}` does not occur in its WHERE clause",
+                        agg.name
+                    )));
+                }
+            }
+        }
+    }
+
+    // Aggregate-defined names must not also have causal rules.
+    let aggregate_names: BTreeSet<&str> = program.aggregates.iter().map(|a| a.name.as_str()).collect();
+    for rule in &program.rules {
+        if aggregate_names.contains(rule.head.attr.as_str()) {
+            return Err(LangError::Validation(format!(
+                "attribute `{}` is defined both by an aggregate rule and a causal rule",
+                rule.head.attr
+            )));
+        }
+    }
+
+    // Queries: treatment != response.
+    for q in &program.queries {
+        if q.treatment.attr == q.response.attr {
+            return Err(LangError::Validation(format!(
+                "query `{} <= {}?` uses the same attribute as treatment and response",
+                q.response, q.treatment
+            )));
+        }
+    }
+
+    topological_order(program)
+}
+
+/// Variable safety for a single causal rule.
+fn check_variable_safety(rule: &CausalRule) -> LangResult<()> {
+    let cond_vars = rule.condition.variables();
+    let mut rule_vars: BTreeSet<String> = rule.head.variables().map(str::to_string).collect();
+    for b in &rule.body {
+        rule_vars.extend(b.variables().map(str::to_string));
+    }
+    if rule.condition.is_trivial() {
+        // Allowed only when every body atom ranges over exactly the head
+        // variables (per-unit dependency with an implicit condition).
+        let head_vars: BTreeSet<String> = rule.head.variables().map(str::to_string).collect();
+        if rule_vars == head_vars {
+            return Ok(());
+        }
+        return Err(LangError::Validation(format!(
+            "rule for `{}` uses variables {:?} but has no WHERE clause binding them",
+            rule.head.attr,
+            rule_vars.difference(&head_vars).collect::<Vec<_>>()
+        )));
+    }
+    for v in &rule_vars {
+        if !cond_vars.contains(v) {
+            return Err(LangError::Validation(format!(
+                "variable `{v}` in rule for `{}` does not occur in its WHERE clause",
+                rule.head.attr
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Kahn's algorithm over the attribute dependency graph (edge: body → head).
+/// Returns an error naming one attribute on a cycle if the model is recursive.
+fn topological_order(program: &Program) -> LangResult<Vec<String>> {
+    let mut nodes: BTreeSet<String> = BTreeSet::new();
+    let mut edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new(); // from -> to
+    let add_edge = |from: &str, to: &str, edges: &mut BTreeMap<String, BTreeSet<String>>| {
+        edges.entry(from.to_string()).or_default().insert(to.to_string());
+    };
+    for rule in &program.rules {
+        nodes.insert(rule.head.attr.clone());
+        for b in &rule.body {
+            nodes.insert(b.attr.clone());
+            add_edge(&b.attr, &rule.head.attr, &mut edges);
+        }
+    }
+    for agg in &program.aggregates {
+        nodes.insert(agg.name.clone());
+        nodes.insert(agg.source.attr.clone());
+        add_edge(&agg.source.attr, &agg.name, &mut edges);
+    }
+
+    let mut in_degree: BTreeMap<String, usize> = nodes.iter().map(|n| (n.clone(), 0)).collect();
+    for targets in edges.values() {
+        for t in targets {
+            *in_degree.get_mut(t).expect("edge target is a node") += 1;
+        }
+    }
+    let mut queue: Vec<String> = in_degree
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(n, _)| n.clone())
+        .collect();
+    let mut order = Vec::with_capacity(nodes.len());
+    while let Some(n) = queue.pop() {
+        order.push(n.clone());
+        if let Some(targets) = edges.get(&n) {
+            for t in targets {
+                let d = in_degree.get_mut(t).expect("edge target is a node");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(t.clone());
+                }
+            }
+        }
+    }
+    if order.len() != nodes.len() {
+        let on_cycle = in_degree
+            .iter()
+            .find(|(_, &d)| d > 0)
+            .map(|(n, _)| n.clone())
+            .unwrap_or_default();
+        return Err(LangError::Validation(format!(
+            "the relational causal model is recursive (cycle through `{on_cycle}`); \
+             recursive rules are not supported"
+        )));
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn valid_paper_model_passes_and_orders_topologically() {
+        let prog = parse_program(
+            r#"
+            Prestige[A]  <= Qualification[A]              WHERE Person(A)
+            Quality[S]   <= Qualification[A], Prestige[A] WHERE Author(A, S)
+            Score[S]     <= Prestige[A]                   WHERE Author(A, S)
+            Score[S]     <= Quality[S]                    WHERE Submission(S)
+            AVG_Score[A] <= Score[S]                      WHERE Author(A, S)
+            "#,
+        )
+        .unwrap();
+        let order = validate_program(&prog).unwrap();
+        let pos = |name: &str| order.iter().position(|n| n == name).unwrap();
+        assert!(pos("Qualification") < pos("Prestige"));
+        assert!(pos("Prestige") < pos("Score"));
+        assert!(pos("Quality") < pos("Score"));
+        assert!(pos("Score") < pos("AVG_Score"));
+    }
+
+    #[test]
+    fn rules_without_where_are_allowed_when_single_unit() {
+        // The NIS model in the paper writes per-patient rules without WHERE.
+        let prog = parse_program(
+            r#"
+            Bill[P] <= Illness_Severity[P]
+            Bill[P] <= Surgery_Performed[P]
+            Admitted_to_large[P] <= Illness_Severity[P]
+            "#,
+        )
+        .unwrap();
+        assert!(validate_program(&prog).is_ok());
+    }
+
+    #[test]
+    fn unsafe_variable_is_rejected() {
+        let prog = parse_program("Score[S] <= Prestige[A] WHERE Submission(S)").unwrap();
+        let err = validate_program(&prog).unwrap_err();
+        assert!(err.to_string().contains('A'), "{err}");
+
+        let prog = parse_program("Score[S] <= Prestige[A]").unwrap();
+        assert!(validate_program(&prog).is_err());
+    }
+
+    #[test]
+    fn recursive_model_is_rejected() {
+        let prog = parse_program(
+            r#"
+            A[X] <= B[X] WHERE Person(X)
+            B[X] <= A[X] WHERE Person(X)
+            "#,
+        )
+        .unwrap();
+        let err = validate_program(&prog).unwrap_err();
+        assert!(err.to_string().contains("recursive"));
+    }
+
+    #[test]
+    fn self_loop_is_rejected() {
+        let prog = parse_program("A[X] <= A[X] WHERE Person(X)").unwrap();
+        assert!(validate_program(&prog).is_err());
+    }
+
+    #[test]
+    fn aggregate_and_rule_name_clash_is_rejected() {
+        use crate::ast::{AttrRef, CausalRule, Condition};
+        // The parser always classifies AGG-prefixed heads as aggregate rules,
+        // so construct the conflicting causal rule directly in the AST (as an
+        // embedding client of the library could).
+        let mut prog = parse_program("AVG_Score[A] <= Score[S] WHERE Author(A, S)").unwrap();
+        prog.rules.push(CausalRule {
+            head: AttrRef::over_vars("AVG_Score", &["A"]),
+            body: vec![AttrRef::over_vars("Prestige", &["A"])],
+            condition: Condition {
+                atoms: vec![crate::ast::QueryAtom {
+                    predicate: "Person".into(),
+                    args: vec![crate::ast::ArgTerm::Var("A".into())],
+                }],
+                comparisons: vec![],
+            },
+        });
+        let err = validate_program(&prog).unwrap_err();
+        assert!(err.to_string().contains("AVG_Score"));
+    }
+
+    #[test]
+    fn aggregate_without_linking_condition_is_rejected() {
+        let prog = parse_program("AVG_Score[A] <= Score[S]").unwrap();
+        assert!(validate_program(&prog).is_err());
+        // Identity grouping is fine.
+        let prog = parse_program("AVG_Score[S] <= Score[S]").unwrap();
+        assert!(validate_program(&prog).is_ok());
+    }
+
+    #[test]
+    fn query_with_same_treatment_and_response_is_rejected() {
+        let prog = parse_program("Score[S] <= Score[S]?").unwrap();
+        assert!(validate_program(&prog).is_err());
+    }
+
+    #[test]
+    fn query_variables_need_not_be_bound() {
+        // Queries reference attribute functions; their variables are
+        // placeholders, no safety requirement.
+        let prog = parse_program("AVG_Score[A] <= Prestige[A]?").unwrap();
+        assert!(validate_program(&prog).is_ok());
+    }
+}

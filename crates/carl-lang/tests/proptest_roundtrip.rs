@@ -1,0 +1,184 @@
+//! Property-based tests for the CaRL front end: pretty-printing any
+//! generated statement and re-parsing it yields the same AST, and the lexer
+//! never panics on arbitrary input.
+
+use carl_lang::{
+    parse_program, pretty, AggName, AggregateRule, ArgTerm, AttrRef, CausalQuery, CausalRule,
+    Comparison, CompareOp, Condition, Literal, PeerCondition, Program, QueryAtom,
+};
+use proptest::prelude::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[A-Z][a-zA-Z0-9_]{0,8}".prop_map(|s| s)
+}
+
+fn arb_var() -> impl Strategy<Value = String> {
+    // Exclude variables that could lex as the boolean keywords TRUE/FALSE.
+    "[A-EG-SU-Z][A-Z0-9]{0,3}".prop_map(|s| s)
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        any::<bool>().prop_map(Literal::Bool),
+        (-1000i64..1000).prop_map(Literal::Int),
+        // Always-fractional floats so the printed form re-lexes as a float
+        // (an integral float would print without a decimal point and come
+        // back as an integer literal).
+        (0u32..10_000).prop_map(|n| Literal::Float(f64::from(n) + 0.25)),
+        "[a-zA-Z0-9 ]{0,10}".prop_map(Literal::Str),
+    ]
+}
+
+fn arb_arg() -> impl Strategy<Value = ArgTerm> {
+    prop_oneof![
+        3 => arb_var().prop_map(ArgTerm::Var),
+        1 => arb_literal().prop_map(ArgTerm::Const),
+    ]
+}
+
+fn arb_attr_ref() -> impl Strategy<Value = AttrRef> {
+    (arb_ident(), proptest::collection::vec(arb_arg(), 1..3)).prop_map(|(attr, args)| AttrRef {
+        // Avoid accidentally generating aggregate-prefixed names, which the
+        // parser classifies differently.
+        attr: format!("At{attr}"),
+        args,
+    })
+}
+
+fn arb_condition() -> impl Strategy<Value = Condition> {
+    (
+        proptest::collection::vec(
+            (arb_ident(), proptest::collection::vec(arb_arg(), 1..3))
+                .prop_map(|(predicate, args)| QueryAtom { predicate, args }),
+            0..3,
+        ),
+        proptest::collection::vec(
+            (arb_attr_ref(), arb_literal()).prop_map(|(attr, value)| Comparison {
+                attr,
+                op: CompareOp::Eq,
+                value,
+            }),
+            0..2,
+        ),
+    )
+        .prop_map(|(atoms, comparisons)| Condition { atoms, comparisons })
+}
+
+fn arb_peer_condition() -> impl Strategy<Value = PeerCondition> {
+    prop_oneof![
+        Just(PeerCondition::All),
+        Just(PeerCondition::None),
+        (1u32..100).prop_map(|k| PeerCondition::MoreThanPercent(f64::from(k))),
+        (1u32..100).prop_map(|k| PeerCondition::LessThanPercent(f64::from(k))),
+        (0u64..10).prop_map(PeerCondition::AtLeast),
+        (0u64..10).prop_map(PeerCondition::AtMost),
+        (0u64..10).prop_map(PeerCondition::Exactly),
+    ]
+}
+
+fn arb_rule() -> impl Strategy<Value = CausalRule> {
+    (
+        arb_attr_ref(),
+        proptest::collection::vec(arb_attr_ref(), 1..4),
+        arb_condition(),
+    )
+        .prop_map(|(head, body, condition)| CausalRule {
+            head,
+            body,
+            condition,
+        })
+}
+
+fn arb_aggregate() -> impl Strategy<Value = AggregateRule> {
+    (
+        prop_oneof![
+            Just(AggName::Avg),
+            Just(AggName::Sum),
+            Just(AggName::Count),
+            Just(AggName::Min),
+            Just(AggName::Max),
+            Just(AggName::Var),
+            Just(AggName::Median)
+        ],
+        arb_ident(),
+        proptest::collection::vec(arb_arg(), 1..3),
+        arb_attr_ref(),
+        arb_condition(),
+    )
+        .prop_map(|(agg, base, head_args, source, condition)| AggregateRule {
+            name: format!("{}_{base}", agg.name()),
+            agg,
+            head_args,
+            source,
+            condition,
+        })
+}
+
+fn arb_query() -> impl Strategy<Value = CausalQuery> {
+    (
+        arb_attr_ref(),
+        arb_attr_ref(),
+        proptest::option::of(arb_peer_condition()),
+        arb_condition(),
+    )
+        .prop_map(|(response, treatment, peers, condition)| CausalQuery {
+            response,
+            treatment,
+            peers,
+            condition,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print ∘ parse = id for causal rules.
+    #[test]
+    fn rule_roundtrip(rule in arb_rule()) {
+        let printed = pretty::print_rule(&rule);
+        let program = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed for `{printed}`: {e}"));
+        prop_assert_eq!(program.rules.len(), 1, "printed: {}", printed);
+        prop_assert_eq!(&program.rules[0], &rule, "printed: {}", printed);
+    }
+
+    /// print ∘ parse = id for aggregate rules.
+    #[test]
+    fn aggregate_roundtrip(rule in arb_aggregate()) {
+        let printed = pretty::print_aggregate(&rule);
+        let program = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed for `{printed}`: {e}"));
+        prop_assert_eq!(program.aggregates.len(), 1, "printed: {}", printed);
+        prop_assert_eq!(&program.aggregates[0], &rule, "printed: {}", printed);
+    }
+
+    /// print ∘ parse = id for causal queries.
+    #[test]
+    fn query_roundtrip(query in arb_query()) {
+        let printed = pretty::print_query(&query);
+        let program = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed for `{printed}`: {e}"));
+        prop_assert_eq!(program.queries.len(), 1, "printed: {}", printed);
+        prop_assert_eq!(&program.queries[0], &query, "printed: {}", printed);
+    }
+
+    /// Whole programs round-trip.
+    #[test]
+    fn program_roundtrip(
+        rules in proptest::collection::vec(arb_rule(), 0..4),
+        aggregates in proptest::collection::vec(arb_aggregate(), 0..2),
+        queries in proptest::collection::vec(arb_query(), 0..3),
+    ) {
+        let program = Program { rules, aggregates, queries };
+        let printed = pretty::print_program(&program);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed for `{printed}`: {e}"));
+        prop_assert_eq!(reparsed, program, "printed: {}", printed);
+    }
+
+    /// The lexer and parser never panic on arbitrary input (errors are fine).
+    #[test]
+    fn parser_never_panics(input in "[ -~\n]{0,120}") {
+        let _ = parse_program(&input);
+    }
+}

@@ -1,0 +1,192 @@
+//! Nonparametric bootstrap over units.
+//!
+//! The paper reports *relative likelihoods* (sampling distributions) of the
+//! isolated, relational and overall effects (Figure 9) and standard
+//! deviations of embedding-sensitive estimates (Table 5). Both are obtained
+//! here by resampling response units with replacement and re-running the
+//! estimator on each replicate.
+
+use crate::descriptive::{mean, quantile, std_dev};
+use crate::error::{StatsError, StatsResult};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Summary statistics of a bootstrap distribution.
+#[derive(Debug, Clone)]
+pub struct BootstrapSummary {
+    /// Mean of the replicate estimates.
+    pub mean: f64,
+    /// Standard deviation of the replicate estimates (the bootstrap SE).
+    pub std_dev: f64,
+    /// Lower bound of the central confidence interval.
+    pub ci_lower: f64,
+    /// Upper bound of the central confidence interval.
+    pub ci_upper: f64,
+    /// All replicate estimates (finite ones only).
+    pub replicates: Vec<f64>,
+}
+
+/// Draw `replicates` bootstrap resamples of `0..n` and apply `estimator` to
+/// each index sample, in parallel. Non-finite replicate estimates are
+/// dropped (they can arise when a resample loses an entire treatment arm).
+pub fn bootstrap_distribution<F>(
+    n: usize,
+    replicates: usize,
+    seed: u64,
+    estimator: F,
+) -> StatsResult<Vec<f64>>
+where
+    F: Fn(&[usize]) -> Option<f64> + Sync,
+{
+    if n == 0 {
+        return Err(StatsError::InsufficientData("bootstrap: empty sample".into()));
+    }
+    if replicates == 0 {
+        return Err(StatsError::InvalidArgument("bootstrap: need at least one replicate".into()));
+    }
+    let estimates: Vec<f64> = (0..replicates)
+        .into_par_iter()
+        .filter_map(|r| {
+            let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let sample: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+            estimator(&sample).filter(|e| e.is_finite())
+        })
+        .collect();
+    if estimates.is_empty() {
+        return Err(StatsError::InsufficientData(
+            "bootstrap: every replicate failed to produce an estimate".into(),
+        ));
+    }
+    Ok(estimates)
+}
+
+/// Bootstrap a confidence interval at level `confidence` (e.g. 0.95) using
+/// the percentile method.
+pub fn bootstrap_ci<F>(
+    n: usize,
+    replicates: usize,
+    seed: u64,
+    confidence: f64,
+    estimator: F,
+) -> StatsResult<BootstrapSummary>
+where
+    F: Fn(&[usize]) -> Option<f64> + Sync,
+{
+    if !(0.0..1.0).contains(&confidence) {
+        return Err(StatsError::InvalidArgument("bootstrap: confidence must be in (0, 1)".into()));
+    }
+    let reps = bootstrap_distribution(n, replicates, seed, estimator)?;
+    let alpha = (1.0 - confidence) / 2.0;
+    Ok(BootstrapSummary {
+        mean: mean(&reps),
+        std_dev: std_dev(&reps),
+        ci_lower: quantile(&reps, alpha),
+        ci_upper: quantile(&reps, 1.0 - alpha),
+        replicates: reps,
+    })
+}
+
+/// Histogram of a bootstrap distribution: `bins` equal-width bins over the
+/// replicate range, returning `(bin_center, relative_frequency)` pairs.
+/// This is the "relative likelihood" series plotted in Figure 9.
+pub fn relative_likelihood(replicates: &[f64], bins: usize) -> Vec<(f64, f64)> {
+    if replicates.is_empty() || bins == 0 {
+        return Vec::new();
+    }
+    let lo = replicates.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = replicates.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !(lo.is_finite() && hi.is_finite()) {
+        return Vec::new();
+    }
+    let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+    let mut counts = vec![0usize; bins];
+    for &r in replicates {
+        let idx = (((r - lo) / width) as usize).min(bins - 1);
+        counts[idx] += 1;
+    }
+    let total = replicates.len() as f64;
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (lo + (i as f64 + 0.5) * width, c as f64 / total))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_mean_of_sample_mean_is_close_to_truth() {
+        let data: Vec<f64> = (0..500).map(|i| (i % 10) as f64).collect();
+        let summary = bootstrap_ci(data.len(), 500, 7, 0.95, |idx| {
+            Some(idx.iter().map(|&i| data[i]).sum::<f64>() / idx.len() as f64)
+        })
+        .unwrap();
+        assert!((summary.mean - 4.5).abs() < 0.1);
+        assert!(summary.ci_lower < 4.5 && 4.5 < summary.ci_upper);
+        assert!(summary.std_dev > 0.0);
+        assert_eq!(summary.replicates.len(), 500);
+    }
+
+    #[test]
+    fn failed_replicates_are_dropped() {
+        let reps = bootstrap_distribution(100, 50, 3, |idx| {
+            // Fail on samples whose first index is even.
+            if idx[0] % 2 == 0 {
+                None
+            } else {
+                Some(1.0)
+            }
+        })
+        .unwrap();
+        assert!(!reps.is_empty());
+        assert!(reps.len() <= 50);
+        assert!(reps.iter().all(|&r| r == 1.0));
+    }
+
+    #[test]
+    fn all_failures_error() {
+        let res = bootstrap_distribution(10, 10, 1, |_| None);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn validation_of_arguments() {
+        assert!(bootstrap_distribution(0, 10, 1, |_| Some(1.0)).is_err());
+        assert!(bootstrap_distribution(10, 0, 1, |_| Some(1.0)).is_err());
+        assert!(bootstrap_ci(10, 10, 1, 1.5, |_| Some(1.0)).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let f = |idx: &[usize]| Some(idx.iter().map(|&i| data[i]).sum::<f64>() / idx.len() as f64);
+        let a = bootstrap_distribution(100, 20, 42, f).unwrap();
+        let b = bootstrap_distribution(100, 20, 42, f).unwrap();
+        let mut a_sorted = a.clone();
+        let mut b_sorted = b.clone();
+        a_sorted.sort_by(f64::total_cmp);
+        b_sorted.sort_by(f64::total_cmp);
+        assert_eq!(a_sorted, b_sorted);
+    }
+
+    #[test]
+    fn relative_likelihood_sums_to_one() {
+        let reps: Vec<f64> = (0..1000).map(|i| (i % 7) as f64).collect();
+        let hist = relative_likelihood(&reps, 7);
+        assert_eq!(hist.len(), 7);
+        let total: f64 = hist.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(relative_likelihood(&[], 5).is_empty());
+        assert!(relative_likelihood(&reps, 0).is_empty());
+    }
+
+    #[test]
+    fn constant_replicates_histogram() {
+        let hist = relative_likelihood(&[2.0, 2.0, 2.0], 4);
+        let total: f64 = hist.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,123 @@
+//! Correlation coefficients.
+//!
+//! The paper contrasts *correlation* with *causation* throughout its
+//! evaluation (Figure 7 reports Pearson's correlation next to the ATE), so
+//! the experiment harness needs these alongside the causal estimators.
+
+use crate::descriptive::{mean, std_dev};
+use crate::error::{StatsError, StatsResult};
+
+/// Pearson product–moment correlation coefficient.
+///
+/// Returns an error when the inputs have different lengths or fewer than two
+/// observations; returns 0.0 when either variable is constant (the
+/// correlation is undefined, and 0 is the conventional value reported by the
+/// experiment harness in that degenerate case).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> StatsResult<f64> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::DimensionMismatch(format!(
+            "pearson: {} vs {}",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    if xs.len() < 2 {
+        return Err(StatsError::InsufficientData("pearson needs at least 2 points".into()));
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let sx = std_dev(xs);
+    let sy = std_dev(ys);
+    if sx == 0.0 || sy == 0.0 {
+        return Ok(0.0);
+    }
+    let cov = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / xs.len() as f64;
+    Ok(cov / (sx * sy))
+}
+
+/// Spearman rank correlation: Pearson correlation of the rank transforms.
+/// Ties receive their average rank.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> StatsResult<f64> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::DimensionMismatch(format!(
+            "spearman: {} vs {}",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Average ranks (1-based) with ties sharing their mean rank.
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn perfect_linear_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < EPS);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn constant_variable_yields_zero() {
+        let xs = [1.0, 1.0, 1.0];
+        let ys = [2.0, 3.0, 4.0];
+        assert_eq!(pearson(&xs, &ys).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn uncorrelated_data_is_near_zero() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, -1.0, 1.0, -1.0];
+        assert!(pearson(&xs, &ys).unwrap().abs() < 0.5);
+    }
+
+    #[test]
+    fn dimension_and_size_errors() {
+        assert!(pearson(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(pearson(&[1.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn spearman_is_invariant_to_monotone_transform() {
+        let xs: [f64; 5] = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}

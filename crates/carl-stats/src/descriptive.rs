@@ -1,0 +1,213 @@
+//! Descriptive statistics: means, variances, quantiles and higher moments.
+//!
+//! The moment summaries feed the *moments* embedding of paper §5.2.2, which
+//! summarises a variable-size set of parent values by its first `k` moments.
+
+/// Arithmetic mean. Returns `NaN` for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (denominator `n`). Returns `NaN` for empty input.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (denominator `n - 1`). Returns `NaN` for n < 2.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Skewness (third standardised moment). Zero for constant input.
+pub fn skewness(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    let sd = std_dev(xs);
+    if sd == 0.0 {
+        return 0.0;
+    }
+    xs.iter().map(|x| ((x - m) / sd).powi(3)).sum::<f64>() / xs.len() as f64
+}
+
+/// Excess kurtosis (fourth standardised moment minus 3). Zero for constant input.
+pub fn kurtosis(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    let sd = std_dev(xs);
+    if sd == 0.0 {
+        return 0.0;
+    }
+    xs.iter().map(|x| ((x - m) / sd).powi(4)).sum::<f64>() / xs.len() as f64 - 3.0
+}
+
+/// The first `k` moments of a sample, in the order
+/// `[mean, variance, skewness, kurtosis, …]`.
+///
+/// Moments beyond the fourth are central standardised moments of increasing
+/// order. Used by the *moments* embedding (§5.2.2). Empty input yields a
+/// vector of zeros so that embeddings of empty parent sets are well defined.
+pub fn moments(xs: &[f64], k: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(k);
+    if xs.is_empty() {
+        return vec![0.0; k];
+    }
+    for i in 0..k {
+        let v = match i {
+            0 => mean(xs),
+            1 => variance(xs),
+            2 => skewness(xs),
+            3 => kurtosis(xs) + 3.0,
+            _ => {
+                let m = mean(xs);
+                let sd = std_dev(xs);
+                if sd == 0.0 {
+                    0.0
+                } else {
+                    xs.iter().map(|x| ((x - m) / sd).powi(i as i32 + 1)).sum::<f64>() / xs.len() as f64
+                }
+            }
+        };
+        out.push(v);
+    }
+    out
+}
+
+/// Empirical quantile with linear interpolation, `q ∈ [0, 1]`.
+/// Returns `NaN` for empty input.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Min and max of a slice; `None` for empty input.
+pub fn min_max(xs: &[f64]) -> Option<(f64, f64)> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &x in xs {
+        min = min.min(x);
+        max = max.max(x);
+    }
+    Some((min, max))
+}
+
+/// Weighted mean with weights `ws`. Returns `NaN` if total weight is zero.
+pub fn weighted_mean(xs: &[f64], ws: &[f64]) -> f64 {
+    let total: f64 = ws.iter().sum();
+    if total == 0.0 || xs.len() != ws.len() {
+        return f64::NAN;
+    }
+    xs.iter().zip(ws).map(|(x, w)| x * w).sum::<f64>() / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < EPS);
+        assert!((variance(&xs) - 4.0).abs() < EPS);
+        assert!((std_dev(&xs) - 2.0).abs() < EPS);
+        assert!((sample_variance(&xs) - 32.0 / 7.0).abs() < EPS);
+    }
+
+    #[test]
+    fn empty_inputs_are_nan_or_zero() {
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[]).is_nan());
+        assert!(quantile(&[], 0.5).is_nan());
+        assert_eq!(moments(&[], 3), vec![0.0, 0.0, 0.0]);
+        assert!(min_max(&[]).is_none());
+    }
+
+    #[test]
+    fn skewness_of_symmetric_data_is_zero() {
+        let xs = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        assert!(skewness(&xs).abs() < EPS);
+        assert_eq!(skewness(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn right_skewed_data_has_positive_skewness() {
+        let xs = [1.0, 1.0, 1.0, 1.0, 10.0];
+        assert!(skewness(&xs) > 0.5);
+    }
+
+    #[test]
+    fn kurtosis_of_constant_is_zero() {
+        assert_eq!(kurtosis(&[1.0, 1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn moments_prefix_consistency() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let m4 = moments(&xs, 4);
+        assert!((m4[0] - mean(&xs)).abs() < EPS);
+        assert!((m4[1] - variance(&xs)).abs() < EPS);
+        assert!((m4[2] - skewness(&xs)).abs() < EPS);
+        let m6 = moments(&xs, 6);
+        assert_eq!(m6.len(), 6);
+        assert!((m6[0] - m4[0]).abs() < EPS);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&xs, 0.0) - 1.0).abs() < EPS);
+        assert!((quantile(&xs, 1.0) - 4.0).abs() < EPS);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < EPS);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < EPS);
+    }
+
+    #[test]
+    fn weighted_mean_matches_manual() {
+        let xs = [1.0, 3.0];
+        let ws = [1.0, 3.0];
+        assert!((weighted_mean(&xs, &ws) - 2.5).abs() < EPS);
+        assert!(weighted_mean(&xs, &[0.0, 0.0]).is_nan());
+    }
+
+    #[test]
+    fn min_max_finds_extremes() {
+        assert_eq!(min_max(&[3.0, -1.0, 2.0]), Some((-1.0, 3.0)));
+    }
+}

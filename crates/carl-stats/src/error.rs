@@ -1,0 +1,52 @@
+//! Error types for the statistics substrate.
+
+use thiserror::Error;
+
+/// Errors produced by estimators in this crate.
+#[derive(Debug, Error, Clone, PartialEq)]
+pub enum StatsError {
+    /// Input slices had inconsistent lengths.
+    #[error("dimension mismatch: {0}")]
+    DimensionMismatch(String),
+
+    /// Not enough observations to fit the requested model.
+    #[error("insufficient data: {0}")]
+    InsufficientData(String),
+
+    /// The design matrix (or a derived system) was singular.
+    #[error("singular system: {0}")]
+    Singular(String),
+
+    /// An iterative fit failed to converge.
+    #[error("did not converge after {iterations} iterations (last delta {last_delta})")]
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Magnitude of the final update.
+        last_delta: f64,
+    },
+
+    /// One of the treatment arms was empty.
+    #[error("empty treatment arm: {0}")]
+    EmptyArm(String),
+
+    /// Generic invalid-argument error.
+    #[error("invalid argument: {0}")]
+    InvalidArgument(String),
+}
+
+/// Result alias for this crate.
+pub type StatsResult<T> = Result<T, StatsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_render() {
+        let e = StatsError::NoConvergence { iterations: 25, last_delta: 0.5 };
+        assert!(e.to_string().contains("25"));
+        let e = StatsError::EmptyArm("control".into());
+        assert!(e.to_string().contains("control"));
+    }
+}

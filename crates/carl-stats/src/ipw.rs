@@ -1,0 +1,138 @@
+//! Inverse probability weighting (IPW / Horvitz–Thompson style) estimation.
+//!
+//! Weights each unit by the inverse of its probability of receiving the
+//! treatment it actually received, turning the observational sample into a
+//! pseudo-randomised one. Provided as an alternative adjustment method for
+//! CaRL unit tables and used in ablation experiments.
+
+use crate::error::{StatsError, StatsResult};
+use crate::linalg::Matrix;
+use crate::logistic::LogisticRegression;
+
+/// Result of an IPW estimate.
+#[derive(Debug, Clone)]
+pub struct IpwResult {
+    /// Stabilised IPW estimate of the ATE.
+    pub effect: f64,
+    /// Effective sample size of the treated pseudo-population.
+    pub ess_treated: f64,
+    /// Effective sample size of the control pseudo-population.
+    pub ess_control: f64,
+}
+
+/// Estimate the ATE with stabilised inverse-probability weights, truncating
+/// propensity scores to `[clip, 1 - clip]` to control variance.
+pub fn ipw_ate(
+    covariates: &Matrix,
+    treatment: &[f64],
+    outcome: &[f64],
+    clip: f64,
+) -> StatsResult<IpwResult> {
+    let n = covariates.nrows();
+    if treatment.len() != n || outcome.len() != n {
+        return Err(StatsError::DimensionMismatch("ipw: input lengths differ".into()));
+    }
+    if !(0.0..0.5).contains(&clip) {
+        return Err(StatsError::InvalidArgument("ipw: clip must be in [0, 0.5)".into()));
+    }
+    if !treatment.iter().any(|&t| t > 0.5) {
+        return Err(StatsError::EmptyArm("treated".into()));
+    }
+    if !treatment.iter().any(|&t| t <= 0.5) {
+        return Err(StatsError::EmptyArm("control".into()));
+    }
+    let model = LogisticRegression::fit(covariates, treatment)?;
+    let scores = model.predict_proba_matrix(covariates)?;
+
+    let mut w_treated = Vec::with_capacity(n);
+    let mut w_control = Vec::with_capacity(n);
+    let mut num_t = 0.0;
+    let mut den_t = 0.0;
+    let mut num_c = 0.0;
+    let mut den_c = 0.0;
+    for i in 0..n {
+        let e = scores[i].clamp(clip.max(1e-6), 1.0 - clip.max(1e-6));
+        if treatment[i] > 0.5 {
+            let w = 1.0 / e;
+            num_t += w * outcome[i];
+            den_t += w;
+            w_treated.push(w);
+        } else {
+            let w = 1.0 / (1.0 - e);
+            num_c += w * outcome[i];
+            den_c += w;
+            w_control.push(w);
+        }
+    }
+    let effect = num_t / den_t - num_c / den_c;
+    Ok(IpwResult {
+        effect,
+        ess_treated: effective_sample_size(&w_treated),
+        ess_control: effective_sample_size(&w_control),
+    })
+}
+
+/// Kish effective sample size `(Σw)² / Σw²`.
+fn effective_sample_size(weights: &[f64]) -> f64 {
+    let s: f64 = weights.iter().sum();
+    let s2: f64 = weights.iter().map(|w| w * w).sum();
+    if s2 == 0.0 {
+        0.0
+    } else {
+        s * s / s2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn confounded(n: usize, seed: u64) -> (Matrix, Vec<f64>, Vec<f64>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut ts = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let z: f64 = rng.gen();
+            let t = if rng.gen::<f64>() < 0.25 + 0.5 * z { 1.0 } else { 0.0 };
+            let y = -1.0 * t + 2.0 * z + rng.gen_range(-0.1..0.1);
+            rows.push(vec![z]);
+            ts.push(t);
+            ys.push(y);
+        }
+        (Matrix::from_rows(&rows).unwrap(), ts, ys)
+    }
+
+    #[test]
+    fn recovers_negative_effect() {
+        let (x, t, y) = confounded(6000, 33);
+        let res = ipw_ate(&x, &t, &y, 0.01).unwrap();
+        assert!((res.effect + 1.0).abs() < 0.15, "estimate {}", res.effect);
+        assert!(res.ess_treated > 100.0);
+        assert!(res.ess_control > 100.0);
+    }
+
+    #[test]
+    fn clip_validation() {
+        let (x, t, y) = confounded(100, 2);
+        assert!(ipw_ate(&x, &t, &y, 0.7).is_err());
+        assert!(ipw_ate(&x, &t, &y, -0.1).is_err());
+    }
+
+    #[test]
+    fn empty_arm_detection() {
+        let x = Matrix::from_rows(&[vec![0.2], vec![0.4]]).unwrap();
+        assert!(matches!(
+            ipw_ate(&x, &[0.0, 0.0], &[1.0, 2.0], 0.01),
+            Err(StatsError::EmptyArm(_))
+        ));
+    }
+
+    #[test]
+    fn ess_of_equal_weights_is_count() {
+        assert!((effective_sample_size(&[2.0, 2.0, 2.0]) - 3.0).abs() < 1e-12);
+        assert_eq!(effective_sample_size(&[]), 0.0);
+    }
+}

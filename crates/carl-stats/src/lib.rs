@@ -1,0 +1,52 @@
+//! `carl-stats` — the statistics and causal-estimation substrate used by the
+//! CaRL engine.
+//!
+//! Once CaRL has compiled a relational causal query into a flat *unit table*
+//! (paper §5.2.1, Algorithm 1), the remaining work is classical causal
+//! inference on tabular data: "the causal queries … can be estimated … by
+//! applying the standard approaches to causal analysis like regression or
+//! matching methods". The Rust ecosystem has no equivalent of DoWhy or
+//! MatchIt, so this crate implements the required estimators from scratch:
+//!
+//! * descriptive statistics and correlation ([`descriptive`], [`correlation`]),
+//! * a small dense linear-algebra kernel ([`linalg`]),
+//! * ordinary least squares with standard errors ([`ols`]),
+//! * logistic regression via iteratively re-weighted least squares
+//!   ([`logistic`]) for propensity scores,
+//! * nearest-neighbour propensity-score matching ([`matching`]),
+//! * propensity-score subclassification ([`subclass`]),
+//! * inverse probability weighting ([`ipw`]),
+//! * coarsened exact matching ([`cem`]),
+//! * the bootstrap ([`bootstrap`]),
+//! * and a unified average-treatment-effect front-end ([`ate`]).
+//!
+//! All estimators operate on plain `&[f64]` / design-matrix inputs so they
+//! can be reused outside CaRL.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ate;
+pub mod bootstrap;
+pub mod cem;
+pub mod correlation;
+pub mod descriptive;
+pub mod error;
+pub mod ipw;
+pub mod linalg;
+pub mod logistic;
+pub mod matching;
+pub mod ols;
+pub mod subclass;
+
+pub use ate::{estimate_ate, AteEstimate, AteMethod};
+pub use bootstrap::{bootstrap_ci, bootstrap_distribution, BootstrapSummary};
+pub use correlation::{pearson, spearman};
+pub use descriptive::{kurtosis, mean, moments, quantile, skewness, std_dev, variance};
+pub use error::{StatsError, StatsResult};
+pub use ipw::ipw_ate;
+pub use linalg::Matrix;
+pub use logistic::LogisticRegression;
+pub use matching::{psm_ate, MatchingConfig};
+pub use ols::OlsFit;
+pub use subclass::subclassification_ate;

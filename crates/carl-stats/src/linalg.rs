@@ -1,0 +1,416 @@
+//! A small dense linear-algebra kernel.
+//!
+//! Only what the regression estimators need: a row-major [`Matrix`] type
+//! with multiplication, transpose, and solving symmetric positive
+//! (semi-)definite systems via Cholesky factorisation with a
+//! Gauss-elimination fallback (partial pivoting) for indefinite systems.
+//! Implemented here rather than pulling in a BLAS binding so the
+//! reproduction stays dependency-light and auditable.
+
+use crate::error::{StatsError, StatsResult};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create an identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Create a matrix from row-major data.
+    pub fn from_rows(rows: &[Vec<f64>]) -> StatsResult<Self> {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        if rows.iter().any(|row| row.len() != c) {
+            return Err(StatsError::DimensionMismatch("ragged rows".into()));
+        }
+        Ok(Self {
+            rows: r,
+            cols: c,
+            data: rows.iter().flatten().copied().collect(),
+        })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–matrix product.
+    pub fn matmul(&self, other: &Matrix) -> StatsResult<Matrix> {
+        if self.cols != other.rows {
+            return Err(StatsError::DimensionMismatch(format!(
+                "matmul: {}x{} * {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&self, v: &[f64]) -> StatsResult<Vec<f64>> {
+        if self.cols != v.len() {
+            return Err(StatsError::DimensionMismatch(format!(
+                "matvec: {}x{} * {}",
+                self.rows,
+                self.cols,
+                v.len()
+            )));
+        }
+        Ok((0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// `Xᵀ X` for a design matrix `X` (symmetric Gram matrix).
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for a in 0..self.cols {
+                let ra = row[a];
+                if ra == 0.0 {
+                    continue;
+                }
+                for b in a..self.cols {
+                    g[(a, b)] += ra * row[b];
+                }
+            }
+        }
+        for a in 0..self.cols {
+            for b in 0..a {
+                g[(a, b)] = g[(b, a)];
+            }
+        }
+        g
+    }
+
+    /// `Xᵀ y` for a design matrix `X` and response vector `y`.
+    pub fn gram_rhs(&self, y: &[f64]) -> StatsResult<Vec<f64>> {
+        if y.len() != self.rows {
+            return Err(StatsError::DimensionMismatch("gram_rhs: y length".into()));
+        }
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let yi = y[i];
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o += x * yi;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Solve `A x = b` for square `A` (this matrix), using Cholesky when the
+    /// matrix is symmetric positive definite and Gaussian elimination with
+    /// partial pivoting otherwise. A tiny ridge (`1e-10` on the diagonal) is
+    /// retried once before reporting singularity, which makes the OLS solver
+    /// robust to exactly collinear embedding columns.
+    pub fn solve(&self, b: &[f64]) -> StatsResult<Vec<f64>> {
+        if self.rows != self.cols {
+            return Err(StatsError::DimensionMismatch("solve: matrix not square".into()));
+        }
+        if b.len() != self.rows {
+            return Err(StatsError::DimensionMismatch("solve: rhs length".into()));
+        }
+        if let Ok(x) = self.solve_cholesky(b) {
+            return Ok(x);
+        }
+        match self.solve_gauss(b) {
+            Ok(x) => Ok(x),
+            Err(_) => {
+                // Ridge fallback for (near-)collinear systems: the ridge is
+                // scaled to the largest diagonal entry so the regularised
+                // system is genuinely well conditioned (a ridge below the
+                // singularity threshold would just fail again).
+                let max_diag = (0..self.rows)
+                    .map(|i| self[(i, i)].abs())
+                    .fold(0.0f64, f64::max);
+                let ridge = 1e-7 * (1.0 + max_diag);
+                let mut ridged = self.clone();
+                for i in 0..self.rows {
+                    ridged[(i, i)] += ridge;
+                }
+                ridged.solve_gauss(b)
+            }
+        }
+    }
+
+    /// Inverse via column-by-column solves. Errors on singular matrices.
+    pub fn inverse(&self) -> StatsResult<Matrix> {
+        if self.rows != self.cols {
+            return Err(StatsError::DimensionMismatch("inverse: matrix not square".into()));
+        }
+        let n = self.rows;
+        let mut inv = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Cholesky solve for symmetric positive definite systems.
+    fn solve_cholesky(&self, b: &[f64]) -> StatsResult<Vec<f64>> {
+        let n = self.rows;
+        // Factor A = L Lᵀ.
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 1e-12 {
+                        return Err(StatsError::Singular("not positive definite".into()));
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        // Forward substitution L z = b.
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= l[(i, k)] * z[k];
+            }
+            z[i] = sum / l[(i, i)];
+        }
+        // Back substitution Lᵀ x = z.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = z[i];
+            for k in i + 1..n {
+                sum -= l[(k, i)] * x[k];
+            }
+            x[i] = sum / l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Gaussian elimination with partial pivoting. The pivot threshold is
+    /// relative to the magnitude of the matrix so that numerically
+    /// rank-deficient systems (e.g. exactly collinear design columns) are
+    /// reported as singular instead of silently producing unstable solutions.
+    fn solve_gauss(&self, b: &[f64]) -> StatsResult<Vec<f64>> {
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        let scale = self
+            .data
+            .iter()
+            .fold(0.0f64, |acc, v| acc.max(v.abs()))
+            .max(1e-300);
+        let threshold = 1e-11 * scale;
+        for col in 0..n {
+            // Pivot.
+            let mut pivot = col;
+            let mut best = a[col * n + col].abs();
+            for r in col + 1..n {
+                let v = a[r * n + col].abs();
+                if v > best {
+                    best = v;
+                    pivot = r;
+                }
+            }
+            if best < threshold {
+                return Err(StatsError::Singular(format!("pivot ~0 at column {col}")));
+            }
+            if pivot != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot * n + j);
+                }
+                x.swap(col, pivot);
+            }
+            // Eliminate.
+            for r in col + 1..n {
+                let factor = a[r * n + col] / a[col * n + col];
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[r * n + j] -= factor * a[col * n + j];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        let mut out = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in i + 1..n {
+                sum -= a[i * n + j] * out[j];
+            }
+            out[i] = sum / a[i * n + i];
+        }
+        Ok(out)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-8;
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(1, 1)], 50.0);
+        let t = a.transpose();
+        assert_eq!(t[(0, 1)], 3.0);
+        assert!(a.matmul(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn identity_solve() {
+        let i = Matrix::identity(3);
+        let x = i.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn spd_solve_via_cholesky() {
+        // A = [[4,2],[2,3]], b = [6,5] → x = [1,1]? Check: 4+2=6 ✓, 2+3=5 ✓.
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]).unwrap();
+        let x = a.solve(&[6.0, 5.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < EPS);
+        assert!((x[1] - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn indefinite_solve_falls_back_to_gauss() {
+        // Not positive definite, but invertible.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < EPS);
+        assert!((x[1] - 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn gram_matches_manual_computation() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![1.0, 3.0], vec![1.0, 4.0]]).unwrap();
+        let g = x.gram();
+        assert_eq!(g[(0, 0)], 3.0);
+        assert_eq!(g[(0, 1)], 9.0);
+        assert_eq!(g[(1, 0)], 9.0);
+        assert_eq!(g[(1, 1)], 29.0);
+        let rhs = x.gram_rhs(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(rhs, vec![6.0, 20.0]);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!((prod[(0, 0)] - 1.0).abs() < EPS);
+        assert!((prod[(0, 1)]).abs() < EPS);
+        assert!((prod[(1, 1)] - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn matvec() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(a.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn collinear_system_uses_ridge_fallback() {
+        // Exactly collinear columns: the ridge fallback should return a
+        // finite solution instead of erroring.
+        let x = Matrix::from_rows(&[
+            vec![1.0, 2.0, 4.0],
+            vec![1.0, 3.0, 6.0],
+            vec![1.0, 4.0, 8.0],
+            vec![1.0, 5.0, 10.0],
+        ])
+        .unwrap();
+        let g = x.gram();
+        let rhs = x.gram_rhs(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let beta = g.solve(&rhs).unwrap();
+        assert!(beta.iter().all(|b| b.is_finite()));
+    }
+}

@@ -1,0 +1,210 @@
+//! Ordinary least squares regression.
+//!
+//! The default covariate-adjustment estimator in CaRL: the conditional
+//! expectation in the relational adjustment formula (Eq 33) is fitted as a
+//! linear regression of the response on the embedded treatment and
+//! covariates, and counterfactual regimes are evaluated by predicting at
+//! modified treatment columns.
+
+use crate::error::{StatsError, StatsResult};
+use crate::linalg::Matrix;
+
+/// A fitted ordinary-least-squares model.
+#[derive(Debug, Clone)]
+pub struct OlsFit {
+    /// Coefficients, one per design-matrix column (intercept first when
+    /// fitted through [`OlsFit::fit_with_intercept`]).
+    pub coefficients: Vec<f64>,
+    /// Standard errors of the coefficients (classical, homoskedastic).
+    pub std_errors: Vec<f64>,
+    /// Residual variance estimate (SSR / (n - p)).
+    pub sigma2: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+    /// Number of observations used.
+    pub n: usize,
+    /// Whether an intercept column was prepended.
+    pub has_intercept: bool,
+}
+
+impl OlsFit {
+    /// Fit `y = X β + ε` without adding an intercept.
+    pub fn fit(x: &Matrix, y: &[f64]) -> StatsResult<Self> {
+        Self::fit_inner(x, y, false)
+    }
+
+    /// Fit with an intercept column of ones prepended to `x`.
+    pub fn fit_with_intercept(x: &Matrix, y: &[f64]) -> StatsResult<Self> {
+        let mut rows = Vec::with_capacity(x.nrows());
+        for i in 0..x.nrows() {
+            let mut r = Vec::with_capacity(x.ncols() + 1);
+            r.push(1.0);
+            r.extend_from_slice(x.row(i));
+            rows.push(r);
+        }
+        let design = Matrix::from_rows(&rows)?;
+        Self::fit_inner(&design, y, true)
+    }
+
+    fn fit_inner(x: &Matrix, y: &[f64], has_intercept: bool) -> StatsResult<Self> {
+        let n = x.nrows();
+        let p = x.ncols();
+        if n != y.len() {
+            return Err(StatsError::DimensionMismatch(format!(
+                "ols: X has {n} rows but y has {} entries",
+                y.len()
+            )));
+        }
+        if n <= p {
+            return Err(StatsError::InsufficientData(format!(
+                "ols: {n} observations for {p} parameters"
+            )));
+        }
+        let gram = x.gram();
+        let rhs = x.gram_rhs(y)?;
+        let beta = gram.solve(&rhs)?;
+
+        // Residuals and dispersion.
+        let fitted = x.matvec(&beta)?;
+        let ssr: f64 = y.iter().zip(&fitted).map(|(yi, fi)| (yi - fi).powi(2)).sum();
+        let ybar = y.iter().sum::<f64>() / n as f64;
+        let sst: f64 = y.iter().map(|yi| (yi - ybar).powi(2)).sum();
+        let sigma2 = ssr / (n - p) as f64;
+        let r_squared = if sst > 0.0 { 1.0 - ssr / sst } else { 0.0 };
+
+        // Standard errors from the diagonal of σ² (XᵀX)⁻¹; fall back to NaN
+        // if the Gram matrix is numerically singular.
+        let std_errors = match gram.inverse() {
+            Ok(inv) => (0..p).map(|j| (sigma2 * inv[(j, j)]).max(0.0).sqrt()).collect(),
+            Err(_) => vec![f64::NAN; p],
+        };
+
+        Ok(Self {
+            coefficients: beta,
+            std_errors,
+            sigma2,
+            r_squared,
+            n,
+            has_intercept,
+        })
+    }
+
+    /// Predict the response for a feature row (excluding the intercept if the
+    /// model was fitted with one — it is added automatically).
+    pub fn predict(&self, features: &[f64]) -> StatsResult<f64> {
+        let expected = self.coefficients.len() - usize::from(self.has_intercept);
+        if features.len() != expected {
+            return Err(StatsError::DimensionMismatch(format!(
+                "predict: expected {expected} features, got {}",
+                features.len()
+            )));
+        }
+        let mut acc = 0.0;
+        let mut coefs = self.coefficients.iter();
+        if self.has_intercept {
+            acc += coefs.next().copied().unwrap_or(0.0);
+        }
+        for (c, f) in coefs.zip(features) {
+            acc += c * f;
+        }
+        Ok(acc)
+    }
+
+    /// t statistics of the coefficients.
+    pub fn t_stats(&self) -> Vec<f64> {
+        self.coefficients
+            .iter()
+            .zip(&self.std_errors)
+            .map(|(c, s)| if *s > 0.0 { c / s } else { f64::NAN })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    const EPS: f64 = 1e-8;
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        // y = 3 + 2 x, no noise.
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let design = Matrix::from_rows(&xs.iter().map(|&x| vec![x]).collect::<Vec<_>>()).unwrap();
+        let fit = OlsFit::fit_with_intercept(&design, &ys).unwrap();
+        assert!((fit.coefficients[0] - 3.0).abs() < EPS);
+        assert!((fit.coefficients[1] - 2.0).abs() < EPS);
+        assert!((fit.r_squared - 1.0).abs() < EPS);
+        assert!((fit.predict(&[10.0]).unwrap() - 23.0).abs() < EPS);
+    }
+
+    #[test]
+    fn recovers_coefficients_under_noise() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 2000;
+        let mut rows = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x1: f64 = rng.gen_range(-1.0..1.0);
+            let x2: f64 = rng.gen_range(-1.0..1.0);
+            let noise: f64 = rng.gen_range(-0.05..0.05);
+            rows.push(vec![x1, x2]);
+            ys.push(1.0 + 0.5 * x1 - 2.0 * x2 + noise);
+        }
+        let design = Matrix::from_rows(&rows).unwrap();
+        let fit = OlsFit::fit_with_intercept(&design, &ys).unwrap();
+        assert!((fit.coefficients[0] - 1.0).abs() < 0.01);
+        assert!((fit.coefficients[1] - 0.5).abs() < 0.01);
+        assert!((fit.coefficients[2] + 2.0).abs() < 0.01);
+        assert!(fit.r_squared > 0.99);
+        // t statistics of the real effects are large.
+        let ts = fit.t_stats();
+        assert!(ts[1].abs() > 10.0);
+    }
+
+    #[test]
+    fn residuals_are_orthogonal_to_design() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 200;
+        let mut rows = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x: f64 = rng.gen_range(0.0..10.0);
+            rows.push(vec![x]);
+            ys.push(2.0 * x + rng.gen_range(-1.0..1.0));
+        }
+        let design0 = Matrix::from_rows(&rows).unwrap();
+        let fit = OlsFit::fit_with_intercept(&design0, &ys).unwrap();
+        // Residual dot product with each column of the (intercepted) design ≈ 0.
+        let mut dot_intercept = 0.0;
+        let mut dot_x = 0.0;
+        for (row, y) in rows.iter().zip(&ys) {
+            let resid = y - fit.predict(&[row[0]]).unwrap();
+            dot_intercept += resid;
+            dot_x += resid * row[0];
+        }
+        assert!(dot_intercept.abs() < 1e-6);
+        assert!(dot_x.abs() < 1e-5);
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert!(OlsFit::fit_with_intercept(&x, &[1.0]).is_err());
+        // n <= p
+        let x = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(OlsFit::fit(&x, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn predict_validates_feature_count() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * 2.0).collect();
+        let design = Matrix::from_rows(&xs.iter().map(|&x| vec![x]).collect::<Vec<_>>()).unwrap();
+        let fit = OlsFit::fit_with_intercept(&design, &ys).unwrap();
+        assert!(fit.predict(&[1.0, 2.0]).is_err());
+    }
+}

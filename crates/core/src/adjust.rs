@@ -1,0 +1,210 @@
+//! Covariate detection (Section 5.1, Theorem 5.2).
+//!
+//! To estimate `E[Y[x] | do(T[S] = t_S)]` it suffices to adjust for the
+//! observed parents of the treated nodes that have a directed path into the
+//! response (the constructive choice of `Z` in Theorem 5.2). For each unit
+//! we therefore collect:
+//!
+//! * **own covariates** — observed parents of the unit's own treatment node,
+//!   grouped by attribute name (e.g. `Qualification` for `Prestige["Bob"]`),
+//! * **peer covariates** — observed parents of the treatments of the unit's
+//!   relational peers, again grouped by attribute name (the
+//!   "embedded collaborators' covariates" of Table 1).
+//!
+//! The verifier in [`crate::dsep`] can be used to confirm that the selected
+//! set satisfies the conditional independence of Equation (29).
+
+use crate::graph::GroundedAttr;
+use crate::ground::GroundedModel;
+use crate::model::RelationalCausalModel;
+use crate::peers::PeerMap;
+use reldb::{Instance, UnitKey};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The covariate values collected for one unit, grouped by attribute name.
+#[derive(Debug, Clone, Default)]
+pub struct UnitCovariates {
+    /// Observed parents of the unit's own treatment, by attribute.
+    pub own: BTreeMap<String, Vec<f64>>,
+    /// Observed parents of the peers' treatments, by attribute.
+    pub peer: BTreeMap<String, Vec<f64>>,
+}
+
+/// The full adjustment specification for a query: which covariate attributes
+/// appear (so the unit table has a consistent column set) and the per-unit
+/// values.
+#[derive(Debug, Clone, Default)]
+pub struct AdjustmentPlan {
+    /// Attribute names of own covariates, sorted.
+    pub own_attributes: Vec<String>,
+    /// Attribute names of peer covariates, sorted.
+    pub peer_attributes: Vec<String>,
+    /// Per-unit covariate values.
+    pub per_unit: BTreeMap<UnitKey, UnitCovariates>,
+}
+
+/// Compute the adjustment plan for all `units`, given the peer map.
+///
+/// Only *observed* attributes (per the model) are eligible covariates, as
+/// required by Theorem 5.2 (`Z` ranges over groundings of `A_Obs`).
+/// The treatment attribute itself is never a covariate.
+pub fn covariates(
+    model: &RelationalCausalModel,
+    grounded: &GroundedModel,
+    instance: &Instance,
+    treatment_attr: &str,
+    units: &[UnitKey],
+    peers: &PeerMap,
+) -> AdjustmentPlan {
+    let graph = &grounded.graph;
+    let mut plan = AdjustmentPlan::default();
+    let mut own_attrs: BTreeSet<String> = BTreeSet::new();
+    let mut peer_attrs: BTreeSet<String> = BTreeSet::new();
+
+    let collect_parents = |unit: &UnitKey, out: &mut BTreeMap<String, Vec<f64>>, attrs: &mut BTreeSet<String>| {
+        let node = GroundedAttr::new(treatment_attr, unit.clone());
+        let Some(id) = graph.node_id(&node) else { return };
+        for &pid in graph.parents_of(id) {
+            let parent = graph.node(pid);
+            if parent.attr == treatment_attr || !model.is_observed(&parent.attr) {
+                continue;
+            }
+            if let Some(v) = grounded.value_of(instance, parent) {
+                out.entry(parent.attr.clone()).or_default().push(v);
+                attrs.insert(parent.attr.clone());
+            }
+        }
+    };
+
+    for unit in units {
+        let mut cov = UnitCovariates::default();
+        collect_parents(unit, &mut cov.own, &mut own_attrs);
+        if let Some(unit_peers) = peers.get(unit) {
+            for p in unit_peers {
+                collect_parents(p, &mut cov.peer, &mut peer_attrs);
+            }
+        }
+        plan.per_unit.insert(unit.clone(), cov);
+    }
+    plan.own_attributes = own_attrs.into_iter().collect();
+    plan.peer_attributes = peer_attrs.into_iter().collect();
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::ground;
+    use crate::peers::compute_peers;
+    use carl_lang::parse_program;
+    use reldb::{Instance, RelationalSchema, Value};
+
+    fn setup() -> (RelationalCausalModel, GroundedModel, Instance) {
+        let schema = RelationalSchema::review_example();
+        let program = parse_program(
+            r#"
+            Prestige[A]  <= Qualification[A]              WHERE Person(A)
+            Quality[S]   <= Qualification[A], Prestige[A] WHERE Author(A, S)
+            Score[S]     <= Prestige[A]                   WHERE Author(A, S)
+            Score[S]     <= Quality[S]                    WHERE Submission(S)
+            AVG_Score[A] <= Score[S]                      WHERE Author(A, S)
+            "#,
+        )
+        .unwrap();
+        let model = RelationalCausalModel::new(schema, program).unwrap();
+        let instance = Instance::review_example();
+        let grounded = ground(&model, &instance).unwrap();
+        (model, grounded, instance)
+    }
+
+    #[test]
+    fn own_covariates_are_the_parents_of_own_treatment() {
+        let (model, grounded, instance) = setup();
+        let units: Vec<UnitKey> = ["Bob", "Carlos", "Eva"]
+            .iter()
+            .map(|p| vec![Value::from(*p)])
+            .collect();
+        let peers = compute_peers(&grounded, "Prestige", "AVG_Score", &units);
+        let plan = covariates(&model, &grounded, &instance, "Prestige", &units, &peers);
+
+        // The only parent of Prestige[A] is Qualification[A], which is observed.
+        assert_eq!(plan.own_attributes, vec!["Qualification".to_string()]);
+        assert_eq!(plan.peer_attributes, vec!["Qualification".to_string()]);
+
+        let bob = &plan.per_unit[&vec![Value::from("Bob")]];
+        assert_eq!(bob.own["Qualification"], vec![50.0]);
+        // Bob's only peer is Eva (h-index 2): matches Table 1's
+        // "embedded collaborators' covariates".
+        assert_eq!(bob.peer["Qualification"], vec![2.0]);
+
+        let eva = &plan.per_unit[&vec![Value::from("Eva")]];
+        assert_eq!(eva.own["Qualification"], vec![2.0]);
+        let mut evas_peer_quals = eva.peer["Qualification"].clone();
+        evas_peer_quals.sort_by(f64::total_cmp);
+        assert_eq!(evas_peer_quals, vec![20.0, 50.0]);
+    }
+
+    #[test]
+    fn unobserved_parents_are_excluded() {
+        let (model, grounded, instance) = setup();
+        // Parents of Score[s] include Quality[s] (unobserved): when treating
+        // Quality as the "treatment", its parents (Qualification, Prestige)
+        // are observed and must appear; but if we ask for covariates of a
+        // treatment whose parent is unobserved (none here), it is skipped.
+        // Instead verify directly that Quality never shows up as a covariate
+        // attribute for the Prestige treatment.
+        let units: Vec<UnitKey> = vec![vec![Value::from("Bob")]];
+        let peers = compute_peers(&grounded, "Prestige", "AVG_Score", &units);
+        let plan = covariates(&model, &grounded, &instance, "Prestige", &units, &peers);
+        assert!(!plan.own_attributes.contains(&"Quality".to_string()));
+        assert!(!plan.peer_attributes.contains(&"Quality".to_string()));
+    }
+
+    #[test]
+    fn units_missing_from_graph_have_empty_covariates() {
+        let (model, grounded, instance) = setup();
+        let units: Vec<UnitKey> = vec![vec![Value::from("Nobody")]];
+        let peers = compute_peers(&grounded, "Prestige", "AVG_Score", &units);
+        let plan = covariates(&model, &grounded, &instance, "Prestige", &units, &peers);
+        let cov = &plan.per_unit[&vec![Value::from("Nobody")]];
+        assert!(cov.own.is_empty());
+        assert!(cov.peer.is_empty());
+        assert!(plan.own_attributes.is_empty());
+    }
+
+    #[test]
+    fn adjustment_set_satisfies_equation_29() {
+        // Verify with the d-separation checker that conditioning on the
+        // chosen Z (parents of the treated nodes) separates the response
+        // from the remaining parents of the treatments, per Eq (29):
+        // Y[x'] ⊥⊥ ∪ Pa(T[x]) | (∪ T[x], Z).
+        let (_, grounded, _) = setup();
+        let g = &grounded.graph;
+        let y = g
+            .node_id(&GroundedAttr::single("AVG_Score", "Bob"))
+            .unwrap();
+        let treatments: Vec<_> = ["Bob", "Eva"]
+            .iter()
+            .map(|p| g.node_id(&GroundedAttr::single("Prestige", *p)).unwrap())
+            .collect();
+        let parents_of_treatments: Vec<_> = ["Bob", "Eva"]
+            .iter()
+            .map(|p| g.node_id(&GroundedAttr::single("Qualification", *p)).unwrap())
+            .collect();
+        // Without adjusting for the qualifications, the response is NOT
+        // d-separated from them given the treatments alone: the back-door
+        // path Qualification → Quality → Score → AVG_Score stays open, which
+        // is exactly why adjustment is required.
+        assert!(!crate::dsep::d_separated(
+            g,
+            &[y],
+            &parents_of_treatments,
+            &treatments
+        ));
+        // Conditioning set: treatments plus their parents (Z = parents).
+        // This is Theorem 5.2's sufficient choice and satisfies Eq (29).
+        let mut cond = treatments.clone();
+        cond.extend(&parents_of_treatments);
+        assert!(crate::dsep::d_separated(g, &[y], &parents_of_treatments, &cond));
+    }
+}

@@ -1,0 +1,272 @@
+//! The universal-table baseline (Section 6.3, Figure 8, Table 5).
+//!
+//! The paper compares CaRL against the naive strategy an analyst without a
+//! relational causal framework would use: join all base relations into one
+//! flat "universal table", pretend its rows are homogeneous, independent
+//! units, and run a standard causal estimator (propensity-score matching)
+//! on it. This module implements that strategy so the comparison can be
+//! reproduced. Its known failure modes — duplicated response units and
+//! ignored interference — are exactly what the experiments exhibit.
+
+use crate::error::{CarlError, CarlResult};
+use crate::estimate::{AteAnswer, CateSeries, EstimatorKind};
+use carl_stats::descriptive::quantile;
+use carl_stats::{estimate_ate as stats_ate, AteMethod, Matrix};
+use reldb::{universal_table, Instance, Table};
+
+/// Configuration of a universal-table analysis.
+#[derive(Debug, Clone)]
+pub struct UniversalBaseline {
+    /// Column holding the (binary) treatment.
+    pub treatment: String,
+    /// Column holding the outcome.
+    pub outcome: String,
+    /// Covariate columns; `None` means "every numeric column except the
+    /// treatment, the outcome and the entity-key columns".
+    pub covariates: Option<Vec<String>>,
+    /// The estimator run on the flat table (the paper uses propensity-score
+    /// matching).
+    pub estimator: EstimatorKind,
+}
+
+impl UniversalBaseline {
+    /// A baseline with the paper's default estimator (propensity matching).
+    pub fn new(treatment: &str, outcome: &str) -> Self {
+        Self {
+            treatment: treatment.to_string(),
+            outcome: outcome.to_string(),
+            covariates: None,
+            estimator: EstimatorKind::PropensityMatching,
+        }
+    }
+}
+
+/// The extracted numeric design of a universal table.
+struct FlatDesign {
+    outcome: Vec<f64>,
+    treatment: Vec<f64>,
+    covariate_rows: Vec<Vec<f64>>,
+    covariate_names: Vec<String>,
+}
+
+fn extract_design(table: &Table, config: &UniversalBaseline, instance: &Instance) -> CarlResult<FlatDesign> {
+    let entity_columns: Vec<String> = instance
+        .schema()
+        .entities()
+        .map(|e| e.name.clone())
+        .collect();
+    let covariate_names: Vec<String> = match &config.covariates {
+        Some(names) => names.clone(),
+        None => table
+            .column_names()
+            .iter()
+            .filter(|c| {
+                **c != config.treatment
+                    && **c != config.outcome
+                    && !entity_columns.iter().any(|e| e == *c)
+            })
+            .map(|c| (*c).to_string())
+            .collect(),
+    };
+
+    let outcome_raw = table.column_f64(&config.outcome).map_err(CarlError::Rel)?;
+    let treatment_col = table.column(&config.treatment).map_err(CarlError::Rel)?;
+    let covariate_cols: Vec<Vec<f64>> = covariate_names
+        .iter()
+        .map(|c| table.column_f64(c).map_err(CarlError::Rel))
+        .collect::<CarlResult<_>>()?;
+
+    let mut outcome = Vec::new();
+    let mut treatment = Vec::new();
+    let mut covariate_rows = Vec::new();
+    for i in 0..table.row_count() {
+        let Some(t) = treatment_col.values[i].as_bool() else { continue };
+        let y = outcome_raw[i];
+        if y.is_nan() {
+            continue;
+        }
+        let row: Vec<f64> = covariate_cols.iter().map(|c| c[i]).collect();
+        if row.iter().any(|v| v.is_nan()) {
+            continue;
+        }
+        outcome.push(y);
+        treatment.push(if t { 1.0 } else { 0.0 });
+        covariate_rows.push(row);
+    }
+    if outcome.is_empty() {
+        return Err(CarlError::EmptyUnitTable(
+            "universal table has no complete rows for the requested analysis".to_string(),
+        ));
+    }
+    Ok(FlatDesign {
+        outcome,
+        treatment,
+        covariate_rows,
+        covariate_names,
+    })
+}
+
+fn method_of(estimator: EstimatorKind) -> AteMethod {
+    match estimator {
+        EstimatorKind::Regression => AteMethod::RegressionAdjustment,
+        EstimatorKind::PropensityMatching => AteMethod::PropensityMatching,
+        EstimatorKind::Subclassification => AteMethod::Subclassification(10),
+        EstimatorKind::Ipw => AteMethod::Ipw,
+        EstimatorKind::Naive => AteMethod::NaiveDifference,
+    }
+}
+
+/// Run a causal analysis on the universal table of `instance`.
+pub fn universal_ate(instance: &Instance, config: &UniversalBaseline) -> CarlResult<AteAnswer> {
+    let table = universal_table(instance).map_err(CarlError::Rel)?;
+    universal_ate_on(&table, instance, config)
+}
+
+/// Run a causal analysis on a pre-built universal table (lets callers reuse
+/// the join across several analyses).
+pub fn universal_ate_on(
+    table: &Table,
+    instance: &Instance,
+    config: &UniversalBaseline,
+) -> CarlResult<AteAnswer> {
+    let design = extract_design(table, config, instance)?;
+    let covs = Matrix::from_rows(&design.covariate_rows).map_err(CarlError::Stats)?;
+    let est = stats_ate(
+        &design.outcome,
+        &design.treatment,
+        &covs,
+        method_of(config.estimator),
+    )
+    .map_err(CarlError::Stats)?;
+    Ok(AteAnswer {
+        ate: est.ate,
+        naive_difference: est.naive_difference,
+        treated_mean: est.treated_mean,
+        control_mean: est.control_mean,
+        correlation: est.correlation,
+        n_treated: est.n_treated,
+        n_control: est.n_control,
+        n_units: design.outcome.len(),
+        estimator: config.estimator,
+        response_attribute: config.outcome.clone(),
+        treatment_attribute: config.treatment.clone(),
+    })
+}
+
+/// Conditional ATEs on the universal table, stratified by quantile bins of
+/// one of its covariate columns (used for Figure 8 / Figure 10).
+pub fn universal_conditional_ate(
+    instance: &Instance,
+    config: &UniversalBaseline,
+    stratify_column: &str,
+    bins: usize,
+    min_stratum: usize,
+) -> CarlResult<CateSeries> {
+    let table = universal_table(instance).map_err(CarlError::Rel)?;
+    let design = extract_design(&table, config, instance)?;
+    let strat_idx = design
+        .covariate_names
+        .iter()
+        .position(|c| c == stratify_column)
+        .ok_or_else(|| CarlError::InvalidQuery(format!(
+            "stratification column `{stratify_column}` is not among the baseline covariates"
+        )))?;
+    let values: Vec<f64> = design.covariate_rows.iter().map(|r| r[strat_idx]).collect();
+    let bins = bins.max(1);
+    let cuts: Vec<f64> = (1..bins)
+        .map(|k| quantile(&values, k as f64 / bins as f64))
+        .collect();
+    let mut strata = Vec::new();
+    for b in 0..bins {
+        let idx: Vec<usize> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| cuts.iter().filter(|&&c| **v > c).count() == b)
+            .map(|(i, _)| i)
+            .collect();
+        let label = format!("{stratify_column} q{}", b + 1);
+        if idx.len() < min_stratum {
+            strata.push((label, f64::NAN, idx.len()));
+            continue;
+        }
+        let y: Vec<f64> = idx.iter().map(|&i| design.outcome[i]).collect();
+        let t: Vec<f64> = idx.iter().map(|&i| design.treatment[i]).collect();
+        let rows: Vec<Vec<f64>> = idx.iter().map(|&i| design.covariate_rows[i].clone()).collect();
+        let covs = Matrix::from_rows(&rows).map_err(CarlError::Stats)?;
+        match stats_ate(&y, &t, &covs, method_of(config.estimator)) {
+            Ok(est) => strata.push((label, est.ate, idx.len())),
+            Err(_) => strata.push((label, f64::NAN, idx.len())),
+        }
+    }
+    Ok(CateSeries {
+        stratified_by: stratify_column.to_string(),
+        strata,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universal_baseline_runs_on_paper_example() {
+        // Three authors / three submissions is far too small for matching to
+        // be meaningful, but the pipeline must run end to end and report the
+        // descriptive quantities correctly.
+        let instance = Instance::review_example();
+        let config = UniversalBaseline {
+            treatment: "Prestige".into(),
+            outcome: "Score".into(),
+            covariates: Some(vec!["Qualification".into()]),
+            estimator: EstimatorKind::Naive,
+        };
+        let ans = universal_ate(&instance, &config).unwrap();
+        // Universal table has 5 rows (one per authorship).
+        assert_eq!(ans.n_units, 5);
+        assert_eq!(ans.n_treated + ans.n_control, 5);
+        // Treated rows: Bob-s1, Eva-s1, Eva-s2, Eva-s3 → mean score
+        // (0.75 + 0.75 + 0.4 + 0.1)/4 = 0.5; control: Carlos-s3 → 0.1.
+        assert!((ans.treated_mean - 0.5).abs() < 1e-12);
+        assert!((ans.control_mean - 0.1).abs() < 1e-12);
+        assert!((ans.naive_difference - 0.4).abs() < 1e-12);
+        assert_eq!(ans.response_attribute, "Score");
+    }
+
+    #[test]
+    fn missing_columns_error() {
+        let instance = Instance::review_example();
+        let config = UniversalBaseline::new("Nonexistent", "Score");
+        assert!(universal_ate(&instance, &config).is_err());
+    }
+
+    #[test]
+    fn default_covariates_exclude_keys_and_endpoints() {
+        let instance = Instance::review_example();
+        let table = universal_table(&instance).unwrap();
+        let config = UniversalBaseline {
+            treatment: "Prestige".into(),
+            outcome: "Score".into(),
+            covariates: None,
+            estimator: EstimatorKind::Naive,
+        };
+        let design = extract_design(&table, &config, &instance).unwrap();
+        assert!(design.covariate_names.contains(&"Qualification".to_string()));
+        assert!(design.covariate_names.contains(&"Blind".to_string()));
+        assert!(!design.covariate_names.contains(&"Person".to_string()));
+        assert!(!design.covariate_names.contains(&"Score".to_string()));
+    }
+
+    #[test]
+    fn stratification_column_must_exist() {
+        let instance = Instance::review_example();
+        let config = UniversalBaseline {
+            treatment: "Prestige".into(),
+            outcome: "Score".into(),
+            covariates: Some(vec!["Qualification".into()]),
+            estimator: EstimatorKind::Naive,
+        };
+        assert!(universal_conditional_ate(&instance, &config, "Nope", 2, 1).is_err());
+        let series = universal_conditional_ate(&instance, &config, "Qualification", 2, 1).unwrap();
+        assert_eq!(series.strata.len(), 2);
+    }
+}

@@ -1,0 +1,192 @@
+//! d-separation on grounded causal graphs.
+//!
+//! Theorem 5.2 (the relational adjustment formula) requires an adjustment
+//! set `Z` satisfying a conditional-independence statement on the grounded
+//! graph (Equation 29). The engine uses the theorem's constructive
+//! sufficient choice (the parents of the treated nodes), but this module
+//! provides an independent d-separation verifier used in tests and exposed
+//! publicly for users who want to check their own adjustment sets.
+//!
+//! The implementation is the classical "moralised ancestral graph" method:
+//! `X ⊥⊥ Y | Z` holds in a DAG iff X and Y are disconnected in the
+//! undirected graph obtained by (1) restricting to the ancestral set of
+//! `X ∪ Y ∪ Z`, (2) moralising (connecting co-parents), and (3) deleting `Z`.
+
+use crate::graph::{CausalGraph, NodeId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Test whether `x ⊥⊥ y | z` holds in `graph` under d-separation.
+///
+/// `x` and `y` are disjoint sets of nodes; `z` is the conditioning set.
+/// Nodes appearing in both `x`/`y` and `z` are treated as conditioned.
+pub fn d_separated(graph: &CausalGraph, x: &[NodeId], y: &[NodeId], z: &[NodeId]) -> bool {
+    if x.is_empty() || y.is_empty() {
+        return true;
+    }
+    let z_set: HashSet<NodeId> = z.iter().copied().collect();
+    // X and Y nodes that are conditioned on are vacuously separated through
+    // themselves; remove them from the endpoints.
+    let x_nodes: Vec<NodeId> = x.iter().copied().filter(|n| !z_set.contains(n)).collect();
+    let y_nodes: Vec<NodeId> = y.iter().copied().filter(|n| !z_set.contains(n)).collect();
+    if x_nodes.is_empty() || y_nodes.is_empty() {
+        return true;
+    }
+    if x_nodes.iter().any(|n| y_nodes.contains(n)) {
+        return false;
+    }
+
+    // 1. Ancestral set of X ∪ Y ∪ Z.
+    let mut seeds: Vec<NodeId> = Vec::new();
+    seeds.extend(&x_nodes);
+    seeds.extend(&y_nodes);
+    seeds.extend(z.iter().copied());
+    let ancestral = graph.ancestral_set(&seeds);
+
+    // 2. Moralise: undirected edges between each node and its parents, and
+    //    between co-parents of a common child, restricted to the ancestral set.
+    let mut adjacency: HashMap<NodeId, HashSet<NodeId>> = HashMap::new();
+    let connect = |a: NodeId, b: NodeId, adjacency: &mut HashMap<NodeId, HashSet<NodeId>>| {
+        if a != b {
+            adjacency.entry(a).or_default().insert(b);
+            adjacency.entry(b).or_default().insert(a);
+        }
+    };
+    for &node in &ancestral {
+        let parents: Vec<NodeId> = graph
+            .parents_of(node)
+            .iter()
+            .copied()
+            .filter(|p| ancestral.contains(p))
+            .collect();
+        for &p in &parents {
+            connect(node, p, &mut adjacency);
+        }
+        for i in 0..parents.len() {
+            for j in i + 1..parents.len() {
+                connect(parents[i], parents[j], &mut adjacency);
+            }
+        }
+    }
+
+    // 3. Delete Z and check connectivity from X to Y.
+    let mut visited: HashSet<NodeId> = HashSet::new();
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    for &s in &x_nodes {
+        if ancestral.contains(&s) && !z_set.contains(&s) {
+            visited.insert(s);
+            queue.push_back(s);
+        }
+    }
+    let y_set: HashSet<NodeId> = y_nodes.iter().copied().collect();
+    while let Some(n) = queue.pop_front() {
+        if y_set.contains(&n) {
+            return false;
+        }
+        if let Some(neigh) = adjacency.get(&n) {
+            for &m in neigh {
+                if !z_set.contains(&m) && visited.insert(m) {
+                    queue.push_back(m);
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GroundedAttr;
+
+    /// Chain A → B → C, collider A → D ← C, plus E → A (textbook shapes).
+    fn textbook() -> (CausalGraph, Vec<NodeId>) {
+        let mut g = CausalGraph::new();
+        let ids: Vec<NodeId> = ["A", "B", "C", "D", "E"]
+            .iter()
+            .map(|n| g.add_node(GroundedAttr::single(*n, "u")))
+            .collect();
+        let (a, b, c, d, e) = (ids[0], ids[1], ids[2], ids[3], ids[4]);
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(a, d);
+        g.add_edge(c, d);
+        g.add_edge(e, a);
+        (g, ids)
+    }
+
+    #[test]
+    fn chain_blocked_by_middle_node() {
+        let (g, ids) = textbook();
+        let (a, b, c) = (ids[0], ids[1], ids[2]);
+        // A → B → C: dependent marginally, independent given B.
+        assert!(!d_separated(&g, &[a], &[c], &[]));
+        assert!(d_separated(&g, &[a], &[c], &[b]));
+    }
+
+    #[test]
+    fn collider_opens_when_conditioned() {
+        let (g, ids) = textbook();
+        let (a, _b, c, d, _e) = (ids[0], ids[1], ids[2], ids[3], ids[4]);
+        // A → D ← C: conditioning on the collider D opens the path, but the
+        // A→B→C chain already connects A and C marginally. So remove B by
+        // conditioning and check the collider in isolation.
+        let b = ids[1];
+        assert!(d_separated(&g, &[a], &[c], &[b]));
+        assert!(!d_separated(&g, &[a], &[c], &[b, d]));
+    }
+
+    #[test]
+    fn ancestor_of_endpoint_is_not_a_blocker() {
+        let (g, ids) = textbook();
+        let (a, c, e) = (ids[0], ids[2], ids[4]);
+        // E → A → … conditioning on E does not block A from C.
+        assert!(!d_separated(&g, &[a], &[c], &[e]));
+        // But E is separated from C given A.
+        assert!(d_separated(&g, &[e], &[c], &[a]));
+        assert!(!d_separated(&g, &[e], &[c], &[]));
+    }
+
+    #[test]
+    fn empty_and_overlapping_sets() {
+        let (g, ids) = textbook();
+        assert!(d_separated(&g, &[], &[ids[0]], &[]));
+        assert!(d_separated(&g, &[ids[0]], &[], &[]));
+        // Same node on both sides, not conditioned: dependent.
+        assert!(!d_separated(&g, &[ids[0]], &[ids[0]], &[]));
+        // Conditioned endpoint is vacuously separated.
+        assert!(d_separated(&g, &[ids[0]], &[ids[2]], &[ids[0]]));
+    }
+
+    #[test]
+    fn paper_example_confounding_structure() {
+        // Figure 3 of the paper: Qualification → {Quality, Prestige} → Score.
+        let mut g = CausalGraph::new();
+        let qual = g.add_node(GroundedAttr::single("Qualification", "a"));
+        let quality = g.add_node(GroundedAttr::single("Quality", "s"));
+        let prestige = g.add_node(GroundedAttr::single("Prestige", "a"));
+        let score = g.add_node(GroundedAttr::single("Score", "s"));
+        g.add_edge(qual, quality);
+        g.add_edge(qual, prestige);
+        g.add_edge(quality, score);
+        g.add_edge(prestige, score);
+        // Prestige and Score are dependent (direct edge), obviously.
+        assert!(!d_separated(&g, &[prestige], &[score], &[]));
+        // The back-door path Prestige ← Qualification → Quality → Score is
+        // blocked by conditioning on Qualification: the *parents of the
+        // treated node* are a sufficient adjustment set (Theorem 5.2).
+        // Formally: Score ⊥⊥ Pa(Prestige) | {Prestige, Qualification} holds
+        // trivially; the interesting statement is that Qualification blocks
+        // the back-door, i.e. removing the direct edge Prestige→Score leaves
+        // Prestige ⊥⊥ Score | Qualification.
+        let mut g2 = CausalGraph::new();
+        let qual2 = g2.add_node(GroundedAttr::single("Qualification", "a"));
+        let quality2 = g2.add_node(GroundedAttr::single("Quality", "s"));
+        let prestige2 = g2.add_node(GroundedAttr::single("Prestige", "a"));
+        let score2 = g2.add_node(GroundedAttr::single("Score", "s"));
+        g2.add_edge(qual2, quality2);
+        g2.add_edge(qual2, prestige2);
+        g2.add_edge(quality2, score2);
+        assert!(!d_separated(&g2, &[prestige2], &[score2], &[]));
+        assert!(d_separated(&g2, &[prestige2], &[score2], &[qual2]));
+    }
+}

@@ -1,0 +1,421 @@
+//! The CaRL engine: the end-to-end façade tying together parsing,
+//! validation, grounding, unification, covariate detection, unit-table
+//! construction and estimation.
+//!
+//! ```
+//! use carl::CarlEngine;
+//! use reldb::Instance;
+//!
+//! let engine = CarlEngine::new(
+//!     Instance::review_example(),
+//!     r#"
+//!     Prestige[A]  <= Qualification[A]              WHERE Person(A)
+//!     Quality[S]   <= Qualification[A], Prestige[A] WHERE Author(A, S)
+//!     Score[S]     <= Prestige[A]                   WHERE Author(A, S)
+//!     Score[S]     <= Quality[S]                    WHERE Submission(S)
+//!     AVG_Score[A] <= Score[S]                      WHERE Author(A, S)
+//!     "#,
+//! ).unwrap();
+//! // Three units are too few to estimate anything, but the full pipeline up
+//! // to the unit table of the paper's Table 1 runs end to end:
+//! let prepared = engine.prepare_str("AVG_Score[A] <= Prestige[A]?").unwrap();
+//! assert_eq!(prepared.unit_table.len(), 3);
+//! assert_eq!(prepared.response_attr, "AVG_Score");
+//! ```
+
+use crate::adjust::{covariates, AdjustmentPlan};
+use crate::embed::EmbeddingKind;
+use crate::error::{CarlError, CarlResult};
+use crate::estimate::{CateSeries, EstimatorKind, QueryAnswer};
+use crate::ground::{comparisons_hold, ground, GroundedModel};
+use crate::model::RelationalCausalModel;
+use crate::paths::unify;
+use crate::peers::{compute_peers, PeerMap};
+use crate::query::{
+    conditional_ate, estimate_ate, estimate_peer_effects, CateStratifier,
+};
+use crate::unit_table::{build_unit_table, UnitTable, UnitTableSpec};
+use carl_lang::{parse_program, parse_query, ArgTerm, CausalQuery, PeerCondition, Program};
+use reldb::{evaluate, Instance, UnitKey};
+use std::collections::HashSet;
+
+/// A prepared query: everything computed up to (and including) the unit
+/// table, before estimation. Exposed so that benchmarks can time unit-table
+/// construction separately (Table 2) and so that callers can inspect or
+/// export the unit table.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    /// The unit table `D(Y, ψ_T, Ψ_Z)` of Algorithm 1.
+    pub unit_table: UnitTable,
+    /// Relational peers of every unit.
+    pub peers: PeerMap,
+    /// The adjustment plan (covariates selected by Theorem 5.2).
+    pub adjustment: AdjustmentPlan,
+    /// The treatment attribute name.
+    pub treatment_attr: String,
+    /// The (possibly unified) response attribute name.
+    pub response_attr: String,
+    /// The peer regime of the query, if it is a peer-effects query.
+    pub peer_condition: Option<PeerCondition>,
+}
+
+/// The end-to-end CaRL engine.
+#[derive(Debug, Clone)]
+pub struct CarlEngine {
+    instance: Instance,
+    model: RelationalCausalModel,
+    embedding: EmbeddingKind,
+    estimator: EstimatorKind,
+}
+
+impl CarlEngine {
+    /// Create an engine from an instance and the CaRL source text of the
+    /// relational causal model (rules and aggregate rules; queries appearing
+    /// in the text are validated and kept available via
+    /// [`CarlEngine::program_queries`]).
+    pub fn new(instance: Instance, rules: &str) -> CarlResult<Self> {
+        let program = parse_program(rules)?;
+        Self::with_program(instance, program)
+    }
+
+    /// Create an engine from an already parsed program.
+    pub fn with_program(instance: Instance, program: Program) -> CarlResult<Self> {
+        let model = RelationalCausalModel::new(instance.schema().clone(), program)?;
+        Ok(Self {
+            instance,
+            model,
+            embedding: EmbeddingKind::default(),
+            estimator: EstimatorKind::default(),
+        })
+    }
+
+    /// Replace the embedding strategy (§5.2.2). `Padding(0)` auto-sizes the
+    /// padding width to the maximum peer count at query time.
+    pub fn set_embedding(&mut self, embedding: EmbeddingKind) -> &mut Self {
+        self.embedding = embedding;
+        self
+    }
+
+    /// Replace the estimator used for ATE-style queries.
+    pub fn set_estimator(&mut self, estimator: EstimatorKind) -> &mut Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// The observed instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The validated relational causal model.
+    pub fn model(&self) -> &RelationalCausalModel {
+        &self.model
+    }
+
+    /// The embedding strategy currently in use.
+    pub fn embedding(&self) -> EmbeddingKind {
+        self.embedding
+    }
+
+    /// Queries that were embedded in the model source text, if any.
+    pub fn program_queries(&self) -> &[CausalQuery] {
+        &self.model.program().queries
+    }
+
+    /// Ground the model (without any query-specific synthesis). Useful for
+    /// inspecting the grounded causal graph and for benchmarks.
+    pub fn ground_model(&self) -> CarlResult<GroundedModel> {
+        ground(&self.model, &self.instance)
+    }
+
+    /// Prepare a query given as CaRL text.
+    pub fn prepare_str(&self, query: &str) -> CarlResult<PreparedQuery> {
+        let query = parse_query(query)?;
+        self.prepare(&query)
+    }
+
+    /// Answer a query given as CaRL text.
+    pub fn answer_str(&self, query: &str) -> CarlResult<QueryAnswer> {
+        let query = parse_query(query)?;
+        self.answer(&query)
+    }
+
+    /// Prepare a parsed query: unify, ground, detect covariates and build
+    /// the unit table.
+    pub fn prepare(&self, query: &CausalQuery) -> CarlResult<PreparedQuery> {
+        // 1. Unify treated and response units (§4.3), possibly synthesising
+        //    an aggregate rule that also folds in the query's restriction.
+        let plan = unify(&self.model, query)?;
+
+        // 2. Build the effective model (base + synthesised rule) and ground it.
+        let (model, grounded) = if let Some(rule) = &plan.synthesized {
+            let mut program = self.model.program().clone();
+            program.aggregates.push(rule.clone());
+            let model = RelationalCausalModel::new(self.instance.schema().clone(), program)?;
+            let grounded = ground(&model, &self.instance)?;
+            (model, grounded)
+        } else {
+            let grounded = ground(&self.model, &self.instance)?;
+            (self.model.clone(), grounded)
+        };
+
+        let treatment_attr = query.treatment.attr.clone();
+        let response_attr = plan.response_attr.clone();
+
+        // 3. Units of analysis: groundings of the treatment's subject class.
+        let units = self
+            .instance
+            .skeleton()
+            .units_of(self.instance.schema(), &plan.unit_predicate)
+            .map_err(CarlError::Rel)?;
+
+        // 4. Population restriction from the query's WHERE clause, when it
+        //    binds the treatment variable and was not already folded into the
+        //    synthesised aggregate.
+        let allowed_units = if plan.condition_folded {
+            None
+        } else {
+            self.allowed_units(query)?
+        };
+
+        // 5. Relational peers and covariates.
+        let peers = compute_peers(&grounded, &treatment_attr, &response_attr, &units);
+        let adjustment = covariates(&model, &grounded, &self.instance, &treatment_attr, &units, &peers);
+
+        // 6. Embedding (auto-size padding if requested) and unit table.
+        let embedding = match self.embedding {
+            EmbeddingKind::Padding(0) => {
+                let max_peers = peers.values().map(Vec::len).max().unwrap_or(0).max(1);
+                EmbeddingKind::Padding(max_peers)
+            }
+            other => other,
+        };
+        let unit_table = build_unit_table(&UnitTableSpec {
+            grounded: &grounded,
+            instance: &self.instance,
+            treatment_attr: &treatment_attr,
+            response_attr: &response_attr,
+            units: &units,
+            peers: &peers,
+            adjustment: &adjustment,
+            embedding,
+            allowed_units: allowed_units.as_ref(),
+        })?;
+
+        Ok(PreparedQuery {
+            unit_table,
+            peers,
+            adjustment,
+            treatment_attr,
+            response_attr,
+            peer_condition: query.peers,
+        })
+    }
+
+    /// Answer a parsed query.
+    pub fn answer(&self, query: &CausalQuery) -> CarlResult<QueryAnswer> {
+        let prepared = self.prepare(query)?;
+        self.answer_prepared(&prepared)
+    }
+
+    /// Estimate a previously prepared query (lets callers time estimation
+    /// separately from unit-table construction).
+    pub fn answer_prepared(&self, prepared: &PreparedQuery) -> CarlResult<QueryAnswer> {
+        match &prepared.peer_condition {
+            Some(regime) => {
+                let answer = estimate_peer_effects(
+                    &prepared.unit_table,
+                    regime,
+                    &prepared.peers,
+                    self.estimator,
+                )?;
+                Ok(QueryAnswer::PeerEffects(answer))
+            }
+            None => {
+                let mut answer = estimate_ate(&prepared.unit_table, self.estimator)?;
+                answer.response_attribute = prepared.response_attr.clone();
+                answer.treatment_attribute = prepared.treatment_attr.clone();
+                Ok(QueryAnswer::Ate(answer))
+            }
+        }
+    }
+
+    /// Conditional ATEs for a query (Figures 8 and 10): prepare the query,
+    /// then stratify its unit table.
+    pub fn conditional_ate_str(
+        &self,
+        query: &str,
+        stratifier: &CateStratifier,
+        min_stratum: usize,
+    ) -> CarlResult<CateSeries> {
+        let prepared = self.prepare_str(query)?;
+        conditional_ate(&prepared.unit_table, stratifier, min_stratum)
+    }
+
+    /// Compute the set of treatment units admitted by the query's WHERE
+    /// clause, when it binds the treatment variable. Returns `None` when the
+    /// clause does not restrict the treatment units.
+    fn allowed_units(&self, query: &CausalQuery) -> CarlResult<Option<HashSet<UnitKey>>> {
+        if query.condition.is_trivial() {
+            return Ok(None);
+        }
+        let Some(ArgTerm::Var(tvar)) = query.treatment.args.first() else {
+            return Ok(None);
+        };
+        if !query.condition.variables().contains(tvar) {
+            return Ok(None);
+        }
+        // Ensure the treatment variable is bound even when the WHERE clause
+        // consists only of attribute comparisons (e.g. `Qualification[A] >= 10`)
+        // by adding the implicit subject atom of the treatment attribute.
+        let needs_binding = !query
+            .condition
+            .atoms
+            .iter()
+            .any(|a| a.args.iter().any(|t| t.as_var() == Some(tvar.as_str())));
+        let mut extra_atoms = Vec::new();
+        if needs_binding {
+            extra_atoms.push(self.model.implicit_atom(&query.treatment.attr, &query.treatment.args)?);
+        }
+        let (mut cq, comparisons) = self.model.condition_to_query(&query.condition, None);
+        cq.atoms.extend(extra_atoms);
+        let answers = evaluate(self.instance.schema(), self.instance.skeleton(), &cq)
+            .map_err(CarlError::Rel)?;
+        let mut allowed = HashSet::new();
+        for binding in &answers {
+            if !comparisons_hold(&comparisons, binding, &self.instance) {
+                continue;
+            }
+            if let Some(value) = binding.get(tvar) {
+                allowed.insert(vec![value.clone()]);
+            }
+        }
+        Ok(Some(allowed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reldb::Value;
+
+    const REVIEW_RULES: &str = r#"
+        Prestige[A]  <= Qualification[A]              WHERE Person(A)
+        Quality[S]   <= Qualification[A], Prestige[A] WHERE Author(A, S)
+        Score[S]     <= Prestige[A]                   WHERE Author(A, S)
+        Score[S]     <= Quality[S]                    WHERE Submission(S)
+        AVG_Score[A] <= Score[S]                      WHERE Author(A, S)
+    "#;
+
+    fn engine() -> CarlEngine {
+        CarlEngine::new(Instance::review_example(), REVIEW_RULES).unwrap()
+    }
+
+    #[test]
+    fn prepare_builds_the_paper_unit_table() {
+        let engine = engine();
+        let prepared = engine.prepare_str("AVG_Score[A] <= Prestige[A]?").unwrap();
+        assert_eq!(prepared.unit_table.len(), 3);
+        assert_eq!(prepared.response_attr, "AVG_Score");
+        assert_eq!(prepared.treatment_attr, "Prestige");
+        assert!(prepared.peer_condition.is_none());
+        // Every author has at least one co-author peer in Figure 2.
+        assert!(prepared.peers.values().all(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn cross_unit_query_unifies_to_an_average() {
+        let engine = engine();
+        let prepared = engine.prepare_str("Score[S] <= Prestige[A]?").unwrap();
+        assert!(prepared.response_attr.starts_with("AVG_Score"));
+        assert_eq!(prepared.unit_table.len(), 3);
+    }
+
+    #[test]
+    fn answering_on_three_units_is_too_small_but_structured() {
+        // With only 3 units the regression (1 + covariates) is
+        // under-determined, so the engine reports an estimation error rather
+        // than a bogus number. This also guards the error path.
+        let engine = engine();
+        let err = engine.answer_str("AVG_Score[A] <= Prestige[A]?");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn where_clause_restricts_treated_units() {
+        let engine = engine();
+        let prepared = engine
+            .prepare_str("AVG_Score[A] <= Prestige[A]? WHERE Qualification[A] >= 10")
+            .unwrap();
+        // Bob (50) and Carlos (20) qualify; Eva (2) does not.
+        assert_eq!(prepared.unit_table.len(), 2);
+        let units: Vec<String> = prepared
+            .unit_table
+            .units
+            .iter()
+            .map(|u| u[0].to_string())
+            .collect();
+        assert!(units.contains(&"Bob".to_string()));
+        assert!(units.contains(&"Carlos".to_string()));
+    }
+
+    #[test]
+    fn folded_condition_restricts_base_responses() {
+        let engine = engine();
+        // Restrict to the double-blind conference (ConfAI): only s2 and s3
+        // contribute, so Bob (who only wrote s1) has no outcome and drops out.
+        let prepared = engine
+            .prepare_str("Score[S] <= Prestige[A]? WHERE Submitted(S, C), Blind[C] = true")
+            .unwrap();
+        let units: Vec<String> = prepared
+            .unit_table
+            .units
+            .iter()
+            .map(|u| u[0].to_string())
+            .collect();
+        assert!(!units.contains(&"Bob".to_string()));
+        assert!(units.contains(&"Eva".to_string()));
+        assert!(units.contains(&"Carlos".to_string()));
+        // Eva's restricted average is over s2 and s3 only.
+        let eva_row = prepared
+            .unit_table
+            .units
+            .iter()
+            .position(|u| u == &vec![Value::from("Eva")])
+            .unwrap();
+        let outcome = prepared.unit_table.outcomes()[eva_row];
+        assert!((outcome - (0.4 + 0.1) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn padding_autosize_is_applied() {
+        let mut engine = engine();
+        engine.set_embedding(EmbeddingKind::Padding(0));
+        let prepared = engine.prepare_str("AVG_Score[A] <= Prestige[A]?").unwrap();
+        // Max peer count in Figure 2 is 2 (Eva), so padding width is 2.
+        assert_eq!(prepared.unit_table.embedding, EmbeddingKind::Padding(2));
+    }
+
+    #[test]
+    fn program_queries_are_available() {
+        let engine = CarlEngine::new(
+            Instance::review_example(),
+            &format!("{REVIEW_RULES}\nAVG_Score[A] <= Prestige[A]?"),
+        )
+        .unwrap();
+        assert_eq!(engine.program_queries().len(), 1);
+    }
+
+    #[test]
+    fn ground_model_exposes_the_graph() {
+        let engine = engine();
+        let grounded = engine.ground_model().unwrap();
+        assert_eq!(grounded.graph.nodes_of_attr("Score").len(), 3);
+    }
+
+    #[test]
+    fn invalid_rules_are_rejected_at_construction() {
+        let err = CarlEngine::new(Instance::review_example(), "Score[S] <= Fame[A] WHERE Author(A, S)");
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type for the CaRL engine.
+
+use thiserror::Error;
+
+/// Errors produced while building relational causal models, grounding them,
+/// constructing unit tables, or answering causal queries.
+#[derive(Debug, Error)]
+pub enum CarlError {
+    /// An error bubbled up from the relational substrate.
+    #[error("relational error: {0}")]
+    Rel(#[from] reldb::RelError),
+
+    /// An error bubbled up from the CaRL language front end.
+    #[error("language error: {0}")]
+    Lang(#[from] carl_lang::LangError),
+
+    /// An error bubbled up from the statistics substrate.
+    #[error("estimation error: {0}")]
+    Stats(#[from] carl_stats::StatsError),
+
+    /// The program referenced an attribute that the schema does not declare
+    /// and that no aggregate rule defines.
+    #[error("unknown attribute `{0}` (not in the schema and not defined by an aggregate rule)")]
+    UnknownAttribute(String),
+
+    /// An attribute reference had the wrong number of arguments for the
+    /// predicate it attaches to.
+    #[error("attribute `{attr}` attaches to `{subject}` with arity {expected}, but was written with {actual} argument(s)")]
+    AttributeArity {
+        /// Attribute name.
+        attr: String,
+        /// Subject predicate.
+        subject: String,
+        /// Expected argument count.
+        expected: usize,
+        /// Written argument count.
+        actual: usize,
+    },
+
+    /// A condition referenced an unknown predicate.
+    #[error("unknown predicate `{0}` in WHERE clause")]
+    UnknownPredicate(String),
+
+    /// The treatment attribute is not binary.
+    #[error("treatment attribute `{0}` must be binary (bool-valued); binarise it with a comparison or a derived attribute")]
+    NonBinaryTreatment(String),
+
+    /// Treatment and response are not relationally connected.
+    #[error("treatment `{treatment}` and response `{response}` are not relationally connected by any relational path")]
+    NotRelationallyConnected {
+        /// Treatment attribute name.
+        treatment: String,
+        /// Response attribute name.
+        response: String,
+    },
+
+    /// The grounded causal graph contains a cycle.
+    #[error("the grounded causal graph contains a cycle through `{0}`; the relational causal model must be non-recursive")]
+    CyclicModel(String),
+
+    /// The unit table ended up empty (no units satisfied the query).
+    #[error("the unit table for this query is empty: {0}")]
+    EmptyUnitTable(String),
+
+    /// A query asked about an attribute with no grounded values.
+    #[error("attribute `{0}` has no observed or derived values in this instance")]
+    NoValues(String),
+
+    /// Catch-all invalid-argument error.
+    #[error("invalid query: {0}")]
+    InvalidQuery(String),
+}
+
+/// Result alias for this crate.
+pub type CarlResult<T> = Result<T, CarlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = CarlError::NotRelationallyConnected {
+            treatment: "Prestige".into(),
+            response: "Bill".into(),
+        };
+        assert!(e.to_string().contains("Prestige"));
+        assert!(e.to_string().contains("Bill"));
+    }
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let rel: CarlError = reldb::RelError::UnknownAttribute("X".into()).into();
+        assert!(matches!(rel, CarlError::Rel(_)));
+        let lang: CarlError = carl_lang::LangError::Validation("bad".into()).into();
+        assert!(matches!(lang, CarlError::Lang(_)));
+        let stats: CarlError = carl_stats::StatsError::EmptyArm("treated".into()).into();
+        assert!(matches!(stats, CarlError::Stats(_)));
+    }
+}

@@ -1,0 +1,182 @@
+//! Result types returned by the CaRL query engine.
+//!
+//! Every causal answer also carries the naive (correlational) quantities the
+//! paper contrasts against (Table 3, Figure 7), so experiment harnesses can
+//! print "difference of averages vs ATE" rows directly.
+
+use serde::{Deserialize, Serialize};
+
+/// The adjustment/estimation method used to answer a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum EstimatorKind {
+    /// OLS regression adjustment on the unit table (default).
+    #[default]
+    Regression,
+    /// Nearest-neighbour propensity-score matching.
+    PropensityMatching,
+    /// Propensity-score subclassification.
+    Subclassification,
+    /// Inverse probability weighting.
+    Ipw,
+    /// No adjustment (difference of means) — used for naive contrasts.
+    Naive,
+}
+
+
+/// Answer to an ATE query (13) or an aggregated-response query (14).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AteAnswer {
+    /// The adjusted average treatment effect (Eq 23).
+    pub ate: f64,
+    /// Naive difference of arm means, without adjustment.
+    pub naive_difference: f64,
+    /// Mean outcome of treated units.
+    pub treated_mean: f64,
+    /// Mean outcome of control units.
+    pub control_mean: f64,
+    /// Pearson correlation between treatment and outcome.
+    pub correlation: f64,
+    /// Number of treated units in the unit table.
+    pub n_treated: usize,
+    /// Number of control units in the unit table.
+    pub n_control: usize,
+    /// Number of rows in the unit table.
+    pub n_units: usize,
+    /// The estimator that produced `ate`.
+    pub estimator: EstimatorKind,
+    /// Name of the (possibly unified / aggregated) response attribute that
+    /// the estimate is about.
+    pub response_attribute: String,
+    /// Name of the treatment attribute.
+    pub treatment_attribute: String,
+}
+
+/// Answer to a relational / isolated / overall effects query (15).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PeerEffectAnswer {
+    /// Average isolated effect (Eq 24): own treatment 1 vs 0, peers held at
+    /// the queried regime.
+    pub aie: f64,
+    /// Average relational effect (Eq 25): peers at the queried regime vs no
+    /// peers treated, own treatment held fixed.
+    pub are: f64,
+    /// Average overall effect (Eq 26): both switched together.
+    pub aoe: f64,
+    /// Naive difference of means of the outcome between treated and control
+    /// units (ignoring peers).
+    pub naive_difference: f64,
+    /// Pearson correlation between own treatment and outcome.
+    pub correlation: f64,
+    /// Number of units, and how many of them have at least one relational peer.
+    pub n_units: usize,
+    /// Units with at least one relational peer.
+    pub n_units_with_peers: usize,
+    /// Mean number of relational peers per unit.
+    pub mean_peer_count: f64,
+    /// The estimator used.
+    pub estimator: EstimatorKind,
+    /// The peer-treatment regime of the query, rendered.
+    pub peer_regime: String,
+}
+
+/// A conditional (per-stratum) ATE series, used for Figures 8 and 10.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CateSeries {
+    /// Human-readable label of the stratifying variable.
+    pub stratified_by: String,
+    /// One entry per stratum: (stratum label, conditional ATE, n units).
+    pub strata: Vec<(String, f64, usize)>,
+}
+
+/// A query answer: either an ATE-style answer or a peer-effects answer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum QueryAnswer {
+    /// ATE or aggregated-response query.
+    Ate(AteAnswer),
+    /// Relational/isolated/overall effects query.
+    PeerEffects(PeerEffectAnswer),
+}
+
+impl QueryAnswer {
+    /// The headline causal estimate: ATE for ATE-queries, AOE for
+    /// peer-effect queries.
+    pub fn headline(&self) -> f64 {
+        match self {
+            QueryAnswer::Ate(a) => a.ate,
+            QueryAnswer::PeerEffects(p) => p.aoe,
+        }
+    }
+
+    /// The ATE answer, if this is one.
+    pub fn as_ate(&self) -> Option<&AteAnswer> {
+        match self {
+            QueryAnswer::Ate(a) => Some(a),
+            QueryAnswer::PeerEffects(_) => None,
+        }
+    }
+
+    /// The peer-effects answer, if this is one.
+    pub fn as_peer_effects(&self) -> Option<&PeerEffectAnswer> {
+        match self {
+            QueryAnswer::PeerEffects(p) => Some(p),
+            QueryAnswer::Ate(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ate() -> AteAnswer {
+        AteAnswer {
+            ate: 0.5,
+            naive_difference: 1.2,
+            treated_mean: 2.0,
+            control_mean: 0.8,
+            correlation: 0.4,
+            n_treated: 10,
+            n_control: 12,
+            n_units: 22,
+            estimator: EstimatorKind::Regression,
+            response_attribute: "AVG_Score".into(),
+            treatment_attribute: "Prestige".into(),
+        }
+    }
+
+    #[test]
+    fn headline_and_accessors() {
+        let a = QueryAnswer::Ate(ate());
+        assert_eq!(a.headline(), 0.5);
+        assert!(a.as_ate().is_some());
+        assert!(a.as_peer_effects().is_none());
+
+        let p = QueryAnswer::PeerEffects(PeerEffectAnswer {
+            aie: 1.0,
+            are: 0.5,
+            aoe: 1.5,
+            naive_difference: 2.0,
+            correlation: 0.6,
+            n_units: 100,
+            n_units_with_peers: 80,
+            mean_peer_count: 2.5,
+            estimator: EstimatorKind::Regression,
+            peer_regime: "ALL".into(),
+        });
+        assert_eq!(p.headline(), 1.5);
+        assert!(p.as_peer_effects().is_some());
+    }
+
+    #[test]
+    fn default_estimator_is_regression() {
+        assert_eq!(EstimatorKind::default(), EstimatorKind::Regression);
+    }
+
+    #[test]
+    fn answers_are_cloneable_and_debuggable() {
+        let a = ate();
+        let b = a.clone();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

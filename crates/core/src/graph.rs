@@ -1,0 +1,373 @@
+//! Grounded relational causal graphs (Section 3.2.3).
+//!
+//! The vertices are grounded attributes `A[x]` (attribute name plus a tuple
+//! of entity keys); the edges connect the groundings appearing in the body
+//! of a grounded rule to the grounding in its head. Aggregate rules add
+//! further vertices (e.g. `AVG_Score["Bob"]`) whose value is a deterministic
+//! function of their parents.
+
+use reldb::{UnitKey, Value};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// A grounded attribute `A[x]`: the vertex type of the causal graph.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GroundedAttr {
+    /// Attribute name (e.g. `"Score"` or `"AVG_Score"`).
+    pub attr: String,
+    /// Grounded unit key (e.g. `["s1"]` or `["Bob"]`).
+    pub key: UnitKey,
+}
+
+impl GroundedAttr {
+    /// Construct a grounded attribute.
+    pub fn new(attr: &str, key: UnitKey) -> Self {
+        Self {
+            attr: attr.to_string(),
+            key,
+        }
+    }
+
+    /// Convenience constructor for single-key groundings.
+    pub fn single(attr: &str, key: impl Into<Value>) -> Self {
+        Self::new(attr, vec![key.into()])
+    }
+}
+
+impl fmt::Display for GroundedAttr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let keys: Vec<String> = self.key.iter().map(|v| format!("\"{v}\"")).collect();
+        write!(f, "{}[{}]", self.attr, keys.join(", "))
+    }
+}
+
+/// Identifier of a node inside a [`CausalGraph`].
+pub type NodeId = usize;
+
+/// The grounded relational causal graph `G(Φ_Δ)`.
+#[derive(Debug, Clone, Default)]
+pub struct CausalGraph {
+    nodes: Vec<GroundedAttr>,
+    index: HashMap<GroundedAttr, NodeId>,
+    parents: Vec<Vec<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    by_attr: HashMap<String, Vec<NodeId>>,
+}
+
+impl CausalGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.children.iter().map(Vec::len).sum()
+    }
+
+    /// Add (or retrieve) the node for a grounded attribute.
+    pub fn add_node(&mut self, node: GroundedAttr) -> NodeId {
+        if let Some(&id) = self.index.get(&node) {
+            return id;
+        }
+        let id = self.nodes.len();
+        self.index.insert(node.clone(), id);
+        self.by_attr.entry(node.attr.clone()).or_default().push(id);
+        self.nodes.push(node);
+        self.parents.push(Vec::new());
+        self.children.push(Vec::new());
+        id
+    }
+
+    /// Add an edge `parent → child`, deduplicating repeated insertions.
+    pub fn add_edge(&mut self, parent: NodeId, child: NodeId) {
+        if parent == child {
+            return;
+        }
+        if !self.children[parent].contains(&child) {
+            self.children[parent].push(child);
+            self.parents[child].push(parent);
+        }
+    }
+
+    /// The grounded attribute of a node.
+    pub fn node(&self, id: NodeId) -> &GroundedAttr {
+        &self.nodes[id]
+    }
+
+    /// Look up the node id of a grounded attribute.
+    pub fn node_id(&self, node: &GroundedAttr) -> Option<NodeId> {
+        self.index.get(node).copied()
+    }
+
+    /// Parents of a node.
+    pub fn parents_of(&self, id: NodeId) -> &[NodeId] {
+        &self.parents[id]
+    }
+
+    /// Children of a node.
+    pub fn children_of(&self, id: NodeId) -> &[NodeId] {
+        &self.children[id]
+    }
+
+    /// All node ids whose attribute name is `attr`.
+    pub fn nodes_of_attr(&self, attr: &str) -> &[NodeId] {
+        self.by_attr.get(attr).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Iterate over `(id, node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &GroundedAttr)> {
+        self.nodes.iter().enumerate()
+    }
+
+    /// Topological order (parents before children). Errors with the name of
+    /// an attribute on a cycle if the graph is cyclic.
+    pub fn topological_order(&self) -> Result<Vec<NodeId>, String> {
+        let mut in_degree: Vec<usize> = self.parents.iter().map(Vec::len).collect();
+        let mut queue: VecDeque<NodeId> = in_degree
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(n) = queue.pop_front() {
+            order.push(n);
+            for &c in &self.children[n] {
+                in_degree[c] -= 1;
+                if in_degree[c] == 0 {
+                    queue.push_back(c);
+                }
+            }
+        }
+        if order.len() != self.nodes.len() {
+            let culprit = in_degree
+                .iter()
+                .position(|&d| d > 0)
+                .map(|i| self.nodes[i].attr.clone())
+                .unwrap_or_default();
+            return Err(culprit);
+        }
+        Ok(order)
+    }
+
+    /// Whether the graph is a DAG.
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().is_ok()
+    }
+
+    /// Whether a directed path `from → … → to` exists (including `from == to`).
+    pub fn has_directed_path(&self, from: NodeId, to: NodeId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![from];
+        seen[from] = true;
+        while let Some(n) = stack.pop() {
+            for &c in &self.children[n] {
+                if c == to {
+                    return true;
+                }
+                if !seen[c] {
+                    seen[c] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        false
+    }
+
+    /// All descendants of a node (excluding the node itself).
+    pub fn descendants(&self, from: NodeId) -> HashSet<NodeId> {
+        let mut out = HashSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            for &c in &self.children[n] {
+                if out.insert(c) {
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// All ancestors of a node (excluding the node itself).
+    pub fn ancestors(&self, from: NodeId) -> HashSet<NodeId> {
+        let mut out = HashSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            for &p in &self.parents[n] {
+                if out.insert(p) {
+                    stack.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Ancestors of a *set* of nodes, including the nodes themselves
+    /// (the "ancestral set" used by the d-separation test).
+    pub fn ancestral_set(&self, nodes: &[NodeId]) -> HashSet<NodeId> {
+        let mut out: HashSet<NodeId> = nodes.iter().copied().collect();
+        let mut stack: Vec<NodeId> = nodes.to_vec();
+        while let Some(n) = stack.pop() {
+            for &p in &self.parents[n] {
+                if out.insert(p) {
+                    stack.push(p);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build the grounded graph of the paper's Example 3.6 / Figure 4
+    /// by hand (3 authors, 3 submissions).
+    fn figure_4_graph() -> (CausalGraph, HashMap<String, NodeId>) {
+        let mut g = CausalGraph::new();
+        let mut ids = HashMap::new();
+        let add = |g: &mut CausalGraph, ids: &mut HashMap<String, NodeId>, attr: &str, key: &str| {
+            let id = g.add_node(GroundedAttr::single(attr, key));
+            ids.insert(format!("{attr}:{key}"), id);
+            id
+        };
+        for person in ["Bob", "Carlos", "Eva"] {
+            add(&mut g, &mut ids, "Qualification", person);
+            add(&mut g, &mut ids, "Prestige", person);
+        }
+        for sub in ["s1", "s2", "s3"] {
+            add(&mut g, &mut ids, "Quality", sub);
+            add(&mut g, &mut ids, "Score", sub);
+        }
+        let e = |g: &mut CausalGraph, ids: &HashMap<String, NodeId>, from: &str, to: &str| {
+            g.add_edge(ids[from], ids[to]);
+        };
+        for person in ["Bob", "Carlos", "Eva"] {
+            e(&mut g, &ids, &format!("Qualification:{person}"), &format!("Prestige:{person}"));
+        }
+        // Authorship: s1 {Bob, Eva}, s2 {Eva}, s3 {Carlos, Eva}.
+        let authorship = [("s1", vec!["Bob", "Eva"]), ("s2", vec!["Eva"]), ("s3", vec!["Carlos", "Eva"])];
+        for (sub, authors) in &authorship {
+            for a in authors {
+                e(&mut g, &ids, &format!("Qualification:{a}"), &format!("Quality:{sub}"));
+                e(&mut g, &ids, &format!("Prestige:{a}"), &format!("Score:{sub}"));
+            }
+            e(&mut g, &ids, &format!("Quality:{sub}"), &format!("Score:{sub}"));
+        }
+        (g, ids)
+    }
+
+    #[test]
+    fn figure_4_counts() {
+        let (g, _) = figure_4_graph();
+        // 3 qualifications + 3 prestiges + 3 qualities + 3 scores = 12 nodes.
+        assert_eq!(g.node_count(), 12);
+        // Edges: 3 qual→prestige + 5 qual→quality + 5 prestige→score + 3 quality→score = 16.
+        assert_eq!(g.edge_count(), 16);
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn directed_paths_match_the_example() {
+        let (g, ids) = figure_4_graph();
+        // Eva authored everything: her prestige reaches every score.
+        for sub in ["s1", "s2", "s3"] {
+            assert!(g.has_directed_path(ids["Prestige:Eva"], ids[&format!("Score:{sub}")]));
+        }
+        // Bob only authored s1.
+        assert!(g.has_directed_path(ids["Prestige:Bob"], ids["Score:s1"]));
+        assert!(!g.has_directed_path(ids["Prestige:Bob"], ids["Score:s2"]));
+        assert!(!g.has_directed_path(ids["Prestige:Bob"], ids["Score:s3"]));
+        // Qualification reaches scores through both prestige and quality.
+        assert!(g.has_directed_path(ids["Qualification:Carlos"], ids["Score:s3"]));
+    }
+
+    #[test]
+    fn parents_and_children() {
+        let (g, ids) = figure_4_graph();
+        let score_s1 = ids["Score:s1"];
+        let parents: HashSet<&str> = g
+            .parents_of(score_s1)
+            .iter()
+            .map(|&p| g.node(p).attr.as_str())
+            .collect();
+        assert_eq!(parents, HashSet::from(["Prestige", "Quality"]));
+        assert_eq!(g.parents_of(score_s1).len(), 3);
+        assert!(g.children_of(score_s1).is_empty());
+        assert_eq!(g.nodes_of_attr("Score").len(), 3);
+        assert_eq!(g.nodes_of_attr("Nothing").len(), 0);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let (g, _) = figure_4_graph();
+        let order = g.topological_order().unwrap();
+        let position: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for (id, _) in g.iter() {
+            for &c in g.children_of(id) {
+                assert!(position[&id] < position[&c]);
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let mut g = CausalGraph::new();
+        let a = g.add_node(GroundedAttr::single("A", "x"));
+        let b = g.add_node(GroundedAttr::single("B", "x"));
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        assert!(!g.is_acyclic());
+        let err = g.topological_order().unwrap_err();
+        assert!(err == "A" || err == "B");
+    }
+
+    #[test]
+    fn duplicate_nodes_and_edges_are_merged() {
+        let mut g = CausalGraph::new();
+        let a1 = g.add_node(GroundedAttr::single("A", "x"));
+        let a2 = g.add_node(GroundedAttr::single("A", "x"));
+        assert_eq!(a1, a2);
+        let b = g.add_node(GroundedAttr::single("B", "x"));
+        g.add_edge(a1, b);
+        g.add_edge(a1, b);
+        assert_eq!(g.edge_count(), 1);
+        // Self edges are ignored.
+        g.add_edge(b, b);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn descendants_ancestors_and_ancestral_set() {
+        let (g, ids) = figure_4_graph();
+        let desc = g.descendants(ids["Qualification:Eva"]);
+        assert!(desc.contains(&ids["Prestige:Eva"]));
+        assert!(desc.contains(&ids["Score:s2"]));
+        assert!(!desc.contains(&ids["Qualification:Bob"]));
+
+        let anc = g.ancestors(ids["Score:s2"]);
+        assert!(anc.contains(&ids["Qualification:Eva"]));
+        assert!(anc.contains(&ids["Quality:s2"]));
+        assert!(!anc.contains(&ids["Prestige:Bob"]));
+
+        let aset = g.ancestral_set(&[ids["Score:s2"]]);
+        assert!(aset.contains(&ids["Score:s2"]));
+        assert!(aset.contains(&ids["Qualification:Eva"]));
+    }
+
+    #[test]
+    fn display_of_grounded_attrs() {
+        let a = GroundedAttr::single("Score", "s1");
+        assert_eq!(a.to_string(), "Score[\"s1\"]");
+    }
+}

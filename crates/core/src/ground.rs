@@ -1,0 +1,331 @@
+//! Grounding of relational causal models (Definition 3.5, Section 3.2).
+//!
+//! Each relational causal rule is a template: every answer of its `WHERE`
+//! condition over the relational skeleton produces one grounded rule, whose
+//! head and body groundings become vertices and edges of the grounded
+//! causal graph. Aggregate rules additionally produce *derived values*
+//! (deterministic functions of their parents) such as `AVG_Score["Bob"]`.
+
+use crate::error::{CarlError, CarlResult};
+use crate::graph::{CausalGraph, GroundedAttr};
+use crate::model::{RelationalCausalModel, TypedComparison};
+use carl_lang::{AggName, ArgTerm};
+use reldb::{evaluate, AggFn, Bindings, Instance, UnitKey, Value};
+use std::collections::HashMap;
+
+/// The result of grounding a relational causal model against an instance:
+/// the grounded causal graph plus the derived values of aggregate attributes.
+#[derive(Debug, Clone)]
+pub struct GroundedModel {
+    /// The grounded relational causal graph `G(Φ_Δ)`, extended with
+    /// aggregate vertices.
+    pub graph: CausalGraph,
+    /// Values of aggregate-defined groundings (e.g. `AVG_Score["Bob"]`).
+    pub derived: HashMap<GroundedAttr, f64>,
+}
+
+impl GroundedModel {
+    /// The observed or derived numeric value of a grounded attribute.
+    ///
+    /// Base attributes read from the instance; aggregate attributes read
+    /// from the derived map. Unobserved attributes yield `None`.
+    pub fn value_of(&self, instance: &Instance, node: &GroundedAttr) -> Option<f64> {
+        if let Some(v) = self.derived.get(node) {
+            return Some(*v);
+        }
+        instance.attribute_f64(&node.attr, &node.key)
+    }
+
+    /// The observed value (as a [`Value`]) of a grounded attribute, with
+    /// derived aggregates rendered as floats.
+    pub fn raw_value_of(&self, instance: &Instance, node: &GroundedAttr) -> Option<Value> {
+        if let Some(v) = self.derived.get(node) {
+            return Some(Value::Float(*v));
+        }
+        instance.attribute(&node.attr, &node.key).cloned()
+    }
+}
+
+/// Ground `model` against `instance`, producing the grounded causal graph
+/// and derived aggregate values.
+pub fn ground(model: &RelationalCausalModel, instance: &Instance) -> CarlResult<GroundedModel> {
+    let schema = model.schema();
+    let skeleton = instance.skeleton();
+    let mut graph = CausalGraph::new();
+
+    // 1. Ground the causal rules.
+    for rule in model.rules() {
+        let default_atom = model.implicit_atom(&rule.head.attr, &rule.head.args)?;
+        let (query, comparisons) =
+            model.condition_to_query(&rule.condition, Some(vec![default_atom]));
+        let answers = evaluate(schema, skeleton, &query)?;
+        for binding in &answers {
+            if !comparisons_hold(&comparisons, binding, instance) {
+                continue;
+            }
+            let head_key = substitute(&rule.head.args, binding)?;
+            let head_id = graph.add_node(GroundedAttr::new(&rule.head.attr, head_key));
+            for body in &rule.body {
+                let body_key = substitute(&body.args, binding)?;
+                let body_id = graph.add_node(GroundedAttr::new(&body.attr, body_key));
+                graph.add_edge(body_id, head_id);
+            }
+        }
+    }
+
+    // 2. Ground the aggregate rules (in topological order so that aggregates
+    //    over aggregates, while unusual, are well defined).
+    let mut derived: HashMap<GroundedAttr, f64> = HashMap::new();
+    let order: Vec<&str> = model.topological_order().iter().map(String::as_str).collect();
+    let mut aggregates: Vec<&carl_lang::AggregateRule> = model.aggregates().iter().collect();
+    aggregates.sort_by_key(|a| order.iter().position(|n| *n == a.name).unwrap_or(usize::MAX));
+
+    for agg in aggregates {
+        let default_atom = model.implicit_atom(&agg.source.attr, &agg.source.args)?;
+        let (query, comparisons) =
+            model.condition_to_query(&agg.condition, Some(vec![default_atom]));
+        let answers = evaluate(schema, skeleton, &query)?;
+
+        // Group source groundings by the head key.
+        let mut groups: HashMap<UnitKey, Vec<UnitKey>> = HashMap::new();
+        for binding in &answers {
+            if !comparisons_hold(&comparisons, binding, instance) {
+                continue;
+            }
+            let head_key = substitute(&agg.head_args, binding)?;
+            let source_key = substitute(&agg.source.args, binding)?;
+            let sources = groups.entry(head_key).or_default();
+            if !sources.contains(&source_key) {
+                sources.push(source_key);
+            }
+        }
+
+        let agg_fn = agg_fn_of(agg.agg);
+        for (head_key, source_keys) in groups {
+            let head_node = GroundedAttr::new(&agg.name, head_key);
+            let head_id = graph.add_node(head_node.clone());
+            let mut values = Vec::with_capacity(source_keys.len());
+            for sk in &source_keys {
+                let source_node = GroundedAttr::new(&agg.source.attr, sk.clone());
+                let source_id = graph.add_node(source_node.clone());
+                graph.add_edge(source_id, head_id);
+                if let Some(v) = derived
+                    .get(&source_node)
+                    .copied()
+                    .or_else(|| instance.attribute_f64(&agg.source.attr, sk))
+                {
+                    values.push(v);
+                }
+            }
+            if let Some(v) = agg_fn.apply(&values) {
+                derived.insert(head_node, v);
+            }
+        }
+    }
+
+    if let Err(attr) = graph.topological_order() {
+        return Err(CarlError::CyclicModel(attr));
+    }
+    Ok(GroundedModel { graph, derived })
+}
+
+/// Convert a language aggregate name to the relational substrate's kernel.
+pub fn agg_fn_of(agg: AggName) -> AggFn {
+    match agg {
+        AggName::Avg => AggFn::Avg,
+        AggName::Sum => AggFn::Sum,
+        AggName::Count => AggFn::Count,
+        AggName::Min => AggFn::Min,
+        AggName::Max => AggFn::Max,
+        AggName::Var => AggFn::Var,
+        AggName::Median => AggFn::Median,
+    }
+}
+
+/// Substitute argument terms with the values bound by a query answer.
+pub fn substitute(args: &[ArgTerm], binding: &Bindings) -> CarlResult<UnitKey> {
+    args.iter()
+        .map(|arg| match arg {
+            ArgTerm::Const(c) => Ok(crate::model::literal_to_value(c)),
+            ArgTerm::Var(v) => binding.get(v).cloned().ok_or_else(|| {
+                CarlError::InvalidQuery(format!(
+                    "variable `{v}` is not bound by the rule's WHERE clause"
+                ))
+            }),
+        })
+        .collect()
+}
+
+/// Evaluate attribute comparisons against a binding.
+pub fn comparisons_hold(
+    comparisons: &[TypedComparison],
+    binding: &Bindings,
+    instance: &Instance,
+) -> bool {
+    comparisons.iter().all(|cmp| {
+        let key: Option<UnitKey> = cmp
+            .args
+            .iter()
+            .map(|t| match t {
+                reldb::Term::Const(v) => Some(v.clone()),
+                reldb::Term::Var(v) => binding.get(v).cloned(),
+            })
+            .collect();
+        match key {
+            Some(key) => cmp.holds(instance.attribute(&cmp.attr, &key)),
+            None => false,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carl_lang::parse_program;
+    use reldb::RelationalSchema;
+
+    fn review_model() -> RelationalCausalModel {
+        let schema = RelationalSchema::review_example();
+        let program = parse_program(
+            r#"
+            Prestige[A]  <= Qualification[A]              WHERE Person(A)
+            Quality[S]   <= Qualification[A], Prestige[A] WHERE Author(A, S)
+            Score[S]     <= Prestige[A]                   WHERE Author(A, S)
+            Score[S]     <= Quality[S]                    WHERE Submission(S)
+            AVG_Score[A] <= Score[S]                      WHERE Author(A, S)
+            "#,
+        )
+        .unwrap();
+        RelationalCausalModel::new(schema, program).unwrap()
+    }
+
+    #[test]
+    fn grounding_matches_example_3_6() {
+        let model = review_model();
+        let instance = Instance::review_example();
+        let grounded = ground(&model, &instance).unwrap();
+        let g = &grounded.graph;
+
+        // Figure 4 nodes: 3 Qualification, 3 Prestige, 3 Quality, 3 Score,
+        // plus Figure 5's 3 AVG_Score aggregate nodes.
+        assert_eq!(g.nodes_of_attr("Qualification").len(), 3);
+        assert_eq!(g.nodes_of_attr("Prestige").len(), 3);
+        assert_eq!(g.nodes_of_attr("Quality").len(), 3);
+        assert_eq!(g.nodes_of_attr("Score").len(), 3);
+        assert_eq!(g.nodes_of_attr("AVG_Score").len(), 3);
+        assert_eq!(g.node_count(), 15);
+
+        // Edge count: qual→prestige (3) + qual→quality (5) + prestige→quality (5)
+        // + prestige→score (5) + quality→score (3) + score→avg_score (5) = 26.
+        assert_eq!(g.edge_count(), 26);
+        assert!(g.is_acyclic());
+
+        // Spot-check the grounded rule for Score["s1"] from Example 3.6:
+        // parents are Quality["s1"], Prestige["Bob"], Prestige["Eva"].
+        let score_s1 = g.node_id(&GroundedAttr::single("Score", "s1")).unwrap();
+        let parents: Vec<String> = g
+            .parents_of(score_s1)
+            .iter()
+            .map(|&p| g.node(p).to_string())
+            .collect();
+        assert_eq!(parents.len(), 3);
+        assert!(parents.contains(&"Quality[\"s1\"]".to_string()));
+        assert!(parents.contains(&"Prestige[\"Bob\"]".to_string()));
+        assert!(parents.contains(&"Prestige[\"Eva\"]".to_string()));
+    }
+
+    #[test]
+    fn aggregate_values_match_table_1() {
+        let model = review_model();
+        let instance = Instance::review_example();
+        let grounded = ground(&model, &instance).unwrap();
+        // Table 1 of the paper: AVG_Score Bob = 0.75, Carlos = 0.1,
+        // Eva = mean(0.75, 0.4, 0.1) ≈ 0.4167 (the paper rounds to 0.41).
+        let val = |who: &str| {
+            grounded
+                .value_of(&instance, &GroundedAttr::single("AVG_Score", who))
+                .unwrap()
+        };
+        assert!((val("Bob") - 0.75).abs() < 1e-12);
+        assert!((val("Carlos") - 0.1).abs() < 1e-12);
+        assert!((val("Eva") - (0.75 + 0.4 + 0.1) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unobserved_attributes_have_no_values_but_do_have_nodes() {
+        let model = review_model();
+        let instance = Instance::review_example();
+        let grounded = ground(&model, &instance).unwrap();
+        let quality_s1 = GroundedAttr::single("Quality", "s1");
+        assert!(grounded.graph.node_id(&quality_s1).is_some());
+        assert_eq!(grounded.value_of(&instance, &quality_s1), None);
+        assert_eq!(grounded.raw_value_of(&instance, &quality_s1), None);
+    }
+
+    #[test]
+    fn comparisons_restrict_grounding() {
+        let schema = RelationalSchema::review_example();
+        // Only ground the prestige→score rule at single-blind venues
+        // (Blind = false), i.e. only submission s1 at ConfDB.
+        let program = parse_program(
+            "Score[S] <= Prestige[A] WHERE Author(A, S), Submitted(S, C), Blind[C] = false",
+        )
+        .unwrap();
+        let model = RelationalCausalModel::new(schema, program).unwrap();
+        let instance = Instance::review_example();
+        let grounded = ground(&model, &instance).unwrap();
+        assert_eq!(grounded.graph.nodes_of_attr("Score").len(), 1);
+        let score = grounded.graph.nodes_of_attr("Score")[0];
+        assert_eq!(grounded.graph.node(score).key, vec![Value::from("s1")]);
+        assert_eq!(grounded.graph.parents_of(score).len(), 2);
+    }
+
+    #[test]
+    fn rules_without_where_ground_over_subject_units() {
+        use reldb::DomainType;
+        let mut schema = RelationalSchema::new();
+        schema.add_entity("Patient").unwrap();
+        schema.add_attribute("Severity", "Patient", DomainType::Float, true).unwrap();
+        schema.add_attribute("Bill", "Patient", DomainType::Float, true).unwrap();
+        let mut instance = Instance::new(schema.clone());
+        for i in 0..4 {
+            let key = Value::from(format!("p{i}"));
+            instance.add_entity("Patient", key.clone()).unwrap();
+            instance.set_attribute("Severity", &[key.clone()], Value::Float(i as f64)).unwrap();
+            instance.set_attribute("Bill", &[key], Value::Float(10.0 * i as f64)).unwrap();
+        }
+        let program = parse_program("Bill[P] <= Severity[P]").unwrap();
+        let model = RelationalCausalModel::new(schema, program).unwrap();
+        let grounded = ground(&model, &instance).unwrap();
+        assert_eq!(grounded.graph.nodes_of_attr("Bill").len(), 4);
+        assert_eq!(grounded.graph.edge_count(), 4);
+    }
+
+    #[test]
+    fn aggregate_of_identity_grouping() {
+        let schema = RelationalSchema::review_example();
+        let program = parse_program("AVG_Score[S] <= Score[S]").unwrap();
+        let model = RelationalCausalModel::new(schema, program).unwrap();
+        let instance = Instance::review_example();
+        let grounded = ground(&model, &instance).unwrap();
+        let v = grounded
+            .value_of(&instance, &GroundedAttr::single("AVG_Score", "s2"))
+            .unwrap();
+        assert!((v - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agg_fn_conversion_is_total() {
+        for (name, expected) in [
+            (AggName::Avg, AggFn::Avg),
+            (AggName::Sum, AggFn::Sum),
+            (AggName::Count, AggFn::Count),
+            (AggName::Min, AggFn::Min),
+            (AggName::Max, AggFn::Max),
+            (AggName::Var, AggFn::Var),
+            (AggName::Median, AggFn::Median),
+        ] {
+            assert_eq!(agg_fn_of(name), expected);
+        }
+    }
+}

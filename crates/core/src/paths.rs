@@ -1,0 +1,374 @@
+//! Relational paths and unification of treated and response units (§4.3).
+//!
+//! When the treatment attribute and the response attribute live on different
+//! unit classes (e.g. `Prestige` on authors, `Score` on submissions), CaRL
+//! unifies them by aggregating the response onto the treated units along a
+//! relational path (Equation 21), e.g. synthesising
+//! `AVG_Score[A] <= Score[S] WHERE Author(A, S)`.
+//!
+//! This module finds shortest relational paths in the schema and synthesises
+//! the corresponding aggregate rule. The query's own `WHERE` restriction is
+//! conjoined into the synthesised rule so that population restrictions
+//! (e.g. "single-blind venues only") also restrict which base responses
+//! enter the aggregate.
+
+use crate::error::{CarlError, CarlResult};
+use crate::model::RelationalCausalModel;
+use carl_lang::{AggName, AggregateRule, ArgTerm, CausalQuery, Condition, QueryAtom};
+use reldb::PredicateKind;
+use std::collections::{HashMap, VecDeque};
+
+/// One hop of a relational path: a relationship and the positions used to
+/// enter and leave it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathHop {
+    /// Relationship name.
+    pub relationship: String,
+    /// Position (argument index) of the entity we arrive from.
+    pub from_position: usize,
+    /// Position (argument index) of the entity we continue to.
+    pub to_position: usize,
+}
+
+/// The unification plan for a causal query: which attribute actually serves
+/// as the per-treated-unit response, and the aggregate rule (if any) that
+/// must be added to the model to compute it.
+#[derive(Debug, Clone)]
+pub struct UnificationPlan {
+    /// The attribute used as the outcome of the unit table. Either the
+    /// query's response attribute itself (when treated and response units
+    /// already coincide) or a synthesised aggregate.
+    pub response_attr: String,
+    /// A synthesised aggregate rule to add to the model, if unification was
+    /// needed.
+    pub synthesized: Option<AggregateRule>,
+    /// The entity (or relationship) class whose groundings are the units of
+    /// analysis — always the subject of the treatment attribute.
+    pub unit_predicate: String,
+    /// Whether the query condition was folded into the synthesised rule
+    /// (and therefore must not be re-applied as a row filter on responses).
+    pub condition_folded: bool,
+}
+
+/// Find the shortest relational path between two entity classes in the
+/// schema, as a sequence of hops through relationships.
+///
+/// Returns `None` if the classes are not connected (or are equal).
+pub fn relational_path(
+    schema: &reldb::RelationalSchema,
+    from_entity: &str,
+    to_entity: &str,
+) -> Option<Vec<PathHop>> {
+    if from_entity == to_entity {
+        return Some(Vec::new());
+    }
+    // BFS over entity classes; edges are (relationship, from_pos, to_pos).
+    let mut predecessors: HashMap<String, (String, PathHop)> = HashMap::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(from_entity.to_string());
+    let mut visited = std::collections::HashSet::new();
+    visited.insert(from_entity.to_string());
+    while let Some(current) = queue.pop_front() {
+        for rel in schema.relationships() {
+            for (i, ei) in rel.entities.iter().enumerate() {
+                if ei != &current {
+                    continue;
+                }
+                for (j, ej) in rel.entities.iter().enumerate() {
+                    if i == j || visited.contains(ej) {
+                        continue;
+                    }
+                    visited.insert(ej.clone());
+                    predecessors.insert(
+                        ej.clone(),
+                        (
+                            current.clone(),
+                            PathHop {
+                                relationship: rel.name.clone(),
+                                from_position: i,
+                                to_position: j,
+                            },
+                        ),
+                    );
+                    if ej == to_entity {
+                        // Reconstruct.
+                        let mut hops = Vec::new();
+                        let mut node = to_entity.to_string();
+                        while node != from_entity {
+                            let (prev, hop) = predecessors[&node].clone();
+                            hops.push(hop);
+                            node = prev;
+                        }
+                        hops.reverse();
+                        return Some(hops);
+                    }
+                    queue.push_back(ej.clone());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Compute the unification plan for a query (Section 4.3).
+pub fn unify(model: &RelationalCausalModel, query: &CausalQuery) -> CarlResult<UnificationPlan> {
+    let treatment_subject = model.attribute_subject(&query.treatment.attr)?;
+    let response_subject = model.attribute_subject(&query.response.attr)?;
+
+    // Case 1: treated and response units already coincide.
+    if treatment_subject.predicate == response_subject.predicate {
+        return Ok(UnificationPlan {
+            response_attr: query.response.attr.clone(),
+            synthesized: None,
+            unit_predicate: treatment_subject.predicate,
+            condition_folded: false,
+        });
+    }
+
+    if treatment_subject.kind != PredicateKind::Entity {
+        return Err(CarlError::InvalidQuery(format!(
+            "treatment attribute `{}` attaches to relationship `{}`; unification onto \
+             relationship-class treated units is not supported — aggregate the treatment \
+             onto an entity class first",
+            query.treatment.attr, treatment_subject.predicate
+        )));
+    }
+
+    let treatment_var = fresh_var("U_T");
+    let (atoms, response_var) = match response_subject.kind {
+        // Response lives on another entity class: walk a relational path.
+        PredicateKind::Entity => {
+            let hops = relational_path(
+                model.schema(),
+                &treatment_subject.predicate,
+                &response_subject.predicate,
+            )
+            .filter(|h| !h.is_empty())
+            .ok_or_else(|| CarlError::NotRelationallyConnected {
+                treatment: query.treatment.attr.clone(),
+                response: query.response.attr.clone(),
+            })?;
+            let mut atoms = Vec::new();
+            let mut current_var = treatment_var.clone();
+            for (hop_idx, hop) in hops.iter().enumerate() {
+                let arity = model
+                    .schema()
+                    .predicate_arity(&hop.relationship)
+                    .unwrap_or(2);
+                let next_var = fresh_var(&format!("U_{hop_idx}"));
+                let mut args = Vec::with_capacity(arity);
+                for pos in 0..arity {
+                    if pos == hop.from_position {
+                        args.push(ArgTerm::Var(current_var.clone()));
+                    } else if pos == hop.to_position {
+                        args.push(ArgTerm::Var(next_var.clone()));
+                    } else {
+                        args.push(ArgTerm::Var(fresh_var(&format!("X_{hop_idx}_{pos}"))));
+                    }
+                }
+                atoms.push(QueryAtom {
+                    predicate: hop.relationship.clone(),
+                    args,
+                });
+                current_var = next_var;
+            }
+            (atoms, vec![ArgTerm::Var(current_var)])
+        }
+        // Response lives directly on a relationship that involves the
+        // treatment entity class: aggregate over that relationship.
+        PredicateKind::Relationship => {
+            let rel = model
+                .schema()
+                .relationship(&response_subject.predicate)
+                .expect("subject of a relationship attribute is a relationship");
+            let from_pos = rel
+                .entities
+                .iter()
+                .position(|e| e == &treatment_subject.predicate)
+                .ok_or_else(|| CarlError::NotRelationallyConnected {
+                    treatment: query.treatment.attr.clone(),
+                    response: query.response.attr.clone(),
+                })?;
+            let mut args = Vec::with_capacity(rel.entities.len());
+            for pos in 0..rel.entities.len() {
+                if pos == from_pos {
+                    args.push(ArgTerm::Var(treatment_var.clone()));
+                } else {
+                    args.push(ArgTerm::Var(fresh_var(&format!("X_{pos}"))));
+                }
+            }
+            let response_args = args.clone();
+            let atoms = vec![QueryAtom {
+                predicate: response_subject.predicate.clone(),
+                args,
+            }];
+            (atoms, response_args)
+        }
+    };
+
+    // Fold the query's WHERE restriction into the synthesised rule, renaming
+    // the query's own treatment/response argument variables onto the path's
+    // endpoint variables so the restriction composes correctly.
+    let mut rename: HashMap<String, String> = HashMap::new();
+    if let Some(tv) = query.treatment.args.first().and_then(ArgTerm::as_var) {
+        rename.insert(tv.to_string(), treatment_var.clone());
+    }
+    if let (Some(rv), Some(ArgTerm::Var(pv))) = (
+        query.response.args.first().and_then(ArgTerm::as_var),
+        response_var.first(),
+    ) {
+        rename.insert(rv.to_string(), pv.clone());
+    }
+    let mut condition = Condition {
+        atoms,
+        comparisons: Vec::new(),
+    };
+    let mut condition_folded = false;
+    if !query.condition.is_trivial() {
+        condition_folded = true;
+        for atom in &query.condition.atoms {
+            condition.atoms.push(QueryAtom {
+                predicate: atom.predicate.clone(),
+                args: atom.args.iter().map(|a| rename_arg(a, &rename)).collect(),
+            });
+        }
+        for cmp in &query.condition.comparisons {
+            let mut cmp = cmp.clone();
+            cmp.attr.args = cmp.attr.args.iter().map(|a| rename_arg(a, &rename)).collect();
+            condition.comparisons.push(cmp);
+        }
+    }
+
+    let name = format!("AVG_{}__per_{}", query.response.attr, treatment_subject.predicate);
+    let synthesized = AggregateRule {
+        agg: AggName::Avg,
+        name: name.clone(),
+        head_args: vec![ArgTerm::Var(treatment_var)],
+        source: carl_lang::AttrRef {
+            attr: query.response.attr.clone(),
+            args: response_var,
+        },
+        condition,
+    };
+
+    Ok(UnificationPlan {
+        response_attr: name,
+        synthesized: Some(synthesized),
+        unit_predicate: treatment_subject.predicate,
+        condition_folded,
+    })
+}
+
+fn rename_arg(arg: &ArgTerm, rename: &HashMap<String, String>) -> ArgTerm {
+    match arg {
+        ArgTerm::Var(v) => ArgTerm::Var(rename.get(v).cloned().unwrap_or_else(|| v.clone())),
+        c @ ArgTerm::Const(_) => c.clone(),
+    }
+}
+
+fn fresh_var(stem: &str) -> String {
+    format!("__{stem}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carl_lang::{parse_program, parse_query};
+    use reldb::RelationalSchema;
+
+    fn review_model() -> RelationalCausalModel {
+        let schema = RelationalSchema::review_example();
+        let program = parse_program(
+            r#"
+            Prestige[A]  <= Qualification[A]              WHERE Person(A)
+            Quality[S]   <= Qualification[A], Prestige[A] WHERE Author(A, S)
+            Score[S]     <= Prestige[A]                   WHERE Author(A, S)
+            Score[S]     <= Quality[S]                    WHERE Submission(S)
+            AVG_Score[A] <= Score[S]                      WHERE Author(A, S)
+            "#,
+        )
+        .unwrap();
+        RelationalCausalModel::new(schema, program).unwrap()
+    }
+
+    #[test]
+    fn path_between_person_and_submission() {
+        let schema = RelationalSchema::review_example();
+        let hops = relational_path(&schema, "Person", "Submission").unwrap();
+        assert_eq!(hops.len(), 1);
+        assert_eq!(hops[0].relationship, "Author");
+        // Two-hop path Person → Submission → Conference.
+        let hops = relational_path(&schema, "Person", "Conference").unwrap();
+        assert_eq!(hops.len(), 2);
+        assert_eq!(hops[1].relationship, "Submitted");
+        // Same class: empty path.
+        assert_eq!(relational_path(&schema, "Person", "Person"), Some(Vec::new()));
+    }
+
+    #[test]
+    fn disconnected_classes_have_no_path() {
+        let mut schema = RelationalSchema::new();
+        schema.add_entity("A").unwrap();
+        schema.add_entity("B").unwrap();
+        assert_eq!(relational_path(&schema, "A", "B"), None);
+    }
+
+    #[test]
+    fn same_subject_query_needs_no_unification() {
+        let model = review_model();
+        let q = parse_query("AVG_Score[A] <= Prestige[A]?").unwrap();
+        let plan = unify(&model, &q).unwrap();
+        assert_eq!(plan.response_attr, "AVG_Score");
+        assert!(plan.synthesized.is_none());
+        assert_eq!(plan.unit_predicate, "Person");
+    }
+
+    #[test]
+    fn cross_subject_query_synthesises_an_aggregate() {
+        let model = review_model();
+        let q = parse_query("Score[S] <= Prestige[A]?").unwrap();
+        let plan = unify(&model, &q).unwrap();
+        assert_eq!(plan.unit_predicate, "Person");
+        let rule = plan.synthesized.expect("synthesised rule");
+        assert_eq!(rule.agg, AggName::Avg);
+        assert_eq!(rule.source.attr, "Score");
+        assert_eq!(rule.condition.atoms.len(), 1);
+        assert_eq!(rule.condition.atoms[0].predicate, "Author");
+        assert!(!plan.condition_folded);
+    }
+
+    #[test]
+    fn query_condition_is_folded_into_the_synthesised_rule() {
+        let model = review_model();
+        let q = parse_query(
+            "Score[S] <= Prestige[A]? WHERE Submitted(S, C), Blind[C] = false",
+        )
+        .unwrap();
+        let plan = unify(&model, &q).unwrap();
+        assert!(plan.condition_folded);
+        let rule = plan.synthesized.expect("synthesised rule");
+        // Author(path) + Submitted(folded) atoms, one comparison.
+        assert_eq!(rule.condition.atoms.len(), 2);
+        assert_eq!(rule.condition.comparisons.len(), 1);
+        // The folded Submitted atom must reference the same variable as the
+        // aggregate's source argument (the submission endpoint of the path).
+        let source_var = rule.source.args[0].as_var().unwrap().to_string();
+        let folded = &rule.condition.atoms[1];
+        assert_eq!(folded.predicate, "Submitted");
+        assert_eq!(folded.args[0].as_var().unwrap(), source_var);
+    }
+
+    #[test]
+    fn unconnected_attributes_error() {
+        let mut schema = RelationalSchema::review_example();
+        schema.add_entity("Island").unwrap();
+        schema
+            .add_attribute("Isolation", "Island", reldb::DomainType::Float, true)
+            .unwrap();
+        let program = parse_program("Prestige[A] <= Qualification[A] WHERE Person(A)").unwrap();
+        let model = RelationalCausalModel::new(schema, program).unwrap();
+        let q = parse_query("Isolation[I] <= Prestige[A]?").unwrap();
+        let err = unify(&model, &q).unwrap_err();
+        assert!(matches!(err, CarlError::NotRelationallyConnected { .. }));
+    }
+}

@@ -1,0 +1,183 @@
+//! Relational peers (Definition 4.3).
+//!
+//! After unification the treated and response units coincide. The relational
+//! peers of a unit `x` are the other units `p` whose treatment `T[p]` has a
+//! directed path to `x`'s (possibly aggregated) response `Y[x]` in the
+//! grounded causal graph — exactly the units whose treatment can interfere
+//! with `x`'s outcome (e.g. Bob's co-author Eva in Figure 5).
+
+use crate::graph::GroundedAttr;
+use crate::ground::GroundedModel;
+use reldb::UnitKey;
+use std::collections::HashMap;
+
+/// The peer map: for each unit key, the list of its relational peers.
+pub type PeerMap = HashMap<UnitKey, Vec<UnitKey>>;
+
+/// Compute the relational peers of every unit.
+///
+/// `units` are the (unified) treated/response units; `treatment_attr` and
+/// `response_attr` name the grounded attribute families. A unit `p` is a
+/// peer of `x ≠ p` iff there is a directed path from `T[p]` to `Y[x]`.
+pub fn compute_peers(
+    grounded: &GroundedModel,
+    treatment_attr: &str,
+    response_attr: &str,
+    units: &[UnitKey],
+) -> PeerMap {
+    let graph = &grounded.graph;
+    let mut peers: PeerMap = units.iter().map(|u| (u.clone(), Vec::new())).collect();
+
+    // Map response node id → unit key for quick membership checks.
+    let mut response_unit_of: HashMap<usize, UnitKey> = HashMap::new();
+    for &rid in graph.nodes_of_attr(response_attr) {
+        let key = graph.node(rid).key.clone();
+        if peers.contains_key(&key) {
+            response_unit_of.insert(rid, key);
+        }
+    }
+
+    // For each unit p, walk the descendants of T[p]; any response node
+    // reached belongs to some unit x, and p becomes a peer of x.
+    for p in units {
+        let t_node = GroundedAttr::new(treatment_attr, p.clone());
+        let Some(tid) = graph.node_id(&t_node) else { continue };
+        for descendant in graph.descendants(tid) {
+            if let Some(x) = response_unit_of.get(&descendant) {
+                if x != p {
+                    let entry = peers.get_mut(x).expect("all units pre-inserted");
+                    if !entry.contains(p) {
+                        entry.push(p.clone());
+                    }
+                }
+            }
+        }
+    }
+    // Deterministic order for reproducibility.
+    for list in peers.values_mut() {
+        list.sort();
+    }
+    peers
+}
+
+/// Summary statistics about a peer map (used in answers and reports).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeerStats {
+    /// Number of units considered.
+    pub n_units: usize,
+    /// Units with at least one relational peer.
+    pub n_with_peers: usize,
+    /// Mean number of peers per unit.
+    pub mean_peers: f64,
+    /// Maximum number of peers over all units.
+    pub max_peers: usize,
+}
+
+/// Compute summary statistics of a peer map.
+pub fn peer_stats(peers: &PeerMap) -> PeerStats {
+    let n_units = peers.len();
+    let n_with_peers = peers.values().filter(|p| !p.is_empty()).count();
+    let total: usize = peers.values().map(Vec::len).sum();
+    let max_peers = peers.values().map(Vec::len).max().unwrap_or(0);
+    PeerStats {
+        n_units,
+        n_with_peers,
+        mean_peers: if n_units == 0 { 0.0 } else { total as f64 / n_units as f64 },
+        max_peers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::ground;
+    use crate::model::RelationalCausalModel;
+    use carl_lang::parse_program;
+    use reldb::{Instance, RelationalSchema, Value};
+
+    fn grounded_review() -> (GroundedModel, Instance) {
+        let schema = RelationalSchema::review_example();
+        let program = parse_program(
+            r#"
+            Prestige[A]  <= Qualification[A]              WHERE Person(A)
+            Quality[S]   <= Qualification[A], Prestige[A] WHERE Author(A, S)
+            Score[S]     <= Prestige[A]                   WHERE Author(A, S)
+            Score[S]     <= Quality[S]                    WHERE Submission(S)
+            AVG_Score[A] <= Score[S]                      WHERE Author(A, S)
+            "#,
+        )
+        .unwrap();
+        let model = RelationalCausalModel::new(schema, program).unwrap();
+        let instance = Instance::review_example();
+        let grounded = ground(&model, &instance).unwrap();
+        (grounded, instance)
+    }
+
+    #[test]
+    fn peers_match_the_paper_example() {
+        let (grounded, _) = grounded_review();
+        let units: Vec<UnitKey> = ["Bob", "Carlos", "Eva"]
+            .iter()
+            .map(|p| vec![Value::from(*p)])
+            .collect();
+        let peers = compute_peers(&grounded, "Prestige", "AVG_Score", &units);
+        // Section 4.3: P("Bob") = {"Eva"}, P("Eva") = {"Bob", "Carlos"}.
+        assert_eq!(peers[&vec![Value::from("Bob")]], vec![vec![Value::from("Eva")]]);
+        assert_eq!(
+            peers[&vec![Value::from("Eva")]],
+            vec![vec![Value::from("Bob")], vec![Value::from("Carlos")]]
+        );
+        // Carlos co-authors s3 with Eva, so P("Carlos") = {"Eva"}.
+        assert_eq!(peers[&vec![Value::from("Carlos")]], vec![vec![Value::from("Eva")]]);
+    }
+
+    #[test]
+    fn peer_stats_summary() {
+        let (grounded, _) = grounded_review();
+        let units: Vec<UnitKey> = ["Bob", "Carlos", "Eva"]
+            .iter()
+            .map(|p| vec![Value::from(*p)])
+            .collect();
+        let peers = compute_peers(&grounded, "Prestige", "AVG_Score", &units);
+        let stats = peer_stats(&peers);
+        assert_eq!(stats.n_units, 3);
+        assert_eq!(stats.n_with_peers, 3);
+        assert_eq!(stats.max_peers, 2);
+        assert!((stats.mean_peers - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn units_without_graph_nodes_have_no_peers() {
+        let (grounded, _) = grounded_review();
+        let units: Vec<UnitKey> = vec![vec![Value::from("Ghost")]];
+        let peers = compute_peers(&grounded, "Prestige", "AVG_Score", &units);
+        assert!(peers[&vec![Value::from("Ghost")]].is_empty());
+    }
+
+    #[test]
+    fn no_interference_means_empty_peer_sets() {
+        // Patients in the MIMIC-style model do not interfere: every patient's
+        // peer set is empty (the SUTVA special case, footnote 8).
+        use reldb::DomainType;
+        let mut schema = RelationalSchema::new();
+        schema.add_entity("Patient").unwrap();
+        schema.add_attribute("SelfPay", "Patient", DomainType::Bool, true).unwrap();
+        schema.add_attribute("Death", "Patient", DomainType::Float, true).unwrap();
+        let mut instance = Instance::new(schema.clone());
+        for i in 0..3 {
+            let k = Value::from(format!("p{i}"));
+            instance.add_entity("Patient", k.clone()).unwrap();
+            instance.set_attribute("SelfPay", &[k.clone()], Value::Bool(i % 2 == 0)).unwrap();
+            instance.set_attribute("Death", &[k], Value::Float(0.0)).unwrap();
+        }
+        let program = parse_program("Death[P] <= SelfPay[P]").unwrap();
+        let model = RelationalCausalModel::new(schema, program).unwrap();
+        let grounded = ground(&model, &instance).unwrap();
+        let units: Vec<UnitKey> = (0..3).map(|i| vec![Value::from(format!("p{i}"))]).collect();
+        let peers = compute_peers(&grounded, "SelfPay", "Death", &units);
+        assert!(peers.values().all(Vec::is_empty));
+        let stats = peer_stats(&peers);
+        assert_eq!(stats.n_with_peers, 0);
+        assert_eq!(stats.mean_peers, 0.0);
+    }
+}

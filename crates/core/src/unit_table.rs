@@ -1,0 +1,404 @@
+//! Unit-table construction (Algorithm 1, Section 5.2.1).
+//!
+//! The unit table is the flat relation handed to the classical estimators:
+//! one row per (unified) unit, with columns for the outcome, the unit's own
+//! treatment, the embedded peer treatments, and the embedded own/peer
+//! covariates selected by the adjustment plan.
+
+use crate::adjust::AdjustmentPlan;
+use crate::error::{CarlError, CarlResult};
+use crate::graph::GroundedAttr;
+use crate::ground::GroundedModel;
+use crate::embed::EmbeddingKind;
+use crate::peers::PeerMap;
+use reldb::{Instance, Table, UnitKey, Value};
+use std::collections::HashSet;
+
+/// A unit table together with the metadata the estimators need to interpret
+/// its columns.
+#[derive(Debug, Clone)]
+pub struct UnitTable {
+    /// The flat table: first column is the unit key rendering, then the
+    /// outcome, treatment, peer-treatment embedding and covariates.
+    pub table: Table,
+    /// Unit keys, aligned with table rows.
+    pub units: Vec<UnitKey>,
+    /// Name of the outcome column.
+    pub outcome_col: String,
+    /// Name of the (own) treatment column.
+    pub treatment_col: String,
+    /// Names of the peer-treatment embedding columns (empty when no unit has
+    /// peers).
+    pub peer_treatment_cols: Vec<String>,
+    /// Names of all covariate columns (own + peer embeddings).
+    pub covariate_cols: Vec<String>,
+    /// Number of relational peers per row.
+    pub peer_counts: Vec<usize>,
+    /// The embedding used for peer treatments and covariates.
+    pub embedding: EmbeddingKind,
+}
+
+impl UnitTable {
+    /// Outcome column as floats.
+    pub fn outcomes(&self) -> Vec<f64> {
+        self.table
+            .column_f64(&self.outcome_col)
+            .expect("outcome column exists")
+    }
+
+    /// Treatment column as floats (0/1).
+    pub fn treatments(&self) -> Vec<f64> {
+        self.table
+            .column_f64(&self.treatment_col)
+            .expect("treatment column exists")
+    }
+
+    /// Covariate matrix rows (peer-treatment columns excluded).
+    pub fn covariate_rows(&self) -> Vec<Vec<f64>> {
+        self.matrix_of(&self.covariate_cols)
+    }
+
+    /// Peer-treatment embedding rows.
+    pub fn peer_treatment_rows(&self) -> Vec<Vec<f64>> {
+        self.matrix_of(&self.peer_treatment_cols)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.table.row_count()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn matrix_of(&self, cols: &[String]) -> Vec<Vec<f64>> {
+        let columns: Vec<Vec<f64>> = cols
+            .iter()
+            .map(|c| self.table.column_f64(c).expect("column exists"))
+            .collect();
+        (0..self.len())
+            .map(|i| columns.iter().map(|c| c[i]).collect())
+            .collect()
+    }
+}
+
+/// Inputs to [`build_unit_table`], bundled to keep the signature readable.
+pub struct UnitTableSpec<'a> {
+    /// The grounded model (graph + derived aggregate values).
+    pub grounded: &'a GroundedModel,
+    /// The observed instance.
+    pub instance: &'a Instance,
+    /// Treatment attribute name.
+    pub treatment_attr: &'a str,
+    /// (Unified) response attribute name.
+    pub response_attr: &'a str,
+    /// Units of analysis (unified treated/response units).
+    pub units: &'a [UnitKey],
+    /// Relational peers of each unit.
+    pub peers: &'a PeerMap,
+    /// Covariates selected by Theorem 5.2.
+    pub adjustment: &'a AdjustmentPlan,
+    /// Embedding strategy.
+    pub embedding: EmbeddingKind,
+    /// Optional restriction of the units included (e.g. from a `WHERE`
+    /// clause binding the treatment variable).
+    pub allowed_units: Option<&'a HashSet<UnitKey>>,
+}
+
+/// Algorithm 1: construct the unit table `D(Y, ψ_T, Ψ_Z)`.
+///
+/// Units lacking an observed outcome or an observed binary treatment are
+/// skipped (they cannot contribute to estimation). Returns an error if no
+/// unit survives.
+pub fn build_unit_table(spec: &UnitTableSpec<'_>) -> CarlResult<UnitTable> {
+    let embedding = spec.embedding;
+    let peer_treatment_cols = embedding.column_names("peer_treatment");
+    let own_cov_cols: Vec<(String, Vec<String>)> = spec
+        .adjustment
+        .own_attributes
+        .iter()
+        .map(|a| (a.clone(), embedding.column_names(&format!("own_{a}"))))
+        .collect();
+    let peer_cov_cols: Vec<(String, Vec<String>)> = spec
+        .adjustment
+        .peer_attributes
+        .iter()
+        .map(|a| (a.clone(), embedding.column_names(&format!("peer_{a}"))))
+        .collect();
+
+    // Assemble the full column list.
+    let mut column_names: Vec<String> = vec!["unit".into(), "outcome".into(), "treatment".into()];
+    let any_peers = spec.peers.values().any(|p| !p.is_empty());
+    if any_peers {
+        column_names.extend(peer_treatment_cols.iter().cloned());
+    }
+    for (_, cols) in &own_cov_cols {
+        column_names.extend(cols.iter().cloned());
+    }
+    for (_, cols) in &peer_cov_cols {
+        column_names.extend(cols.iter().cloned());
+    }
+    let mut table = Table::with_columns(&column_names.iter().map(String::as_str).collect::<Vec<_>>());
+
+    let mut units_out = Vec::new();
+    let mut peer_counts = Vec::new();
+    for unit in spec.units {
+        if let Some(allowed) = spec.allowed_units {
+            if !allowed.contains(unit) {
+                continue;
+            }
+        }
+        // Outcome: observed or derived value of the (unified) response.
+        let outcome_node = GroundedAttr::new(spec.response_attr, unit.clone());
+        let Some(outcome) = spec.grounded.value_of(spec.instance, &outcome_node) else {
+            continue;
+        };
+        // Own treatment: must be observed and binary.
+        let Some(treatment_value) = spec.instance.attribute(spec.treatment_attr, unit) else {
+            continue;
+        };
+        let Some(treated) = treatment_value.as_bool() else {
+            return Err(CarlError::NonBinaryTreatment(spec.treatment_attr.to_string()));
+        };
+
+        let unit_peers: &[UnitKey] = spec.peers.get(unit).map(|v| v.as_slice()).unwrap_or(&[]);
+        let peer_treatments: Vec<f64> = unit_peers
+            .iter()
+            .filter_map(|p| {
+                spec.instance
+                    .attribute(spec.treatment_attr, p)
+                    .and_then(Value::as_bool)
+                    .map(|b| if b { 1.0 } else { 0.0 })
+            })
+            .collect();
+
+        let covariates = spec.adjustment.per_unit.get(unit);
+        let mut row: Vec<Value> = vec![
+            Value::Str(render_unit(unit)),
+            Value::Float(outcome),
+            Value::Float(if treated { 1.0 } else { 0.0 }),
+        ];
+        if any_peers {
+            row.extend(embedding.embed(&peer_treatments).into_iter().map(Value::Float));
+        }
+        for (attr, _) in &own_cov_cols {
+            let values = covariates
+                .and_then(|c| c.own.get(attr))
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            row.extend(embedding.embed(values).into_iter().map(Value::Float));
+        }
+        for (attr, _) in &peer_cov_cols {
+            let values = covariates
+                .and_then(|c| c.peer.get(attr))
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            row.extend(embedding.embed(values).into_iter().map(Value::Float));
+        }
+        table.push_row(row)?;
+        units_out.push(unit.clone());
+        peer_counts.push(peer_treatments.len());
+    }
+
+    if units_out.is_empty() {
+        return Err(CarlError::EmptyUnitTable(format!(
+            "no unit has both an observed `{}` treatment and a `{}` outcome",
+            spec.treatment_attr, spec.response_attr
+        )));
+    }
+
+    let mut covariate_cols = Vec::new();
+    for (_, cols) in &own_cov_cols {
+        covariate_cols.extend(cols.iter().cloned());
+    }
+    for (_, cols) in &peer_cov_cols {
+        covariate_cols.extend(cols.iter().cloned());
+    }
+
+    Ok(UnitTable {
+        table,
+        units: units_out,
+        outcome_col: "outcome".into(),
+        treatment_col: "treatment".into(),
+        peer_treatment_cols: if any_peers { peer_treatment_cols } else { Vec::new() },
+        covariate_cols,
+        peer_counts,
+        embedding,
+    })
+}
+
+/// Render a unit key for the `unit` column.
+pub fn render_unit(key: &UnitKey) -> String {
+    key.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjust::covariates;
+    use crate::ground::ground;
+    use crate::model::RelationalCausalModel;
+    use crate::peers::compute_peers;
+    use carl_lang::parse_program;
+    use reldb::{RelationalSchema, Value};
+
+    fn setup() -> (RelationalCausalModel, GroundedModel, Instance) {
+        let schema = RelationalSchema::review_example();
+        let program = parse_program(
+            r#"
+            Prestige[A]  <= Qualification[A]              WHERE Person(A)
+            Quality[S]   <= Qualification[A], Prestige[A] WHERE Author(A, S)
+            Score[S]     <= Prestige[A]                   WHERE Author(A, S)
+            Score[S]     <= Quality[S]                    WHERE Submission(S)
+            AVG_Score[A] <= Score[S]                      WHERE Author(A, S)
+            "#,
+        )
+        .unwrap();
+        let model = RelationalCausalModel::new(schema, program).unwrap();
+        let instance = Instance::review_example();
+        let grounded = ground(&model, &instance).unwrap();
+        (model, grounded, instance)
+    }
+
+    fn paper_unit_table(embedding: EmbeddingKind) -> UnitTable {
+        let (model, grounded, instance) = setup();
+        let units: Vec<UnitKey> = ["Bob", "Carlos", "Eva"]
+            .iter()
+            .map(|p| vec![Value::from(*p)])
+            .collect();
+        let peers = compute_peers(&grounded, "Prestige", "AVG_Score", &units);
+        let adjustment = covariates(&model, &grounded, &instance, "Prestige", &units, &peers);
+        build_unit_table(&UnitTableSpec {
+            grounded: &grounded,
+            instance: &instance,
+            treatment_attr: "Prestige",
+            response_attr: "AVG_Score",
+            units: &units,
+            peers: &peers,
+            adjustment: &adjustment,
+            embedding,
+            allowed_units: None,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn reproduces_table_1_of_the_paper() {
+        let ut = paper_unit_table(EmbeddingKind::Mean);
+        assert_eq!(ut.len(), 3);
+        assert_eq!(ut.table.column_names()[0], "unit");
+
+        let row_of = |who: &str| ut.units.iter().position(|u| u == &vec![Value::from(who)]).unwrap();
+        let outcomes = ut.outcomes();
+        let treatments = ut.treatments();
+        // Outcomes: AVG_Score Bob 0.75, Carlos 0.1, Eva ≈ 0.4167.
+        assert!((outcomes[row_of("Bob")] - 0.75).abs() < 1e-12);
+        assert!((outcomes[row_of("Carlos")] - 0.1).abs() < 1e-12);
+        assert!((outcomes[row_of("Eva")] - (0.75 + 0.4 + 0.1) / 3.0).abs() < 1e-9);
+        // Treatments: Bob 1, Carlos 0, Eva 1 (Figure 2).
+        assert_eq!(treatments[row_of("Bob")], 1.0);
+        assert_eq!(treatments[row_of("Carlos")], 0.0);
+        assert_eq!(treatments[row_of("Eva")], 1.0);
+
+        // Peer-treatment embedding (ψ_T of Table 1): mean prestige of peers
+        // and peer count (the "centrality" column).
+        let peer_rows = ut.peer_treatment_rows();
+        // Bob's peer is Eva (prestige 1): mean 1, count 1.
+        assert_eq!(peer_rows[row_of("Bob")], vec![1.0, 1.0]);
+        // Eva's peers are Bob (1) and Carlos (0): mean 0.5, count 2
+        // (Table 1 reports exactly these values).
+        assert_eq!(peer_rows[row_of("Eva")], vec![0.5, 2.0]);
+
+        // Peer covariates: embedded collaborators' h-index. Eva's peers have
+        // h-indexes {50, 20} → mean 35 (Table 1's last column).
+        let peer_qual_col = ut
+            .covariate_cols
+            .iter()
+            .position(|c| c == "peer_Qualification_mean")
+            .unwrap();
+        let cov_rows = ut.covariate_rows();
+        assert!((cov_rows[row_of("Eva")][peer_qual_col] - 35.0).abs() < 1e-12);
+        assert!((cov_rows[row_of("Bob")][peer_qual_col] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn embeddings_change_dimensionality_but_not_rows() {
+        for embedding in [
+            EmbeddingKind::Mean,
+            EmbeddingKind::Median,
+            EmbeddingKind::Moments(3),
+            EmbeddingKind::Padding(4),
+        ] {
+            let ut = paper_unit_table(embedding);
+            assert_eq!(ut.len(), 3, "{embedding:?}");
+            assert_eq!(ut.peer_treatment_cols.len(), embedding.dim(), "{embedding:?}");
+            assert_eq!(
+                ut.covariate_cols.len(),
+                2 * embedding.dim(),
+                "own + peer qualification embeddings for {embedding:?}"
+            );
+            assert!(!ut.is_empty());
+        }
+    }
+
+    #[test]
+    fn allowed_units_restrict_rows() {
+        let (model, grounded, instance) = setup();
+        let units: Vec<UnitKey> = ["Bob", "Carlos", "Eva"]
+            .iter()
+            .map(|p| vec![Value::from(*p)])
+            .collect();
+        let peers = compute_peers(&grounded, "Prestige", "AVG_Score", &units);
+        let adjustment = covariates(&model, &grounded, &instance, "Prestige", &units, &peers);
+        let allowed: HashSet<UnitKey> = [vec![Value::from("Bob")]].into_iter().collect();
+        let ut = build_unit_table(&UnitTableSpec {
+            grounded: &grounded,
+            instance: &instance,
+            treatment_attr: "Prestige",
+            response_attr: "AVG_Score",
+            units: &units,
+            peers: &peers,
+            adjustment: &adjustment,
+            embedding: EmbeddingKind::Mean,
+            allowed_units: Some(&allowed),
+        })
+        .unwrap();
+        assert_eq!(ut.len(), 1);
+        assert_eq!(ut.units[0], vec![Value::from("Bob")]);
+    }
+
+    #[test]
+    fn empty_unit_table_is_an_error() {
+        let (model, grounded, instance) = setup();
+        let units: Vec<UnitKey> = vec![vec![Value::from("Nobody")]];
+        let peers = compute_peers(&grounded, "Prestige", "AVG_Score", &units);
+        let adjustment = covariates(&model, &grounded, &instance, "Prestige", &units, &peers);
+        let err = build_unit_table(&UnitTableSpec {
+            grounded: &grounded,
+            instance: &instance,
+            treatment_attr: "Prestige",
+            response_attr: "AVG_Score",
+            units: &units,
+            peers: &peers,
+            adjustment: &adjustment,
+            embedding: EmbeddingKind::Mean,
+            allowed_units: None,
+        })
+        .unwrap_err();
+        assert!(matches!(err, CarlError::EmptyUnitTable(_)));
+    }
+
+    #[test]
+    fn render_unit_joins_keys() {
+        assert_eq!(render_unit(&vec![Value::from("Bob")]), "Bob");
+        assert_eq!(
+            render_unit(&vec![Value::from("Bob"), Value::from("s1")]),
+            "Bob|s1"
+        );
+    }
+}

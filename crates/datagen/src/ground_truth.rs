@@ -1,0 +1,76 @@
+//! Ground-truth records attached to generated datasets.
+
+use serde::{Deserialize, Serialize};
+
+/// The causal effects planted by a generator, where they are pinned down by
+/// the generative process. Fields that a dataset does not define are `None`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// True isolated effect of the treatment at single-blind venues
+    /// (review datasets).
+    pub isolated_single_blind: Option<f64>,
+    /// True isolated effect at double-blind venues (review datasets).
+    pub isolated_double_blind: Option<f64>,
+    /// True relational (peer) effect: all peers treated vs none.
+    pub relational: Option<f64>,
+    /// True overall effect at single-blind venues.
+    pub overall_single_blind: Option<f64>,
+    /// True overall effect at double-blind venues.
+    pub overall_double_blind: Option<f64>,
+    /// True ATE of the first healthcare query (e.g. self-pay → mortality).
+    pub ate_primary: Option<f64>,
+    /// True ATE of the second healthcare query (e.g. self-pay → length of stay).
+    pub ate_secondary: Option<f64>,
+    /// Free-text description of what the truths refer to.
+    pub description: String,
+}
+
+impl GroundTruth {
+    /// Ground truth for a review-style dataset with known isolated and
+    /// relational effects.
+    pub fn review(iso_single: f64, iso_double: f64, relational: f64) -> Self {
+        Self {
+            isolated_single_blind: Some(iso_single),
+            isolated_double_blind: Some(iso_double),
+            relational: Some(relational),
+            overall_single_blind: Some(iso_single + relational),
+            overall_double_blind: Some(iso_double + relational),
+            ate_primary: None,
+            ate_secondary: None,
+            description: "isolated effect of own prestige on review score per blinding regime; \
+                          relational effect of collaborators' prestige (ALL vs NONE peers treated)"
+                .to_string(),
+        }
+    }
+
+    /// Ground truth for a healthcare-style dataset with two ATE queries.
+    pub fn healthcare(primary: f64, secondary: f64, description: &str) -> Self {
+        Self {
+            ate_primary: Some(primary),
+            ate_secondary: Some(secondary),
+            description: description.to_string(),
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn review_truth_sums_overall_effects() {
+        let t = GroundTruth::review(1.0, 0.0, 0.5);
+        assert_eq!(t.overall_single_blind, Some(1.5));
+        assert_eq!(t.overall_double_blind, Some(0.5));
+        assert!(t.ate_primary.is_none());
+    }
+
+    #[test]
+    fn healthcare_truth_keeps_both_ates() {
+        let t = GroundTruth::healthcare(0.005, -26.0, "mimic");
+        assert_eq!(t.ate_primary, Some(0.005));
+        assert_eq!(t.ate_secondary, Some(-26.0));
+        assert_eq!(t.description, "mimic");
+    }
+}

@@ -1,0 +1,261 @@
+//! MIMIC-III-like critical-care generator (Table 3, queries (34)).
+//!
+//! The real MIMIC-III database is access-restricted, so this generator
+//! reproduces the causal mechanism the paper reports:
+//!
+//! * self-payers (no insurance) defer admission, so they arrive with higher
+//!   severity — severity confounds insurance status with both mortality and
+//!   length of stay,
+//! * caregivers do not discriminate: the *direct* effect of being a
+//!   self-payer on mortality is ≈ 0 (we plant +0.5 percentage points),
+//! * the direct effect on length of stay is modestly negative (self-payers
+//!   leave earlier, ≈ −26 hours), while the naive comparison is much larger
+//!   (≈ −90 hours) because severe patients die early and leave short stays.
+//!
+//! The generated database keeps MIMIC's multi-table character: Patients,
+//! CareGivers and Drugs as entities, with Care(CareGiver, Patient) and
+//! Given(Drug, Patient) relationships and drug-level dose attributes.
+
+use crate::ground_truth::GroundTruth;
+use crate::Dataset;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use reldb::{DomainType, Instance, RelationalSchema, Value};
+
+/// Configuration of the MIMIC-like generator.
+#[derive(Debug, Clone)]
+pub struct MimicConfig {
+    /// Number of patients (the real MIMIC-III has 38,597 adult patients).
+    pub patients: usize,
+    /// Number of caregivers.
+    pub caregivers: usize,
+    /// Number of distinct drugs.
+    pub drugs: usize,
+    /// Direct (causal) effect of self-pay on 28-day mortality, in
+    /// probability points.
+    pub death_effect: f64,
+    /// Direct (causal) effect of self-pay on length of stay, in hours.
+    pub los_effect: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MimicConfig {
+    /// Full-scale configuration (≈ the real cohort size).
+    pub fn paper_scale(seed: u64) -> Self {
+        Self {
+            patients: 38_000,
+            caregivers: 500,
+            drugs: 200,
+            death_effect: 0.005,
+            los_effect: -26.0,
+            seed,
+        }
+    }
+
+    /// Reduced configuration for tests and the default experiment harness.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            patients: 4_000,
+            caregivers: 80,
+            drugs: 40,
+            ..Self::paper_scale(seed)
+        }
+    }
+}
+
+/// The CaRL model for the MIMIC-like database, mirroring §6.1.
+pub const MIMIC_RULES: &str = r#"
+    SelfPay[P]  <= Ethnicity[P], Sex[P], Severity[P]   WHERE Patient(P)
+    Dose[D, P]  <= Severity[P]                          WHERE Given(D, P)
+    Death[P]    <= Severity[P], SelfPay[P]              WHERE Patient(P)
+    Death[P]    <= Dose[D, P]                            WHERE Given(D, P)
+    Len[P]      <= Severity[P], SelfPay[P]              WHERE Patient(P)
+    Len[P]      <= Dose[D, P]                            WHERE Given(D, P)
+"#;
+
+fn schema() -> RelationalSchema {
+    let mut s = RelationalSchema::new();
+    s.add_entity("Patient").expect("fresh schema");
+    s.add_entity("CareGiver").expect("fresh schema");
+    s.add_entity("Drug").expect("fresh schema");
+    s.add_relationship("Care", &["CareGiver", "Patient"]).expect("entities declared");
+    s.add_relationship("Given", &["Drug", "Patient"]).expect("entities declared");
+    s.add_attribute("Ethnicity", "Patient", DomainType::Float, true).expect("fresh");
+    s.add_attribute("Sex", "Patient", DomainType::Bool, true).expect("fresh");
+    s.add_attribute("Severity", "Patient", DomainType::Float, true).expect("fresh");
+    s.add_attribute("SelfPay", "Patient", DomainType::Bool, true).expect("fresh");
+    s.add_attribute("Death", "Patient", DomainType::Float, true).expect("fresh");
+    s.add_attribute("Len", "Patient", DomainType::Float, true).expect("fresh");
+    s.add_attribute("Dose", "Given", DomainType::Float, true).expect("fresh");
+    s
+}
+
+/// Generate the MIMIC-like dataset.
+pub fn generate_mimic(config: &MimicConfig) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut instance = Instance::new(schema());
+
+    for c in 0..config.caregivers {
+        instance
+            .add_entity("CareGiver", Value::from(format!("cg{c}")))
+            .expect("schema admits CareGiver");
+    }
+    for d in 0..config.drugs {
+        instance
+            .add_entity("Drug", Value::from(format!("drug{d}")))
+            .expect("schema admits Drug");
+    }
+
+    for i in 0..config.patients {
+        let key = Value::from(format!("pt{i}"));
+        instance.add_entity("Patient", key.clone()).expect("schema admits Patient");
+
+        let ethnicity = rng.gen_range(0.0..1.0);
+        let sex = rng.gen_bool(0.5);
+        // Severity at admission: baseline illness burden.
+        let base_severity: f64 = rng.gen_range(0.0..1.0);
+        // Self-pay status: demographics plus a strong dependence on severity
+        // (the uninsured defer admission until the problem is severe).
+        let p_selfpay = 0.04 + 0.05 * ethnicity + 0.16 * base_severity;
+        let selfpay = rng.gen::<f64>() < p_selfpay;
+        // Observed severity at admission: self-payers arrive sicker still.
+        let severity = (base_severity + if selfpay { 0.25 } else { 0.0 } + rng.gen_range(-0.05..0.05))
+            .clamp(0.0, 1.5);
+
+        // Mortality: strongly driven by severity, tiny direct self-pay effect.
+        let p_death = (0.02 + 0.22 * severity + config.death_effect * f64::from(selfpay))
+            .clamp(0.0, 1.0);
+        let death = rng.gen::<f64>() < p_death;
+        // Length of stay (hours): severe patients die early → shorter stays;
+        // milder patients stay for treatment. Direct self-pay effect is the
+        // configured −26 h (leave earlier when paying out of pocket).
+        let los = (260.0 - 180.0 * severity
+            + config.los_effect * f64::from(selfpay)
+            + rng.gen_range(-30.0..30.0))
+        .max(4.0);
+
+        instance.set_attribute("Ethnicity", &[key.clone()], Value::Float(ethnicity)).expect("float");
+        instance.set_attribute("Sex", &[key.clone()], Value::Bool(sex)).expect("bool");
+        instance.set_attribute("Severity", &[key.clone()], Value::Float(severity)).expect("float");
+        instance.set_attribute("SelfPay", &[key.clone()], Value::Bool(selfpay)).expect("bool");
+        instance
+            .set_attribute("Death", &[key.clone()], Value::Float(if death { 1.0 } else { 0.0 }))
+            .expect("float");
+        instance.set_attribute("Len", &[key.clone()], Value::Float(los)).expect("float");
+
+        // Care and prescriptions: one caregiver, one or two drugs with a
+        // severity-driven dose.
+        let cg = rng.gen_range(0..config.caregivers);
+        instance
+            .add_relationship("Care", vec![Value::from(format!("cg{cg}")), key.clone()])
+            .expect("entities exist");
+        let n_drugs = 1 + usize::from(rng.gen_bool(0.4));
+        for _ in 0..n_drugs {
+            let d = rng.gen_range(0..config.drugs);
+            let drug_key = Value::from(format!("drug{d}"));
+            if instance
+                .add_relationship("Given", vec![drug_key.clone(), key.clone()])
+                .is_ok()
+            {
+                let dose = 1.0 + 4.0 * severity + rng.gen_range(-0.5..0.5);
+                instance
+                    .set_attribute("Dose", &[drug_key, key.clone()], Value::Float(dose.max(0.1)))
+                    .expect("float");
+            }
+        }
+    }
+
+    Dataset {
+        name: "MIMIC-like".to_string(),
+        instance,
+        rules: MIMIC_RULES.to_string(),
+        queries: vec![
+            // Query (34a): effect of not having insurance on mortality.
+            "Death[P] <= SelfPay[P]?".to_string(),
+            // Query (34b): effect on length of stay.
+            "Len[P] <= SelfPay[P]?".to_string(),
+        ],
+        ground_truth: GroundTruth::healthcare(
+            config.death_effect,
+            config.los_effect,
+            "direct effect of self-pay on 28-day mortality (probability points) and on \
+             length of stay (hours); severity at admission is the confounder",
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_difference(ds: &Dataset, outcome: &str) -> f64 {
+        let inst = &ds.instance;
+        let mut treated = Vec::new();
+        let mut control = Vec::new();
+        for key in inst.skeleton().entity_keys("Patient") {
+            let y = inst.attribute_f64(outcome, std::slice::from_ref(key)).unwrap();
+            let t = inst
+                .attribute("SelfPay", std::slice::from_ref(key))
+                .and_then(Value::as_bool)
+                .unwrap();
+            if t {
+                treated.push(y);
+            } else {
+                control.push(y);
+            }
+        }
+        treated.iter().sum::<f64>() / treated.len() as f64
+            - control.iter().sum::<f64>() / control.len() as f64
+    }
+
+    #[test]
+    fn naive_contrasts_have_the_papers_shape() {
+        let ds = generate_mimic(&MimicConfig::small(13));
+        // Naive mortality difference is several percentage points although
+        // the true direct effect is ~0.5 pp.
+        let death_diff = naive_difference(&ds, "Death");
+        assert!(death_diff > 0.03, "naive mortality diff {death_diff}");
+        // Naive LOS difference is strongly negative, well beyond the -26 h
+        // direct effect.
+        let los_diff = naive_difference(&ds, "Len");
+        assert!(los_diff < -50.0, "naive LOS diff {los_diff}");
+        assert_eq!(ds.ground_truth.ate_primary, Some(0.005));
+        assert_eq!(ds.ground_truth.ate_secondary, Some(-26.0));
+    }
+
+    #[test]
+    fn database_is_multi_relational_and_valid() {
+        let ds = generate_mimic(&MimicConfig::small(1));
+        assert!(ds.instance.validate().is_ok());
+        assert_eq!(ds.table_count(), 5);
+        let sk = ds.instance.skeleton();
+        assert_eq!(sk.entity_count("Patient"), 4_000);
+        assert!(sk.relationship_count("Given") >= 4_000);
+        assert!(sk.relationship_count("Care") == 4_000);
+        // Relationship attribute (Dose) has assignments.
+        assert!(ds.instance.attribute_count("Dose") > 0);
+    }
+
+    #[test]
+    fn severity_is_higher_among_self_payers() {
+        let ds = generate_mimic(&MimicConfig::small(7));
+        let inst = &ds.instance;
+        let mut sev_t = Vec::new();
+        let mut sev_c = Vec::new();
+        for key in inst.skeleton().entity_keys("Patient") {
+            let s = inst.attribute_f64("Severity", std::slice::from_ref(key)).unwrap();
+            if inst
+                .attribute("SelfPay", std::slice::from_ref(key))
+                .and_then(Value::as_bool)
+                .unwrap()
+            {
+                sev_t.push(s);
+            } else {
+                sev_c.push(s);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&sev_t) > mean(&sev_c) + 0.15);
+    }
+}

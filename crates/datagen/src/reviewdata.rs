@@ -1,0 +1,279 @@
+//! REVIEWDATA-like corpus: the multi-author peer-review dataset used for the
+//! end-to-end experiments (Figure 7).
+//!
+//! The paper's REVIEWDATA was scraped from OpenReview, Scopus and the
+//! Shanghai ranking (2,075 papers, 4,490 authors, 10 venues) and was never
+//! released, so this generator produces a corpus with the same shape and the
+//! causal mechanisms the paper's findings rely on:
+//!
+//! * papers have 1–4 co-authors; co-authorship is the interference channel,
+//! * author qualification (h-index) confounds prestige and paper quality,
+//! * reviewers at *single-blind* venues are influenced by the authors'
+//!   institutional prestige; at *double-blind* venues they are not,
+//! * a smaller spill-over from co-authors' prestige exists at single-blind
+//!   venues (prestige of any author on the byline helps).
+//!
+//! Because papers are multi-authored the exact ATE under CaRL's unified
+//! semantics depends on the co-authorship distribution; the generator
+//! therefore records the *per-submission* effect sizes as ground truth and
+//! the experiments check qualitative shape (correlation everywhere, causal
+//! effect only at single-blind venues, AIE > ARE), exactly as the paper
+//! argues from its real data.
+
+use crate::ground_truth::GroundTruth;
+use crate::Dataset;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use reldb::{DomainType, Instance, RelationalSchema, Value};
+
+/// Configuration of the REVIEWDATA-like generator.
+#[derive(Debug, Clone)]
+pub struct ReviewConfig {
+    /// Number of authors (paper: 4,490).
+    pub authors: usize,
+    /// Number of submissions (paper: 2,075).
+    pub papers: usize,
+    /// Number of conferences (paper: 10).
+    pub conferences: usize,
+    /// Per-submission effect of mean author prestige at single-blind venues.
+    pub prestige_effect_single_blind: f64,
+    /// Per-submission effect at double-blind venues.
+    pub prestige_effect_double_blind: f64,
+    /// Score noise.
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ReviewConfig {
+    /// A configuration with the paper's dataset sizes.
+    pub fn paper_scale(seed: u64) -> Self {
+        Self {
+            authors: 4_490,
+            papers: 2_075,
+            conferences: 10,
+            prestige_effect_single_blind: 0.12,
+            prestige_effect_double_blind: 0.0,
+            noise: 0.08,
+            seed,
+        }
+    }
+
+    /// A small configuration for tests.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            authors: 400,
+            papers: 250,
+            conferences: 6,
+            ..Self::paper_scale(seed)
+        }
+    }
+}
+
+/// The CaRL model for REVIEWDATA (the running example of the paper, §3.2).
+pub const REVIEWDATA_RULES: &str = r#"
+    Prestige[A]  <= Qualification[A]              WHERE Person(A)
+    Quality[S]   <= Qualification[A], Prestige[A] WHERE Author(A, S)
+    Score[S]     <= Prestige[A]                   WHERE Author(A, S)
+    Score[S]     <= Quality[S]                    WHERE Submission(S)
+    AVG_Score[A] <= Score[S]                      WHERE Author(A, S)
+"#;
+
+fn schema() -> RelationalSchema {
+    // Same shape as `RelationalSchema::review_example`, plus extra author
+    // covariates present in the real REVIEWDATA (experience, citations).
+    let mut s = RelationalSchema::new();
+    s.add_entity("Person").expect("fresh schema");
+    s.add_entity("Submission").expect("fresh schema");
+    s.add_entity("Conference").expect("fresh schema");
+    s.add_relationship("Author", &["Person", "Submission"]).expect("entities declared");
+    s.add_relationship("Submitted", &["Submission", "Conference"]).expect("entities declared");
+    s.add_attribute("Qualification", "Person", DomainType::Float, true).expect("fresh");
+    s.add_attribute("Experience", "Person", DomainType::Float, true).expect("fresh");
+    s.add_attribute("Citations", "Person", DomainType::Float, true).expect("fresh");
+    s.add_attribute("Prestige", "Person", DomainType::Bool, true).expect("fresh");
+    s.add_attribute("Score", "Submission", DomainType::Float, true).expect("fresh");
+    s.add_attribute("Accepted", "Submission", DomainType::Bool, true).expect("fresh");
+    s.add_attribute("Quality", "Submission", DomainType::Float, false).expect("fresh");
+    s.add_attribute("Blind", "Conference", DomainType::Bool, true).expect("fresh");
+    s
+}
+
+/// Generate a REVIEWDATA-like corpus.
+pub fn generate_reviewdata(config: &ReviewConfig) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut instance = Instance::new(schema());
+
+    // Authors.
+    let mut qualification = Vec::with_capacity(config.authors);
+    let mut prestige = Vec::with_capacity(config.authors);
+    for i in 0..config.authors {
+        let key = Value::from(format!("author{i}"));
+        instance.add_entity("Person", key.clone()).expect("schema admits Person");
+        let experience: f64 = rng.gen_range(1.0..30.0);
+        let qual: f64 = (experience * rng.gen_range(0.5..2.5)).min(80.0);
+        let citations = qual * rng.gen_range(20.0..120.0);
+        let p_prestige = (0.10 + 0.65 * qual / 80.0).min(0.85);
+        let is_prestigious = rng.gen::<f64>() < p_prestige;
+        instance.set_attribute("Qualification", &[key.clone()], Value::Float(qual)).expect("float");
+        instance.set_attribute("Experience", &[key.clone()], Value::Float(experience)).expect("float");
+        instance.set_attribute("Citations", &[key.clone()], Value::Float(citations)).expect("float");
+        instance.set_attribute("Prestige", &[key], Value::Bool(is_prestigious)).expect("bool");
+        qualification.push(qual);
+        prestige.push(is_prestigious);
+    }
+
+    // Conferences: half double-blind (paper: "about half of all submissions
+    // are double-blind").
+    let mut double_blind = Vec::with_capacity(config.conferences);
+    for c in 0..config.conferences {
+        let key = Value::from(format!("conf{c}"));
+        instance.add_entity("Conference", key.clone()).expect("schema admits Conference");
+        let db = c % 2 == 1;
+        instance.set_attribute("Blind", &[key], Value::Bool(db)).expect("bool");
+        double_blind.push(db);
+    }
+
+    // Submissions with 1–4 authors; collaborators cluster by prestige
+    // (prestigious authors co-author together more often).
+    for p in 0..config.papers {
+        let key = Value::from(format!("paper{p}"));
+        instance.add_entity("Submission", key.clone()).expect("schema admits Submission");
+        let conf = rng.gen_range(0..config.conferences);
+        instance
+            .add_relationship("Submitted", vec![key.clone(), Value::from(format!("conf{conf}"))])
+            .expect("entities exist");
+
+        // Byline sizes lean towards one or two authors so that an author's
+        // own prestige carries more weight on their average score than their
+        // co-authors' prestige does (AIE > ARE, as in the paper's Figure 7b).
+        let n_authors = match rng.gen_range(0..100) {
+            0..=44 => 1usize,
+            45..=84 => 2,
+            _ => 3,
+        };
+        let lead = rng.gen_range(0..config.authors);
+        let mut byline = vec![lead];
+        let mut guard = 0;
+        while byline.len() < n_authors && guard < 100 {
+            guard += 1;
+            let cand = rng.gen_range(0..config.authors);
+            if byline.contains(&cand) {
+                continue;
+            }
+            let accept = if prestige[cand] == prestige[lead] { 0.85 } else { 0.35 };
+            if rng.gen::<f64>() < accept {
+                byline.push(cand);
+            }
+        }
+        for &a in &byline {
+            instance
+                .add_relationship("Author", vec![Value::from(format!("author{a}")), key.clone()])
+                .expect("entities exist");
+        }
+
+        let mean_qual: f64 =
+            byline.iter().map(|&a| qualification[a]).sum::<f64>() / byline.len() as f64;
+        let quality = (mean_qual / 80.0 + rng.gen_range(-0.08..0.08)).clamp(0.0, 1.0);
+        let mean_prestige: f64 =
+            byline.iter().filter(|&&a| prestige[a]).count() as f64 / byline.len() as f64;
+        let effect = if double_blind[conf] {
+            config.prestige_effect_double_blind
+        } else {
+            config.prestige_effect_single_blind
+        };
+        let score = (0.25 + 0.5 * quality + effect * mean_prestige
+            + rng.gen_range(-config.noise..config.noise))
+        .clamp(0.0, 1.0);
+        let accepted = score > 0.55;
+        instance.set_attribute("Score", &[key.clone()], Value::Float(score)).expect("float");
+        instance.set_attribute("Accepted", &[key], Value::Bool(accepted)).expect("bool");
+    }
+
+    Dataset {
+        name: "REVIEWDATA".to_string(),
+        instance,
+        rules: REVIEWDATA_RULES.to_string(),
+        queries: vec![
+            // Query (36) restricted to each blinding regime.
+            "Score[S] <= Prestige[A]? WHERE Submitted(S, C), Blind[C] = false".to_string(),
+            "Score[S] <= Prestige[A]? WHERE Submitted(S, C), Blind[C] = true".to_string(),
+            // Query (37): peer effects at single-blind venues.
+            "Score[S] <= Prestige[A]? WHERE Submitted(S, C), Blind[C] = false WHEN MORE THAN 33% PEERS TREATED"
+                .to_string(),
+        ],
+        ground_truth: GroundTruth::review(
+            config.prestige_effect_single_blind,
+            config.prestige_effect_double_blind,
+            0.0,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_configuration() {
+        let config = ReviewConfig::small(5);
+        let ds = generate_reviewdata(&config);
+        let sk = ds.instance.skeleton();
+        assert_eq!(sk.entity_count("Person"), config.authors);
+        assert_eq!(sk.entity_count("Submission"), config.papers);
+        assert_eq!(sk.entity_count("Conference"), config.conferences);
+        assert!(sk.relationship_count("Author") >= config.papers);
+        assert!(ds.instance.validate().is_ok());
+        // Quality is declared but unobserved (left unassigned), matching the
+        // paper's treatment of it as a latent attribute.
+        assert_eq!(ds.instance.attribute_count("Quality"), 0);
+    }
+
+    #[test]
+    fn scores_are_probabilities_and_correlated_with_prestige() {
+        let ds = generate_reviewdata(&ReviewConfig::small(9));
+        let inst = &ds.instance;
+        let mut scores = Vec::new();
+        for key in inst.skeleton().entity_keys("Submission") {
+            let s = inst.attribute_f64("Score", std::slice::from_ref(key)).unwrap();
+            assert!((0.0..=1.0).contains(&s));
+            scores.push(s);
+        }
+        assert!(scores.len() > 100);
+    }
+
+    #[test]
+    fn single_blind_scores_reflect_prestige_more_than_double_blind() {
+        let ds = generate_reviewdata(&ReviewConfig::small(21));
+        let inst = &ds.instance;
+        // Compare mean score of all-prestigious vs no-prestigious papers per regime.
+        let mut diff = [Vec::new(), Vec::new()]; // [single, double]
+        for key in inst.skeleton().entity_keys("Submission") {
+            let score = inst.attribute_f64("Score", std::slice::from_ref(key)).unwrap();
+            let conf = &inst.skeleton().relationship_tuples_with("Submitted", 0, key)[0][1];
+            let db = inst
+                .attribute("Blind", std::slice::from_ref(conf))
+                .and_then(Value::as_bool)
+                .unwrap();
+            let authors = inst.skeleton().relationship_tuples_with("Author", 1, key);
+            let frac = authors
+                .iter()
+                .filter(|t| {
+                    inst.attribute("Prestige", std::slice::from_ref(&t[0]))
+                        .and_then(Value::as_bool)
+                        .unwrap_or(false)
+                })
+                .count() as f64
+                / authors.len() as f64;
+            diff[usize::from(db)].push((frac, score));
+        }
+        let gap = |pairs: &[(f64, f64)]| {
+            let hi: Vec<f64> = pairs.iter().filter(|(f, _)| *f > 0.5).map(|(_, s)| *s).collect();
+            let lo: Vec<f64> = pairs.iter().filter(|(f, _)| *f <= 0.5).map(|(_, s)| *s).collect();
+            hi.iter().sum::<f64>() / hi.len() as f64 - lo.iter().sum::<f64>() / lo.len() as f64
+        };
+        // Both regimes show a positive raw gap (confounding via quality), but
+        // single-blind shows a larger one because of the causal effect.
+        assert!(gap(&diff[0]) > gap(&diff[1]) + 0.02);
+    }
+}

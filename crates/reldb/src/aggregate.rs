@@ -1,0 +1,199 @@
+//! Aggregate functions and group-by evaluation.
+//!
+//! Aggregated attribute functions (Section 3.2.4) and the embedding
+//! functions of Section 5.2.2 both reduce a *set* of values to a small fixed
+//! summary. This module provides the numeric aggregate kernel shared by
+//! both.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A numeric aggregate function over a multiset of values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFn {
+    /// Number of (non-missing) values.
+    Count,
+    /// Sum of values.
+    Sum,
+    /// Arithmetic mean. Empty input yields `None`.
+    Avg,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Population variance (denominator `n`). Empty input yields `None`.
+    Var,
+    /// Median (lower median for even-length inputs interpolated).
+    Median,
+}
+
+impl AggFn {
+    /// Apply the aggregate to a slice of numeric values.
+    ///
+    /// Returns `None` when the aggregate is undefined on an empty input
+    /// (all except `Count` and `Sum`, which return 0).
+    pub fn apply(&self, values: &[f64]) -> Option<f64> {
+        match self {
+            AggFn::Count => Some(values.len() as f64),
+            AggFn::Sum => Some(values.iter().sum()),
+            AggFn::Avg => {
+                if values.is_empty() {
+                    None
+                } else {
+                    Some(values.iter().sum::<f64>() / values.len() as f64)
+                }
+            }
+            AggFn::Min => values.iter().copied().fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            }),
+            AggFn::Max => values.iter().copied().fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            }),
+            AggFn::Var => {
+                if values.is_empty() {
+                    return None;
+                }
+                let n = values.len() as f64;
+                let mean = values.iter().sum::<f64>() / n;
+                Some(values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n)
+            }
+            AggFn::Median => median(values),
+        }
+    }
+
+    /// Parse an aggregate name as written in CaRL programs (`AVG`, `COUNT`,
+    /// `SUM`, `MIN`, `MAX`, `VAR`, `MEDIAN`), case-insensitively.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFn::Count),
+            "SUM" => Some(AggFn::Sum),
+            "AVG" | "MEAN" => Some(AggFn::Avg),
+            "MIN" => Some(AggFn::Min),
+            "MAX" => Some(AggFn::Max),
+            "VAR" | "VARIANCE" => Some(AggFn::Var),
+            "MEDIAN" => Some(AggFn::Median),
+            _ => None,
+        }
+    }
+
+    /// The canonical upper-case name used in CaRL surface syntax.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFn::Count => "COUNT",
+            AggFn::Sum => "SUM",
+            AggFn::Avg => "AVG",
+            AggFn::Min => "MIN",
+            AggFn::Max => "MAX",
+            AggFn::Var => "VAR",
+            AggFn::Median => "MEDIAN",
+        }
+    }
+}
+
+impl std::fmt::Display for AggFn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Median with linear interpolation for even-length inputs.
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        Some(sorted[n / 2])
+    } else {
+        Some((sorted[n / 2 - 1] + sorted[n / 2]) / 2.0)
+    }
+}
+
+/// Group `rows` of `(key, value)` pairs by key and aggregate each group.
+///
+/// Returns a map from group key to the aggregated value; groups on which the
+/// aggregate is undefined (e.g. `Avg` of an empty group) are omitted.
+pub fn group_by<K>(rows: impl IntoIterator<Item = (K, f64)>, agg: AggFn) -> HashMap<K, f64>
+where
+    K: std::hash::Hash + Eq,
+{
+    let mut groups: HashMap<K, Vec<f64>> = HashMap::new();
+    for (k, v) in rows {
+        groups.entry(k).or_default().push(v);
+    }
+    groups
+        .into_iter()
+        .filter_map(|(k, vs)| agg.apply(&vs).map(|a| (k, a)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_aggregates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(AggFn::Count.apply(&xs), Some(4.0));
+        assert_eq!(AggFn::Sum.apply(&xs), Some(10.0));
+        assert_eq!(AggFn::Avg.apply(&xs), Some(2.5));
+        assert_eq!(AggFn::Min.apply(&xs), Some(1.0));
+        assert_eq!(AggFn::Max.apply(&xs), Some(4.0));
+        assert_eq!(AggFn::Var.apply(&xs), Some(1.25));
+        assert_eq!(AggFn::Median.apply(&xs), Some(2.5));
+    }
+
+    #[test]
+    fn empty_input_behaviour() {
+        assert_eq!(AggFn::Count.apply(&[]), Some(0.0));
+        assert_eq!(AggFn::Sum.apply(&[]), Some(0.0));
+        assert_eq!(AggFn::Avg.apply(&[]), None);
+        assert_eq!(AggFn::Min.apply(&[]), None);
+        assert_eq!(AggFn::Max.apply(&[]), None);
+        assert_eq!(AggFn::Var.apply(&[]), None);
+        assert_eq!(AggFn::Median.apply(&[]), None);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[5.0]), Some(5.0));
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for agg in [
+            AggFn::Count,
+            AggFn::Sum,
+            AggFn::Avg,
+            AggFn::Min,
+            AggFn::Max,
+            AggFn::Var,
+            AggFn::Median,
+        ] {
+            assert_eq!(AggFn::parse(agg.name()), Some(agg));
+            assert_eq!(AggFn::parse(&agg.name().to_lowercase()), Some(agg));
+        }
+        assert_eq!(AggFn::parse("MEAN"), Some(AggFn::Avg));
+        assert_eq!(AggFn::parse("nope"), None);
+    }
+
+    #[test]
+    fn group_by_aggregates_per_key() {
+        let rows = vec![("a", 1.0), ("a", 3.0), ("b", 10.0)];
+        let avg = group_by(rows.clone(), AggFn::Avg);
+        assert_eq!(avg["a"], 2.0);
+        assert_eq!(avg["b"], 10.0);
+        let count = group_by(rows, AggFn::Count);
+        assert_eq!(count["a"], 2.0);
+        assert_eq!(count["b"], 1.0);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(AggFn::Var.apply(&[2.0, 2.0, 2.0]), Some(0.0));
+    }
+}

@@ -1,0 +1,178 @@
+//! Minimal CSV import/export for [`Table`]s.
+//!
+//! Only what the experiment harness needs: comma separation, double-quote
+//! escaping, header row, type sniffing on import via
+//! [`crate::value::parse_cell`]. Not a general-purpose CSV library.
+
+use crate::error::{RelError, RelResult};
+use crate::table::Table;
+use crate::value::{parse_cell, Value};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Serialise a table as CSV with a header row.
+pub fn write_csv<W: Write>(table: &Table, out: &mut W) -> RelResult<()> {
+    let header: Vec<String> = table
+        .column_names()
+        .iter()
+        .map(|n| escape_cell(n))
+        .collect();
+    writeln!(out, "{}", header.join(","))?;
+    for row in table.iter_rows() {
+        let cells: Vec<String> = row.iter().map(|v| escape_value(v)).collect();
+        writeln!(out, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+/// Serialise a table to a CSV string.
+pub fn to_csv_string(table: &Table) -> RelResult<String> {
+    let mut buf = Vec::new();
+    write_csv(table, &mut buf)?;
+    Ok(String::from_utf8(buf).expect("csv output is utf-8"))
+}
+
+/// Parse a CSV document (with header) into a table, sniffing cell types.
+pub fn read_csv<R: Read>(input: R) -> RelResult<Table> {
+    let reader = BufReader::new(input);
+    let mut lines = reader.lines();
+    let header_line = match lines.next() {
+        Some(l) => l?,
+        None => return Ok(Table::default()),
+    };
+    let header = split_line(&header_line, 1)?;
+    let mut table = Table::with_columns(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells = split_line(&line, i + 2)?;
+        if cells.len() != header.len() {
+            return Err(RelError::Csv {
+                line: i + 2,
+                message: format!("expected {} cells, found {}", header.len(), cells.len()),
+            });
+        }
+        table.push_row(cells.iter().map(|c| parse_cell(c)).collect())?;
+    }
+    Ok(table)
+}
+
+/// Parse a CSV string into a table.
+pub fn from_csv_string(s: &str) -> RelResult<Table> {
+    read_csv(s.as_bytes())
+}
+
+fn escape_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => escape_cell(s),
+        Value::Null => String::new(),
+        other => other.to_string(),
+    }
+}
+
+fn escape_cell(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Split a CSV line honouring double-quote escaping.
+fn split_line(line: &str, line_no: usize) -> RelResult<Vec<String>> {
+    let mut cells = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    current.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if current.is_empty() => in_quotes = true,
+            '"' => {
+                return Err(RelError::Csv {
+                    line: line_no,
+                    message: "unexpected quote in unquoted cell".to_string(),
+                })
+            }
+            ',' if !in_quotes => {
+                cells.push(std::mem::take(&mut current));
+            }
+            c => current.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(RelError::Csv {
+            line: line_no,
+            message: "unterminated quoted cell".to_string(),
+        });
+    }
+    cells.push(current);
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::with_columns(&["name", "score", "treated"]);
+        t.push_row(vec![Value::from("Bob"), Value::from(0.75), Value::Bool(true)]).unwrap();
+        t.push_row(vec![Value::from("O'Hara, Ann"), Value::from(0.5), Value::Bool(false)]).unwrap();
+        t.push_row(vec![Value::from("Quote\"y"), Value::Null, Value::Bool(true)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_shape_and_values() {
+        let t = sample();
+        let csv = to_csv_string(&t).unwrap();
+        let back = from_csv_string(&csv).unwrap();
+        assert_eq!(back.row_count(), 3);
+        assert_eq!(back.column_names(), vec!["name", "score", "treated"]);
+        assert_eq!(back.cell(1, "name").unwrap(), &Value::from("O'Hara, Ann"));
+        assert_eq!(back.cell(2, "name").unwrap(), &Value::from("Quote\"y"));
+        assert!(back.cell(2, "score").unwrap().is_null());
+        assert_eq!(back.cell(0, "treated").unwrap(), &Value::Bool(true));
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let err = from_csv_string("a,b\n1,2\n3\n").unwrap_err();
+        assert!(matches!(err, RelError::Csv { line: 3, .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_is_rejected() {
+        let err = from_csv_string("a\n\"oops\n").unwrap_err();
+        assert!(matches!(err, RelError::Csv { .. }));
+    }
+
+    #[test]
+    fn empty_document_gives_empty_table() {
+        let t = from_csv_string("").unwrap();
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(t.column_count(), 0);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let t = from_csv_string("a,b\n1,2\n\n3,4\n").unwrap();
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn type_sniffing_on_import() {
+        let t = from_csv_string("x,y,z\n1,1.5,hello\n").unwrap();
+        assert_eq!(t.cell(0, "x").unwrap(), &Value::Int(1));
+        assert_eq!(t.cell(0, "y").unwrap(), &Value::Float(1.5));
+        assert_eq!(t.cell(0, "z").unwrap(), &Value::from("hello"));
+    }
+}

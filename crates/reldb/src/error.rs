@@ -1,0 +1,132 @@
+//! Error types for the relational substrate.
+
+use thiserror::Error;
+
+/// Errors produced by schema construction, instance population, query
+/// evaluation and table manipulation.
+#[derive(Debug, Error, Clone, PartialEq)]
+pub enum RelError {
+    /// A predicate (entity or relationship) with this name already exists.
+    #[error("predicate `{0}` is already defined")]
+    DuplicatePredicate(String),
+
+    /// An attribute with this name already exists.
+    #[error("attribute `{0}` is already defined")]
+    DuplicateAttribute(String),
+
+    /// Reference to an entity or relationship that is not in the schema.
+    #[error("unknown predicate `{0}`")]
+    UnknownPredicate(String),
+
+    /// Reference to an attribute function that is not in the schema.
+    #[error("unknown attribute `{0}`")]
+    UnknownAttribute(String),
+
+    /// A relationship was declared over an entity that does not exist.
+    #[error("relationship `{rel}` references unknown entity `{entity}`")]
+    UnknownEntityInRelationship {
+        /// The offending relationship name.
+        rel: String,
+        /// The missing entity name.
+        entity: String,
+    },
+
+    /// A tuple had the wrong number of components for its predicate.
+    #[error("predicate `{predicate}` expects arity {expected}, got {actual}")]
+    ArityMismatch {
+        /// Predicate name.
+        predicate: String,
+        /// Declared arity.
+        expected: usize,
+        /// Supplied arity.
+        actual: usize,
+    },
+
+    /// A relationship tuple referenced an entity key that has not been added.
+    #[error("relationship `{rel}` references missing `{entity}` key `{key}`")]
+    DanglingReference {
+        /// Relationship name.
+        rel: String,
+        /// Entity class of the missing key.
+        entity: String,
+        /// The missing key, rendered.
+        key: String,
+    },
+
+    /// A value did not match the declared domain of an attribute.
+    #[error("value `{value}` is not valid for attribute `{attribute}` with domain {domain}")]
+    DomainMismatch {
+        /// Attribute name.
+        attribute: String,
+        /// Declared domain.
+        domain: String,
+        /// The offending value, rendered.
+        value: String,
+    },
+
+    /// Query referenced an undefined variable or was otherwise malformed.
+    #[error("malformed query: {0}")]
+    MalformedQuery(String),
+
+    /// A table operation referenced a column that does not exist.
+    #[error("unknown column `{0}`")]
+    UnknownColumn(String),
+
+    /// Column length mismatch when assembling a table.
+    #[error("column `{column}` has {actual} rows, expected {expected}")]
+    ColumnLengthMismatch {
+        /// Column name.
+        column: String,
+        /// Expected number of rows.
+        expected: usize,
+        /// Actual number of rows.
+        actual: usize,
+    },
+
+    /// CSV parse error.
+    #[error("csv error at line {line}: {message}")]
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+
+    /// I/O error wrapper (CSV import/export).
+    #[error("io error: {0}")]
+    Io(String),
+}
+
+/// Convenient result alias used throughout the crate.
+pub type RelResult<T> = Result<T, RelError>;
+
+impl From<std::io::Error> for RelError {
+    fn from(e: std::io::Error) -> Self {
+        RelError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RelError::ArityMismatch {
+            predicate: "Author".into(),
+            expected: 2,
+            actual: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("Author"));
+        assert!(msg.contains('2'));
+        assert!(msg.contains('3'));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: RelError = io.into();
+        assert!(matches!(e, RelError::Io(_)));
+    }
+}

@@ -1,0 +1,301 @@
+//! Conjunctive-query evaluation over relational skeletons.
+//!
+//! The evaluator computes the set of substitutions (variable bindings) that
+//! satisfy a [`ConjunctiveQuery`] in a [`Skeleton`]. It is used to ground
+//! relational causal rules (Definition 3.5): for a rule with condition
+//! `Q(Y)`, every answer of `Q` over the skeleton yields one grounded rule.
+//!
+//! The algorithm is index-accelerated sideways information passing: atoms
+//! are evaluated one at a time, most-selective-first, and each partial
+//! binding is extended using the skeleton's positional hash indexes.
+
+use crate::error::{RelError, RelResult};
+use crate::query::{Atom, ConjunctiveQuery, Term};
+use crate::schema::{PredicateKind, RelationalSchema};
+use crate::skeleton::Skeleton;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A substitution binding variable names to values.
+pub type Bindings = HashMap<String, Value>;
+
+/// Evaluate `query` over `skeleton`, returning all satisfying substitutions.
+///
+/// The result binds exactly the variables appearing in the query. An empty
+/// query returns a single empty binding (the query `true`).
+pub fn evaluate(
+    schema: &RelationalSchema,
+    skeleton: &Skeleton,
+    query: &ConjunctiveQuery,
+) -> RelResult<Vec<Bindings>> {
+    // Validate predicates and arities up front for better error messages.
+    for atom in &query.atoms {
+        let arity = schema
+            .predicate_arity(&atom.predicate)
+            .ok_or_else(|| RelError::UnknownPredicate(atom.predicate.clone()))?;
+        if atom.terms.len() != arity {
+            return Err(RelError::ArityMismatch {
+                predicate: atom.predicate.clone(),
+                expected: arity,
+                actual: atom.terms.len(),
+            });
+        }
+    }
+
+    // Order atoms by estimated cardinality (cheapest first) so that the
+    // intermediate result stays small; constants make an atom cheaper.
+    let mut atoms: Vec<&Atom> = query.atoms.iter().collect();
+    atoms.sort_by_key(|a| {
+        let base = match schema.predicate_kind(&a.predicate) {
+            Some(PredicateKind::Entity) => skeleton.entity_count(&a.predicate),
+            Some(PredicateKind::Relationship) => skeleton.relationship_count(&a.predicate),
+            None => usize::MAX,
+        };
+        let constants = a.terms.iter().filter(|t| matches!(t, Term::Const(_))).count();
+        // Heavily discount atoms with constants: they are typically selective.
+        base / (1 + constants * 8)
+    });
+
+    let mut partials: Vec<Bindings> = vec![Bindings::new()];
+    for atom in atoms {
+        let mut next: Vec<Bindings> = Vec::new();
+        for binding in &partials {
+            extend_with_atom(schema, skeleton, atom, binding, &mut next);
+        }
+        partials = next;
+        if partials.is_empty() {
+            break;
+        }
+    }
+    Ok(partials)
+}
+
+/// Evaluate the query and project the answers onto `vars` (in order),
+/// deduplicating projected rows.
+pub fn evaluate_project(
+    schema: &RelationalSchema,
+    skeleton: &Skeleton,
+    query: &ConjunctiveQuery,
+    vars: &[String],
+) -> RelResult<Vec<Vec<Value>>> {
+    let answers = evaluate(schema, skeleton, query)?;
+    let mut seen = std::collections::HashSet::new();
+    let mut rows = Vec::new();
+    for b in answers {
+        let mut row = Vec::with_capacity(vars.len());
+        let mut ok = true;
+        for v in vars {
+            match b.get(v) {
+                Some(val) => row.push(val.clone()),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            return Err(RelError::MalformedQuery(format!(
+                "projection variable not bound by query: {vars:?}"
+            )));
+        }
+        let key: Vec<String> = row.iter().map(Value::key_repr).collect();
+        if seen.insert(key) {
+            rows.push(row);
+        }
+    }
+    Ok(rows)
+}
+
+/// Extend a single partial binding with all matches of `atom`.
+fn extend_with_atom(
+    schema: &RelationalSchema,
+    skeleton: &Skeleton,
+    atom: &Atom,
+    binding: &Bindings,
+    out: &mut Vec<Bindings>,
+) {
+    match schema.predicate_kind(&atom.predicate) {
+        Some(PredicateKind::Entity) => {
+            let term = &atom.terms[0];
+            match resolved(term, binding) {
+                Some(v) => {
+                    if skeleton.has_entity(&atom.predicate, &v) {
+                        out.push(binding.clone());
+                    }
+                }
+                None => {
+                    let var = term.as_var().expect("unresolved term must be a variable");
+                    for key in skeleton.entity_keys(&atom.predicate) {
+                        let mut b = binding.clone();
+                        b.insert(var.to_string(), key.clone());
+                        out.push(b);
+                    }
+                }
+            }
+        }
+        Some(PredicateKind::Relationship) => {
+            // Pick the first already-resolved position to use the index;
+            // otherwise scan all tuples.
+            let resolved_terms: Vec<Option<Value>> =
+                atom.terms.iter().map(|t| resolved(t, binding)).collect();
+            let probe = resolved_terms.iter().position(Option::is_some);
+            let candidates: Vec<&Vec<Value>> = match probe {
+                Some(pos) => skeleton.relationship_tuples_with(
+                    &atom.predicate,
+                    pos,
+                    resolved_terms[pos].as_ref().expect("position chosen because resolved"),
+                ),
+                None => skeleton.relationship_tuples(&atom.predicate).iter().collect(),
+            };
+            'tuple: for tuple in candidates {
+                let mut b = binding.clone();
+                for (term, (resolved_v, tuple_v)) in atom
+                    .terms
+                    .iter()
+                    .zip(resolved_terms.iter().zip(tuple.iter()))
+                {
+                    match resolved_v {
+                        Some(v) => {
+                            if v != tuple_v {
+                                continue 'tuple;
+                            }
+                        }
+                        None => {
+                            let var = term.as_var().expect("unresolved term must be a variable");
+                            match b.get(var) {
+                                Some(existing) if existing != tuple_v => continue 'tuple,
+                                Some(_) => {}
+                                None => {
+                                    b.insert(var.to_string(), tuple_v.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+                out.push(b);
+            }
+        }
+        None => {}
+    }
+}
+
+/// Resolve a term to a value given the current binding, if possible.
+fn resolved(term: &Term, binding: &Bindings) -> Option<Value> {
+    match term {
+        Term::Const(v) => Some(v.clone()),
+        Term::Var(name) => binding.get(name).cloned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use crate::query::{Atom, ConjunctiveQuery, Term};
+
+    fn setup() -> (RelationalSchema, Skeleton) {
+        let inst = Instance::review_example();
+        (inst.schema().clone(), inst.skeleton().clone())
+    }
+
+    #[test]
+    fn empty_query_has_one_empty_answer() {
+        let (schema, sk) = setup();
+        let answers = evaluate(&schema, &sk, &ConjunctiveQuery::truth()).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert!(answers[0].is_empty());
+    }
+
+    #[test]
+    fn single_entity_atom_enumerates_keys() {
+        let (schema, sk) = setup();
+        let q = ConjunctiveQuery::new(vec![Atom::new("Person", vec![Term::var("A")])]);
+        let answers = evaluate(&schema, &sk, &q).unwrap();
+        assert_eq!(answers.len(), 3);
+    }
+
+    #[test]
+    fn relationship_join_matches_paper_example() {
+        let (schema, sk) = setup();
+        // Author(A, S), Submitted(S, C): one answer per authorship (5).
+        let q = ConjunctiveQuery::new(vec![
+            Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+            Atom::new("Submitted", vec![Term::var("S"), Term::var("C")]),
+        ]);
+        let answers = evaluate(&schema, &sk, &q).unwrap();
+        assert_eq!(answers.len(), 5);
+        // Every answer binds all three variables.
+        assert!(answers.iter().all(|b| b.len() == 3));
+    }
+
+    #[test]
+    fn constants_select() {
+        let (schema, sk) = setup();
+        // Who authored s3?
+        let q = ConjunctiveQuery::new(vec![Atom::new(
+            "Author",
+            vec![Term::var("A"), Term::constant("s3")],
+        )]);
+        let mut authors: Vec<String> = evaluate(&schema, &sk, &q)
+            .unwrap()
+            .into_iter()
+            .map(|b| b["A"].to_string())
+            .collect();
+        authors.sort();
+        assert_eq!(authors, vec!["Carlos".to_string(), "Eva".to_string()]);
+    }
+
+    #[test]
+    fn repeated_variables_enforce_equality() {
+        let (schema, sk) = setup();
+        // Author(A, S), Author(B, S), A != B is not expressible, but
+        // Author(A, S), Author(A, S) must not blow up the answer count.
+        let q = ConjunctiveQuery::new(vec![
+            Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+            Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+        ]);
+        let answers = evaluate(&schema, &sk, &q).unwrap();
+        assert_eq!(answers.len(), 5);
+    }
+
+    #[test]
+    fn coauthor_join() {
+        let (schema, sk) = setup();
+        // Pairs (A, B) of authors sharing a submission, including A = B.
+        let q = ConjunctiveQuery::new(vec![
+            Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+            Atom::new("Author", vec![Term::var("B"), Term::var("S")]),
+        ]);
+        let answers = evaluate(&schema, &sk, &q).unwrap();
+        // s1: {Bob,Eva}² = 4, s2: {Eva}² = 1, s3: {Eva,Carlos}² = 4 → 9
+        assert_eq!(answers.len(), 9);
+    }
+
+    #[test]
+    fn projection_deduplicates() {
+        let (schema, sk) = setup();
+        let q = ConjunctiveQuery::new(vec![
+            Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+            Atom::new("Author", vec![Term::var("B"), Term::var("S")]),
+        ]);
+        let rows = evaluate_project(&schema, &sk, &q, &["A".to_string()]).unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn unknown_predicate_and_bad_arity_error() {
+        let (schema, sk) = setup();
+        let q = ConjunctiveQuery::new(vec![Atom::new("Nope", vec![Term::var("X")])]);
+        assert!(matches!(evaluate(&schema, &sk, &q), Err(RelError::UnknownPredicate(_))));
+        let q = ConjunctiveQuery::new(vec![Atom::new("Author", vec![Term::var("X")])]);
+        assert!(matches!(evaluate(&schema, &sk, &q), Err(RelError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn unbound_projection_variable_errors() {
+        let (schema, sk) = setup();
+        let q = ConjunctiveQuery::new(vec![Atom::new("Person", vec![Term::var("A")])]);
+        let err = evaluate_project(&schema, &sk, &q, &["Z".to_string()]).unwrap_err();
+        assert!(matches!(err, RelError::MalformedQuery(_)));
+    }
+}

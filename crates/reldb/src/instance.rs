@@ -1,0 +1,264 @@
+//! Observed relational instances: a skeleton plus attribute assignments
+//! (Section 3.1).
+
+use crate::error::{RelError, RelResult};
+use crate::schema::{PredicateKind, RelationalSchema};
+use crate::skeleton::{Skeleton, UnitKey};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// An observed relational instance conforming to a [`RelationalSchema`].
+///
+/// The instance owns its schema, its relational skeleton, and one map per
+/// attribute function from unit keys to values. Unobserved attribute
+/// functions (e.g. `Quality[S]` in the running example) simply have no
+/// stored assignments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Instance {
+    schema: RelationalSchema,
+    skeleton: Skeleton,
+    /// attribute name → (unit key → value)
+    attributes: BTreeMap<String, HashMap<UnitKey, Value>>,
+}
+
+impl Instance {
+    /// Create an empty instance over `schema`.
+    pub fn new(schema: RelationalSchema) -> Self {
+        Self {
+            schema,
+            skeleton: Skeleton::new(),
+            attributes: BTreeMap::new(),
+        }
+    }
+
+    /// The schema this instance conforms to.
+    pub fn schema(&self) -> &RelationalSchema {
+        &self.schema
+    }
+
+    /// The relational skeleton Δ of this instance.
+    pub fn skeleton(&self) -> &Skeleton {
+        &self.skeleton
+    }
+
+    /// Add a grounded entity.
+    pub fn add_entity(&mut self, entity: &str, key: Value) -> RelResult<()> {
+        match self.schema.require_predicate(entity)? {
+            PredicateKind::Entity => {
+                self.skeleton.add_entity(entity, key);
+                Ok(())
+            }
+            PredicateKind::Relationship => Err(RelError::UnknownPredicate(format!(
+                "`{entity}` is a relationship, not an entity"
+            ))),
+        }
+    }
+
+    /// Add a grounded relationship tuple, checking arity and that the
+    /// referenced entities exist.
+    pub fn add_relationship(&mut self, rel: &str, tuple: UnitKey) -> RelResult<()> {
+        let positions = self
+            .schema
+            .predicate_positions(rel)
+            .ok_or_else(|| RelError::UnknownPredicate(rel.to_string()))?;
+        if self.schema.predicate_kind(rel) != Some(PredicateKind::Relationship) {
+            return Err(RelError::UnknownPredicate(format!(
+                "`{rel}` is an entity, not a relationship"
+            )));
+        }
+        if tuple.len() != positions.len() {
+            return Err(RelError::ArityMismatch {
+                predicate: rel.to_string(),
+                expected: positions.len(),
+                actual: tuple.len(),
+            });
+        }
+        for (entity, key) in positions.iter().zip(tuple.iter()) {
+            if !self.skeleton.has_entity(entity, key) {
+                return Err(RelError::DanglingReference {
+                    rel: rel.to_string(),
+                    entity: entity.clone(),
+                    key: key.to_string(),
+                });
+            }
+        }
+        self.skeleton.add_relationship(rel, tuple);
+        Ok(())
+    }
+
+    /// Assign `value` to attribute `attr` of the unit identified by `key`.
+    pub fn set_attribute(&mut self, attr: &str, key: &[Value], value: Value) -> RelResult<()> {
+        let def = self.schema.require_attribute(attr)?.clone();
+        let arity = self
+            .schema
+            .predicate_arity(&def.subject)
+            .expect("attribute subject must be a declared predicate");
+        if key.len() != arity {
+            return Err(RelError::ArityMismatch {
+                predicate: def.subject.clone(),
+                expected: arity,
+                actual: key.len(),
+            });
+        }
+        if !def.domain.admits(&value) {
+            return Err(RelError::DomainMismatch {
+                attribute: attr.to_string(),
+                domain: def.domain.to_string(),
+                value: value.to_string(),
+            });
+        }
+        self.attributes
+            .entry(attr.to_string())
+            .or_default()
+            .insert(key.to_vec(), value);
+        Ok(())
+    }
+
+    /// Read the value of attribute `attr` for unit `key`, if assigned.
+    pub fn attribute(&self, attr: &str, key: &[Value]) -> Option<&Value> {
+        self.attributes.get(attr)?.get(key)
+    }
+
+    /// Read the value of `attr` for `key` as an `f64`, treating missing or
+    /// non-numeric values as `None`.
+    pub fn attribute_f64(&self, attr: &str, key: &[Value]) -> Option<f64> {
+        self.attribute(attr, key).and_then(Value::as_f64)
+    }
+
+    /// Number of stored assignments for attribute `attr`.
+    pub fn attribute_count(&self, attr: &str) -> usize {
+        self.attributes.get(attr).map_or(0, HashMap::len)
+    }
+
+    /// Iterate over all assignments of attribute `attr`.
+    pub fn attribute_assignments(&self, attr: &str) -> impl Iterator<Item = (&UnitKey, &Value)> {
+        self.attributes.get(attr).into_iter().flat_map(|m| m.iter())
+    }
+
+    /// All units of the predicate that attribute `attr` attaches to.
+    pub fn units_of_attribute(&self, attr: &str) -> RelResult<Vec<UnitKey>> {
+        let def = self.schema.require_attribute(attr)?;
+        self.skeleton.units_of(&self.schema, &def.subject)
+    }
+
+    /// Validate skeleton referential integrity.
+    pub fn validate(&self) -> RelResult<()> {
+        self.skeleton.validate(&self.schema)
+    }
+
+    /// Total number of attribute assignments across all attributes
+    /// (a proxy for "rows" when reporting dataset sizes).
+    pub fn total_attribute_assignments(&self) -> usize {
+        self.attributes.values().map(HashMap::len).sum()
+    }
+
+    /// Build the full REVIEWDATA instance of the paper's Figure 2,
+    /// including the (unobserved) quality attribute left unassigned.
+    pub fn review_example() -> Self {
+        let schema = RelationalSchema::review_example();
+        let mut inst = Instance::new(schema);
+        // Authors table.
+        for (person, prestige, qual) in [("Bob", 1, 50.0), ("Carlos", 0, 20.0), ("Eva", 1, 2.0)] {
+            inst.add_entity("Person", Value::from(person)).unwrap();
+            inst.set_attribute("Prestige", &[Value::from(person)], Value::Int(prestige)).unwrap();
+            inst.set_attribute("Qualification", &[Value::from(person)], Value::Float(qual)).unwrap();
+        }
+        // Submissions table.
+        for (sub, score) in [("s1", 0.75), ("s2", 0.4), ("s3", 0.1)] {
+            inst.add_entity("Submission", Value::from(sub)).unwrap();
+            inst.set_attribute("Score", &[Value::from(sub)], Value::Float(score)).unwrap();
+        }
+        // Conferences table (Single = blind 0 / treated as not double blind).
+        for (conf, double_blind) in [("ConfDB", false), ("ConfAI", true)] {
+            inst.add_entity("Conference", Value::from(conf)).unwrap();
+            inst.set_attribute("Blind", &[Value::from(conf)], Value::Bool(double_blind)).unwrap();
+        }
+        // Authorship table.
+        for (a, s) in [("Bob", "s1"), ("Eva", "s1"), ("Eva", "s2"), ("Eva", "s3"), ("Carlos", "s3")] {
+            inst.add_relationship("Author", vec![Value::from(a), Value::from(s)]).unwrap();
+        }
+        // Submitted table.
+        for (s, c) in [("s1", "ConfDB"), ("s2", "ConfAI"), ("s3", "ConfAI")] {
+            inst.add_relationship("Submitted", vec![Value::from(s), Value::from(c)]).unwrap();
+        }
+        inst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn review_example_instance_matches_figure_2() {
+        let inst = Instance::review_example();
+        assert!(inst.validate().is_ok());
+        assert_eq!(inst.skeleton().entity_count("Person"), 3);
+        assert_eq!(inst.skeleton().relationship_count("Author"), 5);
+        assert_eq!(
+            inst.attribute("Score", &[Value::from("s1")]),
+            Some(&Value::Float(0.75))
+        );
+        assert_eq!(
+            inst.attribute("Prestige", &[Value::from("Carlos")]),
+            Some(&Value::Int(0))
+        );
+        // Quality is unobserved: no assignments.
+        assert_eq!(inst.attribute_count("Quality"), 0);
+        assert_eq!(inst.attribute_count("Score"), 3);
+    }
+
+    #[test]
+    fn set_attribute_validates_domain_and_arity() {
+        let mut inst = Instance::review_example();
+        // Prestige is boolean; 2 is not an admissible value.
+        let err = inst
+            .set_attribute("Prestige", &[Value::from("Bob")], Value::Int(2))
+            .unwrap_err();
+        assert!(matches!(err, RelError::DomainMismatch { .. }));
+        let err = inst
+            .set_attribute("Score", &[Value::from("s1"), Value::from("x")], Value::Float(0.5))
+            .unwrap_err();
+        assert!(matches!(err, RelError::ArityMismatch { .. }));
+        let err = inst
+            .set_attribute("DoesNotExist", &[Value::from("s1")], Value::Float(0.5))
+            .unwrap_err();
+        assert!(matches!(err, RelError::UnknownAttribute(_)));
+    }
+
+    #[test]
+    fn add_relationship_rejects_dangling_and_wrong_kind() {
+        let mut inst = Instance::new(RelationalSchema::review_example());
+        inst.add_entity("Person", Value::from("Bob")).unwrap();
+        let err = inst
+            .add_relationship("Author", vec![Value::from("Bob"), Value::from("s1")])
+            .unwrap_err();
+        assert!(matches!(err, RelError::DanglingReference { .. }));
+        let err = inst.add_entity("Author", Value::from("Bob")).unwrap_err();
+        assert!(matches!(err, RelError::UnknownPredicate(_)));
+    }
+
+    #[test]
+    fn units_of_attribute_follow_subject() {
+        let inst = Instance::review_example();
+        assert_eq!(inst.units_of_attribute("Prestige").unwrap().len(), 3);
+        assert_eq!(inst.units_of_attribute("Score").unwrap().len(), 3);
+        assert_eq!(inst.units_of_attribute("Blind").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn attribute_f64_coerces() {
+        let inst = Instance::review_example();
+        assert_eq!(inst.attribute_f64("Prestige", &[Value::from("Bob")]), Some(1.0));
+        assert_eq!(inst.attribute_f64("Quality", &[Value::from("s1")]), None);
+    }
+
+    #[test]
+    fn total_assignments_counts_all_attributes() {
+        let inst = Instance::review_example();
+        // 3 prestige + 3 qualification + 3 score + 2 blind = 11
+        assert_eq!(inst.total_attribute_assignments(), 11);
+    }
+}

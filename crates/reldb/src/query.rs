@@ -1,0 +1,165 @@
+//! Conjunctive query intermediate representation.
+//!
+//! Rule conditions in CaRL (`WHERE Q(Y)` in Definition 3.3) are standard
+//! conjunctive queries over the predicates of the schema. This module
+//! defines the IR; [`crate::eval`] evaluates it against a skeleton.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A term appearing in a query atom: either a variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// A named variable, e.g. `A` in `Author(A, S)`.
+    Var(String),
+    /// A constant value, e.g. `"ConfDB"`.
+    Const(Value),
+}
+
+impl Term {
+    /// Convenience constructor for a variable term.
+    pub fn var(name: &str) -> Self {
+        Term::Var(name.to_string())
+    }
+
+    /// Convenience constructor for a constant term.
+    pub fn constant(v: impl Into<Value>) -> Self {
+        Term::Const(v.into())
+    }
+
+    /// The variable name if this term is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => match c {
+                Value::Str(s) => write!(f, "\"{s}\""),
+                other => write!(f, "{other}"),
+            },
+        }
+    }
+}
+
+/// A single atom `P(t1, …, tk)` over an entity or relationship predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Atom {
+    /// Predicate name.
+    pub predicate: String,
+    /// Argument terms, positionally.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Construct an atom.
+    pub fn new(predicate: &str, terms: Vec<Term>) -> Self {
+        Self {
+            predicate: predicate.to_string(),
+            terms,
+        }
+    }
+
+    /// Variables appearing in this atom, in positional order (may repeat).
+    pub fn variables(&self) -> impl Iterator<Item = &str> {
+        self.terms.iter().filter_map(Term::as_var)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let args: Vec<String> = self.terms.iter().map(|t| t.to_string()).collect();
+        write!(f, "{}({})", self.predicate, args.join(", "))
+    }
+}
+
+/// A conjunctive query: a conjunction of atoms over the schema predicates.
+///
+/// The empty query is `true` (it has exactly one answer, the empty
+/// substitution), matching the semantics of grounded rules in Def 3.5.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConjunctiveQuery {
+    /// Conjoined atoms.
+    pub atoms: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// The query `true` with no atoms.
+    pub fn truth() -> Self {
+        Self::default()
+    }
+
+    /// Construct a query from atoms.
+    pub fn new(atoms: Vec<Atom>) -> Self {
+        Self { atoms }
+    }
+
+    /// Add an atom (builder style).
+    pub fn with_atom(mut self, atom: Atom) -> Self {
+        self.atoms.push(atom);
+        self
+    }
+
+    /// The set of distinct variables appearing in the query, sorted.
+    pub fn variables(&self) -> BTreeSet<String> {
+        self.atoms
+            .iter()
+            .flat_map(|a| a.variables().map(str::to_string))
+            .collect()
+    }
+
+    /// Whether the query has no atoms (i.e. is trivially true).
+    pub fn is_trivial(&self) -> bool {
+        self.atoms.is_empty()
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "true");
+        }
+        let parts: Vec<String> = self.atoms.iter().map(|a| a.to_string()).collect();
+        write!(f, "{}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_are_deduplicated_and_sorted() {
+        let q = ConjunctiveQuery::new(vec![
+            Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+            Atom::new("Submitted", vec![Term::var("S"), Term::var("C")]),
+        ]);
+        let vars: Vec<String> = q.variables().into_iter().collect();
+        assert_eq!(vars, vec!["A".to_string(), "C".to_string(), "S".to_string()]);
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let q = ConjunctiveQuery::new(vec![
+            Atom::new("Author", vec![Term::var("A"), Term::constant("s1")]),
+            Atom::new("Person", vec![Term::var("A")]),
+        ]);
+        assert_eq!(q.to_string(), "Author(A, \"s1\"), Person(A)");
+        assert_eq!(ConjunctiveQuery::truth().to_string(), "true");
+    }
+
+    #[test]
+    fn trivial_query_has_no_vars() {
+        let q = ConjunctiveQuery::truth();
+        assert!(q.is_trivial());
+        assert!(q.variables().is_empty());
+    }
+}

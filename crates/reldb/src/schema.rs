@@ -1,0 +1,345 @@
+//! Relational causal schemas: entities, relationships and attribute
+//! functions (Section 3.1 of the paper).
+//!
+//! A schema `S = (P, A)` consists of predicates `P = E ∪ R` (entity classes
+//! and relationship classes) and attribute functions `A`, each attached to
+//! exactly one predicate and flagged as *observed* or *unobserved*.
+
+use crate::error::{RelError, RelResult};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The value domain of an attribute function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomainType {
+    /// Binary attribute (treatments are required to be binary, §3.3).
+    Bool,
+    /// Integer-valued attribute.
+    Int,
+    /// Real-valued attribute (responses are real-valued, §4.2).
+    Float,
+    /// Categorical / string attribute.
+    Categorical,
+}
+
+impl DomainType {
+    /// Whether `value` is admissible for this domain. `Null` is always
+    /// admissible because attribute functions may be unobserved.
+    pub fn admits(&self, value: &crate::Value) -> bool {
+        use crate::Value;
+        match (self, value) {
+            (_, Value::Null) => true,
+            (DomainType::Bool, Value::Bool(_)) => true,
+            // 0/1 integers are accepted as booleans for convenience.
+            (DomainType::Bool, Value::Int(i)) => *i == 0 || *i == 1,
+            (DomainType::Int, Value::Int(_)) => true,
+            (DomainType::Float, Value::Float(_) | Value::Int(_)) => true,
+            (DomainType::Categorical, Value::Str(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for DomainType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DomainType::Bool => "bool",
+            DomainType::Int => "int",
+            DomainType::Float => "float",
+            DomainType::Categorical => "categorical",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Whether a predicate is an entity class or a relationship class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredicateKind {
+    /// Entity class, e.g. `Person(A)`.
+    Entity,
+    /// Relationship class, e.g. `Author(A, S)`.
+    Relationship,
+}
+
+/// An entity class declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EntityDef {
+    /// Entity class name, e.g. `"Person"`.
+    pub name: String,
+}
+
+/// A relationship class declaration over previously declared entities.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelationshipDef {
+    /// Relationship name, e.g. `"Author"`.
+    pub name: String,
+    /// Participating entity classes, in positional order, e.g.
+    /// `["Person", "Submission"]`.
+    pub entities: Vec<String>,
+}
+
+/// An attribute function declaration `A[X]` attached to an entity or
+/// relationship class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttributeDef {
+    /// Attribute name, e.g. `"Prestige"`.
+    pub name: String,
+    /// Name of the predicate (entity or relationship) it attaches to.
+    pub subject: String,
+    /// Declared value domain.
+    pub domain: DomainType,
+    /// Whether the attribute is observed in instances (`AObs ⊆ A`).
+    pub observed: bool,
+}
+
+/// A relational causal schema: entities, relationships and attributes.
+///
+/// Construction is incremental and validated: relationships may only
+/// reference declared entities, attributes may only attach to declared
+/// predicates, and names are unique across predicates and across attributes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RelationalSchema {
+    entities: BTreeMap<String, EntityDef>,
+    relationships: BTreeMap<String, RelationshipDef>,
+    attributes: BTreeMap<String, AttributeDef>,
+}
+
+impl RelationalSchema {
+    /// Create an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare an entity class.
+    pub fn add_entity(&mut self, name: &str) -> RelResult<&mut Self> {
+        if self.has_predicate(name) {
+            return Err(RelError::DuplicatePredicate(name.to_string()));
+        }
+        self.entities.insert(name.to_string(), EntityDef { name: name.to_string() });
+        Ok(self)
+    }
+
+    /// Declare a relationship class over `entities` (by name, positional).
+    pub fn add_relationship(&mut self, name: &str, entities: &[&str]) -> RelResult<&mut Self> {
+        if self.has_predicate(name) {
+            return Err(RelError::DuplicatePredicate(name.to_string()));
+        }
+        for e in entities {
+            if !self.entities.contains_key(*e) {
+                return Err(RelError::UnknownEntityInRelationship {
+                    rel: name.to_string(),
+                    entity: (*e).to_string(),
+                });
+            }
+        }
+        self.relationships.insert(
+            name.to_string(),
+            RelationshipDef {
+                name: name.to_string(),
+                entities: entities.iter().map(|s| s.to_string()).collect(),
+            },
+        );
+        Ok(self)
+    }
+
+    /// Declare an attribute function on predicate `subject`.
+    pub fn add_attribute(
+        &mut self,
+        name: &str,
+        subject: &str,
+        domain: DomainType,
+        observed: bool,
+    ) -> RelResult<&mut Self> {
+        if self.attributes.contains_key(name) {
+            return Err(RelError::DuplicateAttribute(name.to_string()));
+        }
+        if !self.has_predicate(subject) {
+            return Err(RelError::UnknownPredicate(subject.to_string()));
+        }
+        self.attributes.insert(
+            name.to_string(),
+            AttributeDef {
+                name: name.to_string(),
+                subject: subject.to_string(),
+                domain,
+                observed,
+            },
+        );
+        Ok(self)
+    }
+
+    /// Whether `name` is a declared entity or relationship.
+    pub fn has_predicate(&self, name: &str) -> bool {
+        self.entities.contains_key(name) || self.relationships.contains_key(name)
+    }
+
+    /// The kind (entity vs relationship) of predicate `name`, if declared.
+    pub fn predicate_kind(&self, name: &str) -> Option<PredicateKind> {
+        if self.entities.contains_key(name) {
+            Some(PredicateKind::Entity)
+        } else if self.relationships.contains_key(name) {
+            Some(PredicateKind::Relationship)
+        } else {
+            None
+        }
+    }
+
+    /// The arity of predicate `name`: 1 for entities, the number of
+    /// participating entities for relationships.
+    pub fn predicate_arity(&self, name: &str) -> Option<usize> {
+        match self.predicate_kind(name)? {
+            PredicateKind::Entity => Some(1),
+            PredicateKind::Relationship => Some(self.relationships[name].entities.len()),
+        }
+    }
+
+    /// The entity classes of the positions of predicate `name`.
+    /// For an entity this is `[name]`; for a relationship, its declared list.
+    pub fn predicate_positions(&self, name: &str) -> Option<Vec<String>> {
+        match self.predicate_kind(name)? {
+            PredicateKind::Entity => Some(vec![name.to_string()]),
+            PredicateKind::Relationship => Some(self.relationships[name].entities.clone()),
+        }
+    }
+
+    /// Look up an entity definition.
+    pub fn entity(&self, name: &str) -> Option<&EntityDef> {
+        self.entities.get(name)
+    }
+
+    /// Look up a relationship definition.
+    pub fn relationship(&self, name: &str) -> Option<&RelationshipDef> {
+        self.relationships.get(name)
+    }
+
+    /// Look up an attribute definition.
+    pub fn attribute(&self, name: &str) -> Option<&AttributeDef> {
+        self.attributes.get(name)
+    }
+
+    /// Require an attribute, returning an error if it does not exist.
+    pub fn require_attribute(&self, name: &str) -> RelResult<&AttributeDef> {
+        self.attribute(name)
+            .ok_or_else(|| RelError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Require a predicate, returning an error if it does not exist.
+    pub fn require_predicate(&self, name: &str) -> RelResult<PredicateKind> {
+        self.predicate_kind(name)
+            .ok_or_else(|| RelError::UnknownPredicate(name.to_string()))
+    }
+
+    /// Iterate over declared entity classes.
+    pub fn entities(&self) -> impl Iterator<Item = &EntityDef> {
+        self.entities.values()
+    }
+
+    /// Iterate over declared relationship classes.
+    pub fn relationships(&self) -> impl Iterator<Item = &RelationshipDef> {
+        self.relationships.values()
+    }
+
+    /// Iterate over declared attribute functions.
+    pub fn attributes(&self) -> impl Iterator<Item = &AttributeDef> {
+        self.attributes.values()
+    }
+
+    /// Attributes attached to a particular predicate.
+    pub fn attributes_of<'a>(&'a self, subject: &'a str) -> impl Iterator<Item = &'a AttributeDef> + 'a {
+        self.attributes.values().filter(move |a| a.subject == subject)
+    }
+
+    /// Relationship classes in which entity class `entity` participates.
+    pub fn relationships_of_entity<'a>(
+        &'a self,
+        entity: &'a str,
+    ) -> impl Iterator<Item = &'a RelationshipDef> + 'a {
+        self.relationships
+            .values()
+            .filter(move |r| r.entities.iter().any(|e| e == entity))
+    }
+
+    /// Build the relational causal schema of the paper's running example
+    /// (REVIEWDATA, Example 3.1). Widely used in tests and docs.
+    pub fn review_example() -> Self {
+        let mut s = Self::new();
+        s.add_entity("Person").unwrap();
+        s.add_entity("Submission").unwrap();
+        s.add_entity("Conference").unwrap();
+        s.add_relationship("Author", &["Person", "Submission"]).unwrap();
+        s.add_relationship("Submitted", &["Submission", "Conference"]).unwrap();
+        s.add_attribute("Prestige", "Person", DomainType::Bool, true).unwrap();
+        s.add_attribute("Qualification", "Person", DomainType::Float, true).unwrap();
+        s.add_attribute("Score", "Submission", DomainType::Float, true).unwrap();
+        s.add_attribute("Blind", "Conference", DomainType::Bool, true).unwrap();
+        s.add_attribute("Quality", "Submission", DomainType::Float, false).unwrap();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    #[test]
+    fn review_example_schema_matches_paper() {
+        let s = RelationalSchema::review_example();
+        assert_eq!(s.entities().count(), 3);
+        assert_eq!(s.relationships().count(), 2);
+        assert_eq!(s.attributes().count(), 5);
+        assert_eq!(s.predicate_arity("Author"), Some(2));
+        assert_eq!(s.predicate_arity("Person"), Some(1));
+        assert!(!s.attribute("Quality").unwrap().observed);
+        assert_eq!(
+            s.predicate_positions("Submitted").unwrap(),
+            vec!["Submission".to_string(), "Conference".to_string()]
+        );
+    }
+
+    #[test]
+    fn duplicate_predicates_and_attributes_rejected() {
+        let mut s = RelationalSchema::new();
+        s.add_entity("Person").unwrap();
+        assert!(matches!(s.add_entity("Person"), Err(RelError::DuplicatePredicate(_))));
+        s.add_attribute("Age", "Person", DomainType::Int, true).unwrap();
+        assert!(matches!(
+            s.add_attribute("Age", "Person", DomainType::Int, true),
+            Err(RelError::DuplicateAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn relationship_requires_declared_entities() {
+        let mut s = RelationalSchema::new();
+        s.add_entity("Person").unwrap();
+        let err = s.add_relationship("Author", &["Person", "Submission"]).unwrap_err();
+        assert!(matches!(err, RelError::UnknownEntityInRelationship { .. }));
+    }
+
+    #[test]
+    fn attribute_requires_declared_subject() {
+        let mut s = RelationalSchema::new();
+        let err = s.add_attribute("Age", "Person", DomainType::Int, true).unwrap_err();
+        assert!(matches!(err, RelError::UnknownPredicate(_)));
+    }
+
+    #[test]
+    fn domain_admission() {
+        assert!(DomainType::Bool.admits(&Value::Bool(true)));
+        assert!(DomainType::Bool.admits(&Value::Int(1)));
+        assert!(!DomainType::Bool.admits(&Value::Int(2)));
+        assert!(DomainType::Float.admits(&Value::Int(3)));
+        assert!(!DomainType::Int.admits(&Value::Float(1.5)));
+        assert!(DomainType::Categorical.admits(&Value::Str("x".into())));
+        assert!(DomainType::Int.admits(&Value::Null));
+    }
+
+    #[test]
+    fn relationships_of_entity_finds_participation() {
+        let s = RelationalSchema::review_example();
+        let rels: Vec<_> = s.relationships_of_entity("Submission").map(|r| r.name.clone()).collect();
+        assert!(rels.contains(&"Author".to_string()));
+        assert!(rels.contains(&"Submitted".to_string()));
+    }
+}

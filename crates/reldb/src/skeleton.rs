@@ -1,0 +1,279 @@
+//! Relational skeletons: the grounded entities and relationship tuples of an
+//! instance (Section 3.1).
+//!
+//! The skeleton `Δ` is the part of an observed instance that excludes the
+//! grounded attribute functions. Grounding relational causal rules (Def 3.5)
+//! and constructing relational paths (§4.3) only consult the skeleton.
+
+use crate::error::{RelError, RelResult};
+use crate::schema::{PredicateKind, RelationalSchema};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// The key of a grounded unit: a tuple of entity keys.
+///
+/// Units of an entity class have a single component (e.g. `["Bob"]`);
+/// units of a relationship class have one component per position
+/// (e.g. `["Bob", "s1"]` for `Author(Bob, s1)`).
+pub type UnitKey = Vec<Value>;
+
+/// The relational skeleton of an instance: sets of grounded entities and
+/// relationship tuples, with adjacency indexes for efficient traversal.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Skeleton {
+    /// Entity class name → set of keys (insertion-ordered).
+    entities: BTreeMap<String, Vec<Value>>,
+    /// Fast membership test per entity class.
+    entity_index: BTreeMap<String, HashSet<Value>>,
+    /// Relationship name → list of tuples.
+    relationships: BTreeMap<String, Vec<UnitKey>>,
+    /// (relationship, position, key) → row indexes into `relationships[rel]`.
+    #[serde(skip)]
+    rel_index: HashMap<(String, usize), HashMap<Value, Vec<usize>>>,
+}
+
+impl Skeleton {
+    /// Create an empty skeleton.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a grounded entity with key `key` to class `entity`.
+    /// Duplicate keys are ignored (idempotent).
+    pub fn add_entity(&mut self, entity: &str, key: Value) {
+        let idx = self.entity_index.entry(entity.to_string()).or_default();
+        if idx.insert(key.clone()) {
+            self.entities.entry(entity.to_string()).or_default().push(key);
+        }
+    }
+
+    /// Add a grounded relationship tuple. Duplicates are stored only once.
+    pub fn add_relationship(&mut self, rel: &str, tuple: UnitKey) {
+        // Duplicate detection via the position-0 index.
+        if let Some(existing) = self.rel_index.get(&(rel.to_string(), 0)) {
+            if let Some(first) = tuple.first() {
+                if let Some(rows) = existing.get(first) {
+                    let table = &self.relationships[rel];
+                    if rows.iter().any(|&r| table[r] == tuple) {
+                        return;
+                    }
+                }
+            }
+        }
+        let rows = self.relationships.entry(rel.to_string()).or_default();
+        let row_id = rows.len();
+        rows.push(tuple.clone());
+        for (pos, v) in tuple.into_iter().enumerate() {
+            self.rel_index
+                .entry((rel.to_string(), pos))
+                .or_default()
+                .entry(v)
+                .or_default()
+                .push(row_id);
+        }
+    }
+
+    /// Whether entity class `entity` contains `key`.
+    pub fn has_entity(&self, entity: &str, key: &Value) -> bool {
+        self.entity_index.get(entity).is_some_and(|s| s.contains(key))
+    }
+
+    /// All keys of entity class `entity` (empty slice if the class is empty).
+    pub fn entity_keys(&self, entity: &str) -> &[Value] {
+        self.entities.get(entity).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of grounded entities in class `entity`.
+    pub fn entity_count(&self, entity: &str) -> usize {
+        self.entities.get(entity).map_or(0, Vec::len)
+    }
+
+    /// All tuples of relationship `rel`.
+    pub fn relationship_tuples(&self, rel: &str) -> &[UnitKey] {
+        self.relationships.get(rel).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of tuples of relationship `rel`.
+    pub fn relationship_count(&self, rel: &str) -> usize {
+        self.relationships.get(rel).map_or(0, Vec::len)
+    }
+
+    /// Tuples of `rel` whose component at `position` equals `key`.
+    pub fn relationship_tuples_with(&self, rel: &str, position: usize, key: &Value) -> Vec<&UnitKey> {
+        let Some(index) = self.rel_index.get(&(rel.to_string(), position)) else {
+            return Vec::new();
+        };
+        let Some(rows) = index.get(key) else { return Vec::new() };
+        let table = &self.relationships[rel];
+        rows.iter().map(|&r| &table[r]).collect()
+    }
+
+    /// Grounded units of a predicate: single-component keys for entities,
+    /// full tuples for relationships.
+    pub fn units_of(&self, schema: &RelationalSchema, predicate: &str) -> RelResult<Vec<UnitKey>> {
+        match schema.require_predicate(predicate)? {
+            PredicateKind::Entity => Ok(self
+                .entity_keys(predicate)
+                .iter()
+                .map(|k| vec![k.clone()])
+                .collect()),
+            PredicateKind::Relationship => Ok(self.relationship_tuples(predicate).to_vec()),
+        }
+    }
+
+    /// Validate that every relationship tuple references existing entities
+    /// and has the declared arity.
+    pub fn validate(&self, schema: &RelationalSchema) -> RelResult<()> {
+        for (rel, tuples) in &self.relationships {
+            let positions = schema
+                .predicate_positions(rel)
+                .ok_or_else(|| RelError::UnknownPredicate(rel.clone()))?;
+            for tuple in tuples {
+                if tuple.len() != positions.len() {
+                    return Err(RelError::ArityMismatch {
+                        predicate: rel.clone(),
+                        expected: positions.len(),
+                        actual: tuple.len(),
+                    });
+                }
+                for (entity, key) in positions.iter().zip(tuple.iter()) {
+                    if !self.has_entity(entity, key) {
+                        return Err(RelError::DanglingReference {
+                            rel: rel.clone(),
+                            entity: entity.clone(),
+                            key: key.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of grounded entities across all classes.
+    pub fn total_entities(&self) -> usize {
+        self.entities.values().map(Vec::len).sum()
+    }
+
+    /// Total number of relationship tuples across all classes.
+    pub fn total_relationship_tuples(&self) -> usize {
+        self.relationships.values().map(Vec::len).sum()
+    }
+
+    /// Rebuild the positional indexes (needed after deserialisation, since
+    /// the index is skipped by serde).
+    pub fn rebuild_indexes(&mut self) {
+        self.rel_index.clear();
+        for (rel, tuples) in &self.relationships {
+            for (row_id, tuple) in tuples.iter().enumerate() {
+                for (pos, v) in tuple.iter().enumerate() {
+                    self.rel_index
+                        .entry((rel.clone(), pos))
+                        .or_default()
+                        .entry(v.clone())
+                        .or_default()
+                        .push(row_id);
+                }
+            }
+        }
+        self.entity_index.clear();
+        for (ent, keys) in &self.entities {
+            self.entity_index
+                .insert(ent.clone(), keys.iter().cloned().collect());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationalSchema;
+
+    fn paper_skeleton() -> (RelationalSchema, Skeleton) {
+        let schema = RelationalSchema::review_example();
+        let mut sk = Skeleton::new();
+        for p in ["Bob", "Carlos", "Eva"] {
+            sk.add_entity("Person", Value::from(p));
+        }
+        for s in ["s1", "s2", "s3"] {
+            sk.add_entity("Submission", Value::from(s));
+        }
+        for c in ["ConfDB", "ConfAI"] {
+            sk.add_entity("Conference", Value::from(c));
+        }
+        for (a, s) in [("Bob", "s1"), ("Eva", "s1"), ("Eva", "s2"), ("Eva", "s3"), ("Carlos", "s3")] {
+            sk.add_relationship("Author", vec![Value::from(a), Value::from(s)]);
+        }
+        for (s, c) in [("s1", "ConfDB"), ("s2", "ConfAI"), ("s3", "ConfAI")] {
+            sk.add_relationship("Submitted", vec![Value::from(s), Value::from(c)]);
+        }
+        (schema, sk)
+    }
+
+    #[test]
+    fn counts_match_figure_2() {
+        let (schema, sk) = paper_skeleton();
+        assert_eq!(sk.entity_count("Person"), 3);
+        assert_eq!(sk.entity_count("Submission"), 3);
+        assert_eq!(sk.relationship_count("Author"), 5);
+        assert_eq!(sk.relationship_count("Submitted"), 3);
+        assert!(sk.validate(&schema).is_ok());
+        assert_eq!(sk.total_entities(), 8);
+        assert_eq!(sk.total_relationship_tuples(), 8);
+    }
+
+    #[test]
+    fn duplicate_entities_and_tuples_are_deduplicated() {
+        let mut sk = Skeleton::new();
+        sk.add_entity("Person", Value::from("Bob"));
+        sk.add_entity("Person", Value::from("Bob"));
+        assert_eq!(sk.entity_count("Person"), 1);
+        sk.add_relationship("Author", vec![Value::from("Bob"), Value::from("s1")]);
+        sk.add_relationship("Author", vec![Value::from("Bob"), Value::from("s1")]);
+        assert_eq!(sk.relationship_count("Author"), 1);
+    }
+
+    #[test]
+    fn positional_lookup() {
+        let (_, sk) = paper_skeleton();
+        let evas = sk.relationship_tuples_with("Author", 0, &Value::from("Eva"));
+        assert_eq!(evas.len(), 3);
+        let s3 = sk.relationship_tuples_with("Author", 1, &Value::from("s3"));
+        assert_eq!(s3.len(), 2);
+        assert!(sk.relationship_tuples_with("Author", 0, &Value::from("Nobody")).is_empty());
+    }
+
+    #[test]
+    fn validation_catches_dangling_and_arity() {
+        let schema = RelationalSchema::review_example();
+        let mut sk = Skeleton::new();
+        sk.add_entity("Person", Value::from("Bob"));
+        sk.add_relationship("Author", vec![Value::from("Bob"), Value::from("ghost")]);
+        assert!(matches!(sk.validate(&schema), Err(RelError::DanglingReference { .. })));
+
+        let mut sk2 = Skeleton::new();
+        sk2.add_entity("Person", Value::from("Bob"));
+        sk2.add_relationship("Author", vec![Value::from("Bob")]);
+        assert!(matches!(sk2.validate(&schema), Err(RelError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn units_of_entity_and_relationship() {
+        let (schema, sk) = paper_skeleton();
+        let people = sk.units_of(&schema, "Person").unwrap();
+        assert_eq!(people.len(), 3);
+        assert_eq!(people[0].len(), 1);
+        let authorships = sk.units_of(&schema, "Author").unwrap();
+        assert_eq!(authorships.len(), 5);
+        assert_eq!(authorships[0].len(), 2);
+    }
+
+    #[test]
+    fn rebuild_indexes_is_idempotent() {
+        let (_, mut sk) = paper_skeleton();
+        sk.rebuild_indexes();
+        sk.rebuild_indexes();
+        assert_eq!(sk.relationship_tuples_with("Author", 0, &Value::from("Eva")).len(), 3);
+    }
+}

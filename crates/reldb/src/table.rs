@@ -1,0 +1,305 @@
+//! A generic column-named table.
+//!
+//! Tables are the lingua franca at the boundary of the system: the unit
+//! table produced by CaRL's Algorithm 1 is a [`Table`], the universal-table
+//! baseline produces a [`Table`], and experiment harnesses export tables to
+//! CSV.
+
+use crate::error::{RelError, RelResult};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A single named column of values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// Cell values, one per row.
+    pub values: Vec<Value>,
+}
+
+/// A row-count-consistent collection of named columns.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    columns: Vec<Column>,
+    index: HashMap<String, usize>,
+    rows: usize,
+}
+
+impl Table {
+    /// Create an empty table with the given column names and zero rows.
+    pub fn with_columns(names: &[&str]) -> Self {
+        let mut t = Table::default();
+        for n in names {
+            t.columns.push(Column {
+                name: (*n).to_string(),
+                values: Vec::new(),
+            });
+            t.index.insert((*n).to_string(), t.columns.len() - 1);
+        }
+        t
+    }
+
+    /// Build a table from complete columns, validating equal lengths and
+    /// unique names.
+    pub fn from_columns(columns: Vec<Column>) -> RelResult<Self> {
+        let rows = columns.first().map_or(0, |c| c.values.len());
+        let mut index = HashMap::new();
+        for (i, c) in columns.iter().enumerate() {
+            if c.values.len() != rows {
+                return Err(RelError::ColumnLengthMismatch {
+                    column: c.name.clone(),
+                    expected: rows,
+                    actual: c.values.len(),
+                });
+            }
+            if index.insert(c.name.clone(), i).is_some() {
+                return Err(RelError::DuplicateAttribute(c.name.clone()));
+            }
+        }
+        Ok(Self { columns, index, rows })
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in declaration order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Whether a column exists.
+    pub fn has_column(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// Append a row given values for every column (positional).
+    pub fn push_row(&mut self, row: Vec<Value>) -> RelResult<()> {
+        if row.len() != self.columns.len() {
+            return Err(RelError::ColumnLengthMismatch {
+                column: "<row>".to_string(),
+                expected: self.columns.len(),
+                actual: row.len(),
+            });
+        }
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.values.push(v);
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Borrow a column by name.
+    pub fn column(&self, name: &str) -> RelResult<&Column> {
+        self.index
+            .get(name)
+            .map(|&i| &self.columns[i])
+            .ok_or_else(|| RelError::UnknownColumn(name.to_string()))
+    }
+
+    /// A column rendered as `f64`s; missing / non-numeric cells become NaN.
+    pub fn column_f64(&self, name: &str) -> RelResult<Vec<f64>> {
+        Ok(self
+            .column(name)?
+            .values
+            .iter()
+            .map(|v| v.as_f64().unwrap_or(f64::NAN))
+            .collect())
+    }
+
+    /// Read a single cell.
+    pub fn cell(&self, row: usize, name: &str) -> RelResult<&Value> {
+        let col = self.column(name)?;
+        col.values.get(row).ok_or_else(|| RelError::MalformedQuery(format!(
+            "row {row} out of bounds ({} rows)",
+            self.rows
+        )))
+    }
+
+    /// Add a new column of values (must match the current row count).
+    pub fn add_column(&mut self, name: &str, values: Vec<Value>) -> RelResult<()> {
+        if self.index.contains_key(name) {
+            return Err(RelError::DuplicateAttribute(name.to_string()));
+        }
+        if !self.columns.is_empty() && values.len() != self.rows {
+            return Err(RelError::ColumnLengthMismatch {
+                column: name.to_string(),
+                expected: self.rows,
+                actual: values.len(),
+            });
+        }
+        if self.columns.is_empty() {
+            self.rows = values.len();
+        }
+        self.columns.push(Column {
+            name: name.to_string(),
+            values,
+        });
+        self.index.insert(name.to_string(), self.columns.len() - 1);
+        Ok(())
+    }
+
+    /// Select a subset of rows (by predicate on the row index) into a new table.
+    pub fn filter_rows(&self, mut keep: impl FnMut(usize) -> bool) -> Table {
+        let kept: Vec<usize> = (0..self.rows).filter(|&i| keep(i)).collect();
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Column {
+                name: c.name.clone(),
+                values: kept.iter().map(|&i| c.values[i].clone()).collect(),
+            })
+            .collect();
+        Table::from_columns(columns).expect("filtered columns have equal length")
+    }
+
+    /// Select a subset of columns into a new table (order given by `names`).
+    pub fn select(&self, names: &[&str]) -> RelResult<Table> {
+        let mut cols = Vec::with_capacity(names.len());
+        for n in names {
+            cols.push(self.column(n)?.clone());
+        }
+        Table::from_columns(cols)
+    }
+
+    /// Iterate over rows as vectors of references.
+    pub fn iter_rows(&self) -> impl Iterator<Item = Vec<&Value>> + '_ {
+        (0..self.rows).map(move |i| self.columns.iter().map(|c| &c.values[i]).collect())
+    }
+}
+
+impl fmt::Display for Table {
+    /// Render as a compact, aligned ASCII table (used by experiment binaries).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = self.column_names();
+        let mut widths: Vec<usize> = names.iter().map(|n| n.len()).collect();
+        let rendered: Vec<Vec<String>> = (0..self.rows)
+            .map(|i| {
+                self.columns
+                    .iter()
+                    .enumerate()
+                    .map(|(j, c)| {
+                        let s = match &c.values[i] {
+                            Value::Float(x) => format!("{x:.4}"),
+                            other => other.to_string(),
+                        };
+                        widths[j] = widths[j].max(s.len());
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let header: Vec<String> = names
+            .iter()
+            .enumerate()
+            .map(|(j, n)| format!("{:>w$}", n, w = widths[j]))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        writeln!(f, "{}", "-".repeat(header.join("  ").len()))?;
+        for row in rendered {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(j, s)| format!("{:>w$}", s, w = widths[j]))
+                .collect();
+            writeln!(f, "{}", line.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::with_columns(&["unit", "y", "t"]);
+        t.push_row(vec![Value::from("Bob"), Value::from(0.75), Value::from(1)]).unwrap();
+        t.push_row(vec![Value::from("Carlos"), Value::from(0.1), Value::from(1)]).unwrap();
+        t.push_row(vec![Value::from("Eva"), Value::from(0.41), Value::from(0)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = sample();
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.column_count(), 3);
+        assert_eq!(t.cell(0, "unit").unwrap(), &Value::from("Bob"));
+        assert_eq!(t.column_f64("y").unwrap(), vec![0.75, 0.1, 0.41]);
+        assert!(t.has_column("t"));
+        assert!(!t.has_column("z"));
+    }
+
+    #[test]
+    fn push_row_validates_width() {
+        let mut t = sample();
+        assert!(t.push_row(vec![Value::from("x")]).is_err());
+    }
+
+    #[test]
+    fn from_columns_checks_lengths_and_duplicates() {
+        let cols = vec![
+            Column { name: "a".into(), values: vec![Value::Int(1)] },
+            Column { name: "b".into(), values: vec![] },
+        ];
+        assert!(matches!(
+            Table::from_columns(cols),
+            Err(RelError::ColumnLengthMismatch { .. })
+        ));
+        let cols = vec![
+            Column { name: "a".into(), values: vec![Value::Int(1)] },
+            Column { name: "a".into(), values: vec![Value::Int(2)] },
+        ];
+        assert!(matches!(Table::from_columns(cols), Err(RelError::DuplicateAttribute(_))));
+    }
+
+    #[test]
+    fn add_column_and_select() {
+        let mut t = sample();
+        t.add_column("w", vec![Value::from(1.0), Value::from(2.0), Value::from(3.0)]).unwrap();
+        assert_eq!(t.column_count(), 4);
+        assert!(t.add_column("w", vec![]).is_err());
+        let s = t.select(&["y", "w"]).unwrap();
+        assert_eq!(s.column_names(), vec!["y", "w"]);
+        assert!(t.select(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn filter_rows_keeps_matching() {
+        let t = sample();
+        let treated = t.filter_rows(|i| t.cell(i, "t").unwrap().as_bool() == Some(true));
+        assert_eq!(treated.row_count(), 2);
+    }
+
+    #[test]
+    fn nonnumeric_cells_become_nan() {
+        let t = sample();
+        let xs = t.column_f64("unit").unwrap();
+        assert!(xs.iter().all(|x| x.is_nan()));
+    }
+
+    #[test]
+    fn display_renders_header_and_rows() {
+        let t = sample();
+        let s = t.to_string();
+        assert!(s.contains("unit"));
+        assert!(s.contains("Bob"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn iter_rows_yields_all() {
+        let t = sample();
+        assert_eq!(t.iter_rows().count(), 3);
+    }
+}

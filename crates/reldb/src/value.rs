@@ -1,0 +1,322 @@
+//! The typed value model shared by every layer of the system.
+//!
+//! Values are deliberately small: the causal analyses in the paper only need
+//! booleans (treatments), numbers (responses, covariates) and strings
+//! (entity keys, categorical covariates). A `Null` variant represents the
+//! unobserved attribute functions of the relational causal schema (e.g.
+//! `Quality[S]` in the running example).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single database value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// Missing / unobserved value.
+    Null,
+    /// Boolean value (typically a binary treatment).
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string (entity keys, categorical values).
+    Str(String),
+}
+
+impl Value {
+    /// True iff the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interpret the value as a float for numeric computation.
+    ///
+    /// Booleans map to 0.0/1.0, integers are widened, nulls and strings
+    /// return `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Null => None,
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Interpret the value as a boolean treatment indicator.
+    ///
+    /// Numeric values are treated as `true` iff strictly positive, mirroring
+    /// the paper's convention of binarising treatments via a threshold.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Null => None,
+            Value::Bool(b) => Some(*b),
+            Value::Int(i) => Some(*i > 0),
+            Value::Float(f) => Some(*f > 0.0),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Borrow the value as a string slice if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// A stable, hashable rendering used for grouping and as map keys.
+    ///
+    /// Floats are rendered with full precision via their bit pattern so two
+    /// values group together iff they are bitwise identical.
+    pub fn key_repr(&self) -> String {
+        match self {
+            Value::Null => "\u{0}null".to_string(),
+            Value::Bool(b) => format!("\u{1}{b}"),
+            Value::Int(i) => format!("\u{2}{i}"),
+            Value::Float(f) => format!("\u{3}{:016x}", f.to_bits()),
+            Value::Str(s) => format!("\u{4}{s}"),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                (*a as f64).to_bits() == b.to_bits()
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Ints and equal-valued floats must hash identically because they
+            // compare equal above.
+            Value::Int(i) => {
+                3u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                3u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: Null < Bool < numeric < Str; numerics compare by value
+    /// (NaN sorts greater than all other numbers, equal to itself).
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) | Float(_) => 2,
+                Str(_) => 3,
+            }
+        }
+        fn num_cmp(a: f64, b: f64) -> Ordering {
+            match (a.is_nan(), b.is_nan()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Greater,
+                (false, true) => Ordering::Less,
+                (false, false) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => num_cmp(*a, *b),
+            (Int(a), Float(b)) => num_cmp(*a as f64, *b),
+            (Float(a), Int(b)) => num_cmp(*a, *b as f64),
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+/// Parse a CSV cell into the "most specific" value: empty → Null, then bool,
+/// integer, float, and finally string.
+pub fn parse_cell(cell: &str) -> Value {
+    let trimmed = cell.trim();
+    if trimmed.is_empty() || trimmed.eq_ignore_ascii_case("null") || trimmed.eq_ignore_ascii_case("na") {
+        return Value::Null;
+    }
+    if trimmed.eq_ignore_ascii_case("true") {
+        return Value::Bool(true);
+    }
+    if trimmed.eq_ignore_ascii_case("false") {
+        return Value::Bool(false);
+    }
+    if let Ok(i) = trimmed.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = trimmed.parse::<f64>() {
+        return Value::Float(f);
+    }
+    Value::Str(trimmed.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(0.5).as_f64(), Some(0.5));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn bool_coercions_follow_threshold_convention() {
+        assert_eq!(Value::Int(1).as_bool(), Some(true));
+        assert_eq!(Value::Int(0).as_bool(), Some(false));
+        assert_eq!(Value::Float(0.2).as_bool(), Some(true));
+        assert_eq!(Value::Bool(false).as_bool(), Some(false));
+        assert_eq!(Value::Str("yes".into()).as_bool(), None);
+    }
+
+    #[test]
+    fn int_float_equality_is_consistent_with_hash() {
+        let a = Value::Int(2);
+        let b = Value::Float(2.0);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn ordering_is_total_and_ranks_types() {
+        let mut vals = vec![
+            Value::Str("z".into()),
+            Value::Int(4),
+            Value::Null,
+            Value::Bool(true),
+            Value::Float(1.5),
+        ];
+        vals.sort();
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Bool(true));
+        assert_eq!(vals[4], Value::Str("z".into()));
+    }
+
+    #[test]
+    fn nan_ordering_does_not_panic() {
+        let mut vals = vec![Value::Float(f64::NAN), Value::Float(1.0), Value::Float(-1.0)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Float(-1.0));
+        assert_eq!(vals[1], Value::Float(1.0));
+    }
+
+    #[test]
+    fn parse_cell_detects_types() {
+        assert_eq!(parse_cell(""), Value::Null);
+        assert_eq!(parse_cell("NA"), Value::Null);
+        assert_eq!(parse_cell("true"), Value::Bool(true));
+        assert_eq!(parse_cell("42"), Value::Int(42));
+        assert_eq!(parse_cell("-1.5"), Value::Float(-1.5));
+        assert_eq!(parse_cell("ConfDB"), Value::Str("ConfDB".into()));
+    }
+
+    #[test]
+    fn key_repr_distinguishes_types() {
+        assert_ne!(Value::Int(1).key_repr(), Value::Str("1".into()).key_repr());
+        assert_ne!(Value::Bool(true).key_repr(), Value::Int(1).key_repr());
+    }
+
+    #[test]
+    fn display_is_plain() {
+        assert_eq!(Value::Float(0.75).to_string(), "0.75");
+        assert_eq!(Value::Str("Bob".into()).to_string(), "Bob");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

@@ -1,0 +1,61 @@
+//! Healthcare: the effect of not having insurance on mortality and length
+//! of stay (the paper's MIMIC-III queries (34a)/(34b), Table 3).
+//!
+//! Generates a MIMIC-like critical-care database in which uninsured
+//! (self-pay) patients arrive sicker, then contrasts the naive difference of
+//! averages with the covariate-adjusted ATE.
+//!
+//! Run with: `cargo run --release --example healthcare_insurance`
+
+use carl::CarlEngine;
+use carl_datagen::{generate_mimic, MimicConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = MimicConfig {
+        patients: 10_000,
+        ..MimicConfig::small(7)
+    };
+    println!("generating MIMIC-like database with {} ICU patients…", config.patients);
+    let ds = generate_mimic(&config);
+    println!(
+        "tables: {}   attributes: {}   rows: {}",
+        ds.table_count(),
+        ds.attribute_count(),
+        ds.row_count()
+    );
+    let engine = CarlEngine::new(ds.instance, &ds.rules)?;
+
+    println!("\n== (34a) Death[P] <= SelfPay[P]? ==");
+    let death = engine.answer_str("Death[P] <= SelfPay[P]?")?;
+    let death = death.as_ate().expect("ATE query");
+    println!(
+        "  mortality: self-pay {:.1}% vs insured {:.1}%  -> naive difference {:+.1} pp",
+        100.0 * death.treated_mean,
+        100.0 * death.control_mean,
+        100.0 * death.naive_difference
+    );
+    println!(
+        "  adjusted ATE: {:+.1} pp   (planted direct effect: {:+.1} pp)",
+        100.0 * death.ate,
+        100.0 * ds.ground_truth.ate_primary.unwrap_or(f64::NAN)
+    );
+    println!(
+        "  -> the gap almost vanishes after adjusting for severity at admission:\n\
+         care-givers do not discriminate; self-payers simply arrive sicker."
+    );
+
+    println!("\n== (34b) Len[P] <= SelfPay[P]? ==");
+    let los = engine.answer_str("Len[P] <= SelfPay[P]?")?;
+    let los = los.as_ate().expect("ATE query");
+    println!(
+        "  length of stay: self-pay {:.0} h vs insured {:.0} h  -> naive difference {:+.0} h",
+        los.treated_mean, los.control_mean, los.naive_difference
+    );
+    println!(
+        "  adjusted ATE: {:+.0} h   (planted direct effect: {:+.0} h)",
+        los.ate,
+        ds.ground_truth.ate_secondary.unwrap_or(f64::NAN)
+    );
+    println!("  -> the effect is attenuated but does not disappear, matching the paper's Table 3.");
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Hospital size and affordability: the paper's NIS query (35), Table 3.
+//!
+//! Generates an NIS-like inpatient sample in which sicker patients go to
+//! large hospitals, asks whether admission to a large hospital causes higher
+//! bills, and also runs the flat universal-table baseline for contrast.
+//!
+//! Run with: `cargo run --release --example hospital_size`
+
+use carl::baseline::{universal_ate, UniversalBaseline};
+use carl::{CarlEngine, EstimatorKind};
+use carl_datagen::{generate_nis, NisConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = NisConfig {
+        admissions: 20_000,
+        ..NisConfig::small(11)
+    };
+    println!(
+        "generating NIS-like sample: {} admissions across {} hospitals…",
+        config.admissions, config.hospitals
+    );
+    let ds = generate_nis(&config);
+    let engine = CarlEngine::new(ds.instance.clone(), &ds.rules)?;
+
+    println!("\n== (35) Bill[P] <= Admitted_To_Large[P]? ==");
+    let ans = engine.answer_str("Bill[P] <= Admitted_To_Large[P]?")?;
+    let ate = ans.as_ate().expect("ATE query");
+    println!(
+        "  above-median bills: large hospitals {:.0}%, small hospitals {:.0}%  -> naive difference {:+.0} pp",
+        100.0 * ate.treated_mean,
+        100.0 * ate.control_mean,
+        100.0 * ate.naive_difference
+    );
+    println!(
+        "  adjusted ATE: {:+.1} pp   (planted direct effect: {:+.0} pp)",
+        100.0 * ate.ate,
+        100.0 * ds.ground_truth.ate_primary.unwrap_or(f64::NAN)
+    );
+    println!(
+        "  -> the sign reverses once the case-mix (severity, surgery) is adjusted for:\n\
+         all else equal, large hospitals are *more* affordable (economies of scale)."
+    );
+
+    println!("\n== the same question asked naively on the universal table ==");
+    let baseline = UniversalBaseline {
+        treatment: "Admitted_To_Large".into(),
+        outcome: "Bill".into(),
+        covariates: None,
+        estimator: EstimatorKind::Naive,
+    };
+    let flat = universal_ate(&ds.instance, &baseline)?;
+    println!(
+        "  universal-table rows: {}   naive difference: {:+.0} pp",
+        flat.n_units,
+        100.0 * flat.naive_difference
+    );
+    println!("  -> without the relational causal model, the analyst concludes the opposite.");
+    Ok(())
+}

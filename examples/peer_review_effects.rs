@@ -1,0 +1,59 @@
+//! Peer-review effects: the paper's REVIEWDATA analysis (Figure 7).
+//!
+//! Generates a review corpus in which institutional prestige influences
+//! review scores only at single-blind venues, then asks CaRL for the ATE in
+//! each blinding regime and for the isolated / relational / overall effects
+//! at single-blind venues.
+//!
+//! Run with: `cargo run --release --example peer_review_effects`
+
+use carl::CarlEngine;
+use carl_datagen::{generate_reviewdata, ReviewConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ReviewConfig {
+        authors: 1_500,
+        papers: 900,
+        ..ReviewConfig::paper_scale(2024)
+    };
+    println!(
+        "generating REVIEWDATA-like corpus: {} authors, {} submissions, {} conferences",
+        config.authors, config.papers, config.conferences
+    );
+    let ds = generate_reviewdata(&config);
+    let engine = CarlEngine::new(ds.instance, &ds.rules)?;
+
+    println!("\n== does author prestige causally affect review scores? ==");
+    for (label, blind) in [("single-blind", "false"), ("double-blind", "true")] {
+        let answer = engine.answer_str(&format!(
+            "Score[S] <= Prestige[A]? WHERE Submitted(S, C), Blind[C] = {blind}"
+        ))?;
+        let ate = answer.as_ate().expect("ATE query");
+        println!(
+            "  {label:>12}: correlation {:+.3}, naive difference {:+.3}, ATE {:+.3}  ({} treated / {} control authors)",
+            ate.correlation, ate.naive_difference, ate.ate, ate.n_treated, ate.n_control
+        );
+    }
+    println!(
+        "  -> correlation is positive in both regimes, but the causal effect survives\n\
+         adjustment only at single-blind venues (the paper's Figure 7a finding)."
+    );
+
+    println!("\n== isolated vs relational effects at single-blind venues ==");
+    let peer = engine.answer_str(
+        "Score[S] <= Prestige[A]? WHERE Submitted(S, C), Blind[C] = false WHEN ALL PEERS TREATED",
+    )?;
+    let peer = peer.as_peer_effects().expect("peer-effects query");
+    println!("  isolated effect  (AIE): {:+.3}", peer.aie);
+    println!("  relational effect(ARE): {:+.3}", peer.are);
+    println!("  overall effect   (AOE): {:+.3}", peer.aoe);
+    println!(
+        "  units: {} ({} with at least one co-author peer, mean {:.2} peers)",
+        peer.n_units, peer.n_units_with_peers, peer.mean_peer_count
+    );
+    println!(
+        "  -> an author's own prestige matters more than their collaborators' prestige\n\
+         (AIE > ARE), and AOE = AIE + ARE as required by Proposition 4.1."
+    );
+    Ok(())
+}

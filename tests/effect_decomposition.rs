@@ -1,0 +1,104 @@
+//! Property-based tests of the estimation layer's algebraic invariants:
+//! Proposition 4.1 (AOE = AIE + ARE) and related monotonicity /
+//! boundary properties of the peer-regime machinery.
+
+use carl::query::regime_fraction;
+use carl::EmbeddingKind;
+use carl_lang::PeerCondition;
+use proptest::prelude::*;
+
+proptest! {
+    /// The representative fraction of any regime lies in [0, 1] and the
+    /// extremes ALL / NONE map to the endpoints for every peer count.
+    #[test]
+    fn regime_fraction_is_a_probability(kpct in 0.0f64..100.0, k in 0u64..20, count in 0usize..30) {
+        for regime in [
+            PeerCondition::All,
+            PeerCondition::None,
+            PeerCondition::MoreThanPercent(kpct),
+            PeerCondition::LessThanPercent(kpct),
+            PeerCondition::AtLeast(k),
+            PeerCondition::AtMost(k),
+            PeerCondition::Exactly(k),
+        ] {
+            let f = regime_fraction(&regime, count);
+            prop_assert!((0.0..=1.0).contains(&f), "{regime:?} with {count} peers gave {f}");
+        }
+        prop_assert_eq!(regime_fraction(&PeerCondition::All, count), 1.0);
+        prop_assert_eq!(regime_fraction(&PeerCondition::None, count), 0.0);
+    }
+
+    /// MORE THAN k% always encodes at least as many treated peers as
+    /// LESS THAN k%, for the same threshold.
+    #[test]
+    fn more_than_dominates_less_than(kpct in 0.0f64..100.0, count in 1usize..30) {
+        let more = regime_fraction(&PeerCondition::MoreThanPercent(kpct), count);
+        let less = regime_fraction(&PeerCondition::LessThanPercent(kpct), count);
+        prop_assert!(more >= less);
+    }
+
+    /// Every embedding has a consistent dimensionality and its
+    /// counterfactual for fraction 0 equals the embedding of an all-control
+    /// peer vector (so ARE of the NONE regime is identically zero).
+    #[test]
+    fn counterfactual_none_matches_all_zero_vector(count in 0usize..12) {
+        for embedding in [
+            EmbeddingKind::Mean,
+            EmbeddingKind::Median,
+            EmbeddingKind::Moments(3),
+            EmbeddingKind::Padding(12),
+        ] {
+            let zeros = vec![0.0; count];
+            prop_assert_eq!(embedding.counterfactual(0.0, count), embedding.embed(&zeros));
+            let ones = vec![1.0; count];
+            prop_assert_eq!(embedding.counterfactual(1.0, count), embedding.embed(&ones));
+            prop_assert_eq!(embedding.embed(&zeros).len(), embedding.dim());
+        }
+    }
+
+    /// The mean embedding of a 0/1 peer-treatment vector is exactly
+    /// (fraction treated, count) — the statistic CaRL conditions on.
+    #[test]
+    fn mean_embedding_recovers_fraction(bits in proptest::collection::vec(0u8..2, 1..20)) {
+        let values: Vec<f64> = bits.iter().map(|&b| f64::from(b)).collect();
+        let frac = values.iter().sum::<f64>() / values.len() as f64;
+        let embedded = EmbeddingKind::Mean.embed(&values);
+        prop_assert!((embedded[0] - frac).abs() < 1e-12);
+        prop_assert_eq!(embedded[1], values.len() as f64);
+    }
+}
+
+/// Proposition 4.1 on a real estimation run: AOE = AIE + ARE exactly, for
+/// every peer regime, on a synthetic dataset with interference.
+#[test]
+fn aoe_decomposes_for_every_regime() {
+    use carl::CarlEngine;
+    use carl_datagen::{generate_synthetic_review, SyntheticReviewConfig};
+
+    let ds = generate_synthetic_review(&SyntheticReviewConfig::small(77));
+    let engine = CarlEngine::new(ds.instance, &ds.rules).expect("model binds");
+    for regime in [
+        "ALL",
+        "NONE",
+        "MORE THAN 33%",
+        "LESS THAN 50%",
+        "AT LEAST 2",
+        "AT MOST 1",
+        "EXACTLY 1",
+    ] {
+        let ans = engine
+            .answer_str(&format!(
+                "Score[P] <= Prestige[A]? WHERE SubmittedTo(P, V), DoubleBlind[V] = false \
+                 WHEN {regime} PEERS TREATED"
+            ))
+            .unwrap_or_else(|e| panic!("{regime}: {e}"));
+        let p = ans.as_peer_effects().expect("peer query");
+        assert!(
+            (p.aoe - (p.aie + p.are)).abs() < 1e-9,
+            "{regime}: AOE {} != AIE {} + ARE {}",
+            p.aoe,
+            p.aie,
+            p.are
+        );
+    }
+}
