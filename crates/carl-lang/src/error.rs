@@ -1,6 +1,6 @@
 //! Errors for lexing, parsing and static validation of CaRL programs.
 
-use thiserror::Error;
+use std::fmt;
 
 /// A source position (1-based line and column).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -18,10 +18,9 @@ impl std::fmt::Display for Position {
 }
 
 /// Errors produced by the CaRL front end.
-#[derive(Debug, Error, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LangError {
     /// An unexpected character was encountered while lexing.
-    #[error("unexpected character `{ch}` at {position}")]
     UnexpectedCharacter {
         /// The offending character.
         ch: char,
@@ -30,14 +29,12 @@ pub enum LangError {
     },
 
     /// An unterminated string literal.
-    #[error("unterminated string literal starting at {position}")]
     UnterminatedString {
         /// Where the literal started.
         position: Position,
     },
 
     /// A malformed numeric literal.
-    #[error("malformed number `{text}` at {position}")]
     MalformedNumber {
         /// The text that failed to parse.
         text: String,
@@ -46,7 +43,6 @@ pub enum LangError {
     },
 
     /// The parser expected something else.
-    #[error("parse error at {position}: expected {expected}, found {found}")]
     Unexpected {
         /// Description of what was expected.
         expected: String,
@@ -57,7 +53,6 @@ pub enum LangError {
     },
 
     /// A statement violated a syntactic well-formedness condition.
-    #[error("invalid statement at {position}: {message}")]
     InvalidStatement {
         /// Explanation.
         message: String,
@@ -66,9 +61,35 @@ pub enum LangError {
     },
 
     /// Static validation failure (variable safety, recursion, …).
-    #[error("validation error: {0}")]
     Validation(String),
 }
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedCharacter { ch, position } => {
+                write!(f, "unexpected character `{ch}` at {position}")
+            }
+            Self::UnterminatedString { position } => {
+                write!(f, "unterminated string literal starting at {position}")
+            }
+            Self::MalformedNumber { text, position } => {
+                write!(f, "malformed number `{text}` at {position}")
+            }
+            Self::Unexpected {
+                expected,
+                found,
+                position,
+            } => write!(f, "parse error at {position}: expected {expected}, found {found}"),
+            Self::InvalidStatement { message, position } => {
+                write!(f, "invalid statement at {position}: {message}")
+            }
+            Self::Validation(message) => write!(f, "validation error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
 
 /// Result alias for this crate.
 pub type LangResult<T> = Result<T, LangError>;

@@ -128,9 +128,9 @@ pub fn estimate_ate(
 fn regression_adjustment(outcome: &[f64], treatment: &[f64], covariates: &Matrix) -> StatsResult<f64> {
     let n = outcome.len();
     let mut rows = Vec::with_capacity(n);
-    for i in 0..n {
+    for (i, &t) in treatment.iter().enumerate().take(n) {
         let mut r = Vec::with_capacity(1 + covariates.ncols());
-        r.push(treatment[i]);
+        r.push(t);
         r.extend_from_slice(covariates.row(i));
         rows.push(r);
     }

@@ -1,24 +1,20 @@
 //! Error types for the statistics substrate.
 
-use thiserror::Error;
+use std::fmt;
 
 /// Errors produced by estimators in this crate.
-#[derive(Debug, Error, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StatsError {
     /// Input slices had inconsistent lengths.
-    #[error("dimension mismatch: {0}")]
     DimensionMismatch(String),
 
     /// Not enough observations to fit the requested model.
-    #[error("insufficient data: {0}")]
     InsufficientData(String),
 
     /// The design matrix (or a derived system) was singular.
-    #[error("singular system: {0}")]
     Singular(String),
 
     /// An iterative fit failed to converge.
-    #[error("did not converge after {iterations} iterations (last delta {last_delta})")]
     NoConvergence {
         /// Iterations performed.
         iterations: usize,
@@ -27,13 +23,32 @@ pub enum StatsError {
     },
 
     /// One of the treatment arms was empty.
-    #[error("empty treatment arm: {0}")]
     EmptyArm(String),
 
     /// Generic invalid-argument error.
-    #[error("invalid argument: {0}")]
     InvalidArgument(String),
 }
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimensionMismatch(message) => write!(f, "dimension mismatch: {message}"),
+            Self::InsufficientData(message) => write!(f, "insufficient data: {message}"),
+            Self::Singular(message) => write!(f, "singular system: {message}"),
+            Self::NoConvergence {
+                iterations,
+                last_delta,
+            } => write!(
+                f,
+                "did not converge after {iterations} iterations (last delta {last_delta})"
+            ),
+            Self::EmptyArm(message) => write!(f, "empty treatment arm: {message}"),
+            Self::InvalidArgument(message) => write!(f, "invalid argument: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
 
 /// Result alias for this crate.
 pub type StatsResult<T> = Result<T, StatsError>;

@@ -97,7 +97,7 @@ mod tests {
         for _ in 0..n {
             let z: f64 = rng.gen();
             let t = if rng.gen::<f64>() < 0.25 + 0.5 * z { 1.0 } else { 0.0 };
-            let y = -1.0 * t + 2.0 * z + rng.gen_range(-0.1..0.1);
+            let y = -t + 2.0 * z + rng.gen_range(-0.1..0.1);
             rows.push(vec![z]);
             ts.push(t);
             ys.push(y);

@@ -143,9 +143,8 @@ impl Matrix {
             return Err(StatsError::DimensionMismatch("gram_rhs: y length".into()));
         }
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
+        for (i, &yi) in y.iter().enumerate().take(self.rows) {
             let row = self.row(i);
-            let yi = y[i];
             for (o, &x) in out.iter_mut().zip(row) {
                 *o += x * yi;
             }

@@ -103,7 +103,7 @@ mod tests {
         let mut g = CausalGraph::new();
         let ids: Vec<NodeId> = ["A", "B", "C", "D", "E"]
             .iter()
-            .map(|n| g.add_node(GroundedAttr::single(*n, "u")))
+            .map(|n| g.add_node(GroundedAttr::single(n, "u")))
             .collect();
         let (a, b, c, d, e) = (ids[0], ids[1], ids[2], ids[3], ids[4]);
         g.add_edge(a, b);

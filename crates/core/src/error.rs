@@ -1,31 +1,26 @@
 //! Error type for the CaRL engine.
 
-use thiserror::Error;
+use std::fmt;
 
 /// Errors produced while building relational causal models, grounding them,
 /// constructing unit tables, or answering causal queries.
-#[derive(Debug, Error)]
+#[derive(Debug)]
 pub enum CarlError {
     /// An error bubbled up from the relational substrate.
-    #[error("relational error: {0}")]
-    Rel(#[from] reldb::RelError),
+    Rel(reldb::RelError),
 
     /// An error bubbled up from the CaRL language front end.
-    #[error("language error: {0}")]
-    Lang(#[from] carl_lang::LangError),
+    Lang(carl_lang::LangError),
 
     /// An error bubbled up from the statistics substrate.
-    #[error("estimation error: {0}")]
-    Stats(#[from] carl_stats::StatsError),
+    Stats(carl_stats::StatsError),
 
     /// The program referenced an attribute that the schema does not declare
     /// and that no aggregate rule defines.
-    #[error("unknown attribute `{0}` (not in the schema and not defined by an aggregate rule)")]
     UnknownAttribute(String),
 
     /// An attribute reference had the wrong number of arguments for the
     /// predicate it attaches to.
-    #[error("attribute `{attr}` attaches to `{subject}` with arity {expected}, but was written with {actual} argument(s)")]
     AttributeArity {
         /// Attribute name.
         attr: String,
@@ -38,15 +33,12 @@ pub enum CarlError {
     },
 
     /// A condition referenced an unknown predicate.
-    #[error("unknown predicate `{0}` in WHERE clause")]
     UnknownPredicate(String),
 
     /// The treatment attribute is not binary.
-    #[error("treatment attribute `{0}` must be binary (bool-valued); binarise it with a comparison or a derived attribute")]
     NonBinaryTreatment(String),
 
     /// Treatment and response are not relationally connected.
-    #[error("treatment `{treatment}` and response `{response}` are not relationally connected by any relational path")]
     NotRelationallyConnected {
         /// Treatment attribute name.
         treatment: String,
@@ -55,20 +47,96 @@ pub enum CarlError {
     },
 
     /// The grounded causal graph contains a cycle.
-    #[error("the grounded causal graph contains a cycle through `{0}`; the relational causal model must be non-recursive")]
     CyclicModel(String),
 
     /// The unit table ended up empty (no units satisfied the query).
-    #[error("the unit table for this query is empty: {0}")]
     EmptyUnitTable(String),
 
     /// A query asked about an attribute with no grounded values.
-    #[error("attribute `{0}` has no observed or derived values in this instance")]
     NoValues(String),
 
     /// Catch-all invalid-argument error.
-    #[error("invalid query: {0}")]
     InvalidQuery(String),
+}
+
+impl fmt::Display for CarlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Rel(source) => write!(f, "relational error: {source}"),
+            Self::Lang(source) => write!(f, "language error: {source}"),
+            Self::Stats(source) => write!(f, "estimation error: {source}"),
+            Self::UnknownAttribute(name) => write!(
+                f,
+                "unknown attribute `{name}` (not in the schema and not defined by an aggregate rule)"
+            ),
+            Self::AttributeArity {
+                attr,
+                subject,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "attribute `{attr}` attaches to `{subject}` with arity {expected}, \
+                 but was written with {actual} argument(s)"
+            ),
+            Self::UnknownPredicate(name) => write!(f, "unknown predicate `{name}` in WHERE clause"),
+            Self::NonBinaryTreatment(name) => write!(
+                f,
+                "treatment attribute `{name}` must be binary (bool-valued); \
+                 binarise it with a comparison or a derived attribute"
+            ),
+            Self::NotRelationallyConnected {
+                treatment,
+                response,
+            } => write!(
+                f,
+                "treatment `{treatment}` and response `{response}` are not relationally \
+                 connected by any relational path"
+            ),
+            Self::CyclicModel(name) => write!(
+                f,
+                "the grounded causal graph contains a cycle through `{name}`; \
+                 the relational causal model must be non-recursive"
+            ),
+            Self::EmptyUnitTable(message) => {
+                write!(f, "the unit table for this query is empty: {message}")
+            }
+            Self::NoValues(name) => write!(
+                f,
+                "attribute `{name}` has no observed or derived values in this instance"
+            ),
+            Self::InvalidQuery(message) => write!(f, "invalid query: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CarlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Rel(source) => Some(source),
+            Self::Lang(source) => Some(source),
+            Self::Stats(source) => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<reldb::RelError> for CarlError {
+    fn from(source: reldb::RelError) -> Self {
+        Self::Rel(source)
+    }
+}
+
+impl From<carl_lang::LangError> for CarlError {
+    fn from(source: carl_lang::LangError) -> Self {
+        Self::Lang(source)
+    }
+}
+
+impl From<carl_stats::StatsError> for CarlError {
+    fn from(source: carl_stats::StatsError) -> Self {
+        Self::Stats(source)
+    }
 }
 
 /// Result alias for this crate.

@@ -291,7 +291,7 @@ mod tests {
         for i in 0..4 {
             let key = Value::from(format!("p{i}"));
             instance.add_entity("Patient", key.clone()).unwrap();
-            instance.set_attribute("Severity", &[key.clone()], Value::Float(i as f64)).unwrap();
+            instance.set_attribute("Severity", std::slice::from_ref(&key), Value::Float(i as f64)).unwrap();
             instance.set_attribute("Bill", &[key], Value::Float(10.0 * i as f64)).unwrap();
         }
         let program = parse_program("Bill[P] <= Severity[P]").unwrap();

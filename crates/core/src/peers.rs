@@ -167,7 +167,7 @@ mod tests {
         for i in 0..3 {
             let k = Value::from(format!("p{i}"));
             instance.add_entity("Patient", k.clone()).unwrap();
-            instance.set_attribute("SelfPay", &[k.clone()], Value::Bool(i % 2 == 0)).unwrap();
+            instance.set_attribute("SelfPay", std::slice::from_ref(&k), Value::Bool(i % 2 == 0)).unwrap();
             instance.set_attribute("Death", &[k], Value::Float(0.0)).unwrap();
         }
         let program = parse_program("Death[P] <= SelfPay[P]").unwrap();

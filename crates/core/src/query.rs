@@ -435,7 +435,7 @@ mod tests {
             let is_famous = rng.gen::<f64>() < 0.2 + 0.6 * talent;
             talents.push(talent);
             famous.push(is_famous);
-            instance.set_attribute("Talent", &[key.clone()], Value::Float(talent)).unwrap();
+            instance.set_attribute("Talent", std::slice::from_ref(&key), Value::Float(talent)).unwrap();
             instance.set_attribute("Famous", &[key], Value::Bool(is_famous)).unwrap();
         }
         // Ring collaboration: i collaborates with i+1 (symmetric closure).
@@ -624,8 +624,8 @@ mod tests {
         for i in 0..50 {
             let k = Value::from(format!("p{i}"));
             instance.add_entity("Patient", k.clone()).unwrap();
-            instance.set_attribute("SelfPay", &[k.clone()], Value::Bool(i % 2 == 0)).unwrap();
-            instance.set_attribute("Severity", &[k.clone()], Value::Float(rng.gen())).unwrap();
+            instance.set_attribute("SelfPay", std::slice::from_ref(&k), Value::Bool(i % 2 == 0)).unwrap();
+            instance.set_attribute("Severity", std::slice::from_ref(&k), Value::Float(rng.gen())).unwrap();
             instance.set_attribute("Death", &[k], Value::Float(rng.gen())).unwrap();
         }
         let program = parse_program(

@@ -135,14 +135,14 @@ pub fn generate_mimic(config: &MimicConfig) -> Dataset {
             + rng.gen_range(-30.0..30.0))
         .max(4.0);
 
-        instance.set_attribute("Ethnicity", &[key.clone()], Value::Float(ethnicity)).expect("float");
-        instance.set_attribute("Sex", &[key.clone()], Value::Bool(sex)).expect("bool");
-        instance.set_attribute("Severity", &[key.clone()], Value::Float(severity)).expect("float");
-        instance.set_attribute("SelfPay", &[key.clone()], Value::Bool(selfpay)).expect("bool");
+        instance.set_attribute("Ethnicity", std::slice::from_ref(&key), Value::Float(ethnicity)).expect("float");
+        instance.set_attribute("Sex", std::slice::from_ref(&key), Value::Bool(sex)).expect("bool");
+        instance.set_attribute("Severity", std::slice::from_ref(&key), Value::Float(severity)).expect("float");
+        instance.set_attribute("SelfPay", std::slice::from_ref(&key), Value::Bool(selfpay)).expect("bool");
         instance
-            .set_attribute("Death", &[key.clone()], Value::Float(if death { 1.0 } else { 0.0 }))
+            .set_attribute("Death", std::slice::from_ref(&key), Value::Float(if death { 1.0 } else { 0.0 }))
             .expect("float");
-        instance.set_attribute("Len", &[key.clone()], Value::Float(los)).expect("float");
+        instance.set_attribute("Len", std::slice::from_ref(&key), Value::Float(los)).expect("float");
 
         // Care and prescriptions: one caregiver, one or two drugs with a
         // severity-driven dose.

@@ -89,7 +89,7 @@ pub fn generate_nis(config: &NisConfig) -> Dataset {
         instance.add_entity("Hospital", key.clone()).expect("schema admits Hospital");
         let is_large = rng.gen_bool(0.4);
         let is_private = rng.gen_bool(0.6);
-        instance.set_attribute("Large", &[key.clone()], Value::Bool(is_large)).expect("bool");
+        instance.set_attribute("Large", std::slice::from_ref(&key), Value::Bool(is_large)).expect("bool");
         instance
             .set_attribute("Private_Ownership", &[key], Value::Bool(is_private))
             .expect("bool");
@@ -126,16 +126,16 @@ pub fn generate_nis(config: &NisConfig) -> Dataset {
         let high_bill = rng.gen::<f64>() < p_high_bill;
 
         instance
-            .set_attribute("Illness_Severity", &[key.clone()], Value::Float(severity))
+            .set_attribute("Illness_Severity", std::slice::from_ref(&key), Value::Float(severity))
             .expect("float");
         instance
-            .set_attribute("Surgery_Performed", &[key.clone()], Value::Bool(surgery))
+            .set_attribute("Surgery_Performed", std::slice::from_ref(&key), Value::Bool(surgery))
             .expect("bool");
         instance
-            .set_attribute("Admitted_To_Large", &[key.clone()], Value::Bool(to_large))
+            .set_attribute("Admitted_To_Large", std::slice::from_ref(&key), Value::Bool(to_large))
             .expect("bool");
         instance
-            .set_attribute("Bill", &[key.clone()], Value::Float(if high_bill { 1.0 } else { 0.0 }))
+            .set_attribute("Bill", std::slice::from_ref(&key), Value::Float(if high_bill { 1.0 } else { 0.0 }))
             .expect("float");
         instance
             .add_relationship("Admitted", vec![key, Value::from(format!("h{hospital}"))])

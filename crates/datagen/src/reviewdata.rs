@@ -115,9 +115,9 @@ pub fn generate_reviewdata(config: &ReviewConfig) -> Dataset {
         let citations = qual * rng.gen_range(20.0..120.0);
         let p_prestige = (0.10 + 0.65 * qual / 80.0).min(0.85);
         let is_prestigious = rng.gen::<f64>() < p_prestige;
-        instance.set_attribute("Qualification", &[key.clone()], Value::Float(qual)).expect("float");
-        instance.set_attribute("Experience", &[key.clone()], Value::Float(experience)).expect("float");
-        instance.set_attribute("Citations", &[key.clone()], Value::Float(citations)).expect("float");
+        instance.set_attribute("Qualification", std::slice::from_ref(&key), Value::Float(qual)).expect("float");
+        instance.set_attribute("Experience", std::slice::from_ref(&key), Value::Float(experience)).expect("float");
+        instance.set_attribute("Citations", std::slice::from_ref(&key), Value::Float(citations)).expect("float");
         instance.set_attribute("Prestige", &[key], Value::Bool(is_prestigious)).expect("bool");
         qualification.push(qual);
         prestige.push(is_prestigious);
@@ -186,7 +186,7 @@ pub fn generate_reviewdata(config: &ReviewConfig) -> Dataset {
             + rng.gen_range(-config.noise..config.noise))
         .clamp(0.0, 1.0);
         let accepted = score > 0.55;
-        instance.set_attribute("Score", &[key.clone()], Value::Float(score)).expect("float");
+        instance.set_attribute("Score", std::slice::from_ref(&key), Value::Float(score)).expect("float");
         instance.set_attribute("Accepted", &[key], Value::Bool(accepted)).expect("bool");
     }
 

@@ -150,7 +150,7 @@ pub fn generate_synthetic_review(config: &SyntheticReviewConfig) -> Dataset {
             * (prestigious_institutions as f64 / config.institutions as f64 * 5.0).min(1.0);
         let is_prestigious = rng.gen::<f64>() < p_prestige;
         instance
-            .set_attribute("Qualification", &[key.clone()], Value::Float(qual))
+            .set_attribute("Qualification", std::slice::from_ref(&key), Value::Float(qual))
             .expect("domain admits float");
         instance
             .set_attribute("Prestige", &[key], Value::Bool(is_prestigious))
@@ -230,7 +230,7 @@ pub fn generate_synthetic_review(config: &SyntheticReviewConfig) -> Dataset {
             + config.relational_effect * peer_frac
             + rng.gen_range(-config.noise..config.noise);
         instance
-            .set_attribute("Quality", &[key.clone()], Value::Float(quality))
+            .set_attribute("Quality", std::slice::from_ref(&key), Value::Float(quality))
             .expect("domain admits float");
         instance
             .set_attribute("Score", &[key], Value::Float(score))
@@ -326,7 +326,7 @@ mod tests {
         assert_eq!(a.row_count(), b.row_count());
         let key = Value::from("p0");
         assert_eq!(
-            a.instance.attribute("Score", &[key.clone()]),
+            a.instance.attribute("Score", std::slice::from_ref(&key)),
             b.instance.attribute("Score", &[key])
         );
     }

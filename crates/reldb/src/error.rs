@@ -1,29 +1,24 @@
 //! Error types for the relational substrate.
 
-use thiserror::Error;
+use std::fmt;
 
 /// Errors produced by schema construction, instance population, query
 /// evaluation and table manipulation.
-#[derive(Debug, Error, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RelError {
     /// A predicate (entity or relationship) with this name already exists.
-    #[error("predicate `{0}` is already defined")]
     DuplicatePredicate(String),
 
     /// An attribute with this name already exists.
-    #[error("attribute `{0}` is already defined")]
     DuplicateAttribute(String),
 
     /// Reference to an entity or relationship that is not in the schema.
-    #[error("unknown predicate `{0}`")]
     UnknownPredicate(String),
 
     /// Reference to an attribute function that is not in the schema.
-    #[error("unknown attribute `{0}`")]
     UnknownAttribute(String),
 
     /// A relationship was declared over an entity that does not exist.
-    #[error("relationship `{rel}` references unknown entity `{entity}`")]
     UnknownEntityInRelationship {
         /// The offending relationship name.
         rel: String,
@@ -32,7 +27,6 @@ pub enum RelError {
     },
 
     /// A tuple had the wrong number of components for its predicate.
-    #[error("predicate `{predicate}` expects arity {expected}, got {actual}")]
     ArityMismatch {
         /// Predicate name.
         predicate: String,
@@ -43,7 +37,6 @@ pub enum RelError {
     },
 
     /// A relationship tuple referenced an entity key that has not been added.
-    #[error("relationship `{rel}` references missing `{entity}` key `{key}`")]
     DanglingReference {
         /// Relationship name.
         rel: String,
@@ -54,7 +47,6 @@ pub enum RelError {
     },
 
     /// A value did not match the declared domain of an attribute.
-    #[error("value `{value}` is not valid for attribute `{attribute}` with domain {domain}")]
     DomainMismatch {
         /// Attribute name.
         attribute: String,
@@ -65,15 +57,12 @@ pub enum RelError {
     },
 
     /// Query referenced an undefined variable or was otherwise malformed.
-    #[error("malformed query: {0}")]
     MalformedQuery(String),
 
     /// A table operation referenced a column that does not exist.
-    #[error("unknown column `{0}`")]
     UnknownColumn(String),
 
     /// Column length mismatch when assembling a table.
-    #[error("column `{column}` has {actual} rows, expected {expected}")]
     ColumnLengthMismatch {
         /// Column name.
         column: String,
@@ -84,7 +73,6 @@ pub enum RelError {
     },
 
     /// CSV parse error.
-    #[error("csv error at line {line}: {message}")]
     Csv {
         /// 1-based line number.
         line: usize,
@@ -93,9 +81,49 @@ pub enum RelError {
     },
 
     /// I/O error wrapper (CSV import/export).
-    #[error("io error: {0}")]
     Io(String),
 }
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicatePredicate(name) => write!(f, "predicate `{name}` is already defined"),
+            Self::DuplicateAttribute(name) => write!(f, "attribute `{name}` is already defined"),
+            Self::UnknownPredicate(name) => write!(f, "unknown predicate `{name}`"),
+            Self::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            Self::UnknownEntityInRelationship { rel, entity } => {
+                write!(f, "relationship `{rel}` references unknown entity `{entity}`")
+            }
+            Self::ArityMismatch {
+                predicate,
+                expected,
+                actual,
+            } => write!(f, "predicate `{predicate}` expects arity {expected}, got {actual}"),
+            Self::DanglingReference { rel, entity, key } => {
+                write!(f, "relationship `{rel}` references missing `{entity}` key `{key}`")
+            }
+            Self::DomainMismatch {
+                attribute,
+                domain,
+                value,
+            } => write!(
+                f,
+                "value `{value}` is not valid for attribute `{attribute}` with domain {domain}"
+            ),
+            Self::MalformedQuery(message) => write!(f, "malformed query: {message}"),
+            Self::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            Self::ColumnLengthMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(f, "column `{column}` has {actual} rows, expected {expected}"),
+            Self::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
+            Self::Io(message) => write!(f, "io error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
 
 /// Convenient result alias used throughout the crate.
 pub type RelResult<T> = Result<T, RelError>;

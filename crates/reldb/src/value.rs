@@ -276,7 +276,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_ranks_types() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Str("z".into()),
             Value::Int(4),
             Value::Null,
@@ -291,7 +291,7 @@ mod tests {
 
     #[test]
     fn nan_ordering_does_not_panic() {
-        let mut vals = vec![Value::Float(f64::NAN), Value::Float(1.0), Value::Float(-1.0)];
+        let mut vals = [Value::Float(f64::NAN), Value::Float(1.0), Value::Float(-1.0)];
         vals.sort();
         assert_eq!(vals[0], Value::Float(-1.0));
         assert_eq!(vals[1], Value::Float(1.0));

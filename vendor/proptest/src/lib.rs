@@ -1,0 +1,234 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build container has no crates.io access, so this crate reimplements
+//! the subset of proptest the workspace's property tests use:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map` and `boxed`;
+//! * strategies for numeric ranges, `bool`, tuples, [`strategy::Just`],
+//!   [`collection::vec`], [`option::of`], weighted unions ([`prop_oneof!`])
+//!   and regex-character-class string literals (`"[A-Z][a-z0-9]{0,8}"`);
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`) and the
+//!   `prop_assert*` macros.
+//!
+//! Semantics differ from upstream in one deliberate way: **there is no
+//! shrinking**. A failing case panics immediately with the assertion
+//! message; generation is deterministic per test name, so failures
+//! reproduce exactly on re-run.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies for generating collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from `size` and
+    /// elements from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Create a strategy for vectors of `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.start >= self.size.end {
+                self.size.start
+            } else {
+                rng.rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies for generating `Option`s.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy producing `None` or `Some` of the inner strategy's value.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// Create a strategy yielding `Some` roughly half of the time.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.rng.gen_bool(0.5) {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.rng.gen::<f64>() * 2000.0 - 1000.0
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone)]
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    /// Strategy generating arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// The conventional glob-import surface.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted choice between strategies of a common value type.
+///
+/// `prop_oneof![a, b]` picks uniformly; `prop_oneof![3 => a, 1 => b]` picks
+/// `a` three times as often.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (($weight) as u32, $crate::strategy::Strategy::boxed($strategy)) ),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strategy)) ),+
+        ])
+    };
+}
+
+/// Property assertion; panics with the formatted message on failure (no
+/// shrinking in this offline stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Inequality property assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Define property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn it_holds(x in 0..100i64, s in "[a-z]{0,8}") { prop_assert!(x >= 0, "{s}"); }
+/// }
+/// ```
+///
+/// Each test runs `config.cases` deterministic cases (seeded from the test
+/// name), binding every `pat in strategy` argument afresh per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let seed = {
+                    use ::std::hash::{Hash, Hasher};
+                    let mut hasher = ::std::collections::hash_map::DefaultHasher::new();
+                    stringify!($name).hash(&mut hasher);
+                    hasher.finish()
+                };
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::from_seed(
+                        seed ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}

@@ -1,0 +1,356 @@
+//! The [`Strategy`] trait and the combinators this workspace uses.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt;
+use std::ops::Range;
+
+/// A recipe for generating values of [`Strategy::Value`].
+///
+/// Unlike upstream proptest there is no value tree and no shrinking: a
+/// strategy simply produces a value from the test RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Type-erase the strategy (used by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Weighted union of type-erased strategies ([`crate::prop_oneof!`]).
+#[derive(Debug)]
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u32,
+}
+
+impl<T> Union<T> {
+    /// Build a union from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total_weight = arms.iter().map(|(w, _)| w).sum();
+        assert!(total_weight > 0, "prop_oneof: total weight must be positive");
+        Self { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut draw = rng.rng.gen_range(0..self.total_weight);
+        for (weight, strategy) in &self.arms {
+            if draw < *weight {
+                return strategy.generate(rng);
+            }
+            draw -= weight;
+        }
+        unreachable!("prop_oneof: weighted draw out of range")
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+/// String-literal strategies: a `&str` is interpreted as a sequence of
+/// regex character classes with optional `{m,n}` repetition, e.g.
+/// `"[A-Z][a-zA-Z0-9_]{0,8}"`. This covers the pattern dialect used by the
+/// workspace's tests (classes, ranges, `\n`/`\"`/`\\` escapes, repetition);
+/// anything fancier panics loudly so the gap is visible.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = if atom.min >= atom.max {
+                atom.min
+            } else {
+                rng.rng.gen_range(atom.min..atom.max + 1)
+            };
+            for _ in 0..count {
+                let idx = rng.rng.gen_range(0..atom.chars.len());
+                out.push(atom.chars[idx]);
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+struct PatternAtom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let alphabet = match c {
+            // Regex syntax this dialect does NOT support must fail loudly,
+            // not silently generate the metacharacter as a literal.
+            '^' | '$' | '(' | ')' | '|' | '.' | '+' | '*' | '?' => panic!(
+                "proptest stub: unsupported regex syntax `{c}` in {pattern:?} \
+                 (only character classes, literals and {{m,n}} repetition)"
+            ),
+            '[' => {
+                if chars.peek() == Some(&'^') {
+                    panic!("proptest stub: negated character classes are unsupported in {pattern:?}");
+                }
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let Some(c) = chars.next() else {
+                        panic!("proptest stub: unterminated character class in {pattern:?}");
+                    };
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                            let start = prev.take().expect("range start");
+                            let end = unescape(chars.next().expect("range end"), &mut chars);
+                            assert!(start <= end, "proptest stub: bad range in {pattern:?}");
+                            // `start` was already pushed as a literal; extend
+                            // with the rest of the range.
+                            let mut cur = start as u32 + 1;
+                            while cur <= end as u32 {
+                                set.push(char::from_u32(cur).expect("valid scalar"));
+                                cur += 1;
+                            }
+                        }
+                        c => {
+                            let lit = unescape(c, &mut chars);
+                            set.push(lit);
+                            prev = Some(lit);
+                        }
+                    }
+                }
+                assert!(!set.is_empty(), "proptest stub: empty character class in {pattern:?}");
+                set
+            }
+            c => vec![unescape(c, &mut chars)],
+        };
+        // Optional {m,n} / {n} quantifier.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier min"),
+                    hi.trim().parse().expect("quantifier max"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(PatternAtom {
+            chars: alphabet,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+fn unescape(c: char, chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> char {
+    if c != '\\' {
+        return c;
+    }
+    match chars.next() {
+        Some('n') => '\n',
+        Some('t') => '\t',
+        Some('r') => '\r',
+        Some(other) => other,
+        None => panic!("proptest stub: dangling escape"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(99)
+    }
+
+    #[test]
+    fn class_patterns_generate_matching_strings() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[A-Z][a-zA-Z0-9_]{0,8}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_uppercase(), "{s:?}");
+            assert!(
+                s.chars().skip(1).all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn printable_class_with_escape() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = "[ -~\n]{0,120}".generate(&mut rng);
+            assert!(s.len() <= 120);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn split_range_class_excludes_gap() {
+        let mut rng = rng();
+        for _ in 0..300 {
+            let s = "[A-EG-SU-Z]{1,4}".generate(&mut rng);
+            assert!(s.chars().all(|c| c != 'F' && c != 'T' && c.is_ascii_uppercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let union = crate::prop_oneof![3 => Just(1u8), 1 => Just(2u8)];
+        let mut rng = rng();
+        let draws: Vec<u8> = (0..1000).map(|_| union.generate(&mut rng)).collect();
+        let ones = draws.iter().filter(|&&d| d == 1).count();
+        assert!((600..900).contains(&ones), "weighted draw gave {ones}/1000 ones");
+    }
+
+    #[test]
+    fn tuples_and_collections_compose() {
+        let strat = crate::collection::vec((0i64..10, "[a-z]{1,3}"), 2..5);
+        let mut rng = rng();
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            for (n, s) in &v {
+                assert!((0..10).contains(n));
+                assert!((1..=3).contains(&s.len()));
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Configuration and the deterministic RNG handed to strategies.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Per-test configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases each property test runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// The random generator strategies draw from. Deterministic per seed; the
+/// [`crate::proptest!`] macro derives the seed from the test name and case
+/// index so failures reproduce exactly.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    /// The underlying generator (vendored `rand`'s xoshiro256++).
+    pub rng: SmallRng,
+}
+
+impl TestRng {
+    /// Build a generator from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}

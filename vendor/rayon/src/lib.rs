@@ -1,0 +1,23 @@
+//! Offline stand-in for [`rayon`](https://crates.io/crates/rayon).
+//!
+//! `into_par_iter()` simply yields the ordinary sequential iterator, so all
+//! the adapter and collection machinery comes from [`std::iter::Iterator`].
+//! Results are identical to the parallel version for the pure map/filter
+//! pipelines this workspace runs (per-replicate seeded RNGs); only wall-clock
+//! parallelism is lost. Swap in the real crate once registry access exists.
+
+#![warn(missing_docs)]
+
+/// Drop-in subset of `rayon::prelude`.
+pub mod prelude {
+    /// Conversion into a "parallel" iterator (sequential in this stub).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Returns the sequential iterator; adapters (`map`, `filter_map`,
+        /// `collect`, …) then come from [`Iterator`].
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+}

@@ -1,0 +1,30 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The build container cannot reach crates.io, so this workspace vendors a
+//! minimal replacement: [`Serialize`] and [`Deserialize`] are marker traits,
+//! blanket-implemented for every `Debug` type, and the derive macros accept
+//! the usual syntax while emitting nothing. The companion `serde_json` stub
+//! renders `Serialize` payloads through their `Debug` form. This is enough
+//! for the workspace, which uses serde only for best-effort experiment
+//! artefacts — swap in the real crates (the manifests keep the same names)
+//! once the build environment has registry access.
+
+#![warn(missing_docs)]
+
+use std::fmt::Debug;
+
+/// Marker for serialisable types. Blanket-implemented for every [`Debug`]
+/// type; the `Debug` supertrait is what lets the vendored `serde_json`
+/// render a value.
+pub trait Serialize: Debug {}
+
+impl<T: Debug + ?Sized> Serialize for T {}
+
+/// Marker for deserialisable types. Never actually driven by the stub —
+/// it exists so `#[derive(Deserialize)]` and `T: Deserialize` bounds
+/// compile.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T: Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,37 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! The vendored `serde` makes `Serialize` a marker over `Debug`, so the only
+//! faithful rendering available offline is the pretty `Debug` form. The
+//! experiment binaries use this purely for best-effort artefact files under
+//! `target/experiments/`; the printed tables remain the primary output.
+//! Output files therefore contain Rust debug notation, not strict JSON,
+//! until the real crates are restored.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Serialisation error (the stub never actually fails).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Render a value in pretty form (Debug-based in this offline stub).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(format!("{value:#?}"))
+}
+
+/// Render a value in compact form (Debug-based in this offline stub).
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(format!("{value:?}"))
+}
