@@ -1,0 +1,53 @@
+//! Criterion bench: grounding at growing skeleton scale — cold versus
+//! through the engine's grounding cache.
+//!
+//! `cold` grounds the model from scratch on every iteration (what every
+//! query paid before the cache existed). `cached_prepare` runs the full
+//! `prepare` path, which after the first iteration hits the
+//! `(rule, skeleton-fingerprint)` cache and only rebuilds the (columnar)
+//! unit table — the steady-state cost of repeated queries over the same
+//! instance.
+
+use carl::CarlEngine;
+use carl_datagen::{generate_synthetic_review, SyntheticReviewConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const QUERY: &str =
+    "Score[P] <= Prestige[A]? WHERE SubmittedTo(P, V), DoubleBlind[V] = false";
+
+fn bench_grounding_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grounding_scale");
+    group.sample_size(10);
+    for &papers in &[500usize, 2_000, 8_000] {
+        let config = SyntheticReviewConfig {
+            authors: papers / 5,
+            institutions: 20,
+            papers,
+            venues: 10,
+            ..SyntheticReviewConfig::small(7)
+        };
+        let ds = generate_synthetic_review(&config);
+        let engine = CarlEngine::new(ds.instance, &ds.rules).expect("model binds to schema");
+
+        group.bench_with_input(BenchmarkId::new("cold", papers), &papers, |b, _| {
+            b.iter(|| {
+                let grounded = engine.ground_model().expect("grounding succeeds");
+                std::hint::black_box(grounded.graph.node_count())
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("cached_prepare", papers), &papers, |b, _| {
+            // Warm the cache once so every timed iteration is a hit.
+            let warm = engine.prepare_str(QUERY).expect("query prepares");
+            std::hint::black_box(warm.unit_table.len());
+            b.iter(|| {
+                let prepared = engine.prepare_str(QUERY).expect("query prepares");
+                std::hint::black_box(prepared.unit_table.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grounding_scale);
+criterion_main!(benches);

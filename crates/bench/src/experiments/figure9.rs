@@ -12,6 +12,7 @@ use crate::synthetic_config;
 use carl::CarlEngine;
 use carl_datagen::generate_synthetic_review;
 use carl_stats::bootstrap::relative_likelihood;
+use rayon::prelude::*;
 
 /// The sampling-distribution summaries for one blinding regime.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -32,27 +33,33 @@ pub struct Figure9Regime {
 pub const REPLICATES: u64 = 7;
 
 /// Compute the Figure 9 distributions.
+///
+/// Replicate datasets are independent (each owns its seed), so the full
+/// generate → ground → estimate pipeline of every replicate runs in
+/// parallel through the rayon facade; results are collected in seed order,
+/// so the output is identical to the sequential version.
 pub fn regimes() -> Vec<Figure9Regime> {
     let mut out = Vec::new();
     for (regime, blind) in [("single-blind", "false"), ("double-blind", "true")] {
-        let mut aie = Vec::new();
-        let mut are = Vec::new();
-        let mut aoe = Vec::new();
-        for seed in 0..REPLICATES {
-            let ds = generate_synthetic_review(&synthetic_config(400 + seed));
-            let engine =
-                CarlEngine::new(ds.instance, &ds.rules).expect("model binds to schema");
-            if let Ok(ans) = engine.answer_str(&format!(
-                "Score[P] <= Prestige[A]? WHERE SubmittedTo(P, V), DoubleBlind[V] = {blind} \
-                 WHEN ALL PEERS TREATED"
-            )) {
-                if let Some(p) = ans.as_peer_effects() {
-                    aie.push(p.aie);
-                    are.push(p.are);
-                    aoe.push(p.aoe);
-                }
-            }
-        }
+        let effects: Vec<(f64, f64, f64)> = (0..REPLICATES)
+            .into_par_iter()
+            .filter_map(|seed| {
+                let ds = generate_synthetic_review(&synthetic_config(400 + seed));
+                let engine =
+                    CarlEngine::new(ds.instance, &ds.rules).expect("model binds to schema");
+                let ans = engine
+                    .answer_str(&format!(
+                        "Score[P] <= Prestige[A]? WHERE SubmittedTo(P, V), DoubleBlind[V] = {blind} \
+                         WHEN ALL PEERS TREATED"
+                    ))
+                    .ok()?;
+                let p = ans.as_peer_effects()?;
+                Some((p.aie, p.are, p.aoe))
+            })
+            .collect();
+        let aie: Vec<f64> = effects.iter().map(|e| e.0).collect();
+        let are: Vec<f64> = effects.iter().map(|e| e.1).collect();
+        let aoe: Vec<f64> = effects.iter().map(|e| e.2).collect();
         let aoe_likelihood = relative_likelihood(&aoe, 5);
         out.push(Figure9Regime {
             regime: regime.to_string(),

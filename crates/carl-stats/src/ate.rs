@@ -124,6 +124,21 @@ pub fn estimate_ate(
     })
 }
 
+/// Column-slice entry point: estimate the ATE from borrowed covariate
+/// *columns* (e.g. the columns of CaRL's columnar unit table) instead of a
+/// pre-assembled row-major matrix. Numerically identical to
+/// [`estimate_ate`]; the covariate matrix is assembled in a single pass
+/// with no per-row vector allocations.
+pub fn estimate_ate_cols(
+    outcome: &[f64],
+    treatment: &[f64],
+    covariate_cols: &[&[f64]],
+    method: AteMethod,
+) -> StatsResult<AteEstimate> {
+    let covs = Matrix::from_cols_with_rows(covariate_cols, outcome.len())?;
+    estimate_ate(outcome, treatment, &covs, method)
+}
+
 /// Regression adjustment: fit `Y ~ T + Z` and read the treatment coefficient.
 fn regression_adjustment(outcome: &[f64], treatment: &[f64], covariates: &Matrix) -> StatsResult<f64> {
     let n = outcome.len();

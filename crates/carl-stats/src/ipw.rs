@@ -72,6 +72,19 @@ pub fn ipw_ate(
     })
 }
 
+/// Column-slice entry point for [`ipw_ate`]: assembles the covariate matrix
+/// from borrowed columns (no per-row extraction) and is numerically
+/// identical to calling `ipw_ate` on the equivalent row-major matrix.
+pub fn ipw_ate_cols(
+    covariate_cols: &[&[f64]],
+    treatment: &[f64],
+    outcome: &[f64],
+    clip: f64,
+) -> StatsResult<IpwResult> {
+    let covs = Matrix::from_cols_with_rows(covariate_cols, treatment.len())?;
+    ipw_ate(&covs, treatment, outcome, clip)
+}
+
 /// Kish effective sample size `(Σw)² / Σw²`.
 fn effective_sample_size(weights: &[f64]) -> f64 {
     let s: f64 = weights.iter().sum();

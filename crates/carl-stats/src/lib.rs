@@ -39,14 +39,14 @@ pub mod matching;
 pub mod ols;
 pub mod subclass;
 
-pub use ate::{estimate_ate, AteEstimate, AteMethod};
+pub use ate::{estimate_ate, estimate_ate_cols, AteEstimate, AteMethod};
 pub use bootstrap::{bootstrap_ci, bootstrap_distribution, BootstrapSummary};
 pub use correlation::{pearson, spearman};
 pub use descriptive::{kurtosis, mean, moments, quantile, skewness, std_dev, variance};
 pub use error::{StatsError, StatsResult};
-pub use ipw::ipw_ate;
+pub use ipw::{ipw_ate, ipw_ate_cols};
 pub use linalg::Matrix;
 pub use logistic::LogisticRegression;
-pub use matching::{psm_ate, MatchingConfig};
+pub use matching::{psm_ate, psm_ate_cols, MatchingConfig};
 pub use ols::OlsFit;
-pub use subclass::subclassification_ate;
+pub use subclass::{subclassification_ate, subclassification_ate_cols};

@@ -50,6 +50,45 @@ impl Matrix {
         })
     }
 
+    /// Create a matrix from column slices (all of equal length).
+    ///
+    /// The data is laid out identically to [`Matrix::from_rows`] applied to
+    /// the transposed input, so every downstream factorisation is
+    /// bit-for-bit identical whichever constructor produced the matrix.
+    /// This is the zero-copy-friendly entry point for columnar unit tables:
+    /// callers pass borrowed column slices and no per-row vectors are ever
+    /// materialised.
+    pub fn from_cols(cols: &[&[f64]]) -> StatsResult<Self> {
+        let c = cols.len();
+        let r = cols.first().map_or(0, |col| col.len());
+        if cols.iter().any(|col| col.len() != r) {
+            return Err(StatsError::DimensionMismatch("ragged columns".into()));
+        }
+        let mut data = vec![0.0; r * c];
+        for (j, col) in cols.iter().enumerate() {
+            for (i, &v) in col.iter().enumerate() {
+                data[i * c + j] = v;
+            }
+        }
+        Ok(Self { rows: r, cols: c, data })
+    }
+
+    /// Like [`Matrix::from_cols`], but an empty column list produces an
+    /// `nrows × 0` matrix instead of a `0 × 0` one (the shape covariate-free
+    /// estimators expect), and non-empty columns are validated against
+    /// `nrows`.
+    pub fn from_cols_with_rows(cols: &[&[f64]], nrows: usize) -> StatsResult<Self> {
+        if cols.is_empty() {
+            return Ok(Self::zeros(nrows, 0));
+        }
+        if cols.iter().any(|col| col.len() != nrows) {
+            return Err(StatsError::DimensionMismatch(format!(
+                "from_cols_with_rows: expected columns of length {nrows}"
+            )));
+        }
+        Self::from_cols(cols)
+    }
+
     /// Number of rows.
     pub fn nrows(&self) -> usize {
         self.rows
@@ -394,6 +433,28 @@ mod tests {
     #[test]
     fn ragged_rows_rejected() {
         assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn from_cols_is_bitwise_identical_to_from_rows() {
+        let rows = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let by_rows = Matrix::from_rows(&rows).unwrap();
+        let c0 = [1.0, 4.0];
+        let c1 = [2.0, 5.0];
+        let c2 = [3.0, 6.0];
+        let by_cols = Matrix::from_cols(&[&c0, &c1, &c2]).unwrap();
+        assert_eq!(by_rows, by_cols);
+        assert!(Matrix::from_cols(&[&c0[..], &[1.0][..]]).is_err());
+    }
+
+    #[test]
+    fn from_cols_with_rows_handles_empty_and_validates() {
+        let m = Matrix::from_cols_with_rows(&[], 5).unwrap();
+        assert_eq!(m.nrows(), 5);
+        assert_eq!(m.ncols(), 0);
+        let c = [1.0, 2.0];
+        assert!(Matrix::from_cols_with_rows(&[&c], 2).is_ok());
+        assert!(Matrix::from_cols_with_rows(&[&c], 3).is_err());
     }
 
     #[test]

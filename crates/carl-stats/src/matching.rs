@@ -109,6 +109,19 @@ pub fn psm_ate(
     })
 }
 
+/// Column-slice entry point for [`psm_ate`]: assembles the covariate matrix
+/// from borrowed columns (no per-row extraction) and is numerically
+/// identical to calling `psm_ate` on the equivalent row-major matrix.
+pub fn psm_ate_cols(
+    covariate_cols: &[&[f64]],
+    treatment: &[f64],
+    outcome: &[f64],
+    config: &MatchingConfig,
+) -> StatsResult<PsmResult> {
+    let covs = Matrix::from_cols_with_rows(covariate_cols, treatment.len())?;
+    psm_ate(&covs, treatment, outcome, config)
+}
+
 /// For each index in `from`, find its nearest neighbours in `to` by
 /// propensity score and accumulate the mean difference
 /// `outcome[from] - mean(outcome[matches])`.

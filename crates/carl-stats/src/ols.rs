@@ -46,6 +46,20 @@ impl OlsFit {
         Self::fit_inner(&design, y, true)
     }
 
+    /// Fit with an intercept from borrowed feature *columns* — the
+    /// slice-based entry point for columnar unit tables. Numerically
+    /// identical to [`OlsFit::fit_with_intercept`] on the equivalent
+    /// row-major design (the assembled matrix is bit-for-bit the same).
+    pub fn fit_with_intercept_cols(cols: &[&[f64]], y: &[f64]) -> StatsResult<Self> {
+        let n = cols.first().map_or(y.len(), |c| c.len());
+        let ones = vec![1.0; n];
+        let mut design_cols: Vec<&[f64]> = Vec::with_capacity(cols.len() + 1);
+        design_cols.push(&ones);
+        design_cols.extend_from_slice(cols);
+        let design = Matrix::from_cols(&design_cols)?;
+        Self::fit_inner(&design, y, true)
+    }
+
     fn fit_inner(x: &Matrix, y: &[f64], has_intercept: bool) -> StatsResult<Self> {
         let n = x.nrows();
         let p = x.ncols();

@@ -23,6 +23,19 @@ pub struct SubclassResult {
     pub used_strata: usize,
 }
 
+/// Column-slice entry point for [`subclassification_ate`]: assembles the
+/// covariate matrix from borrowed columns (no per-row extraction) and is
+/// numerically identical to the row-major entry point.
+pub fn subclassification_ate_cols(
+    covariate_cols: &[&[f64]],
+    treatment: &[f64],
+    outcome: &[f64],
+    strata: usize,
+) -> StatsResult<SubclassResult> {
+    let covs = Matrix::from_cols_with_rows(covariate_cols, treatment.len())?;
+    subclassification_ate(&covs, treatment, outcome, strata)
+}
+
 /// Estimate the ATE by propensity-score subclassification into `strata` bins.
 pub fn subclassification_ate(
     covariates: &Matrix,

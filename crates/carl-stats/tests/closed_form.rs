@@ -1,0 +1,175 @@
+//! Closed-form validation of the estimators the columnar unit table feeds:
+//! OLS against hand-solved normal equations, IPW against hand-computed
+//! weights, coarsened exact matching on a tiny table with obvious cells,
+//! and the parallel bootstrap's determinism under a fixed seed regardless
+//! of the worker-thread count.
+
+use carl_stats::{
+    bootstrap_distribution, cem::cem_ate, estimate_ate, estimate_ate_cols, ipw_ate, ipw_ate_cols,
+    psm_ate, psm_ate_cols, subclassification_ate, subclassification_ate_cols, AteMethod,
+    MatchingConfig, Matrix, OlsFit,
+};
+
+const EPS: f64 = 1e-10;
+
+#[test]
+fn ols_recovers_the_exact_line() {
+    // y = 1 + 2x, noise-free: β̂ = (XᵀX)⁻¹Xᵀy solves exactly.
+    let xs = [1.0, 2.0, 3.0, 4.0];
+    let ys = [3.0, 5.0, 7.0, 9.0];
+    let design = Matrix::from_rows(&xs.iter().map(|&x| vec![x]).collect::<Vec<_>>()).unwrap();
+    let fit = OlsFit::fit_with_intercept(&design, &ys).unwrap();
+    assert!((fit.coefficients[0] - 1.0).abs() < EPS, "intercept {}", fit.coefficients[0]);
+    assert!((fit.coefficients[1] - 2.0).abs() < EPS, "slope {}", fit.coefficients[1]);
+    assert!(fit.sigma2.abs() < EPS);
+    assert!((fit.r_squared - 1.0).abs() < EPS);
+}
+
+#[test]
+fn ols_matches_hand_solved_normal_equations() {
+    // Design (with intercept) and response solved by hand:
+    //   rows of [1, x1, x2]: [1,1,0], [1,0,1], [1,1,1], [1,0,0]
+    //   y = 3 + 1·x1 + 2·x2 exactly → β = (3, 1, 2).
+    let rows = vec![
+        vec![1.0, 0.0],
+        vec![0.0, 1.0],
+        vec![1.0, 1.0],
+        vec![0.0, 0.0],
+    ];
+    let ys = [4.0, 5.0, 6.0, 3.0];
+    let design = Matrix::from_rows(&rows).unwrap();
+    let fit = OlsFit::fit_with_intercept(&design, &ys).unwrap();
+    assert!((fit.coefficients[0] - 3.0).abs() < EPS);
+    assert!((fit.coefficients[1] - 1.0).abs() < EPS);
+    assert!((fit.coefficients[2] - 2.0).abs() < EPS);
+    assert!((fit.predict(&[1.0, 1.0]).unwrap() - 6.0).abs() < EPS);
+}
+
+#[test]
+fn ols_column_entry_point_is_bit_identical_to_row_entry_point() {
+    // Mildly noisy data so the coefficients are non-trivial.
+    let n = 50;
+    let x1: Vec<f64> = (0..n).map(|i| (i as f64) * 0.1).collect();
+    let x2: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64).collect();
+    let ys: Vec<f64> = (0..n)
+        .map(|i| 0.5 + 1.5 * x1[i] - 0.25 * x2[i] + ((i % 5) as f64) * 0.01)
+        .collect();
+    let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![x1[i], x2[i]]).collect();
+    let by_rows = OlsFit::fit_with_intercept(&Matrix::from_rows(&rows).unwrap(), &ys).unwrap();
+    let by_cols = OlsFit::fit_with_intercept_cols(&[&x1, &x2], &ys).unwrap();
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&by_rows.coefficients), bits(&by_cols.coefficients));
+    assert_eq!(bits(&by_rows.std_errors), bits(&by_cols.std_errors));
+    assert_eq!(by_rows.sigma2.to_bits(), by_cols.sigma2.to_bits());
+}
+
+#[test]
+fn ipw_with_balanced_propensities_reduces_to_hand_computed_weights() {
+    // Two covariate strata, both with a 50/50 treatment split: the logistic
+    // propensity model fits p̂ ≡ 0.5 (β = 0 is the MLE), every weight is 2,
+    // and the stabilised IPW estimate reduces to the difference of arm
+    // means: (2+4+6+8)/4 − (1+3+5+7)/4 = 5 − 4 = 1.
+    let z = [0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0];
+    let t = [1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0];
+    let y = [2.0, 4.0, 1.0, 3.0, 6.0, 8.0, 5.0, 7.0];
+    let covs = Matrix::from_rows(&z.iter().map(|&v| vec![v]).collect::<Vec<_>>()).unwrap();
+    let res = ipw_ate(&covs, &t, &y, 0.01).unwrap();
+    assert!((res.effect - 1.0).abs() < 1e-6, "effect {}", res.effect);
+    // Equal weights → Kish effective sample size equals the arm size.
+    assert!((res.ess_treated - 4.0).abs() < 1e-6, "ess {}", res.ess_treated);
+    assert!((res.ess_control - 4.0).abs() < 1e-6);
+}
+
+#[test]
+fn coarsened_exact_matching_on_a_tiny_table() {
+    // Two exact cells (z = 0 and z = 10, two bins):
+    //   cell z=0:  treated {3}, control {1}    → effect 2, size 2
+    //   cell z=10: treated {8}, control {4, 6} → effect 3, size 3
+    // Size-weighted: (2·2 + 3·3) / 5 = 13/5 = 2.6; every unit retained.
+    let z = [0.0, 0.0, 10.0, 10.0, 10.0];
+    let t = [1.0, 0.0, 1.0, 0.0, 0.0];
+    let y = [3.0, 1.0, 8.0, 4.0, 6.0];
+    let covs = Matrix::from_rows(&z.iter().map(|&v| vec![v]).collect::<Vec<_>>()).unwrap();
+    let res = cem_ate(&covs, &t, &y, 2).unwrap();
+    assert!((res.effect - 2.6).abs() < EPS, "effect {}", res.effect);
+    assert_eq!(res.matched_bins, 2);
+    assert!((res.retained_fraction - 1.0).abs() < EPS);
+}
+
+#[test]
+fn column_and_matrix_ate_front_ends_agree_bitwise() {
+    // The unified front-end through both entry points, every method.
+    let n = 120;
+    let z1: Vec<f64> = (0..n).map(|i| ((i * 13 + 5) % 17) as f64 / 17.0).collect();
+    let z2: Vec<f64> = (0..n).map(|i| ((i * 29 + 1) % 23) as f64 / 23.0).collect();
+    let t: Vec<f64> = (0..n).map(|i| f64::from((z1[i] + z2[i] + ((i % 3) as f64) * 0.2) > 1.0)).collect();
+    let y: Vec<f64> = (0..n).map(|i| t[i] + 2.0 * z1[i] - z2[i]).collect();
+    let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![z1[i], z2[i]]).collect();
+    let covs = Matrix::from_rows(&rows).unwrap();
+    for method in [
+        AteMethod::RegressionAdjustment,
+        AteMethod::PropensityMatching,
+        AteMethod::Subclassification(4),
+        AteMethod::Ipw,
+        AteMethod::NaiveDifference,
+    ] {
+        let by_matrix = estimate_ate(&y, &t, &covs, method).unwrap();
+        let by_cols = estimate_ate_cols(&y, &t, &[&z1, &z2], method).unwrap();
+        assert_eq!(
+            by_matrix.ate.to_bits(),
+            by_cols.ate.to_bits(),
+            "{method:?}: {} vs {}",
+            by_matrix.ate,
+            by_cols.ate
+        );
+        assert_eq!(by_matrix.n_treated, by_cols.n_treated);
+    }
+}
+
+#[test]
+fn estimator_specific_column_wrappers_agree_with_their_matrix_twins() {
+    let n = 90;
+    let z1: Vec<f64> = (0..n).map(|i| ((i * 11 + 2) % 19) as f64 / 19.0).collect();
+    let z2: Vec<f64> = (0..n).map(|i| ((i * 5 + 7) % 13) as f64 / 13.0).collect();
+    let t: Vec<f64> = (0..n).map(|i| f64::from(z1[i] + z2[i] + ((i % 4) as f64) * 0.15 > 0.9)).collect();
+    let y: Vec<f64> = (0..n).map(|i| 0.8 * t[i] + z1[i] - 0.5 * z2[i]).collect();
+    let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![z1[i], z2[i]]).collect();
+    let covs = Matrix::from_rows(&rows).unwrap();
+    let cols: [&[f64]; 2] = [&z1, &z2];
+
+    let a = ipw_ate(&covs, &t, &y, 0.01).unwrap();
+    let b = ipw_ate_cols(&cols, &t, &y, 0.01).unwrap();
+    assert_eq!(a.effect.to_bits(), b.effect.to_bits());
+
+    let config = MatchingConfig::default();
+    let a = psm_ate(&covs, &t, &y, &config).unwrap();
+    let b = psm_ate_cols(&cols, &t, &y, &config).unwrap();
+    assert_eq!(a.effect.to_bits(), b.effect.to_bits());
+    assert_eq!(a.matched_treated, b.matched_treated);
+
+    let a = subclassification_ate(&covs, &t, &y, 5).unwrap();
+    let b = subclassification_ate_cols(&cols, &t, &y, 5).unwrap();
+    assert_eq!(a.effect.to_bits(), b.effect.to_bits());
+    assert_eq!(a.used_strata, b.used_strata);
+}
+
+#[test]
+fn parallel_bootstrap_is_deterministic_regardless_of_thread_count() {
+    let data: Vec<f64> = (0..400).map(|i| ((i * 31 + 7) % 100) as f64).collect();
+    let estimator =
+        |idx: &[usize]| Some(idx.iter().map(|&i| data[i]).sum::<f64>() / idx.len() as f64);
+
+    let run = || bootstrap_distribution(data.len(), 64, 12345, estimator).unwrap();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let sequential = run();
+    std::env::set_var("RAYON_NUM_THREADS", "8");
+    let eight_way = run();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let auto = run();
+
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    // Same seed → same replicates, in the same order, whatever the pool size.
+    assert_eq!(bits(&sequential), bits(&eight_way));
+    assert_eq!(bits(&sequential), bits(&auto));
+    assert_eq!(sequential.len(), 64);
+}

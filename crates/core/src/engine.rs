@@ -34,10 +34,15 @@ use crate::peers::{compute_peers, PeerMap};
 use crate::query::{
     conditional_ate, estimate_ate, estimate_peer_effects, CateStratifier,
 };
+use crate::rowwise::{
+    build_row_unit_table, estimate_ate_rowwise, estimate_peer_effects_rowwise, RowUnitTable,
+};
 use crate::unit_table::{build_unit_table, UnitTable, UnitTableSpec};
-use carl_lang::{parse_program, parse_query, ArgTerm, CausalQuery, PeerCondition, Program};
+use carl_lang::{parse_program, parse_query, AggregateRule, ArgTerm, CausalQuery, PeerCondition, Program};
+use rayon::prelude::*;
 use reldb::{evaluate, Instance, UnitKey};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
 
 /// A prepared query: everything computed up to (and including) the unit
 /// table, before estimation. Exposed so that benchmarks can time unit-table
@@ -59,6 +64,44 @@ pub struct PreparedQuery {
     pub peer_condition: Option<PeerCondition>,
 }
 
+/// A prepared query on the legacy row-oriented data path — only produced by
+/// [`CarlEngine::prepare_rowwise`] for differential testing.
+#[derive(Debug, Clone)]
+pub struct RowPreparedQuery {
+    /// The row-built unit table of the seed implementation.
+    pub unit_table: RowUnitTable,
+    /// Relational peers of every unit.
+    pub peers: PeerMap,
+    /// The treatment attribute name.
+    pub treatment_attr: String,
+    /// The (possibly unified) response attribute name.
+    pub response_attr: String,
+    /// The peer regime of the query, if it is a peer-effects query.
+    pub peer_condition: Option<PeerCondition>,
+}
+
+/// The grounding-result cache: `(rule key, instance fingerprint)` →
+/// grounded model. The rule key is the canonical rendering of the
+/// synthesised aggregate rule (or empty for the base program); the
+/// fingerprint is [`Instance::fingerprint`] — skeleton *and* attribute
+/// content, since grounding derives aggregate values from attribute
+/// assignments — so repeated queries over the same instance skip
+/// re-grounding while a different instance can never produce a stale hit.
+type GroundingCache = Mutex<HashMap<(String, u64), Arc<GroundedModel>>>;
+
+/// Everything `prepare` computes before the unit table is built, shared by
+/// the columnar and the row-wise (differential-reference) paths.
+struct PreparedInputs {
+    grounded: Arc<GroundedModel>,
+    treatment_attr: String,
+    response_attr: String,
+    units: Vec<UnitKey>,
+    allowed_units: Option<HashSet<UnitKey>>,
+    peers: PeerMap,
+    adjustment: AdjustmentPlan,
+    embedding: EmbeddingKind,
+}
+
 /// The end-to-end CaRL engine.
 #[derive(Debug, Clone)]
 pub struct CarlEngine {
@@ -66,6 +109,12 @@ pub struct CarlEngine {
     model: RelationalCausalModel,
     embedding: EmbeddingKind,
     estimator: EstimatorKind,
+    /// Shared across clones: clones answer queries over the same instance,
+    /// so they profit from each other's groundings.
+    grounding_cache: Arc<GroundingCache>,
+    /// [`Instance::fingerprint`] of the (immutable) instance, computed once
+    /// at construction so cache lookups don't re-walk the instance.
+    instance_fingerprint: u64,
 }
 
 impl CarlEngine {
@@ -81,11 +130,14 @@ impl CarlEngine {
     /// Create an engine from an already parsed program.
     pub fn with_program(instance: Instance, program: Program) -> CarlResult<Self> {
         let model = RelationalCausalModel::new(instance.schema().clone(), program)?;
+        let instance_fingerprint = instance.fingerprint();
         Ok(Self {
             instance,
             model,
             embedding: EmbeddingKind::default(),
             estimator: EstimatorKind::default(),
+            grounding_cache: Arc::new(Mutex::new(HashMap::new())),
+            instance_fingerprint,
         })
     }
 
@@ -140,22 +192,63 @@ impl CarlEngine {
         self.answer(&query)
     }
 
-    /// Prepare a parsed query: unify, ground, detect covariates and build
-    /// the unit table.
-    pub fn prepare(&self, query: &CausalQuery) -> CarlResult<PreparedQuery> {
+    /// Ground `model` through the cache. The cache key combines the
+    /// canonical rendering of the synthesised rule (empty for the base
+    /// program) with the instance fingerprint, so repeated queries over the
+    /// same instance skip re-grounding entirely. `use_cache: false` grounds
+    /// from scratch — the row-wise differential path uses it so that a cache
+    /// bug cannot mask itself by affecting both engines.
+    fn grounded_for(
+        &self,
+        model: &RelationalCausalModel,
+        synthesized: Option<&AggregateRule>,
+        use_cache: bool,
+    ) -> CarlResult<Arc<GroundedModel>> {
+        if !use_cache {
+            return Ok(Arc::new(ground(model, &self.instance)?));
+        }
+        let rule_key = synthesized.map(|r| format!("{r:?}")).unwrap_or_default();
+        let key = (rule_key, self.instance_fingerprint);
+        if let Some(hit) = self
+            .grounding_cache
+            .lock()
+            .expect("grounding cache lock")
+            .get(&key)
+        {
+            return Ok(Arc::clone(hit));
+        }
+        // Ground outside the lock: grounding is pure, so a concurrent miss
+        // on the same key just does redundant work, never wrong work.
+        let grounded = Arc::new(ground(model, &self.instance)?);
+        self.grounding_cache
+            .lock()
+            .expect("grounding cache lock")
+            .insert(key, Arc::clone(&grounded));
+        Ok(grounded)
+    }
+
+    /// Number of grounded models currently cached.
+    pub fn grounding_cache_len(&self) -> usize {
+        self.grounding_cache.lock().expect("grounding cache lock").len()
+    }
+
+    /// Steps 1–6 of `prepare` up to (but excluding) unit-table
+    /// construction, shared by the columnar and row-wise paths.
+    fn prepare_inputs(&self, query: &CausalQuery, use_cache: bool) -> CarlResult<PreparedInputs> {
         // 1. Unify treated and response units (§4.3), possibly synthesising
         //    an aggregate rule that also folds in the query's restriction.
         let plan = unify(&self.model, query)?;
 
-        // 2. Build the effective model (base + synthesised rule) and ground it.
+        // 2. Build the effective model (base + synthesised rule) and ground
+        //    it (through the grounding cache unless told otherwise).
         let (model, grounded) = if let Some(rule) = &plan.synthesized {
             let mut program = self.model.program().clone();
             program.aggregates.push(rule.clone());
             let model = RelationalCausalModel::new(self.instance.schema().clone(), program)?;
-            let grounded = ground(&model, &self.instance)?;
+            let grounded = self.grounded_for(&model, Some(rule), use_cache)?;
             (model, grounded)
         } else {
-            let grounded = ground(&self.model, &self.instance)?;
+            let grounded = self.grounded_for(&self.model, None, use_cache)?;
             (self.model.clone(), grounded)
         };
 
@@ -182,7 +275,7 @@ impl CarlEngine {
         let peers = compute_peers(&grounded, &treatment_attr, &response_attr, &units);
         let adjustment = covariates(&model, &grounded, &self.instance, &treatment_attr, &units, &peers);
 
-        // 6. Embedding (auto-size padding if requested) and unit table.
+        // 6. Embedding (auto-size padding if requested).
         let embedding = match self.embedding {
             EmbeddingKind::Padding(0) => {
                 let max_peers = peers.values().map(Vec::len).max().unwrap_or(0).max(1);
@@ -190,24 +283,67 @@ impl CarlEngine {
             }
             other => other,
         };
-        let unit_table = build_unit_table(&UnitTableSpec {
-            grounded: &grounded,
-            instance: &self.instance,
-            treatment_attr: &treatment_attr,
-            response_attr: &response_attr,
-            units: &units,
-            peers: &peers,
-            adjustment: &adjustment,
+
+        Ok(PreparedInputs {
+            grounded,
+            treatment_attr,
+            response_attr,
+            units,
+            allowed_units,
+            peers,
+            adjustment,
             embedding,
-            allowed_units: allowed_units.as_ref(),
+        })
+    }
+
+    /// Prepare a parsed query: unify, ground (through the grounding cache),
+    /// detect covariates and build the columnar unit table.
+    pub fn prepare(&self, query: &CausalQuery) -> CarlResult<PreparedQuery> {
+        let inputs = self.prepare_inputs(query, true)?;
+        let unit_table = build_unit_table(&UnitTableSpec {
+            grounded: &inputs.grounded,
+            instance: &self.instance,
+            treatment_attr: &inputs.treatment_attr,
+            response_attr: &inputs.response_attr,
+            units: &inputs.units,
+            peers: &inputs.peers,
+            adjustment: &inputs.adjustment,
+            embedding: inputs.embedding,
+            allowed_units: inputs.allowed_units.as_ref(),
         })?;
 
         Ok(PreparedQuery {
             unit_table,
-            peers,
-            adjustment,
-            treatment_attr,
-            response_attr,
+            peers: inputs.peers,
+            adjustment: inputs.adjustment,
+            treatment_attr: inputs.treatment_attr,
+            response_attr: inputs.response_attr,
+            peer_condition: query.peers,
+        })
+    }
+
+    /// Prepare a parsed query on the legacy row-oriented path (no grounding
+    /// cache, row-built unit table). Reference implementation for the
+    /// differential test harness; not used by production code.
+    pub fn prepare_rowwise(&self, query: &CausalQuery) -> CarlResult<RowPreparedQuery> {
+        let inputs = self.prepare_inputs(query, false)?;
+        let unit_table = build_row_unit_table(&UnitTableSpec {
+            grounded: &inputs.grounded,
+            instance: &self.instance,
+            treatment_attr: &inputs.treatment_attr,
+            response_attr: &inputs.response_attr,
+            units: &inputs.units,
+            peers: &inputs.peers,
+            adjustment: &inputs.adjustment,
+            embedding: inputs.embedding,
+            allowed_units: inputs.allowed_units.as_ref(),
+        })?;
+
+        Ok(RowPreparedQuery {
+            unit_table,
+            peers: inputs.peers,
+            treatment_attr: inputs.treatment_attr,
+            response_attr: inputs.response_attr,
             peer_condition: query.peers,
         })
     }
@@ -238,6 +374,59 @@ impl CarlEngine {
                 Ok(QueryAnswer::Ate(answer))
             }
         }
+    }
+
+    /// Answer a parsed query on the legacy row-oriented reference path
+    /// (row-built unit table, per-row feature extraction, no grounding
+    /// cache). Exists for the differential test harness, which asserts this
+    /// path and [`CarlEngine::answer`] produce bit-identical estimates.
+    pub fn answer_rowwise(&self, query: &CausalQuery) -> CarlResult<QueryAnswer> {
+        let prepared = self.prepare_rowwise(query)?;
+        match &prepared.peer_condition {
+            Some(regime) => {
+                let answer = estimate_peer_effects_rowwise(
+                    &prepared.unit_table,
+                    regime,
+                    &prepared.peers,
+                    self.estimator,
+                )?;
+                Ok(QueryAnswer::PeerEffects(answer))
+            }
+            None => {
+                let mut answer = estimate_ate_rowwise(&prepared.unit_table, self.estimator)?;
+                answer.response_attribute = prepared.response_attr.clone();
+                answer.treatment_attribute = prepared.treatment_attr.clone();
+                Ok(QueryAnswer::Ate(answer))
+            }
+        }
+    }
+
+    /// Answer a query given as CaRL text on the legacy row-oriented path.
+    pub fn answer_str_rowwise(&self, query: &str) -> CarlResult<QueryAnswer> {
+        let query = parse_query(query)?;
+        self.answer_rowwise(&query)
+    }
+
+    /// Answer a batch of parsed queries concurrently through the rayon
+    /// facade. Results come back in input order; the grounding cache is
+    /// shared, so all queries over the same (rule, skeleton) pair ground at
+    /// most a handful of times across the whole batch.
+    pub fn answer_many(&self, queries: &[CausalQuery]) -> Vec<CarlResult<QueryAnswer>> {
+        queries
+            .to_vec()
+            .into_par_iter()
+            .map(|query| self.answer(&query))
+            .collect()
+    }
+
+    /// Answer a batch of textual queries concurrently (see
+    /// [`CarlEngine::answer_many`]).
+    pub fn answer_many_str(&self, queries: &[&str]) -> Vec<CarlResult<QueryAnswer>> {
+        queries
+            .to_vec()
+            .into_par_iter()
+            .map(|query| self.answer_str(query))
+            .collect()
     }
 
     /// Conditional ATEs for a query (Figures 8 and 10): prepare the query,
@@ -394,6 +583,61 @@ mod tests {
         let prepared = engine.prepare_str("AVG_Score[A] <= Prestige[A]?").unwrap();
         // Max peer count in Figure 2 is 2 (Eva), so padding width is 2.
         assert_eq!(prepared.unit_table.embedding, EmbeddingKind::Padding(2));
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_grounding_cache() {
+        let engine = engine();
+        assert_eq!(engine.grounding_cache_len(), 0);
+        let a = engine.prepare_str("AVG_Score[A] <= Prestige[A]?").unwrap();
+        assert_eq!(engine.grounding_cache_len(), 1);
+        let b = engine.prepare_str("AVG_Score[A] <= Prestige[A]?").unwrap();
+        // Same (rule, skeleton) key: no new entry, identical unit table.
+        assert_eq!(engine.grounding_cache_len(), 1);
+        assert_eq!(a.unit_table.len(), b.unit_table.len());
+        assert_eq!(
+            a.unit_table.outcomes().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.unit_table.outcomes().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // A query that synthesises an aggregate rule grounds a different
+        // effective model and gets its own entry.
+        engine.prepare_str("Score[S] <= Prestige[A]?").unwrap();
+        assert_eq!(engine.grounding_cache_len(), 2);
+        // Clones share the cache.
+        let clone = engine.clone();
+        clone.prepare_str("AVG_Score[A] <= Prestige[A]?").unwrap();
+        assert_eq!(engine.grounding_cache_len(), 2);
+    }
+
+    #[test]
+    fn answer_many_preserves_order_and_matches_single_answers() {
+        let engine = engine();
+        let queries = [
+            "AVG_Score[A] <= Prestige[A]?",
+            "AVG_Score[A] <= Prestige[A]? WHERE Qualification[A] >= 10",
+            "Score[S] <= Prestige[A]?",
+        ];
+        let batch = engine.answer_many_str(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (query, result) in queries.iter().zip(&batch) {
+            let single = engine.answer_str(query);
+            // Three units are too few to estimate, so both fail — but they
+            // must fail (or succeed) identically per query.
+            assert_eq!(result.is_ok(), single.is_ok(), "{query}");
+        }
+    }
+
+    #[test]
+    fn rowwise_reference_path_answers_like_the_columnar_path() {
+        let engine = engine();
+        // Too few units: both paths report an estimation error.
+        assert!(engine.answer_str_rowwise("AVG_Score[A] <= Prestige[A]?").is_err());
+        // The row-wise prepared query matches the columnar one structurally.
+        let row = engine.prepare_rowwise(&parse_query("AVG_Score[A] <= Prestige[A]?").unwrap()).unwrap();
+        let col = engine.prepare_str("AVG_Score[A] <= Prestige[A]?").unwrap();
+        assert_eq!(row.unit_table.len(), col.unit_table.len());
+        assert_eq!(row.unit_table.units, col.unit_table.units);
+        assert_eq!(row.response_attr, col.response_attr);
     }
 
     #[test]

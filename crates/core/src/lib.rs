@@ -64,17 +64,18 @@ pub mod model;
 pub mod paths;
 pub mod peers;
 pub mod query;
+pub mod rowwise;
 pub mod unit_table;
 
 pub use embed::EmbeddingKind;
-pub use engine::{CarlEngine, PreparedQuery};
+pub use engine::{CarlEngine, PreparedQuery, RowPreparedQuery};
 pub use error::{CarlError, CarlResult};
 pub use estimate::{AteAnswer, CateSeries, EstimatorKind, PeerEffectAnswer, QueryAnswer};
 pub use graph::{CausalGraph, GroundedAttr};
 pub use ground::{ground, GroundedModel};
 pub use model::RelationalCausalModel;
-pub use query::CateStratifier;
-pub use unit_table::UnitTable;
+pub use query::{bootstrap_ate, CateStratifier};
+pub use unit_table::{FloatColumn, NullBitmap, UnitTable};
 
 // Re-export the substrate crates so downstream users need only depend on `carl`.
 pub use carl_lang;

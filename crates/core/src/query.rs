@@ -19,7 +19,10 @@ use crate::estimate::{AteAnswer, CateSeries, EstimatorKind, PeerEffectAnswer};
 use crate::peers::PeerMap;
 use crate::unit_table::UnitTable;
 use carl_lang::PeerCondition;
-use carl_stats::{estimate_ate as stats_ate, AteMethod, Matrix, OlsFit};
+use carl_stats::{
+    estimate_ate as stats_ate, estimate_ate_cols as stats_ate_cols, AteMethod, BootstrapSummary,
+    Matrix, OlsFit,
+};
 use carl_stats::descriptive::quantile;
 
 /// Map an engine estimator to the statistics crate's ATE method.
@@ -49,63 +52,78 @@ pub struct FittedOutcomeModel {
 }
 
 impl FittedOutcomeModel {
-    /// Assemble the full feature vector of row `i`, optionally overriding the
-    /// own treatment and the peer-treatment regime.
-    fn full_features(
-        ut: &UnitTable,
-        peer_rows: &[Vec<f64>],
-        cov_rows: &[Vec<f64>],
-        row: usize,
-        t: f64,
-        peer_fraction: Option<f64>,
-        peer_dim: usize,
-    ) -> Vec<f64> {
-        let mut features = Vec::with_capacity(1 + peer_dim + ut.covariate_cols.len());
-        features.push(t);
-        if peer_dim > 0 {
-            match peer_fraction {
-                Some(frac) => {
-                    features.extend(ut.embedding.counterfactual(frac, ut.peer_counts[row]))
-                }
-                None => features.extend(&peer_rows[row]),
-            }
-        }
-        if !ut.covariate_cols.is_empty() {
-            features.extend(&cov_rows[row]);
-        }
-        features
-    }
-
-    /// Fit the outcome regression `Y ~ T + ψ_T(peers) + Ψ_Z`.
+    /// Fit the outcome regression `Y ~ T + ψ_T(peers) + Ψ_Z` directly from
+    /// the unit table's column slices (no per-row feature extraction).
     pub fn fit(ut: &UnitTable) -> CarlResult<Self> {
         let outcomes = ut.outcomes();
         let treatments = ut.treatments();
-        let peer_rows = ut.peer_treatment_rows();
-        let cov_rows = ut.covariate_rows();
-        let peer_dim = ut.peer_treatment_cols.len();
-        let n = ut.len();
-        let full: Vec<Vec<f64>> = (0..n)
-            .map(|i| {
-                Self::full_features(ut, &peer_rows, &cov_rows, i, treatments[i], None, peer_dim)
-            })
-            .collect();
+        let peer_cols = ut.peer_treatment_columns();
+        let cov_cols = ut.covariate_columns();
+        let peer_dim = peer_cols.len();
+        // Full feature columns `[T, ψ_T…, Ψ_Z…]`, borrowed zero-copy.
+        let mut full: Vec<&[f64]> = Vec::with_capacity(1 + peer_dim + cov_cols.len());
+        full.push(treatments);
+        full.extend(peer_cols.iter().copied());
+        full.extend(cov_cols.iter().copied());
         // Keep the treatment column (index 0) unconditionally; drop any other
         // column that is constant across all rows.
-        let width = full.first().map_or(1, Vec::len);
-        let kept: Vec<usize> = (0..width)
-            .filter(|&j| j == 0 || full.iter().any(|r| (r[j] - full[0][j]).abs() > 1e-12))
+        let kept: Vec<usize> = (0..full.len())
+            .filter(|&j| {
+                j == 0 || {
+                    let col = full[j];
+                    col.iter().any(|&v| (v - col[0]).abs() > 1e-12)
+                }
+            })
             .collect();
-        let rows: Vec<Vec<f64>> = full
-            .iter()
-            .map(|r| kept.iter().map(|&j| r[j]).collect())
-            .collect();
-        let design = Matrix::from_rows(&rows).map_err(CarlError::Stats)?;
-        let fit = OlsFit::fit_with_intercept(&design, &outcomes).map_err(CarlError::Stats)?;
+        let design_cols: Vec<&[f64]> = kept.iter().map(|&j| full[j]).collect();
+        let fit =
+            OlsFit::fit_with_intercept_cols(&design_cols, outcomes).map_err(CarlError::Stats)?;
         Ok(Self {
             fit,
             peer_dim,
             kept,
         })
+    }
+
+    /// Assemble the full feature vector of a row from borrowed columns,
+    /// optionally overriding the own treatment and peer-treatment regime.
+    fn full_features_at(
+        &self,
+        ut: &UnitTable,
+        peer_cols: &[&[f64]],
+        cov_cols: &[&[f64]],
+        row: usize,
+        t: f64,
+        peer_fraction: Option<f64>,
+    ) -> Vec<f64> {
+        let mut features = Vec::with_capacity(1 + self.peer_dim + cov_cols.len());
+        features.push(t);
+        if self.peer_dim > 0 {
+            match peer_fraction {
+                Some(frac) => {
+                    features.extend(ut.embedding.counterfactual(frac, ut.peer_counts[row]))
+                }
+                None => features.extend(peer_cols.iter().map(|c| c[row])),
+            }
+        }
+        features.extend(cov_cols.iter().map(|c| c[row]));
+        features
+    }
+
+    /// Predict with pre-resolved column slices — the hot path used by the
+    /// estimation loops, which resolve the columns once instead of per call.
+    fn predict_with(
+        &self,
+        ut: &UnitTable,
+        peer_cols: &[&[f64]],
+        cov_cols: &[&[f64]],
+        row: usize,
+        t: f64,
+        peer_fraction: Option<f64>,
+    ) -> CarlResult<f64> {
+        let full = self.full_features_at(ut, peer_cols, cov_cols, row, t, peer_fraction);
+        let features: Vec<f64> = self.kept.iter().map(|&j| full[j]).collect();
+        self.fit.predict(&features).map_err(CarlError::Stats)
     }
 
     /// Predict the outcome of row `i` of `ut` under a counterfactual own
@@ -118,18 +136,26 @@ impl FittedOutcomeModel {
         t: f64,
         peer_fraction: Option<f64>,
     ) -> CarlResult<f64> {
-        let peer_rows = ut.peer_treatment_rows();
-        let cov_rows = ut.covariate_rows();
-        let full =
-            Self::full_features(ut, &peer_rows, &cov_rows, row, t, peer_fraction, self.peer_dim);
-        let features: Vec<f64> = self.kept.iter().map(|&j| full[j]).collect();
-        self.fit.predict(&features).map_err(CarlError::Stats)
+        let peer_cols = ut.peer_treatment_columns();
+        let cov_cols = ut.covariate_columns();
+        self.predict_with(ut, &peer_cols, &cov_cols, row, t, peer_fraction)
     }
 
     /// R² of the fitted outcome model.
     pub fn r_squared(&self) -> f64 {
         self.fit.r_squared
     }
+}
+
+/// The adjustment columns of a unit table — peer-treatment embedding first
+/// (when any unit has peers), then covariates — as zero-copy slices.
+fn adjustment_columns(ut: &UnitTable) -> Vec<&[f64]> {
+    let mut cols: Vec<&[f64]> = Vec::new();
+    if !ut.peer_treatment_cols.is_empty() {
+        cols.extend(ut.peer_treatment_columns());
+    }
+    cols.extend(ut.covariate_columns());
+    cols
 }
 
 /// Estimate an ATE-style query (Eq 23) from a unit table.
@@ -139,8 +165,8 @@ pub fn estimate_ate(ut: &UnitTable, estimator: EstimatorKind) -> CarlResult<AteA
 
     // Naive contrast (difference of means, correlation) is always computed.
     let naive = stats_ate(
-        &outcomes,
-        &treatments,
+        outcomes,
+        treatments,
         &Matrix::zeros(ut.len(), 0),
         AteMethod::NaiveDifference,
     )
@@ -150,31 +176,21 @@ pub fn estimate_ate(ut: &UnitTable, estimator: EstimatorKind) -> CarlResult<AteA
         EstimatorKind::Naive => naive.ate,
         EstimatorKind::Regression => {
             let model = FittedOutcomeModel::fit(ut)?;
+            let peer_cols = ut.peer_treatment_columns();
+            let cov_cols = ut.covariate_columns();
             let mut total = 0.0;
             for i in 0..ut.len() {
-                let treated = model.predict(ut, i, 1.0, Some(1.0))?;
-                let control = model.predict(ut, i, 0.0, Some(0.0))?;
+                let treated = model.predict_with(ut, &peer_cols, &cov_cols, i, 1.0, Some(1.0))?;
+                let control = model.predict_with(ut, &peer_cols, &cov_cols, i, 0.0, Some(0.0))?;
                 total += treated - control;
             }
             total / ut.len() as f64
         }
         EstimatorKind::PropensityMatching | EstimatorKind::Subclassification | EstimatorKind::Ipw => {
             // Adjust for peer treatments and covariates via the chosen
-            // design-based estimator (own-treatment effect).
-            let peer_rows = ut.peer_treatment_rows();
-            let cov_rows = ut.covariate_rows();
-            let rows: Vec<Vec<f64>> = (0..ut.len())
-                .map(|i| {
-                    let mut r = Vec::new();
-                    if !ut.peer_treatment_cols.is_empty() {
-                        r.extend(&peer_rows[i]);
-                    }
-                    r.extend(&cov_rows[i]);
-                    r
-                })
-                .collect();
-            let covs = Matrix::from_rows(&rows).map_err(CarlError::Stats)?;
-            stats_ate(&outcomes, &treatments, &covs, ate_method(estimator))
+            // design-based estimator (own-treatment effect), handing the
+            // column slices straight to the stats layer.
+            stats_ate_cols(outcomes, treatments, &adjustment_columns(ut), ate_method(estimator))
                 .map_err(CarlError::Stats)?
                 .ate
         }
@@ -243,8 +259,8 @@ pub fn estimate_peer_effects(
     let outcomes = ut.outcomes();
     let treatments = ut.treatments();
     let naive = stats_ate(
-        &outcomes,
-        &treatments,
+        outcomes,
+        treatments,
         &Matrix::zeros(ut.len(), 0),
         AteMethod::NaiveDifference,
     )
@@ -253,14 +269,16 @@ pub fn estimate_peer_effects(
     // Peer effects require an outcome model that can evaluate counterfactual
     // peer regimes; only the regression estimator supports this.
     let model = FittedOutcomeModel::fit(ut)?;
+    let peer_cols = ut.peer_treatment_columns();
+    let cov_cols = ut.covariate_columns();
     let mut aie = 0.0;
     let mut are = 0.0;
     let mut aoe = 0.0;
     for i in 0..ut.len() {
         let frac = regime_fraction(regime, ut.peer_counts[i]);
-        let y_t1_peers = model.predict(ut, i, 1.0, Some(frac))?;
-        let y_t0_peers = model.predict(ut, i, 0.0, Some(frac))?;
-        let y_t0_none = model.predict(ut, i, 0.0, Some(0.0))?;
+        let y_t1_peers = model.predict_with(ut, &peer_cols, &cov_cols, i, 1.0, Some(frac))?;
+        let y_t0_peers = model.predict_with(ut, &peer_cols, &cov_cols, i, 0.0, Some(frac))?;
+        let y_t0_none = model.predict_with(ut, &peer_cols, &cov_cols, i, 0.0, Some(0.0))?;
         aie += y_t1_peers - y_t0_peers;
         are += y_t0_peers - y_t0_none;
         aoe += y_t1_peers - y_t0_none;
@@ -315,13 +333,10 @@ pub fn conditional_ate(
 ) -> CarlResult<CateSeries> {
     let (labels, assignment): (Vec<String>, Vec<usize>) = match stratifier {
         CateStratifier::ColumnQuantiles { column, bins } => {
-            let values = ut
-                .table
-                .column_f64(column)
-                .map_err(CarlError::Rel)?;
+            let values = ut.column(column)?;
             let bins = (*bins).max(1);
             let cuts: Vec<f64> = (1..bins)
-                .map(|k| quantile(&values, k as f64 / bins as f64))
+                .map(|k| quantile(values, k as f64 / bins as f64))
                 .collect();
             let assignment: Vec<usize> = values
                 .iter()
@@ -351,8 +366,7 @@ pub fn conditional_ate(
 
     let outcomes = ut.outcomes();
     let treatments = ut.treatments();
-    let peer_rows = ut.peer_treatment_rows();
-    let cov_rows = ut.covariate_rows();
+    let full_cols = adjustment_columns(ut);
 
     let mut strata = Vec::new();
     for (stratum, label) in labels.iter().enumerate() {
@@ -369,25 +383,13 @@ pub fn conditional_ate(
         }
         let y: Vec<f64> = idx.iter().map(|&i| outcomes[i]).collect();
         let t: Vec<f64> = idx.iter().map(|&i| treatments[i]).collect();
-        let rows: Vec<Vec<f64>> = idx
+        // Gather the stratum's adjustment matrix column by column.
+        let gathered: Vec<Vec<f64>> = full_cols
             .iter()
-            .map(|&i| {
-                let mut r = Vec::new();
-                if !ut.peer_treatment_cols.is_empty() {
-                    r.extend(&peer_rows[i]);
-                }
-                r.extend(&cov_rows[i]);
-                r
-            })
+            .map(|col| idx.iter().map(|&i| col[i]).collect())
             .collect();
-        let covs = match Matrix::from_rows(&rows) {
-            Ok(m) => m,
-            Err(_) => {
-                strata.push((label.clone(), f64::NAN, n));
-                continue;
-            }
-        };
-        match stats_ate(&y, &t, &covs, AteMethod::RegressionAdjustment) {
+        let refs: Vec<&[f64]> = gathered.iter().map(Vec::as_slice).collect();
+        match stats_ate_cols(&y, &t, &refs, AteMethod::RegressionAdjustment) {
             Ok(est) => strata.push((label.clone(), est.ate, n)),
             Err(_) => strata.push((label.clone(), f64::NAN, n)),
         }
@@ -399,6 +401,27 @@ pub fn conditional_ate(
         },
         strata,
     })
+}
+
+/// Parallel nonparametric bootstrap of an ATE estimate over unit-table rows
+/// (Figure 9 / Table 5 machinery): resample rows with replacement
+/// `replicates` times, re-estimate on each resample, and summarise the
+/// replicate distribution.
+///
+/// Replicates run in parallel through the rayon facade; every replicate
+/// derives its own RNG stream from `seed`, so the result is deterministic
+/// for a fixed seed **regardless of the worker-thread count**.
+pub fn bootstrap_ate(
+    ut: &UnitTable,
+    estimator: EstimatorKind,
+    replicates: usize,
+    seed: u64,
+) -> CarlResult<BootstrapSummary> {
+    carl_stats::bootstrap_ci(ut.len(), replicates, seed, 0.95, |idx| {
+        let resampled = ut.select_rows(idx).ok()?;
+        estimate_ate(&resampled, estimator).ok().map(|a| a.ate)
+    })
+    .map_err(CarlError::Stats)
 }
 
 #[cfg(test)]
@@ -609,6 +632,26 @@ mod tests {
                 assert!((cate - 1.0).abs() < 0.4, "stratum cate {cate}");
             }
         }
+    }
+
+    #[test]
+    fn bootstrap_ate_brackets_the_truth_and_is_thread_count_invariant() {
+        let (model, instance) = synthetic(300, 17);
+        let (ut, _) = unit_table_for(&model, &instance);
+        let a = bootstrap_ate(&ut, EstimatorKind::Regression, 40, 99).unwrap();
+        // The bootstrap distribution centres on the full-sample estimate,
+        // which in turn is near the true overall effect 1.5 (own 1.0 +
+        // peer 0.5).
+        let point = estimate_ate(&ut, EstimatorKind::Regression).unwrap().ate;
+        assert!(a.ci_lower <= point && point <= a.ci_upper, "CI [{}, {}] vs {point}", a.ci_lower, a.ci_upper);
+        assert!((a.mean - 1.5).abs() < 0.2, "bootstrap mean {}", a.mean);
+        assert!(a.std_dev > 0.0);
+        // Determinism under a fixed seed regardless of worker-thread count.
+        std::env::set_var("RAYON_NUM_THREADS", "3");
+        let b = bootstrap_ate(&ut, EstimatorKind::Regression, 40, 99).unwrap();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.replicates), bits(&b.replicates));
     }
 
     #[test]

@@ -1,0 +1,475 @@
+//! The legacy **row-oriented** unit-table data path, retained verbatim as
+//! the reference implementation for the differential test harness.
+//!
+//! The production data path ([`crate::unit_table`], [`crate::query`]) is
+//! columnar: contiguous `f64` columns filled during grounding, zero-copy
+//! slices into the estimators. This module preserves the seed's row-based
+//! semantics — a [`reldb::Table`] of [`Value`]s built row by row, per-row
+//! feature extraction, matrices assembled from row vectors — so that
+//! `tests/columnar_vs_rowwise.rs` can run every query through **both**
+//! engines and assert bit-identical estimates, in the spirit of checking a
+//! compact indexed representation against a reference semantics.
+//!
+//! Nothing in the production code calls into this module; the only entry
+//! points are [`build_row_unit_table`], the `*_rowwise` estimators here and
+//! the `CarlEngine::{prepare_rowwise, answer_rowwise}` façade methods
+//! (which also bypass the grounding cache, so a cache bug cannot mask
+//! itself by affecting both paths).
+
+use crate::error::{CarlError, CarlResult};
+use crate::estimate::{AteAnswer, EstimatorKind, PeerEffectAnswer};
+use crate::embed::EmbeddingKind;
+use crate::graph::GroundedAttr;
+use crate::peers::PeerMap;
+use crate::query::regime_fraction;
+use crate::unit_table::{render_unit, UnitTableSpec};
+use carl_lang::PeerCondition;
+use carl_stats::{estimate_ate as stats_ate, AteMethod, Matrix, OlsFit};
+use reldb::{Table, UnitKey, Value};
+
+/// The legacy unit table: a row-built [`reldb::Table`] of values plus the
+/// column metadata, exactly as the seed defined it.
+#[derive(Debug, Clone)]
+pub struct RowUnitTable {
+    /// The flat table: first column is the unit key rendering, then the
+    /// outcome, treatment, peer-treatment embedding and covariates.
+    pub table: Table,
+    /// Unit keys, aligned with table rows.
+    pub units: Vec<UnitKey>,
+    /// Name of the outcome column.
+    pub outcome_col: String,
+    /// Name of the (own) treatment column.
+    pub treatment_col: String,
+    /// Names of the peer-treatment embedding columns.
+    pub peer_treatment_cols: Vec<String>,
+    /// Names of all covariate columns (own + peer embeddings).
+    pub covariate_cols: Vec<String>,
+    /// Number of relational peers per row.
+    pub peer_counts: Vec<usize>,
+    /// The embedding used for peer treatments and covariates.
+    pub embedding: EmbeddingKind,
+}
+
+impl RowUnitTable {
+    /// Outcome column as floats (per-row extraction, as the seed did).
+    pub fn outcomes(&self) -> Vec<f64> {
+        self.table
+            .column_f64(&self.outcome_col)
+            .expect("outcome column exists")
+    }
+
+    /// Treatment column as floats (0/1).
+    pub fn treatments(&self) -> Vec<f64> {
+        self.table
+            .column_f64(&self.treatment_col)
+            .expect("treatment column exists")
+    }
+
+    /// Covariate matrix rows (peer-treatment columns excluded).
+    pub fn covariate_rows(&self) -> Vec<Vec<f64>> {
+        self.matrix_of(&self.covariate_cols)
+    }
+
+    /// Peer-treatment embedding rows.
+    pub fn peer_treatment_rows(&self) -> Vec<Vec<f64>> {
+        self.matrix_of(&self.peer_treatment_cols)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.table.row_count()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn matrix_of(&self, cols: &[String]) -> Vec<Vec<f64>> {
+        let columns: Vec<Vec<f64>> = cols
+            .iter()
+            .map(|c| self.table.column_f64(c).expect("column exists"))
+            .collect();
+        (0..self.len())
+            .map(|i| columns.iter().map(|c| c[i]).collect())
+            .collect()
+    }
+}
+
+/// Algorithm 1 in its original row-oriented form: every unit becomes a
+/// `Vec<Value>` row pushed into a [`reldb::Table`].
+pub fn build_row_unit_table(spec: &UnitTableSpec<'_>) -> CarlResult<RowUnitTable> {
+    let embedding = spec.embedding;
+    let peer_treatment_cols = embedding.column_names("peer_treatment");
+    let own_cov_cols: Vec<(String, Vec<String>)> = spec
+        .adjustment
+        .own_attributes
+        .iter()
+        .map(|a| (a.clone(), embedding.column_names(&format!("own_{a}"))))
+        .collect();
+    let peer_cov_cols: Vec<(String, Vec<String>)> = spec
+        .adjustment
+        .peer_attributes
+        .iter()
+        .map(|a| (a.clone(), embedding.column_names(&format!("peer_{a}"))))
+        .collect();
+
+    // Assemble the full column list.
+    let mut column_names: Vec<String> = vec!["unit".into(), "outcome".into(), "treatment".into()];
+    let any_peers = spec.peers.values().any(|p| !p.is_empty());
+    if any_peers {
+        column_names.extend(peer_treatment_cols.iter().cloned());
+    }
+    for (_, cols) in &own_cov_cols {
+        column_names.extend(cols.iter().cloned());
+    }
+    for (_, cols) in &peer_cov_cols {
+        column_names.extend(cols.iter().cloned());
+    }
+    let mut table =
+        Table::with_columns(&column_names.iter().map(String::as_str).collect::<Vec<_>>());
+
+    let mut units_out = Vec::new();
+    let mut peer_counts = Vec::new();
+    for unit in spec.units {
+        if let Some(allowed) = spec.allowed_units {
+            if !allowed.contains(unit) {
+                continue;
+            }
+        }
+        let outcome_node = GroundedAttr::new(spec.response_attr, unit.clone());
+        let Some(outcome) = spec.grounded.value_of(spec.instance, &outcome_node) else {
+            continue;
+        };
+        let Some(treatment_value) = spec.instance.attribute(spec.treatment_attr, unit) else {
+            continue;
+        };
+        let Some(treated) = treatment_value.as_bool() else {
+            return Err(CarlError::NonBinaryTreatment(spec.treatment_attr.to_string()));
+        };
+
+        let unit_peers: &[UnitKey] = spec.peers.get(unit).map(|v| v.as_slice()).unwrap_or(&[]);
+        let peer_treatments: Vec<f64> = unit_peers
+            .iter()
+            .filter_map(|p| {
+                spec.instance
+                    .attribute(spec.treatment_attr, p)
+                    .and_then(Value::as_bool)
+                    .map(|b| if b { 1.0 } else { 0.0 })
+            })
+            .collect();
+
+        let covariates = spec.adjustment.per_unit.get(unit);
+        let mut row: Vec<Value> = vec![
+            Value::Str(render_unit(unit)),
+            Value::Float(outcome),
+            Value::Float(if treated { 1.0 } else { 0.0 }),
+        ];
+        if any_peers {
+            row.extend(embedding.embed(&peer_treatments).into_iter().map(Value::Float));
+        }
+        for (attr, _) in &own_cov_cols {
+            let values = covariates
+                .and_then(|c| c.own.get(attr))
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            row.extend(embedding.embed(values).into_iter().map(Value::Float));
+        }
+        for (attr, _) in &peer_cov_cols {
+            let values = covariates
+                .and_then(|c| c.peer.get(attr))
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            row.extend(embedding.embed(values).into_iter().map(Value::Float));
+        }
+        table.push_row(row).map_err(CarlError::Rel)?;
+        units_out.push(unit.clone());
+        peer_counts.push(peer_treatments.len());
+    }
+
+    if units_out.is_empty() {
+        return Err(CarlError::EmptyUnitTable(format!(
+            "no unit has both an observed `{}` treatment and a `{}` outcome",
+            spec.treatment_attr, spec.response_attr
+        )));
+    }
+
+    let mut covariate_cols = Vec::new();
+    for (_, cols) in &own_cov_cols {
+        covariate_cols.extend(cols.iter().cloned());
+    }
+    for (_, cols) in &peer_cov_cols {
+        covariate_cols.extend(cols.iter().cloned());
+    }
+
+    Ok(RowUnitTable {
+        table,
+        units: units_out,
+        outcome_col: "outcome".into(),
+        treatment_col: "treatment".into(),
+        peer_treatment_cols: if any_peers { peer_treatment_cols } else { Vec::new() },
+        covariate_cols,
+        peer_counts,
+        embedding,
+    })
+}
+
+/// The seed's fitted outcome model: per-row feature extraction, matrices
+/// from row vectors, full matrix re-extraction on every prediction.
+#[derive(Debug, Clone)]
+struct RowFittedModel {
+    fit: OlsFit,
+    peer_dim: usize,
+    kept: Vec<usize>,
+}
+
+impl RowFittedModel {
+    fn full_features(
+        ut: &RowUnitTable,
+        peer_rows: &[Vec<f64>],
+        cov_rows: &[Vec<f64>],
+        row: usize,
+        t: f64,
+        peer_fraction: Option<f64>,
+        peer_dim: usize,
+    ) -> Vec<f64> {
+        let mut features = Vec::with_capacity(1 + peer_dim + ut.covariate_cols.len());
+        features.push(t);
+        if peer_dim > 0 {
+            match peer_fraction {
+                Some(frac) => {
+                    features.extend(ut.embedding.counterfactual(frac, ut.peer_counts[row]))
+                }
+                None => features.extend(&peer_rows[row]),
+            }
+        }
+        if !ut.covariate_cols.is_empty() {
+            features.extend(&cov_rows[row]);
+        }
+        features
+    }
+
+    fn fit(ut: &RowUnitTable) -> CarlResult<Self> {
+        let outcomes = ut.outcomes();
+        let treatments = ut.treatments();
+        let peer_rows = ut.peer_treatment_rows();
+        let cov_rows = ut.covariate_rows();
+        let peer_dim = ut.peer_treatment_cols.len();
+        let n = ut.len();
+        let full: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                Self::full_features(ut, &peer_rows, &cov_rows, i, treatments[i], None, peer_dim)
+            })
+            .collect();
+        let width = full.first().map_or(1, Vec::len);
+        let kept: Vec<usize> = (0..width)
+            .filter(|&j| j == 0 || full.iter().any(|r| (r[j] - full[0][j]).abs() > 1e-12))
+            .collect();
+        let rows: Vec<Vec<f64>> = full
+            .iter()
+            .map(|r| kept.iter().map(|&j| r[j]).collect())
+            .collect();
+        let design = Matrix::from_rows(&rows).map_err(CarlError::Stats)?;
+        let fit = OlsFit::fit_with_intercept(&design, &outcomes).map_err(CarlError::Stats)?;
+        Ok(Self { fit, peer_dim, kept })
+    }
+
+    fn predict(
+        &self,
+        ut: &RowUnitTable,
+        row: usize,
+        t: f64,
+        peer_fraction: Option<f64>,
+    ) -> CarlResult<f64> {
+        let peer_rows = ut.peer_treatment_rows();
+        let cov_rows = ut.covariate_rows();
+        let full =
+            Self::full_features(ut, &peer_rows, &cov_rows, row, t, peer_fraction, self.peer_dim);
+        let features: Vec<f64> = self.kept.iter().map(|&j| full[j]).collect();
+        self.fit.predict(&features).map_err(CarlError::Stats)
+    }
+}
+
+/// Map an engine estimator to the statistics crate's ATE method (seed copy).
+fn ate_method(estimator: EstimatorKind) -> AteMethod {
+    match estimator {
+        EstimatorKind::Regression => AteMethod::RegressionAdjustment,
+        EstimatorKind::PropensityMatching => AteMethod::PropensityMatching,
+        EstimatorKind::Subclassification => AteMethod::Subclassification(10),
+        EstimatorKind::Ipw => AteMethod::Ipw,
+        EstimatorKind::Naive => AteMethod::NaiveDifference,
+    }
+}
+
+/// The seed's ATE estimation over a row unit table.
+pub fn estimate_ate_rowwise(
+    ut: &RowUnitTable,
+    estimator: EstimatorKind,
+) -> CarlResult<AteAnswer> {
+    let outcomes = ut.outcomes();
+    let treatments = ut.treatments();
+
+    let naive = stats_ate(
+        &outcomes,
+        &treatments,
+        &Matrix::zeros(ut.len(), 0),
+        AteMethod::NaiveDifference,
+    )
+    .map_err(CarlError::Stats)?;
+
+    let ate = match estimator {
+        EstimatorKind::Naive => naive.ate,
+        EstimatorKind::Regression => {
+            let model = RowFittedModel::fit(ut)?;
+            let mut total = 0.0;
+            for i in 0..ut.len() {
+                let treated = model.predict(ut, i, 1.0, Some(1.0))?;
+                let control = model.predict(ut, i, 0.0, Some(0.0))?;
+                total += treated - control;
+            }
+            total / ut.len() as f64
+        }
+        EstimatorKind::PropensityMatching
+        | EstimatorKind::Subclassification
+        | EstimatorKind::Ipw => {
+            let peer_rows = ut.peer_treatment_rows();
+            let cov_rows = ut.covariate_rows();
+            let rows: Vec<Vec<f64>> = (0..ut.len())
+                .map(|i| {
+                    let mut r = Vec::new();
+                    if !ut.peer_treatment_cols.is_empty() {
+                        r.extend(&peer_rows[i]);
+                    }
+                    r.extend(&cov_rows[i]);
+                    r
+                })
+                .collect();
+            let covs = Matrix::from_rows(&rows).map_err(CarlError::Stats)?;
+            stats_ate(&outcomes, &treatments, &covs, ate_method(estimator))
+                .map_err(CarlError::Stats)?
+                .ate
+        }
+    };
+
+    Ok(AteAnswer {
+        ate,
+        naive_difference: naive.naive_difference,
+        treated_mean: naive.treated_mean,
+        control_mean: naive.control_mean,
+        correlation: naive.correlation,
+        n_treated: naive.n_treated,
+        n_control: naive.n_control,
+        n_units: ut.len(),
+        estimator,
+        response_attribute: String::new(),
+        treatment_attribute: String::new(),
+    })
+}
+
+/// The seed's peer-effects estimation over a row unit table.
+pub fn estimate_peer_effects_rowwise(
+    ut: &RowUnitTable,
+    regime: &PeerCondition,
+    peers: &PeerMap,
+    estimator: EstimatorKind,
+) -> CarlResult<PeerEffectAnswer> {
+    if ut.peer_treatment_cols.is_empty() {
+        return Err(CarlError::InvalidQuery(
+            "peer-effects query on a model where no unit has relational peers; \
+             the relational causal model induces no interference"
+                .to_string(),
+        ));
+    }
+    let outcomes = ut.outcomes();
+    let treatments = ut.treatments();
+    let naive = stats_ate(
+        &outcomes,
+        &treatments,
+        &Matrix::zeros(ut.len(), 0),
+        AteMethod::NaiveDifference,
+    )
+    .map_err(CarlError::Stats)?;
+
+    let model = RowFittedModel::fit(ut)?;
+    let mut aie = 0.0;
+    let mut are = 0.0;
+    let mut aoe = 0.0;
+    for i in 0..ut.len() {
+        let frac = regime_fraction(regime, ut.peer_counts[i]);
+        let y_t1_peers = model.predict(ut, i, 1.0, Some(frac))?;
+        let y_t0_peers = model.predict(ut, i, 0.0, Some(frac))?;
+        let y_t0_none = model.predict(ut, i, 0.0, Some(0.0))?;
+        aie += y_t1_peers - y_t0_peers;
+        are += y_t0_peers - y_t0_none;
+        aoe += y_t1_peers - y_t0_none;
+    }
+    let n = ut.len() as f64;
+    let stats = crate::peers::peer_stats(peers);
+
+    Ok(PeerEffectAnswer {
+        aie: aie / n,
+        are: are / n,
+        aoe: aoe / n,
+        naive_difference: naive.naive_difference,
+        correlation: naive.correlation,
+        n_units: ut.len(),
+        n_units_with_peers: stats.n_with_peers,
+        mean_peer_count: stats.mean_peers,
+        estimator,
+        peer_regime: regime.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjust::covariates;
+    use crate::ground::ground;
+    use crate::model::RelationalCausalModel;
+    use crate::peers::compute_peers;
+    use carl_lang::parse_program;
+    use reldb::{Instance, RelationalSchema};
+
+    #[test]
+    fn row_unit_table_matches_table_1() {
+        let schema = RelationalSchema::review_example();
+        let program = parse_program(
+            r#"
+            Prestige[A]  <= Qualification[A]              WHERE Person(A)
+            Quality[S]   <= Qualification[A], Prestige[A] WHERE Author(A, S)
+            Score[S]     <= Prestige[A]                   WHERE Author(A, S)
+            Score[S]     <= Quality[S]                    WHERE Submission(S)
+            AVG_Score[A] <= Score[S]                      WHERE Author(A, S)
+            "#,
+        )
+        .unwrap();
+        let model = RelationalCausalModel::new(schema, program).unwrap();
+        let instance = Instance::review_example();
+        let grounded = ground(&model, &instance).unwrap();
+        let units: Vec<UnitKey> = ["Bob", "Carlos", "Eva"]
+            .iter()
+            .map(|p| vec![Value::from(*p)])
+            .collect();
+        let peers = compute_peers(&grounded, "Prestige", "AVG_Score", &units);
+        let adjustment = covariates(&model, &grounded, &instance, "Prestige", &units, &peers);
+        let ut = build_row_unit_table(&UnitTableSpec {
+            grounded: &grounded,
+            instance: &instance,
+            treatment_attr: "Prestige",
+            response_attr: "AVG_Score",
+            units: &units,
+            peers: &peers,
+            adjustment: &adjustment,
+            embedding: EmbeddingKind::Mean,
+            allowed_units: None,
+        })
+        .unwrap();
+        assert_eq!(ut.len(), 3);
+        assert!(!ut.is_empty());
+        assert_eq!(ut.table.column_names()[0], "unit");
+        let row = |who: &str| ut.units.iter().position(|u| u == &vec![Value::from(who)]).unwrap();
+        assert!((ut.outcomes()[row("Bob")] - 0.75).abs() < 1e-12);
+        assert_eq!(ut.peer_treatment_rows()[row("Eva")], vec![0.5, 2.0]);
+        assert_eq!(ut.covariate_rows().len(), 3);
+    }
+}

@@ -1,27 +1,147 @@
-//! Unit-table construction (Algorithm 1, Section 5.2.1).
+//! Columnar unit-table construction (Algorithm 1, Section 5.2.1).
 //!
 //! The unit table is the flat relation handed to the classical estimators:
 //! one row per (unified) unit, with columns for the outcome, the unit's own
 //! treatment, the embedded peer treatments, and the embedded own/peer
 //! covariates selected by the adjustment plan.
+//!
+//! Since the estimators only ever consume whole columns, the table is stored
+//! **column-major**: one contiguous `Vec<f64>` plus a null bitmap per
+//! attribute, filled directly while walking the grounded model — no
+//! intermediate row values, no `Value` boxing, no per-row extraction.
+//! Estimators borrow columns as zero-copy `&[f64]` slices. The legacy
+//! row-oriented path is preserved in [`crate::rowwise`] as the reference
+//! implementation for the differential test harness
+//! (`tests/columnar_vs_rowwise.rs`), which asserts that both paths produce
+//! bit-identical estimates.
 
 use crate::adjust::AdjustmentPlan;
+use crate::embed::EmbeddingKind;
 use crate::error::{CarlError, CarlResult};
 use crate::graph::GroundedAttr;
 use crate::ground::GroundedModel;
-use crate::embed::EmbeddingKind;
 use crate::peers::PeerMap;
 use reldb::{Instance, Table, UnitKey, Value};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A packed bitmap marking which rows of a column are null.
+///
+/// Null cells also store `NaN` in the value vector so that code that ignores
+/// the bitmap cannot silently read a stale number.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NullBitmap {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl NullBitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one row, marked null or not.
+    pub fn push(&mut self, null: bool) {
+        let word = self.len / 64;
+        if word == self.bits.len() {
+            self.bits.push(0);
+        }
+        if null {
+            self.bits[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Whether row `i` is null.
+    pub fn is_null(&self, i: usize) -> bool {
+        assert!(i < self.len, "null bitmap index {i} out of bounds ({} rows)", self.len);
+        self.bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of rows tracked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap tracks no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of null rows.
+    pub fn null_count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether any row is null.
+    pub fn any_null(&self) -> bool {
+        self.bits.iter().any(|&w| w != 0)
+    }
+}
+
+/// One contiguous `f64` column of the unit table, with its null bitmap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloatColumn {
+    /// Column name.
+    pub name: String,
+    values: Vec<f64>,
+    nulls: NullBitmap,
+}
+
+impl FloatColumn {
+    /// An empty column.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            values: Vec::new(),
+            nulls: NullBitmap::new(),
+        }
+    }
+
+    /// Append an observed value.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+        self.nulls.push(false);
+    }
+
+    /// Append a null cell (stored as `NaN`, flagged in the bitmap).
+    pub fn push_null(&mut self) {
+        self.values.push(f64::NAN);
+        self.nulls.push(true);
+    }
+
+    /// The values as a zero-copy slice (null cells hold `NaN`).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The null bitmap.
+    pub fn nulls(&self) -> &NullBitmap {
+        &self.nulls
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
 
 /// A unit table together with the metadata the estimators need to interpret
-/// its columns.
+/// its columns: a column-major store of `f64` columns, plus the unit keys.
 #[derive(Debug, Clone)]
 pub struct UnitTable {
-    /// The flat table: first column is the unit key rendering, then the
-    /// outcome, treatment, peer-treatment embedding and covariates.
-    pub table: Table,
-    /// Unit keys, aligned with table rows.
+    /// The numeric columns in declaration order: outcome, treatment, peer
+    /// treatment embedding, covariate embeddings.
+    columns: Vec<FloatColumn>,
+    /// Column name → index into `columns`.
+    index: HashMap<String, usize>,
+    /// Unit keys, aligned with rows.
     pub units: Vec<UnitKey>,
     /// Name of the outcome column.
     pub outcome_col: String,
@@ -39,33 +159,71 @@ pub struct UnitTable {
 }
 
 impl UnitTable {
-    /// Outcome column as floats.
-    pub fn outcomes(&self) -> Vec<f64> {
-        self.table
-            .column_f64(&self.outcome_col)
-            .expect("outcome column exists")
+    /// Outcome column as a zero-copy slice.
+    pub fn outcomes(&self) -> &[f64] {
+        self.column(&self.outcome_col).expect("outcome column exists")
     }
 
-    /// Treatment column as floats (0/1).
-    pub fn treatments(&self) -> Vec<f64> {
-        self.table
-            .column_f64(&self.treatment_col)
-            .expect("treatment column exists")
+    /// Treatment column (0/1) as a zero-copy slice.
+    pub fn treatments(&self) -> &[f64] {
+        self.column(&self.treatment_col).expect("treatment column exists")
     }
 
-    /// Covariate matrix rows (peer-treatment columns excluded).
+    /// Borrow a column by name as a zero-copy slice.
+    pub fn column(&self, name: &str) -> CarlResult<&[f64]> {
+        self.float_column(name).map(FloatColumn::values)
+    }
+
+    /// Borrow a column (values + null bitmap) by name.
+    pub fn float_column(&self, name: &str) -> CarlResult<&FloatColumn> {
+        self.index
+            .get(name)
+            .map(|&i| &self.columns[i])
+            .ok_or_else(|| CarlError::Rel(reldb::RelError::UnknownColumn(name.to_string())))
+    }
+
+    /// The covariate columns, in `covariate_cols` order, as zero-copy slices.
+    pub fn covariate_columns(&self) -> Vec<&[f64]> {
+        self.columns_named(&self.covariate_cols)
+    }
+
+    /// The peer-treatment embedding columns as zero-copy slices.
+    pub fn peer_treatment_columns(&self) -> Vec<&[f64]> {
+        self.columns_named(&self.peer_treatment_cols)
+    }
+
+    /// Borrow the named columns (which must exist) as zero-copy slices.
+    pub fn columns_named(&self, names: &[String]) -> Vec<&[f64]> {
+        names
+            .iter()
+            .map(|n| self.column(n).expect("column exists"))
+            .collect()
+    }
+
+    /// All column names in declaration order (excluding the `unit` key
+    /// column, which is not numeric).
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Covariate matrix rows (peer-treatment columns excluded). Retained
+    /// for inspection and tests; estimators consume columns directly.
     pub fn covariate_rows(&self) -> Vec<Vec<f64>> {
-        self.matrix_of(&self.covariate_cols)
+        Self::rows_of(&self.covariate_columns(), self.len())
     }
 
-    /// Peer-treatment embedding rows.
+    /// Peer-treatment embedding rows. Retained for inspection and tests.
     pub fn peer_treatment_rows(&self) -> Vec<Vec<f64>> {
-        self.matrix_of(&self.peer_treatment_cols)
+        Self::rows_of(&self.peer_treatment_columns(), self.len())
+    }
+
+    fn rows_of(cols: &[&[f64]], n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| cols.iter().map(|c| c[i]).collect()).collect()
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.table.row_count()
+        self.units.len()
     }
 
     /// Whether the table has no rows.
@@ -73,14 +231,68 @@ impl UnitTable {
         self.len() == 0
     }
 
-    fn matrix_of(&self, cols: &[String]) -> Vec<Vec<f64>> {
-        let columns: Vec<Vec<f64>> = cols
+    /// Gather a row subset (indexes may repeat — this is what bootstrap
+    /// resampling uses) into a new unit table.
+    pub fn select_rows(&self, idx: &[usize]) -> CarlResult<UnitTable> {
+        let n = self.len();
+        if let Some(&bad) = idx.iter().find(|&&i| i >= n) {
+            return Err(CarlError::InvalidQuery(format!(
+                "select_rows: index {bad} out of bounds ({n} rows)"
+            )));
+        }
+        let columns = self
+            .columns
             .iter()
-            .map(|c| self.table.column_f64(c).expect("column exists"))
+            .map(|c| {
+                let mut out = FloatColumn::new(c.name.clone());
+                for &i in idx {
+                    if c.nulls.is_null(i) {
+                        out.push_null();
+                    } else {
+                        out.push(c.values[i]);
+                    }
+                }
+                out
+            })
             .collect();
-        (0..self.len())
-            .map(|i| columns.iter().map(|c| c[i]).collect())
-            .collect()
+        Ok(UnitTable {
+            columns,
+            index: self.index.clone(),
+            units: idx.iter().map(|&i| self.units[i].clone()).collect(),
+            outcome_col: self.outcome_col.clone(),
+            treatment_col: self.treatment_col.clone(),
+            peer_treatment_cols: self.peer_treatment_cols.clone(),
+            covariate_cols: self.covariate_cols.clone(),
+            peer_counts: idx.iter().map(|&i| self.peer_counts[i]).collect(),
+            embedding: self.embedding,
+        })
+    }
+
+    /// Export to a row-compatible [`reldb::Table`] (a `unit` key column
+    /// followed by every numeric column) for printing and CSV export.
+    pub fn to_table(&self) -> Table {
+        let mut names: Vec<&str> = vec!["unit"];
+        names.extend(self.columns.iter().map(|c| c.name.as_str()));
+        let mut table = Table::with_columns(&names);
+        for i in 0..self.len() {
+            let mut row: Vec<Value> = Vec::with_capacity(1 + self.columns.len());
+            row.push(Value::Str(render_unit(&self.units[i])));
+            for c in &self.columns {
+                if c.nulls.is_null(i) {
+                    row.push(Value::Null);
+                } else {
+                    row.push(Value::Float(c.values[i]));
+                }
+            }
+            table.push_row(row).expect("row width matches declared columns");
+        }
+        table
+    }
+}
+
+impl fmt::Display for UnitTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.to_table().fmt(f)
     }
 }
 
@@ -107,40 +319,59 @@ pub struct UnitTableSpec<'a> {
     pub allowed_units: Option<&'a HashSet<UnitKey>>,
 }
 
-/// Algorithm 1: construct the unit table `D(Y, ψ_T, Ψ_Z)`.
+/// The column layout of a unit table, resolved before construction so the
+/// builder can append values column by column.
+struct ColumnLayout {
+    any_peers: bool,
+    peer_treatment_cols: Vec<String>,
+    own_cov_attrs: Vec<String>,
+    peer_cov_attrs: Vec<String>,
+    covariate_cols: Vec<String>,
+}
+
+impl ColumnLayout {
+    fn of(spec: &UnitTableSpec<'_>) -> Self {
+        let embedding = spec.embedding;
+        let any_peers = spec.peers.values().any(|p| !p.is_empty());
+        let own_cov_attrs = spec.adjustment.own_attributes.clone();
+        let peer_cov_attrs = spec.adjustment.peer_attributes.clone();
+        let mut covariate_cols = Vec::new();
+        for a in &own_cov_attrs {
+            covariate_cols.extend(embedding.column_names(&format!("own_{a}")));
+        }
+        for a in &peer_cov_attrs {
+            covariate_cols.extend(embedding.column_names(&format!("peer_{a}")));
+        }
+        Self {
+            any_peers,
+            peer_treatment_cols: embedding.column_names("peer_treatment"),
+            own_cov_attrs,
+            peer_cov_attrs,
+            covariate_cols,
+        }
+    }
+
+    /// Declare the full numeric column list, in order.
+    fn columns(&self) -> Vec<FloatColumn> {
+        let mut columns = vec![FloatColumn::new("outcome"), FloatColumn::new("treatment")];
+        if self.any_peers {
+            columns.extend(self.peer_treatment_cols.iter().cloned().map(FloatColumn::new));
+        }
+        columns.extend(self.covariate_cols.iter().cloned().map(FloatColumn::new));
+        columns
+    }
+}
+
+/// Algorithm 1: construct the unit table `D(Y, ψ_T, Ψ_Z)` as a columnar
+/// store, filled directly from the grounded model in a single pass.
 ///
 /// Units lacking an observed outcome or an observed binary treatment are
 /// skipped (they cannot contribute to estimation). Returns an error if no
 /// unit survives.
 pub fn build_unit_table(spec: &UnitTableSpec<'_>) -> CarlResult<UnitTable> {
     let embedding = spec.embedding;
-    let peer_treatment_cols = embedding.column_names("peer_treatment");
-    let own_cov_cols: Vec<(String, Vec<String>)> = spec
-        .adjustment
-        .own_attributes
-        .iter()
-        .map(|a| (a.clone(), embedding.column_names(&format!("own_{a}"))))
-        .collect();
-    let peer_cov_cols: Vec<(String, Vec<String>)> = spec
-        .adjustment
-        .peer_attributes
-        .iter()
-        .map(|a| (a.clone(), embedding.column_names(&format!("peer_{a}"))))
-        .collect();
-
-    // Assemble the full column list.
-    let mut column_names: Vec<String> = vec!["unit".into(), "outcome".into(), "treatment".into()];
-    let any_peers = spec.peers.values().any(|p| !p.is_empty());
-    if any_peers {
-        column_names.extend(peer_treatment_cols.iter().cloned());
-    }
-    for (_, cols) in &own_cov_cols {
-        column_names.extend(cols.iter().cloned());
-    }
-    for (_, cols) in &peer_cov_cols {
-        column_names.extend(cols.iter().cloned());
-    }
-    let mut table = Table::with_columns(&column_names.iter().map(String::as_str).collect::<Vec<_>>());
+    let layout = ColumnLayout::of(spec);
+    let mut columns = layout.columns();
 
     let mut units_out = Vec::new();
     let mut peer_counts = Vec::new();
@@ -174,30 +405,50 @@ pub fn build_unit_table(spec: &UnitTableSpec<'_>) -> CarlResult<UnitTable> {
             })
             .collect();
 
+        // Append this unit's cells column by column.
         let covariates = spec.adjustment.per_unit.get(unit);
-        let mut row: Vec<Value> = vec![
-            Value::Str(render_unit(unit)),
-            Value::Float(outcome),
-            Value::Float(if treated { 1.0 } else { 0.0 }),
-        ];
-        if any_peers {
-            row.extend(embedding.embed(&peer_treatments).into_iter().map(Value::Float));
+        let mut col = 0usize;
+        columns[col].push(outcome);
+        col += 1;
+        columns[col].push(if treated { 1.0 } else { 0.0 });
+        col += 1;
+        if layout.any_peers {
+            for v in embedding.embed(&peer_treatments) {
+                columns[col].push(v);
+                col += 1;
+            }
         }
-        for (attr, _) in &own_cov_cols {
+        for attr in &layout.own_cov_attrs {
             let values = covariates
                 .and_then(|c| c.own.get(attr))
                 .map(Vec::as_slice)
                 .unwrap_or(&[]);
-            row.extend(embedding.embed(values).into_iter().map(Value::Float));
+            for v in embedding.embed(values) {
+                columns[col].push(v);
+                col += 1;
+            }
         }
-        for (attr, _) in &peer_cov_cols {
+        for attr in &layout.peer_cov_attrs {
             let values = covariates
                 .and_then(|c| c.peer.get(attr))
                 .map(Vec::as_slice)
                 .unwrap_or(&[]);
-            row.extend(embedding.embed(values).into_iter().map(Value::Float));
+            for v in embedding.embed(values) {
+                columns[col].push(v);
+                col += 1;
+            }
         }
-        table.push_row(row)?;
+        // Guard the column alignment at runtime (the row-based path got the
+        // equivalent check from `Table::push_row`): if an embedding ever
+        // yields a different width than its declared column names, fail
+        // loudly instead of silently shearing the columns.
+        if col != columns.len() {
+            return Err(CarlError::Rel(reldb::RelError::ColumnLengthMismatch {
+                column: "<row>".to_string(),
+                expected: columns.len(),
+                actual: col,
+            }));
+        }
         units_out.push(unit.clone());
         peer_counts.push(peer_treatments.len());
     }
@@ -209,21 +460,23 @@ pub fn build_unit_table(spec: &UnitTableSpec<'_>) -> CarlResult<UnitTable> {
         )));
     }
 
-    let mut covariate_cols = Vec::new();
-    for (_, cols) in &own_cov_cols {
-        covariate_cols.extend(cols.iter().cloned());
-    }
-    for (_, cols) in &peer_cov_cols {
-        covariate_cols.extend(cols.iter().cloned());
-    }
-
+    let index = columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.name.clone(), i))
+        .collect();
     Ok(UnitTable {
-        table,
+        columns,
+        index,
         units: units_out,
         outcome_col: "outcome".into(),
         treatment_col: "treatment".into(),
-        peer_treatment_cols: if any_peers { peer_treatment_cols } else { Vec::new() },
-        covariate_cols,
+        peer_treatment_cols: if layout.any_peers {
+            layout.peer_treatment_cols
+        } else {
+            Vec::new()
+        },
+        covariate_cols: layout.covariate_cols,
         peer_counts,
         embedding,
     })
@@ -291,7 +544,7 @@ mod tests {
     fn reproduces_table_1_of_the_paper() {
         let ut = paper_unit_table(EmbeddingKind::Mean);
         assert_eq!(ut.len(), 3);
-        assert_eq!(ut.table.column_names()[0], "unit");
+        assert_eq!(ut.to_table().column_names()[0], "unit");
 
         let row_of = |who: &str| ut.units.iter().position(|u| u == &vec![Value::from(who)]).unwrap();
         let outcomes = ut.outcomes();
@@ -316,14 +569,9 @@ mod tests {
 
         // Peer covariates: embedded collaborators' h-index. Eva's peers have
         // h-indexes {50, 20} → mean 35 (Table 1's last column).
-        let peer_qual_col = ut
-            .covariate_cols
-            .iter()
-            .position(|c| c == "peer_Qualification_mean")
-            .unwrap();
-        let cov_rows = ut.covariate_rows();
-        assert!((cov_rows[row_of("Eva")][peer_qual_col] - 35.0).abs() < 1e-12);
-        assert!((cov_rows[row_of("Bob")][peer_qual_col] - 2.0).abs() < 1e-12);
+        let peer_qual = ut.column("peer_Qualification_mean").unwrap();
+        assert!((peer_qual[row_of("Eva")] - 35.0).abs() < 1e-12);
+        assert!((peer_qual[row_of("Bob")] - 2.0).abs() < 1e-12);
     }
 
     #[test]
@@ -344,6 +592,66 @@ mod tests {
             );
             assert!(!ut.is_empty());
         }
+    }
+
+    #[test]
+    fn columns_are_contiguous_and_null_free() {
+        let ut = paper_unit_table(EmbeddingKind::Mean);
+        for name in ut.column_names().iter().map(|s| s.to_string()).collect::<Vec<_>>() {
+            let col = ut.float_column(&name).unwrap();
+            assert_eq!(col.len(), ut.len(), "{name}");
+            assert!(!col.nulls().any_null(), "{name}");
+            assert_eq!(col.nulls().null_count(), 0, "{name}");
+        }
+        // Zero-copy: the slice returned by `column` is the column storage.
+        let a = ut.outcomes().as_ptr();
+        let b = ut.column("outcome").unwrap().as_ptr();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn null_bitmap_tracks_cells() {
+        let mut col = FloatColumn::new("x");
+        for i in 0..130 {
+            if i % 7 == 0 {
+                col.push_null();
+            } else {
+                col.push(i as f64);
+            }
+        }
+        assert_eq!(col.len(), 130);
+        assert_eq!(col.nulls().null_count(), 19);
+        assert!(col.nulls().any_null());
+        for i in 0..130 {
+            assert_eq!(col.nulls().is_null(i), i % 7 == 0, "row {i}");
+            assert_eq!(col.values()[i].is_nan(), i % 7 == 0, "row {i}");
+        }
+        assert!(!NullBitmap::new().any_null());
+        assert!(NullBitmap::new().is_empty());
+    }
+
+    #[test]
+    fn select_rows_gathers_with_repeats() {
+        let ut = paper_unit_table(EmbeddingKind::Mean);
+        let sub = ut.select_rows(&[2, 0, 0]).unwrap();
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.units[1], ut.units[0]);
+        assert_eq!(sub.units[2], ut.units[0]);
+        assert_eq!(sub.outcomes()[0].to_bits(), ut.outcomes()[2].to_bits());
+        assert_eq!(sub.peer_counts[0], ut.peer_counts[2]);
+        assert!(ut.select_rows(&[99]).is_err());
+    }
+
+    #[test]
+    fn to_table_round_trips_columns() {
+        let ut = paper_unit_table(EmbeddingKind::Mean);
+        let table = ut.to_table();
+        assert_eq!(table.row_count(), ut.len());
+        assert_eq!(table.column_count(), 1 + ut.column_names().len());
+        assert_eq!(table.column_f64("outcome").unwrap(), ut.outcomes());
+        let rendered = ut.to_string();
+        assert!(rendered.contains("outcome"));
+        assert!(rendered.contains("Bob"));
     }
 
     #[test]

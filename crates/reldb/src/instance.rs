@@ -148,6 +148,45 @@ impl Instance {
         self.skeleton.validate(&self.schema)
     }
 
+    /// A stable 64-bit fingerprint of the full instance content: the
+    /// skeleton ([`Skeleton::fingerprint`]) combined with every attribute
+    /// assignment. Grounding consumes both (derived aggregate values read
+    /// attribute assignments), so this — not the skeleton fingerprint
+    /// alone — is the correct grounding-cache key: any content change,
+    /// structural or attributive, changes the fingerprint.
+    ///
+    /// Attribute assignments live in hash maps with nondeterministic
+    /// iteration order, so their contribution is combined with an
+    /// order-independent XOR of per-entry hashes.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn fnv(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(PRIME);
+            }
+        }
+        let mut h = self.skeleton.fingerprint();
+        for (attr, assignments) in &self.attributes {
+            fnv(&mut h, attr.as_bytes());
+            fnv(&mut h, &[0xfa]);
+            let mut combined: u64 = 0;
+            for (key, value) in assignments {
+                let mut entry = OFFSET;
+                for v in key {
+                    fnv(&mut entry, v.key_repr().as_bytes());
+                    fnv(&mut entry, &[0xf9]);
+                }
+                fnv(&mut entry, value.key_repr().as_bytes());
+                combined ^= entry;
+            }
+            h ^= combined;
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+
     /// Total number of attribute assignments across all attributes
     /// (a proxy for "rows" when reporting dataset sizes).
     pub fn total_attribute_assignments(&self) -> usize {
@@ -260,5 +299,28 @@ mod tests {
         let inst = Instance::review_example();
         // 3 prestige + 3 qualification + 3 score + 2 blind = 11
         assert_eq!(inst.total_attribute_assignments(), 11);
+    }
+
+    #[test]
+    fn fingerprint_covers_skeleton_and_attribute_content() {
+        let inst = Instance::review_example();
+        let fp = inst.fingerprint();
+        // Stable across clones (attribute maps iterate in arbitrary order;
+        // the hash must not depend on it).
+        assert_eq!(inst.clone().fingerprint(), fp);
+        assert_eq!(Instance::review_example().fingerprint(), fp);
+        // A skeleton change changes it.
+        let mut grown = inst.clone();
+        grown.add_entity("Person", Value::from("Dana")).unwrap();
+        assert_ne!(grown.fingerprint(), fp);
+        // An attribute-only change changes it too (same skeleton!): this is
+        // what the grounding cache relies on, since derived aggregate
+        // values read attribute assignments.
+        let mut rescored = inst.clone();
+        rescored
+            .set_attribute("Score", &[Value::from("s1")], Value::Float(0.9))
+            .unwrap();
+        assert_eq!(rescored.skeleton().fingerprint(), inst.skeleton().fingerprint());
+        assert_ne!(rescored.fingerprint(), fp);
     }
 }

@@ -31,6 +31,10 @@ pub struct Skeleton {
     /// (relationship, position, key) → row indexes into `relationships[rel]`.
     #[serde(skip)]
     rel_index: HashMap<(String, usize), HashMap<Value, Vec<usize>>>,
+    /// Authoritative per-relationship membership sets for duplicate
+    /// detection (derived state, resynchronised lazily when stale).
+    #[serde(skip)]
+    rel_set: BTreeMap<String, HashSet<UnitKey>>,
 }
 
 impl Skeleton {
@@ -49,19 +53,21 @@ impl Skeleton {
     }
 
     /// Add a grounded relationship tuple. Duplicates are stored only once.
+    ///
+    /// Duplicate detection is authoritative: it consults a per-relationship
+    /// membership set rather than the positional index, so it keeps working
+    /// for zero-arity tuples and after deserialisation (where the derived
+    /// indexes start out empty and are resynchronised lazily here).
     pub fn add_relationship(&mut self, rel: &str, tuple: UnitKey) {
-        // Duplicate detection via the position-0 index.
-        if let Some(existing) = self.rel_index.get(&(rel.to_string(), 0)) {
-            if let Some(first) = tuple.first() {
-                if let Some(rows) = existing.get(first) {
-                    let table = &self.relationships[rel];
-                    if rows.iter().any(|&r| table[r] == tuple) {
-                        return;
-                    }
-                }
-            }
+        let existing = self.relationships.entry(rel.to_string()).or_default();
+        let members = self.rel_set.entry(rel.to_string()).or_default();
+        if members.len() != existing.len() {
+            *members = existing.iter().cloned().collect();
         }
-        let rows = self.relationships.entry(rel.to_string()).or_default();
+        if !members.insert(tuple.clone()) {
+            return;
+        }
+        let rows = self.relationships.get_mut(rel).expect("entry created above");
         let row_id = rows.len();
         rows.push(tuple.clone());
         for (pos, v) in tuple.into_iter().enumerate() {
@@ -165,7 +171,10 @@ impl Skeleton {
     /// the index is skipped by serde).
     pub fn rebuild_indexes(&mut self) {
         self.rel_index.clear();
+        self.rel_set.clear();
         for (rel, tuples) in &self.relationships {
+            self.rel_set
+                .insert(rel.clone(), tuples.iter().cloned().collect());
             for (row_id, tuple) in tuples.iter().enumerate() {
                 for (pos, v) in tuple.iter().enumerate() {
                     self.rel_index
@@ -182,6 +191,49 @@ impl Skeleton {
             self.entity_index
                 .insert(ent.clone(), keys.iter().cloned().collect());
         }
+    }
+
+    /// A stable 64-bit fingerprint of the skeleton's content (every entity
+    /// key and relationship tuple, per class, in stored order).
+    ///
+    /// Two skeletons with the same content produce the same fingerprint in
+    /// any process on any platform (the hash is an explicit FNV-1a over a
+    /// canonical byte rendering, not a `RandomState` hash), which makes it
+    /// usable as a grounding-cache key: a cache entry keyed by
+    /// `(rule, fingerprint)` stays valid exactly as long as the skeleton it
+    /// was computed from is unchanged. Content insertions always change the
+    /// fingerprint; permuting insertion order may change it too, which for a
+    /// cache key is merely a conservative miss.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(PRIME);
+            }
+        }
+        let mut h = OFFSET;
+        for (entity, keys) in &self.entities {
+            mix(&mut h, entity.as_bytes());
+            mix(&mut h, &[0xff]);
+            for key in keys {
+                mix(&mut h, key.key_repr().as_bytes());
+                mix(&mut h, &[0xfe]);
+            }
+        }
+        for (rel, tuples) in &self.relationships {
+            mix(&mut h, rel.as_bytes());
+            mix(&mut h, &[0xfd]);
+            for tuple in tuples {
+                for v in tuple {
+                    mix(&mut h, v.key_repr().as_bytes());
+                    mix(&mut h, &[0xfc]);
+                }
+                mix(&mut h, &[0xfb]);
+            }
+        }
+        h
     }
 }
 
@@ -267,6 +319,54 @@ mod tests {
         let authorships = sk.units_of(&schema, "Author").unwrap();
         assert_eq!(authorships.len(), 5);
         assert_eq!(authorships[0].len(), 2);
+    }
+
+    #[test]
+    fn dedup_is_authoritative_without_a_position_0_index() {
+        // Regression: duplicate detection used to consult only the
+        // position-0 positional index, so tuples that never populate it
+        // (zero-arity tuples) or a skeleton whose derived indexes are empty
+        // were silently stored twice.
+        let mut sk = Skeleton::new();
+        sk.add_relationship("Marker", vec![]);
+        sk.add_relationship("Marker", vec![]);
+        assert_eq!(sk.relationship_count("Marker"), 1);
+
+        // Stale derived state (as after deserialisation): wipe the indexes
+        // and membership sets, then re-add an existing tuple.
+        let mut sk = Skeleton::new();
+        sk.add_entity("Person", Value::from("Bob"));
+        sk.add_entity("Submission", Value::from("s1"));
+        sk.add_relationship("Author", vec![Value::from("Bob"), Value::from("s1")]);
+        sk.rel_index.clear();
+        sk.rel_set.clear();
+        sk.add_relationship("Author", vec![Value::from("Bob"), Value::from("s1")]);
+        assert_eq!(sk.relationship_count("Author"), 1);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let (_, sk) = paper_skeleton();
+        let fp = sk.fingerprint();
+        // Stable across clones and index rebuilds (derived state is not hashed).
+        let mut clone = sk.clone();
+        assert_eq!(clone.fingerprint(), fp);
+        clone.rebuild_indexes();
+        assert_eq!(clone.fingerprint(), fp);
+        // Re-adding existing content is a no-op for the fingerprint.
+        clone.add_entity("Person", Value::from("Bob"));
+        clone.add_relationship("Author", vec![Value::from("Bob"), Value::from("s1")]);
+        assert_eq!(clone.fingerprint(), fp);
+        // Any content change changes it.
+        let mut grown = sk.clone();
+        grown.add_entity("Person", Value::from("Dana"));
+        assert_ne!(grown.fingerprint(), fp);
+        let mut rewired = sk.clone();
+        rewired.add_relationship("Author", vec![Value::from("Carlos"), Value::from("s1")]);
+        assert_ne!(rewired.fingerprint(), fp);
+        // The empty skeleton has its own fingerprint.
+        assert_ne!(Skeleton::new().fingerprint(), fp);
+        assert_eq!(Skeleton::new().fingerprint(), Skeleton::new().fingerprint());
     }
 
     #[test]

@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The unit table of Table 1 for the query AVG_Score[A] <= Prestige[A]?.
     let prepared = engine.prepare_str("AVG_Score[A] <= Prestige[A]?")?;
     println!("\nunit table for `AVG_Score[A] <= Prestige[A]?` (paper Table 1):");
-    println!("{}", prepared.unit_table.table);
+    println!("{}", prepared.unit_table);
     println!(
         "relational peers: {}",
         prepared

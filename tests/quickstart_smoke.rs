@@ -53,6 +53,6 @@ fn quickstart_pipeline_runs_end_to_end() {
     assert_eq!(prepared.response_attr, "AVG_Score");
     assert_eq!(prepared.treatment_attr, "Prestige");
     assert!(prepared.peers.values().all(|p| !p.is_empty()));
-    let rendered = prepared.unit_table.table.to_string();
+    let rendered = prepared.unit_table.to_string();
     assert!(!rendered.trim().is_empty(), "unit table renders");
 }

@@ -1,23 +1,233 @@
-//! Offline stand-in for [`rayon`](https://crates.io/crates/rayon).
+//! Offline stand-in for [`rayon`](https://crates.io/crates/rayon) — now with
+//! real data parallelism.
 //!
-//! `into_par_iter()` simply yields the ordinary sequential iterator, so all
-//! the adapter and collection machinery comes from [`std::iter::Iterator`].
-//! Results are identical to the parallel version for the pure map/filter
-//! pipelines this workspace runs (per-replicate seeded RNGs); only wall-clock
-//! parallelism is lost. Swap in the real crate once registry access exists.
+//! Earlier revisions of this stand-in executed sequentially; this version
+//! runs the map/filter pipelines the workspace uses on `std::thread` scoped
+//! workers. The input is split into contiguous chunks (one per worker) and
+//! the per-chunk results are concatenated **in chunk order**, so the output
+//! order is identical to sequential execution regardless of the number of
+//! threads — which is what keeps seeded bootstrap resampling deterministic.
+//!
+//! The worker count defaults to [`std::thread::available_parallelism`] and
+//! can be overridden with the `RAYON_NUM_THREADS` environment variable,
+//! mirroring the real crate. Swap in the real crate once registry access
+//! exists; the API subset here (`prelude::IntoParallelIterator`, `map`,
+//! `filter`, `filter_map`, `for_each`, `collect`) is call-compatible.
 
 #![warn(missing_docs)]
 
-/// Drop-in subset of `rayon::prelude`.
-pub mod prelude {
-    /// Conversion into a "parallel" iterator (sequential in this stub).
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Returns the sequential iterator; adapters (`map`, `filter_map`,
-        /// `collect`, …) then come from [`Iterator`].
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
+/// The number of worker threads parallel pipelines will use:
+/// `RAYON_NUM_THREADS` if set to a positive integer, otherwise the
+/// machine's available parallelism (1 if that cannot be determined).
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Apply `f` to every item on scoped worker threads, preserving input order.
+///
+/// Panics in workers are re-raised on the caller (as with real rayon).
+fn run_chunked<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut iter = items.into_iter();
+    loop {
+        let chunk: Vec<T> = iter.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    let mut out: Vec<R> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+/// A materialised "parallel iterator": adapters execute eagerly across the
+/// worker threads and preserve input order.
+#[derive(Debug, Clone)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Apply `f` to every item in parallel.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: run_chunked(self.items, f),
         }
     }
 
-    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+    /// Apply `f` in parallel and keep the `Some` results (in input order).
+    pub fn filter_map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> Option<R> + Sync,
+    {
+        ParIter {
+            items: run_chunked(self.items, f).into_iter().flatten().collect(),
+        }
+    }
+
+    /// Keep the items for which `f` returns true (in input order).
+    pub fn filter<F>(self, f: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        self.filter_map(|t| if f(&t) { Some(t) } else { None })
+    }
+
+    /// Run `f` on every item in parallel, discarding results.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_chunked(self.items, f);
+    }
+
+    /// Collect the (order-preserved) items into any collection.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items currently in the pipeline.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+}
+
+/// Drop-in subset of `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+
+    /// Materialise the source and hand it to the parallel adapters.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I
+where
+    I::Item: Send,
+{
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..10_000usize).into_par_iter().map(|i| i * 2).collect();
+        let expected: Vec<usize> = (0..10_000).map(|i| i * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn filter_map_matches_sequential() {
+        let par: Vec<usize> = (0..5_000usize)
+            .into_par_iter()
+            .filter_map(|i| (i % 3 == 0).then_some(i + 1))
+            .collect();
+        let seq: Vec<usize> = (0..5_000).filter_map(|i| (i % 3 == 0).then_some(i + 1)).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn filter_and_sum() {
+        let s: usize = (0..1_000usize).into_par_iter().filter(|&i| i % 2 == 0).sum();
+        assert_eq!(s, (0..1_000).filter(|&i| i % 2 == 0).sum::<usize>());
+        assert_eq!((0..7usize).into_par_iter().count(), 7);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let out: Vec<i32> = Vec::<i32>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let out: Vec<i32> = vec![41].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn borrows_from_the_environment_work() {
+        // Scoped threads let closures capture non-'static references.
+        let data: Vec<f64> = (0..100).map(f64::from).collect();
+        let doubled: Vec<f64> = (0..data.len()).into_par_iter().map(|i| data[i] * 2.0).collect();
+        assert_eq!(doubled[99], 198.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        (0..64usize).into_par_iter().for_each(|i| {
+            if i == 63 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn results_are_independent_of_thread_count() {
+        // Simulate different pool sizes via the env override; order and
+        // content must not change.
+        let run = || -> Vec<u64> {
+            (0..997u64).into_par_iter().map(|i| i.wrapping_mul(0x9E37_79B9)).collect()
+        };
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let one = run();
+        std::env::set_var("RAYON_NUM_THREADS", "5");
+        let five = run();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        let auto = run();
+        assert_eq!(one, five);
+        assert_eq!(one, auto);
+    }
 }
