@@ -6,8 +6,7 @@ use carl::{CarlEngine, EstimatorKind};
 use carl_datagen::{generate_synthetic_review, SyntheticReviewConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-const QUERY: &str =
-    "Score[P] <= Prestige[A]? WHERE SubmittedTo(P, V), DoubleBlind[V] = false";
+const QUERY: &str = "Score[P] <= Prestige[A]? WHERE SubmittedTo(P, V), DoubleBlind[V] = false";
 
 fn bench_query_answering(c: &mut Criterion) {
     let mut group = c.benchmark_group("query_answering");
@@ -34,7 +33,9 @@ fn bench_query_answering(c: &mut Criterion) {
         engine.set_estimator(estimator);
         group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
             b.iter(|| {
-                let answer = engine.answer_prepared(&prepared).expect("estimation succeeds");
+                let answer = engine
+                    .answer_prepared(&prepared)
+                    .expect("estimation succeeds");
                 std::hint::black_box(answer.headline())
             });
         });

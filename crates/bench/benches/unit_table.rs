@@ -6,8 +6,7 @@ use carl::{CarlEngine, EmbeddingKind};
 use carl_datagen::{generate_synthetic_review, SyntheticReviewConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-const QUERY: &str =
-    "Score[P] <= Prestige[A]? WHERE SubmittedTo(P, V), DoubleBlind[V] = false";
+const QUERY: &str = "Score[P] <= Prestige[A]? WHERE SubmittedTo(P, V), DoubleBlind[V] = false";
 
 fn bench_unit_table(c: &mut Criterion) {
     let mut group = c.benchmark_group("unit_table_construction");

@@ -56,7 +56,10 @@ pub fn run() {
         .collect();
     println!(
         "{}",
-        markdown_table(&["year", "controlled experiments", "observational studies"], &rows)
+        markdown_table(
+            &["year", "controlled experiments", "observational studies"],
+            &rows
+        )
     );
     let crossover = data
         .iter()
@@ -66,7 +69,8 @@ pub fn run() {
     println!("observational studies overtake controlled experiments in {crossover}\n");
     write_json(&ExperimentRecord {
         id: "figure1".to_string(),
-        title: "Publications: observational studies vs controlled experiments (synthetic)".to_string(),
+        title: "Publications: observational studies vs controlled experiments (synthetic)"
+            .to_string(),
         payload: data,
     });
 }

@@ -39,8 +39,16 @@ pub fn series() -> Vec<Figure10Series> {
     ];
     let mut out = Vec::new();
     for (regime, blind, truth) in [
-        ("single-blind", "false", ds.ground_truth.isolated_single_blind.unwrap_or(1.0)),
-        ("double-blind", "true", ds.ground_truth.isolated_double_blind.unwrap_or(0.0)),
+        (
+            "single-blind",
+            "false",
+            ds.ground_truth.isolated_single_blind.unwrap_or(1.0),
+        ),
+        (
+            "double-blind",
+            "true",
+            ds.ground_truth.isolated_double_blind.unwrap_or(0.0),
+        ),
     ] {
         for (name, embedding) in &embeddings {
             let mut engine =

@@ -76,7 +76,10 @@ pub fn run() {
         .iter()
         .map(|(label, ate, corr)| vec![label.clone(), fmt(*ate, 4), fmt(*corr, 4)])
         .collect();
-    println!("{}", markdown_table(&["regime", "ATE", "Pearson correlation"], &rows_a));
+    println!(
+        "{}",
+        markdown_table(&["regime", "ATE", "Pearson correlation"], &rows_a)
+    );
 
     println!("-- Figure 7(b): correlation, AIE, ARE, AOE (single-blind) --");
     let rows_b: Vec<Vec<String>> = fig
@@ -106,8 +109,17 @@ mod tests {
         assert!(single.2 > 0.05, "single-blind correlation {}", single.2);
         assert!(double.2 > 0.05, "double-blind correlation {}", double.2);
         // The causal effect is concentrated at single-blind venues.
-        assert!(single.1 > double.1, "ATE single {} vs double {}", single.1, double.1);
-        assert!(double.1.abs() < 0.06, "double-blind ATE {} should be near 0", double.1);
+        assert!(
+            single.1 > double.1,
+            "ATE single {} vs double {}",
+            single.1,
+            double.1
+        );
+        assert!(
+            double.1.abs() < 0.06,
+            "double-blind ATE {} should be near 0",
+            double.1
+        );
         // Panel (b): AIE > ARE and AOE = AIE + ARE.
         let aie = fig.panel_b[1].1;
         let are = fig.panel_b[2].1;

@@ -66,13 +66,15 @@ pub fn strata() -> Vec<Figure8Stratum> {
         .iter()
         .zip(universal_series.strata.iter())
         .enumerate()
-        .map(|(i, ((label, carl_cate, n), (_, universal_cate, _)))| Figure8Stratum {
-            stratum: format!("q{} ({label})", i + 1),
-            carl_cate: *carl_cate,
-            universal_cate: *universal_cate,
-            truth,
-            n_units: *n,
-        })
+        .map(
+            |(i, ((label, carl_cate, n), (_, universal_cate, _)))| Figure8Stratum {
+                stratum: format!("q{} ({label})", i + 1),
+                carl_cate: *carl_cate,
+                universal_cate: *universal_cate,
+                truth,
+                n_units: *n,
+            },
+        )
         .collect()
 }
 
@@ -95,7 +97,13 @@ pub fn run() {
     println!(
         "{}",
         markdown_table(
-            &["qualification stratum", "CaRL CATE", "universal-table CATE", "truth", "n (CaRL units)"],
+            &[
+                "qualification stratum",
+                "CaRL CATE",
+                "universal-table CATE",
+                "truth",
+                "n (CaRL units)"
+            ],
             &printable
         )
     );

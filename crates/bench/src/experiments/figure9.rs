@@ -91,12 +91,19 @@ pub fn run() {
         .collect();
     println!(
         "{}",
-        markdown_table(&["regime", "mean AIE", "mean ARE", "mean AOE", "replicates"], &rows)
+        markdown_table(
+            &["regime", "mean AIE", "mean ARE", "mean AOE", "replicates"],
+            &rows
+        )
     );
     for r in &data {
         println!("  AOE relative likelihood ({}):", r.regime);
         for (value, p) in &r.aoe_likelihood {
-            println!("    {:>7} : {}", fmt(*value, 3), "#".repeat((p * 40.0) as usize));
+            println!(
+                "    {:>7} : {}",
+                fmt(*value, 3),
+                "#".repeat((p * 40.0) as usize)
+            );
         }
     }
     println!();

@@ -75,7 +75,10 @@ pub fn rows() -> Vec<Table2Row> {
 
 /// Print Table 2 and write the JSON record.
 pub fn run() {
-    println!("-- Table 2: data description and query runtime (scale {:.2}) --", scale());
+    println!(
+        "-- Table 2: data description and query runtime (scale {:.2}) --",
+        scale()
+    );
     let data = rows();
     let printable: Vec<Vec<String>> = data
         .iter()
@@ -93,7 +96,14 @@ pub fn run() {
     println!(
         "{}",
         markdown_table(
-            &["dataset", "tables", "attributes", "rows", "unit table cons.", "query ans."],
+            &[
+                "dataset",
+                "tables",
+                "attributes",
+                "rows",
+                "unit table cons.",
+                "query ans."
+            ],
             &printable
         )
     );

@@ -100,7 +100,14 @@ pub fn run() {
     println!(
         "{}",
         markdown_table(
-            &["causal query", "avg treated", "avg control", "diff of averages", "ATE", "planted truth"],
+            &[
+                "causal query",
+                "avg treated",
+                "avg control",
+                "diff of averages",
+                "ATE",
+                "planted truth"
+            ],
             &printable
         )
     );
@@ -141,7 +148,11 @@ mod tests {
             ..NisConfig::small(6)
         });
         let row = answer(&nis, &nis.queries[0], "NIS 1", -0.10);
-        assert!(row.diff_of_averages > 0.15, "naive {}", row.diff_of_averages);
+        assert!(
+            row.diff_of_averages > 0.15,
+            "naive {}",
+            row.diff_of_averages
+        );
         assert!(row.ate < 0.0, "ate {}", row.ate);
         assert!((row.ate - -0.10).abs() < 0.08);
     }

@@ -91,7 +91,10 @@ pub fn run() {
             fmt(b.aoe_true, 3),
         ]);
     }
-    println!("{}", markdown_table(&["regime", "", "AIE", "ARE", "AOE"], &rows));
+    println!(
+        "{}",
+        markdown_table(&["regime", "", "AIE", "ARE", "AOE"], &rows)
+    );
     write_json(&ExperimentRecord {
         id: "table4".to_string(),
         title: "SYNTHETIC REVIEWDATA: estimated vs true AIE/ARE/AOE".to_string(),

@@ -144,7 +144,9 @@ pub fn rows() -> Vec<Table5Row> {
 
 /// Print Table 5 and write the JSON record.
 pub fn run() {
-    println!("-- Table 5: sensitivity to the choice of embedding ({REPLICATES} replicate datasets) --");
+    println!(
+        "-- Table 5: sensitivity to the choice of embedding ({REPLICATES} replicate datasets) --"
+    );
     let data = rows();
     let printable: Vec<Vec<String>> = data
         .iter()
@@ -161,7 +163,13 @@ pub fn run() {
     println!(
         "{}",
         markdown_table(
-            &["method", "single-blind est.", "true", "double-blind est.", "true"],
+            &[
+                "method",
+                "single-blind est.",
+                "true",
+                "double-blind est.",
+                "true"
+            ],
             &printable
         )
     );

@@ -26,8 +26,28 @@ impl fmt::Display for Literal {
         match self {
             Literal::Bool(b) => write!(f, "{b}"),
             Literal::Int(i) => write!(f, "{i}"),
+            // Integral floats must keep their decimal point, or the printed
+            // form would re-lex as an integer literal (or, past i64 range,
+            // fail to parse at all) and break parse ∘ print = id. `{x:.1}`
+            // round-trips every finite float: Rust never switches to
+            // exponent notation under a fixed precision.
+            Literal::Float(x) if x.fract() == 0.0 && x.is_finite() => {
+                write!(f, "{x:.1}")
+            }
             Literal::Float(x) => write!(f, "{x}"),
-            Literal::Str(s) => write!(f, "\"{s}\""),
+            Literal::Str(s) => {
+                write!(f, "\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => write!(f, "\\\"")?,
+                        '\\' => write!(f, "\\\\")?,
+                        '\n' => write!(f, "\\n")?,
+                        '\t' => write!(f, "\\t")?,
+                        other => write!(f, "{other}")?,
+                    }
+                }
+                write!(f, "\"")
+            }
         }
     }
 }
@@ -75,7 +95,10 @@ impl AttrRef {
     pub fn over_vars(attr: &str, vars: &[&str]) -> Self {
         Self {
             attr: attr.to_string(),
-            args: vars.iter().map(|v| ArgTerm::Var((*v).to_string())).collect(),
+            args: vars
+                .iter()
+                .map(|v| ArgTerm::Var((*v).to_string()))
+                .collect(),
         }
     }
 
@@ -183,7 +206,12 @@ impl Condition {
         let mut vars: BTreeSet<String> = self
             .atoms
             .iter()
-            .flat_map(|a| a.args.iter().filter_map(ArgTerm::as_var).map(str::to_string))
+            .flat_map(|a| {
+                a.args
+                    .iter()
+                    .filter_map(ArgTerm::as_var)
+                    .map(str::to_string)
+            })
             .collect();
         vars.extend(
             self.comparisons
@@ -436,9 +464,33 @@ mod tests {
     }
 
     #[test]
+    fn literal_display_keeps_floats_floats_and_escapes_strings() {
+        // Regression: integral floats used to print as `5`, re-lexing as
+        // Int(5), and quotes/backslashes in strings broke re-parsing.
+        assert_eq!(Literal::Float(5.0).to_string(), "5.0");
+        assert_eq!(Literal::Float(-3.0).to_string(), "-3.0");
+        assert_eq!(Literal::Float(0.25).to_string(), "0.25");
+        // Integral floats past i64 range must still print as floats (a
+        // bare digit string would fail to re-parse entirely).
+        assert_eq!(Literal::Float(1e15).to_string(), "1000000000000000.0");
+        assert_eq!(Literal::Float(1e19).to_string(), "10000000000000000000.0");
+        assert_eq!(
+            Literal::Str("say \"hi\" \\ there".into()).to_string(),
+            r#""say \"hi\" \\ there""#
+        );
+        assert_eq!(Literal::Str("a\nb\tc".into()).to_string(), r#""a\nb\tc""#);
+    }
+
+    #[test]
     fn agg_prefix_splitting() {
-        assert_eq!(AggName::split_prefixed("AVG_Score"), Some((AggName::Avg, "Score")));
-        assert_eq!(AggName::split_prefixed("count_Bill"), Some((AggName::Count, "Bill")));
+        assert_eq!(
+            AggName::split_prefixed("AVG_Score"),
+            Some((AggName::Avg, "Score"))
+        );
+        assert_eq!(
+            AggName::split_prefixed("count_Bill"),
+            Some((AggName::Count, "Bill"))
+        );
         assert_eq!(AggName::split_prefixed("Score"), None);
         assert_eq!(AggName::split_prefixed("FOO_Score"), None);
         assert_eq!(AggName::split_prefixed("AVG_"), None);
@@ -466,7 +518,10 @@ mod tests {
     #[test]
     fn peer_condition_display() {
         assert_eq!(PeerCondition::All.to_string(), "ALL");
-        assert_eq!(PeerCondition::MoreThanPercent(33.0).to_string(), "MORE THAN 33%");
+        assert_eq!(
+            PeerCondition::MoreThanPercent(33.0).to_string(),
+            "MORE THAN 33%"
+        );
         assert_eq!(PeerCondition::AtLeast(2).to_string(), "AT LEAST 2");
     }
 

@@ -80,7 +80,10 @@ impl fmt::Display for LangError {
                 expected,
                 found,
                 position,
-            } => write!(f, "parse error at {position}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "parse error at {position}: expected {expected}, found {found}"
+            ),
             Self::InvalidStatement { message, position } => {
                 write!(f, "invalid statement at {position}: {message}")
             }
@@ -100,7 +103,10 @@ mod tests {
 
     #[test]
     fn positions_render() {
-        let p = Position { line: 3, column: 14 };
+        let p = Position {
+            line: 3,
+            column: 14,
+        };
         assert_eq!(p.to_string(), "line 3, column 14");
         let e = LangError::Unexpected {
             expected: "`]`".into(),

@@ -16,7 +16,10 @@ pub fn tokenize(source: &str) -> LangResult<Vec<Token>> {
 
     macro_rules! push {
         ($kind:expr, $pos:expr) => {
-            tokens.push(Token { kind: $kind, position: $pos })
+            tokens.push(Token {
+                kind: $kind,
+                position: $pos,
+            })
         };
     }
 
@@ -27,14 +30,20 @@ pub fn tokenize(source: &str) -> LangResult<Vec<Token>> {
                 chars.next();
                 line += 1;
                 column = 1;
-                if !matches!(tokens.last().map(|t: &Token| &t.kind), Some(TokenKind::Newline) | None) {
+                if !matches!(
+                    tokens.last().map(|t: &Token| &t.kind),
+                    Some(TokenKind::Newline) | None
+                ) {
                     push!(TokenKind::Newline, pos);
                 }
             }
             ';' => {
                 chars.next();
                 column += 1;
-                if !matches!(tokens.last().map(|t: &Token| &t.kind), Some(TokenKind::Newline) | None) {
+                if !matches!(
+                    tokens.last().map(|t: &Token| &t.kind),
+                    Some(TokenKind::Newline) | None
+                ) {
                     push!(TokenKind::Newline, pos);
                 }
             }
@@ -64,7 +73,10 @@ pub fn tokenize(source: &str) -> LangResult<Vec<Token>> {
                         column += 1;
                     }
                 } else {
-                    return Err(LangError::UnexpectedCharacter { ch: '/', position: pos });
+                    return Err(LangError::UnexpectedCharacter {
+                        ch: '/',
+                        position: pos,
+                    });
                 }
             }
             '⇐' => {
@@ -108,7 +120,10 @@ pub fn tokenize(source: &str) -> LangResult<Vec<Token>> {
                     column += 1;
                     push!(TokenKind::NotEq, pos);
                 } else {
-                    return Err(LangError::UnexpectedCharacter { ch: '!', position: pos });
+                    return Err(LangError::UnexpectedCharacter {
+                        ch: '!',
+                        position: pos,
+                    });
                 }
             }
             '=' => {
@@ -163,6 +178,26 @@ pub fn tokenize(source: &str) -> LangResult<Vec<Token>> {
                         terminated = true;
                         break;
                     }
+                    if c == '\\' {
+                        // Escape sequences: \" \\ \n \t (so every string the
+                        // pretty-printer can emit re-lexes to the same value).
+                        let escape_pos = Position { line, column };
+                        match chars.next() {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some(other) => {
+                                return Err(LangError::UnexpectedCharacter {
+                                    ch: other,
+                                    position: escape_pos,
+                                });
+                            }
+                            None => return Err(LangError::UnterminatedString { position: pos }),
+                        }
+                        column += 1;
+                        continue;
+                    }
                     if c == '\n' {
                         line += 1;
                         column = 1;
@@ -197,17 +232,22 @@ pub fn tokenize(source: &str) -> LangResult<Vec<Token>> {
                     }
                 }
                 if text.is_empty() || text == "-" || text == "." || text == "-." {
-                    return Err(LangError::MalformedNumber { text, position: pos });
+                    return Err(LangError::MalformedNumber {
+                        text,
+                        position: pos,
+                    });
                 }
                 if saw_dot {
-                    let f: f64 = text
-                        .parse()
-                        .map_err(|_| LangError::MalformedNumber { text: text.clone(), position: pos })?;
+                    let f: f64 = text.parse().map_err(|_| LangError::MalformedNumber {
+                        text: text.clone(),
+                        position: pos,
+                    })?;
                     push!(TokenKind::Float(f), pos);
                 } else {
-                    let i: i64 = text
-                        .parse()
-                        .map_err(|_| LangError::MalformedNumber { text: text.clone(), position: pos })?;
+                    let i: i64 = text.parse().map_err(|_| LangError::MalformedNumber {
+                        text: text.clone(),
+                        position: pos,
+                    })?;
                     push!(TokenKind::Int(i), pos);
                 }
             }
@@ -225,7 +265,10 @@ pub fn tokenize(source: &str) -> LangResult<Vec<Token>> {
                 push!(TokenKind::Ident(ident), pos);
             }
             other => {
-                return Err(LangError::UnexpectedCharacter { ch: other, position: pos });
+                return Err(LangError::UnexpectedCharacter {
+                    ch: other,
+                    position: pos,
+                });
             }
         }
     }
@@ -303,8 +346,12 @@ mod tests {
     #[test]
     fn comments_are_skipped() {
         let ks = kinds("# a comment\nA[X] <= B[X] // trailing\n");
-        assert!(ks.iter().any(|k| matches!(k, TokenKind::Ident(s) if s == "A")));
-        assert!(!ks.iter().any(|k| matches!(k, TokenKind::Ident(s) if s == "comment")));
+        assert!(ks
+            .iter()
+            .any(|k| matches!(k, TokenKind::Ident(s) if s == "A")));
+        assert!(!ks
+            .iter()
+            .any(|k| matches!(k, TokenKind::Ident(s) if s == "comment")));
     }
 
     #[test]
@@ -313,6 +360,20 @@ mod tests {
         assert!(ks.contains(&TokenKind::Str("ConfDB".into())));
         assert!(matches!(
             tokenize("X = \"oops"),
+            Err(LangError::UnterminatedString { .. })
+        ));
+    }
+
+    #[test]
+    fn string_escapes_are_decoded() {
+        let ks = kinds(r#"X = "a\"b\\c\nd\te""#);
+        assert!(ks.contains(&TokenKind::Str("a\"b\\c\nd\te".into())));
+        assert!(matches!(
+            tokenize(r#"X = "bad \q""#),
+            Err(LangError::UnexpectedCharacter { ch: 'q', .. })
+        ));
+        assert!(matches!(
+            tokenize("X = \"trailing\\"),
             Err(LangError::UnterminatedString { .. })
         ));
     }

@@ -61,7 +61,7 @@ pub mod token;
 pub mod validate;
 
 pub use ast::{
-    AggName, ArgTerm, AttrRef, CausalQuery, CausalRule, AggregateRule, Comparison, CompareOp,
+    AggName, AggregateRule, ArgTerm, AttrRef, CausalQuery, CausalRule, CompareOp, Comparison,
     Condition, Literal, PeerCondition, Program, QueryAtom, Statement,
 };
 pub use error::{LangError, LangResult};

@@ -1,7 +1,7 @@
 //! Recursive-descent parser for CaRL programs.
 
 use crate::ast::{
-    AggName, AggregateRule, ArgTerm, AttrRef, CausalQuery, CausalRule, Comparison, CompareOp,
+    AggName, AggregateRule, ArgTerm, AttrRef, CausalQuery, CausalRule, CompareOp, Comparison,
     Condition, Literal, PeerCondition, Program, QueryAtom, Statement,
 };
 use crate::error::{LangError, LangResult, Position};
@@ -488,11 +488,14 @@ mod tests {
         assert_eq!(all.peers, Some(PeerCondition::All));
         let none = parse_query("Score[S] <= Prestige[A]? WHEN NONE PEERS TREATED").unwrap();
         assert_eq!(none.peers, Some(PeerCondition::None));
-        let more = parse_query("Score[S] <= Prestige[A]? WHEN MORE THAN 33% PEERS TREATED").unwrap();
+        let more =
+            parse_query("Score[S] <= Prestige[A]? WHEN MORE THAN 33% PEERS TREATED").unwrap();
         assert_eq!(more.peers, Some(PeerCondition::MoreThanPercent(33.0)));
-        let less = parse_query("Score[S] <= Prestige[A]? WHEN LESS THAN 0.5 PEERS TREATED").unwrap();
+        let less =
+            parse_query("Score[S] <= Prestige[A]? WHEN LESS THAN 0.5 PEERS TREATED").unwrap();
         assert_eq!(less.peers, Some(PeerCondition::LessThanPercent(50.0)));
-        let atleast = parse_query("Score[S] <= Prestige[A]? WHEN AT LEAST 2 PEERS TREATED").unwrap();
+        let atleast =
+            parse_query("Score[S] <= Prestige[A]? WHEN AT LEAST 2 PEERS TREATED").unwrap();
         assert_eq!(atleast.peers, Some(PeerCondition::AtLeast(2)));
         let atmost = parse_query("Score[S] <= Prestige[A]? WHEN AT MOST 3 PEERS TREATED").unwrap();
         assert_eq!(atmost.peers, Some(PeerCondition::AtMost(3)));
@@ -546,8 +549,14 @@ mod tests {
         let stmt = parse_rule("Score[S] <= Prestige[\"Bob\"] WHERE Author(\"Bob\", S)").unwrap();
         match stmt {
             Statement::Rule(r) => {
-                assert_eq!(r.body[0].args[0], ArgTerm::Const(Literal::Str("Bob".into())));
-                assert_eq!(r.condition.atoms[0].args[0], ArgTerm::Const(Literal::Str("Bob".into())));
+                assert_eq!(
+                    r.body[0].args[0],
+                    ArgTerm::Const(Literal::Str("Bob".into()))
+                );
+                assert_eq!(
+                    r.condition.atoms[0].args[0],
+                    ArgTerm::Const(Literal::Str("Bob".into()))
+                );
             }
             _ => panic!("expected rule"),
         }
@@ -561,7 +570,8 @@ mod tests {
 
     #[test]
     fn aggregate_rule_with_two_sources_is_rejected() {
-        let err = parse_program("AVG_Score[A] <= Score[S], Quality[S] WHERE Author(A, S)").unwrap_err();
+        let err =
+            parse_program("AVG_Score[A] <= Score[S], Quality[S] WHERE Author(A, S)").unwrap_err();
         assert!(matches!(err, LangError::InvalidStatement { .. }));
     }
 

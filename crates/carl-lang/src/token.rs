@@ -98,7 +98,10 @@ mod tests {
     #[test]
     fn describe_is_compact() {
         assert_eq!(TokenKind::Arrow.describe(), "`<=`");
-        assert_eq!(TokenKind::Ident("WHERE".into()).describe(), "identifier `WHERE`");
+        assert_eq!(
+            TokenKind::Ident("WHERE".into()).describe(),
+            "identifier `WHERE`"
+        );
     }
 
     #[test]

@@ -39,8 +39,7 @@ pub fn validate_program(program: &Program) -> LangResult<Vec<String>> {
             .iter()
             .filter_map(|a| a.as_var().map(str::to_string))
             .collect();
-        let source_vars: BTreeSet<String> =
-            agg.source.variables().map(str::to_string).collect();
+        let source_vars: BTreeSet<String> = agg.source.variables().map(str::to_string).collect();
         if agg.condition.is_trivial() {
             // Degenerate but allowed when head and source range over the same
             // variable (identity grouping).
@@ -63,7 +62,8 @@ pub fn validate_program(program: &Program) -> LangResult<Vec<String>> {
     }
 
     // Aggregate-defined names must not also have causal rules.
-    let aggregate_names: BTreeSet<&str> = program.aggregates.iter().map(|a| a.name.as_str()).collect();
+    let aggregate_names: BTreeSet<&str> =
+        program.aggregates.iter().map(|a| a.name.as_str()).collect();
     for rule in &program.rules {
         if aggregate_names.contains(rule.head.attr.as_str()) {
             return Err(LangError::Validation(format!(
@@ -123,7 +123,10 @@ fn topological_order(program: &Program) -> LangResult<Vec<String>> {
     let mut nodes: BTreeSet<String> = BTreeSet::new();
     let mut edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new(); // from -> to
     let add_edge = |from: &str, to: &str, edges: &mut BTreeMap<String, BTreeSet<String>>| {
-        edges.entry(from.to_string()).or_default().insert(to.to_string());
+        edges
+            .entry(from.to_string())
+            .or_default()
+            .insert(to.to_string());
     };
     for rule in &program.rules {
         nodes.insert(rule.head.attr.clone());

@@ -4,7 +4,7 @@
 
 use carl_lang::{
     parse_program, pretty, AggName, AggregateRule, ArgTerm, AttrRef, CausalQuery, CausalRule,
-    Comparison, CompareOp, Condition, Literal, PeerCondition, Program, QueryAtom,
+    CompareOp, Comparison, Condition, Literal, PeerCondition, Program, QueryAtom,
 };
 use proptest::prelude::*;
 
@@ -17,15 +17,23 @@ fn arb_var() -> impl Strategy<Value = String> {
     "[A-EG-SU-Z][A-Z0-9]{0,3}".prop_map(|s| s)
 }
 
+/// Strings over a charset that includes the characters the pretty-printer
+/// must escape (quotes, backslashes, newlines, tabs).
+fn arb_string() -> impl Strategy<Value = String> {
+    const CHARSET: [char; 10] = ['a', 'Z', '0', '9', ' ', '_', '"', '\\', '\n', '\t'];
+    proptest::collection::vec(0usize..CHARSET.len(), 0..10)
+        .prop_map(|ixs| ixs.into_iter().map(|i| CHARSET[i]).collect())
+}
+
 fn arb_literal() -> impl Strategy<Value = Literal> {
     prop_oneof![
         any::<bool>().prop_map(Literal::Bool),
         (-1000i64..1000).prop_map(Literal::Int),
-        // Always-fractional floats so the printed form re-lexes as a float
-        // (an integral float would print without a decimal point and come
-        // back as an integer literal).
         (0u32..10_000).prop_map(|n| Literal::Float(f64::from(n) + 0.25)),
-        "[a-zA-Z0-9 ]{0,10}".prop_map(Literal::Str),
+        // Integral floats print with a decimal point and must come back as
+        // floats, not collapse into integer literals.
+        (-1000i64..1000).prop_map(|n| Literal::Float(n as f64)),
+        arb_string().prop_map(Literal::Str),
     ]
 }
 

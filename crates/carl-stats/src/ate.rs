@@ -16,8 +16,7 @@ use crate::ols::OlsFit;
 use crate::subclass::subclassification_ate;
 
 /// The adjustment method used to estimate the ATE from a unit table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AteMethod {
     /// Linear regression adjustment (default in CaRL).
     #[default]
@@ -31,7 +30,6 @@ pub enum AteMethod {
     /// No adjustment: difference of arm means (used for the naive contrast).
     NaiveDifference,
 }
-
 
 /// An estimated average treatment effect together with the descriptive
 /// quantities the paper reports next to it (Table 3, Figure 7).
@@ -101,7 +99,9 @@ pub fn estimate_ate(
     } else {
         match method {
             AteMethod::NaiveDifference => naive,
-            AteMethod::RegressionAdjustment => regression_adjustment(outcome, treatment, covariates)?,
+            AteMethod::RegressionAdjustment => {
+                regression_adjustment(outcome, treatment, covariates)?
+            }
             AteMethod::PropensityMatching => {
                 psm_ate(covariates, treatment, outcome, &MatchingConfig::default())?.effect
             }
@@ -140,7 +140,11 @@ pub fn estimate_ate_cols(
 }
 
 /// Regression adjustment: fit `Y ~ T + Z` and read the treatment coefficient.
-fn regression_adjustment(outcome: &[f64], treatment: &[f64], covariates: &Matrix) -> StatsResult<f64> {
+fn regression_adjustment(
+    outcome: &[f64],
+    treatment: &[f64],
+    covariates: &Matrix,
+) -> StatsResult<f64> {
     let n = outcome.len();
     let mut rows = Vec::with_capacity(n);
     for (i, &t) in treatment.iter().enumerate().take(n) {
@@ -169,7 +173,11 @@ mod tests {
         let mut rows = Vec::with_capacity(n);
         for _ in 0..n {
             let z: f64 = rng.gen();
-            let t = if rng.gen::<f64>() < 0.15 + 0.7 * z { 1.0 } else { 0.0 };
+            let t = if rng.gen::<f64>() < 0.15 + 0.7 * z {
+                1.0
+            } else {
+                0.0
+            };
             let y = 1.0 * t + 5.0 * z + rng.gen_range(-0.2..0.2);
             ys.push(y);
             ts.push(t);
@@ -182,7 +190,11 @@ mod tests {
     fn all_adjusting_methods_debias() {
         let (y, t, z) = confounded(5000, 99);
         let naive = estimate_ate(&y, &t, &z, AteMethod::NaiveDifference).unwrap();
-        assert!(naive.ate > 1.8, "naive should be inflated, got {}", naive.ate);
+        assert!(
+            naive.ate > 1.8,
+            "naive should be inflated, got {}",
+            naive.ate
+        );
         for method in [
             AteMethod::RegressionAdjustment,
             AteMethod::PropensityMatching,

@@ -40,15 +40,22 @@ where
     F: Fn(&[usize]) -> Option<f64> + Sync,
 {
     if n == 0 {
-        return Err(StatsError::InsufficientData("bootstrap: empty sample".into()));
+        return Err(StatsError::InsufficientData(
+            "bootstrap: empty sample".into(),
+        ));
     }
     if replicates == 0 {
-        return Err(StatsError::InvalidArgument("bootstrap: need at least one replicate".into()));
+        return Err(StatsError::InvalidArgument(
+            "bootstrap: need at least one replicate".into(),
+        ));
     }
     let estimates: Vec<f64> = (0..replicates)
         .into_par_iter()
         .filter_map(|r| {
-            let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = SmallRng::seed_from_u64(
+                seed.wrapping_add(r as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
             let sample: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
             estimator(&sample).filter(|e| e.is_finite())
         })
@@ -74,7 +81,9 @@ where
     F: Fn(&[usize]) -> Option<f64> + Sync,
 {
     if !(0.0..1.0).contains(&confidence) {
-        return Err(StatsError::InvalidArgument("bootstrap: confidence must be in (0, 1)".into()));
+        return Err(StatsError::InvalidArgument(
+            "bootstrap: confidence must be in (0, 1)".into(),
+        ));
     }
     let reps = bootstrap_distribution(n, replicates, seed, estimator)?;
     let alpha = (1.0 - confidence) / 2.0;
@@ -99,7 +108,11 @@ pub fn relative_likelihood(replicates: &[f64], bins: usize) -> Vec<(f64, f64)> {
     if !(lo.is_finite() && hi.is_finite()) {
         return Vec::new();
     }
-    let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+    let width = if hi > lo {
+        (hi - lo) / bins as f64
+    } else {
+        1.0
+    };
     let mut counts = vec![0usize; bins];
     for &r in replicates {
         let idx = (((r - lo) / width) as usize).min(bins - 1);

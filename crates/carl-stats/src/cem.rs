@@ -33,7 +33,9 @@ pub fn cem_ate(
     let n = covariates.nrows();
     let p = covariates.ncols();
     if treatment.len() != n || outcome.len() != n {
-        return Err(StatsError::DimensionMismatch("cem: input lengths differ".into()));
+        return Err(StatsError::DimensionMismatch(
+            "cem: input lengths differ".into(),
+        ));
     }
     if bins < 1 {
         return Err(StatsError::InvalidArgument("cem: bins must be >= 1".into()));
@@ -67,7 +69,9 @@ pub fn cem_ate(
     }
     let mut cells: HashMap<Vec<usize>, Cell> = HashMap::new();
     for i in 0..n {
-        let sig: Vec<usize> = (0..p).map(|j| bin_of(covariates[(i, j)], ranges[j])).collect();
+        let sig: Vec<usize> = (0..p)
+            .map(|j| bin_of(covariates[(i, j)], ranges[j]))
+            .collect();
         let cell = cells.entry(sig).or_default();
         if treatment[i] > 0.5 {
             cell.treated_sum += outcome[i];
@@ -87,14 +91,17 @@ pub fn cem_ate(
             continue;
         }
         let size = cell.treated_n + cell.control_n;
-        let eff = cell.treated_sum / cell.treated_n as f64 - cell.control_sum / cell.control_n as f64;
+        let eff =
+            cell.treated_sum / cell.treated_n as f64 - cell.control_sum / cell.control_n as f64;
         num += eff * size as f64;
         den += size as f64;
         matched_bins += 1;
         retained += size;
     }
     if matched_bins == 0 {
-        return Err(StatsError::InsufficientData("cem: no bin contains both arms".into()));
+        return Err(StatsError::InsufficientData(
+            "cem: no bin contains both arms".into(),
+        ));
     }
     Ok(CemResult {
         effect: num / den,
@@ -116,7 +123,11 @@ mod tests {
         let mut ys = Vec::with_capacity(n);
         for _ in 0..n {
             let z: f64 = rng.gen();
-            let t = if rng.gen::<f64>() < 0.2 + 0.6 * z { 1.0 } else { 0.0 };
+            let t = if rng.gen::<f64>() < 0.2 + 0.6 * z {
+                1.0
+            } else {
+                0.0
+            };
             let y = 0.8 * t + 2.5 * z + rng.gen_range(-0.05..0.05);
             rows.push(vec![z]);
             ts.push(t);

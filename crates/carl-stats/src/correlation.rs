@@ -22,7 +22,9 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> StatsResult<f64> {
         )));
     }
     if xs.len() < 2 {
-        return Err(StatsError::InsufficientData("pearson needs at least 2 points".into()));
+        return Err(StatsError::InsufficientData(
+            "pearson needs at least 2 points".into(),
+        ));
     }
     let mx = mean(xs);
     let my = mean(ys);
@@ -56,7 +58,11 @@ pub fn spearman(xs: &[f64], ys: &[f64]) -> StatsResult<f64> {
 /// Average ranks (1-based) with ties sharing their mean rank.
 pub fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut order: Vec<usize> = (0..xs.len()).collect();
-    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < order.len() {

@@ -83,7 +83,10 @@ pub fn moments(xs: &[f64], k: usize) -> Vec<f64> {
                 if sd == 0.0 {
                     0.0
                 } else {
-                    xs.iter().map(|x| ((x - m) / sd).powi(i as i32 + 1)).sum::<f64>() / xs.len() as f64
+                    xs.iter()
+                        .map(|x| ((x - m) / sd).powi(i as i32 + 1))
+                        .sum::<f64>()
+                        / xs.len() as f64
                 }
             }
         };

@@ -59,7 +59,10 @@ mod tests {
 
     #[test]
     fn error_messages_render() {
-        let e = StatsError::NoConvergence { iterations: 25, last_delta: 0.5 };
+        let e = StatsError::NoConvergence {
+            iterations: 25,
+            last_delta: 0.5,
+        };
         assert!(e.to_string().contains("25"));
         let e = StatsError::EmptyArm("control".into());
         assert!(e.to_string().contains("control"));

@@ -30,10 +30,14 @@ pub fn ipw_ate(
 ) -> StatsResult<IpwResult> {
     let n = covariates.nrows();
     if treatment.len() != n || outcome.len() != n {
-        return Err(StatsError::DimensionMismatch("ipw: input lengths differ".into()));
+        return Err(StatsError::DimensionMismatch(
+            "ipw: input lengths differ".into(),
+        ));
     }
     if !(0.0..0.5).contains(&clip) {
-        return Err(StatsError::InvalidArgument("ipw: clip must be in [0, 0.5)".into()));
+        return Err(StatsError::InvalidArgument(
+            "ipw: clip must be in [0, 0.5)".into(),
+        ));
     }
     if !treatment.iter().any(|&t| t > 0.5) {
         return Err(StatsError::EmptyArm("treated".into()));
@@ -109,7 +113,11 @@ mod tests {
         let mut ys = Vec::with_capacity(n);
         for _ in 0..n {
             let z: f64 = rng.gen();
-            let t = if rng.gen::<f64>() < 0.25 + 0.5 * z { 1.0 } else { 0.0 };
+            let t = if rng.gen::<f64>() < 0.25 + 0.5 * z {
+                1.0
+            } else {
+                0.0
+            };
             let y = -t + 2.0 * z + rng.gen_range(-0.1..0.1);
             rows.push(vec![z]);
             ts.push(t);

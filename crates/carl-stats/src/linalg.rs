@@ -70,7 +70,11 @@ impl Matrix {
                 data[i * c + j] = v;
             }
         }
-        Ok(Self { rows: r, cols: c, data })
+        Ok(Self {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Like [`Matrix::from_cols`], but an empty column list produces an
@@ -198,7 +202,9 @@ impl Matrix {
     /// robust to exactly collinear embedding columns.
     pub fn solve(&self, b: &[f64]) -> StatsResult<Vec<f64>> {
         if self.rows != self.cols {
-            return Err(StatsError::DimensionMismatch("solve: matrix not square".into()));
+            return Err(StatsError::DimensionMismatch(
+                "solve: matrix not square".into(),
+            ));
         }
         if b.len() != self.rows {
             return Err(StatsError::DimensionMismatch("solve: rhs length".into()));
@@ -229,7 +235,9 @@ impl Matrix {
     /// Inverse via column-by-column solves. Errors on singular matrices.
     pub fn inverse(&self) -> StatsResult<Matrix> {
         if self.rows != self.cols {
-            return Err(StatsError::DimensionMismatch("inverse: matrix not square".into()));
+            return Err(StatsError::DimensionMismatch(
+                "inverse: matrix not square".into(),
+            ));
         }
         let n = self.rows;
         let mut inv = Matrix::zeros(n, n);

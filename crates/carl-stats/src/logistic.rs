@@ -55,7 +55,9 @@ impl LogisticRegression {
             )));
         }
         if y.iter().any(|&v| v != 0.0 && v != 1.0) {
-            return Err(StatsError::InvalidArgument("logistic: y must be binary 0/1".into()));
+            return Err(StatsError::InvalidArgument(
+                "logistic: y must be binary 0/1".into(),
+            ));
         }
 
         // Design with intercept.
@@ -148,7 +150,9 @@ impl LogisticRegression {
     /// Predicted probabilities for every row of a design matrix
     /// (without intercept column).
     pub fn predict_proba_matrix(&self, x: &Matrix) -> StatsResult<Vec<f64>> {
-        (0..x.nrows()).map(|i| self.predict_proba(x.row(i))).collect()
+        (0..x.nrows())
+            .map(|i| self.predict_proba(x.row(i)))
+            .collect()
     }
 }
 
@@ -196,8 +200,16 @@ mod tests {
         }
         let x = Matrix::from_rows(&rows).unwrap();
         let fit = LogisticRegression::fit(&x, &ys).unwrap();
-        assert!((fit.coefficients[0] + 0.5).abs() < 0.15, "{:?}", fit.coefficients);
-        assert!((fit.coefficients[1] - 1.5).abs() < 0.15, "{:?}", fit.coefficients);
+        assert!(
+            (fit.coefficients[0] + 0.5).abs() < 0.15,
+            "{:?}",
+            fit.coefficients
+        );
+        assert!(
+            (fit.coefficients[1] - 1.5).abs() < 0.15,
+            "{:?}",
+            fit.coefficients
+        );
         assert!(fit.log_likelihood < 0.0);
     }
 
@@ -205,7 +217,10 @@ mod tests {
     fn predictions_are_probabilities() {
         let mut rng = SmallRng::seed_from_u64(3);
         let rows: Vec<Vec<f64>> = (0..200).map(|_| vec![rng.gen_range(-1.0..1.0)]).collect();
-        let ys: Vec<f64> = rows.iter().map(|r| if r[0] > 0.0 { 1.0 } else { 0.0 }).collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] > 0.0 { 1.0 } else { 0.0 })
+            .collect();
         let x = Matrix::from_rows(&rows).unwrap();
         let fit = LogisticRegression::fit(&x, &ys).unwrap();
         let probs = fit.predict_proba_matrix(&x).unwrap();

@@ -66,7 +66,9 @@ pub fn psm_ate(
         ));
     }
     if config.neighbors == 0 {
-        return Err(StatsError::InvalidArgument("psm: neighbors must be >= 1".into()));
+        return Err(StatsError::InvalidArgument(
+            "psm: neighbors must be >= 1".into(),
+        ));
     }
     let model = LogisticRegression::fit(covariates, treatment)?;
     let scores = model.predict_proba_matrix(covariates)?;
@@ -94,7 +96,9 @@ pub fn psm_ate(
         let nt = att.1 as f64;
         let nc = atc.1 as f64;
         if nt + nc == 0.0 {
-            return Err(StatsError::InsufficientData("psm: no units matched within caliper".into()));
+            return Err(StatsError::InsufficientData(
+                "psm: no units matched within caliper".into(),
+            ));
         }
         // ATC direction computes E[Y(control match) - Y(treated)] sign-flipped.
         effect = (att.0 * nt + (-atc.0) * nc) / (nt + nc);
@@ -156,7 +160,9 @@ fn directional_effect(
         used_controls.extend(within);
     }
     if matched == 0 {
-        return Err(StatsError::InsufficientData("psm: no units matched within caliper".into()));
+        return Err(StatsError::InsufficientData(
+            "psm: no units matched within caliper".into(),
+        ));
     }
     Ok((total / matched as f64, matched, used_controls.len()))
 }
@@ -172,7 +178,11 @@ fn k_nearest(pool: &[(f64, usize)], target: f64, k: usize) -> Vec<(f64, usize)> 
     let mut out = Vec::with_capacity(k);
     while out.len() < k && (lo > 0 || hi < pool.len()) {
         let left = lo.checked_sub(1).map(|i| (target - pool[i].0, i));
-        let right = if hi < pool.len() { Some((pool[hi].0 - target, hi)) } else { None };
+        let right = if hi < pool.len() {
+            Some((pool[hi].0 - target, hi))
+        } else {
+            None
+        };
         match (left, right) {
             (Some((dl, il)), Some((dr, _))) if dl <= dr => {
                 out.push((dl, pool[il].1));
@@ -222,13 +232,30 @@ mod tests {
     fn matching_removes_confounding_bias() {
         let (x, t, y) = confounded(4000, 9);
         let naive = {
-            let yt: Vec<f64> = y.iter().zip(&t).filter(|(_, &ti)| ti > 0.5).map(|(yi, _)| *yi).collect();
-            let yc: Vec<f64> = y.iter().zip(&t).filter(|(_, &ti)| ti <= 0.5).map(|(yi, _)| *yi).collect();
+            let yt: Vec<f64> = y
+                .iter()
+                .zip(&t)
+                .filter(|(_, &ti)| ti > 0.5)
+                .map(|(yi, _)| *yi)
+                .collect();
+            let yc: Vec<f64> = y
+                .iter()
+                .zip(&t)
+                .filter(|(_, &ti)| ti <= 0.5)
+                .map(|(yi, _)| *yi)
+                .collect();
             yt.iter().sum::<f64>() / yt.len() as f64 - yc.iter().sum::<f64>() / yc.len() as f64
         };
-        assert!(naive > 2.3, "confounding should inflate the naive estimate, got {naive}");
+        assert!(
+            naive > 2.3,
+            "confounding should inflate the naive estimate, got {naive}"
+        );
         let res = psm_ate(&x, &t, &y, &MatchingConfig::default()).unwrap();
-        assert!((res.effect - 2.0).abs() < 0.25, "psm estimate {}", res.effect);
+        assert!(
+            (res.effect - 2.0).abs() < 0.25,
+            "psm estimate {}",
+            res.effect
+        );
         assert!(res.matched_treated > 0);
         assert!(res.propensity.iter().all(|p| (0.0..=1.0).contains(p)));
     }
@@ -236,7 +263,10 @@ mod tests {
     #[test]
     fn att_only_matches_only_treated() {
         let (x, t, y) = confounded(1000, 21);
-        let cfg = MatchingConfig { att_only: true, ..Default::default() };
+        let cfg = MatchingConfig {
+            att_only: true,
+            ..Default::default()
+        };
         let res = psm_ate(&x, &t, &y, &cfg).unwrap();
         assert!((res.effect - 2.0).abs() < 0.4);
     }
@@ -257,7 +287,13 @@ mod tests {
     #[test]
     fn empty_arms_are_rejected() {
         let x = Matrix::from_rows(&[vec![0.1], vec![0.2], vec![0.3]]).unwrap();
-        let err = psm_ate(&x, &[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0], &MatchingConfig::default()).unwrap_err();
+        let err = psm_ate(
+            &x,
+            &[1.0, 1.0, 1.0],
+            &[1.0, 2.0, 3.0],
+            &MatchingConfig::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, StatsError::EmptyArm(_)));
     }
 
@@ -274,7 +310,13 @@ mod tests {
     #[test]
     fn zero_neighbors_is_invalid() {
         let (x, t, y) = confounded(100, 1);
-        let cfg = MatchingConfig { neighbors: 0, ..Default::default() };
-        assert!(matches!(psm_ate(&x, &t, &y, &cfg), Err(StatsError::InvalidArgument(_))));
+        let cfg = MatchingConfig {
+            neighbors: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            psm_ate(&x, &t, &y, &cfg),
+            Err(StatsError::InvalidArgument(_))
+        ));
     }
 }

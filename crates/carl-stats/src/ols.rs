@@ -80,7 +80,11 @@ impl OlsFit {
 
         // Residuals and dispersion.
         let fitted = x.matvec(&beta)?;
-        let ssr: f64 = y.iter().zip(&fitted).map(|(yi, fi)| (yi - fi).powi(2)).sum();
+        let ssr: f64 = y
+            .iter()
+            .zip(&fitted)
+            .map(|(yi, fi)| (yi - fi).powi(2))
+            .sum();
         let ybar = y.iter().sum::<f64>() / n as f64;
         let sst: f64 = y.iter().map(|yi| (yi - ybar).powi(2)).sum();
         let sigma2 = ssr / (n - p) as f64;
@@ -89,7 +93,9 @@ impl OlsFit {
         // Standard errors from the diagonal of σ² (XᵀX)⁻¹; fall back to NaN
         // if the Gram matrix is numerically singular.
         let std_errors = match gram.inverse() {
-            Ok(inv) => (0..p).map(|j| (sigma2 * inv[(j, j)]).max(0.0).sqrt()).collect(),
+            Ok(inv) => (0..p)
+                .map(|j| (sigma2 * inv[(j, j)]).max(0.0).sqrt())
+                .collect(),
             Err(_) => vec![f64::NAN; p],
         };
 

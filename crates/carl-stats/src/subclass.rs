@@ -50,7 +50,9 @@ pub fn subclassification_ate(
         ));
     }
     if strata < 2 {
-        return Err(StatsError::InvalidArgument("subclassification: need at least 2 strata".into()));
+        return Err(StatsError::InvalidArgument(
+            "subclassification: need at least 2 strata".into(),
+        ));
     }
     if !treatment.iter().any(|&t| t > 0.5) {
         return Err(StatsError::EmptyArm("treated".into()));
@@ -125,7 +127,11 @@ mod tests {
         let mut ys = Vec::with_capacity(n);
         for _ in 0..n {
             let z: f64 = rng.gen();
-            let t = if rng.gen::<f64>() < 0.2 + 0.6 * z { 1.0 } else { 0.0 };
+            let t = if rng.gen::<f64>() < 0.2 + 0.6 * z {
+                1.0
+            } else {
+                0.0
+            };
             let y = 1.5 * t + 4.0 * z + rng.gen_range(-0.2..0.2);
             rows.push(vec![z]);
             ts.push(t);

@@ -19,8 +19,16 @@ fn ols_recovers_the_exact_line() {
     let ys = [3.0, 5.0, 7.0, 9.0];
     let design = Matrix::from_rows(&xs.iter().map(|&x| vec![x]).collect::<Vec<_>>()).unwrap();
     let fit = OlsFit::fit_with_intercept(&design, &ys).unwrap();
-    assert!((fit.coefficients[0] - 1.0).abs() < EPS, "intercept {}", fit.coefficients[0]);
-    assert!((fit.coefficients[1] - 2.0).abs() < EPS, "slope {}", fit.coefficients[1]);
+    assert!(
+        (fit.coefficients[0] - 1.0).abs() < EPS,
+        "intercept {}",
+        fit.coefficients[0]
+    );
+    assert!(
+        (fit.coefficients[1] - 2.0).abs() < EPS,
+        "slope {}",
+        fit.coefficients[1]
+    );
     assert!(fit.sigma2.abs() < EPS);
     assert!((fit.r_squared - 1.0).abs() < EPS);
 }
@@ -76,7 +84,11 @@ fn ipw_with_balanced_propensities_reduces_to_hand_computed_weights() {
     let res = ipw_ate(&covs, &t, &y, 0.01).unwrap();
     assert!((res.effect - 1.0).abs() < 1e-6, "effect {}", res.effect);
     // Equal weights → Kish effective sample size equals the arm size.
-    assert!((res.ess_treated - 4.0).abs() < 1e-6, "ess {}", res.ess_treated);
+    assert!(
+        (res.ess_treated - 4.0).abs() < 1e-6,
+        "ess {}",
+        res.ess_treated
+    );
     assert!((res.ess_control - 4.0).abs() < 1e-6);
 }
 
@@ -102,7 +114,9 @@ fn column_and_matrix_ate_front_ends_agree_bitwise() {
     let n = 120;
     let z1: Vec<f64> = (0..n).map(|i| ((i * 13 + 5) % 17) as f64 / 17.0).collect();
     let z2: Vec<f64> = (0..n).map(|i| ((i * 29 + 1) % 23) as f64 / 23.0).collect();
-    let t: Vec<f64> = (0..n).map(|i| f64::from((z1[i] + z2[i] + ((i % 3) as f64) * 0.2) > 1.0)).collect();
+    let t: Vec<f64> = (0..n)
+        .map(|i| f64::from((z1[i] + z2[i] + ((i % 3) as f64) * 0.2) > 1.0))
+        .collect();
     let y: Vec<f64> = (0..n).map(|i| t[i] + 2.0 * z1[i] - z2[i]).collect();
     let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![z1[i], z2[i]]).collect();
     let covs = Matrix::from_rows(&rows).unwrap();
@@ -131,7 +145,9 @@ fn estimator_specific_column_wrappers_agree_with_their_matrix_twins() {
     let n = 90;
     let z1: Vec<f64> = (0..n).map(|i| ((i * 11 + 2) % 19) as f64 / 19.0).collect();
     let z2: Vec<f64> = (0..n).map(|i| ((i * 5 + 7) % 13) as f64 / 13.0).collect();
-    let t: Vec<f64> = (0..n).map(|i| f64::from(z1[i] + z2[i] + ((i % 4) as f64) * 0.15 > 0.9)).collect();
+    let t: Vec<f64> = (0..n)
+        .map(|i| f64::from(z1[i] + z2[i] + ((i % 4) as f64) * 0.15 > 0.9))
+        .collect();
     let y: Vec<f64> = (0..n).map(|i| 0.8 * t[i] + z1[i] - 0.5 * z2[i]).collect();
     let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![z1[i], z2[i]]).collect();
     let covs = Matrix::from_rows(&rows).unwrap();

@@ -61,20 +61,23 @@ pub fn covariates(
     let mut own_attrs: BTreeSet<String> = BTreeSet::new();
     let mut peer_attrs: BTreeSet<String> = BTreeSet::new();
 
-    let collect_parents = |unit: &UnitKey, out: &mut BTreeMap<String, Vec<f64>>, attrs: &mut BTreeSet<String>| {
-        let node = GroundedAttr::new(treatment_attr, unit.clone());
-        let Some(id) = graph.node_id(&node) else { return };
-        for &pid in graph.parents_of(id) {
-            let parent = graph.node(pid);
-            if parent.attr == treatment_attr || !model.is_observed(&parent.attr) {
-                continue;
+    let collect_parents =
+        |unit: &UnitKey, out: &mut BTreeMap<String, Vec<f64>>, attrs: &mut BTreeSet<String>| {
+            let node = GroundedAttr::new(treatment_attr, unit.clone());
+            let Some(id) = graph.node_id(&node) else {
+                return;
+            };
+            for &pid in graph.parents_of(id) {
+                let parent = graph.node(pid);
+                if parent.attr == treatment_attr || !model.is_observed(&parent.attr) {
+                    continue;
+                }
+                if let Some(v) = grounded.value_of(instance, parent) {
+                    out.entry(parent.attr.clone()).or_default().push(v);
+                    attrs.insert(parent.attr.clone());
+                }
             }
-            if let Some(v) = grounded.value_of(instance, parent) {
-                out.entry(parent.attr.clone()).or_default().push(v);
-                attrs.insert(parent.attr.clone());
-            }
-        }
-    };
+        };
 
     for unit in units {
         let mut cov = UnitCovariates::default();
@@ -189,7 +192,10 @@ mod tests {
             .collect();
         let parents_of_treatments: Vec<_> = ["Bob", "Eva"]
             .iter()
-            .map(|p| g.node_id(&GroundedAttr::single("Qualification", *p)).unwrap())
+            .map(|p| {
+                g.node_id(&GroundedAttr::single("Qualification", *p))
+                    .unwrap()
+            })
             .collect();
         // Without adjusting for the qualifications, the response is NOT
         // d-separated from them given the treatments alone: the back-door
@@ -205,6 +211,11 @@ mod tests {
         // This is Theorem 5.2's sufficient choice and satisfies Eq (29).
         let mut cond = treatments.clone();
         cond.extend(&parents_of_treatments);
-        assert!(crate::dsep::d_separated(g, &[y], &parents_of_treatments, &cond));
+        assert!(crate::dsep::d_separated(
+            g,
+            &[y],
+            &parents_of_treatments,
+            &cond
+        ));
     }
 }

@@ -49,7 +49,11 @@ struct FlatDesign {
     covariate_names: Vec<String>,
 }
 
-fn extract_design(table: &Table, config: &UniversalBaseline, instance: &Instance) -> CarlResult<FlatDesign> {
+fn extract_design(
+    table: &Table,
+    config: &UniversalBaseline,
+    instance: &Instance,
+) -> CarlResult<FlatDesign> {
     let entity_columns: Vec<String> = instance
         .schema()
         .entities()
@@ -80,7 +84,9 @@ fn extract_design(table: &Table, config: &UniversalBaseline, instance: &Instance
     let mut treatment = Vec::new();
     let mut covariate_rows = Vec::new();
     for i in 0..table.row_count() {
-        let Some(t) = treatment_col.values[i].as_bool() else { continue };
+        let Some(t) = treatment_col.values[i].as_bool() else {
+            continue;
+        };
         let y = outcome_raw[i];
         if y.is_nan() {
             continue;
@@ -168,9 +174,11 @@ pub fn universal_conditional_ate(
         .covariate_names
         .iter()
         .position(|c| c == stratify_column)
-        .ok_or_else(|| CarlError::InvalidQuery(format!(
-            "stratification column `{stratify_column}` is not among the baseline covariates"
-        )))?;
+        .ok_or_else(|| {
+            CarlError::InvalidQuery(format!(
+                "stratification column `{stratify_column}` is not among the baseline covariates"
+            ))
+        })?;
     let values: Vec<f64> = design.covariate_rows.iter().map(|r| r[strat_idx]).collect();
     let bins = bins.max(1);
     let cuts: Vec<f64> = (1..bins)
@@ -191,7 +199,10 @@ pub fn universal_conditional_ate(
         }
         let y: Vec<f64> = idx.iter().map(|&i| design.outcome[i]).collect();
         let t: Vec<f64> = idx.iter().map(|&i| design.treatment[i]).collect();
-        let rows: Vec<Vec<f64>> = idx.iter().map(|&i| design.covariate_rows[i].clone()).collect();
+        let rows: Vec<Vec<f64>> = idx
+            .iter()
+            .map(|&i| design.covariate_rows[i].clone())
+            .collect();
         let covs = Matrix::from_rows(&rows).map_err(CarlError::Stats)?;
         match stats_ate(&y, &t, &covs, method_of(config.estimator)) {
             Ok(est) => strata.push((label, est.ate, idx.len())),
@@ -250,7 +261,9 @@ mod tests {
             estimator: EstimatorKind::Naive,
         };
         let design = extract_design(&table, &config, &instance).unwrap();
-        assert!(design.covariate_names.contains(&"Qualification".to_string()));
+        assert!(design
+            .covariate_names
+            .contains(&"Qualification".to_string()));
         assert!(design.covariate_names.contains(&"Blind".to_string()));
         assert!(!design.covariate_names.contains(&"Person".to_string()));
         assert!(!design.covariate_names.contains(&"Score".to_string()));

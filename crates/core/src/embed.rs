@@ -12,8 +12,7 @@ use carl_stats::descriptive::{moments, quantile};
 use serde::{Deserialize, Serialize};
 
 /// The embedding strategy used for peer treatments and covariate sets.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum EmbeddingKind {
     /// `[mean, count]`.
     #[default]
@@ -25,7 +24,6 @@ pub enum EmbeddingKind {
     /// Pad the raw values to a fixed width with an out-of-band marker.
     Padding(usize),
 }
-
 
 /// The out-of-band marker used by the padding embedding.
 pub const PADDING_MARKER: f64 = -1.0;
@@ -65,7 +63,11 @@ impl EmbeddingKind {
                 vec![mean, values.len() as f64]
             }
             EmbeddingKind::Median => {
-                let med = if values.is_empty() { 0.0 } else { quantile(values, 0.5) };
+                let med = if values.is_empty() {
+                    0.0
+                } else {
+                    quantile(values, 0.5)
+                };
                 vec![med, values.len() as f64]
             }
             EmbeddingKind::Moments(k) => {
@@ -151,7 +153,10 @@ mod tests {
 
     #[test]
     fn median_and_moments() {
-        assert_eq!(EmbeddingKind::Median.embed(&[3.0, 1.0, 2.0]), vec![2.0, 3.0]);
+        assert_eq!(
+            EmbeddingKind::Median.embed(&[3.0, 1.0, 2.0]),
+            vec![2.0, 3.0]
+        );
         let m = EmbeddingKind::Moments(2).embed(&[1.0, 3.0]);
         assert!((m[0] - 2.0).abs() < EPS);
         assert!((m[1] - 1.0).abs() < EPS);
@@ -182,7 +187,10 @@ mod tests {
     #[test]
     fn counterfactual_padding_sets_leading_ones() {
         let e = EmbeddingKind::Padding(4);
-        assert_eq!(e.counterfactual(0.5, 2), vec![1.0, 0.0, PADDING_MARKER, PADDING_MARKER]);
+        assert_eq!(
+            e.counterfactual(0.5, 2),
+            vec![1.0, 0.0, PADDING_MARKER, PADDING_MARKER]
+        );
         assert_eq!(e.counterfactual(1.0, 5), vec![1.0, 1.0, 1.0, 1.0]);
     }
 

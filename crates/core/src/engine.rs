@@ -27,20 +27,20 @@ use crate::adjust::{covariates, AdjustmentPlan};
 use crate::embed::EmbeddingKind;
 use crate::error::{CarlError, CarlResult};
 use crate::estimate::{CateSeries, EstimatorKind, QueryAnswer};
-use crate::ground::{comparisons_hold, ground, GroundedModel};
+use crate::ground::{comparisons_hold, ground, ground_with, partition_comparisons, GroundedModel};
 use crate::model::RelationalCausalModel;
 use crate::paths::unify;
 use crate::peers::{compute_peers, PeerMap};
-use crate::query::{
-    conditional_ate, estimate_ate, estimate_peer_effects, CateStratifier,
-};
+use crate::query::{conditional_ate, estimate_ate, estimate_peer_effects, CateStratifier};
 use crate::rowwise::{
     build_row_unit_table, estimate_ate_rowwise, estimate_peer_effects_rowwise, RowUnitTable,
 };
 use crate::unit_table::{build_unit_table, UnitTable, UnitTableSpec};
-use carl_lang::{parse_program, parse_query, AggregateRule, ArgTerm, CausalQuery, PeerCondition, Program};
+use carl_lang::{
+    parse_program, parse_query, AggregateRule, ArgTerm, CausalQuery, PeerCondition, Program,
+};
 use rayon::prelude::*;
-use reldb::{evaluate, Instance, UnitKey};
+use reldb::{evaluate_filtered, IndexCache, Instance, UnitKey};
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
@@ -112,6 +112,11 @@ pub struct CarlEngine {
     /// Shared across clones: clones answer queries over the same instance,
     /// so they profit from each other's groundings.
     grounding_cache: Arc<GroundingCache>,
+    /// Lazily built secondary indexes (composite hash-join and attribute
+    /// equality indexes) shared by every grounding over this instance.
+    /// Also shared across clones; validity is guaranteed because the
+    /// engine's instance is immutable after construction.
+    eval_cache: Arc<IndexCache>,
     /// [`Instance::fingerprint`] of the (immutable) instance, computed once
     /// at construction so cache lookups don't re-walk the instance.
     instance_fingerprint: u64,
@@ -137,6 +142,7 @@ impl CarlEngine {
             embedding: EmbeddingKind::default(),
             estimator: EstimatorKind::default(),
             grounding_cache: Arc::new(Mutex::new(HashMap::new())),
+            eval_cache: Arc::new(IndexCache::with_fingerprint(instance_fingerprint)),
             instance_fingerprint,
         })
     }
@@ -175,9 +181,11 @@ impl CarlEngine {
     }
 
     /// Ground the model (without any query-specific synthesis). Useful for
-    /// inspecting the grounded causal graph and for benchmarks.
+    /// inspecting the grounded causal graph and for benchmarks. Bypasses
+    /// the grounding-result cache but shares the engine's secondary
+    /// indexes.
     pub fn ground_model(&self) -> CarlResult<GroundedModel> {
-        ground(&self.model, &self.instance)
+        ground_with(&self.model, &self.instance, &self.eval_cache)
     }
 
     /// Prepare a query given as CaRL text.
@@ -219,7 +227,7 @@ impl CarlEngine {
         }
         // Ground outside the lock: grounding is pure, so a concurrent miss
         // on the same key just does redundant work, never wrong work.
-        let grounded = Arc::new(ground(model, &self.instance)?);
+        let grounded = Arc::new(ground_with(model, &self.instance, &self.eval_cache)?);
         self.grounding_cache
             .lock()
             .expect("grounding cache lock")
@@ -229,7 +237,10 @@ impl CarlEngine {
 
     /// Number of grounded models currently cached.
     pub fn grounding_cache_len(&self) -> usize {
-        self.grounding_cache.lock().expect("grounding cache lock").len()
+        self.grounding_cache
+            .lock()
+            .expect("grounding cache lock")
+            .len()
     }
 
     /// Steps 1–6 of `prepare` up to (but excluding) unit-table
@@ -273,7 +284,14 @@ impl CarlEngine {
 
         // 5. Relational peers and covariates.
         let peers = compute_peers(&grounded, &treatment_attr, &response_attr, &units);
-        let adjustment = covariates(&model, &grounded, &self.instance, &treatment_attr, &units, &peers);
+        let adjustment = covariates(
+            &model,
+            &grounded,
+            &self.instance,
+            &treatment_attr,
+            &units,
+            &peers,
+        );
 
         // 6. Embedding (auto-size padding if requested).
         let embedding = match self.embedding {
@@ -464,15 +482,25 @@ impl CarlEngine {
             .any(|a| a.args.iter().any(|t| t.as_var() == Some(tvar.as_str())));
         let mut extra_atoms = Vec::new();
         if needs_binding {
-            extra_atoms.push(self.model.implicit_atom(&query.treatment.attr, &query.treatment.args)?);
+            extra_atoms.push(
+                self.model
+                    .implicit_atom(&query.treatment.attr, &query.treatment.args)?,
+            );
         }
         let (mut cq, comparisons) = self.model.condition_to_query(&query.condition, None);
         cq.atoms.extend(extra_atoms);
-        let answers = evaluate(self.instance.schema(), self.instance.skeleton(), &cq)
-            .map_err(CarlError::Rel)?;
+        let (filters, residual) = partition_comparisons(comparisons);
+        let answers = evaluate_filtered(
+            &self.eval_cache,
+            self.instance.schema(),
+            &self.instance,
+            &cq,
+            &filters,
+        )
+        .map_err(CarlError::Rel)?;
         let mut allowed = HashSet::new();
         for binding in &answers {
-            if !comparisons_hold(&comparisons, binding, &self.instance) {
+            if !comparisons_hold(&residual, binding, &self.instance) {
                 continue;
             }
             if let Some(value) = binding.get(tvar) {
@@ -596,8 +624,16 @@ mod tests {
         assert_eq!(engine.grounding_cache_len(), 1);
         assert_eq!(a.unit_table.len(), b.unit_table.len());
         assert_eq!(
-            a.unit_table.outcomes().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-            b.unit_table.outcomes().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            a.unit_table
+                .outcomes()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            b.unit_table
+                .outcomes()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
         );
         // A query that synthesises an aggregate rule grounds a different
         // effective model and gets its own entry.
@@ -631,9 +667,13 @@ mod tests {
     fn rowwise_reference_path_answers_like_the_columnar_path() {
         let engine = engine();
         // Too few units: both paths report an estimation error.
-        assert!(engine.answer_str_rowwise("AVG_Score[A] <= Prestige[A]?").is_err());
+        assert!(engine
+            .answer_str_rowwise("AVG_Score[A] <= Prestige[A]?")
+            .is_err());
         // The row-wise prepared query matches the columnar one structurally.
-        let row = engine.prepare_rowwise(&parse_query("AVG_Score[A] <= Prestige[A]?").unwrap()).unwrap();
+        let row = engine
+            .prepare_rowwise(&parse_query("AVG_Score[A] <= Prestige[A]?").unwrap())
+            .unwrap();
         let col = engine.prepare_str("AVG_Score[A] <= Prestige[A]?").unwrap();
         assert_eq!(row.unit_table.len(), col.unit_table.len());
         assert_eq!(row.unit_table.units, col.unit_table.units);
@@ -659,7 +699,10 @@ mod tests {
 
     #[test]
     fn invalid_rules_are_rejected_at_construction() {
-        let err = CarlEngine::new(Instance::review_example(), "Score[S] <= Fame[A] WHERE Author(A, S)");
+        let err = CarlEngine::new(
+            Instance::review_example(),
+            "Score[S] <= Fame[A] WHERE Author(A, S)",
+        );
         assert!(err.is_err());
     }
 }

@@ -7,8 +7,7 @@
 use serde::{Deserialize, Serialize};
 
 /// The adjustment/estimation method used to answer a query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum EstimatorKind {
     /// OLS regression adjustment on the unit table (default).
     #[default]
@@ -22,7 +21,6 @@ pub enum EstimatorKind {
     /// No adjustment (difference of means) — used for naive contrasts.
     Naive,
 }
-
 
 /// Answer to an ATE query (13) or an aggregated-response query (14).
 #[derive(Debug, Clone, Serialize, Deserialize)]

@@ -236,11 +236,12 @@ mod tests {
     fn figure_4_graph() -> (CausalGraph, HashMap<String, NodeId>) {
         let mut g = CausalGraph::new();
         let mut ids = HashMap::new();
-        let add = |g: &mut CausalGraph, ids: &mut HashMap<String, NodeId>, attr: &str, key: &str| {
-            let id = g.add_node(GroundedAttr::single(attr, key));
-            ids.insert(format!("{attr}:{key}"), id);
-            id
-        };
+        let add =
+            |g: &mut CausalGraph, ids: &mut HashMap<String, NodeId>, attr: &str, key: &str| {
+                let id = g.add_node(GroundedAttr::single(attr, key));
+                ids.insert(format!("{attr}:{key}"), id);
+                id
+            };
         for person in ["Bob", "Carlos", "Eva"] {
             add(&mut g, &mut ids, "Qualification", person);
             add(&mut g, &mut ids, "Prestige", person);
@@ -253,16 +254,40 @@ mod tests {
             g.add_edge(ids[from], ids[to]);
         };
         for person in ["Bob", "Carlos", "Eva"] {
-            e(&mut g, &ids, &format!("Qualification:{person}"), &format!("Prestige:{person}"));
+            e(
+                &mut g,
+                &ids,
+                &format!("Qualification:{person}"),
+                &format!("Prestige:{person}"),
+            );
         }
         // Authorship: s1 {Bob, Eva}, s2 {Eva}, s3 {Carlos, Eva}.
-        let authorship = [("s1", vec!["Bob", "Eva"]), ("s2", vec!["Eva"]), ("s3", vec!["Carlos", "Eva"])];
+        let authorship = [
+            ("s1", vec!["Bob", "Eva"]),
+            ("s2", vec!["Eva"]),
+            ("s3", vec!["Carlos", "Eva"]),
+        ];
         for (sub, authors) in &authorship {
             for a in authors {
-                e(&mut g, &ids, &format!("Qualification:{a}"), &format!("Quality:{sub}"));
-                e(&mut g, &ids, &format!("Prestige:{a}"), &format!("Score:{sub}"));
+                e(
+                    &mut g,
+                    &ids,
+                    &format!("Qualification:{a}"),
+                    &format!("Quality:{sub}"),
+                );
+                e(
+                    &mut g,
+                    &ids,
+                    &format!("Prestige:{a}"),
+                    &format!("Score:{sub}"),
+                );
             }
-            e(&mut g, &ids, &format!("Quality:{sub}"), &format!("Score:{sub}"));
+            e(
+                &mut g,
+                &ids,
+                &format!("Quality:{sub}"),
+                &format!("Score:{sub}"),
+            );
         }
         (g, ids)
     }
@@ -312,7 +337,8 @@ mod tests {
     fn topological_order_respects_edges() {
         let (g, _) = figure_4_graph();
         let order = g.topological_order().unwrap();
-        let position: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let position: HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         for (id, _) in g.iter() {
             for &c in g.children_of(id) {
                 assert!(position[&id] < position[&c]);

@@ -9,8 +9,8 @@
 use crate::error::{CarlError, CarlResult};
 use crate::graph::{CausalGraph, GroundedAttr};
 use crate::model::{RelationalCausalModel, TypedComparison};
-use carl_lang::{AggName, ArgTerm};
-use reldb::{evaluate, AggFn, Bindings, Instance, UnitKey, Value};
+use carl_lang::{AggName, ArgTerm, CompareOp};
+use reldb::{evaluate_filtered, AggFn, Bindings, EqFilter, IndexCache, Instance, UnitKey, Value};
 use std::collections::HashMap;
 
 /// The result of grounding a relational causal model against an instance:
@@ -48,9 +48,47 @@ impl GroundedModel {
 
 /// Ground `model` against `instance`, producing the grounded causal graph
 /// and derived aggregate values.
+///
+/// Each rule condition is evaluated through the cost-based query planner
+/// ([`reldb::plan`]); secondary indexes built for the evaluation are
+/// discarded afterwards. Use [`ground_with`] with a shared
+/// [`IndexCache`] to keep them across groundings of the same instance.
 pub fn ground(model: &RelationalCausalModel, instance: &Instance) -> CarlResult<GroundedModel> {
+    ground_with(model, instance, &IndexCache::with_fingerprint(0))
+}
+
+/// Split a rule's typed comparisons into equality filters the query planner
+/// can push into evaluation (probing attribute indexes and pinning checks
+/// to the step where their variables bind) and residual comparisons that
+/// must be checked per answer.
+pub fn partition_comparisons(
+    comparisons: Vec<TypedComparison>,
+) -> (Vec<EqFilter>, Vec<TypedComparison>) {
+    let mut filters = Vec::new();
+    let mut residual = Vec::new();
+    for cmp in comparisons {
+        if cmp.op == CompareOp::Eq {
+            filters.push(EqFilter {
+                attr: cmp.attr,
+                args: cmp.args,
+                value: cmp.value,
+            });
+        } else {
+            residual.push(cmp);
+        }
+    }
+    (filters, residual)
+}
+
+/// Ground `model` against `instance`, reusing (and lazily extending) the
+/// secondary indexes in `cache`. The cache must belong to `instance` (the
+/// engine keys it by [`Instance::fingerprint`]).
+pub fn ground_with(
+    model: &RelationalCausalModel,
+    instance: &Instance,
+    cache: &IndexCache,
+) -> CarlResult<GroundedModel> {
     let schema = model.schema();
-    let skeleton = instance.skeleton();
     let mut graph = CausalGraph::new();
 
     // 1. Ground the causal rules.
@@ -58,9 +96,10 @@ pub fn ground(model: &RelationalCausalModel, instance: &Instance) -> CarlResult<
         let default_atom = model.implicit_atom(&rule.head.attr, &rule.head.args)?;
         let (query, comparisons) =
             model.condition_to_query(&rule.condition, Some(vec![default_atom]));
-        let answers = evaluate(schema, skeleton, &query)?;
+        let (filters, residual) = partition_comparisons(comparisons);
+        let answers = evaluate_filtered(cache, schema, instance, &query, &filters)?;
         for binding in &answers {
-            if !comparisons_hold(&comparisons, binding, instance) {
+            if !comparisons_hold(&residual, binding, instance) {
                 continue;
             }
             let head_key = substitute(&rule.head.args, binding)?;
@@ -76,20 +115,30 @@ pub fn ground(model: &RelationalCausalModel, instance: &Instance) -> CarlResult<
     // 2. Ground the aggregate rules (in topological order so that aggregates
     //    over aggregates, while unusual, are well defined).
     let mut derived: HashMap<GroundedAttr, f64> = HashMap::new();
-    let order: Vec<&str> = model.topological_order().iter().map(String::as_str).collect();
+    let order: Vec<&str> = model
+        .topological_order()
+        .iter()
+        .map(String::as_str)
+        .collect();
     let mut aggregates: Vec<&carl_lang::AggregateRule> = model.aggregates().iter().collect();
-    aggregates.sort_by_key(|a| order.iter().position(|n| *n == a.name).unwrap_or(usize::MAX));
+    aggregates.sort_by_key(|a| {
+        order
+            .iter()
+            .position(|n| *n == a.name)
+            .unwrap_or(usize::MAX)
+    });
 
     for agg in aggregates {
         let default_atom = model.implicit_atom(&agg.source.attr, &agg.source.args)?;
         let (query, comparisons) =
             model.condition_to_query(&agg.condition, Some(vec![default_atom]));
-        let answers = evaluate(schema, skeleton, &query)?;
+        let (filters, residual) = partition_comparisons(comparisons);
+        let answers = evaluate_filtered(cache, schema, instance, &query, &filters)?;
 
         // Group source groundings by the head key.
         let mut groups: HashMap<UnitKey, Vec<UnitKey>> = HashMap::new();
         for binding in &answers {
-            if !comparisons_hold(&comparisons, binding, instance) {
+            if !comparisons_hold(&residual, binding, instance) {
                 continue;
             }
             let head_key = substitute(&agg.head_args, binding)?;
@@ -285,14 +334,26 @@ mod tests {
         use reldb::DomainType;
         let mut schema = RelationalSchema::new();
         schema.add_entity("Patient").unwrap();
-        schema.add_attribute("Severity", "Patient", DomainType::Float, true).unwrap();
-        schema.add_attribute("Bill", "Patient", DomainType::Float, true).unwrap();
+        schema
+            .add_attribute("Severity", "Patient", DomainType::Float, true)
+            .unwrap();
+        schema
+            .add_attribute("Bill", "Patient", DomainType::Float, true)
+            .unwrap();
         let mut instance = Instance::new(schema.clone());
         for i in 0..4 {
             let key = Value::from(format!("p{i}"));
             instance.add_entity("Patient", key.clone()).unwrap();
-            instance.set_attribute("Severity", std::slice::from_ref(&key), Value::Float(i as f64)).unwrap();
-            instance.set_attribute("Bill", &[key], Value::Float(10.0 * i as f64)).unwrap();
+            instance
+                .set_attribute(
+                    "Severity",
+                    std::slice::from_ref(&key),
+                    Value::Float(i as f64),
+                )
+                .unwrap();
+            instance
+                .set_attribute("Bill", &[key], Value::Float(10.0 * i as f64))
+                .unwrap();
         }
         let program = parse_program("Bill[P] <= Severity[P]").unwrap();
         let model = RelationalCausalModel::new(schema, program).unwrap();

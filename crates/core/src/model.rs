@@ -10,7 +10,7 @@
 
 use crate::error::{CarlError, CarlResult};
 use carl_lang::{
-    validate_program, AggregateRule, ArgTerm, CausalRule, Comparison, CompareOp, Condition,
+    validate_program, AggregateRule, ArgTerm, CausalRule, CompareOp, Comparison, Condition,
     Literal, Program,
 };
 use reldb::{Atom, ConjunctiveQuery, PredicateKind, RelationalSchema, Term, Value};
@@ -53,7 +53,9 @@ impl TypedComparison {
     /// Evaluate the comparison for a concrete unit value. Missing values
     /// (None) never satisfy a comparison.
     pub fn holds(&self, observed: Option<&Value>) -> bool {
-        let Some(observed) = observed else { return false };
+        let Some(observed) = observed else {
+            return false;
+        };
         match self.op {
             CompareOp::Eq => observed == &self.value,
             CompareOp::NotEq => observed != &self.value,
@@ -198,11 +200,7 @@ impl RelationalCausalModel {
                 atoms = defaults;
             }
         }
-        let comparisons = condition
-            .comparisons
-            .iter()
-            .map(typed_comparison)
-            .collect();
+        let comparisons = condition.comparisons.iter().map(typed_comparison).collect();
         (ConjunctiveQuery::new(atoms), comparisons)
     }
 
@@ -266,7 +264,10 @@ impl RelationalCausalModel {
                     .schema
                     .predicate_kind(&atom.predicate)
                     .ok_or_else(|| CarlError::UnknownPredicate(atom.predicate.clone()))?;
-                let arity = self.schema.predicate_arity(&atom.predicate).unwrap_or(head_vars.len());
+                let arity = self
+                    .schema
+                    .predicate_arity(&atom.predicate)
+                    .unwrap_or(head_vars.len());
                 return Ok(AttributeSubject {
                     predicate: atom.predicate.clone(),
                     kind,
@@ -402,7 +403,8 @@ mod tests {
     #[test]
     fn wrong_arity_is_rejected() {
         let schema = RelationalSchema::review_example();
-        let prog = parse_program("Score[S, C] <= Prestige[A] WHERE Author(A, S), Submitted(S, C)").unwrap();
+        let prog = parse_program("Score[S, C] <= Prestige[A] WHERE Author(A, S), Submitted(S, C)")
+            .unwrap();
         let err = RelationalCausalModel::new(schema, prog).unwrap_err();
         assert!(matches!(err, CarlError::AttributeArity { .. }));
     }
@@ -466,6 +468,9 @@ mod tests {
         assert_eq!(literal_to_value(&Literal::Bool(true)), Value::Bool(true));
         assert_eq!(literal_to_value(&Literal::Int(3)), Value::Int(3));
         assert_eq!(literal_to_value(&Literal::Float(0.5)), Value::Float(0.5));
-        assert_eq!(literal_to_value(&Literal::Str("x".into())), Value::Str("x".into()));
+        assert_eq!(
+            literal_to_value(&Literal::Str("x".into())),
+            Value::Str("x".into())
+        );
     }
 }

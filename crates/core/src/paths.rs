@@ -234,12 +234,20 @@ pub fn unify(model: &RelationalCausalModel, query: &CausalQuery) -> CarlResult<U
         }
         for cmp in &query.condition.comparisons {
             let mut cmp = cmp.clone();
-            cmp.attr.args = cmp.attr.args.iter().map(|a| rename_arg(a, &rename)).collect();
+            cmp.attr.args = cmp
+                .attr
+                .args
+                .iter()
+                .map(|a| rename_arg(a, &rename))
+                .collect();
             condition.comparisons.push(cmp);
         }
     }
 
-    let name = format!("AVG_{}__per_{}", query.response.attr, treatment_subject.predicate);
+    let name = format!(
+        "AVG_{}__per_{}",
+        query.response.attr, treatment_subject.predicate
+    );
     let synthesized = AggregateRule {
         agg: AggName::Avg,
         name: name.clone(),
@@ -302,7 +310,10 @@ mod tests {
         assert_eq!(hops.len(), 2);
         assert_eq!(hops[1].relationship, "Submitted");
         // Same class: empty path.
-        assert_eq!(relational_path(&schema, "Person", "Person"), Some(Vec::new()));
+        assert_eq!(
+            relational_path(&schema, "Person", "Person"),
+            Some(Vec::new())
+        );
     }
 
     #[test]
@@ -340,10 +351,8 @@ mod tests {
     #[test]
     fn query_condition_is_folded_into_the_synthesised_rule() {
         let model = review_model();
-        let q = parse_query(
-            "Score[S] <= Prestige[A]? WHERE Submitted(S, C), Blind[C] = false",
-        )
-        .unwrap();
+        let q = parse_query("Score[S] <= Prestige[A]? WHERE Submitted(S, C), Blind[C] = false")
+            .unwrap();
         let plan = unify(&model, &q).unwrap();
         assert!(plan.condition_folded);
         let rule = plan.synthesized.expect("synthesised rule");

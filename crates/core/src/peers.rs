@@ -41,7 +41,9 @@ pub fn compute_peers(
     // reached belongs to some unit x, and p becomes a peer of x.
     for p in units {
         let t_node = GroundedAttr::new(treatment_attr, p.clone());
-        let Some(tid) = graph.node_id(&t_node) else { continue };
+        let Some(tid) = graph.node_id(&t_node) else {
+            continue;
+        };
         for descendant in graph.descendants(tid) {
             if let Some(x) = response_unit_of.get(&descendant) {
                 if x != p {
@@ -82,7 +84,11 @@ pub fn peer_stats(peers: &PeerMap) -> PeerStats {
     PeerStats {
         n_units,
         n_with_peers,
-        mean_peers: if n_units == 0 { 0.0 } else { total as f64 / n_units as f64 },
+        mean_peers: if n_units == 0 {
+            0.0
+        } else {
+            total as f64 / n_units as f64
+        },
         max_peers,
     }
 }
@@ -122,13 +128,19 @@ mod tests {
             .collect();
         let peers = compute_peers(&grounded, "Prestige", "AVG_Score", &units);
         // Section 4.3: P("Bob") = {"Eva"}, P("Eva") = {"Bob", "Carlos"}.
-        assert_eq!(peers[&vec![Value::from("Bob")]], vec![vec![Value::from("Eva")]]);
+        assert_eq!(
+            peers[&vec![Value::from("Bob")]],
+            vec![vec![Value::from("Eva")]]
+        );
         assert_eq!(
             peers[&vec![Value::from("Eva")]],
             vec![vec![Value::from("Bob")], vec![Value::from("Carlos")]]
         );
         // Carlos co-authors s3 with Eva, so P("Carlos") = {"Eva"}.
-        assert_eq!(peers[&vec![Value::from("Carlos")]], vec![vec![Value::from("Eva")]]);
+        assert_eq!(
+            peers[&vec![Value::from("Carlos")]],
+            vec![vec![Value::from("Eva")]]
+        );
     }
 
     #[test]
@@ -161,14 +173,22 @@ mod tests {
         use reldb::DomainType;
         let mut schema = RelationalSchema::new();
         schema.add_entity("Patient").unwrap();
-        schema.add_attribute("SelfPay", "Patient", DomainType::Bool, true).unwrap();
-        schema.add_attribute("Death", "Patient", DomainType::Float, true).unwrap();
+        schema
+            .add_attribute("SelfPay", "Patient", DomainType::Bool, true)
+            .unwrap();
+        schema
+            .add_attribute("Death", "Patient", DomainType::Float, true)
+            .unwrap();
         let mut instance = Instance::new(schema.clone());
         for i in 0..3 {
             let k = Value::from(format!("p{i}"));
             instance.add_entity("Patient", k.clone()).unwrap();
-            instance.set_attribute("SelfPay", std::slice::from_ref(&k), Value::Bool(i % 2 == 0)).unwrap();
-            instance.set_attribute("Death", &[k], Value::Float(0.0)).unwrap();
+            instance
+                .set_attribute("SelfPay", std::slice::from_ref(&k), Value::Bool(i % 2 == 0))
+                .unwrap();
+            instance
+                .set_attribute("Death", &[k], Value::Float(0.0))
+                .unwrap();
         }
         let program = parse_program("Death[P] <= SelfPay[P]").unwrap();
         let model = RelationalCausalModel::new(schema, program).unwrap();

@@ -19,11 +19,11 @@ use crate::estimate::{AteAnswer, CateSeries, EstimatorKind, PeerEffectAnswer};
 use crate::peers::PeerMap;
 use crate::unit_table::UnitTable;
 use carl_lang::PeerCondition;
+use carl_stats::descriptive::quantile;
 use carl_stats::{
     estimate_ate as stats_ate, estimate_ate_cols as stats_ate_cols, AteMethod, BootstrapSummary,
     Matrix, OlsFit,
 };
-use carl_stats::descriptive::quantile;
 
 /// Map an engine estimator to the statistics crate's ATE method.
 fn ate_method(estimator: EstimatorKind) -> AteMethod {
@@ -186,13 +186,20 @@ pub fn estimate_ate(ut: &UnitTable, estimator: EstimatorKind) -> CarlResult<AteA
             }
             total / ut.len() as f64
         }
-        EstimatorKind::PropensityMatching | EstimatorKind::Subclassification | EstimatorKind::Ipw => {
+        EstimatorKind::PropensityMatching
+        | EstimatorKind::Subclassification
+        | EstimatorKind::Ipw => {
             // Adjust for peer treatments and covariates via the chosen
             // design-based estimator (own-treatment effect), handing the
             // column slices straight to the stats layer.
-            stats_ate_cols(outcomes, treatments, &adjustment_columns(ut), ate_method(estimator))
-                .map_err(CarlError::Stats)?
-                .ate
+            stats_ate_cols(
+                outcomes,
+                treatments,
+                &adjustment_columns(ut),
+                ate_method(estimator),
+            )
+            .map_err(CarlError::Stats)?
+            .ate
         }
     };
 
@@ -342,15 +349,12 @@ pub fn conditional_ate(
                 .iter()
                 .map(|v| cuts.iter().filter(|&&c| *v > c).count())
                 .collect();
-            let labels = (0..bins)
-                .map(|b| format!("{column} q{}", b + 1))
-                .collect();
+            let labels = (0..bins).map(|b| format!("{column} q{}", b + 1)).collect();
             (labels, assignment)
         }
         CateStratifier::PeerCount { cap } => {
             let cap = (*cap).max(1);
-            let assignment: Vec<usize> =
-                ut.peer_counts.iter().map(|&c| c.min(cap)).collect();
+            let assignment: Vec<usize> = ut.peer_counts.iter().map(|&c| c.min(cap)).collect();
             let labels = (0..=cap)
                 .map(|c| {
                     if c == cap {
@@ -443,10 +447,18 @@ mod tests {
     fn synthetic(n_people: usize, seed: u64) -> (RelationalCausalModel, Instance) {
         let mut schema = RelationalSchema::new();
         schema.add_entity("Person").unwrap();
-        schema.add_relationship("Collab", &["Person", "Person"]).unwrap();
-        schema.add_attribute("Talent", "Person", DomainType::Float, true).unwrap();
-        schema.add_attribute("Famous", "Person", DomainType::Bool, true).unwrap();
-        schema.add_attribute("Outcome", "Person", DomainType::Float, true).unwrap();
+        schema
+            .add_relationship("Collab", &["Person", "Person"])
+            .unwrap();
+        schema
+            .add_attribute("Talent", "Person", DomainType::Float, true)
+            .unwrap();
+        schema
+            .add_attribute("Famous", "Person", DomainType::Bool, true)
+            .unwrap();
+        schema
+            .add_attribute("Outcome", "Person", DomainType::Float, true)
+            .unwrap();
         let mut instance = Instance::new(schema.clone());
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut talents = Vec::new();
@@ -458,27 +470,39 @@ mod tests {
             let is_famous = rng.gen::<f64>() < 0.2 + 0.6 * talent;
             talents.push(talent);
             famous.push(is_famous);
-            instance.set_attribute("Talent", std::slice::from_ref(&key), Value::Float(talent)).unwrap();
-            instance.set_attribute("Famous", &[key], Value::Bool(is_famous)).unwrap();
+            instance
+                .set_attribute("Talent", std::slice::from_ref(&key), Value::Float(talent))
+                .unwrap();
+            instance
+                .set_attribute("Famous", &[key], Value::Bool(is_famous))
+                .unwrap();
         }
         // Ring collaboration: i collaborates with i+1 (symmetric closure).
         let mut peer_of = vec![Vec::new(); n_people];
         for i in 0..n_people {
             let j = (i + 1) % n_people;
             instance
-                .add_relationship("Collab", vec![Value::from(format!("p{i}")), Value::from(format!("p{j}"))])
+                .add_relationship(
+                    "Collab",
+                    vec![Value::from(format!("p{i}")), Value::from(format!("p{j}"))],
+                )
                 .unwrap();
             instance
-                .add_relationship("Collab", vec![Value::from(format!("p{j}")), Value::from(format!("p{i}"))])
+                .add_relationship(
+                    "Collab",
+                    vec![Value::from(format!("p{j}")), Value::from(format!("p{i}"))],
+                )
                 .unwrap();
             peer_of[i].push(j);
             peer_of[j].push(i);
         }
         // Outcome = 1*Famous + 0.5*mean(peer Famous) + 2*Talent + noise.
         for i in 0..n_people {
-            let peer_frac = peer_of[i].iter().filter(|&&j| famous[j]).count() as f64
-                / peer_of[i].len() as f64;
-            let y = f64::from(famous[i]) + 0.5 * peer_frac + 2.0 * talents[i]
+            let peer_frac =
+                peer_of[i].iter().filter(|&&j| famous[j]).count() as f64 / peer_of[i].len() as f64;
+            let y = f64::from(famous[i])
+                + 0.5 * peer_frac
+                + 2.0 * talents[i]
                 + rng.gen_range(-0.05..0.05);
             instance
                 .set_attribute("Outcome", &[Value::from(format!("p{i}"))], Value::Float(y))
@@ -530,7 +554,11 @@ mod tests {
         assert!((ans.ate - 1.5).abs() < 0.2, "ate = {}", ans.ate);
         // The naive difference is inflated by the talent confounder relative
         // to the true own-treatment effect of 1.0.
-        assert!(ans.naive_difference > 1.15, "naive = {}", ans.naive_difference);
+        assert!(
+            ans.naive_difference > 1.15,
+            "naive = {}",
+            ans.naive_difference
+        );
         assert_eq!(ans.n_units, 600);
         assert!(ans.correlation > 0.0);
     }
@@ -643,7 +671,12 @@ mod tests {
         // which in turn is near the true overall effect 1.5 (own 1.0 +
         // peer 0.5).
         let point = estimate_ate(&ut, EstimatorKind::Regression).unwrap().ate;
-        assert!(a.ci_lower <= point && point <= a.ci_upper, "CI [{}, {}] vs {point}", a.ci_lower, a.ci_upper);
+        assert!(
+            a.ci_lower <= point && point <= a.ci_upper,
+            "CI [{}, {}] vs {point}",
+            a.ci_lower,
+            a.ci_upper
+        );
         assert!((a.mean - 1.5).abs() < 0.2, "bootstrap mean {}", a.mean);
         assert!(a.std_dev > 0.0);
         // Determinism under a fixed seed regardless of worker-thread count.
@@ -659,22 +692,37 @@ mod tests {
         // Build a SUTVA-style model: no peer edges at all.
         let mut schema = RelationalSchema::new();
         schema.add_entity("Patient").unwrap();
-        schema.add_attribute("SelfPay", "Patient", DomainType::Bool, true).unwrap();
-        schema.add_attribute("Severity", "Patient", DomainType::Float, true).unwrap();
-        schema.add_attribute("Death", "Patient", DomainType::Float, true).unwrap();
+        schema
+            .add_attribute("SelfPay", "Patient", DomainType::Bool, true)
+            .unwrap();
+        schema
+            .add_attribute("Severity", "Patient", DomainType::Float, true)
+            .unwrap();
+        schema
+            .add_attribute("Death", "Patient", DomainType::Float, true)
+            .unwrap();
         let mut instance = Instance::new(schema.clone());
         let mut rng = SmallRng::seed_from_u64(3);
         for i in 0..50 {
             let k = Value::from(format!("p{i}"));
             instance.add_entity("Patient", k.clone()).unwrap();
-            instance.set_attribute("SelfPay", std::slice::from_ref(&k), Value::Bool(i % 2 == 0)).unwrap();
-            instance.set_attribute("Severity", std::slice::from_ref(&k), Value::Float(rng.gen())).unwrap();
-            instance.set_attribute("Death", &[k], Value::Float(rng.gen())).unwrap();
+            instance
+                .set_attribute("SelfPay", std::slice::from_ref(&k), Value::Bool(i % 2 == 0))
+                .unwrap();
+            instance
+                .set_attribute(
+                    "Severity",
+                    std::slice::from_ref(&k),
+                    Value::Float(rng.gen()),
+                )
+                .unwrap();
+            instance
+                .set_attribute("Death", &[k], Value::Float(rng.gen()))
+                .unwrap();
         }
-        let program = parse_program(
-            "Death[P] <= SelfPay[P], Severity[P]\nSelfPay[P] <= Severity[P]",
-        )
-        .unwrap();
+        let program =
+            parse_program("Death[P] <= SelfPay[P], Severity[P]\nSelfPay[P] <= Severity[P]")
+                .unwrap();
         let model = RelationalCausalModel::new(schema, program).unwrap();
         let grounded = ground(&model, &instance).unwrap();
         let units: Vec<UnitKey> = instance
@@ -697,8 +745,9 @@ mod tests {
             allowed_units: None,
         })
         .unwrap();
-        let err = estimate_peer_effects(&ut, &PeerCondition::All, &peers, EstimatorKind::Regression)
-            .unwrap_err();
+        let err =
+            estimate_peer_effects(&ut, &PeerCondition::All, &peers, EstimatorKind::Regression)
+                .unwrap_err();
         assert!(matches!(err, CarlError::InvalidQuery(_)));
     }
 }

@@ -16,9 +16,9 @@
 //! (which also bypass the grounding cache, so a cache bug cannot mask
 //! itself by affecting both paths).
 
+use crate::embed::EmbeddingKind;
 use crate::error::{CarlError, CarlResult};
 use crate::estimate::{AteAnswer, EstimatorKind, PeerEffectAnswer};
-use crate::embed::EmbeddingKind;
 use crate::graph::GroundedAttr;
 use crate::peers::PeerMap;
 use crate::query::regime_fraction;
@@ -145,7 +145,9 @@ pub fn build_row_unit_table(spec: &UnitTableSpec<'_>) -> CarlResult<RowUnitTable
             continue;
         };
         let Some(treated) = treatment_value.as_bool() else {
-            return Err(CarlError::NonBinaryTreatment(spec.treatment_attr.to_string()));
+            return Err(CarlError::NonBinaryTreatment(
+                spec.treatment_attr.to_string(),
+            ));
         };
 
         let unit_peers: &[UnitKey] = spec.peers.get(unit).map(|v| v.as_slice()).unwrap_or(&[]);
@@ -166,7 +168,12 @@ pub fn build_row_unit_table(spec: &UnitTableSpec<'_>) -> CarlResult<RowUnitTable
             Value::Float(if treated { 1.0 } else { 0.0 }),
         ];
         if any_peers {
-            row.extend(embedding.embed(&peer_treatments).into_iter().map(Value::Float));
+            row.extend(
+                embedding
+                    .embed(&peer_treatments)
+                    .into_iter()
+                    .map(Value::Float),
+            );
         }
         for (attr, _) in &own_cov_cols {
             let values = covariates
@@ -207,7 +214,11 @@ pub fn build_row_unit_table(spec: &UnitTableSpec<'_>) -> CarlResult<RowUnitTable
         units: units_out,
         outcome_col: "outcome".into(),
         treatment_col: "treatment".into(),
-        peer_treatment_cols: if any_peers { peer_treatment_cols } else { Vec::new() },
+        peer_treatment_cols: if any_peers {
+            peer_treatment_cols
+        } else {
+            Vec::new()
+        },
         covariate_cols,
         peer_counts,
         embedding,
@@ -271,7 +282,11 @@ impl RowFittedModel {
             .collect();
         let design = Matrix::from_rows(&rows).map_err(CarlError::Stats)?;
         let fit = OlsFit::fit_with_intercept(&design, &outcomes).map_err(CarlError::Stats)?;
-        Ok(Self { fit, peer_dim, kept })
+        Ok(Self {
+            fit,
+            peer_dim,
+            kept,
+        })
     }
 
     fn predict(
@@ -283,8 +298,15 @@ impl RowFittedModel {
     ) -> CarlResult<f64> {
         let peer_rows = ut.peer_treatment_rows();
         let cov_rows = ut.covariate_rows();
-        let full =
-            Self::full_features(ut, &peer_rows, &cov_rows, row, t, peer_fraction, self.peer_dim);
+        let full = Self::full_features(
+            ut,
+            &peer_rows,
+            &cov_rows,
+            row,
+            t,
+            peer_fraction,
+            self.peer_dim,
+        );
         let features: Vec<f64> = self.kept.iter().map(|&j| full[j]).collect();
         self.fit.predict(&features).map_err(CarlError::Stats)
     }
@@ -302,10 +324,7 @@ fn ate_method(estimator: EstimatorKind) -> AteMethod {
 }
 
 /// The seed's ATE estimation over a row unit table.
-pub fn estimate_ate_rowwise(
-    ut: &RowUnitTable,
-    estimator: EstimatorKind,
-) -> CarlResult<AteAnswer> {
+pub fn estimate_ate_rowwise(ut: &RowUnitTable, estimator: EstimatorKind) -> CarlResult<AteAnswer> {
     let outcomes = ut.outcomes();
     let treatments = ut.treatments();
 
@@ -467,7 +486,12 @@ mod tests {
         assert_eq!(ut.len(), 3);
         assert!(!ut.is_empty());
         assert_eq!(ut.table.column_names()[0], "unit");
-        let row = |who: &str| ut.units.iter().position(|u| u == &vec![Value::from(who)]).unwrap();
+        let row = |who: &str| {
+            ut.units
+                .iter()
+                .position(|u| u == &vec![Value::from(who)])
+                .unwrap()
+        };
         assert!((ut.outcomes()[row("Bob")] - 0.75).abs() < 1e-12);
         assert_eq!(ut.peer_treatment_rows()[row("Eva")], vec![0.5, 2.0]);
         assert_eq!(ut.covariate_rows().len(), 3);

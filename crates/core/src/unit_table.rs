@@ -55,7 +55,11 @@ impl NullBitmap {
 
     /// Whether row `i` is null.
     pub fn is_null(&self, i: usize) -> bool {
-        assert!(i < self.len, "null bitmap index {i} out of bounds ({} rows)", self.len);
+        assert!(
+            i < self.len,
+            "null bitmap index {i} out of bounds ({} rows)",
+            self.len
+        );
         self.bits[i / 64] & (1u64 << (i % 64)) != 0
     }
 
@@ -161,12 +165,14 @@ pub struct UnitTable {
 impl UnitTable {
     /// Outcome column as a zero-copy slice.
     pub fn outcomes(&self) -> &[f64] {
-        self.column(&self.outcome_col).expect("outcome column exists")
+        self.column(&self.outcome_col)
+            .expect("outcome column exists")
     }
 
     /// Treatment column (0/1) as a zero-copy slice.
     pub fn treatments(&self) -> &[f64] {
-        self.column(&self.treatment_col).expect("treatment column exists")
+        self.column(&self.treatment_col)
+            .expect("treatment column exists")
     }
 
     /// Borrow a column by name as a zero-copy slice.
@@ -218,7 +224,9 @@ impl UnitTable {
     }
 
     fn rows_of(cols: &[&[f64]], n: usize) -> Vec<Vec<f64>> {
-        (0..n).map(|i| cols.iter().map(|c| c[i]).collect()).collect()
+        (0..n)
+            .map(|i| cols.iter().map(|c| c[i]).collect())
+            .collect()
     }
 
     /// Number of rows.
@@ -284,7 +292,9 @@ impl UnitTable {
                     row.push(Value::Float(c.values[i]));
                 }
             }
-            table.push_row(row).expect("row width matches declared columns");
+            table
+                .push_row(row)
+                .expect("row width matches declared columns");
         }
         table
     }
@@ -355,7 +365,12 @@ impl ColumnLayout {
     fn columns(&self) -> Vec<FloatColumn> {
         let mut columns = vec![FloatColumn::new("outcome"), FloatColumn::new("treatment")];
         if self.any_peers {
-            columns.extend(self.peer_treatment_cols.iter().cloned().map(FloatColumn::new));
+            columns.extend(
+                self.peer_treatment_cols
+                    .iter()
+                    .cloned()
+                    .map(FloatColumn::new),
+            );
         }
         columns.extend(self.covariate_cols.iter().cloned().map(FloatColumn::new));
         columns
@@ -391,7 +406,9 @@ pub fn build_unit_table(spec: &UnitTableSpec<'_>) -> CarlResult<UnitTable> {
             continue;
         };
         let Some(treated) = treatment_value.as_bool() else {
-            return Err(CarlError::NonBinaryTreatment(spec.treatment_attr.to_string()));
+            return Err(CarlError::NonBinaryTreatment(
+                spec.treatment_attr.to_string(),
+            ));
         };
 
         let unit_peers: &[UnitKey] = spec.peers.get(unit).map(|v| v.as_slice()).unwrap_or(&[]);
@@ -546,7 +563,12 @@ mod tests {
         assert_eq!(ut.len(), 3);
         assert_eq!(ut.to_table().column_names()[0], "unit");
 
-        let row_of = |who: &str| ut.units.iter().position(|u| u == &vec![Value::from(who)]).unwrap();
+        let row_of = |who: &str| {
+            ut.units
+                .iter()
+                .position(|u| u == &vec![Value::from(who)])
+                .unwrap()
+        };
         let outcomes = ut.outcomes();
         let treatments = ut.treatments();
         // Outcomes: AVG_Score Bob 0.75, Carlos 0.1, Eva ≈ 0.4167.
@@ -584,7 +606,11 @@ mod tests {
         ] {
             let ut = paper_unit_table(embedding);
             assert_eq!(ut.len(), 3, "{embedding:?}");
-            assert_eq!(ut.peer_treatment_cols.len(), embedding.dim(), "{embedding:?}");
+            assert_eq!(
+                ut.peer_treatment_cols.len(),
+                embedding.dim(),
+                "{embedding:?}"
+            );
             assert_eq!(
                 ut.covariate_cols.len(),
                 2 * embedding.dim(),
@@ -597,7 +623,12 @@ mod tests {
     #[test]
     fn columns_are_contiguous_and_null_free() {
         let ut = paper_unit_table(EmbeddingKind::Mean);
-        for name in ut.column_names().iter().map(|s| s.to_string()).collect::<Vec<_>>() {
+        for name in ut
+            .column_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+        {
             let col = ut.float_column(&name).unwrap();
             assert_eq!(col.len(), ut.len(), "{name}");
             assert!(!col.nulls().any_null(), "{name}");

@@ -79,15 +79,24 @@ fn schema() -> RelationalSchema {
     s.add_entity("Patient").expect("fresh schema");
     s.add_entity("CareGiver").expect("fresh schema");
     s.add_entity("Drug").expect("fresh schema");
-    s.add_relationship("Care", &["CareGiver", "Patient"]).expect("entities declared");
-    s.add_relationship("Given", &["Drug", "Patient"]).expect("entities declared");
-    s.add_attribute("Ethnicity", "Patient", DomainType::Float, true).expect("fresh");
-    s.add_attribute("Sex", "Patient", DomainType::Bool, true).expect("fresh");
-    s.add_attribute("Severity", "Patient", DomainType::Float, true).expect("fresh");
-    s.add_attribute("SelfPay", "Patient", DomainType::Bool, true).expect("fresh");
-    s.add_attribute("Death", "Patient", DomainType::Float, true).expect("fresh");
-    s.add_attribute("Len", "Patient", DomainType::Float, true).expect("fresh");
-    s.add_attribute("Dose", "Given", DomainType::Float, true).expect("fresh");
+    s.add_relationship("Care", &["CareGiver", "Patient"])
+        .expect("entities declared");
+    s.add_relationship("Given", &["Drug", "Patient"])
+        .expect("entities declared");
+    s.add_attribute("Ethnicity", "Patient", DomainType::Float, true)
+        .expect("fresh");
+    s.add_attribute("Sex", "Patient", DomainType::Bool, true)
+        .expect("fresh");
+    s.add_attribute("Severity", "Patient", DomainType::Float, true)
+        .expect("fresh");
+    s.add_attribute("SelfPay", "Patient", DomainType::Bool, true)
+        .expect("fresh");
+    s.add_attribute("Death", "Patient", DomainType::Float, true)
+        .expect("fresh");
+    s.add_attribute("Len", "Patient", DomainType::Float, true)
+        .expect("fresh");
+    s.add_attribute("Dose", "Given", DomainType::Float, true)
+        .expect("fresh");
     s
 }
 
@@ -109,7 +118,9 @@ pub fn generate_mimic(config: &MimicConfig) -> Dataset {
 
     for i in 0..config.patients {
         let key = Value::from(format!("pt{i}"));
-        instance.add_entity("Patient", key.clone()).expect("schema admits Patient");
+        instance
+            .add_entity("Patient", key.clone())
+            .expect("schema admits Patient");
 
         let ethnicity = rng.gen_range(0.0..1.0);
         let sex = rng.gen_bool(0.5);
@@ -120,12 +131,13 @@ pub fn generate_mimic(config: &MimicConfig) -> Dataset {
         let p_selfpay = 0.04 + 0.05 * ethnicity + 0.16 * base_severity;
         let selfpay = rng.gen::<f64>() < p_selfpay;
         // Observed severity at admission: self-payers arrive sicker still.
-        let severity = (base_severity + if selfpay { 0.25 } else { 0.0 } + rng.gen_range(-0.05..0.05))
-            .clamp(0.0, 1.5);
+        let severity =
+            (base_severity + if selfpay { 0.25 } else { 0.0 } + rng.gen_range(-0.05..0.05))
+                .clamp(0.0, 1.5);
 
         // Mortality: strongly driven by severity, tiny direct self-pay effect.
-        let p_death = (0.02 + 0.22 * severity + config.death_effect * f64::from(selfpay))
-            .clamp(0.0, 1.0);
+        let p_death =
+            (0.02 + 0.22 * severity + config.death_effect * f64::from(selfpay)).clamp(0.0, 1.0);
         let death = rng.gen::<f64>() < p_death;
         // Length of stay (hours): severe patients die early → shorter stays;
         // milder patients stay for treatment. Direct self-pay effect is the
@@ -135,14 +147,36 @@ pub fn generate_mimic(config: &MimicConfig) -> Dataset {
             + rng.gen_range(-30.0..30.0))
         .max(4.0);
 
-        instance.set_attribute("Ethnicity", std::slice::from_ref(&key), Value::Float(ethnicity)).expect("float");
-        instance.set_attribute("Sex", std::slice::from_ref(&key), Value::Bool(sex)).expect("bool");
-        instance.set_attribute("Severity", std::slice::from_ref(&key), Value::Float(severity)).expect("float");
-        instance.set_attribute("SelfPay", std::slice::from_ref(&key), Value::Bool(selfpay)).expect("bool");
         instance
-            .set_attribute("Death", std::slice::from_ref(&key), Value::Float(if death { 1.0 } else { 0.0 }))
+            .set_attribute(
+                "Ethnicity",
+                std::slice::from_ref(&key),
+                Value::Float(ethnicity),
+            )
             .expect("float");
-        instance.set_attribute("Len", std::slice::from_ref(&key), Value::Float(los)).expect("float");
+        instance
+            .set_attribute("Sex", std::slice::from_ref(&key), Value::Bool(sex))
+            .expect("bool");
+        instance
+            .set_attribute(
+                "Severity",
+                std::slice::from_ref(&key),
+                Value::Float(severity),
+            )
+            .expect("float");
+        instance
+            .set_attribute("SelfPay", std::slice::from_ref(&key), Value::Bool(selfpay))
+            .expect("bool");
+        instance
+            .set_attribute(
+                "Death",
+                std::slice::from_ref(&key),
+                Value::Float(if death { 1.0 } else { 0.0 }),
+            )
+            .expect("float");
+        instance
+            .set_attribute("Len", std::slice::from_ref(&key), Value::Float(los))
+            .expect("float");
 
         // Care and prescriptions: one caregiver, one or two drugs with a
         // severity-driven dose.
@@ -160,7 +194,11 @@ pub fn generate_mimic(config: &MimicConfig) -> Dataset {
             {
                 let dose = 1.0 + 4.0 * severity + rng.gen_range(-0.5..0.5);
                 instance
-                    .set_attribute("Dose", &[drug_key, key.clone()], Value::Float(dose.max(0.1)))
+                    .set_attribute(
+                        "Dose",
+                        &[drug_key, key.clone()],
+                        Value::Float(dose.max(0.1)),
+                    )
                     .expect("float");
             }
         }
@@ -194,7 +232,9 @@ mod tests {
         let mut treated = Vec::new();
         let mut control = Vec::new();
         for key in inst.skeleton().entity_keys("Patient") {
-            let y = inst.attribute_f64(outcome, std::slice::from_ref(key)).unwrap();
+            let y = inst
+                .attribute_f64(outcome, std::slice::from_ref(key))
+                .unwrap();
             let t = inst
                 .attribute("SelfPay", std::slice::from_ref(key))
                 .and_then(Value::as_bool)
@@ -244,7 +284,9 @@ mod tests {
         let mut sev_t = Vec::new();
         let mut sev_c = Vec::new();
         for key in inst.skeleton().entity_keys("Patient") {
-            let s = inst.attribute_f64("Severity", std::slice::from_ref(key)).unwrap();
+            let s = inst
+                .attribute_f64("Severity", std::slice::from_ref(key))
+                .unwrap();
             if inst
                 .attribute("SelfPay", std::slice::from_ref(key))
                 .and_then(Value::as_bool)

@@ -66,13 +66,20 @@ fn schema() -> RelationalSchema {
     let mut s = RelationalSchema::new();
     s.add_entity("Patient").expect("fresh schema");
     s.add_entity("Hospital").expect("fresh schema");
-    s.add_relationship("Admitted", &["Patient", "Hospital"]).expect("entities declared");
-    s.add_attribute("Illness_Severity", "Patient", DomainType::Float, true).expect("fresh");
-    s.add_attribute("Surgery_Performed", "Patient", DomainType::Bool, true).expect("fresh");
-    s.add_attribute("Admitted_To_Large", "Patient", DomainType::Bool, true).expect("fresh");
-    s.add_attribute("Bill", "Patient", DomainType::Float, true).expect("fresh");
-    s.add_attribute("Large", "Hospital", DomainType::Bool, true).expect("fresh");
-    s.add_attribute("Private_Ownership", "Hospital", DomainType::Bool, true).expect("fresh");
+    s.add_relationship("Admitted", &["Patient", "Hospital"])
+        .expect("entities declared");
+    s.add_attribute("Illness_Severity", "Patient", DomainType::Float, true)
+        .expect("fresh");
+    s.add_attribute("Surgery_Performed", "Patient", DomainType::Bool, true)
+        .expect("fresh");
+    s.add_attribute("Admitted_To_Large", "Patient", DomainType::Bool, true)
+        .expect("fresh");
+    s.add_attribute("Bill", "Patient", DomainType::Float, true)
+        .expect("fresh");
+    s.add_attribute("Large", "Hospital", DomainType::Bool, true)
+        .expect("fresh");
+    s.add_attribute("Private_Ownership", "Hospital", DomainType::Bool, true)
+        .expect("fresh");
     s
 }
 
@@ -86,10 +93,14 @@ pub fn generate_nis(config: &NisConfig) -> Dataset {
     let mut private = Vec::with_capacity(config.hospitals);
     for h in 0..config.hospitals {
         let key = Value::from(format!("h{h}"));
-        instance.add_entity("Hospital", key.clone()).expect("schema admits Hospital");
+        instance
+            .add_entity("Hospital", key.clone())
+            .expect("schema admits Hospital");
         let is_large = rng.gen_bool(0.4);
         let is_private = rng.gen_bool(0.6);
-        instance.set_attribute("Large", std::slice::from_ref(&key), Value::Bool(is_large)).expect("bool");
+        instance
+            .set_attribute("Large", std::slice::from_ref(&key), Value::Bool(is_large))
+            .expect("bool");
         instance
             .set_attribute("Private_Ownership", &[key], Value::Bool(is_private))
             .expect("bool");
@@ -101,7 +112,9 @@ pub fn generate_nis(config: &NisConfig) -> Dataset {
 
     for i in 0..config.admissions {
         let key = Value::from(format!("adm{i}"));
-        instance.add_entity("Patient", key.clone()).expect("schema admits Patient");
+        instance
+            .add_entity("Patient", key.clone())
+            .expect("schema admits Patient");
 
         let severity: f64 = rng.gen_range(0.0..1.0);
         let surgery = rng.gen::<f64>() < 0.05 + 0.7 * severity;
@@ -126,16 +139,32 @@ pub fn generate_nis(config: &NisConfig) -> Dataset {
         let high_bill = rng.gen::<f64>() < p_high_bill;
 
         instance
-            .set_attribute("Illness_Severity", std::slice::from_ref(&key), Value::Float(severity))
+            .set_attribute(
+                "Illness_Severity",
+                std::slice::from_ref(&key),
+                Value::Float(severity),
+            )
             .expect("float");
         instance
-            .set_attribute("Surgery_Performed", std::slice::from_ref(&key), Value::Bool(surgery))
+            .set_attribute(
+                "Surgery_Performed",
+                std::slice::from_ref(&key),
+                Value::Bool(surgery),
+            )
             .expect("bool");
         instance
-            .set_attribute("Admitted_To_Large", std::slice::from_ref(&key), Value::Bool(to_large))
+            .set_attribute(
+                "Admitted_To_Large",
+                std::slice::from_ref(&key),
+                Value::Bool(to_large),
+            )
             .expect("bool");
         instance
-            .set_attribute("Bill", std::slice::from_ref(&key), Value::Float(if high_bill { 1.0 } else { 0.0 }))
+            .set_attribute(
+                "Bill",
+                std::slice::from_ref(&key),
+                Value::Float(if high_bill { 1.0 } else { 0.0 }),
+            )
             .expect("float");
         instance
             .add_relationship("Admitted", vec![key, Value::from(format!("h{hospital}"))])
@@ -170,7 +199,9 @@ mod tests {
         let mut treated = Vec::new();
         let mut control = Vec::new();
         for key in inst.skeleton().entity_keys("Patient") {
-            let y = inst.attribute_f64("Bill", std::slice::from_ref(key)).unwrap();
+            let y = inst
+                .attribute_f64("Bill", std::slice::from_ref(key))
+                .unwrap();
             let t = inst
                 .attribute("Admitted_To_Large", std::slice::from_ref(key))
                 .and_then(Value::as_bool)
@@ -183,7 +214,10 @@ mod tests {
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let naive = mean(&treated) - mean(&control);
-        assert!(naive > 0.18, "naive difference {naive} should be strongly positive");
+        assert!(
+            naive > 0.18,
+            "naive difference {naive} should be strongly positive"
+        );
         assert_eq!(ds.ground_truth.ate_primary, Some(-0.10));
     }
 
@@ -206,7 +240,9 @@ mod tests {
         let mut sev_large = Vec::new();
         let mut sev_small = Vec::new();
         for key in inst.skeleton().entity_keys("Patient") {
-            let s = inst.attribute_f64("Illness_Severity", std::slice::from_ref(key)).unwrap();
+            let s = inst
+                .attribute_f64("Illness_Severity", std::slice::from_ref(key))
+                .unwrap();
             if inst
                 .attribute("Admitted_To_Large", std::slice::from_ref(key))
                 .and_then(Value::as_bool)

@@ -86,16 +86,26 @@ fn schema() -> RelationalSchema {
     s.add_entity("Person").expect("fresh schema");
     s.add_entity("Submission").expect("fresh schema");
     s.add_entity("Conference").expect("fresh schema");
-    s.add_relationship("Author", &["Person", "Submission"]).expect("entities declared");
-    s.add_relationship("Submitted", &["Submission", "Conference"]).expect("entities declared");
-    s.add_attribute("Qualification", "Person", DomainType::Float, true).expect("fresh");
-    s.add_attribute("Experience", "Person", DomainType::Float, true).expect("fresh");
-    s.add_attribute("Citations", "Person", DomainType::Float, true).expect("fresh");
-    s.add_attribute("Prestige", "Person", DomainType::Bool, true).expect("fresh");
-    s.add_attribute("Score", "Submission", DomainType::Float, true).expect("fresh");
-    s.add_attribute("Accepted", "Submission", DomainType::Bool, true).expect("fresh");
-    s.add_attribute("Quality", "Submission", DomainType::Float, false).expect("fresh");
-    s.add_attribute("Blind", "Conference", DomainType::Bool, true).expect("fresh");
+    s.add_relationship("Author", &["Person", "Submission"])
+        .expect("entities declared");
+    s.add_relationship("Submitted", &["Submission", "Conference"])
+        .expect("entities declared");
+    s.add_attribute("Qualification", "Person", DomainType::Float, true)
+        .expect("fresh");
+    s.add_attribute("Experience", "Person", DomainType::Float, true)
+        .expect("fresh");
+    s.add_attribute("Citations", "Person", DomainType::Float, true)
+        .expect("fresh");
+    s.add_attribute("Prestige", "Person", DomainType::Bool, true)
+        .expect("fresh");
+    s.add_attribute("Score", "Submission", DomainType::Float, true)
+        .expect("fresh");
+    s.add_attribute("Accepted", "Submission", DomainType::Bool, true)
+        .expect("fresh");
+    s.add_attribute("Quality", "Submission", DomainType::Float, false)
+        .expect("fresh");
+    s.add_attribute("Blind", "Conference", DomainType::Bool, true)
+        .expect("fresh");
     s
 }
 
@@ -109,16 +119,38 @@ pub fn generate_reviewdata(config: &ReviewConfig) -> Dataset {
     let mut prestige = Vec::with_capacity(config.authors);
     for i in 0..config.authors {
         let key = Value::from(format!("author{i}"));
-        instance.add_entity("Person", key.clone()).expect("schema admits Person");
+        instance
+            .add_entity("Person", key.clone())
+            .expect("schema admits Person");
         let experience: f64 = rng.gen_range(1.0..30.0);
         let qual: f64 = (experience * rng.gen_range(0.5..2.5)).min(80.0);
         let citations = qual * rng.gen_range(20.0..120.0);
         let p_prestige = (0.10 + 0.65 * qual / 80.0).min(0.85);
         let is_prestigious = rng.gen::<f64>() < p_prestige;
-        instance.set_attribute("Qualification", std::slice::from_ref(&key), Value::Float(qual)).expect("float");
-        instance.set_attribute("Experience", std::slice::from_ref(&key), Value::Float(experience)).expect("float");
-        instance.set_attribute("Citations", std::slice::from_ref(&key), Value::Float(citations)).expect("float");
-        instance.set_attribute("Prestige", &[key], Value::Bool(is_prestigious)).expect("bool");
+        instance
+            .set_attribute(
+                "Qualification",
+                std::slice::from_ref(&key),
+                Value::Float(qual),
+            )
+            .expect("float");
+        instance
+            .set_attribute(
+                "Experience",
+                std::slice::from_ref(&key),
+                Value::Float(experience),
+            )
+            .expect("float");
+        instance
+            .set_attribute(
+                "Citations",
+                std::slice::from_ref(&key),
+                Value::Float(citations),
+            )
+            .expect("float");
+        instance
+            .set_attribute("Prestige", &[key], Value::Bool(is_prestigious))
+            .expect("bool");
         qualification.push(qual);
         prestige.push(is_prestigious);
     }
@@ -128,9 +160,13 @@ pub fn generate_reviewdata(config: &ReviewConfig) -> Dataset {
     let mut double_blind = Vec::with_capacity(config.conferences);
     for c in 0..config.conferences {
         let key = Value::from(format!("conf{c}"));
-        instance.add_entity("Conference", key.clone()).expect("schema admits Conference");
+        instance
+            .add_entity("Conference", key.clone())
+            .expect("schema admits Conference");
         let db = c % 2 == 1;
-        instance.set_attribute("Blind", &[key], Value::Bool(db)).expect("bool");
+        instance
+            .set_attribute("Blind", &[key], Value::Bool(db))
+            .expect("bool");
         double_blind.push(db);
     }
 
@@ -138,10 +174,15 @@ pub fn generate_reviewdata(config: &ReviewConfig) -> Dataset {
     // (prestigious authors co-author together more often).
     for p in 0..config.papers {
         let key = Value::from(format!("paper{p}"));
-        instance.add_entity("Submission", key.clone()).expect("schema admits Submission");
+        instance
+            .add_entity("Submission", key.clone())
+            .expect("schema admits Submission");
         let conf = rng.gen_range(0..config.conferences);
         instance
-            .add_relationship("Submitted", vec![key.clone(), Value::from(format!("conf{conf}"))])
+            .add_relationship(
+                "Submitted",
+                vec![key.clone(), Value::from(format!("conf{conf}"))],
+            )
             .expect("entities exist");
 
         // Byline sizes lean towards one or two authors so that an author's
@@ -161,14 +202,21 @@ pub fn generate_reviewdata(config: &ReviewConfig) -> Dataset {
             if byline.contains(&cand) {
                 continue;
             }
-            let accept = if prestige[cand] == prestige[lead] { 0.85 } else { 0.35 };
+            let accept = if prestige[cand] == prestige[lead] {
+                0.85
+            } else {
+                0.35
+            };
             if rng.gen::<f64>() < accept {
                 byline.push(cand);
             }
         }
         for &a in &byline {
             instance
-                .add_relationship("Author", vec![Value::from(format!("author{a}")), key.clone()])
+                .add_relationship(
+                    "Author",
+                    vec![Value::from(format!("author{a}")), key.clone()],
+                )
                 .expect("entities exist");
         }
 
@@ -182,12 +230,18 @@ pub fn generate_reviewdata(config: &ReviewConfig) -> Dataset {
         } else {
             config.prestige_effect_single_blind
         };
-        let score = (0.25 + 0.5 * quality + effect * mean_prestige
+        let score = (0.25
+            + 0.5 * quality
+            + effect * mean_prestige
             + rng.gen_range(-config.noise..config.noise))
         .clamp(0.0, 1.0);
         let accepted = score > 0.55;
-        instance.set_attribute("Score", std::slice::from_ref(&key), Value::Float(score)).expect("float");
-        instance.set_attribute("Accepted", &[key], Value::Bool(accepted)).expect("bool");
+        instance
+            .set_attribute("Score", std::slice::from_ref(&key), Value::Float(score))
+            .expect("float");
+        instance
+            .set_attribute("Accepted", &[key], Value::Bool(accepted))
+            .expect("bool");
     }
 
     Dataset {
@@ -235,7 +289,9 @@ mod tests {
         let inst = &ds.instance;
         let mut scores = Vec::new();
         for key in inst.skeleton().entity_keys("Submission") {
-            let s = inst.attribute_f64("Score", std::slice::from_ref(key)).unwrap();
+            let s = inst
+                .attribute_f64("Score", std::slice::from_ref(key))
+                .unwrap();
             assert!((0.0..=1.0).contains(&s));
             scores.push(s);
         }
@@ -249,8 +305,12 @@ mod tests {
         // Compare mean score of all-prestigious vs no-prestigious papers per regime.
         let mut diff = [Vec::new(), Vec::new()]; // [single, double]
         for key in inst.skeleton().entity_keys("Submission") {
-            let score = inst.attribute_f64("Score", std::slice::from_ref(key)).unwrap();
-            let conf = &inst.skeleton().relationship_tuples_with("Submitted", 0, key)[0][1];
+            let score = inst
+                .attribute_f64("Score", std::slice::from_ref(key))
+                .unwrap();
+            let conf = &inst
+                .skeleton()
+                .relationship_tuples_with("Submitted", 0, key)[0][1];
             let db = inst
                 .attribute("Blind", std::slice::from_ref(conf))
                 .and_then(Value::as_bool)
@@ -268,8 +328,16 @@ mod tests {
             diff[usize::from(db)].push((frac, score));
         }
         let gap = |pairs: &[(f64, f64)]| {
-            let hi: Vec<f64> = pairs.iter().filter(|(f, _)| *f > 0.5).map(|(_, s)| *s).collect();
-            let lo: Vec<f64> = pairs.iter().filter(|(f, _)| *f <= 0.5).map(|(_, s)| *s).collect();
+            let hi: Vec<f64> = pairs
+                .iter()
+                .filter(|(f, _)| *f > 0.5)
+                .map(|(_, s)| *s)
+                .collect();
+            let lo: Vec<f64> = pairs
+                .iter()
+                .filter(|(f, _)| *f <= 0.5)
+                .map(|(_, s)| *s)
+                .collect();
             hi.iter().sum::<f64>() / hi.len() as f64 - lo.iter().sum::<f64>() / lo.len() as f64
         };
         // Both regimes show a positive raw gap (confounding via quality), but

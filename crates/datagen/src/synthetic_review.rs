@@ -109,14 +109,22 @@ fn schema() -> RelationalSchema {
     s.add_entity("Person").expect("fresh schema");
     s.add_entity("Paper").expect("fresh schema");
     s.add_entity("Venue").expect("fresh schema");
-    s.add_relationship("Writes", &["Person", "Paper"]).expect("entities declared");
-    s.add_relationship("Collab", &["Person", "Person"]).expect("entities declared");
-    s.add_relationship("SubmittedTo", &["Paper", "Venue"]).expect("entities declared");
-    s.add_attribute("Qualification", "Person", DomainType::Float, true).expect("fresh");
-    s.add_attribute("Prestige", "Person", DomainType::Bool, true).expect("fresh");
-    s.add_attribute("Quality", "Paper", DomainType::Float, true).expect("fresh");
-    s.add_attribute("Score", "Paper", DomainType::Float, true).expect("fresh");
-    s.add_attribute("DoubleBlind", "Venue", DomainType::Bool, true).expect("fresh");
+    s.add_relationship("Writes", &["Person", "Paper"])
+        .expect("entities declared");
+    s.add_relationship("Collab", &["Person", "Person"])
+        .expect("entities declared");
+    s.add_relationship("SubmittedTo", &["Paper", "Venue"])
+        .expect("entities declared");
+    s.add_attribute("Qualification", "Person", DomainType::Float, true)
+        .expect("fresh");
+    s.add_attribute("Prestige", "Person", DomainType::Bool, true)
+        .expect("fresh");
+    s.add_attribute("Quality", "Paper", DomainType::Float, true)
+        .expect("fresh");
+    s.add_attribute("Score", "Paper", DomainType::Float, true)
+        .expect("fresh");
+    s.add_attribute("DoubleBlind", "Venue", DomainType::Bool, true)
+        .expect("fresh");
     s
 }
 
@@ -143,14 +151,20 @@ pub fn generate_synthetic_review(config: &SyntheticReviewConfig) -> Dataset {
     let mut prestige = Vec::with_capacity(config.authors);
     for i in 0..config.authors {
         let key = Value::from(format!("a{i}"));
-        instance.add_entity("Person", key.clone()).expect("schema admits Person");
+        instance
+            .add_entity("Person", key.clone())
+            .expect("schema admits Person");
         let qual: f64 = rng.gen_range(0.0..60.0);
         // Probability of being at a top institution grows with qualification.
         let p_prestige = (0.08 + 0.8 * (qual / 60.0)).min(0.92)
             * (prestigious_institutions as f64 / config.institutions as f64 * 5.0).min(1.0);
         let is_prestigious = rng.gen::<f64>() < p_prestige;
         instance
-            .set_attribute("Qualification", std::slice::from_ref(&key), Value::Float(qual))
+            .set_attribute(
+                "Qualification",
+                std::slice::from_ref(&key),
+                Value::Float(qual),
+            )
             .expect("domain admits float");
         instance
             .set_attribute("Prestige", &[key], Value::Bool(is_prestigious))
@@ -163,7 +177,9 @@ pub fn generate_synthetic_review(config: &SyntheticReviewConfig) -> Dataset {
     let mut double_blind = Vec::with_capacity(config.venues);
     for v in 0..config.venues {
         let key = Value::from(format!("v{v}"));
-        instance.add_entity("Venue", key.clone()).expect("schema admits Venue");
+        instance
+            .add_entity("Venue", key.clone())
+            .expect("schema admits Venue");
         let db = v % 2 == 1;
         instance
             .set_attribute("DoubleBlind", &[key], Value::Bool(db))
@@ -191,10 +207,16 @@ pub fn generate_synthetic_review(config: &SyntheticReviewConfig) -> Dataset {
         collaborators[a].push(b);
         collaborators[b].push(a);
         instance
-            .add_relationship("Collab", vec![Value::from(format!("a{a}")), Value::from(format!("a{b}"))])
+            .add_relationship(
+                "Collab",
+                vec![Value::from(format!("a{a}")), Value::from(format!("a{b}"))],
+            )
             .expect("entities exist");
         instance
-            .add_relationship("Collab", vec![Value::from(format!("a{b}")), Value::from(format!("a{a}"))])
+            .add_relationship(
+                "Collab",
+                vec![Value::from(format!("a{b}")), Value::from(format!("a{a}"))],
+            )
             .expect("entities exist");
         added += 1;
     }
@@ -202,14 +224,22 @@ pub fn generate_synthetic_review(config: &SyntheticReviewConfig) -> Dataset {
     // Papers: one writing author each, venue chosen at random.
     for p in 0..config.papers {
         let key = Value::from(format!("p{p}"));
-        instance.add_entity("Paper", key.clone()).expect("schema admits Paper");
+        instance
+            .add_entity("Paper", key.clone())
+            .expect("schema admits Paper");
         let author = rng.gen_range(0..config.authors);
         let venue = rng.gen_range(0..config.venues);
         instance
-            .add_relationship("Writes", vec![Value::from(format!("a{author}")), key.clone()])
+            .add_relationship(
+                "Writes",
+                vec![Value::from(format!("a{author}")), key.clone()],
+            )
             .expect("entities exist");
         instance
-            .add_relationship("SubmittedTo", vec![key.clone(), Value::from(format!("v{venue}"))])
+            .add_relationship(
+                "SubmittedTo",
+                vec![key.clone(), Value::from(format!("v{venue}"))],
+            )
             .expect("entities exist");
 
         let quality = (qualification[author] / 60.0 + rng.gen_range(-0.1..0.1)).clamp(0.0, 1.2);
@@ -221,7 +251,10 @@ pub fn generate_synthetic_review(config: &SyntheticReviewConfig) -> Dataset {
         let peer_frac = if collaborators[author].is_empty() {
             0.0
         } else {
-            collaborators[author].iter().filter(|&&b| prestige[b]).count() as f64
+            collaborators[author]
+                .iter()
+                .filter(|&&b| prestige[b])
+                .count() as f64
                 / collaborators[author].len() as f64
         };
         let score = 0.2
@@ -284,7 +317,9 @@ mod tests {
         let mut qual_p = Vec::new();
         let mut qual_np = Vec::new();
         for key in inst.skeleton().entity_keys("Person") {
-            let q = inst.attribute_f64("Qualification", std::slice::from_ref(key)).unwrap();
+            let q = inst
+                .attribute_f64("Qualification", std::slice::from_ref(key))
+                .unwrap();
             let p = inst
                 .attribute("Prestige", std::slice::from_ref(key))
                 .and_then(Value::as_bool)

@@ -30,9 +30,14 @@ pub enum AggFn {
 impl AggFn {
     /// Apply the aggregate to a slice of numeric values.
     ///
-    /// Returns `None` when the aggregate is undefined on an empty input
-    /// (all except `Count` and `Sum`, which return 0).
+    /// `NaN` values are treated as *missing* and ignored: they arise from
+    /// unobserved attributes rendered numerically (e.g. empty peer sets
+    /// summarised elsewhere), and letting them participate would silently
+    /// poison every downstream average. A group that is empty — or
+    /// effectively empty because every value is missing — returns `None`
+    /// for all aggregates except `Count` and `Sum`, which return 0.
     pub fn apply(&self, values: &[f64]) -> Option<f64> {
+        let values: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
         match self {
             AggFn::Count => Some(values.len() as f64),
             AggFn::Sum => Some(values.iter().sum()),
@@ -57,7 +62,7 @@ impl AggFn {
                 let mean = values.iter().sum::<f64>() / n;
                 Some(values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n)
             }
-            AggFn::Median => median(values),
+            AggFn::Median => median(&values),
         }
     }
 
@@ -96,12 +101,13 @@ impl std::fmt::Display for AggFn {
     }
 }
 
-/// Median with linear interpolation for even-length inputs.
+/// Median with linear interpolation for even-length inputs. `NaN` values
+/// are treated as missing; an input with no observed values yields `None`.
 pub fn median(values: &[f64]) -> Option<f64> {
-    if values.is_empty() {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
         return None;
     }
-    let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let n = sorted.len();
     if n % 2 == 1 {
@@ -195,5 +201,39 @@ mod tests {
     #[test]
     fn variance_of_constant_is_zero() {
         assert_eq!(AggFn::Var.apply(&[2.0, 2.0, 2.0]), Some(0.0));
+    }
+
+    #[test]
+    fn nan_values_are_missing_not_poison() {
+        // Regression: a NaN value (an empty peer set rendered numerically)
+        // used to propagate through AVG/SUM/VAR/MEDIAN and poison the
+        // aggregate; MIN/MAX silently dropped it while COUNT counted it.
+        let nan = f64::NAN;
+        assert_eq!(AggFn::Avg.apply(&[1.0, nan, 3.0]), Some(2.0));
+        assert_eq!(AggFn::Sum.apply(&[1.0, nan, 3.0]), Some(4.0));
+        assert_eq!(AggFn::Count.apply(&[1.0, nan, 3.0]), Some(2.0));
+        assert_eq!(AggFn::Var.apply(&[1.0, nan, 3.0]), Some(1.0));
+        assert_eq!(AggFn::Median.apply(&[1.0, nan, 3.0]), Some(2.0));
+        assert_eq!(AggFn::Min.apply(&[1.0, nan, 3.0]), Some(1.0));
+        assert_eq!(AggFn::Max.apply(&[1.0, nan, 3.0]), Some(3.0));
+        // An effectively empty group behaves exactly like an empty group:
+        // the average is undefined, never NaN.
+        for agg in [
+            AggFn::Avg,
+            AggFn::Min,
+            AggFn::Max,
+            AggFn::Var,
+            AggFn::Median,
+        ] {
+            assert_eq!(agg.apply(&[nan, nan]), None, "{agg}");
+        }
+        assert_eq!(AggFn::Count.apply(&[nan]), Some(0.0));
+        assert_eq!(AggFn::Sum.apply(&[nan]), Some(0.0));
+        assert_eq!(median(&[nan]), None);
+        // And group_by drops such groups instead of storing NaN.
+        let rows = vec![("empty", nan), ("ok", 2.0)];
+        let avg = group_by(rows, AggFn::Avg);
+        assert!(!avg.contains_key("empty"));
+        assert_eq!(avg["ok"], 2.0);
     }
 }

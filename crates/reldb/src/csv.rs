@@ -124,9 +124,24 @@ mod tests {
 
     fn sample() -> Table {
         let mut t = Table::with_columns(&["name", "score", "treated"]);
-        t.push_row(vec![Value::from("Bob"), Value::from(0.75), Value::Bool(true)]).unwrap();
-        t.push_row(vec![Value::from("O'Hara, Ann"), Value::from(0.5), Value::Bool(false)]).unwrap();
-        t.push_row(vec![Value::from("Quote\"y"), Value::Null, Value::Bool(true)]).unwrap();
+        t.push_row(vec![
+            Value::from("Bob"),
+            Value::from(0.75),
+            Value::Bool(true),
+        ])
+        .unwrap();
+        t.push_row(vec![
+            Value::from("O'Hara, Ann"),
+            Value::from(0.5),
+            Value::Bool(false),
+        ])
+        .unwrap();
+        t.push_row(vec![
+            Value::from("Quote\"y"),
+            Value::Null,
+            Value::Bool(true),
+        ])
+        .unwrap();
         t
     }
 

@@ -92,15 +92,24 @@ impl fmt::Display for RelError {
             Self::UnknownPredicate(name) => write!(f, "unknown predicate `{name}`"),
             Self::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
             Self::UnknownEntityInRelationship { rel, entity } => {
-                write!(f, "relationship `{rel}` references unknown entity `{entity}`")
+                write!(
+                    f,
+                    "relationship `{rel}` references unknown entity `{entity}`"
+                )
             }
             Self::ArityMismatch {
                 predicate,
                 expected,
                 actual,
-            } => write!(f, "predicate `{predicate}` expects arity {expected}, got {actual}"),
+            } => write!(
+                f,
+                "predicate `{predicate}` expects arity {expected}, got {actual}"
+            ),
             Self::DanglingReference { rel, entity, key } => {
-                write!(f, "relationship `{rel}` references missing `{entity}` key `{key}`")
+                write!(
+                    f,
+                    "relationship `{rel}` references missing `{entity}` key `{key}`"
+                )
             }
             Self::DomainMismatch {
                 attribute,
@@ -116,7 +125,10 @@ impl fmt::Display for RelError {
                 column,
                 expected,
                 actual,
-            } => write!(f, "column `{column}` has {actual} rows, expected {expected}"),
+            } => write!(
+                f,
+                "column `{column}` has {actual} rows, expected {expected}"
+            ),
             Self::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
             Self::Io(message) => write!(f, "io error: {message}"),
         }

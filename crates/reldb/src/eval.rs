@@ -5,12 +5,23 @@
 //! relational causal rules (Definition 3.5): for a rule with condition
 //! `Q(Y)`, every answer of `Q` over the skeleton yields one grounded rule.
 //!
-//! The algorithm is index-accelerated sideways information passing: atoms
-//! are evaluated one at a time, most-selective-first, and each partial
-//! binding is extended using the skeleton's positional hash indexes.
+//! Evaluation is planned: [`crate::plan`] chooses a most-selective-first
+//! join order, an access path per atom (scan, positional hash probe, or
+//! attribute-index fetch) and semi-join pruning passes; the executor here
+//! runs the plan, probing the skeleton's positional indexes and the
+//! lazily built composite indexes of an [`IndexCache`] instead of scanning
+//! candidates per partial binding.
+//!
+//! [`evaluate_naive`] is the deliberately unoptimised nested-loop reference
+//! evaluator (atoms in source order, full scans only). It defines the
+//! semantics; the planned executor must agree with it on every query, which
+//! the differential fuzzer in `tests/eval_reference.rs` enforces.
 
 use crate::error::{RelError, RelResult};
-use crate::query::{Atom, ConjunctiveQuery, Term};
+use crate::index::IndexCache;
+use crate::instance::Instance;
+use crate::plan::{plan_query, plan_query_filtered, Access, EqFilter, Plan, SemiJoin};
+use crate::query::{ConjunctiveQuery, Term};
 use crate::schema::{PredicateKind, RelationalSchema};
 use crate::skeleton::Skeleton;
 use crate::value::Value;
@@ -22,50 +33,95 @@ pub type Bindings = HashMap<String, Value>;
 /// Evaluate `query` over `skeleton`, returning all satisfying substitutions.
 ///
 /// The result binds exactly the variables appearing in the query. An empty
-/// query returns a single empty binding (the query `true`).
+/// query returns a single empty binding (the query `true`). Indexes built
+/// for the evaluation are discarded afterwards; use [`evaluate_in`] with a
+/// shared [`IndexCache`] to reuse them across queries.
 pub fn evaluate(
     schema: &RelationalSchema,
     skeleton: &Skeleton,
     query: &ConjunctiveQuery,
 ) -> RelResult<Vec<Bindings>> {
-    // Validate predicates and arities up front for better error messages.
-    for atom in &query.atoms {
-        let arity = schema
-            .predicate_arity(&atom.predicate)
-            .ok_or_else(|| RelError::UnknownPredicate(atom.predicate.clone()))?;
-        if atom.terms.len() != arity {
-            return Err(RelError::ArityMismatch {
-                predicate: atom.predicate.clone(),
-                expected: arity,
-                actual: atom.terms.len(),
-            });
-        }
-    }
+    let cache = IndexCache::with_fingerprint(0);
+    evaluate_in(&cache, schema, skeleton, query)
+}
 
-    // Order atoms by estimated cardinality (cheapest first) so that the
-    // intermediate result stays small; constants make an atom cheaper.
-    let mut atoms: Vec<&Atom> = query.atoms.iter().collect();
-    atoms.sort_by_key(|a| {
-        let base = match schema.predicate_kind(&a.predicate) {
-            Some(PredicateKind::Entity) => skeleton.entity_count(&a.predicate),
-            Some(PredicateKind::Relationship) => skeleton.relationship_count(&a.predicate),
-            None => usize::MAX,
-        };
-        let constants = a.terms.iter().filter(|t| matches!(t, Term::Const(_))).count();
-        // Heavily discount atoms with constants: they are typically selective.
-        base / (1 + constants * 8)
-    });
+/// Evaluate `query` over `skeleton`, reusing (and lazily extending) the
+/// secondary indexes in `cache`.
+///
+/// The caller is responsible for cache validity: the cache must have been
+/// created for (or revalidated against) the skeleton's current content.
+pub fn evaluate_in(
+    cache: &IndexCache,
+    schema: &RelationalSchema,
+    skeleton: &Skeleton,
+    query: &ConjunctiveQuery,
+) -> RelResult<Vec<Bindings>> {
+    let plan = plan_query(schema, skeleton, query)?;
+    Ok(execute(&plan, schema, skeleton, None, cache))
+}
 
+/// Evaluate `query` with equality `filters` over a full instance.
+///
+/// Filters implement CaRL's attribute equality comparisons natively: a
+/// binding survives iff every filter's arguments resolve and the instance
+/// assigns exactly the required value. Selective filters are pushed into
+/// the plan (attribute-index fetches replace scans); the rest are applied
+/// at the earliest step where their variables are bound. A filter whose
+/// variables the query never binds makes the result empty, matching the
+/// semantics of comparison post-filtering.
+pub fn evaluate_filtered(
+    cache: &IndexCache,
+    schema: &RelationalSchema,
+    instance: &Instance,
+    query: &ConjunctiveQuery,
+    filters: &[EqFilter],
+) -> RelResult<Vec<Bindings>> {
+    let plan = plan_query_filtered(schema, instance, cache, query, filters)?;
+    Ok(execute(
+        &plan,
+        schema,
+        instance.skeleton(),
+        Some(instance),
+        cache,
+    ))
+}
+
+/// Nested-loop reference evaluation: atoms in the order given, full scans
+/// only, no indexes, no reordering.
+///
+/// This is the semantic baseline the planned evaluator is differentially
+/// tested against, and the "naive" side of the grounding-scale benchmark.
+pub fn evaluate_naive(
+    schema: &RelationalSchema,
+    skeleton: &Skeleton,
+    query: &ConjunctiveQuery,
+) -> RelResult<Vec<Bindings>> {
+    // The exact validation the planner runs, shared so the two paths can
+    // never diverge on which queries they reject.
+    crate::plan::validate(schema, query)?;
     let mut partials: Vec<Bindings> = vec![Bindings::new()];
-    for atom in atoms {
+    for atom in &query.atoms {
         let mut next: Vec<Bindings> = Vec::new();
         for binding in &partials {
-            extend_with_atom(schema, skeleton, atom, binding, &mut next);
+            match schema.predicate_kind(&atom.predicate) {
+                Some(PredicateKind::Entity) => {
+                    for key in skeleton.entity_keys(&atom.predicate) {
+                        if let Some(ext) = unify(binding, &atom.terms, std::slice::from_ref(key)) {
+                            next.push(ext);
+                        }
+                    }
+                }
+                Some(PredicateKind::Relationship) => {
+                    for tuple in skeleton.relationship_tuples(&atom.predicate) {
+                        if let Some(ext) = unify(binding, &atom.terms, tuple) {
+                            next.push(ext);
+                        }
+                    }
+                }
+                None => {}
+            }
         }
         partials = next;
-        if partials.is_empty() {
-            break;
-        }
     }
     Ok(partials)
 }
@@ -106,81 +162,214 @@ pub fn evaluate_project(
     Ok(rows)
 }
 
-/// Extend a single partial binding with all matches of `atom`.
-fn extend_with_atom(
+/// Run a plan against a skeleton (and, when filters are present, the
+/// instance carrying the attribute assignments they consult).
+fn execute(
+    plan: &Plan,
     schema: &RelationalSchema,
     skeleton: &Skeleton,
-    atom: &Atom,
-    binding: &Bindings,
-    out: &mut Vec<Bindings>,
-) {
-    match schema.predicate_kind(&atom.predicate) {
-        Some(PredicateKind::Entity) => {
-            let term = &atom.terms[0];
-            match resolved(term, binding) {
-                Some(v) => {
-                    if skeleton.has_entity(&atom.predicate, &v) {
-                        out.push(binding.clone());
-                    }
-                }
-                None => {
-                    let var = term.as_var().expect("unresolved term must be a variable");
-                    for key in skeleton.entity_keys(&atom.predicate) {
-                        let mut b = binding.clone();
-                        b.insert(var.to_string(), key.clone());
-                        out.push(b);
-                    }
-                }
-            }
+    instance: Option<&Instance>,
+    cache: &IndexCache,
+) -> Vec<Bindings> {
+    if plan.unsatisfiable() {
+        return Vec::new();
+    }
+    let mut partials: Vec<Bindings> = vec![Bindings::new()];
+    apply_filters(plan, 0, instance, &mut partials);
+
+    for (i, step) in plan.steps.iter().enumerate() {
+        if partials.is_empty() {
+            break;
         }
-        Some(PredicateKind::Relationship) => {
-            // Pick the first already-resolved position to use the index;
-            // otherwise scan all tuples.
-            let resolved_terms: Vec<Option<Value>> =
-                atom.terms.iter().map(|t| resolved(t, binding)).collect();
-            let probe = resolved_terms.iter().position(Option::is_some);
-            let candidates: Vec<&Vec<Value>> = match probe {
-                Some(pos) => skeleton.relationship_tuples_with(
-                    &atom.predicate,
-                    pos,
-                    resolved_terms[pos].as_ref().expect("position chosen because resolved"),
-                ),
-                None => skeleton.relationship_tuples(&atom.predicate).iter().collect(),
-            };
-            'tuple: for tuple in candidates {
-                let mut b = binding.clone();
-                for (term, (resolved_v, tuple_v)) in atom
-                    .terms
+        let atom = &step.atom;
+        let mut next: Vec<Bindings> = Vec::new();
+        match &step.access {
+            Access::ScanEntity => {
+                let keys: Vec<&Value> = skeleton
+                    .entity_keys(&atom.predicate)
                     .iter()
-                    .zip(resolved_terms.iter().zip(tuple.iter()))
-                {
-                    match resolved_v {
-                        Some(v) => {
-                            if v != tuple_v {
-                                continue 'tuple;
+                    .filter(|key| semijoins_admit(skeleton, &step.semijoins, |_| *key))
+                    .collect();
+                for binding in &partials {
+                    for key in &keys {
+                        if let Some(ext) = unify(binding, &atom.terms, std::slice::from_ref(*key)) {
+                            next.push(ext);
+                        }
+                    }
+                }
+            }
+            Access::ProbeEntity => {
+                for binding in &partials {
+                    let key = resolve(&atom.terms[0], binding)
+                        .expect("planner chose a probe because the term is bound");
+                    if skeleton.has_entity(&atom.predicate, &key) {
+                        next.push(binding.clone());
+                    }
+                }
+            }
+            Access::ScanRelationship => {
+                // Arity-violating tuples (possible via the raw `Skeleton`
+                // API) can never unify; drop them before the semi-join
+                // passes index into them.
+                let tuples: Vec<&Vec<Value>> = skeleton
+                    .relationship_tuples(&atom.predicate)
+                    .iter()
+                    .filter(|t| t.len() == atom.terms.len())
+                    .filter(|t| semijoins_admit(skeleton, &step.semijoins, |p| &t[p]))
+                    .collect();
+                for binding in &partials {
+                    for tuple in &tuples {
+                        if let Some(ext) = unify(binding, &atom.terms, tuple) {
+                            next.push(ext);
+                        }
+                    }
+                }
+            }
+            Access::ProbeRelationship { positions } => {
+                if let [position] = positions.as_slice() {
+                    // Single-position probes use the skeleton's eagerly
+                    // maintained index directly.
+                    for binding in &partials {
+                        let key = resolve(&atom.terms[*position], binding)
+                            .expect("planner chose the position because it is bound");
+                        for tuple in
+                            skeleton.relationship_tuples_with(&atom.predicate, *position, &key)
+                        {
+                            if let Some(ext) = unify(binding, &atom.terms, tuple) {
+                                next.push(ext);
                             }
                         }
-                        None => {
-                            let var = term.as_var().expect("unresolved term must be a variable");
-                            match b.get(var) {
-                                Some(existing) if existing != tuple_v => continue 'tuple,
-                                Some(_) => {}
-                                None => {
-                                    b.insert(var.to_string(), tuple_v.clone());
-                                }
+                    }
+                } else {
+                    let index = cache.relationship_index(skeleton, &atom.predicate, positions);
+                    let table = skeleton.relationship_tuples(&atom.predicate);
+                    for binding in &partials {
+                        let key: Vec<Value> = positions
+                            .iter()
+                            .map(|&p| {
+                                resolve(&atom.terms[p], binding)
+                                    .expect("planner chose the position because it is bound")
+                            })
+                            .collect();
+                        for &row in index.rows(&key) {
+                            if let Some(ext) = unify(binding, &atom.terms, &table[row]) {
+                                next.push(ext);
                             }
                         }
                     }
                 }
-                out.push(b);
+            }
+            Access::ProbeAttribute { filter } => {
+                let inst = instance
+                    .expect("planner only emits attribute fetches when an instance is available");
+                let flt = &plan.filters[*filter];
+                let index = cache.attribute_index(inst, &flt.attr);
+                // Attribute assignments are not guaranteed to reference
+                // existing units, so intersect with the skeleton.
+                let units: Vec<&Vec<Value>> = index
+                    .units(&flt.value)
+                    .iter()
+                    .filter(|unit| match schema.predicate_kind(&atom.predicate) {
+                        Some(PredicateKind::Entity) => {
+                            unit.len() == 1 && skeleton.has_entity(&atom.predicate, &unit[0])
+                        }
+                        Some(PredicateKind::Relationship) => {
+                            skeleton.has_relationship(&atom.predicate, unit)
+                        }
+                        None => false,
+                    })
+                    .collect();
+                for binding in &partials {
+                    for unit in &units {
+                        if let Some(ext) = unify(binding, &atom.terms, unit) {
+                            next.push(ext);
+                        }
+                    }
+                }
             }
         }
-        None => {}
+        partials = next;
+        apply_filters(plan, i + 1, instance, &mut partials);
+    }
+    partials
+}
+
+/// Retain only bindings satisfying every filter pinned to step `after`.
+fn apply_filters(
+    plan: &Plan,
+    after: usize,
+    instance: Option<&Instance>,
+    partials: &mut Vec<Bindings>,
+) {
+    for (flt, ready) in plan.filters.iter().zip(&plan.filter_after) {
+        if *ready != Some(after) {
+            continue;
+        }
+        let Some(instance) = instance else {
+            partials.clear();
+            return;
+        };
+        partials.retain(|binding| filter_holds(flt, binding, instance));
     }
 }
 
+/// Whether a binding satisfies an equality filter (missing assignments
+/// never satisfy).
+fn filter_holds(filter: &EqFilter, binding: &Bindings, instance: &Instance) -> bool {
+    let key: Option<Vec<Value>> = filter.args.iter().map(|t| resolve(t, binding)).collect();
+    match key {
+        Some(key) => instance.attribute(&filter.attr, &key) == Some(&filter.value),
+        None => false,
+    }
+}
+
+/// Whether a candidate passes every semi-join pass; `value_at` maps a
+/// pruned position to the candidate's value there.
+fn semijoins_admit<'a>(
+    skeleton: &Skeleton,
+    semijoins: &[SemiJoin],
+    value_at: impl Fn(usize) -> &'a Value,
+) -> bool {
+    semijoins.iter().all(|sj| {
+        let value = value_at(sj.position);
+        match sj.source_kind {
+            PredicateKind::Entity => skeleton.has_entity(&sj.source_predicate, value),
+            PredicateKind::Relationship => {
+                skeleton.contains_at(&sj.source_predicate, sj.source_position, value)
+            }
+        }
+    })
+}
+
+/// Unify an atom's terms with a concrete tuple under `binding`, returning
+/// the extended binding on success. Handles constants, already-bound
+/// variables and repeated variables within the atom.
+fn unify(binding: &Bindings, terms: &[Term], tuple: &[Value]) -> Option<Bindings> {
+    if terms.len() != tuple.len() {
+        return None;
+    }
+    let mut extended = binding.clone();
+    for (term, value) in terms.iter().zip(tuple) {
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    return None;
+                }
+            }
+            Term::Var(v) => match extended.get(v) {
+                Some(bound) if bound != value => return None,
+                Some(_) => {}
+                None => {
+                    extended.insert(v.clone(), value.clone());
+                }
+            },
+        }
+    }
+    Some(extended)
+}
+
 /// Resolve a term to a value given the current binding, if possible.
-fn resolved(term: &Term, binding: &Bindings) -> Option<Value> {
+fn resolve(term: &Term, binding: &Bindings) -> Option<Value> {
     match term {
         Term::Const(v) => Some(v.clone()),
         Term::Var(name) => binding.get(name).cloned(),
@@ -196,6 +385,21 @@ mod tests {
     fn setup() -> (RelationalSchema, Skeleton) {
         let inst = Instance::review_example();
         (inst.schema().clone(), inst.skeleton().clone())
+    }
+
+    /// Canonicalise for multiset comparison.
+    fn canonical(bindings: Vec<Bindings>) -> Vec<Vec<(String, String)>> {
+        let mut rows: Vec<Vec<(String, String)>> = bindings
+            .into_iter()
+            .map(|b| {
+                let mut row: Vec<(String, String)> =
+                    b.into_iter().map(|(k, v)| (k, v.key_repr())).collect();
+                row.sort();
+                row
+            })
+            .collect();
+        rows.sort();
+        rows
     }
 
     #[test]
@@ -248,7 +452,6 @@ mod tests {
     #[test]
     fn repeated_variables_enforce_equality() {
         let (schema, sk) = setup();
-        // Author(A, S), Author(B, S), A != B is not expressible, but
         // Author(A, S), Author(A, S) must not blow up the answer count.
         let q = ConjunctiveQuery::new(vec![
             Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
@@ -286,9 +489,23 @@ mod tests {
     fn unknown_predicate_and_bad_arity_error() {
         let (schema, sk) = setup();
         let q = ConjunctiveQuery::new(vec![Atom::new("Nope", vec![Term::var("X")])]);
-        assert!(matches!(evaluate(&schema, &sk, &q), Err(RelError::UnknownPredicate(_))));
+        assert!(matches!(
+            evaluate(&schema, &sk, &q),
+            Err(RelError::UnknownPredicate(_))
+        ));
+        assert!(matches!(
+            evaluate_naive(&schema, &sk, &q),
+            Err(RelError::UnknownPredicate(_))
+        ));
         let q = ConjunctiveQuery::new(vec![Atom::new("Author", vec![Term::var("X")])]);
-        assert!(matches!(evaluate(&schema, &sk, &q), Err(RelError::ArityMismatch { .. })));
+        assert!(matches!(
+            evaluate(&schema, &sk, &q),
+            Err(RelError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            evaluate_naive(&schema, &sk, &q),
+            Err(RelError::ArityMismatch { .. })
+        ));
     }
 
     #[test]
@@ -297,5 +514,159 @@ mod tests {
         let q = ConjunctiveQuery::new(vec![Atom::new("Person", vec![Term::var("A")])]);
         let err = evaluate_project(&schema, &sk, &q, &["Z".to_string()]).unwrap_err();
         assert!(matches!(err, RelError::MalformedQuery(_)));
+    }
+
+    #[test]
+    fn planned_matches_naive_on_the_paper_example() {
+        let (schema, sk) = setup();
+        for q in [
+            ConjunctiveQuery::truth(),
+            ConjunctiveQuery::new(vec![Atom::new("Person", vec![Term::var("A")])]),
+            ConjunctiveQuery::new(vec![
+                Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+                Atom::new("Submitted", vec![Term::var("S"), Term::var("C")]),
+                Atom::new("Person", vec![Term::var("A")]),
+            ]),
+            ConjunctiveQuery::new(vec![
+                Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+                Atom::new("Author", vec![Term::var("B"), Term::var("S")]),
+            ]),
+        ] {
+            let fast = evaluate(&schema, &sk, &q).unwrap();
+            let slow = evaluate_naive(&schema, &sk, &q).unwrap();
+            assert_eq!(canonical(fast), canonical(slow), "query {q}");
+        }
+    }
+
+    #[test]
+    fn shared_cache_reuse_is_consistent() {
+        let inst = Instance::review_example();
+        let cache = IndexCache::for_instance(&inst);
+        let q = ConjunctiveQuery::new(vec![
+            Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+            Atom::new("Author", vec![Term::var("A"), Term::var("T")]),
+            Atom::new("Submitted", vec![Term::var("T"), Term::var("C")]),
+        ]);
+        let first = evaluate_in(&cache, inst.schema(), inst.skeleton(), &q).unwrap();
+        let second = evaluate_in(&cache, inst.schema(), inst.skeleton(), &q).unwrap();
+        assert_eq!(canonical(first.clone()), canonical(second));
+        let fresh = evaluate(inst.schema(), inst.skeleton(), &q).unwrap();
+        assert_eq!(canonical(first), canonical(fresh));
+    }
+
+    #[test]
+    fn filtered_evaluation_matches_post_hoc_filtering() {
+        let inst = Instance::review_example();
+        let cache = IndexCache::for_instance(&inst);
+        let q = ConjunctiveQuery::new(vec![
+            Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+            Atom::new("Submitted", vec![Term::var("S"), Term::var("C")]),
+        ]);
+        let filters = vec![EqFilter {
+            attr: "Blind".into(),
+            args: vec![Term::var("C")],
+            value: Value::Bool(true),
+        }];
+        let filtered = evaluate_filtered(&cache, inst.schema(), &inst, &q, &filters).unwrap();
+        let post: Vec<Bindings> = evaluate(inst.schema(), inst.skeleton(), &q)
+            .unwrap()
+            .into_iter()
+            .filter(|b| {
+                inst.attribute("Blind", std::slice::from_ref(&b["C"])) == Some(&Value::Bool(true))
+            })
+            .collect();
+        // s2 and s3 are at the double-blind ConfAI: three authorships.
+        assert_eq!(filtered.len(), 3);
+        assert_eq!(canonical(filtered), canonical(post));
+    }
+
+    #[test]
+    fn filters_on_unbound_variables_empty_the_result() {
+        let inst = Instance::review_example();
+        let cache = IndexCache::for_instance(&inst);
+        let q = ConjunctiveQuery::new(vec![Atom::new("Person", vec![Term::var("A")])]);
+        let filters = vec![EqFilter {
+            attr: "Blind".into(),
+            args: vec![Term::var("Z")],
+            value: Value::Bool(true),
+        }];
+        let answers = evaluate_filtered(&cache, inst.schema(), &inst, &q, &filters).unwrap();
+        assert!(answers.is_empty());
+    }
+
+    #[test]
+    fn constant_only_filters_gate_the_whole_query() {
+        let inst = Instance::review_example();
+        let cache = IndexCache::for_instance(&inst);
+        let q = ConjunctiveQuery::new(vec![Atom::new("Person", vec![Term::var("A")])]);
+        let hold = vec![EqFilter {
+            attr: "Blind".into(),
+            args: vec![Term::constant("ConfAI")],
+            value: Value::Bool(true),
+        }];
+        assert_eq!(
+            evaluate_filtered(&cache, inst.schema(), &inst, &q, &hold)
+                .unwrap()
+                .len(),
+            3
+        );
+        let fail = vec![EqFilter {
+            attr: "Blind".into(),
+            args: vec![Term::constant("ConfAI")],
+            value: Value::Bool(false),
+        }];
+        assert!(evaluate_filtered(&cache, inst.schema(), &inst, &q, &fail)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn arity_violating_tuples_do_not_panic_the_executor() {
+        // The raw `Skeleton` API does not enforce arity; tuples shorter
+        // than the schema arity must be handled like the naive evaluator
+        // handles them (they unify with nothing) instead of panicking in
+        // index construction or semi-join pruning.
+        let schema = RelationalSchema::review_example();
+        let mut sk = Skeleton::new();
+        sk.add_entity("Person", Value::from("Bob"));
+        sk.add_entity("Submission", Value::from("s1"));
+        sk.add_relationship("Author", vec![Value::from("Bob")]); // too short
+        sk.add_relationship("Author", vec![Value::from("Bob"), Value::from("s1")]);
+        sk.add_relationship("Submitted", vec![Value::from("s1")]); // too short
+        for q in [
+            // Two bound positions: composite-index probe.
+            ConjunctiveQuery::new(vec![Atom::new(
+                "Author",
+                vec![Term::constant("Bob"), Term::constant("s1")],
+            )]),
+            // Scan with semi-join pruning over the short tuple.
+            ConjunctiveQuery::new(vec![
+                Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+                Atom::new("Submitted", vec![Term::var("S"), Term::var("C")]),
+            ]),
+        ] {
+            let fast = evaluate(&schema, &sk, &q).unwrap();
+            let slow = evaluate_naive(&schema, &sk, &q).unwrap();
+            assert_eq!(canonical(fast), canonical(slow), "query {q}");
+        }
+    }
+
+    #[test]
+    fn attribute_fetch_ignores_assignments_for_missing_units() {
+        // set_attribute does not require the unit to exist in the skeleton;
+        // an attribute-index fetch must not resurrect such phantom units.
+        let mut inst = Instance::review_example();
+        inst.set_attribute("Prestige", &[Value::from("Ghost")], Value::Int(0))
+            .unwrap();
+        let cache = IndexCache::for_instance(&inst);
+        let q = ConjunctiveQuery::new(vec![Atom::new("Person", vec![Term::var("A")])]);
+        let filters = vec![EqFilter {
+            attr: "Prestige".into(),
+            args: vec![Term::var("A")],
+            value: Value::Int(0),
+        }];
+        let answers = evaluate_filtered(&cache, inst.schema(), &inst, &q, &filters).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0]["A"], Value::from("Carlos"));
     }
 }

@@ -1,0 +1,307 @@
+//! Lazily built, cached secondary hash indexes over skeletons and
+//! attribute tables.
+//!
+//! The skeleton maintains single-position indexes eagerly (they are cheap
+//! and universally useful). Everything beyond that — composite indexes over
+//! several key positions at once, and equality indexes over attribute
+//! assignments — is built on demand by an [`IndexCache`] the first time a
+//! query plan probes it, then reused by every later query over the same
+//! instance.
+//!
+//! Invalidation is by content fingerprint: a cache remembers the
+//! [`Skeleton::fingerprint`] / [`Instance::fingerprint`] it was built
+//! against, and [`IndexCache::revalidate`] drops every index when the
+//! content has changed. The engine constructs one cache per (immutable)
+//! instance, so in steady state indexes are built exactly once.
+
+use crate::instance::Instance;
+use crate::skeleton::{Skeleton, UnitKey};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A hash index over the tuples of one relationship, keyed by the values at
+/// a fixed set of positions.
+///
+/// `positions` is sorted and deduplicated; bucket keys are the tuple values
+/// at those positions, in the same order. Buckets store row indexes into
+/// [`Skeleton::relationship_tuples`], in insertion order, so probe results
+/// are deterministic.
+#[derive(Debug)]
+pub struct CompositeIndex {
+    positions: Vec<usize>,
+    buckets: HashMap<Vec<Value>, Vec<usize>>,
+}
+
+impl CompositeIndex {
+    /// Build the index for `rel` over `positions` (sorted). Tuples too
+    /// short to have every indexed position are skipped: `Skeleton` does
+    /// not enforce arity, and such tuples can never unify with a
+    /// schema-arity atom anyway.
+    fn build(skeleton: &Skeleton, rel: &str, positions: &[usize]) -> Self {
+        let mut buckets: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (row, tuple) in skeleton.relationship_tuples(rel).iter().enumerate() {
+            if positions.iter().any(|&p| p >= tuple.len()) {
+                continue;
+            }
+            let key: Vec<Value> = positions.iter().map(|&p| tuple[p].clone()).collect();
+            buckets.entry(key).or_default().push(row);
+        }
+        Self {
+            positions: positions.to_vec(),
+            buckets,
+        }
+    }
+
+    /// The positions this index is keyed on.
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+
+    /// Row indexes whose values at the indexed positions equal `key`.
+    pub fn rows(&self, key: &[Value]) -> &[usize] {
+        self.buckets.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct composite keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+/// An equality index over one attribute's assignments: value → unit keys
+/// carrying that value.
+///
+/// Buckets are sorted by unit key so iteration order is deterministic
+/// across processes (the underlying assignment map is a `HashMap`).
+#[derive(Debug)]
+pub struct AttributeIndex {
+    buckets: HashMap<Value, Vec<UnitKey>>,
+}
+
+impl AttributeIndex {
+    fn build(instance: &Instance, attr: &str) -> Self {
+        let mut buckets: HashMap<Value, Vec<UnitKey>> = HashMap::new();
+        for (key, value) in instance.attribute_assignments(attr) {
+            buckets.entry(value.clone()).or_default().push(key.clone());
+        }
+        for bucket in buckets.values_mut() {
+            bucket.sort();
+        }
+        Self { buckets }
+    }
+
+    /// Unit keys whose attribute value equals `value` (sorted).
+    pub fn units(&self, value: &Value) -> &[UnitKey] {
+        self.buckets.get(value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of units carrying `value`.
+    pub fn cardinality(&self, value: &Value) -> usize {
+        self.buckets.get(value).map_or(0, Vec::len)
+    }
+}
+
+/// Counters describing how an [`IndexCache`] has been used.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexCacheStats {
+    /// Number of indexes built (cache misses).
+    pub builds: usize,
+    /// Number of index requests served from the cache (hits).
+    pub hits: usize,
+    /// Number of invalidations triggered by a fingerprint change.
+    pub invalidations: usize,
+}
+
+/// Key of a cached composite index: (relationship name, sorted positions).
+type CompositeKey = (String, Vec<usize>);
+
+/// A fingerprint-validated cache of lazily built secondary indexes.
+///
+/// Shareable across threads (`&self` everywhere, internal locking); clones
+/// of an engine share one cache via `Arc`.
+#[derive(Debug)]
+pub struct IndexCache {
+    /// Fingerprint of the content the indexes were built from.
+    fingerprint: Mutex<u64>,
+    composite: Mutex<HashMap<CompositeKey, Arc<CompositeIndex>>>,
+    attribute: Mutex<HashMap<String, Arc<AttributeIndex>>>,
+    builds: AtomicUsize,
+    hits: AtomicUsize,
+    invalidations: AtomicUsize,
+}
+
+impl IndexCache {
+    /// An empty cache bound to an explicit content fingerprint (typically
+    /// [`Instance::fingerprint`], already computed by the caller).
+    pub fn with_fingerprint(fingerprint: u64) -> Self {
+        Self {
+            fingerprint: Mutex::new(fingerprint),
+            composite: Mutex::new(HashMap::new()),
+            attribute: Mutex::new(HashMap::new()),
+            builds: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+            invalidations: AtomicUsize::new(0),
+        }
+    }
+
+    /// An empty cache bound to `instance`'s content fingerprint.
+    pub fn for_instance(instance: &Instance) -> Self {
+        Self::with_fingerprint(instance.fingerprint())
+    }
+
+    /// An empty cache bound to `skeleton`'s content fingerprint (no
+    /// attribute indexes will be consistent with an instance's attributes;
+    /// use [`IndexCache::for_instance`] when filters are involved).
+    pub fn for_skeleton(skeleton: &Skeleton) -> Self {
+        Self::with_fingerprint(skeleton.fingerprint())
+    }
+
+    /// Drop every cached index if `fingerprint` differs from the one the
+    /// cache was built against, and rebind to the new fingerprint. Returns
+    /// whether an invalidation happened.
+    pub fn revalidate(&self, fingerprint: u64) -> bool {
+        let mut current = self
+            .fingerprint
+            .lock()
+            .expect("index cache fingerprint lock");
+        if *current == fingerprint {
+            return false;
+        }
+        *current = fingerprint;
+        self.composite.lock().expect("composite index lock").clear();
+        self.attribute.lock().expect("attribute index lock").clear();
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// The fingerprint the cached indexes are valid for.
+    pub fn fingerprint(&self) -> u64 {
+        *self
+            .fingerprint
+            .lock()
+            .expect("index cache fingerprint lock")
+    }
+
+    /// The composite index of `rel` over `positions` (sorted), building it
+    /// on first request.
+    pub fn relationship_index(
+        &self,
+        skeleton: &Skeleton,
+        rel: &str,
+        positions: &[usize],
+    ) -> Arc<CompositeIndex> {
+        let key = (rel.to_string(), positions.to_vec());
+        let mut map = self.composite.lock().expect("composite index lock");
+        if let Some(hit) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        let built = Arc::new(CompositeIndex::build(skeleton, rel, positions));
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        map.insert(key, Arc::clone(&built));
+        built
+    }
+
+    /// The equality index of attribute `attr`, building it on first request.
+    pub fn attribute_index(&self, instance: &Instance, attr: &str) -> Arc<AttributeIndex> {
+        let mut map = self.attribute.lock().expect("attribute index lock");
+        if let Some(hit) = map.get(attr) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        let built = Arc::new(AttributeIndex::build(instance, attr));
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        map.insert(attr.to_string(), Arc::clone(&built));
+        built
+    }
+
+    /// Usage counters (builds, hits, invalidations).
+    pub fn stats(&self) -> IndexCacheStats {
+        IndexCacheStats {
+            builds: self.builds.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composite_index_probes_multi_position_keys() {
+        let inst = Instance::review_example();
+        let cache = IndexCache::for_instance(&inst);
+        let idx = cache.relationship_index(inst.skeleton(), "Author", &[0, 1]);
+        let rows = idx.rows(&[Value::from("Eva"), Value::from("s2")]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(
+            inst.skeleton().relationship_tuples("Author")[rows[0]],
+            vec![Value::from("Eva"), Value::from("s2")]
+        );
+        assert!(idx
+            .rows(&[Value::from("Bob"), Value::from("s3")])
+            .is_empty());
+        assert_eq!(idx.distinct_keys(), 5);
+        assert_eq!(idx.positions(), &[0, 1]);
+    }
+
+    #[test]
+    fn indexes_are_built_once_and_hit_afterwards() {
+        let inst = Instance::review_example();
+        let cache = IndexCache::for_instance(&inst);
+        assert_eq!(cache.stats(), IndexCacheStats::default());
+        cache.relationship_index(inst.skeleton(), "Author", &[0, 1]);
+        cache.relationship_index(inst.skeleton(), "Author", &[0, 1]);
+        cache.attribute_index(&inst, "Blind");
+        cache.attribute_index(&inst, "Blind");
+        let stats = cache.stats();
+        assert_eq!(stats.builds, 2);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.invalidations, 0);
+    }
+
+    #[test]
+    fn attribute_index_buckets_are_sorted_and_complete() {
+        let inst = Instance::review_example();
+        let cache = IndexCache::for_instance(&inst);
+        let idx = cache.attribute_index(&inst, "Prestige");
+        // Bob and Eva are prestigious (1), Carlos is not (0).
+        let prestigious = idx.units(&Value::Int(1));
+        assert_eq!(
+            prestigious,
+            &[vec![Value::from("Bob")], vec![Value::from("Eva")]]
+        );
+        assert_eq!(idx.cardinality(&Value::Int(0)), 1);
+        assert_eq!(idx.cardinality(&Value::Int(7)), 0);
+    }
+
+    #[test]
+    fn revalidation_drops_stale_indexes() {
+        let mut inst = Instance::review_example();
+        let cache = IndexCache::for_instance(&inst);
+        let idx = cache.relationship_index(inst.skeleton(), "Author", &[0, 1]);
+        assert_eq!(
+            idx.rows(&[Value::from("Carlos"), Value::from("s1")]).len(),
+            0
+        );
+
+        inst.add_relationship("Author", vec![Value::from("Carlos"), Value::from("s1")])
+            .unwrap();
+        assert!(cache.revalidate(inst.fingerprint()));
+        assert!(
+            !cache.revalidate(inst.fingerprint()),
+            "second call is a no-op"
+        );
+        let idx = cache.relationship_index(inst.skeleton(), "Author", &[0, 1]);
+        assert_eq!(
+            idx.rows(&[Value::from("Carlos"), Value::from("s1")]).len(),
+            1
+        );
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.fingerprint(), inst.fingerprint());
+    }
+}

@@ -201,26 +201,38 @@ impl Instance {
         // Authors table.
         for (person, prestige, qual) in [("Bob", 1, 50.0), ("Carlos", 0, 20.0), ("Eva", 1, 2.0)] {
             inst.add_entity("Person", Value::from(person)).unwrap();
-            inst.set_attribute("Prestige", &[Value::from(person)], Value::Int(prestige)).unwrap();
-            inst.set_attribute("Qualification", &[Value::from(person)], Value::Float(qual)).unwrap();
+            inst.set_attribute("Prestige", &[Value::from(person)], Value::Int(prestige))
+                .unwrap();
+            inst.set_attribute("Qualification", &[Value::from(person)], Value::Float(qual))
+                .unwrap();
         }
         // Submissions table.
         for (sub, score) in [("s1", 0.75), ("s2", 0.4), ("s3", 0.1)] {
             inst.add_entity("Submission", Value::from(sub)).unwrap();
-            inst.set_attribute("Score", &[Value::from(sub)], Value::Float(score)).unwrap();
+            inst.set_attribute("Score", &[Value::from(sub)], Value::Float(score))
+                .unwrap();
         }
         // Conferences table (Single = blind 0 / treated as not double blind).
         for (conf, double_blind) in [("ConfDB", false), ("ConfAI", true)] {
             inst.add_entity("Conference", Value::from(conf)).unwrap();
-            inst.set_attribute("Blind", &[Value::from(conf)], Value::Bool(double_blind)).unwrap();
+            inst.set_attribute("Blind", &[Value::from(conf)], Value::Bool(double_blind))
+                .unwrap();
         }
         // Authorship table.
-        for (a, s) in [("Bob", "s1"), ("Eva", "s1"), ("Eva", "s2"), ("Eva", "s3"), ("Carlos", "s3")] {
-            inst.add_relationship("Author", vec![Value::from(a), Value::from(s)]).unwrap();
+        for (a, s) in [
+            ("Bob", "s1"),
+            ("Eva", "s1"),
+            ("Eva", "s2"),
+            ("Eva", "s3"),
+            ("Carlos", "s3"),
+        ] {
+            inst.add_relationship("Author", vec![Value::from(a), Value::from(s)])
+                .unwrap();
         }
         // Submitted table.
         for (s, c) in [("s1", "ConfDB"), ("s2", "ConfAI"), ("s3", "ConfAI")] {
-            inst.add_relationship("Submitted", vec![Value::from(s), Value::from(c)]).unwrap();
+            inst.add_relationship("Submitted", vec![Value::from(s), Value::from(c)])
+                .unwrap();
         }
         inst
     }
@@ -258,7 +270,11 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, RelError::DomainMismatch { .. }));
         let err = inst
-            .set_attribute("Score", &[Value::from("s1"), Value::from("x")], Value::Float(0.5))
+            .set_attribute(
+                "Score",
+                &[Value::from("s1"), Value::from("x")],
+                Value::Float(0.5),
+            )
             .unwrap_err();
         assert!(matches!(err, RelError::ArityMismatch { .. }));
         let err = inst
@@ -290,7 +306,10 @@ mod tests {
     #[test]
     fn attribute_f64_coerces() {
         let inst = Instance::review_example();
-        assert_eq!(inst.attribute_f64("Prestige", &[Value::from("Bob")]), Some(1.0));
+        assert_eq!(
+            inst.attribute_f64("Prestige", &[Value::from("Bob")]),
+            Some(1.0)
+        );
         assert_eq!(inst.attribute_f64("Quality", &[Value::from("s1")]), None);
     }
 
@@ -320,7 +339,10 @@ mod tests {
         rescored
             .set_attribute("Score", &[Value::from("s1")], Value::Float(0.9))
             .unwrap();
-        assert_eq!(rescored.skeleton().fingerprint(), inst.skeleton().fingerprint());
+        assert_eq!(
+            rescored.skeleton().fingerprint(),
+            inst.skeleton().fingerprint()
+        );
         assert_ne!(rescored.fingerprint(), fp);
     }
 }

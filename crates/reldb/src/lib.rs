@@ -12,7 +12,8 @@
 //! * instances consisting of a *relational skeleton* (the grounded entities
 //!   and relationship tuples) plus attribute assignments
 //!   ([`Instance`], [`Skeleton`]),
-//! * conjunctive-query evaluation with hash joins ([`query`], [`eval`]),
+//! * planned conjunctive-query evaluation with hash joins ([`query`],
+//!   [`plan`], [`eval`]) over lazily built secondary indexes ([`index`]),
 //!   used to ground relational causal rules,
 //! * group-by aggregation ([`aggregate`]) used by aggregate rules and by the
 //!   embedding functions,
@@ -55,7 +56,9 @@ pub mod aggregate;
 pub mod csv;
 pub mod error;
 pub mod eval;
+pub mod index;
 pub mod instance;
+pub mod plan;
 pub mod query;
 pub mod schema;
 pub mod skeleton;
@@ -65,10 +68,16 @@ pub mod value;
 
 pub use aggregate::{group_by, AggFn};
 pub use error::{RelError, RelResult};
-pub use eval::{evaluate, Bindings};
+pub use eval::{
+    evaluate, evaluate_filtered, evaluate_in, evaluate_naive, evaluate_project, Bindings,
+};
+pub use index::{IndexCache, IndexCacheStats};
 pub use instance::Instance;
+pub use plan::{plan_query, plan_query_filtered, Access, EqFilter, Plan, PlanStep, SemiJoin};
 pub use query::{Atom, ConjunctiveQuery, Term};
-pub use schema::{AttributeDef, DomainType, EntityDef, PredicateKind, RelationalSchema, RelationshipDef};
+pub use schema::{
+    AttributeDef, DomainType, EntityDef, PredicateKind, RelationalSchema, RelationshipDef,
+};
 pub use skeleton::{Skeleton, UnitKey};
 pub use table::{Column, Table};
 pub use universal::universal_table;

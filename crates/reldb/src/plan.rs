@@ -1,0 +1,636 @@
+//! Cost-based planning of conjunctive queries.
+//!
+//! Grounding a relational causal rule evaluates its `WHERE` condition — a
+//! conjunctive query — over the skeleton. The planner turns the query into
+//! an explicit, inspectable [`Plan`]: a greedy most-selective-first join
+//! order in which every atom is annotated with an access path (full scan,
+//! positional hash probe, or attribute-index fetch), scans are annotated
+//! with semi-join pruning passes against co-occurring atoms, and equality
+//! filters are pinned to the earliest step at which their variables are
+//! bound.
+//!
+//! The cost model is deliberately simple and fully deterministic: an atom's
+//! estimated output is its relation cardinality discounted by the distinct
+//! count of every already-bound position (independence assumption). Ties
+//! break on the original atom order, so the same query over the same
+//! skeleton always produces the same plan — which is what makes the plan
+//! snapshot tests meaningful.
+
+use crate::error::{RelError, RelResult};
+use crate::index::IndexCache;
+use crate::instance::Instance;
+use crate::query::{Atom, ConjunctiveQuery, Term};
+use crate::schema::{PredicateKind, RelationalSchema};
+use crate::skeleton::Skeleton;
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An equality restriction `Attr[args] = value` evaluated against the
+/// instance's attribute assignments during query execution.
+///
+/// Filters subsume the equality comparisons of CaRL `WHERE` clauses: a
+/// binding satisfies the filter iff every argument resolves and the
+/// instance assigns exactly `value` to the resolved unit (missing
+/// assignments never satisfy a filter).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EqFilter {
+    /// Attribute name.
+    pub attr: String,
+    /// Argument terms identifying the unit.
+    pub args: Vec<Term>,
+    /// Required attribute value.
+    pub value: Value,
+}
+
+impl fmt::Display for EqFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let args: Vec<String> = self.args.iter().map(|t| t.to_string()).collect();
+        write!(
+            f,
+            "{}[{}] = {}",
+            self.attr,
+            args.join(", "),
+            fmt_value(&self.value)
+        )
+    }
+}
+
+/// Render a value as it would appear in surface syntax (strings quoted).
+fn fmt_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("\"{s}\""),
+        other => other.to_string(),
+    }
+}
+
+/// How one atom's candidate tuples are produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Access {
+    /// Enumerate every key of an entity class.
+    ScanEntity,
+    /// O(1) membership check of an already-bound key in an entity class.
+    ProbeEntity,
+    /// Enumerate every tuple of a relationship.
+    ScanRelationship,
+    /// Hash-probe the relationship on the given (sorted) bound positions.
+    ProbeRelationship {
+        /// Tuple positions whose values are known when the step runs.
+        positions: Vec<usize>,
+    },
+    /// Enumerate the units carrying a required attribute value, via the
+    /// attribute equality index (`filter` indexes into [`Plan::filters`]).
+    ProbeAttribute {
+        /// Index of the filter supplying attribute and value.
+        filter: usize,
+    },
+}
+
+/// A semi-join pruning pass applied to a scanned atom: candidate tuples
+/// whose value at `position` does not appear in the source predicate's
+/// column can never join, and are dropped before the join runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemiJoin {
+    /// Position of the scanned atom being pruned.
+    pub position: usize,
+    /// Variable shared with the source atom.
+    pub var: String,
+    /// Predicate providing the pruning column.
+    pub source_predicate: String,
+    /// Column of the source predicate (0 for entities).
+    pub source_position: usize,
+    /// Whether the source is an entity class or a relationship.
+    pub source_kind: PredicateKind,
+}
+
+/// One step of a [`Plan`]: an atom, its access path, pruning passes and the
+/// planner's output-size estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanStep {
+    /// The atom evaluated by this step.
+    pub atom: Atom,
+    /// Access path.
+    pub access: Access,
+    /// Estimated number of matching tuples (per partial binding for
+    /// probes, total for scans).
+    pub est_rows: f64,
+    /// Semi-join pruning passes (scans only).
+    pub semijoins: Vec<SemiJoin>,
+}
+
+/// An executable, inspectable evaluation plan for a conjunctive query with
+/// optional equality filters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Ordered steps (one per query atom).
+    pub steps: Vec<PlanStep>,
+    /// Equality filters to enforce.
+    pub filters: Vec<EqFilter>,
+    /// For each filter, the step count after which all its variables are
+    /// bound (0 = before the first step, for constant-only filters);
+    /// `None` when some variable is never bound by the query, which makes
+    /// the query unsatisfiable under CaRL's comparison semantics.
+    pub filter_after: Vec<Option<usize>>,
+}
+
+impl Plan {
+    /// Whether a filter references a variable the query never binds (such
+    /// queries have no answers).
+    pub fn unsatisfiable(&self) -> bool {
+        self.filter_after.iter().any(Option::is_none)
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let query: Vec<String> = self.steps.iter().map(|s| s.atom.to_string()).collect();
+        if query.is_empty() {
+            writeln!(f, "plan for true")?;
+        } else {
+            writeln!(f, "plan for {}", query.join(", "))?;
+        }
+        for (i, step) in self.steps.iter().enumerate() {
+            let est = format!("[~{} rows]", step.est_rows.round());
+            match &step.access {
+                Access::ScanEntity | Access::ScanRelationship => {
+                    writeln!(f, "  {}. scan {} {est}", i + 1, step.atom)?;
+                }
+                Access::ProbeEntity => {
+                    writeln!(f, "  {}. check {} {est}", i + 1, step.atom)?;
+                }
+                Access::ProbeRelationship { positions } => {
+                    let pos: Vec<String> = positions.iter().map(usize::to_string).collect();
+                    writeln!(
+                        f,
+                        "  {}. probe {} via ({}) {est}",
+                        i + 1,
+                        step.atom,
+                        pos.join(", ")
+                    )?;
+                }
+                Access::ProbeAttribute { filter } => {
+                    writeln!(
+                        f,
+                        "  {}. fetch {} from {} {est}",
+                        i + 1,
+                        step.atom,
+                        self.filters[*filter]
+                    )?;
+                }
+            }
+            for sj in &step.semijoins {
+                writeln!(
+                    f,
+                    "       semi-join: {} in {}.{}",
+                    sj.var, sj.source_predicate, sj.source_position
+                )?;
+            }
+        }
+        for (filter, after) in self.filters.iter().zip(&self.filter_after) {
+            match after {
+                Some(0) => writeln!(f, "  filter {filter} (before step 1)")?,
+                Some(k) => writeln!(f, "  filter {filter} (after step {k})")?,
+                None => writeln!(f, "  filter {filter} (never bound: no answers)")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Plan `query` over `skeleton` (no filters, no attribute indexes).
+pub fn plan_query(
+    schema: &RelationalSchema,
+    skeleton: &Skeleton,
+    query: &ConjunctiveQuery,
+) -> RelResult<Plan> {
+    plan_impl(schema, skeleton, query, &[], None)
+}
+
+/// Plan `query` with equality `filters` over a full instance, using
+/// `cache` for attribute-index lookups (selective filters can replace full
+/// scans with attribute-index fetches).
+pub fn plan_query_filtered(
+    schema: &RelationalSchema,
+    instance: &Instance,
+    cache: &IndexCache,
+    query: &ConjunctiveQuery,
+    filters: &[EqFilter],
+) -> RelResult<Plan> {
+    plan_impl(
+        schema,
+        instance.skeleton(),
+        query,
+        filters,
+        Some((instance, cache)),
+    )
+}
+
+/// Validate every atom's predicate and arity. Shared with
+/// [`crate::eval::evaluate_naive`] so the planned and reference evaluators
+/// reject exactly the same queries with exactly the same errors.
+pub(crate) fn validate(schema: &RelationalSchema, query: &ConjunctiveQuery) -> RelResult<()> {
+    for atom in &query.atoms {
+        let arity = schema
+            .predicate_arity(&atom.predicate)
+            .ok_or_else(|| RelError::UnknownPredicate(atom.predicate.clone()))?;
+        if atom.terms.len() != arity {
+            return Err(RelError::ArityMismatch {
+                predicate: atom.predicate.clone(),
+                expected: arity,
+                actual: atom.terms.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn plan_impl(
+    schema: &RelationalSchema,
+    skeleton: &Skeleton,
+    query: &ConjunctiveQuery,
+    filters: &[EqFilter],
+    attr_ctx: Option<(&Instance, &IndexCache)>,
+) -> RelResult<Plan> {
+    validate(schema, query)?;
+
+    let mut remaining: Vec<usize> = (0..query.atoms.len()).collect();
+    let mut bound: BTreeSet<String> = BTreeSet::new();
+    let mut steps: Vec<PlanStep> = Vec::with_capacity(query.atoms.len());
+
+    while !remaining.is_empty() {
+        // Pick the cheapest remaining atom; ties break on source order.
+        let mut best: Option<(usize, Access, f64)> = None;
+        for &i in &remaining {
+            let (access, est) =
+                access_for(schema, skeleton, &query.atoms[i], &bound, filters, attr_ctx);
+            let better = match &best {
+                None => true,
+                Some((_, _, best_est)) => est < *best_est,
+            };
+            if better {
+                best = Some((i, access, est));
+            }
+        }
+        let (chosen, access, est) = best.expect("remaining is non-empty");
+        remaining.retain(|&i| i != chosen);
+
+        let atom = query.atoms[chosen].clone();
+        let semijoins = match access {
+            Access::ScanEntity | Access::ScanRelationship => {
+                semijoins_for(schema, query, chosen, &atom)
+            }
+            _ => Vec::new(),
+        };
+        for v in atom.variables() {
+            bound.insert(v.to_string());
+        }
+        steps.push(PlanStep {
+            atom,
+            access,
+            est_rows: est,
+            semijoins,
+        });
+    }
+
+    // Pin every filter to the earliest step after which its variables are
+    // all bound.
+    let mut bound_after: Vec<BTreeSet<String>> = Vec::with_capacity(steps.len() + 1);
+    bound_after.push(BTreeSet::new());
+    for step in &steps {
+        let mut next = bound_after
+            .last()
+            .expect("seeded with the empty set")
+            .clone();
+        for v in step.atom.variables() {
+            next.insert(v.to_string());
+        }
+        bound_after.push(next);
+    }
+    let filter_after = filters
+        .iter()
+        .map(|flt| {
+            let vars: BTreeSet<&str> = flt.args.iter().filter_map(Term::as_var).collect();
+            bound_after
+                .iter()
+                .position(|b| vars.iter().all(|v| b.contains(*v)))
+        })
+        .collect();
+
+    Ok(Plan {
+        steps,
+        filters: filters.to_vec(),
+        filter_after,
+    })
+}
+
+/// Choose the access path and estimated output size for `atom` given the
+/// variables bound so far.
+fn access_for(
+    schema: &RelationalSchema,
+    skeleton: &Skeleton,
+    atom: &Atom,
+    bound: &BTreeSet<String>,
+    filters: &[EqFilter],
+    attr_ctx: Option<(&Instance, &IndexCache)>,
+) -> (Access, f64) {
+    let is_bound = |t: &Term| match t {
+        Term::Const(_) => true,
+        Term::Var(v) => bound.contains(v),
+    };
+    match schema.predicate_kind(&atom.predicate) {
+        Some(PredicateKind::Entity) => {
+            if is_bound(&atom.terms[0]) {
+                (Access::ProbeEntity, 1.0)
+            } else if let Some((filter, est)) = attribute_fetch(schema, atom, filters, attr_ctx) {
+                (Access::ProbeAttribute { filter }, est)
+            } else {
+                (
+                    Access::ScanEntity,
+                    skeleton.entity_count(&atom.predicate) as f64,
+                )
+            }
+        }
+        Some(PredicateKind::Relationship) => {
+            let positions: Vec<usize> = atom
+                .terms
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| is_bound(t))
+                .map(|(p, _)| p)
+                .collect();
+            let card = skeleton.relationship_count(&atom.predicate) as f64;
+            if !positions.is_empty() {
+                let mut est = card;
+                for &p in &positions {
+                    let distinct = skeleton.distinct_count(&atom.predicate, p);
+                    if distinct == 0 {
+                        est = 0.0;
+                        break;
+                    }
+                    est /= distinct as f64;
+                }
+                (Access::ProbeRelationship { positions }, est)
+            } else if let Some((filter, est)) = attribute_fetch(schema, atom, filters, attr_ctx) {
+                (Access::ProbeAttribute { filter }, est)
+            } else {
+                (Access::ScanRelationship, card)
+            }
+        }
+        // Unknown predicates are rejected by `validate` before planning.
+        None => (Access::ScanRelationship, f64::INFINITY),
+    }
+}
+
+/// Find the most selective filter that can *replace* a scan of `atom` with
+/// an attribute-index fetch: the filter's attribute must attach to the
+/// atom's predicate and its arguments must be exactly the atom's terms.
+fn attribute_fetch(
+    schema: &RelationalSchema,
+    atom: &Atom,
+    filters: &[EqFilter],
+    attr_ctx: Option<(&Instance, &IndexCache)>,
+) -> Option<(usize, f64)> {
+    let (instance, cache) = attr_ctx?;
+    let mut best: Option<(usize, f64)> = None;
+    for (i, flt) in filters.iter().enumerate() {
+        let subject_matches = schema
+            .attribute(&flt.attr)
+            .is_some_and(|def| def.subject == atom.predicate);
+        if !subject_matches || flt.args != atom.terms {
+            continue;
+        }
+        let est = cache
+            .attribute_index(instance, &flt.attr)
+            .cardinality(&flt.value) as f64;
+        let better = match best {
+            None => true,
+            Some((_, best_est)) => est < best_est,
+        };
+        if better {
+            best = Some((i, est));
+        }
+    }
+    best
+}
+
+/// Semi-join pruning passes for a scanned atom: every variable position can
+/// be pruned against every *other* atom mentioning the same variable,
+/// because that atom will enforce the equality later anyway. Pruning
+/// against the same column of the same predicate is a no-op and skipped.
+fn semijoins_for(
+    schema: &RelationalSchema,
+    query: &ConjunctiveQuery,
+    chosen: usize,
+    atom: &Atom,
+) -> Vec<SemiJoin> {
+    let mut out: Vec<SemiJoin> = Vec::new();
+    for (position, term) in atom.terms.iter().enumerate() {
+        let Term::Var(var) = term else { continue };
+        for (j, other) in query.atoms.iter().enumerate() {
+            if j == chosen {
+                continue;
+            }
+            let Some(kind) = schema.predicate_kind(&other.predicate) else {
+                continue;
+            };
+            for (q, other_term) in other.terms.iter().enumerate() {
+                if other_term.as_var() != Some(var.as_str()) {
+                    continue;
+                }
+                let trivial = other.predicate == atom.predicate
+                    && (kind == PredicateKind::Entity || q == position);
+                if trivial {
+                    continue;
+                }
+                let sj = SemiJoin {
+                    position,
+                    var: var.clone(),
+                    source_predicate: other.predicate.clone(),
+                    source_position: q,
+                    source_kind: kind,
+                };
+                if !out.iter().any(|s| {
+                    s.position == sj.position
+                        && s.source_predicate == sj.source_predicate
+                        && s.source_position == sj.source_position
+                }) {
+                    out.push(sj);
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        (a.position, &a.source_predicate, a.source_position).cmp(&(
+            b.position,
+            &b.source_predicate,
+            b.source_position,
+        ))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+
+    fn setup() -> (RelationalSchema, Skeleton) {
+        let inst = Instance::review_example();
+        (inst.schema().clone(), inst.skeleton().clone())
+    }
+
+    #[test]
+    fn chain_join_probes_after_the_first_scan() {
+        let (schema, sk) = setup();
+        let q = ConjunctiveQuery::new(vec![
+            Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+            Atom::new("Submitted", vec![Term::var("S"), Term::var("C")]),
+        ]);
+        let plan = plan_query(&schema, &sk, &q).unwrap();
+        assert_eq!(plan.steps.len(), 2);
+        // Submitted is smaller (3 < 5), so it is scanned first; Author is
+        // then probed on its bound submission position.
+        assert_eq!(plan.steps[0].atom.predicate, "Submitted");
+        assert_eq!(plan.steps[0].access, Access::ScanRelationship);
+        assert_eq!(plan.steps[1].atom.predicate, "Author");
+        assert_eq!(
+            plan.steps[1].access,
+            Access::ProbeRelationship { positions: vec![1] }
+        );
+        assert!(!plan.unsatisfiable());
+    }
+
+    #[test]
+    fn constants_make_atoms_probes_up_front() {
+        let (schema, sk) = setup();
+        let q = ConjunctiveQuery::new(vec![
+            Atom::new("Author", vec![Term::var("A"), Term::constant("s3")]),
+            Atom::new("Person", vec![Term::var("A")]),
+        ]);
+        let plan = plan_query(&schema, &sk, &q).unwrap();
+        // The constant probe (5/3 ≈ 1.7 est rows) beats the Person scan (3).
+        assert_eq!(plan.steps[0].atom.predicate, "Author");
+        assert_eq!(
+            plan.steps[0].access,
+            Access::ProbeRelationship { positions: vec![1] }
+        );
+        // Person(A) then has A bound: membership check.
+        assert_eq!(plan.steps[1].access, Access::ProbeEntity);
+    }
+
+    #[test]
+    fn scans_are_semijoin_pruned_against_cooccurring_atoms() {
+        let (schema, sk) = setup();
+        let q = ConjunctiveQuery::new(vec![
+            Atom::new("Submitted", vec![Term::var("S"), Term::var("C")]),
+            Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+        ]);
+        let plan = plan_query(&schema, &sk, &q).unwrap();
+        let first = &plan.steps[0];
+        assert_eq!(first.access, Access::ScanRelationship);
+        assert_eq!(first.semijoins.len(), 1);
+        assert_eq!(first.semijoins[0].var, "S");
+        assert_eq!(first.semijoins[0].source_predicate, "Author");
+        assert_eq!(first.semijoins[0].source_position, 1);
+    }
+
+    #[test]
+    fn self_join_on_the_same_position_is_not_semijoined() {
+        let (schema, sk) = setup();
+        let q = ConjunctiveQuery::new(vec![
+            Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+            Atom::new("Author", vec![Term::var("B"), Term::var("S")]),
+        ]);
+        let plan = plan_query(&schema, &sk, &q).unwrap();
+        // Pruning Author.1 against Author.1 is a no-op and must be skipped.
+        assert!(plan.steps[0].semijoins.is_empty());
+    }
+
+    #[test]
+    fn filters_are_pinned_to_their_binding_step() {
+        let (schema, sk) = setup();
+        let inst = Instance::review_example();
+        let cache = IndexCache::for_instance(&inst);
+        let q = ConjunctiveQuery::new(vec![
+            Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+            Atom::new("Submitted", vec![Term::var("S"), Term::var("C")]),
+        ]);
+        let filters = vec![EqFilter {
+            attr: "Blind".into(),
+            args: vec![Term::var("C")],
+            value: Value::Bool(false),
+        }];
+        let plan = plan_query_filtered(&schema, &inst, &cache, &q, &filters).unwrap();
+        // C is bound by whichever step evaluates Submitted.
+        let submitted_step = plan
+            .steps
+            .iter()
+            .position(|s| s.atom.predicate == "Submitted")
+            .unwrap();
+        assert_eq!(plan.filter_after, vec![Some(submitted_step + 1)]);
+        assert_eq!(sk.relationship_count("Submitted"), 3);
+    }
+
+    #[test]
+    fn selective_filters_replace_entity_scans() {
+        let schema = RelationalSchema::review_example();
+        let inst = Instance::review_example();
+        let cache = IndexCache::for_instance(&inst);
+        let q = ConjunctiveQuery::new(vec![Atom::new("Person", vec![Term::var("A")])]);
+        let filters = vec![EqFilter {
+            attr: "Prestige".into(),
+            args: vec![Term::var("A")],
+            value: Value::Int(0),
+        }];
+        let plan = plan_query_filtered(&schema, &inst, &cache, &q, &filters).unwrap();
+        assert_eq!(plan.steps[0].access, Access::ProbeAttribute { filter: 0 });
+        // Only Carlos has Prestige = 0.
+        assert_eq!(plan.steps[0].est_rows, 1.0);
+    }
+
+    #[test]
+    fn unbound_filter_variables_make_the_plan_unsatisfiable() {
+        let (schema, sk) = setup();
+        let inst = Instance::review_example();
+        let cache = IndexCache::for_instance(&inst);
+        let q = ConjunctiveQuery::new(vec![Atom::new("Person", vec![Term::var("A")])]);
+        let filters = vec![EqFilter {
+            attr: "Blind".into(),
+            args: vec![Term::var("Z")],
+            value: Value::Bool(true),
+        }];
+        let plan = plan_query_filtered(&schema, &inst, &cache, &q, &filters).unwrap();
+        assert!(plan.unsatisfiable());
+        assert_eq!(sk.entity_count("Person"), 3);
+    }
+
+    #[test]
+    fn planning_validates_predicates_and_arity() {
+        let (schema, sk) = setup();
+        let q = ConjunctiveQuery::new(vec![Atom::new("Nope", vec![Term::var("X")])]);
+        assert!(matches!(
+            plan_query(&schema, &sk, &q),
+            Err(RelError::UnknownPredicate(_))
+        ));
+        let q = ConjunctiveQuery::new(vec![Atom::new("Author", vec![Term::var("X")])]);
+        assert!(matches!(
+            plan_query(&schema, &sk, &q),
+            Err(RelError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn display_is_stable_and_informative() {
+        let (schema, sk) = setup();
+        let q = ConjunctiveQuery::new(vec![
+            Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+            Atom::new("Submitted", vec![Term::var("S"), Term::var("C")]),
+        ]);
+        let plan = plan_query(&schema, &sk, &q).unwrap();
+        let shown = plan.to_string();
+        assert!(shown.contains("plan for"), "{shown}");
+        assert!(shown.contains("scan Submitted(S, C)"), "{shown}");
+        assert!(shown.contains("probe Author(A, S) via (1)"), "{shown}");
+        assert!(shown.contains("semi-join: S in Author.1"), "{shown}");
+    }
+}

@@ -143,7 +143,10 @@ mod tests {
             Atom::new("Submitted", vec![Term::var("S"), Term::var("C")]),
         ]);
         let vars: Vec<String> = q.variables().into_iter().collect();
-        assert_eq!(vars, vec!["A".to_string(), "C".to_string(), "S".to_string()]);
+        assert_eq!(
+            vars,
+            vec!["A".to_string(), "C".to_string(), "S".to_string()]
+        );
     }
 
     #[test]

@@ -115,7 +115,12 @@ impl RelationalSchema {
         if self.has_predicate(name) {
             return Err(RelError::DuplicatePredicate(name.to_string()));
         }
-        self.entities.insert(name.to_string(), EntityDef { name: name.to_string() });
+        self.entities.insert(
+            name.to_string(),
+            EntityDef {
+                name: name.to_string(),
+            },
+        );
         Ok(self)
     }
 
@@ -245,8 +250,13 @@ impl RelationalSchema {
     }
 
     /// Attributes attached to a particular predicate.
-    pub fn attributes_of<'a>(&'a self, subject: &'a str) -> impl Iterator<Item = &'a AttributeDef> + 'a {
-        self.attributes.values().filter(move |a| a.subject == subject)
+    pub fn attributes_of<'a>(
+        &'a self,
+        subject: &'a str,
+    ) -> impl Iterator<Item = &'a AttributeDef> + 'a {
+        self.attributes
+            .values()
+            .filter(move |a| a.subject == subject)
     }
 
     /// Relationship classes in which entity class `entity` participates.
@@ -266,13 +276,20 @@ impl RelationalSchema {
         s.add_entity("Person").unwrap();
         s.add_entity("Submission").unwrap();
         s.add_entity("Conference").unwrap();
-        s.add_relationship("Author", &["Person", "Submission"]).unwrap();
-        s.add_relationship("Submitted", &["Submission", "Conference"]).unwrap();
-        s.add_attribute("Prestige", "Person", DomainType::Bool, true).unwrap();
-        s.add_attribute("Qualification", "Person", DomainType::Float, true).unwrap();
-        s.add_attribute("Score", "Submission", DomainType::Float, true).unwrap();
-        s.add_attribute("Blind", "Conference", DomainType::Bool, true).unwrap();
-        s.add_attribute("Quality", "Submission", DomainType::Float, false).unwrap();
+        s.add_relationship("Author", &["Person", "Submission"])
+            .unwrap();
+        s.add_relationship("Submitted", &["Submission", "Conference"])
+            .unwrap();
+        s.add_attribute("Prestige", "Person", DomainType::Bool, true)
+            .unwrap();
+        s.add_attribute("Qualification", "Person", DomainType::Float, true)
+            .unwrap();
+        s.add_attribute("Score", "Submission", DomainType::Float, true)
+            .unwrap();
+        s.add_attribute("Blind", "Conference", DomainType::Bool, true)
+            .unwrap();
+        s.add_attribute("Quality", "Submission", DomainType::Float, false)
+            .unwrap();
         s
     }
 }
@@ -301,8 +318,12 @@ mod tests {
     fn duplicate_predicates_and_attributes_rejected() {
         let mut s = RelationalSchema::new();
         s.add_entity("Person").unwrap();
-        assert!(matches!(s.add_entity("Person"), Err(RelError::DuplicatePredicate(_))));
-        s.add_attribute("Age", "Person", DomainType::Int, true).unwrap();
+        assert!(matches!(
+            s.add_entity("Person"),
+            Err(RelError::DuplicatePredicate(_))
+        ));
+        s.add_attribute("Age", "Person", DomainType::Int, true)
+            .unwrap();
         assert!(matches!(
             s.add_attribute("Age", "Person", DomainType::Int, true),
             Err(RelError::DuplicateAttribute(_))
@@ -313,14 +334,18 @@ mod tests {
     fn relationship_requires_declared_entities() {
         let mut s = RelationalSchema::new();
         s.add_entity("Person").unwrap();
-        let err = s.add_relationship("Author", &["Person", "Submission"]).unwrap_err();
+        let err = s
+            .add_relationship("Author", &["Person", "Submission"])
+            .unwrap_err();
         assert!(matches!(err, RelError::UnknownEntityInRelationship { .. }));
     }
 
     #[test]
     fn attribute_requires_declared_subject() {
         let mut s = RelationalSchema::new();
-        let err = s.add_attribute("Age", "Person", DomainType::Int, true).unwrap_err();
+        let err = s
+            .add_attribute("Age", "Person", DomainType::Int, true)
+            .unwrap_err();
         assert!(matches!(err, RelError::UnknownPredicate(_)));
     }
 
@@ -338,7 +363,10 @@ mod tests {
     #[test]
     fn relationships_of_entity_finds_participation() {
         let s = RelationalSchema::review_example();
-        let rels: Vec<_> = s.relationships_of_entity("Submission").map(|r| r.name.clone()).collect();
+        let rels: Vec<_> = s
+            .relationships_of_entity("Submission")
+            .map(|r| r.name.clone())
+            .collect();
         assert!(rels.contains(&"Author".to_string()));
         assert!(rels.contains(&"Submitted".to_string()));
     }

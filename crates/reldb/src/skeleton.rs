@@ -48,7 +48,10 @@ impl Skeleton {
     pub fn add_entity(&mut self, entity: &str, key: Value) {
         let idx = self.entity_index.entry(entity.to_string()).or_default();
         if idx.insert(key.clone()) {
-            self.entities.entry(entity.to_string()).or_default().push(key);
+            self.entities
+                .entry(entity.to_string())
+                .or_default()
+                .push(key);
         }
     }
 
@@ -67,7 +70,10 @@ impl Skeleton {
         if !members.insert(tuple.clone()) {
             return;
         }
-        let rows = self.relationships.get_mut(rel).expect("entry created above");
+        let rows = self
+            .relationships
+            .get_mut(rel)
+            .expect("entry created above");
         let row_id = rows.len();
         rows.push(tuple.clone());
         for (pos, v) in tuple.into_iter().enumerate() {
@@ -82,12 +88,17 @@ impl Skeleton {
 
     /// Whether entity class `entity` contains `key`.
     pub fn has_entity(&self, entity: &str, key: &Value) -> bool {
-        self.entity_index.get(entity).is_some_and(|s| s.contains(key))
+        self.entity_index
+            .get(entity)
+            .is_some_and(|s| s.contains(key))
     }
 
     /// All keys of entity class `entity` (empty slice if the class is empty).
     pub fn entity_keys(&self, entity: &str) -> &[Value] {
-        self.entities.get(entity).map(|v| v.as_slice()).unwrap_or(&[])
+        self.entities
+            .get(entity)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Number of grounded entities in class `entity`.
@@ -97,7 +108,10 @@ impl Skeleton {
 
     /// All tuples of relationship `rel`.
     pub fn relationship_tuples(&self, rel: &str) -> &[UnitKey] {
-        self.relationships.get(rel).map(|v| v.as_slice()).unwrap_or(&[])
+        self.relationships
+            .get(rel)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Number of tuples of relationship `rel`.
@@ -106,13 +120,52 @@ impl Skeleton {
     }
 
     /// Tuples of `rel` whose component at `position` equals `key`.
-    pub fn relationship_tuples_with(&self, rel: &str, position: usize, key: &Value) -> Vec<&UnitKey> {
+    pub fn relationship_tuples_with(
+        &self,
+        rel: &str,
+        position: usize,
+        key: &Value,
+    ) -> Vec<&UnitKey> {
         let Some(index) = self.rel_index.get(&(rel.to_string(), position)) else {
             return Vec::new();
         };
-        let Some(rows) = index.get(key) else { return Vec::new() };
+        let Some(rows) = index.get(key) else {
+            return Vec::new();
+        };
         let table = &self.relationships[rel];
         rows.iter().map(|&r| &table[r]).collect()
+    }
+
+    /// Number of distinct values appearing at `position` of relationship
+    /// `rel`. Used by the query planner as a selectivity estimate: a hash
+    /// probe on this position returns `count / distinct` tuples on average.
+    pub fn distinct_count(&self, rel: &str, position: usize) -> usize {
+        self.rel_index
+            .get(&(rel.to_string(), position))
+            .map_or(0, HashMap::len)
+    }
+
+    /// Whether any tuple of `rel` has value `key` at `position` (an O(1)
+    /// semi-join membership test against the positional index).
+    pub fn contains_at(&self, rel: &str, position: usize, key: &Value) -> bool {
+        self.rel_index
+            .get(&(rel.to_string(), position))
+            .is_some_and(|idx| idx.contains_key(key))
+    }
+
+    /// Whether relationship `rel` contains exactly `tuple`.
+    pub fn has_relationship(&self, rel: &str, tuple: &[Value]) -> bool {
+        match tuple.first() {
+            Some(first) => self
+                .relationship_tuples_with(rel, 0, first)
+                .iter()
+                .any(|t| t.as_slice() == tuple),
+            // Zero-arity tuples never populate a positional index.
+            None => self
+                .relationships
+                .get(rel)
+                .is_some_and(|ts| ts.iter().any(|t| t.is_empty())),
+        }
     }
 
     /// Grounded units of a predicate: single-component keys for entities,
@@ -254,7 +307,13 @@ mod tests {
         for c in ["ConfDB", "ConfAI"] {
             sk.add_entity("Conference", Value::from(c));
         }
-        for (a, s) in [("Bob", "s1"), ("Eva", "s1"), ("Eva", "s2"), ("Eva", "s3"), ("Carlos", "s3")] {
+        for (a, s) in [
+            ("Bob", "s1"),
+            ("Eva", "s1"),
+            ("Eva", "s2"),
+            ("Eva", "s3"),
+            ("Carlos", "s3"),
+        ] {
             sk.add_relationship("Author", vec![Value::from(a), Value::from(s)]);
         }
         for (s, c) in [("s1", "ConfDB"), ("s2", "ConfAI"), ("s3", "ConfAI")] {
@@ -293,7 +352,9 @@ mod tests {
         assert_eq!(evas.len(), 3);
         let s3 = sk.relationship_tuples_with("Author", 1, &Value::from("s3"));
         assert_eq!(s3.len(), 2);
-        assert!(sk.relationship_tuples_with("Author", 0, &Value::from("Nobody")).is_empty());
+        assert!(sk
+            .relationship_tuples_with("Author", 0, &Value::from("Nobody"))
+            .is_empty());
     }
 
     #[test]
@@ -302,12 +363,18 @@ mod tests {
         let mut sk = Skeleton::new();
         sk.add_entity("Person", Value::from("Bob"));
         sk.add_relationship("Author", vec![Value::from("Bob"), Value::from("ghost")]);
-        assert!(matches!(sk.validate(&schema), Err(RelError::DanglingReference { .. })));
+        assert!(matches!(
+            sk.validate(&schema),
+            Err(RelError::DanglingReference { .. })
+        ));
 
         let mut sk2 = Skeleton::new();
         sk2.add_entity("Person", Value::from("Bob"));
         sk2.add_relationship("Author", vec![Value::from("Bob")]);
-        assert!(matches!(sk2.validate(&schema), Err(RelError::ArityMismatch { .. })));
+        assert!(matches!(
+            sk2.validate(&schema),
+            Err(RelError::ArityMismatch { .. })
+        ));
     }
 
     #[test]
@@ -374,6 +441,10 @@ mod tests {
         let (_, mut sk) = paper_skeleton();
         sk.rebuild_indexes();
         sk.rebuild_indexes();
-        assert_eq!(sk.relationship_tuples_with("Author", 0, &Value::from("Eva")).len(), 3);
+        assert_eq!(
+            sk.relationship_tuples_with("Author", 0, &Value::from("Eva"))
+                .len(),
+            3
+        );
     }
 }

@@ -59,7 +59,11 @@ impl Table {
                 return Err(RelError::DuplicateAttribute(c.name.clone()));
             }
         }
-        Ok(Self { columns, index, rows })
+        Ok(Self {
+            columns,
+            index,
+            rows,
+        })
     }
 
     /// Number of rows.
@@ -119,10 +123,9 @@ impl Table {
     /// Read a single cell.
     pub fn cell(&self, row: usize, name: &str) -> RelResult<&Value> {
         let col = self.column(name)?;
-        col.values.get(row).ok_or_else(|| RelError::MalformedQuery(format!(
-            "row {row} out of bounds ({} rows)",
-            self.rows
-        )))
+        col.values.get(row).ok_or_else(|| {
+            RelError::MalformedQuery(format!("row {row} out of bounds ({} rows)", self.rows))
+        })
     }
 
     /// Add a new column of values (must match the current row count).
@@ -223,9 +226,16 @@ mod tests {
 
     fn sample() -> Table {
         let mut t = Table::with_columns(&["unit", "y", "t"]);
-        t.push_row(vec![Value::from("Bob"), Value::from(0.75), Value::from(1)]).unwrap();
-        t.push_row(vec![Value::from("Carlos"), Value::from(0.1), Value::from(1)]).unwrap();
-        t.push_row(vec![Value::from("Eva"), Value::from(0.41), Value::from(0)]).unwrap();
+        t.push_row(vec![Value::from("Bob"), Value::from(0.75), Value::from(1)])
+            .unwrap();
+        t.push_row(vec![
+            Value::from("Carlos"),
+            Value::from(0.1),
+            Value::from(1),
+        ])
+        .unwrap();
+        t.push_row(vec![Value::from("Eva"), Value::from(0.41), Value::from(0)])
+            .unwrap();
         t
     }
 
@@ -249,24 +259,43 @@ mod tests {
     #[test]
     fn from_columns_checks_lengths_and_duplicates() {
         let cols = vec![
-            Column { name: "a".into(), values: vec![Value::Int(1)] },
-            Column { name: "b".into(), values: vec![] },
+            Column {
+                name: "a".into(),
+                values: vec![Value::Int(1)],
+            },
+            Column {
+                name: "b".into(),
+                values: vec![],
+            },
         ];
         assert!(matches!(
             Table::from_columns(cols),
             Err(RelError::ColumnLengthMismatch { .. })
         ));
         let cols = vec![
-            Column { name: "a".into(), values: vec![Value::Int(1)] },
-            Column { name: "a".into(), values: vec![Value::Int(2)] },
+            Column {
+                name: "a".into(),
+                values: vec![Value::Int(1)],
+            },
+            Column {
+                name: "a".into(),
+                values: vec![Value::Int(2)],
+            },
         ];
-        assert!(matches!(Table::from_columns(cols), Err(RelError::DuplicateAttribute(_))));
+        assert!(matches!(
+            Table::from_columns(cols),
+            Err(RelError::DuplicateAttribute(_))
+        ));
     }
 
     #[test]
     fn add_column_and_select() {
         let mut t = sample();
-        t.add_column("w", vec![Value::from(1.0), Value::from(2.0), Value::from(3.0)]).unwrap();
+        t.add_column(
+            "w",
+            vec![Value::from(1.0), Value::from(2.0), Value::from(3.0)],
+        )
+        .unwrap();
         assert_eq!(t.column_count(), 4);
         assert!(t.add_column("w", vec![]).is_err());
         let s = t.select(&["y", "w"]).unwrap();

@@ -57,7 +57,10 @@ pub fn universal_table(instance: &Instance) -> RelResult<Table> {
         // No relationships: the universal table is just the concatenation of
         // entity classes; ambiguous, so we produce one row per entity of the
         // largest class.
-        if let Some(ent) = schema.entities().max_by_key(|e| skeleton.entity_count(&e.name)) {
+        if let Some(ent) = schema
+            .entities()
+            .max_by_key(|e| skeleton.entity_count(&e.name))
+        {
             for key in skeleton.entity_keys(&ent.name) {
                 let mut row = JoinRow::new();
                 row.insert(ent.name.clone(), key.clone());
@@ -155,16 +158,20 @@ pub fn universal_table(instance: &Instance) -> RelResult<Table> {
                 table.add_column(&attr.name, values)?;
             }
             Some(PredicateKind::Relationship) => {
-                let Some(rel) = schema.relationship(&attr.subject) else { continue };
+                let Some(rel) = schema.relationship(&attr.subject) else {
+                    continue;
+                };
                 if !rel.entities.iter().all(|e| joined_classes.contains(e)) {
                     continue;
                 }
                 let values: Vec<Value> = joined
                     .iter()
                     .map(|row| {
-                        let key: Vec<Value> =
-                            rel.entities.iter().map(|e| row[e].clone()).collect();
-                        instance.attribute(&attr.name, &key).cloned().unwrap_or(Value::Null)
+                        let key: Vec<Value> = rel.entities.iter().map(|e| row[e].clone()).collect();
+                        instance
+                            .attribute(&attr.name, &key)
+                            .cloned()
+                            .unwrap_or(Value::Null)
                     })
                     .collect();
                 table.add_column(&attr.name, values)?;
@@ -187,7 +194,15 @@ mod tests {
         // through Author ⋈ Submitted: 5 authorships, each submission has one
         // conference → 5 rows.
         assert_eq!(t.row_count(), 5);
-        for col in ["Person", "Submission", "Conference", "Prestige", "Score", "Blind", "Qualification"] {
+        for col in [
+            "Person",
+            "Submission",
+            "Conference",
+            "Prestige",
+            "Score",
+            "Blind",
+            "Qualification",
+        ] {
             assert!(t.has_column(col), "missing column {col}");
         }
         // Unobserved Quality must not appear.
@@ -202,7 +217,11 @@ mod tests {
         let inst = Instance::review_example();
         let t = universal_table(&inst).unwrap();
         let subs = t.column("Submission").unwrap();
-        let s1_count = subs.values.iter().filter(|v| **v == Value::from("s1")).count();
+        let s1_count = subs
+            .values
+            .iter()
+            .filter(|v| **v == Value::from("s1"))
+            .count();
         assert_eq!(s1_count, 2);
     }
 
@@ -211,11 +230,15 @@ mod tests {
         use crate::schema::{DomainType, RelationalSchema};
         let mut schema = RelationalSchema::new();
         schema.add_entity("Patient").unwrap();
-        schema.add_attribute("Age", "Patient", DomainType::Int, true).unwrap();
+        schema
+            .add_attribute("Age", "Patient", DomainType::Int, true)
+            .unwrap();
         let mut inst = Instance::new(schema);
         for i in 0..4 {
-            inst.add_entity("Patient", Value::from(format!("p{i}"))).unwrap();
-            inst.set_attribute("Age", &[Value::from(format!("p{i}"))], Value::Int(30 + i)).unwrap();
+            inst.add_entity("Patient", Value::from(format!("p{i}")))
+                .unwrap();
+            inst.set_attribute("Age", &[Value::from(format!("p{i}"))], Value::Int(30 + i))
+                .unwrap();
         }
         let t = universal_table(&inst).unwrap();
         assert_eq!(t.row_count(), 4);

@@ -218,7 +218,10 @@ impl From<String> for Value {
 /// integer, float, and finally string.
 pub fn parse_cell(cell: &str) -> Value {
     let trimmed = cell.trim();
-    if trimmed.is_empty() || trimmed.eq_ignore_ascii_case("null") || trimmed.eq_ignore_ascii_case("na") {
+    if trimmed.is_empty()
+        || trimmed.eq_ignore_ascii_case("null")
+        || trimmed.eq_ignore_ascii_case("na")
+    {
         return Value::Null;
     }
     if trimmed.eq_ignore_ascii_case("true") {
@@ -291,7 +294,11 @@ mod tests {
 
     #[test]
     fn nan_ordering_does_not_panic() {
-        let mut vals = [Value::Float(f64::NAN), Value::Float(1.0), Value::Float(-1.0)];
+        let mut vals = [
+            Value::Float(f64::NAN),
+            Value::Float(1.0),
+            Value::Float(-1.0),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Float(-1.0));
         assert_eq!(vals[1], Value::Float(1.0));

@@ -1,81 +1,29 @@
-//! Property tests for `reldb::eval`: the index-accelerated, selectivity-
-//! reordered conjunctive-query evaluator against a naive nested-loop
-//! reference evaluator that processes atoms **in the order given** and
-//! never touches an index.
+//! The query-fuzzing differential suite for `reldb`'s planned evaluator.
 //!
-//! The production evaluator sorts atoms most-selective-first and probes the
-//! skeleton's positional hash indexes; both are pure optimisations, so on
-//! every skeleton and every query the two evaluators must return the same
-//! multiset of bindings. Randomising skeletons *and* queries is what
-//! catches atom-ordering bugs: a wrong reorder changes which variables are
-//! bound when an atom is evaluated, which shows up as missing or spurious
-//! bindings here.
+//! [`reldb::evaluate_naive`] — nested loops, atoms in source order, full
+//! scans, no indexes — defines the semantics of conjunctive-query
+//! evaluation. The planned executor (greedy join order, positional and
+//! composite hash probes, semi-join pruning, attribute-index fetches) is a
+//! pile of pure optimisations, so on every skeleton and every query the two
+//! must return the same multiset of bindings, and fail with the same errors.
+//!
+//! The fuzzer randomises skeletons *and* queries, covering the shapes named
+//! in the planner's contract: multi-atom joins, self-joins, repeated
+//! variables (within and across atoms), constant terms that sometimes miss
+//! the key space, cross products (atoms sharing no variables), and
+//! empty-result queries. A second property drives the filtered entry point
+//! (`evaluate_filtered`) against naive evaluation plus post-hoc filtering,
+//! and a third reuses one `IndexCache` across many queries to catch cache
+//! corruption.
+//!
+//! Case counts are deliberately modest for local runs; CI's release-test
+//! job raises them via the `PROPTEST_CASES` environment variable.
 
 use proptest::prelude::*;
 use reldb::{
-    evaluate, Atom, Bindings, ConjunctiveQuery, PredicateKind, RelationalSchema, Skeleton, Term,
-    Value,
+    evaluate, evaluate_filtered, evaluate_in, evaluate_naive, Atom, Bindings, ConjunctiveQuery,
+    DomainType, EqFilter, IndexCache, Instance, RelationalSchema, Skeleton, Term, Value,
 };
-
-/// Nested-loop reference evaluation: atoms in given order, full scans only.
-fn naive_evaluate(
-    schema: &RelationalSchema,
-    skeleton: &Skeleton,
-    query: &ConjunctiveQuery,
-) -> Vec<Bindings> {
-    let mut partials: Vec<Bindings> = vec![Bindings::new()];
-    for atom in &query.atoms {
-        let mut next: Vec<Bindings> = Vec::new();
-        for binding in &partials {
-            match schema.predicate_kind(&atom.predicate) {
-                Some(PredicateKind::Entity) => {
-                    for key in skeleton.entity_keys(&atom.predicate) {
-                        if let Some(extended) =
-                            try_extend(binding, &atom.terms, std::slice::from_ref(key))
-                        {
-                            next.push(extended);
-                        }
-                    }
-                }
-                Some(PredicateKind::Relationship) => {
-                    for tuple in skeleton.relationship_tuples(&atom.predicate) {
-                        if let Some(extended) = try_extend(binding, &atom.terms, tuple) {
-                            next.push(extended);
-                        }
-                    }
-                }
-                None => {}
-            }
-        }
-        partials = next;
-    }
-    partials
-}
-
-/// Unify an atom's terms with a concrete tuple under `binding`.
-fn try_extend(binding: &Bindings, terms: &[Term], tuple: &[Value]) -> Option<Bindings> {
-    if terms.len() != tuple.len() {
-        return None;
-    }
-    let mut extended = binding.clone();
-    for (term, value) in terms.iter().zip(tuple) {
-        match term {
-            Term::Const(c) => {
-                if c != value {
-                    return None;
-                }
-            }
-            Term::Var(v) => match extended.get(v) {
-                Some(bound) if bound != value => return None,
-                Some(_) => {}
-                None => {
-                    extended.insert(v.clone(), value.clone());
-                }
-            },
-        }
-    }
-    Some(extended)
-}
 
 /// Canonicalise a binding set for multiset comparison.
 fn canonical(bindings: Vec<Bindings>) -> Vec<Vec<(String, String)>> {
@@ -99,7 +47,8 @@ fn schema() -> RelationalSchema {
     s.add_entity("Person").unwrap();
     s.add_entity("Paper").unwrap();
     s.add_relationship("Writes", &["Person", "Paper"]).unwrap();
-    s.add_relationship("Reviews", &["Person", "Paper", "Person"]).unwrap();
+    s.add_relationship("Reviews", &["Person", "Paper", "Person"])
+        .unwrap();
     s
 }
 
@@ -137,19 +86,19 @@ fn skeleton_from(
 
 /// Build one random atom. `shape` picks the predicate, `vars` the variable
 /// names per position (variables are drawn from a tiny pool so repeats —
-/// equality joins — are common), `konst` optionally turns a position into a
-/// constant.
+/// equality joins, self-joins and cross products — are all common), `konst`
+/// optionally turns a position into a constant. Constants reference a key
+/// space slightly larger than the skeleton's (`k % 6` against 4 stored
+/// keys) so they sometimes hit and sometimes miss, producing empty results.
 fn atom_from(shape: u8, vars: &[u8], konst: Option<(u8, u8)>) -> Atom {
     const POOL: [&str; 4] = ["A", "B", "C", "D"];
     let term = |pos: usize| -> Term {
         if let Some((p, k)) = konst {
             if usize::from(p) == pos {
-                // Constants reference the small key space so they sometimes
-                // hit and sometimes miss.
                 return if shape.is_multiple_of(2) {
-                    Term::constant(format!("p{}", k % 4))
+                    Term::constant(format!("p{}", k % 6))
                 } else {
-                    Term::constant(format!("d{}", k % 4))
+                    Term::constant(format!("d{}", k % 6))
                 };
             }
         }
@@ -163,30 +112,45 @@ fn atom_from(shape: u8, vars: &[u8], konst: Option<(u8, u8)>) -> Atom {
     }
 }
 
+type AtomShape = (u8, Vec<u8>, Option<(u8, u8)>);
+
+fn query_from(shapes: &[AtomShape]) -> ConjunctiveQuery {
+    ConjunctiveQuery::new(
+        shapes
+            .iter()
+            .map(|(shape, vars, konst)| atom_from(*shape, vars, *konst))
+            .collect(),
+    )
+}
+
+fn arb_shapes(max_atoms: usize) -> impl Strategy<Value = Vec<AtomShape>> {
+    proptest::collection::vec(
+        (
+            0u8..4,
+            proptest::collection::vec(0u8..4, 3..4),
+            proptest::option::of((0u8..3, 0u8..6)),
+        ),
+        1..max_atoms,
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Indexed, reordered evaluation returns exactly the reference binding
-    /// multiset on random skeletons and random multi-atom queries.
+    /// Indexed, reordered, semi-join-pruned evaluation returns exactly the
+    /// reference binding multiset on random skeletons and random
+    /// multi-atom queries.
     #[test]
     fn indexed_evaluation_matches_nested_loop_reference(
         writes in proptest::collection::vec((0usize..4, 0usize..4), 0..10),
         reviews in proptest::collection::vec((0usize..4, 0usize..4, 0usize..4), 0..8),
-        shapes in proptest::collection::vec(
-            (0u8..4, proptest::collection::vec(0u8..4, 3..4), proptest::option::of((0u8..3, 0u8..4))),
-            1..4,
-        ),
+        shapes in arb_shapes(5),
     ) {
         let schema = schema();
         let skeleton = skeleton_from(4, 4, &writes, &reviews);
-        let query = ConjunctiveQuery::new(
-            shapes
-                .iter()
-                .map(|(shape, vars, konst)| atom_from(*shape, vars, *konst))
-                .collect(),
-        );
+        let query = query_from(&shapes);
         let fast = evaluate(&schema, &skeleton, &query).unwrap();
-        let slow = naive_evaluate(&schema, &skeleton, &query);
+        let slow = evaluate_naive(&schema, &skeleton, &query).unwrap();
         prop_assert_eq!(
             canonical(fast),
             canonical(slow),
@@ -198,7 +162,8 @@ proptest! {
     }
 
     /// Single-atom queries with constants agree too (exercises the indexed
-    /// probe path against the full scan).
+    /// probe path — including constants missing the key space entirely —
+    /// against the full scan).
     #[test]
     fn constant_probes_match_full_scans(
         writes in proptest::collection::vec((0usize..4, 0usize..4), 0..12),
@@ -214,8 +179,110 @@ proptest! {
         };
         let query = ConjunctiveQuery::new(vec![Atom::new("Writes", terms)]);
         let fast = evaluate(&schema, &skeleton, &query).unwrap();
-        let slow = naive_evaluate(&schema, &skeleton, &query);
+        let slow = evaluate_naive(&schema, &skeleton, &query).unwrap();
         prop_assert_eq!(canonical(fast), canonical(slow));
+    }
+
+    /// One `IndexCache` reused across a whole batch of queries over the
+    /// same skeleton gives the same answers as fresh per-query evaluation
+    /// (catches index-cache corruption and cross-query contamination).
+    #[test]
+    fn shared_cache_reuse_matches_fresh_evaluation(
+        writes in proptest::collection::vec((0usize..4, 0usize..4), 0..10),
+        reviews in proptest::collection::vec((0usize..4, 0usize..4, 0usize..4), 0..6),
+        batch in proptest::collection::vec(arb_shapes(4), 1..4),
+    ) {
+        let schema = schema();
+        let skeleton = skeleton_from(4, 4, &writes, &reviews);
+        let cache = IndexCache::for_skeleton(&skeleton);
+        for shapes in &batch {
+            let query = query_from(shapes);
+            let shared = evaluate_in(&cache, &schema, &skeleton, &query).unwrap();
+            let fresh = evaluate(&schema, &skeleton, &query).unwrap();
+            prop_assert_eq!(canonical(shared), canonical(fresh), "query {}", query);
+        }
+    }
+
+    /// `evaluate_filtered` (equality filters pushed into the plan, possibly
+    /// replacing scans with attribute-index fetches) agrees with naive
+    /// evaluation followed by post-hoc filtering.
+    #[test]
+    fn filtered_evaluation_matches_post_hoc_filtering(
+        writes in proptest::collection::vec((0usize..4, 0usize..4), 0..10),
+        flags in proptest::collection::vec(proptest::option::of(any::<bool>()), 4..5),
+        shapes in arb_shapes(4),
+        filter_var in 0usize..4,
+        filter_value in any::<bool>(),
+    ) {
+        const POOL: [&str; 4] = ["A", "B", "C", "D"];
+        let mut schema = schema();
+        schema.add_attribute("Flag", "Person", DomainType::Bool, true).unwrap();
+        let mut instance = Instance::new(schema);
+        for i in 0..4 {
+            instance.add_entity("Person", Value::from(format!("p{i}"))).unwrap();
+            instance.add_entity("Paper", Value::from(format!("d{i}"))).unwrap();
+        }
+        // Some people have no Flag assignment at all (missing values must
+        // never satisfy a filter).
+        for (i, flag) in flags.iter().enumerate() {
+            if let Some(flag) = flag {
+                instance
+                    .set_attribute("Flag", &[Value::from(format!("p{i}"))], Value::Bool(*flag))
+                    .unwrap();
+            }
+        }
+        for &(a, d) in &writes {
+            instance
+                .add_relationship(
+                    "Writes",
+                    vec![Value::from(format!("p{a}")), Value::from(format!("d{d}"))],
+                )
+                .unwrap();
+        }
+        let query = query_from(&shapes);
+        let filters = vec![EqFilter {
+            attr: "Flag".to_string(),
+            args: vec![Term::var(POOL[filter_var])],
+            value: Value::Bool(filter_value),
+        }];
+
+        let cache = IndexCache::for_instance(&instance);
+        let fast =
+            evaluate_filtered(&cache, instance.schema(), &instance, &query, &filters).unwrap();
+        let reference: Vec<Bindings> =
+            evaluate_naive(instance.schema(), instance.skeleton(), &query)
+                .unwrap()
+                .into_iter()
+                .filter(|b| match b.get(POOL[filter_var]) {
+                    Some(v) => {
+                        instance.attribute("Flag", std::slice::from_ref(v))
+                            == Some(&Value::Bool(filter_value))
+                    }
+                    // Unbound filter variables never satisfy the filter.
+                    None => false,
+                })
+                .collect();
+        prop_assert_eq!(canonical(fast), canonical(reference), "query {}", query);
+    }
+
+    /// Both evaluators reject exactly the same malformed queries.
+    #[test]
+    fn error_behaviour_matches(
+        predicate in prop_oneof![
+            Just("Person"), Just("Writes"), Just("Reviews"), Just("Nope")
+        ],
+        arity in 0usize..4,
+    ) {
+        let schema = schema();
+        let skeleton = skeleton_from(2, 2, &[(0, 1)], &[]);
+        let terms: Vec<Term> = (0..arity).map(|i| Term::var(&format!("V{i}"))).collect();
+        let query = ConjunctiveQuery::new(vec![Atom::new(predicate, terms)]);
+        let fast = evaluate(&schema, &skeleton, &query);
+        let slow = evaluate_naive(&schema, &skeleton, &query);
+        prop_assert_eq!(fast.is_ok(), slow.is_ok(), "query {}", query);
+        if let (Err(a), Err(b)) = (fast, slow) {
+            prop_assert_eq!(a.to_string(), b.to_string());
+        }
     }
 }
 
@@ -231,14 +298,30 @@ fn reordering_with_repeated_variables_is_sound() {
     // Reviews(A, P, A): reviewer equals the reviewed author.
     let query = ConjunctiveQuery::new(vec![
         Atom::new("Writes", vec![Term::var("A"), Term::var("P")]),
-        Atom::new("Reviews", vec![Term::var("A"), Term::var("P"), Term::var("A")]),
+        Atom::new(
+            "Reviews",
+            vec![Term::var("A"), Term::var("P"), Term::var("A")],
+        ),
     ]);
     let fast = evaluate(&schema, &skeleton, &query).unwrap();
-    let slow = naive_evaluate(&schema, &skeleton, &query);
+    let slow = evaluate_naive(&schema, &skeleton, &query).unwrap();
     assert_eq!(canonical(fast), canonical(slow));
     // And the self-review case really matches only (1, 1, 1).
-    assert_eq!(
-        naive_evaluate(&schema, &skeleton, &query).len(),
-        1
-    );
+    assert_eq!(evaluate_naive(&schema, &skeleton, &query).unwrap().len(), 1);
+}
+
+/// Deterministic cross-product case: atoms sharing no variables multiply,
+/// and the multiset (not set) semantics must be preserved by the planner.
+#[test]
+fn cross_products_preserve_multiplicity() {
+    let schema = schema();
+    let skeleton = skeleton_from(3, 2, &[(0, 0), (1, 1)], &[]);
+    let query = ConjunctiveQuery::new(vec![
+        Atom::new("Person", vec![Term::var("A")]),
+        Atom::new("Writes", vec![Term::var("B"), Term::var("P")]),
+    ]);
+    let fast = evaluate(&schema, &skeleton, &query).unwrap();
+    let slow = evaluate_naive(&schema, &skeleton, &query).unwrap();
+    assert_eq!(fast.len(), 6);
+    assert_eq!(canonical(fast), canonical(slow));
 }

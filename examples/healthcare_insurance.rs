@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         patients: 10_000,
         ..MimicConfig::small(7)
     };
-    println!("generating MIMIC-like database with {} ICU patients…", config.patients);
+    println!(
+        "generating MIMIC-like database with {} ICU patients…",
+        config.patients
+    );
     let ds = generate_mimic(&config);
     println!(
         "tables: {}   attributes: {}   rows: {}",

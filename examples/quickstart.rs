@@ -26,9 +26,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Ground the model: this is the graph of Figures 4 and 5.
     let grounded = engine.ground_model()?;
-    println!("grounded causal graph: {} nodes, {} edges", grounded.graph.node_count(), grounded.graph.edge_count());
+    println!(
+        "grounded causal graph: {} nodes, {} edges",
+        grounded.graph.node_count(),
+        grounded.graph.edge_count()
+    );
     for attr in ["Qualification", "Prestige", "Quality", "Score", "AVG_Score"] {
-        println!("  {:>14}: {} groundings", attr, grounded.graph.nodes_of_attr(attr).len());
+        println!(
+            "  {:>14}: {} groundings",
+            attr,
+            grounded.graph.nodes_of_attr(attr).len()
+        );
     }
 
     // The grounded rule for Score["s1"] from Example 3.6.
@@ -56,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|(unit, peers)| format!(
                 "{} -> {{{}}}",
                 unit[0],
-                peers.iter().map(|p| p[0].to_string()).collect::<Vec<_>>().join(", ")
+                peers
+                    .iter()
+                    .map(|p| p[0].to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ))
             .collect::<Vec<_>>()
             .join("; ")

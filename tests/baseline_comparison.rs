@@ -26,7 +26,10 @@ fn carl_is_closer_to_the_truth_than_the_universal_table() {
         .expect("ATE query")
         .ate;
     let carl_error = (carl_ate - truth_overall).abs();
-    assert!(carl_error < 0.3, "CaRL ATE {carl_ate} vs truth {truth_overall}");
+    assert!(
+        carl_error < 0.3,
+        "CaRL ATE {carl_ate} vs truth {truth_overall}"
+    );
 
     // Universal-table estimate restricted to single-blind venues.
     let flat = universal_table(&ds.instance).expect("join succeeds");

@@ -43,10 +43,26 @@ fn assert_query_identical(engine: &CarlEngine, query: &str) {
         (Ok(c), Ok(r)) => match (&c, &r) {
             (QueryAnswer::Ate(c), QueryAnswer::Ate(r)) => {
                 assert_bits(&format!("{query}: ate"), c.ate, r.ate);
-                assert_bits(&format!("{query}: naive"), c.naive_difference, r.naive_difference);
-                assert_bits(&format!("{query}: treated_mean"), c.treated_mean, r.treated_mean);
-                assert_bits(&format!("{query}: control_mean"), c.control_mean, r.control_mean);
-                assert_bits(&format!("{query}: correlation"), c.correlation, r.correlation);
+                assert_bits(
+                    &format!("{query}: naive"),
+                    c.naive_difference,
+                    r.naive_difference,
+                );
+                assert_bits(
+                    &format!("{query}: treated_mean"),
+                    c.treated_mean,
+                    r.treated_mean,
+                );
+                assert_bits(
+                    &format!("{query}: control_mean"),
+                    c.control_mean,
+                    r.control_mean,
+                );
+                assert_bits(
+                    &format!("{query}: correlation"),
+                    c.correlation,
+                    r.correlation,
+                );
                 assert_eq!(c.n_treated, r.n_treated, "{query}: n_treated");
                 assert_eq!(c.n_control, r.n_control, "{query}: n_control");
                 assert_eq!(c.n_units, r.n_units, "{query}: n_units");
@@ -55,8 +71,16 @@ fn assert_query_identical(engine: &CarlEngine, query: &str) {
                 assert_bits(&format!("{query}: aie"), c.aie, r.aie);
                 assert_bits(&format!("{query}: are"), c.are, r.are);
                 assert_bits(&format!("{query}: aoe"), c.aoe, r.aoe);
-                assert_bits(&format!("{query}: naive"), c.naive_difference, r.naive_difference);
-                assert_bits(&format!("{query}: correlation"), c.correlation, r.correlation);
+                assert_bits(
+                    &format!("{query}: naive"),
+                    c.naive_difference,
+                    r.naive_difference,
+                );
+                assert_bits(
+                    &format!("{query}: correlation"),
+                    c.correlation,
+                    r.correlation,
+                );
                 assert_eq!(c.n_units, r.n_units, "{query}: n_units");
                 assert_eq!(c.n_units_with_peers, r.n_units_with_peers, "{query}");
                 assert_eq!(c.peer_regime, r.peer_regime, "{query}");
@@ -64,7 +88,11 @@ fn assert_query_identical(engine: &CarlEngine, query: &str) {
             _ => panic!("{query}: answer kinds diverged"),
         },
         (Err(c), Err(r)) => {
-            assert_eq!(c.to_string(), r.to_string(), "{query}: error messages diverged");
+            assert_eq!(
+                c.to_string(),
+                r.to_string(),
+                "{query}: error messages diverged"
+            );
         }
         (c, r) => panic!(
             "{query}: disposition diverged (columnar ok: {}, rowwise ok: {})",
@@ -86,8 +114,14 @@ fn assert_unit_table_identical(engine: &CarlEngine, query: &str) {
     assert_eq!(c.len(), r.len(), "{query}: row counts");
     assert_eq!(c.units, r.units, "{query}: unit keys");
     assert_eq!(c.peer_counts, r.peer_counts, "{query}: peer counts");
-    assert_eq!(c.peer_treatment_cols, r.peer_treatment_cols, "{query}: peer columns");
-    assert_eq!(c.covariate_cols, r.covariate_cols, "{query}: covariate columns");
+    assert_eq!(
+        c.peer_treatment_cols, r.peer_treatment_cols,
+        "{query}: peer columns"
+    );
+    assert_eq!(
+        c.covariate_cols, r.covariate_cols,
+        "{query}: covariate columns"
+    );
     // Every numeric column, bit for bit. The rowwise table extracts per-row
     // `Value`s; the columnar table filled contiguous storage directly.
     for name in c.column_names() {
@@ -173,10 +207,7 @@ fn synthetic_review_is_identical_across_estimators_and_regimes() {
         "AT MOST 1",
         "EXACTLY 1",
     ] {
-        assert_query_identical(
-            &engine,
-            &format!("{single} WHEN {regime} PEERS TREATED"),
-        );
+        assert_query_identical(&engine, &format!("{single} WHEN {regime} PEERS TREATED"));
     }
 
     // Every embedding (including auto-sized padding).

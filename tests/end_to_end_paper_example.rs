@@ -24,10 +24,14 @@ fn grounded_graph_matches_figure_4_and_5() {
 
     // The highlighted path of Figure 5: Prestige[Eva] → Score[s1] → AVG_Score[Bob].
     let eva = g.node_id(&GroundedAttr::single("Prestige", "Eva")).unwrap();
-    let bob_avg = g.node_id(&GroundedAttr::single("AVG_Score", "Bob")).unwrap();
+    let bob_avg = g
+        .node_id(&GroundedAttr::single("AVG_Score", "Bob"))
+        .unwrap();
     assert!(g.has_directed_path(eva, bob_avg));
     // Carlos never co-authored with Bob: no path from his prestige to Bob's average.
-    let carlos = g.node_id(&GroundedAttr::single("Prestige", "Carlos")).unwrap();
+    let carlos = g
+        .node_id(&GroundedAttr::single("Prestige", "Carlos"))
+        .unwrap();
     assert!(!g.has_directed_path(carlos, bob_avg));
 }
 
@@ -40,7 +44,12 @@ fn unit_table_matches_table_1() {
     let ut = &prepared.unit_table;
     assert_eq!(ut.len(), 3);
 
-    let row = |who: &str| ut.units.iter().position(|u| u == &vec![Value::from(who)]).unwrap();
+    let row = |who: &str| {
+        ut.units
+            .iter()
+            .position(|u| u == &vec![Value::from(who)])
+            .unwrap()
+    };
     let outcomes = ut.outcomes();
     // Table 1 outcomes: Bob 0.75, Carlos 0.1, Eva ≈ 0.4167.
     assert!((outcomes[row("Bob")] - 0.75).abs() < 1e-9);
@@ -79,7 +88,10 @@ fn peers_match_section_4_3() {
         ps
     };
     assert_eq!(peers_of("Bob"), vec!["Eva".to_string()]);
-    assert_eq!(peers_of("Eva"), vec!["Bob".to_string(), "Carlos".to_string()]);
+    assert_eq!(
+        peers_of("Eva"),
+        vec!["Bob".to_string(), "Carlos".to_string()]
+    );
     assert_eq!(peers_of("Carlos"), vec!["Eva".to_string()]);
 }
 
@@ -96,7 +108,9 @@ fn universal_table_of_the_example_duplicates_submissions() {
 
 #[test]
 fn queries_embedded_in_the_program_are_parsed_and_validated() {
-    let source = format!("{RULES}\nAVG_Score[A] <= Prestige[A]?\nScore[S] <= Prestige[A]? WHEN ALL PEERS TREATED\n");
+    let source = format!(
+        "{RULES}\nAVG_Score[A] <= Prestige[A]?\nScore[S] <= Prestige[A]? WHEN ALL PEERS TREATED\n"
+    );
     let engine = CarlEngine::new(Instance::review_example(), &source).expect("model binds");
     assert_eq!(engine.program_queries().len(), 2);
     assert!(engine.program_queries()[1].peers.is_some());

@@ -216,7 +216,7 @@ macro_rules! proptest {
                     stringify!($name).hash(&mut hasher);
                     hasher.finish()
                 };
-                for case in 0..config.cases {
+                for case in 0..config.effective_cases() {
                     let mut rng = $crate::test_runner::TestRng::from_seed(
                         seed ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                     );

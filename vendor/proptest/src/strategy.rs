@@ -101,7 +101,10 @@ impl<T> Union<T> {
     /// Build a union from `(weight, strategy)` arms.
     pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
         let total_weight = arms.iter().map(|(w, _)| w).sum();
-        assert!(total_weight > 0, "prop_oneof: total weight must be positive");
+        assert!(
+            total_weight > 0,
+            "prop_oneof: total weight must be positive"
+        );
         Self { arms, total_weight }
     }
 }
@@ -211,7 +214,9 @@ fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
             ),
             '[' => {
                 if chars.peek() == Some(&'^') {
-                    panic!("proptest stub: negated character classes are unsupported in {pattern:?}");
+                    panic!(
+                        "proptest stub: negated character classes are unsupported in {pattern:?}"
+                    );
                 }
                 let mut set = Vec::new();
                 let mut prev: Option<char> = None;
@@ -240,7 +245,10 @@ fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
                         }
                     }
                 }
-                assert!(!set.is_empty(), "proptest stub: empty character class in {pattern:?}");
+                assert!(
+                    !set.is_empty(),
+                    "proptest stub: empty character class in {pattern:?}"
+                );
                 set
             }
             c => vec![unescape(c, &mut chars)],
@@ -306,7 +314,9 @@ mod tests {
             assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
             assert!(s.chars().next().unwrap().is_ascii_uppercase(), "{s:?}");
             assert!(
-                s.chars().skip(1).all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                s.chars()
+                    .skip(1)
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_'),
                 "{s:?}"
             );
         }
@@ -318,7 +328,10 @@ mod tests {
         for _ in 0..100 {
             let s = "[ -~\n]{0,120}".generate(&mut rng);
             assert!(s.len() <= 120);
-            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)), "{s:?}");
+            assert!(
+                s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)),
+                "{s:?}"
+            );
         }
     }
 
@@ -327,7 +340,11 @@ mod tests {
         let mut rng = rng();
         for _ in 0..300 {
             let s = "[A-EG-SU-Z]{1,4}".generate(&mut rng);
-            assert!(s.chars().all(|c| c != 'F' && c != 'T' && c.is_ascii_uppercase()), "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c != 'F' && c != 'T' && c.is_ascii_uppercase()),
+                "{s:?}"
+            );
         }
     }
 
@@ -337,7 +354,10 @@ mod tests {
         let mut rng = rng();
         let draws: Vec<u8> = (0..1000).map(|_| union.generate(&mut rng)).collect();
         let ones = draws.iter().filter(|&&d| d == 1).count();
-        assert!((600..900).contains(&ones), "weighted draw gave {ones}/1000 ones");
+        assert!(
+            (600..900).contains(&ones),
+            "weighted draw gave {ones}/1000 ones"
+        );
     }
 
     #[test]

@@ -15,6 +15,19 @@ impl Config {
     pub fn with_cases(cases: u32) -> Self {
         Self { cases }
     }
+
+    /// The case count actually run: the `PROPTEST_CASES` environment
+    /// variable, when set to a positive integer, overrides the configured
+    /// count (mirroring upstream proptest's env-var support). CI's
+    /// release-test job uses this to deepen the fuzzers without slowing
+    /// local runs down.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(self.cases)
+    }
 }
 
 impl Default for Config {

@@ -250,6 +250,9 @@ mod tests {
                 trues += 1;
             }
         }
-        assert!((800..1200).contains(&trues), "gen_bool(0.5) gave {trues}/2000");
+        assert!(
+            (800..1200).contains(&trues),
+            "gen_bool(0.5) gave {trues}/2000"
+        );
     }
 }

@@ -177,13 +177,18 @@ mod tests {
             .into_par_iter()
             .filter_map(|i| (i % 3 == 0).then_some(i + 1))
             .collect();
-        let seq: Vec<usize> = (0..5_000).filter_map(|i| (i % 3 == 0).then_some(i + 1)).collect();
+        let seq: Vec<usize> = (0..5_000)
+            .filter_map(|i| (i % 3 == 0).then_some(i + 1))
+            .collect();
         assert_eq!(par, seq);
     }
 
     #[test]
     fn filter_and_sum() {
-        let s: usize = (0..1_000usize).into_par_iter().filter(|&i| i % 2 == 0).sum();
+        let s: usize = (0..1_000usize)
+            .into_par_iter()
+            .filter(|&i| i % 2 == 0)
+            .sum();
         assert_eq!(s, (0..1_000).filter(|&i| i % 2 == 0).sum::<usize>());
         assert_eq!((0..7usize).into_par_iter().count(), 7);
     }
@@ -200,7 +205,10 @@ mod tests {
     fn borrows_from_the_environment_work() {
         // Scoped threads let closures capture non-'static references.
         let data: Vec<f64> = (0..100).map(f64::from).collect();
-        let doubled: Vec<f64> = (0..data.len()).into_par_iter().map(|i| data[i] * 2.0).collect();
+        let doubled: Vec<f64> = (0..data.len())
+            .into_par_iter()
+            .map(|i| data[i] * 2.0)
+            .collect();
         assert_eq!(doubled[99], 198.0);
     }
 
@@ -219,7 +227,10 @@ mod tests {
         // Simulate different pool sizes via the env override; order and
         // content must not change.
         let run = || -> Vec<u64> {
-            (0..997u64).into_par_iter().map(|i| i.wrapping_mul(0x9E37_79B9)).collect()
+            (0..997u64)
+                .into_par_iter()
+                .map(|i| i.wrapping_mul(0x9E37_79B9))
+                .collect()
         };
         std::env::set_var("RAYON_NUM_THREADS", "1");
         let one = run();
