@@ -1,29 +1,33 @@
-//! Criterion bench: grounding and conjunctive-query evaluation at growing
-//! skeleton scale.
+//! Criterion bench: grounding, conjunctive-query evaluation and the full
+//! answer pipeline at growing skeleton scale.
 //!
-//! Three comparisons per scale:
+//! Scenarios per scale (scales configurable via `GROUNDING_SCALE_SCALES`,
+//! a comma-separated paper-count list defaulting to `500,2000,8000`):
 //!
-//! * `eval_planned` vs `eval_naive` — the planned hash-join executor
-//!   against the nested-loop reference evaluator on the same multi-atom
-//!   query. This is the acceptance benchmark for the grounding planner:
-//!   the planned path must beat the naive path by a growing margin as the
-//!   skeleton grows (the naive path is quadratic in skeleton size for this
-//!   query, the planned path is ~linear). Note the baseline is the
-//!   *semantic reference*, not the seed's production evaluator (which
-//!   already reordered atoms and probed single-position indexes); the
-//!   margin quantifies planner-vs-reference, not this-PR-vs-previous-PR.
+//! * `eval_planned` vs `eval_naive` — the planned executor against the
+//!   nested-loop reference evaluator on the same multi-atom query. The
+//!   baseline is the *semantic reference*, not the previous PR's
+//!   production evaluator; the margin quantifies planner-vs-reference.
 //! * `cold` — grounding the model from scratch on every iteration through
-//!   the planner, sharing only the engine's secondary indexes (what every
-//!   query paid before the grounding-result cache existed).
+//!   the planner, sharing only the engine's secondary indexes.
 //! * `cached_prepare` — the full `prepare` path, which after the first
 //!   iteration hits the `(rule, instance-fingerprint)` grounding cache and
-//!   only rebuilds the (columnar) unit table — the steady-state cost of
-//!   repeated queries over the same instance.
+//!   only rebuilds the (columnar) unit table.
+//! * `answer_pipeline` — the end-to-end query path (cold ground → unit
+//!   table → ATE estimate) racing the dense tuple executor against the
+//!   preserved PR 3 bindings executor on a single worker thread, plus the
+//!   thread-scaling of parallel grounding (1 vs 4 workers). Results are
+//!   printed and written machine-readably to `BENCH_pipeline.json`
+//!   (override the path with `BENCH_PIPELINE_OUT`, the per-leg iteration
+//!   count with `BENCH_PIPELINE_ITERS`) so later PRs have a perf
+//!   trajectory. CI's release-test job smoke-runs this scenario at the
+//!   smallest scale.
 
-use carl::CarlEngine;
+use carl::{CarlEngine, GroundingMode};
 use carl_datagen::{generate_synthetic_review, SyntheticReviewConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use reldb::{evaluate_in, evaluate_naive, Atom, ConjunctiveQuery, IndexCache, Term};
+use std::time::Instant;
 
 const QUERY: &str = "Score[P] <= Prestige[A]? WHERE SubmittedTo(P, V), DoubleBlind[V] = false";
 
@@ -38,18 +42,145 @@ fn eval_query() -> ConjunctiveQuery {
     ])
 }
 
+/// Paper-count scales, overridable via `GROUNDING_SCALE_SCALES`.
+fn scales() -> Vec<usize> {
+    std::env::var("GROUNDING_SCALE_SCALES")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|p| p.trim().parse().ok())
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![500, 2_000, 8_000])
+}
+
+fn engine_at(papers: usize) -> CarlEngine {
+    let config = SyntheticReviewConfig {
+        authors: papers / 5,
+        institutions: 20,
+        papers,
+        venues: 10,
+        ..SyntheticReviewConfig::small(7)
+    };
+    let ds = generate_synthetic_review(&config);
+    CarlEngine::new(ds.instance, &ds.rules).expect("model binds to schema")
+}
+
+/// Best-of-`iters` wall-clock seconds for one invocation of `f` (after one
+/// untimed warm-up that primes lazily built indexes).
+fn time_best<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// One scale's measurements from the answer-pipeline race.
+struct PipelineRow {
+    papers: usize,
+    bindings_s: f64,
+    tuples_s: f64,
+    ground_threads1_s: f64,
+    ground_threads4_s: f64,
+}
+
+/// Race the full query pipeline (cold ground → unit table → ATE) on the
+/// tuple executor vs the preserved bindings executor, single-threaded, and
+/// measure parallel-grounding thread scaling. Returns the measurements.
+fn answer_pipeline_race(papers: usize, iters: usize) -> PipelineRow {
+    let engine = engine_at(papers);
+    let mut bindings_engine = engine.clone();
+    bindings_engine.set_grounding_mode(GroundingMode::Bindings);
+    let query = carl::carl_lang::parse_query(QUERY).expect("query parses");
+
+    // Single-core legs: pin the worker count so the tuple executor's data
+    // parallelism cannot flatter the comparison.
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let bindings_s = time_best(iters, || {
+        let prepared = bindings_engine.prepare_cold(&query).expect("prepares");
+        let _ = bindings_engine.answer_prepared(&prepared);
+        prepared.unit_table.len()
+    });
+    let tuples_s = time_best(iters, || {
+        let prepared = engine.prepare_cold(&query).expect("prepares");
+        let _ = engine.answer_prepared(&prepared);
+        prepared.unit_table.len()
+    });
+
+    // Thread scaling of parallel grounding (tuple path, cold).
+    let ground_threads1_s = time_best(iters, || {
+        engine.ground_model().expect("grounds").graph.node_count()
+    });
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let ground_threads4_s = time_best(iters, || {
+        engine.ground_model().expect("grounds").graph.node_count()
+    });
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    println!(
+        "answer_pipeline/{papers}: bindings {:.4}s, tuples {:.4}s ({:.1}x); \
+         ground 1 thread {:.4}s, 4 threads {:.4}s ({:.2}x)",
+        bindings_s,
+        tuples_s,
+        bindings_s / tuples_s,
+        ground_threads1_s,
+        ground_threads4_s,
+        ground_threads1_s / ground_threads4_s,
+    );
+    PipelineRow {
+        papers,
+        bindings_s,
+        tuples_s,
+        ground_threads1_s,
+        ground_threads4_s,
+    }
+}
+
+/// Write the race results as real JSON (hand-rendered: the vendored
+/// serde_json stand-in emits Debug text, which is not machine-readable).
+fn write_pipeline_json(rows: &[PipelineRow]) {
+    // Default next to the workspace root (cargo bench runs with the
+    // package directory as cwd), overridable via BENCH_PIPELINE_OUT.
+    let path = std::env::var("BENCH_PIPELINE_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_pipeline.json", env!("CARGO_MANIFEST_DIR")));
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str(&format!("  \"container_cores\": {cores},\n"));
+    body.push_str("  \"query\": \"Score[P] <= Prestige[A]? WHERE SubmittedTo(P, V), DoubleBlind[V] = false\",\n");
+    body.push_str("  \"scales\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"papers\": {}, \"bindings_pipeline_s\": {:.6}, \"tuples_pipeline_s\": {:.6}, \
+             \"pipeline_speedup\": {:.2}, \"ground_threads1_s\": {:.6}, \"ground_threads4_s\": {:.6}, \
+             \"thread_scaling\": {:.2}}}{}\n",
+            row.papers,
+            row.bindings_s,
+            row.tuples_s,
+            row.bindings_s / row.tuples_s,
+            row.ground_threads1_s,
+            row.ground_threads4_s,
+            row.ground_threads1_s / row.ground_threads4_s,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("answer_pipeline: wrote {path}"),
+        Err(e) => eprintln!("answer_pipeline: could not write {path}: {e}"),
+    }
+}
+
 fn bench_grounding_scale(c: &mut Criterion) {
+    let scales = scales();
     let mut group = c.benchmark_group("grounding_scale");
-    for &papers in &[500usize, 2_000, 8_000] {
-        let config = SyntheticReviewConfig {
-            authors: papers / 5,
-            institutions: 20,
-            papers,
-            venues: 10,
-            ..SyntheticReviewConfig::small(7)
-        };
-        let ds = generate_synthetic_review(&config);
-        let engine = CarlEngine::new(ds.instance, &ds.rules).expect("model binds to schema");
+    for &papers in &scales {
+        let engine = engine_at(papers);
         let query = eval_query();
 
         group.sample_size(10);
@@ -98,6 +229,18 @@ fn bench_grounding_scale(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // The end-to-end race (tuple vs bindings pipeline, thread scaling),
+    // with machine-readable results for the perf trajectory.
+    let iters: usize = std::env::var("BENCH_PIPELINE_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let rows: Vec<PipelineRow> = scales
+        .iter()
+        .map(|&papers| answer_pipeline_race(papers, iters))
+        .collect();
+    write_pipeline_json(&rows);
 }
 
 criterion_group!(benches, bench_grounding_scale);

@@ -1,0 +1,99 @@
+//! Stage-by-stage wall-clock profile of the answer pipeline.
+//!
+//! Prints where a cold `prepare` + estimate actually spends its time at a
+//! given scale (`PROFILE_PAPERS`, default 8000), for both grounding modes,
+//! plus a raw tuple-vs-bindings executor comparison on the query's
+//! condition shape. A scratch tool for perf work:
+//! `cargo run --release --bin profile_pipeline`. Set
+//! `CARL_PROFILE_GROUND=1` / `CARL_PROFILE_PREPARE=1` to additionally
+//! print the grounding-phase and prepare-stage splits from inside the
+//! engine.
+
+use carl::{CarlEngine, GroundingMode};
+use carl_datagen::{generate_synthetic_review, SyntheticReviewConfig};
+use reldb::{
+    evaluate_bindings_filtered, evaluate_tuples_filtered, Atom, ConjunctiveQuery, EqFilter,
+    IndexCache, Term, Value,
+};
+use std::time::Instant;
+
+const QUERY: &str = "Score[P] <= Prestige[A]? WHERE SubmittedTo(P, V), DoubleBlind[V] = false";
+
+fn time<R>(label: &str, mut f: impl FnMut() -> R) -> R {
+    // Warm-up, then best of 3.
+    let mut result = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        result = f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    println!("  {label}: {:.2} ms", best * 1e3);
+    result
+}
+
+fn main() {
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let papers: usize = std::env::var("PROFILE_PAPERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8000);
+    let config = SyntheticReviewConfig {
+        authors: papers / 5,
+        institutions: 20,
+        papers,
+        venues: 10,
+        ..SyntheticReviewConfig::small(7)
+    };
+    let ds = generate_synthetic_review(&config);
+    let engine = CarlEngine::new(ds.instance, &ds.rules).expect("engine");
+    let mut bindings = engine.clone();
+    bindings.set_grounding_mode(GroundingMode::Bindings);
+    let query = carl::carl_lang::parse_query(QUERY).expect("query");
+
+    println!("papers = {papers}");
+    time("ground (tuples)", || {
+        engine.ground_model().expect("grounds").graph.node_count()
+    });
+    time("ground (bindings)", || {
+        bindings.ground_model().expect("grounds").graph.node_count()
+    });
+    let prepared = time("prepare_cold (tuples)", || {
+        engine.prepare_cold(&query).expect("prepares")
+    });
+    time("prepare_cold (bindings)", || {
+        bindings
+            .prepare_cold(&query)
+            .expect("prepares")
+            .unit_table
+            .len()
+    });
+    time("answer_prepared", || {
+        let _ = engine.answer_prepared(&prepared);
+    });
+
+    // Raw executor comparison on the score-rule condition shape.
+    let q = ConjunctiveQuery::new(vec![
+        Atom::new("Writes", vec![Term::var("A"), Term::var("P")]),
+        Atom::new("SubmittedTo", vec![Term::var("P"), Term::var("V")]),
+        Atom::new("Person", vec![Term::var("A")]),
+    ]);
+    let filters = vec![EqFilter {
+        attr: "DoubleBlind".into(),
+        args: vec![Term::var("V")],
+        value: Value::Bool(false),
+    }];
+    let inst = engine.instance();
+    let cache = IndexCache::for_instance(inst);
+    let n = time("eval_tuples_filtered", || {
+        evaluate_tuples_filtered(&cache, inst.schema(), inst, &q, &filters)
+            .unwrap()
+            .len()
+    });
+    println!("    rows: {n}");
+    time("eval_bindings_filtered", || {
+        evaluate_bindings_filtered(&cache, inst.schema(), inst, &q, &filters)
+            .unwrap()
+            .len()
+    });
+}

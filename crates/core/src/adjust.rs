@@ -61,30 +61,57 @@ pub fn covariates(
     let mut own_attrs: BTreeSet<String> = BTreeSet::new();
     let mut peer_attrs: BTreeSet<String> = BTreeSet::new();
 
-    let collect_parents =
-        |unit: &UnitKey, out: &mut BTreeMap<String, Vec<f64>>, attrs: &mut BTreeSet<String>| {
-            let node = GroundedAttr::new(treatment_attr, unit.clone());
-            let Some(id) = graph.node_id(&node) else {
-                return;
-            };
-            for &pid in graph.parents_of(id) {
+    // The observed parents of one unit's treatment node, in graph parent
+    // order. Computed once per unit: a unit's list is reused for its own
+    // covariates and for every unit it is a peer of.
+    let mut lookup = GroundedAttr::new(treatment_attr, Vec::new());
+    let parents_of = |lookup: &mut GroundedAttr, unit: &UnitKey| -> Vec<(String, f64)> {
+        lookup.key.clear();
+        lookup.key.extend_from_slice(unit);
+        let Some(id) = graph.node_id(lookup) else {
+            return Vec::new();
+        };
+        graph
+            .parents_of(id)
+            .iter()
+            .filter_map(|&pid| {
                 let parent = graph.node(pid);
                 if parent.attr == treatment_attr || !model.is_observed(&parent.attr) {
-                    continue;
+                    return None;
                 }
-                if let Some(v) = grounded.value_of(instance, parent) {
-                    out.entry(parent.attr.clone()).or_default().push(v);
-                    attrs.insert(parent.attr.clone());
-                }
+                grounded
+                    .value_of(instance, parent)
+                    .map(|v| (parent.attr.clone(), v))
+            })
+            .collect()
+    };
+    let unit_index: std::collections::HashMap<&UnitKey, usize> =
+        units.iter().enumerate().map(|(i, u)| (u, i)).collect();
+    let memo: Vec<Vec<(String, f64)>> = units.iter().map(|u| parents_of(&mut lookup, u)).collect();
+    let append = |list: &[(String, f64)],
+                  out: &mut BTreeMap<String, Vec<f64>>,
+                  attrs: &mut BTreeSet<String>| {
+        for (attr, v) in list {
+            out.entry(attr.clone()).or_default().push(*v);
+            if !attrs.contains(attr) {
+                attrs.insert(attr.clone());
             }
-        };
+        }
+    };
 
-    for unit in units {
+    for (i, unit) in units.iter().enumerate() {
         let mut cov = UnitCovariates::default();
-        collect_parents(unit, &mut cov.own, &mut own_attrs);
+        append(&memo[i], &mut cov.own, &mut own_attrs);
         if let Some(unit_peers) = peers.get(unit) {
             for p in unit_peers {
-                collect_parents(p, &mut cov.peer, &mut peer_attrs);
+                match unit_index.get(p) {
+                    // Peers are normally units themselves: reuse the memo.
+                    Some(&pi) => append(&memo[pi], &mut cov.peer, &mut peer_attrs),
+                    None => {
+                        let list = parents_of(&mut lookup, p);
+                        append(&list, &mut cov.peer, &mut peer_attrs);
+                    }
+                }
             }
         }
         plan.per_unit.insert(unit.clone(), cov);

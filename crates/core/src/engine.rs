@@ -27,7 +27,9 @@ use crate::adjust::{covariates, AdjustmentPlan};
 use crate::embed::EmbeddingKind;
 use crate::error::{CarlError, CarlResult};
 use crate::estimate::{CateSeries, EstimatorKind, QueryAnswer};
-use crate::ground::{comparisons_hold, ground, ground_with, partition_comparisons, GroundedModel};
+use crate::ground::{
+    ground, ground_with, ground_with_bindings, partition_comparisons, GroundedModel, RowComparisons,
+};
 use crate::model::RelationalCausalModel;
 use crate::paths::unify;
 use crate::peers::{compute_peers, PeerMap};
@@ -40,9 +42,45 @@ use carl_lang::{
     parse_program, parse_query, AggregateRule, ArgTerm, CausalQuery, PeerCondition, Program,
 };
 use rayon::prelude::*;
-use reldb::{evaluate_filtered, IndexCache, Instance, UnitKey};
+use reldb::{evaluate_tuples_filtered, IndexCache, Instance, UnitKey};
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
+
+/// Whether `CARL_PROFILE_PREPARE` stage timings are enabled (cached —
+/// see [`crate::ground::env_flag`]).
+fn profile_prepare() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    crate::ground::env_flag("CARL_PROFILE_PREPARE", &FLAG)
+}
+
+/// Which plan executor groundings run on.
+///
+/// [`GroundingMode::Tuples`] is the production path: the dense register-
+/// tuple executor with parallel rule grounding. [`GroundingMode::Bindings`]
+/// routes through the preserved PR 3 executor (sequential rules, one
+/// `HashMap<String, Value>` per answer) and bypasses the grounding-result
+/// cache, so benchmarks can race the two pipelines on equal, cold terms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum GroundingMode {
+    /// Dense tuple executor + parallel rule grounding (default).
+    #[default]
+    Tuples,
+    /// Preserved hashmap-of-values executor (benchmark baseline).
+    Bindings,
+}
+
+/// How `prepare` obtains its grounded model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Grounding {
+    /// Through the `(rule, fingerprint)` grounding-result cache.
+    Cached,
+    /// Bypass the result cache but share the engine's secondary indexes
+    /// (steady-state cold grounding — what benchmarks time).
+    Cold,
+    /// Fully fresh: no result cache, no shared indexes (the row-wise
+    /// differential path, where a cache bug must not mask itself).
+    Fresh,
+}
 
 /// A prepared query: everything computed up to (and including) the unit
 /// table, before estimation. Exposed so that benchmarks can time unit-table
@@ -109,6 +147,7 @@ pub struct CarlEngine {
     model: RelationalCausalModel,
     embedding: EmbeddingKind,
     estimator: EstimatorKind,
+    grounding_mode: GroundingMode,
     /// Shared across clones: clones answer queries over the same instance,
     /// so they profit from each other's groundings.
     grounding_cache: Arc<GroundingCache>,
@@ -141,10 +180,19 @@ impl CarlEngine {
             model,
             embedding: EmbeddingKind::default(),
             estimator: EstimatorKind::default(),
+            grounding_mode: GroundingMode::default(),
             grounding_cache: Arc::new(Mutex::new(HashMap::new())),
             eval_cache: Arc::new(IndexCache::with_fingerprint(instance_fingerprint)),
             instance_fingerprint,
         })
+    }
+
+    /// Replace the grounding executor (see [`GroundingMode`]). The
+    /// `Bindings` mode exists for benchmarking and differential testing;
+    /// production engines keep the default `Tuples` mode.
+    pub fn set_grounding_mode(&mut self, mode: GroundingMode) -> &mut Self {
+        self.grounding_mode = mode;
+        self
     }
 
     /// Replace the embedding strategy (§5.2.2). `Padding(0)` auto-sizes the
@@ -180,12 +228,12 @@ impl CarlEngine {
         &self.model.program().queries
     }
 
-    /// Ground the model (without any query-specific synthesis). Useful for
-    /// inspecting the grounded causal graph and for benchmarks. Bypasses
-    /// the grounding-result cache but shares the engine's secondary
-    /// indexes.
+    /// Ground the model (without any query-specific synthesis) on the
+    /// engine's [`GroundingMode`]. Useful for inspecting the grounded
+    /// causal graph and for benchmarks. Bypasses the grounding-result
+    /// cache but shares the engine's secondary indexes.
     pub fn ground_model(&self) -> CarlResult<GroundedModel> {
-        ground_with(&self.model, &self.instance, &self.eval_cache)
+        self.ground_cold(&self.model)
     }
 
     /// Prepare a query given as CaRL text.
@@ -200,20 +248,38 @@ impl CarlEngine {
         self.answer(&query)
     }
 
-    /// Ground `model` through the cache. The cache key combines the
-    /// canonical rendering of the synthesised rule (empty for the base
-    /// program) with the instance fingerprint, so repeated queries over the
-    /// same instance skip re-grounding entirely. `use_cache: false` grounds
-    /// from scratch — the row-wise differential path uses it so that a cache
-    /// bug cannot mask itself by affecting both engines.
+    /// Ground `model` on the engine's grounding mode, bypassing the
+    /// grounding-result cache but sharing the secondary indexes.
+    fn ground_cold(&self, model: &RelationalCausalModel) -> CarlResult<GroundedModel> {
+        match self.grounding_mode {
+            GroundingMode::Tuples => ground_with(model, &self.instance, &self.eval_cache),
+            GroundingMode::Bindings => {
+                ground_with_bindings(model, &self.instance, &self.eval_cache)
+            }
+        }
+    }
+
+    /// Ground `model` per the requested [`Grounding`] policy. For `Cached`,
+    /// the cache key combines the canonical rendering of the synthesised
+    /// rule (empty for the base program) with the instance fingerprint, so
+    /// repeated queries over the same instance skip re-grounding entirely.
+    /// `Fresh` grounds from scratch — the row-wise differential path uses
+    /// it so that a cache bug cannot mask itself by affecting both engines.
+    /// In [`GroundingMode::Bindings`] the result cache is always bypassed
+    /// (the mode exists to measure grounding, not to serve it fast).
     fn grounded_for(
         &self,
         model: &RelationalCausalModel,
         synthesized: Option<&AggregateRule>,
-        use_cache: bool,
+        grounding: Grounding,
     ) -> CarlResult<Arc<GroundedModel>> {
-        if !use_cache {
-            return Ok(Arc::new(ground(model, &self.instance)?));
+        match grounding {
+            Grounding::Fresh => return Ok(Arc::new(ground(model, &self.instance)?)),
+            Grounding::Cold => return Ok(Arc::new(self.ground_cold(model)?)),
+            Grounding::Cached => {}
+        }
+        if self.grounding_mode == GroundingMode::Bindings {
+            return Ok(Arc::new(self.ground_cold(model)?));
         }
         let rule_key = synthesized.map(|r| format!("{r:?}")).unwrap_or_default();
         let key = (rule_key, self.instance_fingerprint);
@@ -245,10 +311,16 @@ impl CarlEngine {
 
     /// Steps 1–6 of `prepare` up to (but excluding) unit-table
     /// construction, shared by the columnar and row-wise paths.
-    fn prepare_inputs(&self, query: &CausalQuery, use_cache: bool) -> CarlResult<PreparedInputs> {
+    fn prepare_inputs(
+        &self,
+        query: &CausalQuery,
+        grounding: Grounding,
+    ) -> CarlResult<PreparedInputs> {
         // 1. Unify treated and response units (§4.3), possibly synthesising
         //    an aggregate rule that also folds in the query's restriction.
+        let t_unify = std::time::Instant::now();
         let plan = unify(&self.model, query)?;
+        let t_model = std::time::Instant::now();
 
         // 2. Build the effective model (base + synthesised rule) and ground
         //    it (through the grounding cache unless told otherwise).
@@ -256,16 +328,24 @@ impl CarlEngine {
             let mut program = self.model.program().clone();
             program.aggregates.push(rule.clone());
             let model = RelationalCausalModel::new(self.instance.schema().clone(), program)?;
-            let grounded = self.grounded_for(&model, Some(rule), use_cache)?;
+            let grounded = self.grounded_for(&model, Some(rule), grounding)?;
             (model, grounded)
         } else {
-            let grounded = self.grounded_for(&self.model, None, use_cache)?;
+            let grounded = self.grounded_for(&self.model, None, grounding)?;
             (self.model.clone(), grounded)
         };
 
         let treatment_attr = query.treatment.attr.clone();
         let response_attr = plan.response_attr.clone();
 
+        let t_ground = std::time::Instant::now();
+        if profile_prepare() {
+            eprintln!(
+                "prepare: unify {:.2}ms model+ground {:.2}ms",
+                (t_model - t_unify).as_secs_f64() * 1e3,
+                (t_ground - t_model).as_secs_f64() * 1e3
+            );
+        }
         // 3. Units of analysis: groundings of the treatment's subject class.
         let units = self
             .instance
@@ -282,8 +362,10 @@ impl CarlEngine {
             self.allowed_units(query)?
         };
 
+        let t_units = std::time::Instant::now();
         // 5. Relational peers and covariates.
         let peers = compute_peers(&grounded, &treatment_attr, &response_attr, &units);
+        let t_peers = std::time::Instant::now();
         let adjustment = covariates(
             &model,
             &grounded,
@@ -293,6 +375,15 @@ impl CarlEngine {
             &peers,
         );
 
+        let t_cov = std::time::Instant::now();
+        if profile_prepare() {
+            eprintln!(
+                "prepare: units+allowed {:.2}ms peers {:.2}ms covariates {:.2}ms",
+                (t_units - t_ground).as_secs_f64() * 1e3,
+                (t_peers - t_units).as_secs_f64() * 1e3,
+                (t_cov - t_peers).as_secs_f64() * 1e3
+            );
+        }
         // 6. Embedding (auto-size padding if requested).
         let embedding = match self.embedding {
             EmbeddingKind::Padding(0) => {
@@ -317,7 +408,21 @@ impl CarlEngine {
     /// Prepare a parsed query: unify, ground (through the grounding cache),
     /// detect covariates and build the columnar unit table.
     pub fn prepare(&self, query: &CausalQuery) -> CarlResult<PreparedQuery> {
-        let inputs = self.prepare_inputs(query, true)?;
+        self.prepare_with(query, Grounding::Cached)
+    }
+
+    /// Prepare a parsed query with cold grounding: the grounding-result
+    /// cache is bypassed (every call re-grounds on the engine's
+    /// [`GroundingMode`]) while the shared secondary indexes stay warm.
+    /// This is the steady-state pipeline cost benchmarks measure — see the
+    /// `answer_pipeline` scenario of the `grounding_scale` bench.
+    pub fn prepare_cold(&self, query: &CausalQuery) -> CarlResult<PreparedQuery> {
+        self.prepare_with(query, Grounding::Cold)
+    }
+
+    fn prepare_with(&self, query: &CausalQuery, grounding: Grounding) -> CarlResult<PreparedQuery> {
+        let inputs = self.prepare_inputs(query, grounding)?;
+        let t_build = std::time::Instant::now();
         let unit_table = build_unit_table(&UnitTableSpec {
             grounded: &inputs.grounded,
             instance: &self.instance,
@@ -329,6 +434,12 @@ impl CarlEngine {
             embedding: inputs.embedding,
             allowed_units: inputs.allowed_units.as_ref(),
         })?;
+        if profile_prepare() {
+            eprintln!(
+                "prepare: unit_table {:.2}ms",
+                t_build.elapsed().as_secs_f64() * 1e3
+            );
+        }
 
         Ok(PreparedQuery {
             unit_table,
@@ -344,7 +455,7 @@ impl CarlEngine {
     /// cache, row-built unit table). Reference implementation for the
     /// differential test harness; not used by production code.
     pub fn prepare_rowwise(&self, query: &CausalQuery) -> CarlResult<RowPreparedQuery> {
-        let inputs = self.prepare_inputs(query, false)?;
+        let inputs = self.prepare_inputs(query, Grounding::Fresh)?;
         let unit_table = build_row_unit_table(&UnitTableSpec {
             grounded: &inputs.grounded,
             instance: &self.instance,
@@ -490,7 +601,7 @@ impl CarlEngine {
         let (mut cq, comparisons) = self.model.condition_to_query(&query.condition, None);
         cq.atoms.extend(extra_atoms);
         let (filters, residual) = partition_comparisons(comparisons);
-        let answers = evaluate_filtered(
+        let answers = evaluate_tuples_filtered(
             &self.eval_cache,
             self.instance.schema(),
             &self.instance,
@@ -498,13 +609,14 @@ impl CarlEngine {
             &filters,
         )
         .map_err(CarlError::Rel)?;
+        let residual = RowComparisons::compile(&residual, &answers);
         let mut allowed = HashSet::new();
-        for binding in &answers {
-            if !comparisons_hold(&residual, binding, &self.instance) {
-                continue;
-            }
-            if let Some(value) = binding.get(tvar) {
-                allowed.insert(vec![value.clone()]);
+        if let Some(slot) = answers.slot_of(tvar) {
+            for row in answers.rows() {
+                if !residual.hold(row, &answers, &self.instance) {
+                    continue;
+                }
+                allowed.insert(vec![answers.value(row[slot]).clone()]);
             }
         }
         Ok(Some(allowed))

@@ -6,12 +6,17 @@
 //! further vertices (e.g. `AVG_Score["Bob"]`) whose value is a deterministic
 //! function of their parents.
 
+use reldb::symbols::SymMap;
+use reldb::value::{fnv1a, FNV_OFFSET};
 use reldb::{UnitKey, Value};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 
 /// A grounded attribute `A[x]`: the vertex type of the causal graph.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Ordered (attribute name, then key) so that sorted containers — notably
+/// [`crate::ground::GroundedModel::derived`] — iterate deterministically.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GroundedAttr {
     /// Attribute name (e.g. `"Score"` or `"AVG_Score"`).
     pub attr: String,
@@ -48,7 +53,13 @@ pub type NodeId = usize;
 #[derive(Debug, Clone, Default)]
 pub struct CausalGraph {
     nodes: Vec<GroundedAttr>,
-    index: HashMap<GroundedAttr, NodeId>,
+    /// Content fingerprint → candidate node ids (collision-checked).
+    ///
+    /// Grounding inserts tens of thousands of nodes; keying the lookup on
+    /// a 64-bit FNV of the grounded attribute's canonical bytes avoids
+    /// cloning attribute strings and unit keys into a map key per node
+    /// (and the fast symbol hasher makes the probe a few ALU ops).
+    index: SymMap<u64, Vec<NodeId>>,
     parents: Vec<Vec<NodeId>>,
     children: Vec<Vec<NodeId>>,
     by_attr: HashMap<String, Vec<NodeId>>,
@@ -70,14 +81,41 @@ impl CausalGraph {
         self.children.iter().map(Vec::len).sum()
     }
 
+    /// A deterministic 64-bit content fingerprint of a grounded attribute
+    /// (FNV-1a over the attribute name and the key's *equality-consistent*
+    /// byte rendering: `Value`-equal keys — including `Int(2)` vs
+    /// `Float(2.0)` — fingerprint identically, so the index buckets no
+    /// finer than `GroundedAttr` equality).
+    fn fingerprint(node: &GroundedAttr) -> u64 {
+        let mut h = FNV_OFFSET;
+        fnv1a(&mut h, node.attr.as_bytes());
+        fnv1a(&mut h, &[0xff]);
+        for v in &node.key {
+            v.fold_eq_bytes(&mut |bytes| fnv1a(&mut h, bytes));
+            fnv1a(&mut h, &[0xfe]);
+        }
+        h
+    }
+
     /// Add (or retrieve) the node for a grounded attribute.
     pub fn add_node(&mut self, node: GroundedAttr) -> NodeId {
-        if let Some(&id) = self.index.get(&node) {
-            return id;
+        let h = Self::fingerprint(&node);
+        if let Some(ids) = self.index.get(&h) {
+            for &id in ids {
+                if self.nodes[id] == node {
+                    return id;
+                }
+            }
         }
         let id = self.nodes.len();
-        self.index.insert(node.clone(), id);
-        self.by_attr.entry(node.attr.clone()).or_default().push(id);
+        self.index.entry(h).or_default().push(id);
+        // Avoid cloning the attribute name except for its first node.
+        match self.by_attr.get_mut(&node.attr) {
+            Some(ids) => ids.push(id),
+            None => {
+                self.by_attr.insert(node.attr.clone(), vec![id]);
+            }
+        }
         self.nodes.push(node);
         self.parents.push(Vec::new());
         self.children.push(Vec::new());
@@ -102,7 +140,11 @@ impl CausalGraph {
 
     /// Look up the node id of a grounded attribute.
     pub fn node_id(&self, node: &GroundedAttr) -> Option<NodeId> {
-        self.index.get(node).copied()
+        self.index
+            .get(&Self::fingerprint(node))?
+            .iter()
+            .copied()
+            .find(|&id| &self.nodes[id] == node)
     }
 
     /// Parents of a node.
@@ -395,5 +437,21 @@ mod tests {
     fn display_of_grounded_attrs() {
         let a = GroundedAttr::single("Score", "s1");
         assert_eq!(a.to_string(), "Score[\"s1\"]");
+    }
+
+    #[test]
+    fn node_identity_follows_value_equality_across_numeric_variants() {
+        // Regression: the fingerprint index must bucket no finer than
+        // GroundedAttr equality. Int(2) == Float(2.0) per Value::eq, so a
+        // node added with one variant must be found (and deduplicated)
+        // through the other.
+        let mut g = CausalGraph::new();
+        let float_node = GroundedAttr::new("Score", vec![Value::Float(2.0)]);
+        let int_node = GroundedAttr::new("Score", vec![Value::Int(2)]);
+        assert_eq!(float_node, int_node);
+        let id = g.add_node(float_node.clone());
+        assert_eq!(g.node_id(&int_node), Some(id));
+        assert_eq!(g.add_node(int_node), id, "no duplicate node");
+        assert_eq!(g.node_count(), 1);
     }
 }

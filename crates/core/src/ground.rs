@@ -5,13 +5,49 @@
 //! head and body groundings become vertices and edges of the grounded
 //! causal graph. Aggregate rules additionally produce *derived values*
 //! (deterministic functions of their parents) such as `AVG_Score["Bob"]`.
+//!
+//! Grounding is a two-phase pipeline over the dense tuple executor:
+//!
+//! 1. **Parallel evaluation** — every rule and aggregate condition is an
+//!    independent query over the same (immutable) instance, so all of them
+//!    are evaluated concurrently through the `rayon` facade, each producing
+//!    [`reldb::TupleAnswers`] (flat register tuples of interned symbols, no
+//!    per-answer maps).
+//! 2. **Deterministic merge** — answers are folded into the graph
+//!    sequentially, in rule order, streaming rows straight out of the
+//!    register tuples (head/body keys are resolved through precompiled
+//!    slot lookups; aggregate groups accumulate in first-seen order with
+//!    O(1) symbol-tuple dedup). The merge order is independent of thread
+//!    count, so a grounding is bit-identical under any `RAYON_NUM_THREADS`.
+//!
+//! [`ground_with_bindings`] preserves the PR 3 path (sequential rule loop,
+//! `Vec<Bindings>` materialisation per condition) as the baseline the
+//! `answer_pipeline` benchmark races the dense pipeline against.
 
 use crate::error::{CarlError, CarlResult};
 use crate::graph::{CausalGraph, GroundedAttr};
 use crate::model::{RelationalCausalModel, TypedComparison};
-use carl_lang::{AggName, ArgTerm, CompareOp};
-use reldb::{evaluate_filtered, AggFn, Bindings, EqFilter, IndexCache, Instance, UnitKey, Value};
-use std::collections::HashMap;
+use carl_lang::{AggName, AggregateRule, ArgTerm, CompareOp};
+use rayon::prelude::*;
+use reldb::symbols::{SymMap, SymSet};
+use reldb::{
+    evaluate_bindings_filtered, evaluate_tuples_filtered, AggFn, Bindings, ConjunctiveQuery,
+    EqFilter, IndexCache, Instance, Sym, TupleAnswers, UnitKey, Value,
+};
+use std::collections::{BTreeMap, HashMap};
+
+/// Whether an env-var profiling flag is set, cached on first read: these
+/// sit on hot paths and `std::env::var` takes the process-wide environment
+/// lock on every call.
+pub(crate) fn env_flag(name: &str, cell: &'static std::sync::OnceLock<bool>) -> bool {
+    *cell.get_or_init(|| std::env::var(name).is_ok())
+}
+
+/// Whether `CARL_PROFILE_GROUND` phase timings are enabled.
+fn profile_ground() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    env_flag("CARL_PROFILE_GROUND", &FLAG)
+}
 
 /// The result of grounding a relational causal model against an instance:
 /// the grounded causal graph plus the derived values of aggregate attributes.
@@ -20,8 +56,10 @@ pub struct GroundedModel {
     /// The grounded relational causal graph `G(Φ_Δ)`, extended with
     /// aggregate vertices.
     pub graph: CausalGraph,
-    /// Values of aggregate-defined groundings (e.g. `AVG_Score["Bob"]`).
-    pub derived: HashMap<GroundedAttr, f64>,
+    /// Values of aggregate-defined groundings (e.g. `AVG_Score["Bob"]`),
+    /// in a sorted map so diagnostics and iteration are deterministic
+    /// regardless of how many threads the grounding merge ran under.
+    pub derived: BTreeMap<GroundedAttr, f64>,
 }
 
 impl GroundedModel {
@@ -80,10 +118,496 @@ pub fn partition_comparisons(
     (filters, residual)
 }
 
+/// A rule or aggregate condition compiled to a query plus filters, ready
+/// for (parallel) evaluation, with the residual comparisons kept aside.
+struct PreppedCondition {
+    query: ConjunctiveQuery,
+    filters: Vec<EqFilter>,
+    residual: Vec<TypedComparison>,
+}
+
+fn prep_condition(
+    model: &RelationalCausalModel,
+    attr: &str,
+    args: &[ArgTerm],
+    condition: &carl_lang::Condition,
+) -> CarlResult<PreppedCondition> {
+    let default_atom = model.implicit_atom(attr, args)?;
+    let (query, comparisons) = model.condition_to_query(condition, Some(vec![default_atom]));
+    let (filters, residual) = partition_comparisons(comparisons);
+    Ok(PreppedCondition {
+        query,
+        filters,
+        residual,
+    })
+}
+
+/// How one head/body argument is produced from an answer row.
+enum ArgSlot {
+    /// A constant from the rule text, with its resolved signature symbol
+    /// (the skeleton symbol when the value occurs in the skeleton, a
+    /// ground-local pseudo-symbol otherwise).
+    Const(u32, Value),
+    /// The value in this register slot.
+    Slot(usize),
+    /// The variable is not bound by the condition: resolving it is an
+    /// error (raised only if a row actually survives, matching the
+    /// behaviour of per-binding substitution).
+    Unbound(String),
+}
+
+/// Pseudo-symbols for constants the skeleton never interned: ids above the
+/// skeleton's symbol space, assigned per distinct value (under `Value`
+/// equality, consistent with the interner's own equivalence). Together with
+/// the skeleton symbols this makes every argument value of every rule
+/// expressible as one `u32`, so node identities and group keys are pure
+/// integer signatures.
+struct ConstSyms {
+    base: usize,
+    lookup: HashMap<Value, u32>,
+}
+
+impl ConstSyms {
+    fn new(interner_len: usize) -> Self {
+        Self {
+            base: interner_len,
+            lookup: HashMap::new(),
+        }
+    }
+
+    fn sym_of(&mut self, interner: &reldb::SymbolTable, value: &Value) -> u32 {
+        if let Some(sym) = interner.get(value) {
+            return u32::try_from(sym.index()).expect("symbol space fits u32");
+        }
+        if let Some(&sym) = self.lookup.get(value) {
+            return sym;
+        }
+        let sym = u32::try_from(self.base + self.lookup.len()).expect("symbol space fits u32");
+        self.lookup.insert(value.clone(), sym);
+        sym
+    }
+}
+
+/// Compile argument terms against an answer's slot layout.
+fn arg_slots(
+    args: &[ArgTerm],
+    answers: &TupleAnswers<'_>,
+    interner: &reldb::SymbolTable,
+    consts: &mut ConstSyms,
+) -> Vec<ArgSlot> {
+    args.iter()
+        .map(|arg| match arg {
+            ArgTerm::Const(c) => {
+                let value = crate::model::literal_to_value(c);
+                ArgSlot::Const(consts.sym_of(interner, &value), value)
+            }
+            ArgTerm::Var(v) => match answers.slot_of(v) {
+                Some(slot) => ArgSlot::Slot(slot),
+                None => ArgSlot::Unbound(v.clone()),
+            },
+        })
+        .collect()
+}
+
+/// The unbound-variable error per-binding substitution would raise.
+fn unbound_error(var: &str) -> CarlError {
+    CarlError::InvalidQuery(format!(
+        "variable `{var}` is not bound by the rule's WHERE clause"
+    ))
+}
+
+/// Resolve a compiled argument spec against one answer row.
+fn resolve_args(spec: &[ArgSlot], row: &[Sym], answers: &TupleAnswers<'_>) -> CarlResult<UnitKey> {
+    spec.iter()
+        .map(|arg| match arg {
+            ArgSlot::Const(_, v) => Ok(v.clone()),
+            ArgSlot::Slot(s) => Ok(answers.value(row[*s]).clone()),
+            ArgSlot::Unbound(v) => Err(unbound_error(v)),
+        })
+        .collect()
+}
+
+/// The signature symbol of one argument for a given row.
+fn arg_sig(arg: &ArgSlot, row: &[Sym]) -> CarlResult<u32> {
+    match arg {
+        ArgSlot::Const(sym, _) => Ok(*sym),
+        ArgSlot::Slot(s) => Ok(u32::try_from(row[*s].index()).expect("symbol space fits u32")),
+        ArgSlot::Unbound(v) => Err(unbound_error(v)),
+    }
+}
+
+/// Fill `out` with the full signature of a spec for a given row.
+fn sig_into(spec: &[ArgSlot], row: &[Sym], out: &mut Vec<u32>) -> CarlResult<()> {
+    out.clear();
+    for arg in spec {
+        out.push(arg_sig(arg, row)?);
+    }
+    Ok(())
+}
+
+/// The first unbound variable of a compiled spec, if any.
+fn first_unbound(spec: &[ArgSlot]) -> Option<&str> {
+    spec.iter().find_map(|a| match a {
+        ArgSlot::Unbound(v) => Some(v.as_str()),
+        _ => None,
+    })
+}
+
+/// Sentinel for "no node yet" in the dense node table.
+const NO_NODE: u32 = u32::MAX;
+
+/// The ground-wide node table: graph-node ids memoised on
+/// `(attribute, argument-signature)` so a grounding referenced by several
+/// rules (e.g. `Score[p]` as the head of three rules and the source of an
+/// aggregate) resolves its values — and hashes a string-keyed
+/// [`GroundedAttr`] — exactly once across the whole merge.
+///
+/// Single-argument references (the overwhelmingly common shape) memoise
+/// through a dense per-attribute array indexed by the signature symbol —
+/// one bounds check per row, no hashing at all. Other arities fall back to
+/// a symbol-keyed hash map probed without allocating.
+#[derive(Default)]
+struct NodeTable {
+    attr_ids: HashMap<String, usize>,
+    /// `single[attr_id][sig]` → node id (dense, `NO_NODE` = absent).
+    single: Vec<Vec<u32>>,
+    /// `multi[attr_id][full signature]` → node id (other arities).
+    multi: Vec<SymMap<Vec<u32>, usize>>,
+}
+
+impl NodeTable {
+    /// The dense id of an attribute name (registering it on first use).
+    fn attr_id(&mut self, attr: &str) -> usize {
+        if let Some(&id) = self.attr_ids.get(attr) {
+            return id;
+        }
+        let id = self.attr_ids.len();
+        self.attr_ids.insert(attr.to_string(), id);
+        self.single.push(Vec::new());
+        self.multi.push(SymMap::default());
+        id
+    }
+
+    /// The graph node for `attr` grounded with the row's argument values,
+    /// creating it on first sight.
+    fn node_id(
+        &mut self,
+        graph: &mut CausalGraph,
+        attr: &str,
+        attr_id: usize,
+        spec: &[ArgSlot],
+        row: &[Sym],
+        answers: &TupleAnswers<'_>,
+    ) -> CarlResult<usize> {
+        if let [arg] = spec {
+            let sig = arg_sig(arg, row)? as usize;
+            let ids = &mut self.single[attr_id];
+            if sig >= ids.len() {
+                ids.resize(sig + 1, NO_NODE);
+            }
+            if ids[sig] != NO_NODE {
+                return Ok(ids[sig] as usize);
+            }
+            let key = resolve_args(spec, row, answers)?;
+            let id = graph.add_node(GroundedAttr::new(attr, key));
+            self.single[attr_id][sig] = u32::try_from(id).expect("node ids fit u32");
+            return Ok(id);
+        }
+        let mut signature = Vec::with_capacity(spec.len());
+        sig_into(spec, row, &mut signature)?;
+        if let Some(&id) = self.multi[attr_id].get(signature.as_slice()) {
+            return Ok(id);
+        }
+        let key = resolve_args(spec, row, answers)?;
+        let id = graph.add_node(GroundedAttr::new(attr, key));
+        self.multi[attr_id].insert(signature, id);
+        Ok(id)
+    }
+}
+
+/// Residual (non-equality) comparisons compiled against an answer's slot
+/// layout, evaluated per register row.
+pub(crate) struct RowComparisons<'c> {
+    compiled: Vec<(&'c TypedComparison, Vec<CmpArg<'c>>)>,
+}
+
+enum CmpArg<'c> {
+    Const(&'c Value),
+    Slot(usize),
+    /// Unbound comparison variables never satisfy the comparison.
+    Unbound,
+}
+
+impl<'c> RowComparisons<'c> {
+    pub(crate) fn compile(comparisons: &'c [TypedComparison], answers: &TupleAnswers<'_>) -> Self {
+        let compiled = comparisons
+            .iter()
+            .map(|cmp| {
+                let args = cmp
+                    .args
+                    .iter()
+                    .map(|t| match t {
+                        reldb::Term::Const(v) => CmpArg::Const(v),
+                        reldb::Term::Var(v) => match answers.slot_of(v) {
+                            Some(slot) => CmpArg::Slot(slot),
+                            None => CmpArg::Unbound,
+                        },
+                    })
+                    .collect();
+                (cmp, args)
+            })
+            .collect();
+        Self { compiled }
+    }
+
+    /// Whether every comparison holds for `row`.
+    pub(crate) fn hold(
+        &self,
+        row: &[Sym],
+        answers: &TupleAnswers<'_>,
+        instance: &Instance,
+    ) -> bool {
+        self.compiled.iter().all(|(cmp, args)| {
+            let key: Option<UnitKey> = args
+                .iter()
+                .map(|a| match a {
+                    CmpArg::Const(v) => Some((*v).clone()),
+                    CmpArg::Slot(s) => Some(answers.value(row[*s]).clone()),
+                    CmpArg::Unbound => None,
+                })
+                .collect();
+            match key {
+                Some(key) => cmp.holds(instance.attribute(&cmp.attr, &key)),
+                None => false,
+            }
+        })
+    }
+}
+
 /// Ground `model` against `instance`, reusing (and lazily extending) the
 /// secondary indexes in `cache`. The cache must belong to `instance` (the
 /// engine keys it by [`Instance::fingerprint`]).
+///
+/// All rule and aggregate conditions are evaluated in parallel (phase 1);
+/// the merge into the graph (phase 2) is sequential in rule order, so the
+/// result is identical under any thread count.
 pub fn ground_with(
+    model: &RelationalCausalModel,
+    instance: &Instance,
+    cache: &IndexCache,
+) -> CarlResult<GroundedModel> {
+    let schema = model.schema();
+
+    // Aggregates in topological order so that aggregates over aggregates,
+    // while unusual, are well defined.
+    let order: Vec<&str> = model
+        .topological_order()
+        .iter()
+        .map(String::as_str)
+        .collect();
+    let mut aggregates: Vec<&AggregateRule> = model.aggregates().iter().collect();
+    aggregates.sort_by_key(|a| {
+        order
+            .iter()
+            .position(|n| *n == a.name)
+            .unwrap_or(usize::MAX)
+    });
+
+    // Compile every condition (sequential, cheap, fallible)...
+    let mut prepped: Vec<PreppedCondition> = Vec::with_capacity(model.rules().len());
+    for rule in model.rules() {
+        prepped.push(prep_condition(
+            model,
+            &rule.head.attr,
+            &rule.head.args,
+            &rule.condition,
+        )?);
+    }
+    for agg in &aggregates {
+        prepped.push(prep_condition(
+            model,
+            &agg.source.attr,
+            &agg.source.args,
+            &agg.condition,
+        )?);
+    }
+
+    let t0 = std::time::Instant::now();
+    // ... phase 1: evaluate them all in parallel (order-preserving).
+    let evaluated: Vec<reldb::RelResult<TupleAnswers<'_>>> = prepped
+        .iter()
+        .map(|p| (&p.query, &p.filters))
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|(query, filters)| evaluate_tuples_filtered(cache, schema, instance, query, filters))
+        .collect();
+    let mut evaluated = evaluated.into_iter();
+    let t1 = std::time::Instant::now();
+
+    // Phase 2a: merge causal rules, in rule order. Node ids are memoised
+    // across the whole merge on `(attribute, argument signature)` (see
+    // [`NodeTable`]), so repeated groundings cost a bounds check instead of
+    // re-resolving values and re-hashing string-keyed `GroundedAttr`s.
+    let interner = instance.skeleton().interner();
+    let mut consts = ConstSyms::new(interner.len());
+    let mut nodes = NodeTable::default();
+    let mut graph = CausalGraph::new();
+    for (rule, prep) in model.rules().iter().zip(&prepped) {
+        let answers = evaluated.next().expect("one answer batch per condition");
+        let answers = answers.map_err(CarlError::Rel)?;
+        let residual = RowComparisons::compile(&prep.residual, &answers);
+        let head_spec = arg_slots(&rule.head.args, &answers, interner, &mut consts);
+        let head_attr_id = nodes.attr_id(&rule.head.attr);
+        let body_specs: Vec<(usize, Vec<ArgSlot>)> = rule
+            .body
+            .iter()
+            .map(|b| {
+                (
+                    nodes.attr_id(&b.attr),
+                    arg_slots(&b.args, &answers, interner, &mut consts),
+                )
+            })
+            .collect();
+        for row in answers.rows() {
+            if !residual.hold(row, &answers, instance) {
+                continue;
+            }
+            let head_id = nodes.node_id(
+                &mut graph,
+                &rule.head.attr,
+                head_attr_id,
+                &head_spec,
+                row,
+                &answers,
+            )?;
+            for (body, (attr_id, spec)) in rule.body.iter().zip(&body_specs) {
+                let body_id =
+                    nodes.node_id(&mut graph, &body.attr, *attr_id, spec, row, &answers)?;
+                graph.add_edge(body_id, head_id);
+            }
+        }
+    }
+
+    let t2 = std::time::Instant::now();
+    // Phase 2b: merge aggregate rules, streaming rows into insertion-
+    // ordered groups with O(1) symbol-tuple dedup per source grounding.
+    let mut derived: BTreeMap<GroundedAttr, f64> = BTreeMap::new();
+    for (agg, prep) in aggregates.iter().zip(prepped[model.rules().len()..].iter()) {
+        let answers = evaluated.next().expect("one answer batch per condition");
+        let answers = answers.map_err(CarlError::Rel)?;
+        let residual = RowComparisons::compile(&prep.residual, &answers);
+        let head_spec = arg_slots(&agg.head_args, &answers, interner, &mut consts);
+        let source_spec = arg_slots(&agg.source.args, &answers, interner, &mut consts);
+        let source_attr_id = nodes.attr_id(&agg.source.attr);
+        // Per-binding substitution raises unbound-variable errors only when
+        // an answer actually survives; mirror that exactly.
+        let spec_error = first_unbound(&head_spec).or_else(|| first_unbound(&source_spec));
+
+        struct Group {
+            head_key: UnitKey,
+            /// (source node id, observed-or-derived value) per distinct
+            /// source grounding, in first-seen order.
+            sources: Vec<(usize, Option<f64>)>,
+            seen: SymSet<Vec<u32>>,
+        }
+        let mut group_of: SymMap<Vec<u32>, usize> = SymMap::default();
+        let mut groups: Vec<Group> = Vec::new();
+        // Source values memoised across groups on the full signature: a
+        // source grounding shared by many heads resolves once (the node id
+        // itself comes from the ground-wide [`NodeTable`]). Safe to read
+        // `derived` while streaming: entries for the source attribute were
+        // written by earlier aggregates (topological order).
+        let mut source_values: SymMap<Vec<u32>, Option<f64>> = SymMap::default();
+        let mut group_sig: Vec<u32> = Vec::new();
+        let mut source_sig: Vec<u32> = Vec::new();
+        for row in answers.rows() {
+            if !residual.hold(row, &answers, instance) {
+                continue;
+            }
+            if let Some(var) = spec_error {
+                return Err(unbound_error(var));
+            }
+            sig_into(&head_spec, row, &mut group_sig)?;
+            let gi = match group_of.get(group_sig.as_slice()) {
+                Some(&gi) => gi,
+                None => {
+                    groups.push(Group {
+                        head_key: resolve_args(&head_spec, row, &answers)?,
+                        sources: Vec::new(),
+                        seen: SymSet::default(),
+                    });
+                    group_of.insert(group_sig.clone(), groups.len() - 1);
+                    groups.len() - 1
+                }
+            };
+            sig_into(&source_spec, row, &mut source_sig)?;
+            if !groups[gi].seen.contains(source_sig.as_slice()) {
+                let source_id = nodes.node_id(
+                    &mut graph,
+                    &agg.source.attr,
+                    source_attr_id,
+                    &source_spec,
+                    row,
+                    &answers,
+                )?;
+                let value = match source_values.get(source_sig.as_slice()) {
+                    Some(&value) => value,
+                    None => {
+                        let source_node = graph.node(source_id);
+                        let value = derived
+                            .get(source_node)
+                            .copied()
+                            .or_else(|| instance.attribute_f64(&agg.source.attr, &source_node.key));
+                        source_values.insert(source_sig.clone(), value);
+                        value
+                    }
+                };
+                groups[gi].seen.insert(source_sig.clone());
+                groups[gi].sources.push((source_id, value));
+            }
+        }
+
+        let agg_fn = agg_fn_of(agg.agg);
+        for group in groups {
+            let head_node = GroundedAttr::new(&agg.name, group.head_key);
+            let head_id = graph.add_node(head_node.clone());
+            let mut values = Vec::with_capacity(group.sources.len());
+            for &(source_id, value) in &group.sources {
+                graph.add_edge(source_id, head_id);
+                if let Some(v) = value {
+                    values.push(v);
+                }
+            }
+            if let Some(v) = agg_fn.apply(&values) {
+                derived.insert(head_node, v);
+            }
+        }
+    }
+
+    let t3 = std::time::Instant::now();
+    if let Err(attr) = graph.topological_order() {
+        return Err(CarlError::CyclicModel(attr));
+    }
+    if profile_ground() {
+        eprintln!(
+            "ground_with: eval {:.2}ms rules {:.2}ms aggs {:.2}ms topo {:.2}ms",
+            (t1 - t0).as_secs_f64() * 1e3,
+            (t2 - t1).as_secs_f64() * 1e3,
+            (t3 - t2).as_secs_f64() * 1e3,
+            t3.elapsed().as_secs_f64() * 1e3
+        );
+    }
+    Ok(GroundedModel { graph, derived })
+}
+
+/// Ground `model` through the preserved PR 3 bindings executor: rules in a
+/// sequential loop, each condition materialised as `Vec<Bindings>`
+/// (one `HashMap<String, Value>` per answer), per-answer substitution.
+///
+/// Semantically equivalent to [`ground_with`]; kept as the baseline the
+/// `answer_pipeline` benchmark races the dense tuple pipeline against, and
+/// as a second differential reference for the grounding tests.
+pub fn ground_with_bindings(
     model: &RelationalCausalModel,
     instance: &Instance,
     cache: &IndexCache,
@@ -97,7 +621,7 @@ pub fn ground_with(
         let (query, comparisons) =
             model.condition_to_query(&rule.condition, Some(vec![default_atom]));
         let (filters, residual) = partition_comparisons(comparisons);
-        let answers = evaluate_filtered(cache, schema, instance, &query, &filters)?;
+        let answers = evaluate_bindings_filtered(cache, schema, instance, &query, &filters)?;
         for binding in &answers {
             if !comparisons_hold(&residual, binding, instance) {
                 continue;
@@ -112,15 +636,14 @@ pub fn ground_with(
         }
     }
 
-    // 2. Ground the aggregate rules (in topological order so that aggregates
-    //    over aggregates, while unusual, are well defined).
-    let mut derived: HashMap<GroundedAttr, f64> = HashMap::new();
+    // 2. Ground the aggregate rules (in topological order).
+    let mut derived: BTreeMap<GroundedAttr, f64> = BTreeMap::new();
     let order: Vec<&str> = model
         .topological_order()
         .iter()
         .map(String::as_str)
         .collect();
-    let mut aggregates: Vec<&carl_lang::AggregateRule> = model.aggregates().iter().collect();
+    let mut aggregates: Vec<&AggregateRule> = model.aggregates().iter().collect();
     aggregates.sort_by_key(|a| {
         order
             .iter()
@@ -133,7 +656,7 @@ pub fn ground_with(
         let (query, comparisons) =
             model.condition_to_query(&agg.condition, Some(vec![default_atom]));
         let (filters, residual) = partition_comparisons(comparisons);
-        let answers = evaluate_filtered(cache, schema, instance, &query, &filters)?;
+        let answers = evaluate_bindings_filtered(cache, schema, instance, &query, &filters)?;
 
         // Group source groundings by the head key.
         let mut groups: HashMap<UnitKey, Vec<UnitKey>> = HashMap::new();
@@ -196,11 +719,7 @@ pub fn substitute(args: &[ArgTerm], binding: &Bindings) -> CarlResult<UnitKey> {
     args.iter()
         .map(|arg| match arg {
             ArgTerm::Const(c) => Ok(crate::model::literal_to_value(c)),
-            ArgTerm::Var(v) => binding.get(v).cloned().ok_or_else(|| {
-                CarlError::InvalidQuery(format!(
-                    "variable `{v}` is not bound by the rule's WHERE clause"
-                ))
-            }),
+            ArgTerm::Var(v) => binding.get(v).cloned().ok_or_else(|| unbound_error(v)),
         })
         .collect()
 }
@@ -284,6 +803,49 @@ mod tests {
     }
 
     #[test]
+    fn tuple_grounding_matches_the_bindings_reference() {
+        let model = review_model();
+        let instance = Instance::review_example();
+        let fast = ground(&model, &instance).unwrap();
+        let cache = IndexCache::for_instance(&instance);
+        let slow = ground_with_bindings(&model, &instance, &cache).unwrap();
+        assert_eq!(fast.graph.node_count(), slow.graph.node_count());
+        assert_eq!(fast.graph.edge_count(), slow.graph.edge_count());
+        // Same node set and same per-node parent multisets.
+        for id in 0..fast.graph.node_count() {
+            let node = fast.graph.node(id);
+            let other = slow.graph.node_id(node).expect("node exists in reference");
+            let mut a: Vec<String> = fast
+                .graph
+                .parents_of(id)
+                .iter()
+                .map(|&p| fast.graph.node(p).to_string())
+                .collect();
+            let mut b: Vec<String> = slow
+                .graph
+                .parents_of(other)
+                .iter()
+                .map(|&p| slow.graph.node(p).to_string())
+                .collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "{node}");
+        }
+        // Bit-identical derived values, in identical (sorted) order.
+        let a: Vec<(String, u64)> = fast
+            .derived
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_bits()))
+            .collect();
+        let b: Vec<(String, u64)> = slow
+            .derived
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_bits()))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn aggregate_values_match_table_1() {
         let model = review_model();
         let instance = Instance::review_example();
@@ -327,6 +889,29 @@ mod tests {
         let score = grounded.graph.nodes_of_attr("Score")[0];
         assert_eq!(grounded.graph.node(score).key, vec![Value::from("s1")]);
         assert_eq!(grounded.graph.parents_of(score).len(), 2);
+    }
+
+    #[test]
+    fn residual_comparisons_filter_rows() {
+        let schema = RelationalSchema::review_example();
+        // A non-equality comparison stays residual and is applied per row.
+        let program =
+            parse_program("Score[S] <= Prestige[A] WHERE Author(A, S), Qualification[A] >= 10")
+                .unwrap();
+        let model = RelationalCausalModel::new(schema, program).unwrap();
+        let instance = Instance::review_example();
+        let grounded = ground(&model, &instance).unwrap();
+        // Bob (50) and Carlos (20) qualify; Eva (2) does not. Bob authored
+        // s1, Carlos authored s3.
+        let scores: Vec<String> = grounded
+            .graph
+            .nodes_of_attr("Score")
+            .iter()
+            .map(|&id| grounded.graph.node(id).key[0].to_string())
+            .collect();
+        assert_eq!(scores.len(), 2);
+        assert!(scores.contains(&"s1".to_string()));
+        assert!(scores.contains(&"s3".to_string()));
     }
 
     #[test]

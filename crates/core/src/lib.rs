@@ -68,11 +68,11 @@ pub mod rowwise;
 pub mod unit_table;
 
 pub use embed::EmbeddingKind;
-pub use engine::{CarlEngine, PreparedQuery, RowPreparedQuery};
+pub use engine::{CarlEngine, GroundingMode, PreparedQuery, RowPreparedQuery};
 pub use error::{CarlError, CarlResult};
 pub use estimate::{AteAnswer, CateSeries, EstimatorKind, PeerEffectAnswer, QueryAnswer};
 pub use graph::{CausalGraph, GroundedAttr};
-pub use ground::{ground, GroundedModel};
+pub use ground::{ground, ground_with, ground_with_bindings, GroundedModel};
 pub use model::RelationalCausalModel;
 pub use query::{bootstrap_ate, CateStratifier};
 pub use unit_table::{FloatColumn, NullBitmap, UnitTable};

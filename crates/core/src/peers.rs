@@ -26,40 +26,62 @@ pub fn compute_peers(
     units: &[UnitKey],
 ) -> PeerMap {
     let graph = &grounded.graph;
-    let mut peers: PeerMap = units.iter().map(|u| (u.clone(), Vec::new())).collect();
+    let n = graph.node_count();
 
-    // Map response node id → unit key for quick membership checks.
-    let mut response_unit_of: HashMap<usize, UnitKey> = HashMap::new();
+    // Dense response lookup: node id → unit index (usize::MAX = not a
+    // response node of any unit). Each unit has at most one response node
+    // (grounded attributes are unique), so no per-hit dedup is needed.
+    let unit_index: HashMap<&UnitKey, usize> =
+        units.iter().enumerate().map(|(i, u)| (u, i)).collect();
+    let mut response_of: Vec<usize> = vec![usize::MAX; n];
     for &rid in graph.nodes_of_attr(response_attr) {
-        let key = graph.node(rid).key.clone();
-        if peers.contains_key(&key) {
-            response_unit_of.insert(rid, key);
+        if let Some(&ui) = unit_index.get(&graph.node(rid).key) {
+            response_of[rid] = ui;
         }
     }
 
     // For each unit p, walk the descendants of T[p]; any response node
-    // reached belongs to some unit x, and p becomes a peer of x.
-    for p in units {
-        let t_node = GroundedAttr::new(treatment_attr, p.clone());
+    // reached belongs to some unit x, and p becomes a peer of x. The DFS
+    // reuses one epoch-stamped visited buffer and one stack across units —
+    // no per-unit set allocation, no hashing.
+    let mut peer_idx: Vec<Vec<usize>> = vec![Vec::new(); units.len()];
+    let mut stamps: Vec<u32> = vec![0; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut t_node = GroundedAttr::new(treatment_attr, Vec::new());
+    for (pi, p) in units.iter().enumerate() {
+        t_node.key.clear();
+        t_node.key.extend_from_slice(p);
         let Some(tid) = graph.node_id(&t_node) else {
             continue;
         };
-        for descendant in graph.descendants(tid) {
-            if let Some(x) = response_unit_of.get(&descendant) {
-                if x != p {
-                    let entry = peers.get_mut(x).expect("all units pre-inserted");
-                    if !entry.contains(p) {
-                        entry.push(p.clone());
-                    }
+        let epoch = u32::try_from(pi).expect("more than u32::MAX units") + 1;
+        stamps[tid] = epoch;
+        stack.push(tid);
+        while let Some(node) = stack.pop() {
+            for &child in graph.children_of(node) {
+                if stamps[child] == epoch {
+                    continue;
+                }
+                stamps[child] = epoch;
+                stack.push(child);
+                let x = response_of[child];
+                if x != usize::MAX && x != pi {
+                    peer_idx[x].push(pi);
                 }
             }
         }
     }
-    // Deterministic order for reproducibility.
-    for list in peers.values_mut() {
-        list.sort();
-    }
-    peers
+
+    // Materialise unit keys and sort for deterministic, reproducible order.
+    units
+        .iter()
+        .zip(peer_idx)
+        .map(|(unit, idx)| {
+            let mut list: Vec<UnitKey> = idx.into_iter().map(|pi| units[pi].clone()).collect();
+            list.sort();
+            (unit.clone(), list)
+        })
+        .collect()
 }
 
 /// Summary statistics about a peer map (used in answers and reports).

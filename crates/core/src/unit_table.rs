@@ -390,6 +390,9 @@ pub fn build_unit_table(spec: &UnitTableSpec<'_>) -> CarlResult<UnitTable> {
 
     let mut units_out = Vec::new();
     let mut peer_counts = Vec::new();
+    // One reusable lookup node: the key vector is refilled per unit instead
+    // of cloning attribute name + key for every candidate row.
+    let mut outcome_node = GroundedAttr::new(spec.response_attr, Vec::new());
     for unit in spec.units {
         if let Some(allowed) = spec.allowed_units {
             if !allowed.contains(unit) {
@@ -397,7 +400,8 @@ pub fn build_unit_table(spec: &UnitTableSpec<'_>) -> CarlResult<UnitTable> {
             }
         }
         // Outcome: observed or derived value of the (unified) response.
-        let outcome_node = GroundedAttr::new(spec.response_attr, unit.clone());
+        outcome_node.key.clear();
+        outcome_node.key.extend_from_slice(unit);
         let Some(outcome) = spec.grounded.value_of(spec.instance, &outcome_node) else {
             continue;
         };

@@ -7,28 +7,134 @@
 //!
 //! Evaluation is planned: [`crate::plan`] chooses a most-selective-first
 //! join order, an access path per atom (scan, positional hash probe, or
-//! attribute-index fetch) and semi-join pruning passes; the executor here
-//! runs the plan, probing the skeleton's positional indexes and the
-//! lazily built composite indexes of an [`IndexCache`] instead of scanning
-//! candidates per partial binding.
+//! attribute-index fetch), semi-join pruning passes, and a register slot
+//! per variable. The executor here is *dense*: partial answers are flat
+//! register tuples of interned [`Sym`]bols (one `u32` per variable slot,
+//! see [`Skeleton::interner`]) carried through scan/probe/check steps with
+//! zero per-row maps and zero heap values; matching is integer comparison
+//! against the skeleton's dense mirrors and the [`IndexCache`]'s
+//! symbol-keyed composite indexes. Results surface as [`TupleAnswers`];
+//! the classic `Vec<Bindings>` form is produced only at the API boundary.
+//! When a step carries enough rows, the executor splits them into
+//! contiguous chunks and probes them on parallel workers (the `rayon`
+//! facade, honouring `RAYON_NUM_THREADS`), concatenating chunk outputs in
+//! order so results are bit-identical at any thread count.
 //!
-//! [`evaluate_naive`] is the deliberately unoptimised nested-loop reference
-//! evaluator (atoms in source order, full scans only). It defines the
-//! semantics; the planned executor must agree with it on every query, which
-//! the differential fuzzer in `tests/eval_reference.rs` enforces.
+//! Two reference executors are kept alongside:
+//!
+//! * [`evaluate_naive`] — the deliberately unoptimised nested-loop
+//!   evaluator (atoms in source order, full scans only). It defines the
+//!   semantics; every other executor must agree with it on every query,
+//!   which the differential fuzzer in `tests/eval_reference.rs` enforces.
+//! * [`evaluate_bindings_in`] / [`evaluate_bindings_filtered`] — the
+//!   previous hashmap-of-`Value`s plan executor, preserved verbatim so the
+//!   `answer_pipeline` benchmark can race the dense pipeline against it.
 
 use crate::error::{RelError, RelResult};
 use crate::index::IndexCache;
 use crate::instance::Instance;
-use crate::plan::{plan_query, plan_query_filtered, Access, EqFilter, Plan, SemiJoin};
+use crate::plan::{plan_query, plan_query_filtered, Access, EqFilter, Plan, SemiJoin, SlotTerm};
 use crate::query::{ConjunctiveQuery, Term};
 use crate::schema::{PredicateKind, RelationalSchema};
 use crate::skeleton::Skeleton;
+use crate::symbols::{Sym, SymSet, SymbolTable};
 use crate::value::Value;
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// A substitution binding variable names to values.
 pub type Bindings = HashMap<String, Value>;
+
+/// Row count above which a step's probe loop is split across the worker
+/// threads of the `rayon` facade. Below it, thread spawn overhead dwarfs
+/// the probe work.
+const PARALLEL_ROW_THRESHOLD: usize = 4096;
+
+/// Dense query answers: one flat register tuple of interned symbols per
+/// answer, resolved back to [`Value`]s on demand through the skeleton's
+/// interner.
+///
+/// This is the zero-conversion interface the grounding pipeline consumes;
+/// [`TupleAnswers::to_bindings`] materialises the classic
+/// `Vec<Bindings>` form for callers that want named maps.
+#[derive(Debug)]
+pub struct TupleAnswers<'a> {
+    vars: Vec<String>,
+    width: usize,
+    count: usize,
+    data: Vec<Sym>,
+    interner: &'a SymbolTable,
+}
+
+impl<'a> TupleAnswers<'a> {
+    /// Slot layout: `vars()[i]` is the variable stored in register `i` of
+    /// every row.
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// The register slot of `var`, if the query binds it.
+    pub fn slot_of(&self, var: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == var)
+    }
+
+    /// Number of answers.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether there are no answers.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The `i`-th answer row (one symbol per register slot).
+    pub fn row(&self, i: usize) -> &[Sym] {
+        if self.width == 0 {
+            assert!(
+                i < self.count,
+                "row {i} out of bounds ({} rows)",
+                self.count
+            );
+            &[]
+        } else {
+            &self.data[i * self.width..(i + 1) * self.width]
+        }
+    }
+
+    /// Iterate over all answer rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[Sym]> + '_ {
+        (0..self.count).map(move |i| self.row(i))
+    }
+
+    /// Resolve a symbol from an answer row back to its value.
+    ///
+    /// Resolution returns the *first-interned representative* of the
+    /// symbol's `Value`-equality class: if a skeleton stores both `Int(2)`
+    /// and `Float(2.0)` (which compare equal and therefore share a
+    /// symbol), every answer resolves to whichever variant was interned
+    /// first — a canonicalisation the per-tuple executors did not perform.
+    /// The two variants are `==` either way; only the enum variant of the
+    /// returned value can differ.
+    pub fn value(&self, sym: Sym) -> &'a Value {
+        self.interner.value(sym)
+    }
+
+    /// Convert to the classic named-map representation (the boundary
+    /// conversion the fast path avoids). Values are first-interned
+    /// representatives — see [`TupleAnswers::value`].
+    pub fn to_bindings(&self) -> Vec<Bindings> {
+        self.rows()
+            .map(|row| {
+                self.vars
+                    .iter()
+                    .zip(row)
+                    .map(|(v, &s)| (v.clone(), self.interner.value(s).clone()))
+                    .collect()
+            })
+            .collect()
+    }
+}
 
 /// Evaluate `query` over `skeleton`, returning all satisfying substitutions.
 ///
@@ -56,8 +162,19 @@ pub fn evaluate_in(
     skeleton: &Skeleton,
     query: &ConjunctiveQuery,
 ) -> RelResult<Vec<Bindings>> {
+    Ok(evaluate_tuples(cache, schema, skeleton, query)?.to_bindings())
+}
+
+/// Evaluate `query` over `skeleton` on the dense fast path, returning
+/// register tuples instead of named maps.
+pub fn evaluate_tuples<'a>(
+    cache: &IndexCache,
+    schema: &RelationalSchema,
+    skeleton: &'a Skeleton,
+    query: &ConjunctiveQuery,
+) -> RelResult<TupleAnswers<'a>> {
     let plan = plan_query(schema, skeleton, query)?;
-    Ok(execute(&plan, schema, skeleton, None, cache))
+    Ok(execute_tuples(&plan, schema, skeleton, None, cache))
 }
 
 /// Evaluate `query` with equality `filters` over a full instance.
@@ -76,8 +193,19 @@ pub fn evaluate_filtered(
     query: &ConjunctiveQuery,
     filters: &[EqFilter],
 ) -> RelResult<Vec<Bindings>> {
+    Ok(evaluate_tuples_filtered(cache, schema, instance, query, filters)?.to_bindings())
+}
+
+/// Filtered evaluation on the dense fast path (see [`evaluate_filtered`]).
+pub fn evaluate_tuples_filtered<'a>(
+    cache: &IndexCache,
+    schema: &RelationalSchema,
+    instance: &'a Instance,
+    query: &ConjunctiveQuery,
+    filters: &[EqFilter],
+) -> RelResult<TupleAnswers<'a>> {
     let plan = plan_query_filtered(schema, instance, cache, query, filters)?;
-    Ok(execute(
+    Ok(execute_tuples(
         &plan,
         schema,
         instance.skeleton(),
@@ -127,44 +255,569 @@ pub fn evaluate_naive(
 }
 
 /// Evaluate the query and project the answers onto `vars` (in order),
-/// deduplicating projected rows.
+/// deduplicating projected rows (by value equality, on interned symbols —
+/// no per-row key strings).
 pub fn evaluate_project(
     schema: &RelationalSchema,
     skeleton: &Skeleton,
     query: &ConjunctiveQuery,
     vars: &[String],
 ) -> RelResult<Vec<Vec<Value>>> {
-    let answers = evaluate(schema, skeleton, query)?;
-    let mut seen = std::collections::HashSet::new();
+    let cache = IndexCache::with_fingerprint(0);
+    let answers = evaluate_tuples(&cache, schema, skeleton, query)?;
+    // An unbound projection variable only errors when there is an answer to
+    // project — the behaviour per-answer projection always had.
+    if answers.is_empty() {
+        return Ok(Vec::new());
+    }
+    let slots: Vec<usize> = vars
+        .iter()
+        .map(|v| {
+            answers.slot_of(v).ok_or_else(|| {
+                RelError::MalformedQuery(format!(
+                    "projection variable not bound by query: {vars:?}"
+                ))
+            })
+        })
+        .collect::<RelResult<_>>()?;
+    let mut seen: SymSet<Vec<Sym>> = SymSet::default();
     let mut rows = Vec::new();
-    for b in answers {
-        let mut row = Vec::with_capacity(vars.len());
-        let mut ok = true;
-        for v in vars {
-            match b.get(v) {
-                Some(val) => row.push(val.clone()),
-                None => {
-                    ok = false;
-                    break;
-                }
-            }
-        }
-        if !ok {
-            return Err(RelError::MalformedQuery(format!(
-                "projection variable not bound by query: {vars:?}"
-            )));
-        }
-        let key: Vec<String> = row.iter().map(Value::key_repr).collect();
+    for row in answers.rows() {
+        let key: Vec<Sym> = slots.iter().map(|&s| row[s]).collect();
         if seen.insert(key) {
-            rows.push(row);
+            rows.push(
+                slots
+                    .iter()
+                    .map(|&s| answers.value(row[s]).clone())
+                    .collect(),
+            );
         }
     }
     Ok(rows)
 }
 
+// ---------------------------------------------------------------------------
+// The dense tuple executor.
+// ---------------------------------------------------------------------------
+
+/// A flat batch of register tuples: `count` rows of `width` symbols each.
+struct Rows {
+    width: usize,
+    count: usize,
+    data: Vec<Sym>,
+}
+
+impl Rows {
+    fn empty(width: usize) -> Self {
+        Self {
+            width,
+            count: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// The single seed row (all registers unbound).
+    fn seed(width: usize) -> Self {
+        Self {
+            width,
+            count: 1,
+            data: vec![Sym::UNBOUND; width],
+        }
+    }
+
+    fn row(&self, i: usize) -> &[Sym] {
+        if self.width == 0 {
+            &[]
+        } else {
+            &self.data[i * self.width..(i + 1) * self.width]
+        }
+    }
+
+    /// Keep only rows satisfying `pred`, preserving order.
+    fn retain(&mut self, mut pred: impl FnMut(&[Sym]) -> bool) {
+        if self.width == 0 {
+            // Width-0 rows are all identical; one check decides them all.
+            if self.count > 0 && !pred(&[]) {
+                self.count = 0;
+            }
+            return;
+        }
+        let width = self.width;
+        let mut kept = 0usize;
+        for i in 0..self.count {
+            if pred(&self.data[i * width..(i + 1) * width]) {
+                if kept != i {
+                    self.data
+                        .copy_within(i * width..(i + 1) * width, kept * width);
+                }
+                kept += 1;
+            }
+        }
+        self.count = kept;
+        self.data.truncate(kept * width);
+    }
+}
+
+/// How a pinned equality filter is evaluated against register rows.
+enum FilterEval {
+    /// Constant-only filter that holds: no per-row work.
+    Pass,
+    /// Can never hold (no instance, unbound variable, or no matching
+    /// assignment): clears the batch at its pinned step.
+    Never,
+    /// Row key (the symbols at `slots`, in filter-argument order) must be
+    /// in `admit` — the interned projections of every attribute assignment
+    /// carrying the required value whose constant positions match.
+    Admit {
+        slots: Vec<usize>,
+        admit: SymSet<Vec<Sym>>,
+    },
+}
+
+impl FilterEval {
+    fn build(
+        filter: &EqFilter,
+        plan: &Plan,
+        skeleton: &Skeleton,
+        instance: Option<&Instance>,
+        cache: &IndexCache,
+    ) -> Self {
+        let Some(instance) = instance else {
+            return FilterEval::Never;
+        };
+        // Argument spec: constant value or register slot per position.
+        let mut consts: Vec<Option<&Value>> = Vec::with_capacity(filter.args.len());
+        let mut slots: Vec<usize> = Vec::new();
+        let mut var_positions: Vec<usize> = Vec::new();
+        for (i, arg) in filter.args.iter().enumerate() {
+            match arg {
+                Term::Const(v) => consts.push(Some(v)),
+                Term::Var(name) => {
+                    let Some(slot) = plan.slots.iter().position(|s| s == name) else {
+                        return FilterEval::Never;
+                    };
+                    consts.push(None);
+                    slots.push(slot);
+                    var_positions.push(i);
+                }
+            }
+        }
+        // Project every assignment carrying the required value onto the
+        // variable positions, checking constants at build time. Assignment
+        // keys referencing values the skeleton never interned cannot equal
+        // any register symbol and are skipped.
+        let index = cache.attribute_index(instance, &filter.attr);
+        let interner = skeleton.interner();
+        let mut admit: SymSet<Vec<Sym>> = SymSet::default();
+        'units: for unit in index.units(&filter.value) {
+            if unit.len() != filter.args.len() {
+                continue;
+            }
+            for (component, required) in unit.iter().zip(&consts) {
+                if let Some(required) = required {
+                    if component != *required {
+                        continue 'units;
+                    }
+                }
+            }
+            let mut key = Vec::with_capacity(var_positions.len());
+            for &p in &var_positions {
+                match interner.get(&unit[p]) {
+                    Some(sym) => key.push(sym),
+                    None => continue 'units,
+                }
+            }
+            admit.insert(key);
+        }
+        if slots.is_empty() {
+            if admit.contains(&Vec::new()) {
+                FilterEval::Pass
+            } else {
+                FilterEval::Never
+            }
+        } else {
+            FilterEval::Admit { slots, admit }
+        }
+    }
+}
+
+/// Retain only rows satisfying every filter pinned to step `after`.
+fn apply_tuple_filters(plan: &Plan, after: usize, filters: &[FilterEval], rows: &mut Rows) {
+    for (eval, ready) in filters.iter().zip(&plan.filter_after) {
+        if *ready != Some(after) {
+            continue;
+        }
+        match eval {
+            FilterEval::Pass => {}
+            FilterEval::Never => {
+                *rows = Rows::empty(rows.width);
+                return;
+            }
+            FilterEval::Admit { slots, admit } => {
+                let mut key = Vec::with_capacity(slots.len());
+                rows.retain(|row| {
+                    key.clear();
+                    key.extend(slots.iter().map(|&s| row[s]));
+                    admit.contains(&key)
+                });
+            }
+        }
+    }
+}
+
+/// The candidate source of one plan step, resolved once before the row loop.
+enum StepSource<'s> {
+    /// Admitted entity keys (scan, semi-join pruned).
+    EntityScan(Vec<Sym>),
+    /// Membership check of the resolved key symbol in an entity class.
+    EntityProbe,
+    /// Admitted relationship tuples (scan, arity- and semi-join pruned).
+    RelScan(Vec<&'s [Sym]>),
+    /// Single-position probe against the skeleton's positional index
+    /// (resolved once per step; `None` when the index has no entries).
+    RelProbeSingle {
+        pos: usize,
+        index: Option<&'s crate::symbols::SymMap<Sym, Vec<u32>>>,
+    },
+    /// Composite probe against a cached multi-position index.
+    RelProbeMulti {
+        index: std::sync::Arc<crate::index::CompositeIndex>,
+        positions: &'s [usize],
+    },
+    /// Candidate units from an attribute equality index.
+    AttrFetch(Vec<Vec<Sym>>),
+}
+
 /// Run a plan against a skeleton (and, when filters are present, the
-/// instance carrying the attribute assignments they consult).
-fn execute(
+/// instance carrying the attribute assignments they consult), producing
+/// dense register tuples.
+fn execute_tuples<'a>(
+    plan: &Plan,
+    schema: &RelationalSchema,
+    skeleton: &'a Skeleton,
+    instance: Option<&Instance>,
+    cache: &IndexCache,
+) -> TupleAnswers<'a> {
+    let width = plan.slots.len();
+    let interner = skeleton.interner();
+    let done = |rows: Rows| TupleAnswers {
+        vars: plan.slots.clone(),
+        width,
+        count: rows.count,
+        data: rows.data,
+        interner,
+    };
+    if plan.unsatisfiable() {
+        return done(Rows::empty(width));
+    }
+
+    let filters: Vec<FilterEval> = plan
+        .filters
+        .iter()
+        .map(|f| FilterEval::build(f, plan, skeleton, instance, cache))
+        .collect();
+
+    let mut rows = Rows::seed(width);
+    apply_tuple_filters(plan, 0, &filters, &mut rows);
+
+    for (i, step) in plan.steps.iter().enumerate() {
+        if rows.count == 0 {
+            break;
+        }
+        // Constants are resolved to symbols once per step. A constant the
+        // skeleton never interned matches no tuple: the step (and with it
+        // the whole conjunction) is empty.
+        let mut consts: Vec<Sym> = vec![Sym::UNBOUND; step.layout.len()];
+        let mut missing_const = false;
+        for (p, (slot, term)) in step.layout.iter().zip(&step.atom.terms).enumerate() {
+            if *slot == SlotTerm::Const {
+                let Term::Const(v) = term else {
+                    unreachable!("layout Const aligns with a constant term")
+                };
+                match interner.get(v) {
+                    Some(sym) => consts[p] = sym,
+                    None => missing_const = true,
+                }
+            }
+        }
+        if missing_const {
+            rows = Rows::empty(width);
+            break;
+        }
+
+        let source = match &step.access {
+            Access::ScanEntity => StepSource::EntityScan(
+                skeleton
+                    .entity_syms(&step.atom.predicate)
+                    .iter()
+                    .copied()
+                    .filter(|&sym| semijoins_admit(skeleton, &step.semijoins, |_| sym))
+                    .collect(),
+            ),
+            Access::ProbeEntity => StepSource::EntityProbe,
+            Access::ScanRelationship => StepSource::RelScan(
+                skeleton
+                    .relationship_syms(&step.atom.predicate)
+                    .iter()
+                    .map(Vec::as_slice)
+                    // Arity-violating tuples (possible via the raw
+                    // `Skeleton` API) can never unify; drop them before
+                    // the semi-join passes index into them.
+                    .filter(|t| t.len() == step.layout.len())
+                    .filter(|t| semijoins_admit(skeleton, &step.semijoins, |p| t[p]))
+                    .collect(),
+            ),
+            Access::ProbeRelationship { positions } => match positions.as_slice() {
+                [position] => StepSource::RelProbeSingle {
+                    pos: *position,
+                    index: skeleton.positional_index(&step.atom.predicate, *position),
+                },
+                _ => StepSource::RelProbeMulti {
+                    index: cache.relationship_index(skeleton, &step.atom.predicate, positions),
+                    positions,
+                },
+            },
+            Access::ProbeAttribute { filter } => {
+                let inst = instance
+                    .expect("planner only emits attribute fetches when an instance is available");
+                let flt = &plan.filters[*filter];
+                let index = cache.attribute_index(inst, &flt.attr);
+                // Attribute assignments are not guaranteed to reference
+                // existing units, so intersect with the skeleton (any unit
+                // present in the skeleton is fully interned).
+                let kind = schema.predicate_kind(&step.atom.predicate);
+                let units: Vec<Vec<Sym>> = index
+                    .units(&flt.value)
+                    .iter()
+                    .filter_map(|unit| {
+                        let syms: Option<Vec<Sym>> = unit.iter().map(|v| interner.get(v)).collect();
+                        let syms = syms?;
+                        let present = match kind {
+                            Some(PredicateKind::Entity) => {
+                                syms.len() == 1
+                                    && skeleton.has_entity_sym(&step.atom.predicate, syms[0])
+                            }
+                            Some(PredicateKind::Relationship) => {
+                                skeleton.has_relationship_syms(&step.atom.predicate, &syms)
+                            }
+                            None => false,
+                        };
+                        present.then_some(syms)
+                    })
+                    .collect();
+                StepSource::AttrFetch(units)
+            }
+        };
+
+        rows = run_step(skeleton, step, &source, &consts, rows);
+        apply_tuple_filters(plan, i + 1, &filters, &mut rows);
+    }
+    done(rows)
+}
+
+/// Extend every row of `rows` through one step, splitting large batches
+/// across parallel workers (chunk outputs are concatenated in order, so the
+/// result is identical at any thread count).
+fn run_step(
+    skeleton: &Skeleton,
+    step: &crate::plan::PlanStep,
+    source: &StepSource<'_>,
+    consts: &[Sym],
+    rows: Rows,
+) -> Rows {
+    let width = rows.width;
+    let rel = step.atom.predicate.as_str();
+    let rel_tuples = skeleton.relationship_syms(rel);
+    let layout = step.layout.as_slice();
+
+    let process = |range: std::ops::Range<usize>| -> (Vec<Sym>, usize) {
+        let mut out: Vec<Sym> = Vec::new();
+        let mut produced = 0usize;
+        for i in range {
+            let base = rows.row(i);
+            match source {
+                StepSource::EntityScan(candidates) => {
+                    for &cand in candidates {
+                        if try_extend(&mut out, base, layout, consts, &[cand]) {
+                            produced += 1;
+                        }
+                    }
+                }
+                StepSource::EntityProbe => {
+                    let key = resolve_slot(layout[0], consts[0], base);
+                    if skeleton.has_entity_sym(rel, key) {
+                        out.extend_from_slice(base);
+                        produced += 1;
+                    }
+                }
+                StepSource::RelScan(candidates) => {
+                    for tuple in candidates {
+                        if try_extend(&mut out, base, layout, consts, tuple) {
+                            produced += 1;
+                        }
+                    }
+                }
+                StepSource::RelProbeSingle { pos, index } => {
+                    let key = resolve_slot(layout[*pos], consts[*pos], base);
+                    let rows = index
+                        .and_then(|idx| idx.get(&key))
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[]);
+                    for &row_id in rows {
+                        let tuple = rel_tuples[row_id as usize].as_slice();
+                        if try_extend(&mut out, base, layout, consts, tuple) {
+                            produced += 1;
+                        }
+                    }
+                }
+                StepSource::RelProbeMulti { index, positions } => {
+                    let key: Vec<Sym> = positions
+                        .iter()
+                        .map(|&p| resolve_slot(layout[p], consts[p], base))
+                        .collect();
+                    for &row_id in index.rows(&key) {
+                        let tuple = rel_tuples[row_id as usize].as_slice();
+                        if try_extend(&mut out, base, layout, consts, tuple) {
+                            produced += 1;
+                        }
+                    }
+                }
+                StepSource::AttrFetch(units) => {
+                    for unit in units {
+                        if try_extend(&mut out, base, layout, consts, unit) {
+                            produced += 1;
+                        }
+                    }
+                }
+            }
+        }
+        (out, produced)
+    };
+
+    let threads = rayon::current_num_threads();
+    let (data, count) = if rows.count >= PARALLEL_ROW_THRESHOLD && threads > 1 && width > 0 {
+        let chunk = rows.count.div_ceil(threads);
+        let ranges: Vec<std::ops::Range<usize>> = (0..rows.count)
+            .step_by(chunk)
+            .map(|start| start..(start + chunk).min(rows.count))
+            .collect();
+        let parts: Vec<(Vec<Sym>, usize)> = ranges.into_par_iter().map(process).collect();
+        let mut data = Vec::with_capacity(parts.iter().map(|(d, _)| d.len()).sum());
+        let mut count = 0usize;
+        for (part, produced) in parts {
+            data.extend(part);
+            count += produced;
+        }
+        (data, count)
+    } else {
+        process(0..rows.count)
+    };
+    Rows { width, count, data }
+}
+
+/// Resolve the symbol a probe compares on: the step constant, or the value
+/// of an already-written register slot.
+fn resolve_slot(slot: SlotTerm, const_sym: Sym, row: &[Sym]) -> Sym {
+    match slot {
+        SlotTerm::Const => const_sym,
+        SlotTerm::Check(s) => row[s],
+        SlotTerm::Write(_) => {
+            unreachable!("planner probes only on bound positions")
+        }
+    }
+}
+
+/// Unify one candidate tuple against a base row, appending the extended row
+/// to `out` on success. Handles constants, already-bound slots and repeated
+/// variables within the atom (a `Write` followed by a `Check` of the same
+/// slot).
+fn try_extend(
+    out: &mut Vec<Sym>,
+    base: &[Sym],
+    layout: &[SlotTerm],
+    consts: &[Sym],
+    tuple: &[Sym],
+) -> bool {
+    if layout.len() != tuple.len() {
+        return false;
+    }
+    let start = out.len();
+    out.extend_from_slice(base);
+    for (p, (&slot, &sym)) in layout.iter().zip(tuple).enumerate() {
+        let ok = match slot {
+            SlotTerm::Const => consts[p] == sym,
+            SlotTerm::Check(s) => out[start + s] == sym,
+            SlotTerm::Write(s) => {
+                out[start + s] = sym;
+                true
+            }
+        };
+        if !ok {
+            out.truncate(start);
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether a candidate passes every semi-join pass; `sym_at` maps a pruned
+/// position to the candidate's symbol there.
+fn semijoins_admit(
+    skeleton: &Skeleton,
+    semijoins: &[SemiJoin],
+    sym_at: impl Fn(usize) -> Sym,
+) -> bool {
+    semijoins.iter().all(|sj| {
+        let sym = sym_at(sj.position);
+        match sj.source_kind {
+            PredicateKind::Entity => skeleton.has_entity_sym(&sj.source_predicate, sym),
+            PredicateKind::Relationship => {
+                skeleton.contains_sym_at(&sj.source_predicate, sj.source_position, sym)
+            }
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The PR 3 bindings executor, preserved for benchmarking and differential
+// testing.
+// ---------------------------------------------------------------------------
+
+/// Evaluate `query` with the preserved hashmap-of-`Value`s executor (one
+/// `Bindings` map cloned and extended per candidate match). Semantically
+/// identical to [`evaluate_in`]; kept so the `answer_pipeline` benchmark
+/// can race the dense tuple pipeline against its predecessor.
+pub fn evaluate_bindings_in(
+    cache: &IndexCache,
+    schema: &RelationalSchema,
+    skeleton: &Skeleton,
+    query: &ConjunctiveQuery,
+) -> RelResult<Vec<Bindings>> {
+    let plan = plan_query(schema, skeleton, query)?;
+    Ok(execute_bindings(&plan, schema, skeleton, None, cache))
+}
+
+/// Filtered evaluation on the preserved bindings executor (see
+/// [`evaluate_bindings_in`]).
+pub fn evaluate_bindings_filtered(
+    cache: &IndexCache,
+    schema: &RelationalSchema,
+    instance: &Instance,
+    query: &ConjunctiveQuery,
+    filters: &[EqFilter],
+) -> RelResult<Vec<Bindings>> {
+    let plan = plan_query_filtered(schema, instance, cache, query, filters)?;
+    Ok(execute_bindings(
+        &plan,
+        schema,
+        instance.skeleton(),
+        Some(instance),
+        cache,
+    ))
+}
+
+/// Run a plan with per-answer `Bindings` maps (the pre-dense executor).
+fn execute_bindings(
     plan: &Plan,
     schema: &RelationalSchema,
     skeleton: &Skeleton,
@@ -175,7 +828,7 @@ fn execute(
         return Vec::new();
     }
     let mut partials: Vec<Bindings> = vec![Bindings::new()];
-    apply_filters(plan, 0, instance, &mut partials);
+    apply_bindings_filters(plan, 0, instance, &mut partials);
 
     for (i, step) in plan.steps.iter().enumerate() {
         if partials.is_empty() {
@@ -188,7 +841,7 @@ fn execute(
                 let keys: Vec<&Value> = skeleton
                     .entity_keys(&atom.predicate)
                     .iter()
-                    .filter(|key| semijoins_admit(skeleton, &step.semijoins, |_| *key))
+                    .filter(|key| value_semijoins_admit(skeleton, &step.semijoins, |_| *key))
                     .collect();
                 for binding in &partials {
                     for key in &keys {
@@ -208,14 +861,11 @@ fn execute(
                 }
             }
             Access::ScanRelationship => {
-                // Arity-violating tuples (possible via the raw `Skeleton`
-                // API) can never unify; drop them before the semi-join
-                // passes index into them.
                 let tuples: Vec<&Vec<Value>> = skeleton
                     .relationship_tuples(&atom.predicate)
                     .iter()
                     .filter(|t| t.len() == atom.terms.len())
-                    .filter(|t| semijoins_admit(skeleton, &step.semijoins, |p| &t[p]))
+                    .filter(|t| value_semijoins_admit(skeleton, &step.semijoins, |p| &t[p]))
                     .collect();
                 for binding in &partials {
                     for tuple in &tuples {
@@ -227,8 +877,6 @@ fn execute(
             }
             Access::ProbeRelationship { positions } => {
                 if let [position] = positions.as_slice() {
-                    // Single-position probes use the skeleton's eagerly
-                    // maintained index directly.
                     for binding in &partials {
                         let key = resolve(&atom.terms[*position], binding)
                             .expect("planner chose the position because it is bound");
@@ -243,16 +891,19 @@ fn execute(
                 } else {
                     let index = cache.relationship_index(skeleton, &atom.predicate, positions);
                     let table = skeleton.relationship_tuples(&atom.predicate);
+                    let interner = skeleton.interner();
                     for binding in &partials {
-                        let key: Vec<Value> = positions
+                        let key: Option<Vec<Sym>> = positions
                             .iter()
                             .map(|&p| {
-                                resolve(&atom.terms[p], binding)
-                                    .expect("planner chose the position because it is bound")
+                                let v = resolve(&atom.terms[p], binding)
+                                    .expect("planner chose the position because it is bound");
+                                interner.get(&v)
                             })
                             .collect();
+                        let Some(key) = key else { continue };
                         for &row in index.rows(&key) {
-                            if let Some(ext) = unify(binding, &atom.terms, &table[row]) {
+                            if let Some(ext) = unify(binding, &atom.terms, &table[row as usize]) {
                                 next.push(ext);
                             }
                         }
@@ -264,8 +915,6 @@ fn execute(
                     .expect("planner only emits attribute fetches when an instance is available");
                 let flt = &plan.filters[*filter];
                 let index = cache.attribute_index(inst, &flt.attr);
-                // Attribute assignments are not guaranteed to reference
-                // existing units, so intersect with the skeleton.
                 let units: Vec<&Vec<Value>> = index
                     .units(&flt.value)
                     .iter()
@@ -289,13 +938,13 @@ fn execute(
             }
         }
         partials = next;
-        apply_filters(plan, i + 1, instance, &mut partials);
+        apply_bindings_filters(plan, i + 1, instance, &mut partials);
     }
     partials
 }
 
 /// Retain only bindings satisfying every filter pinned to step `after`.
-fn apply_filters(
+fn apply_bindings_filters(
     plan: &Plan,
     after: usize,
     instance: Option<&Instance>,
@@ -325,7 +974,7 @@ fn filter_holds(filter: &EqFilter, binding: &Bindings, instance: &Instance) -> b
 
 /// Whether a candidate passes every semi-join pass; `value_at` maps a
 /// pruned position to the candidate's value there.
-fn semijoins_admit<'a>(
+fn value_semijoins_admit<'a>(
     skeleton: &Skeleton,
     semijoins: &[SemiJoin],
     value_at: impl Fn(usize) -> &'a Value,
@@ -408,6 +1057,12 @@ mod tests {
         let answers = evaluate(&schema, &sk, &ConjunctiveQuery::truth()).unwrap();
         assert_eq!(answers.len(), 1);
         assert!(answers[0].is_empty());
+        // Dense form: one zero-width row.
+        let cache = IndexCache::for_skeleton(&sk);
+        let tuples = evaluate_tuples(&cache, &schema, &sk, &ConjunctiveQuery::truth()).unwrap();
+        assert_eq!(tuples.len(), 1);
+        assert!(tuples.row(0).is_empty());
+        assert!(tuples.vars().is_empty());
     }
 
     #[test]
@@ -433,6 +1088,36 @@ mod tests {
     }
 
     #[test]
+    fn tuple_answers_expose_slots_and_resolve_values() {
+        let (schema, sk) = setup();
+        let cache = IndexCache::for_skeleton(&sk);
+        let q = ConjunctiveQuery::new(vec![
+            Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+            Atom::new("Submitted", vec![Term::var("S"), Term::var("C")]),
+        ]);
+        let answers = evaluate_tuples(&cache, &schema, &sk, &q).unwrap();
+        assert_eq!(answers.len(), 5);
+        let a = answers.slot_of("A").unwrap();
+        let s = answers.slot_of("S").unwrap();
+        let c = answers.slot_of("C").unwrap();
+        assert_eq!(answers.slot_of("Z"), None);
+        for row in answers.rows() {
+            // Every register resolves to a skeleton value, and the row is
+            // an actual authorship.
+            let author = answers.value(row[a]).clone();
+            let submission = answers.value(row[s]).clone();
+            let conference = answers.value(row[c]).clone();
+            assert!(sk.has_relationship("Author", &[author, submission.clone()]));
+            assert!(sk.has_relationship("Submitted", &[submission, conference]));
+        }
+        // The boundary conversion agrees with direct map evaluation.
+        assert_eq!(
+            canonical(answers.to_bindings()),
+            canonical(evaluate(&schema, &sk, &q).unwrap())
+        );
+    }
+
+    #[test]
     fn constants_select() {
         let (schema, sk) = setup();
         // Who authored s3?
@@ -447,6 +1132,21 @@ mod tests {
             .collect();
         authors.sort();
         assert_eq!(authors, vec!["Carlos".to_string(), "Eva".to_string()]);
+    }
+
+    #[test]
+    fn constants_missing_from_the_skeleton_produce_no_answers() {
+        let (schema, sk) = setup();
+        for q in [
+            ConjunctiveQuery::new(vec![Atom::new(
+                "Author",
+                vec![Term::var("A"), Term::constant("ghost")],
+            )]),
+            ConjunctiveQuery::new(vec![Atom::new("Person", vec![Term::constant("ghost")])]),
+        ] {
+            assert!(evaluate(&schema, &sk, &q).unwrap().is_empty(), "{q}");
+            assert!(evaluate_naive(&schema, &sk, &q).unwrap().is_empty(), "{q}");
+        }
     }
 
     #[test]
@@ -519,6 +1219,7 @@ mod tests {
     #[test]
     fn planned_matches_naive_on_the_paper_example() {
         let (schema, sk) = setup();
+        let cache = IndexCache::for_skeleton(&sk);
         for q in [
             ConjunctiveQuery::truth(),
             ConjunctiveQuery::new(vec![Atom::new("Person", vec![Term::var("A")])]),
@@ -535,6 +1236,10 @@ mod tests {
             let fast = evaluate(&schema, &sk, &q).unwrap();
             let slow = evaluate_naive(&schema, &sk, &q).unwrap();
             assert_eq!(canonical(fast), canonical(slow), "query {q}");
+            // The preserved bindings executor stays honest too.
+            let legacy = evaluate_bindings_in(&cache, &schema, &sk, &q).unwrap();
+            let slow = evaluate_naive(&schema, &sk, &q).unwrap();
+            assert_eq!(canonical(legacy), canonical(slow), "query {q}");
         }
     }
 
@@ -578,6 +1283,17 @@ mod tests {
         // s2 and s3 are at the double-blind ConfAI: three authorships.
         assert_eq!(filtered.len(), 3);
         assert_eq!(canonical(filtered), canonical(post));
+        // The preserved bindings executor agrees.
+        let legacy =
+            evaluate_bindings_filtered(&cache, inst.schema(), &inst, &q, &filters).unwrap();
+        let post: Vec<Bindings> = evaluate(inst.schema(), inst.skeleton(), &q)
+            .unwrap()
+            .into_iter()
+            .filter(|b| {
+                inst.attribute("Blind", std::slice::from_ref(&b["C"])) == Some(&Value::Bool(true))
+            })
+            .collect();
+        assert_eq!(canonical(legacy), canonical(post));
     }
 
     #[test]
@@ -668,5 +1384,24 @@ mod tests {
         let answers = evaluate_filtered(&cache, inst.schema(), &inst, &q, &filters).unwrap();
         assert_eq!(answers.len(), 1);
         assert_eq!(answers[0]["A"], Value::from("Carlos"));
+    }
+
+    #[test]
+    fn filters_with_constant_args_match_assignments_beyond_the_skeleton() {
+        // A filter whose constant argument names a unit outside the
+        // skeleton still consults the instance's assignments, exactly as
+        // per-binding post-filtering would.
+        let mut inst = Instance::review_example();
+        inst.set_attribute("Blind", &[Value::from("GhostConf")], Value::Bool(true))
+            .unwrap();
+        let cache = IndexCache::for_instance(&inst);
+        let q = ConjunctiveQuery::new(vec![Atom::new("Person", vec![Term::var("A")])]);
+        let filters = vec![EqFilter {
+            attr: "Blind".into(),
+            args: vec![Term::constant("GhostConf")],
+            value: Value::Bool(true),
+        }];
+        let answers = evaluate_filtered(&cache, inst.schema(), &inst, &q, &filters).unwrap();
+        assert_eq!(answers.len(), 3, "constant-only filter holds for Ghost");
     }
 }

@@ -16,22 +16,25 @@
 
 use crate::instance::Instance;
 use crate::skeleton::{Skeleton, UnitKey};
+use crate::symbols::{Sym, SymMap};
 use crate::value::Value;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// A hash index over the tuples of one relationship, keyed by the values at
-/// a fixed set of positions.
+/// A hash index over the tuples of one relationship, keyed by the interned
+/// symbols at a fixed set of positions.
 ///
-/// `positions` is sorted and deduplicated; bucket keys are the tuple values
-/// at those positions, in the same order. Buckets store row indexes into
+/// `positions` is sorted and deduplicated; bucket keys are the tuple
+/// symbols at those positions, in the same order (see
+/// [`Skeleton::interner`]) — probing hashes a handful of `u32`s instead of
+/// heap values. Buckets store row indexes into
 /// [`Skeleton::relationship_tuples`], in insertion order, so probe results
 /// are deterministic.
 #[derive(Debug)]
 pub struct CompositeIndex {
     positions: Vec<usize>,
-    buckets: HashMap<Vec<Value>, Vec<usize>>,
+    buckets: SymMap<Vec<Sym>, Vec<u32>>,
 }
 
 impl CompositeIndex {
@@ -40,13 +43,13 @@ impl CompositeIndex {
     /// not enforce arity, and such tuples can never unify with a
     /// schema-arity atom anyway.
     fn build(skeleton: &Skeleton, rel: &str, positions: &[usize]) -> Self {
-        let mut buckets: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-        for (row, tuple) in skeleton.relationship_tuples(rel).iter().enumerate() {
+        let mut buckets: SymMap<Vec<Sym>, Vec<u32>> = SymMap::default();
+        for (row, tuple) in skeleton.relationship_syms(rel).iter().enumerate() {
             if positions.iter().any(|&p| p >= tuple.len()) {
                 continue;
             }
-            let key: Vec<Value> = positions.iter().map(|&p| tuple[p].clone()).collect();
-            buckets.entry(key).or_default().push(row);
+            let key: Vec<Sym> = positions.iter().map(|&p| tuple[p]).collect();
+            buckets.entry(key).or_default().push(row as u32);
         }
         Self {
             positions: positions.to_vec(),
@@ -59,8 +62,8 @@ impl CompositeIndex {
         &self.positions
     }
 
-    /// Row indexes whose values at the indexed positions equal `key`.
-    pub fn rows(&self, key: &[Value]) -> &[usize] {
+    /// Row indexes whose symbols at the indexed positions equal `key`.
+    pub fn rows(&self, key: &[Sym]) -> &[u32] {
         self.buckets.get(key).map(Vec::as_slice).unwrap_or(&[])
     }
 
@@ -236,14 +239,15 @@ mod tests {
         let inst = Instance::review_example();
         let cache = IndexCache::for_instance(&inst);
         let idx = cache.relationship_index(inst.skeleton(), "Author", &[0, 1]);
-        let rows = idx.rows(&[Value::from("Eva"), Value::from("s2")]);
+        let sym = |v: Value| inst.skeleton().interner().get(&v).unwrap();
+        let rows = idx.rows(&[sym(Value::from("Eva")), sym(Value::from("s2"))]);
         assert_eq!(rows.len(), 1);
         assert_eq!(
-            inst.skeleton().relationship_tuples("Author")[rows[0]],
+            inst.skeleton().relationship_tuples("Author")[rows[0] as usize],
             vec![Value::from("Eva"), Value::from("s2")]
         );
         assert!(idx
-            .rows(&[Value::from("Bob"), Value::from("s3")])
+            .rows(&[sym(Value::from("Bob")), sym(Value::from("s3"))])
             .is_empty());
         assert_eq!(idx.distinct_keys(), 5);
         assert_eq!(idx.positions(), &[0, 1]);
@@ -283,11 +287,15 @@ mod tests {
     fn revalidation_drops_stale_indexes() {
         let mut inst = Instance::review_example();
         let cache = IndexCache::for_instance(&inst);
+        let key_of = |inst: &Instance| {
+            let interner = inst.skeleton().interner();
+            [
+                interner.get(&Value::from("Carlos")).unwrap(),
+                interner.get(&Value::from("s1")).unwrap(),
+            ]
+        };
         let idx = cache.relationship_index(inst.skeleton(), "Author", &[0, 1]);
-        assert_eq!(
-            idx.rows(&[Value::from("Carlos"), Value::from("s1")]).len(),
-            0
-        );
+        assert_eq!(idx.rows(&key_of(&inst)).len(), 0);
 
         inst.add_relationship("Author", vec![Value::from("Carlos"), Value::from("s1")])
             .unwrap();
@@ -297,10 +305,7 @@ mod tests {
             "second call is a no-op"
         );
         let idx = cache.relationship_index(inst.skeleton(), "Author", &[0, 1]);
-        assert_eq!(
-            idx.rows(&[Value::from("Carlos"), Value::from("s1")]).len(),
-            1
-        );
+        assert_eq!(idx.rows(&key_of(&inst)).len(), 1);
         assert_eq!(cache.stats().invalidations, 1);
         assert_eq!(cache.fingerprint(), inst.fingerprint());
     }

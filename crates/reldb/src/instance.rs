@@ -4,7 +4,7 @@
 use crate::error::{RelError, RelResult};
 use crate::schema::{PredicateKind, RelationalSchema};
 use crate::skeleton::{Skeleton, UnitKey};
-use crate::value::Value;
+use crate::value::{fnv1a, Value, FNV_OFFSET};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::collections::HashMap;
@@ -159,30 +159,23 @@ impl Instance {
     /// iteration order, so their contribution is combined with an
     /// order-independent XOR of per-entry hashes.
     pub fn fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        fn fnv(h: &mut u64, bytes: &[u8]) {
-            for &b in bytes {
-                *h ^= u64::from(b);
-                *h = h.wrapping_mul(PRIME);
-            }
-        }
+        let fnv = fnv1a;
         let mut h = self.skeleton.fingerprint();
         for (attr, assignments) in &self.attributes {
             fnv(&mut h, attr.as_bytes());
             fnv(&mut h, &[0xfa]);
             let mut combined: u64 = 0;
             for (key, value) in assignments {
-                let mut entry = OFFSET;
+                let mut entry = FNV_OFFSET;
                 for v in key {
-                    fnv(&mut entry, v.key_repr().as_bytes());
+                    v.fold_key_bytes(&mut |bytes| fnv(&mut entry, bytes));
                     fnv(&mut entry, &[0xf9]);
                 }
-                fnv(&mut entry, value.key_repr().as_bytes());
+                value.fold_key_bytes(&mut |bytes| fnv(&mut entry, bytes));
                 combined ^= entry;
             }
             h ^= combined;
-            h = h.wrapping_mul(PRIME);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
         h
     }

@@ -62,6 +62,7 @@ pub mod plan;
 pub mod query;
 pub mod schema;
 pub mod skeleton;
+pub mod symbols;
 pub mod table;
 pub mod universal;
 pub mod value;
@@ -69,16 +70,21 @@ pub mod value;
 pub use aggregate::{group_by, AggFn};
 pub use error::{RelError, RelResult};
 pub use eval::{
-    evaluate, evaluate_filtered, evaluate_in, evaluate_naive, evaluate_project, Bindings,
+    evaluate, evaluate_bindings_filtered, evaluate_bindings_in, evaluate_filtered, evaluate_in,
+    evaluate_naive, evaluate_project, evaluate_tuples, evaluate_tuples_filtered, Bindings,
+    TupleAnswers,
 };
 pub use index::{IndexCache, IndexCacheStats};
 pub use instance::Instance;
-pub use plan::{plan_query, plan_query_filtered, Access, EqFilter, Plan, PlanStep, SemiJoin};
+pub use plan::{
+    plan_query, plan_query_filtered, Access, EqFilter, Plan, PlanStep, SemiJoin, SlotTerm,
+};
 pub use query::{Atom, ConjunctiveQuery, Term};
 pub use schema::{
     AttributeDef, DomainType, EntityDef, PredicateKind, RelationalSchema, RelationshipDef,
 };
 pub use skeleton::{Skeleton, UnitKey};
+pub use symbols::{Sym, SymbolTable};
 pub use table::{Column, Table};
 pub use universal::universal_table;
-pub use value::Value;
+pub use value::{Value, ValueKey};

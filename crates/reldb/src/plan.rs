@@ -103,6 +103,25 @@ pub struct SemiJoin {
     pub source_kind: PredicateKind,
 }
 
+/// How one atom position maps onto the executor's register tuple.
+///
+/// The planner assigns every distinct query variable a fixed register slot
+/// (in order of first binding along the chosen step order); each step then
+/// carries a `layout` — one `SlotTerm` per atom position — telling the
+/// tuple executor, without any name lookups, whether a matched value must
+/// equal a constant, be written into a fresh slot, or be checked against a
+/// slot written earlier (including earlier positions of the same atom, for
+/// repeated variables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotTerm {
+    /// The term is a constant (the atom's term at the same position).
+    Const,
+    /// First occurrence of a variable: write the matched value to the slot.
+    Write(usize),
+    /// The variable is already bound: check equality against the slot.
+    Check(usize),
+}
+
 /// One step of a [`Plan`]: an atom, its access path, pruning passes and the
 /// planner's output-size estimate.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,6 +135,8 @@ pub struct PlanStep {
     pub est_rows: f64,
     /// Semi-join pruning passes (scans only).
     pub semijoins: Vec<SemiJoin>,
+    /// Register layout: one [`SlotTerm`] per atom position.
+    pub layout: Vec<SlotTerm>,
 }
 
 /// An executable, inspectable evaluation plan for a conjunctive query with
@@ -124,6 +145,10 @@ pub struct PlanStep {
 pub struct Plan {
     /// Ordered steps (one per query atom).
     pub steps: Vec<PlanStep>,
+    /// Register slots: slot index → variable name, in binding order along
+    /// the step sequence. The tuple executor carries one dense register
+    /// tuple of this width per partial answer.
+    pub slots: Vec<String>,
     /// Equality filters to enforce.
     pub filters: Vec<EqFilter>,
     /// For each filter, the step count after which all its variables are
@@ -148,6 +173,15 @@ impl fmt::Display for Plan {
             writeln!(f, "plan for true")?;
         } else {
             writeln!(f, "plan for {}", query.join(", "))?;
+        }
+        if !self.slots.is_empty() {
+            let slots: Vec<String> = self
+                .slots
+                .iter()
+                .enumerate()
+                .map(|(i, v)| format!("r{i}={v}"))
+                .collect();
+            writeln!(f, "  slots: {}", slots.join(", "))?;
         }
         for (i, step) in self.steps.iter().enumerate() {
             let est = format!("[~{} rows]", step.est_rows.round());
@@ -289,7 +323,29 @@ fn plan_impl(
             access,
             est_rows: est,
             semijoins,
+            layout: Vec::new(),
         });
+    }
+
+    // Assign every distinct variable a register slot in binding order and
+    // derive each step's positional layout for the tuple executor.
+    let mut slots: Vec<String> = Vec::new();
+    for step in &mut steps {
+        step.layout = step
+            .atom
+            .terms
+            .iter()
+            .map(|term| match term {
+                Term::Const(_) => SlotTerm::Const,
+                Term::Var(v) => match slots.iter().position(|s| s == v) {
+                    Some(slot) => SlotTerm::Check(slot),
+                    None => {
+                        slots.push(v.clone());
+                        SlotTerm::Write(slots.len() - 1)
+                    }
+                },
+            })
+            .collect();
     }
 
     // Pin every filter to the earliest step after which its variables are
@@ -318,6 +374,7 @@ fn plan_impl(
 
     Ok(Plan {
         steps,
+        slots,
         filters: filters.to_vec(),
         filter_after,
     })
@@ -629,8 +686,48 @@ mod tests {
         let plan = plan_query(&schema, &sk, &q).unwrap();
         let shown = plan.to_string();
         assert!(shown.contains("plan for"), "{shown}");
+        assert!(shown.contains("slots: r0=S, r1=C, r2=A"), "{shown}");
         assert!(shown.contains("scan Submitted(S, C)"), "{shown}");
         assert!(shown.contains("probe Author(A, S) via (1)"), "{shown}");
         assert!(shown.contains("semi-join: S in Author.1"), "{shown}");
+    }
+
+    #[test]
+    fn slot_layouts_follow_binding_order() {
+        let (schema, sk) = setup();
+        // Step order: Submitted(S, C) first (smaller), then Author(A, S).
+        let q = ConjunctiveQuery::new(vec![
+            Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+            Atom::new("Submitted", vec![Term::var("S"), Term::var("C")]),
+        ]);
+        let plan = plan_query(&schema, &sk, &q).unwrap();
+        assert_eq!(plan.slots, vec!["S".to_string(), "C".into(), "A".into()]);
+        assert_eq!(
+            plan.steps[0].layout,
+            vec![SlotTerm::Write(0), SlotTerm::Write(1)]
+        );
+        assert_eq!(
+            plan.steps[1].layout,
+            vec![SlotTerm::Write(2), SlotTerm::Check(0)]
+        );
+
+        // Repeated variables within one atom: first occurrence writes, the
+        // second checks the same slot; constants carry no slot.
+        let q = ConjunctiveQuery::new(vec![Atom::new(
+            "Reviews",
+            vec![Term::var("A"), Term::constant("d1"), Term::var("A")],
+        )]);
+        let mut schema2 = RelationalSchema::new();
+        schema2.add_entity("Person").unwrap();
+        schema2.add_entity("Paper").unwrap();
+        schema2
+            .add_relationship("Reviews", &["Person", "Paper", "Person"])
+            .unwrap();
+        let plan = plan_query(&schema2, &Skeleton::new(), &q).unwrap();
+        assert_eq!(plan.slots, vec!["A".to_string()]);
+        assert_eq!(
+            plan.steps[0].layout,
+            vec![SlotTerm::Write(0), SlotTerm::Const, SlotTerm::Check(0)]
+        );
     }
 }

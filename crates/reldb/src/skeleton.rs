@@ -4,12 +4,20 @@
 //! The skeleton `Δ` is the part of an observed instance that excludes the
 //! grounded attribute functions. Grounding relational causal rules (Def 3.5)
 //! and constructing relational paths (§4.3) only consult the skeleton.
+//!
+//! Every entity key and relationship-tuple component is interned into a
+//! [`SymbolTable`] the moment it is added: alongside the canonical `Value`
+//! storage the skeleton maintains *dense mirrors* (`Vec<Sym>` per entity
+//! class, `Vec<Vec<Sym>>` per relationship) and keys its positional indexes
+//! and duplicate-detection sets on 4-byte symbols instead of heap values.
+//! The tuple executor in [`crate::eval`] runs entirely over these mirrors.
 
 use crate::error::{RelError, RelResult};
 use crate::schema::{PredicateKind, RelationalSchema};
-use crate::value::Value;
+use crate::symbols::{Sym, SymMap, SymSet, SymbolTable};
+use crate::value::{fnv1a, Value, FNV_OFFSET};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
 
 /// The key of a grounded unit: a tuple of entity keys.
 ///
@@ -19,22 +27,41 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 pub type UnitKey = Vec<Value>;
 
 /// The relational skeleton of an instance: sets of grounded entities and
-/// relationship tuples, with adjacency indexes for efficient traversal.
+/// relationship tuples, with interned dense mirrors and adjacency indexes
+/// for efficient traversal.
+///
+/// All `#[serde(skip)]` fields are derived state. They are maintained
+/// eagerly by `add_entity`/`add_relationship` and rebuilt by
+/// [`Skeleton::rebuild_indexes`], which must be called after
+/// deserialisation (the same contract the positional indexes have always
+/// had). The symbol table is append-only and never cleared, so symbols
+/// handed out earlier stay valid across index rebuilds.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Skeleton {
     /// Entity class name → set of keys (insertion-ordered).
     entities: BTreeMap<String, Vec<Value>>,
-    /// Fast membership test per entity class.
-    entity_index: BTreeMap<String, HashSet<Value>>,
     /// Relationship name → list of tuples.
     relationships: BTreeMap<String, Vec<UnitKey>>,
-    /// (relationship, position, key) → row indexes into `relationships[rel]`.
+    /// The value interner shared by every dense mirror below.
     #[serde(skip)]
-    rel_index: HashMap<(String, usize), HashMap<Value, Vec<usize>>>,
+    interner: SymbolTable,
+    /// Dense mirror of `entities` (aligned per class).
+    #[serde(skip)]
+    entity_syms: BTreeMap<String, Vec<Sym>>,
+    /// Fast membership test per entity class.
+    #[serde(skip)]
+    entity_index: BTreeMap<String, SymSet<Sym>>,
+    /// Dense mirror of `relationships` (aligned per relationship).
+    #[serde(skip)]
+    rel_syms: BTreeMap<String, Vec<Vec<Sym>>>,
+    /// (relationship, position, symbol) → row indexes into
+    /// `relationships[rel]`.
+    #[serde(skip)]
+    rel_index: HashMap<(String, usize), SymMap<Sym, Vec<u32>>>,
     /// Authoritative per-relationship membership sets for duplicate
-    /// detection (derived state, resynchronised lazily when stale).
+    /// detection, keyed on interned tuples (no `UnitKey` clones).
     #[serde(skip)]
-    rel_set: BTreeMap<String, HashSet<UnitKey>>,
+    rel_set: BTreeMap<String, SymSet<Vec<Sym>>>,
 }
 
 impl Skeleton {
@@ -46,56 +73,134 @@ impl Skeleton {
     /// Add a grounded entity with key `key` to class `entity`.
     /// Duplicate keys are ignored (idempotent).
     pub fn add_entity(&mut self, entity: &str, key: Value) {
-        let idx = self.entity_index.entry(entity.to_string()).or_default();
-        if idx.insert(key.clone()) {
+        // Resynchronise the derived mirror if it is stale (deserialisation).
+        let stored = self.entities.entry(entity.to_string()).or_default().len();
+        let mirrored = self.entity_syms.get(entity).map_or(0, Vec::len);
+        if mirrored != stored {
+            self.resync_entity(entity);
+        }
+        let sym = self.interner.intern(&key);
+        if self
+            .entity_index
+            .entry(entity.to_string())
+            .or_default()
+            .insert(sym)
+        {
             self.entities
                 .entry(entity.to_string())
                 .or_default()
                 .push(key);
+            self.entity_syms
+                .entry(entity.to_string())
+                .or_default()
+                .push(sym);
         }
     }
 
     /// Add a grounded relationship tuple. Duplicates are stored only once.
     ///
     /// Duplicate detection is authoritative: it consults a per-relationship
-    /// membership set rather than the positional index, so it keeps working
-    /// for zero-arity tuples and after deserialisation (where the derived
-    /// indexes start out empty and are resynchronised lazily here).
+    /// membership set of interned tuples rather than the positional index,
+    /// so it keeps working for zero-arity tuples and after deserialisation
+    /// (where the derived indexes start out empty and are resynchronised
+    /// lazily here).
     pub fn add_relationship(&mut self, rel: &str, tuple: UnitKey) {
-        let existing = self.relationships.entry(rel.to_string()).or_default();
-        let members = self.rel_set.entry(rel.to_string()).or_default();
-        if members.len() != existing.len() {
-            *members = existing.iter().cloned().collect();
+        let stored = self.relationships.entry(rel.to_string()).or_default().len();
+        let mirrored = self.rel_syms.get(rel).map_or(0, Vec::len);
+        if mirrored != stored {
+            self.resync_relationship(rel);
         }
-        if !members.insert(tuple.clone()) {
+        let syms: Vec<Sym> = tuple.iter().map(|v| self.interner.intern(v)).collect();
+        if !self
+            .rel_set
+            .entry(rel.to_string())
+            .or_default()
+            .insert(syms.clone())
+        {
             return;
         }
         let rows = self
             .relationships
             .get_mut(rel)
             .expect("entry created above");
-        let row_id = rows.len();
-        rows.push(tuple.clone());
-        for (pos, v) in tuple.into_iter().enumerate() {
+        let row_id = u32::try_from(rows.len()).expect("more than u32::MAX tuples");
+        rows.push(tuple);
+        for (pos, &sym) in syms.iter().enumerate() {
             self.rel_index
                 .entry((rel.to_string(), pos))
                 .or_default()
-                .entry(v)
+                .entry(sym)
                 .or_default()
                 .push(row_id);
         }
+        self.rel_syms.entry(rel.to_string()).or_default().push(syms);
+    }
+
+    /// Rebuild the derived state of one entity class from canonical storage.
+    fn resync_entity(&mut self, entity: &str) {
+        let keys = self.entities.get(entity).cloned().unwrap_or_default();
+        let syms: Vec<Sym> = keys.iter().map(|k| self.interner.intern(k)).collect();
+        self.entity_index
+            .insert(entity.to_string(), syms.iter().copied().collect());
+        self.entity_syms.insert(entity.to_string(), syms);
+    }
+
+    /// Rebuild the derived state of one relationship from canonical storage.
+    fn resync_relationship(&mut self, rel: &str) {
+        let tuples = self.relationships.get(rel).cloned().unwrap_or_default();
+        let syms: Vec<Vec<Sym>> = tuples
+            .iter()
+            .map(|t| t.iter().map(|v| self.interner.intern(v)).collect())
+            .collect();
+        self.rel_index.retain(|(r, _), _| r != rel);
+        for (row_id, tuple) in syms.iter().enumerate() {
+            for (pos, &sym) in tuple.iter().enumerate() {
+                self.rel_index
+                    .entry((rel.to_string(), pos))
+                    .or_default()
+                    .entry(sym)
+                    .or_default()
+                    .push(row_id as u32);
+            }
+        }
+        self.rel_set
+            .insert(rel.to_string(), syms.iter().cloned().collect());
+        self.rel_syms.insert(rel.to_string(), syms);
+    }
+
+    /// The skeleton's value interner. Append-only: symbols stay valid for
+    /// the lifetime of the skeleton (including across
+    /// [`Skeleton::rebuild_indexes`]).
+    pub fn interner(&self) -> &SymbolTable {
+        &self.interner
     }
 
     /// Whether entity class `entity` contains `key`.
     pub fn has_entity(&self, entity: &str, key: &Value) -> bool {
+        self.interner
+            .get(key)
+            .is_some_and(|sym| self.has_entity_sym(entity, sym))
+    }
+
+    /// Whether entity class `entity` contains the interned key `sym`.
+    pub fn has_entity_sym(&self, entity: &str, sym: Sym) -> bool {
         self.entity_index
             .get(entity)
-            .is_some_and(|s| s.contains(key))
+            .is_some_and(|s| s.contains(&sym))
     }
 
     /// All keys of entity class `entity` (empty slice if the class is empty).
     pub fn entity_keys(&self, entity: &str) -> &[Value] {
         self.entities
+            .get(entity)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Dense mirror of [`Skeleton::entity_keys`]: the interned symbols of
+    /// every key of `entity`, in stored order.
+    pub fn entity_syms(&self, entity: &str) -> &[Sym] {
+        self.entity_syms
             .get(entity)
             .map(|v| v.as_slice())
             .unwrap_or(&[])
@@ -114,6 +219,12 @@ impl Skeleton {
             .unwrap_or(&[])
     }
 
+    /// Dense mirror of [`Skeleton::relationship_tuples`]: the interned
+    /// tuples of `rel`, aligned row for row with the `Value` storage.
+    pub fn relationship_syms(&self, rel: &str) -> &[Vec<Sym>] {
+        self.rel_syms.get(rel).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
     /// Number of tuples of relationship `rel`.
     pub fn relationship_count(&self, rel: &str) -> usize {
         self.relationships.get(rel).map_or(0, Vec::len)
@@ -126,14 +237,30 @@ impl Skeleton {
         position: usize,
         key: &Value,
     ) -> Vec<&UnitKey> {
-        let Some(index) = self.rel_index.get(&(rel.to_string(), position)) else {
+        let Some(sym) = self.interner.get(key) else {
             return Vec::new();
         };
-        let Some(rows) = index.get(key) else {
-            return Vec::new();
-        };
-        let table = &self.relationships[rel];
-        rows.iter().map(|&r| &table[r]).collect()
+        let table = self.relationship_tuples(rel);
+        self.rows_with(rel, position, sym)
+            .iter()
+            .map(|&r| &table[r as usize])
+            .collect()
+    }
+
+    /// Row indexes of `rel` whose component at `position` is the interned
+    /// symbol `sym` (the dense positional probe of the tuple executor).
+    pub fn rows_with(&self, rel: &str, position: usize, sym: Sym) -> &[u32] {
+        self.positional_index(rel, position)
+            .and_then(|idx| idx.get(&sym))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The whole positional index of `(rel, position)`: symbol → row ids.
+    /// Executors resolve this once per plan step so the per-row probe is a
+    /// single symbol hash (no per-row key construction).
+    pub fn positional_index(&self, rel: &str, position: usize) -> Option<&SymMap<Sym, Vec<u32>>> {
+        self.rel_index.get(&(rel.to_string(), position))
     }
 
     /// Number of distinct values appearing at `position` of relationship
@@ -142,30 +269,36 @@ impl Skeleton {
     pub fn distinct_count(&self, rel: &str, position: usize) -> usize {
         self.rel_index
             .get(&(rel.to_string(), position))
-            .map_or(0, HashMap::len)
+            .map_or(0, SymMap::len)
     }
 
     /// Whether any tuple of `rel` has value `key` at `position` (an O(1)
     /// semi-join membership test against the positional index).
     pub fn contains_at(&self, rel: &str, position: usize, key: &Value) -> bool {
+        self.interner
+            .get(key)
+            .is_some_and(|sym| self.contains_sym_at(rel, position, sym))
+    }
+
+    /// Dense variant of [`Skeleton::contains_at`] for an interned symbol.
+    pub fn contains_sym_at(&self, rel: &str, position: usize, sym: Sym) -> bool {
         self.rel_index
             .get(&(rel.to_string(), position))
-            .is_some_and(|idx| idx.contains_key(key))
+            .is_some_and(|idx| idx.contains_key(&sym))
     }
 
     /// Whether relationship `rel` contains exactly `tuple`.
     pub fn has_relationship(&self, rel: &str, tuple: &[Value]) -> bool {
-        match tuple.first() {
-            Some(first) => self
-                .relationship_tuples_with(rel, 0, first)
-                .iter()
-                .any(|t| t.as_slice() == tuple),
-            // Zero-arity tuples never populate a positional index.
-            None => self
-                .relationships
-                .get(rel)
-                .is_some_and(|ts| ts.iter().any(|t| t.is_empty())),
+        let syms: Option<Vec<Sym>> = tuple.iter().map(|v| self.interner.get(v)).collect();
+        match syms {
+            Some(syms) => self.has_relationship_syms(rel, &syms),
+            None => false,
         }
+    }
+
+    /// Dense variant of [`Skeleton::has_relationship`] for interned tuples.
+    pub fn has_relationship_syms(&self, rel: &str, tuple: &[Sym]) -> bool {
+        self.rel_set.get(rel).is_some_and(|s| s.contains(tuple))
     }
 
     /// Grounded units of a predicate: single-component keys for entities,
@@ -220,29 +353,21 @@ impl Skeleton {
         self.relationships.values().map(Vec::len).sum()
     }
 
-    /// Rebuild the positional indexes (needed after deserialisation, since
-    /// the index is skipped by serde).
+    /// Rebuild the dense mirrors and positional indexes from the canonical
+    /// `Value` storage (needed after deserialisation, since all derived
+    /// state is skipped by serde).
+    ///
+    /// The interner is *extended*, never cleared: symbols issued before the
+    /// rebuild keep their meaning, so caches keyed on symbols (see
+    /// [`crate::index::IndexCache`]) are not silently remapped.
     pub fn rebuild_indexes(&mut self) {
-        self.rel_index.clear();
-        self.rel_set.clear();
-        for (rel, tuples) in &self.relationships {
-            self.rel_set
-                .insert(rel.clone(), tuples.iter().cloned().collect());
-            for (row_id, tuple) in tuples.iter().enumerate() {
-                for (pos, v) in tuple.iter().enumerate() {
-                    self.rel_index
-                        .entry((rel.clone(), pos))
-                        .or_default()
-                        .entry(v.clone())
-                        .or_default()
-                        .push(row_id);
-                }
-            }
+        let classes: Vec<String> = self.entities.keys().cloned().collect();
+        for entity in classes {
+            self.resync_entity(&entity);
         }
-        self.entity_index.clear();
-        for (ent, keys) in &self.entities {
-            self.entity_index
-                .insert(ent.clone(), keys.iter().cloned().collect());
+        let rels: Vec<String> = self.relationships.keys().cloned().collect();
+        for rel in rels {
+            self.resync_relationship(&rel);
         }
     }
 
@@ -251,27 +376,21 @@ impl Skeleton {
     ///
     /// Two skeletons with the same content produce the same fingerprint in
     /// any process on any platform (the hash is an explicit FNV-1a over a
-    /// canonical byte rendering, not a `RandomState` hash), which makes it
-    /// usable as a grounding-cache key: a cache entry keyed by
-    /// `(rule, fingerprint)` stays valid exactly as long as the skeleton it
-    /// was computed from is unchanged. Content insertions always change the
-    /// fingerprint; permuting insertion order may change it too, which for a
-    /// cache key is merely a conservative miss.
+    /// canonical byte rendering fed by [`Value::fold_key_bytes`], not a
+    /// `RandomState` hash), which makes it usable as a grounding-cache key:
+    /// a cache entry keyed by `(rule, fingerprint)` stays valid exactly as
+    /// long as the skeleton it was computed from is unchanged. Content
+    /// insertions always change the fingerprint; permuting insertion order
+    /// may change it too, which for a cache key is merely a conservative
+    /// miss.
     pub fn fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        fn mix(h: &mut u64, bytes: &[u8]) {
-            for &b in bytes {
-                *h ^= u64::from(b);
-                *h = h.wrapping_mul(PRIME);
-            }
-        }
-        let mut h = OFFSET;
+        let mix = fnv1a;
+        let mut h = FNV_OFFSET;
         for (entity, keys) in &self.entities {
             mix(&mut h, entity.as_bytes());
             mix(&mut h, &[0xff]);
             for key in keys {
-                mix(&mut h, key.key_repr().as_bytes());
+                key.fold_key_bytes(&mut |bytes| mix(&mut h, bytes));
                 mix(&mut h, &[0xfe]);
             }
         }
@@ -280,7 +399,7 @@ impl Skeleton {
             mix(&mut h, &[0xfd]);
             for tuple in tuples {
                 for v in tuple {
-                    mix(&mut h, v.key_repr().as_bytes());
+                    v.fold_key_bytes(&mut |bytes| mix(&mut h, bytes));
                     mix(&mut h, &[0xfc]);
                 }
                 mix(&mut h, &[0xfb]);
@@ -358,6 +477,37 @@ mod tests {
     }
 
     #[test]
+    fn dense_mirrors_align_with_value_storage() {
+        let (_, sk) = paper_skeleton();
+        let interner = sk.interner();
+        // Entity mirrors resolve back to the stored keys, row for row.
+        for entity in ["Person", "Submission", "Conference"] {
+            let keys = sk.entity_keys(entity);
+            let syms = sk.entity_syms(entity);
+            assert_eq!(keys.len(), syms.len());
+            for (key, &sym) in keys.iter().zip(syms) {
+                assert_eq!(interner.value(sym), key);
+                assert!(sk.has_entity_sym(entity, sym));
+            }
+        }
+        // Relationship mirrors too.
+        let tuples = sk.relationship_tuples("Author");
+        let syms = sk.relationship_syms("Author");
+        assert_eq!(tuples.len(), syms.len());
+        for (tuple, row) in tuples.iter().zip(syms) {
+            for (v, &s) in tuple.iter().zip(row) {
+                assert_eq!(interner.value(s), v);
+            }
+            assert!(sk.has_relationship_syms("Author", row));
+        }
+        // Dense positional probe agrees with the Value-level one.
+        let eva = interner.get(&Value::from("Eva")).unwrap();
+        assert_eq!(sk.rows_with("Author", 0, eva).len(), 3);
+        assert!(sk.contains_sym_at("Author", 0, eva));
+        assert!(!sk.contains_sym_at("Submitted", 0, eva));
+    }
+
+    #[test]
     fn validation_catches_dangling_and_arity() {
         let schema = RelationalSchema::review_example();
         let mut sk = Skeleton::new();
@@ -407,8 +557,16 @@ mod tests {
         sk.add_relationship("Author", vec![Value::from("Bob"), Value::from("s1")]);
         sk.rel_index.clear();
         sk.rel_set.clear();
+        sk.rel_syms.clear();
         sk.add_relationship("Author", vec![Value::from("Bob"), Value::from("s1")]);
         assert_eq!(sk.relationship_count("Author"), 1);
+        // The lazy resync restored the dense state too.
+        assert_eq!(sk.relationship_syms("Author").len(), 1);
+        assert_eq!(
+            sk.relationship_tuples_with("Author", 0, &Value::from("Bob"))
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -437,8 +595,9 @@ mod tests {
     }
 
     #[test]
-    fn rebuild_indexes_is_idempotent() {
+    fn rebuild_indexes_is_idempotent_and_keeps_symbols_valid() {
         let (_, mut sk) = paper_skeleton();
+        let eva_before = sk.interner().get(&Value::from("Eva")).unwrap();
         sk.rebuild_indexes();
         sk.rebuild_indexes();
         assert_eq!(
@@ -446,5 +605,8 @@ mod tests {
                 .len(),
             3
         );
+        // Symbols issued before the rebuild still resolve (append-only).
+        assert_eq!(sk.interner().get(&Value::from("Eva")), Some(eva_before));
+        assert_eq!(sk.interner().value(eva_before), &Value::from("Eva"));
     }
 }

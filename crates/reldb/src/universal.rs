@@ -17,7 +17,7 @@ use crate::error::RelResult;
 use crate::instance::Instance;
 use crate::schema::PredicateKind;
 use crate::table::Table;
-use crate::value::Value;
+use crate::value::{Value, ValueKey};
 use std::collections::{HashMap, HashSet};
 
 /// One row of the intermediate join: a binding of entity-class "roles" to keys.
@@ -97,17 +97,19 @@ pub fn universal_table(instance: &Instance) -> RelResult<Table> {
                 .filter(|(_, e)| joined_classes.contains(*e))
                 .map(|(i, _)| i)
                 .collect();
-            let mut index: HashMap<Vec<String>, Vec<&Vec<Value>>> = HashMap::new();
+            // Grouping keys are borrowed `ValueKey` views — no per-tuple
+            // key-string allocation.
+            let mut index: HashMap<Vec<ValueKey<'_>>, Vec<&Vec<Value>>> = HashMap::new();
             for tuple in skeleton.relationship_tuples(&rel.name) {
-                let key: Vec<String> = shared.iter().map(|&i| tuple[i].key_repr()).collect();
+                let key: Vec<ValueKey<'_>> = shared.iter().map(|&i| ValueKey(&tuple[i])).collect();
                 index.entry(key).or_default().push(tuple);
             }
 
             let mut next = Vec::new();
             for row in &joined {
-                let key: Vec<String> = shared
+                let key: Vec<ValueKey<'_>> = shared
                     .iter()
-                    .map(|&i| row[&rel.entities[i]].key_repr())
+                    .map(|&i| ValueKey(&row[&rel.entities[i]]))
                     .collect();
                 if let Some(matches) = index.get(&key) {
                     for tuple in matches {

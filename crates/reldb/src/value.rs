@@ -71,6 +71,11 @@ impl Value {
     ///
     /// Floats are rendered with full precision via their bit pattern so two
     /// values group together iff they are bitwise identical.
+    ///
+    /// This allocates a fresh `String` per call; hot paths should prefer
+    /// the borrowed [`ValueKey`] view (hashing, grouping, deduplication) or
+    /// [`Value::fold_key_bytes`] (fingerprinting), which feed the same
+    /// type-tagged canonical bytes without allocating.
     pub fn key_repr(&self) -> String {
         match self {
             Value::Null => "\u{0}null".to_string(),
@@ -79,6 +84,107 @@ impl Value {
             Value::Float(f) => format!("\u{3}{:016x}", f.to_bits()),
             Value::Str(s) => format!("\u{4}{s}"),
         }
+    }
+
+    /// Feed a type-tagged canonical byte rendering of the value to `sink`,
+    /// without allocating. Two values produce the same byte stream iff they
+    /// are [`ValueKey`]-equal (same variant, bitwise-identical payload).
+    pub fn fold_key_bytes(&self, sink: &mut impl FnMut(&[u8])) {
+        match self {
+            Value::Null => sink(&[0u8]),
+            Value::Bool(b) => {
+                sink(&[1u8]);
+                sink(&[u8::from(*b)]);
+            }
+            Value::Int(i) => {
+                sink(&[2u8]);
+                sink(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                sink(&[3u8]);
+                sink(&f.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                sink(&[4u8]);
+                sink(s.as_bytes());
+            }
+        }
+    }
+
+    /// Like [`Value::fold_key_bytes`], but consistent with `Value`'s own
+    /// `Eq`/`Hash`: two values produce the same byte stream iff they
+    /// compare equal, including the `Int(2) == Float(2.0)` coercion
+    /// (integers are rendered through their float bit pattern, exactly as
+    /// `Value::hash` does). Use this wherever a byte-derived hash must
+    /// bucket no finer than `Value` equality — e.g. content-addressed node
+    /// lookups keyed by `Value`-equal identities.
+    pub fn fold_eq_bytes(&self, sink: &mut impl FnMut(&[u8])) {
+        match self {
+            Value::Null => sink(&[0u8]),
+            Value::Bool(b) => {
+                sink(&[1u8]);
+                sink(&[u8::from(*b)]);
+            }
+            // Ints and equal-valued floats must render identically because
+            // they compare equal.
+            Value::Int(i) => {
+                sink(&[3u8]);
+                sink(&(*i as f64).to_bits().to_le_bytes());
+            }
+            Value::Float(f) => {
+                sink(&[3u8]);
+                sink(&f.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                sink(&[4u8]);
+                sink(s.as_bytes());
+            }
+        }
+    }
+}
+
+/// The FNV-1a offset basis, shared by every content fingerprint in the
+/// workspace (skeleton, instance, grounded-attribute identities).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fold `bytes` into an FNV-1a hash state (seed with [`FNV_OFFSET`]).
+pub fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(PRIME);
+    }
+}
+
+/// A borrowed hashing/grouping view of a [`Value`] with *strict* (variant-
+/// and bit-exact) equality — the same equivalence [`Value::key_repr`]
+/// induces, without the per-value `String` allocation.
+///
+/// Unlike `Value`'s own `Eq` (where `Int(2) == Float(2.0)`), `ValueKey`
+/// distinguishes variants: `Int(2)` and `Float(2.0)` group separately, and
+/// floats compare by bit pattern (so `NaN` groups with itself). Use it
+/// wherever `key_repr` strings used to serve as `HashMap`/`HashSet` keys.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueKey<'a>(pub &'a Value);
+
+impl PartialEq for ValueKey<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.0, other.0) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for ValueKey<'_> {}
+
+impl std::hash::Hash for ValueKey<'_> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.fold_key_bytes(&mut |bytes| state.write(bytes));
     }
 }
 
@@ -318,6 +424,40 @@ mod tests {
     fn key_repr_distinguishes_types() {
         assert_ne!(Value::Int(1).key_repr(), Value::Str("1".into()).key_repr());
         assert_ne!(Value::Bool(true).key_repr(), Value::Int(1).key_repr());
+    }
+
+    #[test]
+    fn value_key_matches_key_repr_equivalence() {
+        use std::collections::HashSet;
+        let vals = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(1),
+            Value::Float(1.0),
+            Value::Str("1".into()),
+            Value::Float(f64::NAN),
+        ];
+        for a in &vals {
+            for b in &vals {
+                assert_eq!(
+                    ValueKey(a) == ValueKey(b),
+                    a.key_repr() == b.key_repr(),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+        // Usable as a set key; NaN groups with itself.
+        let mut set = HashSet::new();
+        assert!(set.insert(ValueKey(&vals[5])));
+        assert!(!set.insert(ValueKey(&vals[5])));
+        // Hash consistency with equality for a borderline pair.
+        fn kh(v: &Value) -> u64 {
+            let mut h = DefaultHasher::new();
+            ValueKey(v).hash(&mut h);
+            h.finish()
+        }
+        assert_eq!(kh(&Value::Int(7)), kh(&Value::Int(7)));
+        assert_ne!(kh(&Value::Int(1)), kh(&Value::Float(1.0)));
     }
 
     #[test]

@@ -16,12 +16,21 @@
 //! and a third reuses one `IndexCache` across many queries to catch cache
 //! corruption.
 //!
+//! Every case exercises *three* optimised executors against the reference:
+//! the dense tuple executor through its `Vec<Bindings>` boundary
+//! (`evaluate` / `evaluate_filtered`), the same executor through its raw
+//! [`reldb::TupleAnswers`] interface (`evaluate_tuples*`, converted
+//! explicitly), and the preserved PR 3 bindings executor
+//! (`evaluate_bindings_*`), which must stay honest because the
+//! `answer_pipeline` benchmark uses it as the baseline.
+//!
 //! Case counts are deliberately modest for local runs; CI's release-test
 //! job raises them via the `PROPTEST_CASES` environment variable.
 
 use proptest::prelude::*;
 use reldb::{
-    evaluate, evaluate_filtered, evaluate_in, evaluate_naive, Atom, Bindings, ConjunctiveQuery,
+    evaluate, evaluate_bindings_filtered, evaluate_bindings_in, evaluate_filtered, evaluate_in,
+    evaluate_naive, evaluate_tuples, evaluate_tuples_filtered, Atom, Bindings, ConjunctiveQuery,
     DomainType, EqFilter, IndexCache, Instance, RelationalSchema, Skeleton, Term, Value,
 };
 
@@ -150,15 +159,22 @@ proptest! {
         let skeleton = skeleton_from(4, 4, &writes, &reviews);
         let query = query_from(&shapes);
         let fast = evaluate(&schema, &skeleton, &query).unwrap();
-        let slow = evaluate_naive(&schema, &skeleton, &query).unwrap();
+        let slow = canonical(evaluate_naive(&schema, &skeleton, &query).unwrap());
         prop_assert_eq!(
             canonical(fast),
-            canonical(slow),
+            slow.clone(),
             "query {} over {} writes / {} reviews",
             query,
             writes.len(),
             reviews.len()
         );
+        // The raw tuple interface (converted at the boundary) and the
+        // preserved bindings executor agree too.
+        let cache = IndexCache::for_skeleton(&skeleton);
+        let tuples = evaluate_tuples(&cache, &schema, &skeleton, &query).unwrap();
+        prop_assert_eq!(canonical(tuples.to_bindings()), slow.clone(), "tuples {}", query);
+        let legacy = evaluate_bindings_in(&cache, &schema, &skeleton, &query).unwrap();
+        prop_assert_eq!(canonical(legacy), slow, "bindings {}", query);
     }
 
     /// Single-atom queries with constants agree too (exercises the indexed
@@ -179,8 +195,13 @@ proptest! {
         };
         let query = ConjunctiveQuery::new(vec![Atom::new("Writes", terms)]);
         let fast = evaluate(&schema, &skeleton, &query).unwrap();
-        let slow = evaluate_naive(&schema, &skeleton, &query).unwrap();
-        prop_assert_eq!(canonical(fast), canonical(slow));
+        let slow = canonical(evaluate_naive(&schema, &skeleton, &query).unwrap());
+        prop_assert_eq!(canonical(fast), slow.clone());
+        let cache = IndexCache::for_skeleton(&skeleton);
+        let tuples = evaluate_tuples(&cache, &schema, &skeleton, &query).unwrap();
+        prop_assert_eq!(canonical(tuples.to_bindings()), slow.clone());
+        let legacy = evaluate_bindings_in(&cache, &schema, &skeleton, &query).unwrap();
+        prop_assert_eq!(canonical(legacy), slow);
     }
 
     /// One `IndexCache` reused across a whole batch of queries over the
@@ -198,8 +219,13 @@ proptest! {
         for shapes in &batch {
             let query = query_from(shapes);
             let shared = evaluate_in(&cache, &schema, &skeleton, &query).unwrap();
-            let fresh = evaluate(&schema, &skeleton, &query).unwrap();
-            prop_assert_eq!(canonical(shared), canonical(fresh), "query {}", query);
+            let fresh = canonical(evaluate(&schema, &skeleton, &query).unwrap());
+            prop_assert_eq!(canonical(shared), fresh.clone(), "query {}", query);
+            // Tuple and bindings executors through the same shared cache.
+            let tuples = evaluate_tuples(&cache, &schema, &skeleton, &query).unwrap();
+            prop_assert_eq!(canonical(tuples.to_bindings()), fresh.clone(), "tuples {}", query);
+            let legacy = evaluate_bindings_in(&cache, &schema, &skeleton, &query).unwrap();
+            prop_assert_eq!(canonical(legacy), fresh, "bindings {}", query);
         }
     }
 
@@ -262,7 +288,16 @@ proptest! {
                     None => false,
                 })
                 .collect();
-        prop_assert_eq!(canonical(fast), canonical(reference), "query {}", query);
+        let reference = canonical(reference);
+        prop_assert_eq!(canonical(fast), reference.clone(), "query {}", query);
+        let tuples =
+            evaluate_tuples_filtered(&cache, instance.schema(), &instance, &query, &filters)
+                .unwrap();
+        prop_assert_eq!(canonical(tuples.to_bindings()), reference.clone(), "tuples {}", query);
+        let legacy =
+            evaluate_bindings_filtered(&cache, instance.schema(), &instance, &query, &filters)
+                .unwrap();
+        prop_assert_eq!(canonical(legacy), reference, "bindings {}", query);
     }
 
     /// Both evaluators reject exactly the same malformed queries.

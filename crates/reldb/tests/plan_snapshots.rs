@@ -33,6 +33,7 @@ fn single_authorship_atom_is_a_scan() {
     assert_plan(
         plan_query(&schema, &sk, &q).unwrap(),
         "plan for Author(A, S)\n\
+         \x20 slots: r0=A, r1=S\n\
          \x20 1. scan Author(A, S) [~5 rows]\n",
     );
 }
@@ -59,6 +60,7 @@ fn venue_restricted_condition_probes_and_pins_the_filter() {
     assert_plan(
         plan_query_filtered(&schema, &inst, &cache, &q, &filters).unwrap(),
         "plan for Submitted(S, C), Author(A, S)\n\
+         \x20 slots: r0=S, r1=C, r2=A\n\
          \x20 1. scan Submitted(S, C) [~3 rows]\n\
          \x20      semi-join: S in Author.1\n\
          \x20 2. probe Author(A, S) via (1) [~2 rows]\n\
@@ -79,6 +81,7 @@ fn chain_with_entity_check() {
     assert_plan(
         plan_query(&schema, &sk, &q).unwrap(),
         "plan for Submitted(S, C), Author(A, S), Person(A)\n\
+         \x20 slots: r0=S, r1=C, r2=A\n\
          \x20 1. scan Submitted(S, C) [~3 rows]\n\
          \x20      semi-join: S in Author.1\n\
          \x20 2. probe Author(A, S) via (1) [~2 rows]\n\
@@ -98,6 +101,7 @@ fn constant_terms_probe_immediately() {
     assert_plan(
         plan_query(&schema, &sk, &q).unwrap(),
         "plan for Author(A, \"s3\")\n\
+         \x20 slots: r0=A\n\
          \x20 1. probe Author(A, \"s3\") via (1) [~2 rows]\n",
     );
 }
@@ -117,6 +121,7 @@ fn selective_filter_becomes_an_attribute_fetch() {
     assert_plan(
         plan_query_filtered(&schema, &inst, &cache, &q, &filters).unwrap(),
         "plan for Person(A)\n\
+         \x20 slots: r0=A\n\
          \x20 1. fetch Person(A) from Prestige[A] = 0 [~1 rows]\n\
          \x20 filter Prestige[A] = 0 (after step 1)\n",
     );
@@ -135,6 +140,7 @@ fn coauthor_self_join_probes_the_shared_position() {
     assert_plan(
         plan_query(&schema, &sk, &q).unwrap(),
         "plan for Author(A, S), Author(B, S)\n\
+         \x20 slots: r0=A, r1=S, r2=B\n\
          \x20 1. scan Author(A, S) [~5 rows]\n\
          \x20 2. probe Author(B, S) via (1) [~2 rows]\n",
     );
