@@ -13,15 +13,17 @@
 //! * `cached_prepare` — the full `prepare` path, which after the first
 //!   iteration hits the `(rule, instance-fingerprint)` grounding cache and
 //!   only rebuilds the (columnar) unit table.
-//! * `answer_pipeline` — the end-to-end query path (cold ground → unit
-//!   table → ATE estimate) racing the dense tuple executor against the
-//!   preserved PR 3 bindings executor on a single worker thread, plus the
-//!   thread-scaling of parallel grounding (1 vs 4 workers). Results are
-//!   printed and written machine-readably to `BENCH_pipeline.json`
-//!   (override the path with `BENCH_PIPELINE_OUT`, the per-leg iteration
-//!   count with `BENCH_PIPELINE_ITERS`) so later PRs have a perf
-//!   trajectory. CI's release-test job smoke-runs this scenario at the
-//!   smallest scale.
+//! * `answer_pipeline` — the end-to-end query path (query-cold prepare →
+//!   unit table → ATE estimate) racing three pipelines on a single worker
+//!   thread: the *streamed* pipeline (default mode: shared base grounding
+//!   plus the query's synthesised aggregate streamed into dense sinks),
+//!   the preserved PR 4 *materialised* tuple pipeline (full re-ground per
+//!   query), and the PR 3 *bindings* executor; plus the thread-scaling of
+//!   parallel grounding (1 vs 4 workers). Results are printed and written
+//!   machine-readably to `BENCH_pipeline.json` (override the path with
+//!   `BENCH_PIPELINE_OUT`, the per-leg iteration count with
+//!   `BENCH_PIPELINE_ITERS`) so later PRs have a perf trajectory. CI's
+//!   release-test job smoke-runs this scenario at the smallest scale.
 
 use carl::{CarlEngine, GroundingMode};
 use carl_datagen::{generate_synthetic_review, SyntheticReviewConfig};
@@ -85,49 +87,74 @@ struct PipelineRow {
     papers: usize,
     bindings_s: f64,
     tuples_s: f64,
+    streamed_s: f64,
     ground_threads1_s: f64,
     ground_threads4_s: f64,
 }
 
-/// Race the full query pipeline (cold ground → unit table → ATE) on the
-/// tuple executor vs the preserved bindings executor, single-threaded, and
-/// measure parallel-grounding thread scaling. Returns the measurements.
+/// Race the full query pipeline (query-cold prepare → unit table → ATE) on
+/// the streamed pipeline vs the preserved materialised tuple and bindings
+/// pipelines, single-threaded, and measure parallel-grounding thread
+/// scaling. Returns the measurements.
 fn answer_pipeline_race(papers: usize, iters: usize) -> PipelineRow {
-    let engine = engine_at(papers);
-    let mut bindings_engine = engine.clone();
+    let streamed_engine = engine_at(papers);
+    let mut tuples_engine = streamed_engine.clone();
+    tuples_engine.set_grounding_mode(GroundingMode::Tuples);
+    let mut bindings_engine = streamed_engine.clone();
     bindings_engine.set_grounding_mode(GroundingMode::Bindings);
     let query = carl::carl_lang::parse_query(QUERY).expect("query parses");
 
     // Single-core legs: pin the worker count so the tuple executor's data
-    // parallelism cannot flatter the comparison.
-    std::env::set_var("RAYON_NUM_THREADS", "1");
+    // parallelism cannot flatter the comparison. (Runtime override — the
+    // env var is read once per process.)
+    rayon::set_num_threads(1);
     let bindings_s = time_best(iters, || {
         let prepared = bindings_engine.prepare_cold(&query).expect("prepares");
         let _ = bindings_engine.answer_prepared(&prepared);
         prepared.unit_table.len()
     });
     let tuples_s = time_best(iters, || {
-        let prepared = engine.prepare_cold(&query).expect("prepares");
-        let _ = engine.answer_prepared(&prepared);
+        let prepared = tuples_engine.prepare_cold(&query).expect("prepares");
+        let _ = tuples_engine.answer_prepared(&prepared);
+        prepared.unit_table.len()
+    });
+    // The streamed leg re-runs every query-specific stage per iteration
+    // (synthesised-aggregate streaming, peers, covariates, unit table,
+    // estimate); the query-independent base grounding is engine state,
+    // shared exactly like the secondary indexes both other legs reuse.
+    let streamed_s = time_best(iters, || {
+        let prepared = streamed_engine.prepare_cold(&query).expect("prepares");
+        let _ = streamed_engine.answer_prepared(&prepared);
         prepared.unit_table.len()
     });
 
-    // Thread scaling of parallel grounding (tuple path, cold).
+    // Thread scaling of parallel grounding (materialised tuple path, cold).
     let ground_threads1_s = time_best(iters, || {
-        engine.ground_model().expect("grounds").graph.node_count()
+        tuples_engine
+            .ground_model()
+            .expect("grounds")
+            .graph
+            .node_count()
     });
-    std::env::set_var("RAYON_NUM_THREADS", "4");
+    rayon::set_num_threads(4);
     let ground_threads4_s = time_best(iters, || {
-        engine.ground_model().expect("grounds").graph.node_count()
+        tuples_engine
+            .ground_model()
+            .expect("grounds")
+            .graph
+            .node_count()
     });
-    std::env::remove_var("RAYON_NUM_THREADS");
+    rayon::set_num_threads(0);
 
     println!(
-        "answer_pipeline/{papers}: bindings {:.4}s, tuples {:.4}s ({:.1}x); \
+        "answer_pipeline/{papers}: bindings {:.4}s, tuples {:.4}s ({:.1}x), \
+         streamed {:.4}s ({:.2}x over tuples); \
          ground 1 thread {:.4}s, 4 threads {:.4}s ({:.2}x)",
         bindings_s,
         tuples_s,
         bindings_s / tuples_s,
+        streamed_s,
+        tuples_s / streamed_s,
         ground_threads1_s,
         ground_threads4_s,
         ground_threads1_s / ground_threads4_s,
@@ -136,6 +163,7 @@ fn answer_pipeline_race(papers: usize, iters: usize) -> PipelineRow {
         papers,
         bindings_s,
         tuples_s,
+        streamed_s,
         ground_threads1_s,
         ground_threads4_s,
     }
@@ -157,12 +185,15 @@ fn write_pipeline_json(rows: &[PipelineRow]) {
     for (i, row) in rows.iter().enumerate() {
         body.push_str(&format!(
             "    {{\"papers\": {}, \"bindings_pipeline_s\": {:.6}, \"tuples_pipeline_s\": {:.6}, \
-             \"pipeline_speedup\": {:.2}, \"ground_threads1_s\": {:.6}, \"ground_threads4_s\": {:.6}, \
-             \"thread_scaling\": {:.2}}}{}\n",
+             \"pipeline_speedup\": {:.2}, \"streamed_pipeline_s\": {:.6}, \
+             \"streamed_speedup_over_tuples\": {:.2}, \"ground_threads1_s\": {:.6}, \
+             \"ground_threads4_s\": {:.6}, \"thread_scaling\": {:.2}}}{}\n",
             row.papers,
             row.bindings_s,
             row.tuples_s,
             row.bindings_s / row.tuples_s,
+            row.streamed_s,
+            row.tuples_s / row.streamed_s,
             row.ground_threads1_s,
             row.ground_threads4_s,
             row.ground_threads1_s / row.ground_threads4_s,

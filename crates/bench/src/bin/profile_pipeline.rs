@@ -33,7 +33,7 @@ fn time<R>(label: &str, mut f: impl FnMut() -> R) -> R {
 }
 
 fn main() {
-    std::env::set_var("RAYON_NUM_THREADS", "1");
+    rayon::set_num_threads(1);
     let papers: usize = std::env::var("PROFILE_PAPERS")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -47,19 +47,35 @@ fn main() {
     };
     let ds = generate_synthetic_review(&config);
     let engine = CarlEngine::new(ds.instance, &ds.rules).expect("engine");
+    let mut tuples = engine.clone();
+    tuples.set_grounding_mode(GroundingMode::Tuples);
     let mut bindings = engine.clone();
     bindings.set_grounding_mode(GroundingMode::Bindings);
     let query = carl::carl_lang::parse_query(QUERY).expect("query");
 
     println!("papers = {papers}");
     time("ground (tuples)", || {
-        engine.ground_model().expect("grounds").graph.node_count()
+        tuples.ground_model().expect("grounds").graph.node_count()
+    });
+    time("ground (streamed)", || {
+        engine
+            .ground_model_streamed()
+            .expect("grounds")
+            .graph
+            .node_count()
     });
     time("ground (bindings)", || {
         bindings.ground_model().expect("grounds").graph.node_count()
     });
-    let prepared = time("prepare_cold (tuples)", || {
+    let prepared = time("prepare_cold (streamed)", || {
         engine.prepare_cold(&query).expect("prepares")
+    });
+    time("prepare_cold (tuples)", || {
+        tuples
+            .prepare_cold(&query)
+            .expect("prepares")
+            .unit_table
+            .len()
     });
     time("prepare_cold (bindings)", || {
         bindings
@@ -91,6 +107,22 @@ fn main() {
             .len()
     });
     println!("    rows: {n}");
+    time("eval_tuples_filtered_chunked (no-op sink)", || {
+        let mut rows = 0usize;
+        reldb::evaluate_tuples_filtered_chunked(
+            &cache,
+            inst.schema(),
+            inst,
+            &q,
+            &filters,
+            &mut |batch| {
+                rows += batch.len();
+                Ok(())
+            },
+        )
+        .unwrap();
+        rows
+    });
     time("eval_bindings_filtered", || {
         evaluate_bindings_filtered(&cache, inst.schema(), inst, &q, &filters)
             .unwrap()

@@ -25,6 +25,11 @@ pub enum StatsError {
     /// One of the treatment arms was empty.
     EmptyArm(String),
 
+    /// A weighting scheme degenerated: an arm's total weight was zero or
+    /// non-finite (e.g. non-finite propensity scores), so a weighted mean
+    /// would silently return `NaN`.
+    DegenerateWeights(String),
+
     /// Generic invalid-argument error.
     InvalidArgument(String),
 }
@@ -43,6 +48,7 @@ impl fmt::Display for StatsError {
                 "did not converge after {iterations} iterations (last delta {last_delta})"
             ),
             Self::EmptyArm(message) => write!(f, "empty treatment arm: {message}"),
+            Self::DegenerateWeights(message) => write!(f, "degenerate weights: {message}"),
             Self::InvalidArgument(message) => write!(f, "invalid argument: {message}"),
         }
     }

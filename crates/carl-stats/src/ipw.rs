@@ -20,8 +20,17 @@ pub struct IpwResult {
     pub ess_control: f64,
 }
 
+/// The floor of the propensity clipping window: scores are always truncated
+/// to at least `[ε, 1 − ε]` with ε = 10⁻⁶ (callers can widen the window via
+/// the `clip` argument, never narrow it below ε). This bounds every weight
+/// by 1/ε, so a *finite* propensity can never zero out an arm's total
+/// weight; degenerate weights are therefore always reported as a typed
+/// error rather than surfacing as a silent `NaN` effect.
+pub const PROPENSITY_EPSILON: f64 = 1e-6;
+
 /// Estimate the ATE with stabilised inverse-probability weights, truncating
-/// propensity scores to `[clip, 1 - clip]` to control variance.
+/// propensity scores to `[clip, 1 - clip]` (floored at
+/// [`PROPENSITY_EPSILON`]) to control variance.
 pub fn ipw_ate(
     covariates: &Matrix,
     treatment: &[f64],
@@ -34,6 +43,16 @@ pub fn ipw_ate(
             "ipw: input lengths differ".into(),
         ));
     }
+    // Validate before fitting so argument errors surface as themselves
+    // rather than as whatever a degenerate logistic fit reports.
+    validate_ipw_inputs(treatment, clip)?;
+    let model = LogisticRegression::fit(covariates, treatment)?;
+    let scores = model.predict_proba_matrix(covariates)?;
+    ipw_core(&scores, treatment, outcome, clip)
+}
+
+/// Shared argument validation of the IPW entry points.
+fn validate_ipw_inputs(treatment: &[f64], clip: f64) -> StatsResult<()> {
     if !(0.0..0.5).contains(&clip) {
         return Err(StatsError::InvalidArgument(
             "ipw: clip must be in [0, 0.5)".into(),
@@ -45,9 +64,43 @@ pub fn ipw_ate(
     if !treatment.iter().any(|&t| t <= 0.5) {
         return Err(StatsError::EmptyArm("control".into()));
     }
-    let model = LogisticRegression::fit(covariates, treatment)?;
-    let scores = model.predict_proba_matrix(covariates)?;
+    Ok(())
+}
 
+/// Estimate the ATE from precomputed propensity `scores` with stabilised
+/// inverse-probability weights (the weighting core of [`ipw_ate`], exposed
+/// so externally fitted propensities can be used).
+///
+/// Scores are truncated to `[clip, 1 − clip]`, floored at
+/// [`PROPENSITY_EPSILON`]. If an arm's total weight still degenerates to
+/// zero or a non-finite value — which after clipping can only happen when a
+/// score is `NaN`/infinite — a typed
+/// [`StatsError::DegenerateWeights`] names the arm instead of letting the
+/// zero-weight path of a weighted mean return a silent `NaN`.
+pub fn stabilised_ipw_effect(
+    scores: &[f64],
+    treatment: &[f64],
+    outcome: &[f64],
+    clip: f64,
+) -> StatsResult<IpwResult> {
+    let n = scores.len();
+    if treatment.len() != n || outcome.len() != n {
+        return Err(StatsError::DimensionMismatch(
+            "ipw: input lengths differ".into(),
+        ));
+    }
+    validate_ipw_inputs(treatment, clip)?;
+    ipw_core(scores, treatment, outcome, clip)
+}
+
+/// The stabilised weighting itself; inputs already validated.
+fn ipw_core(
+    scores: &[f64],
+    treatment: &[f64],
+    outcome: &[f64],
+    clip: f64,
+) -> StatsResult<IpwResult> {
+    let n = scores.len();
     let mut w_treated = Vec::with_capacity(n);
     let mut w_control = Vec::with_capacity(n);
     let mut num_t = 0.0;
@@ -55,7 +108,10 @@ pub fn ipw_ate(
     let mut num_c = 0.0;
     let mut den_c = 0.0;
     for i in 0..n {
-        let e = scores[i].clamp(clip.max(1e-6), 1.0 - clip.max(1e-6));
+        let e = scores[i].clamp(
+            clip.max(PROPENSITY_EPSILON),
+            1.0 - clip.max(PROPENSITY_EPSILON),
+        );
         if treatment[i] > 0.5 {
             let w = 1.0 / e;
             num_t += w * outcome[i];
@@ -66,6 +122,14 @@ pub fn ipw_ate(
             num_c += w * outcome[i];
             den_c += w;
             w_control.push(w);
+        }
+    }
+    for (den, arm) in [(den_t, "treated"), (den_c, "control")] {
+        if !(den.is_finite() && den > 0.0) {
+            return Err(StatsError::DegenerateWeights(format!(
+                "ipw: total weight of the {arm} arm is {den} \
+                 (non-finite propensity scores drive the weighted mean to NaN)"
+            )));
         }
     }
     let effect = num_t / den_t - num_c / den_c;
@@ -155,5 +219,54 @@ mod tests {
     fn ess_of_equal_weights_is_count() {
         assert!((effective_sample_size(&[2.0, 2.0, 2.0]) - 3.0).abs() < 1e-12);
         assert_eq!(effective_sample_size(&[]), 0.0);
+    }
+
+    #[test]
+    fn extreme_propensities_are_clipped_to_epsilon_not_nan() {
+        // Scores of exactly 0 and 1 would give infinite weights unclipped;
+        // the documented ε floor keeps every weight finite even at clip=0.
+        let scores = [0.0, 1.0, 0.5, 0.5];
+        let t = [1.0, 0.0, 1.0, 0.0];
+        let y = [2.0, 1.0, 2.0, 1.0];
+        let res = stabilised_ipw_effect(&scores, &t, &y, 0.0).unwrap();
+        assert!(res.effect.is_finite());
+        assert!((res.effect - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_treated_arm_is_a_typed_error_not_nan() {
+        // A NaN propensity for a treated unit drives that arm's total
+        // weight to NaN; the old weighted-mean path returned a silent NaN
+        // effect.
+        let scores = [f64::NAN, 0.5, 0.5, 0.5];
+        let t = [1.0, 0.0, 1.0, 0.0];
+        let y = [2.0, 1.0, 2.0, 1.0];
+        let err = stabilised_ipw_effect(&scores, &t, &y, 0.01).unwrap_err();
+        match err {
+            StatsError::DegenerateWeights(message) => assert!(message.contains("treated")),
+            other => panic!("expected DegenerateWeights, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_control_arm_is_a_typed_error_not_nan() {
+        let scores = [0.5, f64::NAN, 0.5, 0.5];
+        let t = [1.0, 0.0, 1.0, 0.0];
+        let y = [2.0, 1.0, 2.0, 1.0];
+        let err = stabilised_ipw_effect(&scores, &t, &y, 0.01).unwrap_err();
+        match err {
+            StatsError::DegenerateWeights(message) => assert!(message.contains("control")),
+            other => panic!("expected DegenerateWeights, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precomputed_scores_match_the_fitted_path_bitwise() {
+        let (x, t, y) = confounded(500, 9);
+        let model = LogisticRegression::fit(&x, &t).unwrap();
+        let scores = model.predict_proba_matrix(&x).unwrap();
+        let fitted = ipw_ate(&x, &t, &y, 0.01).unwrap();
+        let direct = stabilised_ipw_effect(&scores, &t, &y, 0.01).unwrap();
+        assert_eq!(fitted.effect.to_bits(), direct.effect.to_bits());
     }
 }

@@ -44,7 +44,7 @@ pub use bootstrap::{bootstrap_ci, bootstrap_distribution, BootstrapSummary};
 pub use correlation::{pearson, spearman};
 pub use descriptive::{kurtosis, mean, moments, quantile, skewness, std_dev, variance};
 pub use error::{StatsError, StatsResult};
-pub use ipw::{ipw_ate, ipw_ate_cols};
+pub use ipw::{ipw_ate, ipw_ate_cols, stabilised_ipw_effect, PROPENSITY_EPSILON};
 pub use linalg::Matrix;
 pub use logistic::LogisticRegression;
 pub use matching::{psm_ate, psm_ate_cols, MatchingConfig};

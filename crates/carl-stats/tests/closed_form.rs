@@ -176,11 +176,14 @@ fn parallel_bootstrap_is_deterministic_regardless_of_thread_count() {
         |idx: &[usize]| Some(idx.iter().map(|&i| data[i]).sum::<f64>() / idx.len() as f64);
 
     let run = || bootstrap_distribution(data.len(), 64, 12345, estimator).unwrap();
-    std::env::set_var("RAYON_NUM_THREADS", "1");
+    // Vary the pool size via the rayon facade's runtime override; mutating
+    // RAYON_NUM_THREADS would race tests running concurrently and is only
+    // read once per process anyway.
+    rayon::set_num_threads(1);
     let sequential = run();
-    std::env::set_var("RAYON_NUM_THREADS", "8");
+    rayon::set_num_threads(8);
     let eight_way = run();
-    std::env::remove_var("RAYON_NUM_THREADS");
+    rayon::set_num_threads(0);
     let auto = run();
 
     let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();

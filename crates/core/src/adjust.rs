@@ -15,7 +15,7 @@
 //! set satisfies the conditional independence of Equation (29).
 
 use crate::graph::GroundedAttr;
-use crate::ground::GroundedModel;
+use crate::ground::GroundedValues;
 use crate::model::RelationalCausalModel;
 use crate::peers::PeerMap;
 use reldb::{Instance, UnitKey};
@@ -48,15 +48,15 @@ pub struct AdjustmentPlan {
 /// Only *observed* attributes (per the model) are eligible covariates, as
 /// required by Theorem 5.2 (`Z` ranges over groundings of `A_Obs`).
 /// The treatment attribute itself is never a covariate.
-pub fn covariates(
+pub fn covariates<G: GroundedValues>(
     model: &RelationalCausalModel,
-    grounded: &GroundedModel,
+    grounded: &G,
     instance: &Instance,
     treatment_attr: &str,
     units: &[UnitKey],
     peers: &PeerMap,
 ) -> AdjustmentPlan {
-    let graph = &grounded.graph;
+    let graph = grounded.graph();
     let mut plan = AdjustmentPlan::default();
     let mut own_attrs: BTreeSet<String> = BTreeSet::new();
     let mut peer_attrs: BTreeSet<String> = BTreeSet::new();
@@ -124,7 +124,7 @@ pub fn covariates(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ground::ground;
+    use crate::ground::{ground, GroundedModel};
     use crate::peers::compute_peers;
     use carl_lang::parse_program;
     use reldb::{Instance, RelationalSchema, Value};

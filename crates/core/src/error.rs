@@ -49,6 +49,12 @@ pub enum CarlError {
     /// The grounded causal graph contains a cycle.
     CyclicModel(String),
 
+    /// An internal grounding invariant was violated (e.g. an argument
+    /// signature symbol outside the interner + constant pseudo-symbol
+    /// range). Surfaced as a typed error instead of indexing dense
+    /// grounding storage out of bounds.
+    Grounding(String),
+
     /// The unit table ended up empty (no units satisfied the query).
     EmptyUnitTable(String),
 
@@ -98,6 +104,7 @@ impl fmt::Display for CarlError {
                 "the grounded causal graph contains a cycle through `{name}`; \
                  the relational causal model must be non-recursive"
             ),
+            Self::Grounding(message) => write!(f, "grounding error: {message}"),
             Self::EmptyUnitTable(message) => {
                 write!(f, "the unit table for this query is empty: {message}")
             }

@@ -27,7 +27,8 @@
 use crate::error::{CarlError, CarlResult};
 use crate::graph::{CausalGraph, GroundedAttr};
 use crate::model::{RelationalCausalModel, TypedComparison};
-use carl_lang::{AggName, AggregateRule, ArgTerm, CompareOp};
+use crate::unit_table::FloatColumn;
+use carl_lang::{AggName, AggregateRule, ArgTerm, CausalRule, CompareOp};
 use rayon::prelude::*;
 use reldb::symbols::{SymMap, SymSet};
 use reldb::{
@@ -81,6 +82,34 @@ impl GroundedModel {
             return Some(Value::Float(*v));
         }
         instance.attribute(&node.attr, &node.key).cloned()
+    }
+}
+
+/// A grounded causal model as consumed by the downstream pipeline (peers,
+/// covariates, unit tables): a causal graph plus per-node observed-or-
+/// derived values.
+///
+/// Implemented by the materialised [`GroundedModel`] (sorted map of derived
+/// values) and by the streamed [`StreamedModel`] (dense signature-indexed
+/// derived columns), so `compute_peers`, `covariates` and
+/// `build_unit_table` run unchanged — and produce bit-identical output —
+/// over either.
+pub trait GroundedValues {
+    /// The grounded causal graph.
+    fn graph(&self) -> &CausalGraph;
+
+    /// The observed or derived numeric value of a grounded attribute (see
+    /// [`GroundedModel::value_of`]).
+    fn value_of(&self, instance: &Instance, node: &GroundedAttr) -> Option<f64>;
+}
+
+impl GroundedValues for GroundedModel {
+    fn graph(&self) -> &CausalGraph {
+        &self.graph
+    }
+
+    fn value_of(&self, instance: &Instance, node: &GroundedAttr) -> Option<f64> {
+        GroundedModel::value_of(self, instance, node)
     }
 }
 
@@ -186,6 +215,12 @@ impl ConstSyms {
         self.lookup.insert(value.clone(), sym);
         sym
     }
+
+    /// Exclusive upper bound of the signature-symbol space minted so far
+    /// (interner symbols plus constant pseudo-symbols).
+    fn bound(&self) -> usize {
+        self.base + self.lookup.len()
+    }
 }
 
 /// Compile argument terms against an answer's slot layout.
@@ -256,6 +291,20 @@ fn first_unbound(spec: &[ArgSlot]) -> Option<&str> {
 /// Sentinel for "no node yet" in the dense node table.
 const NO_NODE: u32 = u32::MAX;
 
+/// Bounds-check a signature symbol against the tracked symbol range
+/// (interner symbols + constant pseudo-symbols), surfacing a typed error
+/// instead of indexing dense grounding storage out of bounds.
+fn guard_sig(attr: &str, sig: u32, bound: usize) -> CarlResult<usize> {
+    let sig = sig as usize;
+    if sig >= bound {
+        return Err(CarlError::Grounding(format!(
+            "argument signature symbol {sig} of `{attr}` is outside the \
+             interner + constant pseudo-symbol range (bound {bound})"
+        )));
+    }
+    Ok(sig)
+}
+
 /// The ground-wide node table: graph-node ids memoised on
 /// `(attribute, argument-signature)` so a grounding referenced by several
 /// rules (e.g. `Score[p]` as the head of three rules and the source of an
@@ -266,13 +315,20 @@ const NO_NODE: u32 = u32::MAX;
 /// through a dense per-attribute array indexed by the signature symbol —
 /// one bounds check per row, no hashing at all. Other arities fall back to
 /// a symbol-keyed hash map probed without allocating.
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 struct NodeTable {
     attr_ids: HashMap<String, usize>,
     /// `single[attr_id][sig]` → node id (dense, `NO_NODE` = absent).
     single: Vec<Vec<u32>>,
     /// `multi[attr_id][full signature]` → node id (other arities).
     multi: Vec<SymMap<Vec<u32>, usize>>,
+    /// Exclusive upper bound on valid signature symbols: the skeleton's
+    /// interner length plus the constant pseudo-symbols registered so far.
+    /// Guards the dense arrays — a signature past this bound would mean a
+    /// pseudo-symbol was allocated outside the tracked range, and must
+    /// surface as a typed [`CarlError::Grounding`] rather than index (or
+    /// resize) dense storage out of bounds.
+    sig_bound: usize,
 }
 
 impl NodeTable {
@@ -288,6 +344,57 @@ impl NodeTable {
         id
     }
 
+    /// Raise the valid-signature bound after compiling argument specs (the
+    /// only point where new constant pseudo-symbols can be minted).
+    fn set_sig_bound(&mut self, bound: usize) {
+        self.sig_bound = self.sig_bound.max(bound);
+    }
+
+    /// Read-only lookup of an attribute's dense id.
+    fn lookup_attr(&self, attr: &str) -> Option<usize> {
+        self.attr_ids.get(attr).copied()
+    }
+
+    /// Read-only lookup of the node for a single-argument signature.
+    fn lookup_single(&self, attr_id: usize, sig: usize) -> Option<u32> {
+        match self.single[attr_id].get(sig) {
+            Some(&id) if id != NO_NODE => Some(id),
+            _ => None,
+        }
+    }
+
+    /// Read-only lookup of the node for a full signature.
+    fn lookup_multi(&self, attr_id: usize, sig: &[u32]) -> Option<u32> {
+        self.multi[attr_id]
+            .get(sig)
+            .map(|&id| u32::try_from(id).expect("node ids fit u32"))
+    }
+
+    /// Check a dense signature index against the tracked symbol range.
+    fn checked_sig(&self, attr: &str, sig: u32) -> CarlResult<usize> {
+        guard_sig(attr, sig, self.sig_bound)
+    }
+
+    /// Register an externally created node (an aggregate head, added to the
+    /// graph only after its group closes) under its signature, so that
+    /// later signature lookups — both the memoised `node_id` path and the
+    /// read-only extension lookups — see it like any rule-created node.
+    fn record(&mut self, attr_id: usize, sig: &SigKey, id: usize) {
+        match sig {
+            SigKey::Single(sig) => {
+                let sig = *sig as usize;
+                let ids = &mut self.single[attr_id];
+                if sig >= ids.len() {
+                    ids.resize(sig + 1, NO_NODE);
+                }
+                ids[sig] = u32::try_from(id).expect("node ids fit u32");
+            }
+            SigKey::Multi(sig) => {
+                self.multi[attr_id].insert(sig.clone(), id);
+            }
+        }
+    }
+
     /// The graph node for `attr` grounded with the row's argument values,
     /// creating it on first sight.
     fn node_id(
@@ -300,7 +407,7 @@ impl NodeTable {
         answers: &TupleAnswers<'_>,
     ) -> CarlResult<usize> {
         if let [arg] = spec {
-            let sig = arg_sig(arg, row)? as usize;
+            let sig = self.checked_sig(attr, arg_sig(arg, row)?)?;
             let ids = &mut self.single[attr_id];
             if sig >= ids.len() {
                 ids.resize(sig + 1, NO_NODE);
@@ -468,6 +575,7 @@ pub fn ground_with(
                 )
             })
             .collect();
+        nodes.set_sig_bound(consts.bound());
         for row in answers.rows() {
             if !residual.hold(row, &answers, instance) {
                 continue;
@@ -499,6 +607,7 @@ pub fn ground_with(
         let head_spec = arg_slots(&agg.head_args, &answers, interner, &mut consts);
         let source_spec = arg_slots(&agg.source.args, &answers, interner, &mut consts);
         let source_attr_id = nodes.attr_id(&agg.source.attr);
+        nodes.set_sig_bound(consts.bound());
         // Per-binding substitution raises unbound-variable errors only when
         // an answer actually survives; mirror that exactly.
         let spec_error = first_unbound(&head_spec).or_else(|| first_unbound(&source_spec));
@@ -598,6 +707,825 @@ pub fn ground_with(
         );
     }
     Ok(GroundedModel { graph, derived })
+}
+
+// ---------------------------------------------------------------------------
+// The streaming grounding pipeline.
+// ---------------------------------------------------------------------------
+
+/// Dense store of derived aggregate values — the streaming pipeline's
+/// replacement for [`GroundedModel::derived`].
+///
+/// Values are keyed by `(attribute, argument signature)`: single-argument
+/// groundings (the overwhelmingly common shape) live in one
+/// [`FloatColumn`] + null-bitmap sink per attribute, indexed by the
+/// argument's signature symbol — the column's null bitmap marks signatures
+/// that never derived a value, so a lookup is one bounds check and one bit
+/// test instead of a sorted-map walk over string-keyed [`GroundedAttr`]s.
+/// Other arities fall back to a signature-keyed hash map. Constants outside
+/// the skeleton's interner resolve through the same pseudo-symbol table the
+/// merge used, so stores and lookups can never disagree.
+#[derive(Debug, Clone, Default)]
+struct DerivedStore {
+    attr_ids: HashMap<String, usize>,
+    /// `single[attr_id]` — dense signature-indexed value sink.
+    single: Vec<FloatColumn>,
+    /// `multi[attr_id]` — full-signature fallback for other arities.
+    multi: Vec<SymMap<Vec<u32>, f64>>,
+    /// Pseudo-symbols minted during the merge for constants the skeleton
+    /// never interned (the `ConstSyms` table, kept for lookups).
+    consts: HashMap<Value, u32>,
+}
+
+impl DerivedStore {
+    /// The dense id of an attribute name (registering it on first use).
+    fn attr_id(&mut self, attr: &str) -> usize {
+        if let Some(&id) = self.attr_ids.get(attr) {
+            return id;
+        }
+        let id = self.attr_ids.len();
+        self.attr_ids.insert(attr.to_string(), id);
+        self.single.push(FloatColumn::new(attr));
+        self.multi.push(SymMap::default());
+        id
+    }
+
+    /// Store a derived value under a head signature.
+    fn set(&mut self, attr_id: usize, sig: &SigKey, value: f64) {
+        match sig {
+            SigKey::Single(sig) => self.single[attr_id].set(*sig as usize, value),
+            SigKey::Multi(sig) => {
+                self.multi[attr_id].insert(sig.clone(), value);
+            }
+        }
+    }
+
+    /// The signature symbol of a key value: its interner symbol, or the
+    /// pseudo-symbol the merge assigned to a non-interned constant.
+    fn sig_of(&self, interner: &reldb::SymbolTable, value: &Value) -> Option<u32> {
+        match interner.get(value) {
+            Some(sym) => Some(u32::try_from(sym.index()).expect("symbol space fits u32")),
+            None => self.consts.get(value).copied(),
+        }
+    }
+
+    /// The derived value of a grounded attribute, if any.
+    fn get(&self, interner: &reldb::SymbolTable, node: &GroundedAttr) -> Option<f64> {
+        let &attr_id = self.attr_ids.get(&node.attr)?;
+        if let [key] = node.key.as_slice() {
+            return self.single[attr_id].get(self.sig_of(interner, key)? as usize);
+        }
+        let sig: Option<Vec<u32>> = node.key.iter().map(|v| self.sig_of(interner, v)).collect();
+        self.multi[attr_id].get(&sig?).copied()
+    }
+}
+
+/// The result of [`ground_streaming`]: the grounded causal graph plus the
+/// derived aggregate values in dense signature-indexed columns.
+///
+/// Semantically this is a [`GroundedModel`] — the graph is identical node
+/// for node and edge for edge, and [`StreamedModel::value_of`] returns
+/// bit-identical values — but derived values never pass through a sorted
+/// `GroundedAttr`-keyed map: aggregate answers streamed straight off the
+/// query executor into per-attribute [`FloatColumn`] sinks, which the unit
+/// table then reads by signature. The materialised form remains the one
+/// [`crate::CarlEngine::ground_model`], explain-style diagnostics and the
+/// differential test paths use.
+#[derive(Debug, Clone)]
+pub struct StreamedModel {
+    /// The grounded relational causal graph `G(Φ_Δ)` (bit-identical to the
+    /// graph [`ground_with`] produces for the same inputs).
+    pub graph: CausalGraph,
+    derived: DerivedStore,
+    /// The `(attribute, signature)` → node memo of the merge, retained so
+    /// query-synthesised aggregate extensions can resolve their source
+    /// groundings to base-graph nodes without re-hashing [`GroundedAttr`]s.
+    nodes: NodeTable,
+}
+
+impl StreamedModel {
+    /// The observed or derived numeric value of a grounded attribute (the
+    /// streamed equivalent of [`GroundedModel::value_of`]).
+    pub fn value_of(&self, instance: &Instance, node: &GroundedAttr) -> Option<f64> {
+        if let Some(v) = self.derived.get(instance.skeleton().interner(), node) {
+            return Some(v);
+        }
+        instance.attribute_f64(&node.attr, &node.key)
+    }
+}
+
+impl GroundedValues for StreamedModel {
+    fn graph(&self) -> &CausalGraph {
+        &self.graph
+    }
+
+    fn value_of(&self, instance: &Instance, node: &GroundedAttr) -> Option<f64> {
+        StreamedModel::value_of(self, instance, node)
+    }
+}
+
+/// A group/store key: the head argument signature of one aggregate group.
+#[derive(Debug, Clone)]
+enum SigKey {
+    Single(u32),
+    Multi(Vec<u32>),
+}
+
+/// Stream one condition's answers into a sink that can fail with a
+/// [`CarlError`]: the relational layer only transports [`reldb::RelError`],
+/// so sink errors are parked and re-raised verbatim.
+fn stream_condition<'a>(
+    cache: &IndexCache,
+    schema: &reldb::RelationalSchema,
+    instance: &'a Instance,
+    query: &ConjunctiveQuery,
+    filters: &[EqFilter],
+    mut on_batch: impl FnMut(&TupleAnswers<'a>) -> CarlResult<()>,
+) -> CarlResult<()> {
+    let mut parked: Option<CarlError> = None;
+    let result = reldb::evaluate_tuples_filtered_chunked(
+        cache,
+        schema,
+        instance,
+        query,
+        filters,
+        &mut |batch| {
+            on_batch(batch).map_err(|e| {
+                parked = Some(e);
+                reldb::RelError::MalformedQuery("streaming grounding sink aborted".into())
+            })
+        },
+    );
+    match (result, parked) {
+        (_, Some(e)) => Err(e),
+        (Err(e), None) => Err(CarlError::Rel(e)),
+        (Ok(()), None) => Ok(()),
+    }
+}
+
+/// Sentinel for "no group yet" in the dense group table.
+const NO_GROUP: u32 = u32::MAX;
+
+/// Per-rule merge specs, compiled once from the first answer batch (every
+/// batch of one plan shares the same slot layout).
+struct RuleSpecs<'c> {
+    residual: RowComparisons<'c>,
+    head_spec: Vec<ArgSlot>,
+    head_attr_id: usize,
+    body_specs: Vec<(usize, Vec<ArgSlot>)>,
+}
+
+/// Fold one batch of a rule condition's answers into the graph.
+///
+/// A free function taking plain `&mut` parameters rather than a closure
+/// over captured state: the row loop is the grounding hot path, and direct
+/// (alias-analysable) parameters let it optimise exactly like the
+/// materialised merge loop in [`ground_with`].
+fn merge_rule_batch(
+    rule: &CausalRule,
+    specs: &RuleSpecs<'_>,
+    instance: &Instance,
+    nodes: &mut NodeTable,
+    graph: &mut CausalGraph,
+    answers: &TupleAnswers<'_>,
+) -> CarlResult<()> {
+    for row in answers.rows() {
+        if !specs.residual.hold(row, answers, instance) {
+            continue;
+        }
+        let head_id = nodes.node_id(
+            graph,
+            &rule.head.attr,
+            specs.head_attr_id,
+            &specs.head_spec,
+            row,
+            answers,
+        )?;
+        for (body, (attr_id, spec)) in rule.body.iter().zip(&specs.body_specs) {
+            let body_id = nodes.node_id(graph, &body.attr, *attr_id, spec, row, answers)?;
+            graph.add_edge(body_id, head_id);
+        }
+    }
+    Ok(())
+}
+
+/// One aggregate group under construction in the streamed merge.
+struct SGroup {
+    head_key: UnitKey,
+    sig: SigKey,
+    /// (source node id, observed-or-derived value) per distinct source
+    /// grounding, in first-seen order.
+    sources: Vec<(u32, Option<f64>)>,
+}
+
+/// Per-aggregate merge specs, compiled once from the first answer batch.
+struct AggSpecs<'c> {
+    residual: RowComparisons<'c>,
+    head_spec: Vec<ArgSlot>,
+    source_spec: Vec<ArgSlot>,
+    source_attr_id: usize,
+    /// Unbound-variable error to raise if any row survives (matching the
+    /// lazy error semantics of per-binding substitution).
+    spec_error: Option<String>,
+}
+
+/// The group and memo tables of one aggregate's streamed merge: dense on
+/// the single-argument fast paths, signature-keyed maps otherwise.
+#[derive(Default)]
+struct AggTables {
+    /// Groups in first-seen order.
+    groups: Vec<SGroup>,
+    /// Single-argument heads: head signature → group index (dense).
+    group_dense: Vec<u32>,
+    /// Other arities: full head signature → group index.
+    group_map: SymMap<Vec<u32>, u32>,
+    /// `(group, source-signature)` dedup, packed into one u64 on the
+    /// single-argument fast path.
+    pair_seen: SymSet<u64>,
+    pair_seen_multi: SymSet<(u32, Vec<u32>)>,
+    /// Source-value memo by signature: 0 unknown, 1 none, 2 some.
+    sval_state: Vec<u8>,
+    sval: Vec<f64>,
+    sval_map: SymMap<Vec<u32>, Option<f64>>,
+    head_sig_buf: Vec<u32>,
+    source_sig_buf: Vec<u32>,
+}
+
+/// Fold one batch of an aggregate condition's answers into the group
+/// tables (see [`merge_rule_batch`] for why this is a free function).
+#[allow(clippy::too_many_arguments)]
+fn merge_agg_batch(
+    agg: &AggregateRule,
+    specs: &AggSpecs<'_>,
+    source_store_id: Option<usize>,
+    store: &DerivedStore,
+    instance: &Instance,
+    nodes: &mut NodeTable,
+    graph: &mut CausalGraph,
+    t: &mut AggTables,
+    answers: &TupleAnswers<'_>,
+) -> CarlResult<()> {
+    for row in answers.rows() {
+        if !specs.residual.hold(row, answers, instance) {
+            continue;
+        }
+        if let Some(var) = &specs.spec_error {
+            return Err(unbound_error(var));
+        }
+        // Group of the row's head signature.
+        let gi = if let [arg] = specs.head_spec.as_slice() {
+            let sig = nodes.checked_sig(&agg.name, arg_sig(arg, row)?)?;
+            if sig >= t.group_dense.len() {
+                t.group_dense.resize(sig + 1, NO_GROUP);
+            }
+            if t.group_dense[sig] == NO_GROUP {
+                t.group_dense[sig] = u32::try_from(t.groups.len()).expect("groups fit u32");
+                t.groups.push(SGroup {
+                    head_key: resolve_args(&specs.head_spec, row, answers)?,
+                    sig: SigKey::Single(u32::try_from(sig).expect("sig fits u32")),
+                    sources: Vec::new(),
+                });
+            }
+            t.group_dense[sig]
+        } else {
+            sig_into(&specs.head_spec, row, &mut t.head_sig_buf)?;
+            match t.group_map.get(t.head_sig_buf.as_slice()) {
+                Some(&gi) => gi,
+                None => {
+                    let gi = u32::try_from(t.groups.len()).expect("groups fit u32");
+                    t.groups.push(SGroup {
+                        head_key: resolve_args(&specs.head_spec, row, answers)?,
+                        sig: SigKey::Multi(t.head_sig_buf.clone()),
+                        sources: Vec::new(),
+                    });
+                    t.group_map.insert(t.head_sig_buf.clone(), gi);
+                    gi
+                }
+            }
+        };
+        // Distinct source groundings per group, with the value memoised
+        // across groups on the source signature.
+        if let [arg] = specs.source_spec.as_slice() {
+            let ssig = nodes.checked_sig(&agg.source.attr, arg_sig(arg, row)?)?;
+            let packed = (u64::from(gi) << 32) | (ssig as u64);
+            if !t.pair_seen.insert(packed) {
+                continue;
+            }
+            let source_id = nodes.node_id(
+                graph,
+                &agg.source.attr,
+                specs.source_attr_id,
+                &specs.source_spec,
+                row,
+                answers,
+            )?;
+            if ssig >= t.sval_state.len() {
+                t.sval_state.resize(ssig + 1, 0);
+                t.sval.resize(ssig + 1, 0.0);
+            }
+            let value = match t.sval_state[ssig] {
+                2 => Some(t.sval[ssig]),
+                1 => None,
+                _ => {
+                    let value = source_store_id
+                        .and_then(|id| store.single[id].get(ssig))
+                        .or_else(|| {
+                            instance.attribute_f64(&agg.source.attr, &graph.node(source_id).key)
+                        });
+                    match value {
+                        Some(v) => {
+                            t.sval_state[ssig] = 2;
+                            t.sval[ssig] = v;
+                        }
+                        None => t.sval_state[ssig] = 1,
+                    }
+                    value
+                }
+            };
+            t.groups[gi as usize]
+                .sources
+                .push((u32::try_from(source_id).expect("node ids fit u32"), value));
+        } else {
+            sig_into(&specs.source_spec, row, &mut t.source_sig_buf)?;
+            if !t.pair_seen_multi.insert((gi, t.source_sig_buf.clone())) {
+                continue;
+            }
+            let source_id = nodes.node_id(
+                graph,
+                &agg.source.attr,
+                specs.source_attr_id,
+                &specs.source_spec,
+                row,
+                answers,
+            )?;
+            let value = match t.sval_map.get(t.source_sig_buf.as_slice()) {
+                Some(&value) => value,
+                None => {
+                    let source_node = graph.node(source_id);
+                    let value = source_store_id
+                        .and_then(|id| store.multi[id].get(t.source_sig_buf.as_slice()).copied())
+                        .or_else(|| instance.attribute_f64(&agg.source.attr, &source_node.key));
+                    t.sval_map.insert(t.source_sig_buf.clone(), value);
+                    value
+                }
+            };
+            t.groups[gi as usize]
+                .sources
+                .push((u32::try_from(source_id).expect("node ids fit u32"), value));
+        }
+    }
+    Ok(())
+}
+
+/// Ground `model` against `instance` on the fused streaming pipeline.
+///
+/// Where [`ground_with`] materialises every condition's full answer set and
+/// then walks it, this path pipes each condition's register-tuple chunks
+/// straight off the executor into the merge — rule chunks fold into the
+/// [`NodeTable`] and the graph's adjacency directly, and aggregate chunks
+/// fold into dense signature-indexed group tables whose results land in the
+/// per-attribute [`FloatColumn`] sinks of a [`StreamedModel`]. No
+/// `O(answers)` intermediate is ever resident and no string-keyed derived
+/// map is built.
+///
+/// Chunk delivery is order-preserving (and the merge is a pure in-order
+/// fold), so the resulting graph and every derived value are bit-identical
+/// to [`ground_with`]'s at any `RAYON_NUM_THREADS` — the
+/// `streaming_vs_materialized` differential suite pins this.
+pub fn ground_streaming(
+    model: &RelationalCausalModel,
+    instance: &Instance,
+    cache: &IndexCache,
+) -> CarlResult<StreamedModel> {
+    let schema = model.schema();
+
+    // Aggregates in topological order (as in `ground_with`).
+    let order: Vec<&str> = model
+        .topological_order()
+        .iter()
+        .map(String::as_str)
+        .collect();
+    let mut aggregates: Vec<&AggregateRule> = model.aggregates().iter().collect();
+    aggregates.sort_by_key(|a| {
+        order
+            .iter()
+            .position(|n| *n == a.name)
+            .unwrap_or(usize::MAX)
+    });
+
+    let mut prepped: Vec<PreppedCondition> = Vec::with_capacity(model.rules().len());
+    for rule in model.rules() {
+        prepped.push(prep_condition(
+            model,
+            &rule.head.attr,
+            &rule.head.args,
+            &rule.condition,
+        )?);
+    }
+    for agg in &aggregates {
+        prepped.push(prep_condition(
+            model,
+            &agg.source.attr,
+            &agg.source.args,
+            &agg.condition,
+        )?);
+    }
+
+    let interner = instance.skeleton().interner();
+    let mut consts = ConstSyms::new(interner.len());
+    let mut nodes = NodeTable::default();
+    let mut graph = CausalGraph::new();
+
+    let t0 = std::time::Instant::now();
+    // Phase 1: stream-merge the causal rules, in rule order.
+    for (rule, prep) in model.rules().iter().zip(&prepped) {
+        let mut specs: Option<RuleSpecs<'_>> = None;
+        stream_condition(
+            cache,
+            schema,
+            instance,
+            &prep.query,
+            &prep.filters,
+            |answers| {
+                if specs.is_none() {
+                    let residual = RowComparisons::compile(&prep.residual, answers);
+                    let head_spec = arg_slots(&rule.head.args, answers, interner, &mut consts);
+                    let head_attr_id = nodes.attr_id(&rule.head.attr);
+                    let body_specs: Vec<(usize, Vec<ArgSlot>)> = rule
+                        .body
+                        .iter()
+                        .map(|b| {
+                            (
+                                nodes.attr_id(&b.attr),
+                                arg_slots(&b.args, answers, interner, &mut consts),
+                            )
+                        })
+                        .collect();
+                    nodes.set_sig_bound(consts.bound());
+                    specs = Some(RuleSpecs {
+                        residual,
+                        head_spec,
+                        head_attr_id,
+                        body_specs,
+                    });
+                }
+                let specs = specs.as_ref().expect("specs compiled above");
+                merge_rule_batch(rule, specs, instance, &mut nodes, &mut graph, answers)
+            },
+        )?;
+    }
+
+    let t1 = std::time::Instant::now();
+    // Phase 2: stream-merge the aggregate rules into dense group tables.
+    let mut store = DerivedStore::default();
+    for (agg, prep) in aggregates.iter().zip(prepped[model.rules().len()..].iter()) {
+        // The store id of the *source* attribute, when an earlier aggregate
+        // derived values for it (aggregates over aggregates; topological
+        // order guarantees those values are complete by now).
+        let source_store_id = store.attr_ids.get(&agg.source.attr).copied();
+
+        let mut tables = AggTables::default();
+        let mut specs: Option<AggSpecs<'_>> = None;
+        stream_condition(
+            cache,
+            schema,
+            instance,
+            &prep.query,
+            &prep.filters,
+            |answers| {
+                if specs.is_none() {
+                    let residual = RowComparisons::compile(&prep.residual, answers);
+                    let head_spec = arg_slots(&agg.head_args, answers, interner, &mut consts);
+                    let source_spec = arg_slots(&agg.source.args, answers, interner, &mut consts);
+                    let source_attr_id = nodes.attr_id(&agg.source.attr);
+                    nodes.set_sig_bound(consts.bound());
+                    let spec_error = first_unbound(&head_spec)
+                        .or_else(|| first_unbound(&source_spec))
+                        .map(str::to_string);
+                    specs = Some(AggSpecs {
+                        residual,
+                        head_spec,
+                        source_spec,
+                        source_attr_id,
+                        spec_error,
+                    });
+                }
+                let specs = specs.as_ref().expect("specs compiled above");
+                merge_agg_batch(
+                    agg,
+                    specs,
+                    source_store_id,
+                    &store,
+                    instance,
+                    &mut nodes,
+                    &mut graph,
+                    &mut tables,
+                    answers,
+                )
+            },
+        )?;
+
+        let agg_fn = agg_fn_of(agg.agg);
+        let head_attr_id = store.attr_id(&agg.name);
+        let head_node_attr = nodes.attr_id(&agg.name);
+        for group in tables.groups {
+            let head_id = graph.add_node(GroundedAttr::new(&agg.name, group.head_key));
+            // Register the head in the node memo: later aggregates (and
+            // read-only aggregate-extension lookups) may reference it as a
+            // *source* grounding.
+            nodes.record(head_node_attr, &group.sig, head_id);
+            let mut values = Vec::with_capacity(group.sources.len());
+            for &(source_id, value) in &group.sources {
+                graph.add_edge(source_id as usize, head_id);
+                if let Some(v) = value {
+                    values.push(v);
+                }
+            }
+            if let Some(v) = agg_fn.apply(&values) {
+                store.set(head_attr_id, &group.sig, v);
+            }
+        }
+    }
+    store.consts = consts.lookup;
+
+    let t2 = std::time::Instant::now();
+    if let Err(attr) = graph.topological_order() {
+        return Err(CarlError::CyclicModel(attr));
+    }
+    if profile_ground() {
+        eprintln!(
+            "ground_streaming: rules {:.2}ms aggs {:.2}ms topo {:.2}ms",
+            (t1 - t0).as_secs_f64() * 1e3,
+            (t2 - t1).as_secs_f64() * 1e3,
+            t2.elapsed().as_secs_f64() * 1e3
+        );
+    }
+    Ok(StreamedModel {
+        graph,
+        derived: store,
+        nodes,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Query-synthesised aggregate extensions over a shared base grounding.
+// ---------------------------------------------------------------------------
+
+/// A query-synthesised aggregate rule, streamed *on top of* an immutable
+/// shared base grounding instead of re-grounding the whole model.
+///
+/// The rules of the base model (and its own aggregates) are query-
+/// independent: their grounding depends only on the instance, exactly like
+/// the engine's secondary indexes. What changes per query is the one
+/// synthesised aggregate the unifier folds the query's restriction into.
+/// This type holds everything that aggregate adds to the grounded model:
+/// the derived values (in the same dense [`FloatColumn`] + null-bitmap
+/// sinks the unit table reads by signature) and, per group, the base-graph
+/// node ids of its source groundings. The aggregate's would-be graph
+/// vertices are *leaves* — nothing consumes them except peer computation
+/// (which [`crate::peers::compute_peers_streamed`] answers from the group
+/// source lists) and the unit table's outcome column (answered from the
+/// sinks) — so the base graph is never cloned or mutated.
+#[derive(Debug, Clone)]
+pub struct AggregateExtension {
+    /// The synthesised aggregate attribute this extension derives.
+    pub attr: String,
+    derived: DerivedStore,
+    /// Per group, the base-graph node ids of its distinct source
+    /// groundings (sources absent from the base graph contribute their
+    /// value but no node — exactly the reachability a materialised
+    /// grounding would give them, since such nodes have no in-edges).
+    group_sources: Vec<Vec<u32>>,
+    /// Head signature → group index (dense for single-argument heads).
+    group_dense: Vec<u32>,
+    group_map: SymMap<Vec<u32>, u32>,
+    /// Whether heads are single-argument (selects the index above).
+    single_head: bool,
+}
+
+impl AggregateExtension {
+    /// The derived value of `node`, when it is a grounding of this
+    /// extension's aggregate.
+    pub fn value_of(&self, instance: &Instance, node: &GroundedAttr) -> Option<f64> {
+        self.derived.get(instance.skeleton().interner(), node)
+    }
+
+    /// The group derived for `key`, if any.
+    pub(crate) fn group_of_key(
+        &self,
+        interner: &reldb::SymbolTable,
+        key: &UnitKey,
+    ) -> Option<usize> {
+        if self.single_head {
+            let [value] = key.as_slice() else { return None };
+            let sig = self.derived.sig_of(interner, value)? as usize;
+            match self.group_dense.get(sig) {
+                Some(&g) if g != NO_GROUP => Some(g as usize),
+                _ => None,
+            }
+        } else {
+            let sig: Option<Vec<u32>> = key
+                .iter()
+                .map(|v| self.derived.sig_of(interner, v))
+                .collect();
+            self.group_map.get(&sig?).map(|&g| g as usize)
+        }
+    }
+
+    /// Base-graph node ids of a group's sources.
+    pub(crate) fn sources_of(&self, group: usize) -> &[u32] {
+        &self.group_sources[group]
+    }
+}
+
+/// Stream one query-synthesised aggregate over `base` (see
+/// [`AggregateExtension`]). `model` is the effective model carrying the
+/// synthesised rule; `agg` the rule itself. Signatures (including constant
+/// pseudo-symbols) continue the base grounding's symbol space, so source
+/// lookups in the base node memo and derived sinks can never disagree.
+pub fn ground_aggregate_extension(
+    base: &StreamedModel,
+    model: &RelationalCausalModel,
+    agg: &AggregateRule,
+    instance: &Instance,
+    cache: &IndexCache,
+) -> CarlResult<AggregateExtension> {
+    let schema = model.schema();
+    let prep = prep_condition(model, &agg.source.attr, &agg.source.args, &agg.condition)?;
+    let interner = instance.skeleton().interner();
+    let mut consts = ConstSyms {
+        base: interner.len(),
+        lookup: base.derived.consts.clone(),
+    };
+    let source_node_attr = base.nodes.lookup_attr(&agg.source.attr);
+    let source_store_id = base.derived.attr_ids.get(&agg.source.attr).copied();
+
+    /// One group under construction: distinct sources in first-seen order.
+    struct ExtGroup {
+        sig: SigKey,
+        sources: Vec<(Option<u32>, Option<f64>)>,
+    }
+    let mut groups: Vec<ExtGroup> = Vec::new();
+    let mut group_dense: Vec<u32> = Vec::new();
+    let mut group_map: SymMap<Vec<u32>, u32> = SymMap::default();
+    let mut pair_seen: SymSet<u64> = SymSet::default();
+    let mut pair_seen_multi: SymSet<(u32, Vec<u32>)> = SymSet::default();
+    let mut sval_state: Vec<u8> = Vec::new();
+    let mut sval: Vec<f64> = Vec::new();
+    let mut sval_map: SymMap<Vec<u32>, Option<f64>> = SymMap::default();
+    let mut head_sig_buf: Vec<u32> = Vec::new();
+    let mut source_sig_buf: Vec<u32> = Vec::new();
+    let mut single_head = true;
+
+    /// Extension merge specs: as [`AggSpecs`], minus the node-table
+    /// attribute id (extension sources resolve read-only via `base.nodes`).
+    struct ExtSpecs<'c> {
+        residual: RowComparisons<'c>,
+        head_spec: Vec<ArgSlot>,
+        source_spec: Vec<ArgSlot>,
+        spec_error: Option<String>,
+    }
+    let mut specs: Option<ExtSpecs<'_>> = None;
+    stream_condition(
+        cache,
+        schema,
+        instance,
+        &prep.query,
+        &prep.filters,
+        |answers| {
+            if specs.is_none() {
+                let residual = RowComparisons::compile(&prep.residual, answers);
+                let head_spec = arg_slots(&agg.head_args, answers, interner, &mut consts);
+                let source_spec = arg_slots(&agg.source.args, answers, interner, &mut consts);
+                single_head = head_spec.len() == 1;
+                let spec_error = first_unbound(&head_spec)
+                    .or_else(|| first_unbound(&source_spec))
+                    .map(str::to_string);
+                specs = Some(ExtSpecs {
+                    residual,
+                    head_spec,
+                    source_spec,
+                    spec_error,
+                });
+            }
+            let specs = specs.as_ref().expect("specs compiled above");
+            let sig_bound = consts.bound();
+            let checked = |attr: &str, sig: u32| guard_sig(attr, sig, sig_bound);
+            for row in answers.rows() {
+                if !specs.residual.hold(row, answers, instance) {
+                    continue;
+                }
+                if let Some(var) = &specs.spec_error {
+                    return Err(unbound_error(var));
+                }
+                let gi = if let [arg] = specs.head_spec.as_slice() {
+                    let sig = checked(&agg.name, arg_sig(arg, row)?)?;
+                    if sig >= group_dense.len() {
+                        group_dense.resize(sig + 1, NO_GROUP);
+                    }
+                    if group_dense[sig] == NO_GROUP {
+                        group_dense[sig] = u32::try_from(groups.len()).expect("groups fit u32");
+                        groups.push(ExtGroup {
+                            sig: SigKey::Single(u32::try_from(sig).expect("sig fits u32")),
+                            sources: Vec::new(),
+                        });
+                    }
+                    group_dense[sig]
+                } else {
+                    sig_into(&specs.head_spec, row, &mut head_sig_buf)?;
+                    match group_map.get(head_sig_buf.as_slice()) {
+                        Some(&gi) => gi,
+                        None => {
+                            let gi = u32::try_from(groups.len()).expect("groups fit u32");
+                            groups.push(ExtGroup {
+                                sig: SigKey::Multi(head_sig_buf.clone()),
+                                sources: Vec::new(),
+                            });
+                            group_map.insert(head_sig_buf.clone(), gi);
+                            gi
+                        }
+                    }
+                };
+                if let [arg] = specs.source_spec.as_slice() {
+                    let ssig = checked(&agg.source.attr, arg_sig(arg, row)?)?;
+                    let packed = (u64::from(gi) << 32) | (ssig as u64);
+                    if !pair_seen.insert(packed) {
+                        continue;
+                    }
+                    let node = source_node_attr.and_then(|aid| base.nodes.lookup_single(aid, ssig));
+                    if ssig >= sval_state.len() {
+                        sval_state.resize(ssig + 1, 0);
+                        sval.resize(ssig + 1, 0.0);
+                    }
+                    let value = match sval_state[ssig] {
+                        2 => Some(sval[ssig]),
+                        1 => None,
+                        _ => {
+                            let key = resolve_args(&specs.source_spec, row, answers)?;
+                            let value = source_store_id
+                                .and_then(|id| base.derived.single[id].get(ssig))
+                                .or_else(|| instance.attribute_f64(&agg.source.attr, &key));
+                            match value {
+                                Some(v) => {
+                                    sval_state[ssig] = 2;
+                                    sval[ssig] = v;
+                                }
+                                None => sval_state[ssig] = 1,
+                            }
+                            value
+                        }
+                    };
+                    groups[gi as usize].sources.push((node, value));
+                } else {
+                    sig_into(&specs.source_spec, row, &mut source_sig_buf)?;
+                    if !pair_seen_multi.insert((gi, source_sig_buf.clone())) {
+                        continue;
+                    }
+                    let node = source_node_attr
+                        .and_then(|aid| base.nodes.lookup_multi(aid, source_sig_buf.as_slice()));
+                    let value = match sval_map.get(source_sig_buf.as_slice()) {
+                        Some(&value) => value,
+                        None => {
+                            let key = resolve_args(&specs.source_spec, row, answers)?;
+                            let value = source_store_id
+                                .and_then(|id| {
+                                    base.derived.multi[id]
+                                        .get(source_sig_buf.as_slice())
+                                        .copied()
+                                })
+                                .or_else(|| instance.attribute_f64(&agg.source.attr, &key));
+                            sval_map.insert(source_sig_buf.clone(), value);
+                            value
+                        }
+                    };
+                    groups[gi as usize].sources.push((node, value));
+                }
+            }
+            Ok(())
+        },
+    )?;
+
+    let agg_fn = agg_fn_of(agg.agg);
+    let mut derived = DerivedStore::default();
+    let attr_id = derived.attr_id(&agg.name);
+    let mut group_sources: Vec<Vec<u32>> = Vec::with_capacity(groups.len());
+    for group in groups {
+        let values: Vec<f64> = group.sources.iter().filter_map(|&(_, v)| v).collect();
+        if let Some(v) = agg_fn.apply(&values) {
+            derived.set(attr_id, &group.sig, v);
+        }
+        group_sources.push(group.sources.into_iter().filter_map(|(n, _)| n).collect());
+    }
+    derived.consts = consts.lookup;
+
+    Ok(AggregateExtension {
+        attr: agg.name.clone(),
+        derived,
+        group_sources,
+        group_dense,
+        group_map,
+        single_head,
+    })
 }
 
 /// Ground `model` through the preserved PR 3 bindings executor: rules in a
@@ -843,6 +1771,44 @@ mod tests {
             .map(|(k, v)| (k.to_string(), v.to_bits()))
             .collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constants_absent_from_the_skeleton_ground_through_checked_pseudo_symbols() {
+        // Regression for the dense node table's `ids[sig]` indexing: a rule
+        // argument constant the skeleton never interned gets a pseudo-symbol
+        // *past the interner range*. The dense per-attribute arrays must
+        // grow to (bounds-checked) pseudo-signatures instead of indexing out
+        // of bounds — and all three grounding paths must agree.
+        let schema = RelationalSchema::review_example();
+        let program = parse_program(
+            r#"
+            Quality["ghost-submission"] <= Qualification[A] WHERE Person(A)
+            Score[S] <= Quality["ghost-submission"] WHERE Submission(S)
+            "#,
+        )
+        .unwrap();
+        let model = RelationalCausalModel::new(schema, program).unwrap();
+        let instance = Instance::review_example();
+        let fast = ground(&model, &instance).unwrap();
+        let ghost = GroundedAttr::single("Quality", "ghost-submission");
+        let ghost_id = fast.graph.node_id(&ghost).expect("ghost node grounded");
+        // One ghost node: 3 Qualification parents (rule 1) and 3 Score
+        // children (rule 2).
+        assert_eq!(fast.graph.parents_of(ghost_id).len(), 3);
+        assert_eq!(fast.graph.children_of(ghost_id).len(), 3);
+
+        // The streamed and bindings paths build the identical graph.
+        let cache = IndexCache::for_instance(&instance);
+        let streamed = crate::ground::ground_streaming(&model, &instance, &cache).unwrap();
+        let bindings = ground_with_bindings(&model, &instance, &cache).unwrap();
+        for other in [&streamed.graph, &bindings.graph] {
+            assert_eq!(other.node_count(), fast.graph.node_count());
+            assert_eq!(other.edge_count(), fast.graph.edge_count());
+            let id = other.node_id(&ghost).expect("ghost node grounded");
+            assert_eq!(other.parents_of(id).len(), 3);
+            assert_eq!(other.children_of(id).len(), 3);
+        }
     }
 
     #[test]

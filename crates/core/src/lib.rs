@@ -72,7 +72,10 @@ pub use engine::{CarlEngine, GroundingMode, PreparedQuery, RowPreparedQuery};
 pub use error::{CarlError, CarlResult};
 pub use estimate::{AteAnswer, CateSeries, EstimatorKind, PeerEffectAnswer, QueryAnswer};
 pub use graph::{CausalGraph, GroundedAttr};
-pub use ground::{ground, ground_with, ground_with_bindings, GroundedModel};
+pub use ground::{
+    ground, ground_aggregate_extension, ground_streaming, ground_with, ground_with_bindings,
+    AggregateExtension, GroundedModel, GroundedValues, StreamedModel,
+};
 pub use model::RelationalCausalModel;
 pub use query::{bootstrap_ate, CateStratifier};
 pub use unit_table::{FloatColumn, NullBitmap, UnitTable};

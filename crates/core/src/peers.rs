@@ -7,8 +7,8 @@
 //! with `x`'s outcome (e.g. Bob's co-author Eva in Figure 5).
 
 use crate::graph::GroundedAttr;
-use crate::ground::GroundedModel;
-use reldb::UnitKey;
+use crate::ground::{AggregateExtension, GroundedValues, StreamedModel};
+use reldb::{Instance, UnitKey};
 use std::collections::HashMap;
 
 /// The peer map: for each unit key, the list of its relational peers.
@@ -19,13 +19,13 @@ pub type PeerMap = HashMap<UnitKey, Vec<UnitKey>>;
 /// `units` are the (unified) treated/response units; `treatment_attr` and
 /// `response_attr` name the grounded attribute families. A unit `p` is a
 /// peer of `x ≠ p` iff there is a directed path from `T[p]` to `Y[x]`.
-pub fn compute_peers(
-    grounded: &GroundedModel,
+pub fn compute_peers<G: GroundedValues>(
+    grounded: &G,
     treatment_attr: &str,
     response_attr: &str,
     units: &[UnitKey],
 ) -> PeerMap {
-    let graph = &grounded.graph;
+    let graph = grounded.graph();
     let n = graph.node_count();
 
     // Dense response lookup: node id → unit index (usize::MAX = not a
@@ -84,6 +84,91 @@ pub fn compute_peers(
         .collect()
 }
 
+/// Compute relational peers when the response is a query-synthesised
+/// aggregate streamed as an [`AggregateExtension`] over a shared base
+/// grounding.
+///
+/// In a materialised grounding the aggregate's vertices `Y[x]` would be
+/// leaves whose only in-edges come from their group's source groundings, so
+/// "a directed path `T[p] → … → Y[x]` exists" is equivalent to "the
+/// descendant walk of `T[p]` in the *base* graph touches one of `x`'s group
+/// sources". This walks exactly that, producing a peer map bit-identical to
+/// running [`compute_peers`] over the fully materialised grounding (pinned
+/// by the streaming differential suite).
+pub fn compute_peers_streamed(
+    base: &StreamedModel,
+    ext: &AggregateExtension,
+    treatment_attr: &str,
+    units: &[UnitKey],
+    instance: &Instance,
+) -> PeerMap {
+    let graph = &base.graph;
+    let interner = instance.skeleton().interner();
+    let n = graph.node_count();
+
+    // Source node id → indexes of the units whose (virtual) response group
+    // it feeds. A source can feed several groups.
+    let mut feeds: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (ui, unit) in units.iter().enumerate() {
+        if let Some(group) = ext.group_of_key(interner, unit) {
+            for &sid in ext.sources_of(group) {
+                feeds[sid as usize].push(u32::try_from(ui).expect("unit count fits u32"));
+            }
+        }
+    }
+
+    // Epoch-stamped DFS per unit, as in `compute_peers`; response hits are
+    // deduplicated per unit with a second stamp array (a group has several
+    // sources, but `x` must become a peer of `p` only once).
+    let mut peer_idx: Vec<Vec<usize>> = vec![Vec::new(); units.len()];
+    let mut stamps: Vec<u32> = vec![0; n];
+    let mut unit_stamps: Vec<u32> = vec![0; units.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut t_node = GroundedAttr::new(treatment_attr, Vec::new());
+    for (pi, p) in units.iter().enumerate() {
+        t_node.key.clear();
+        t_node.key.extend_from_slice(p);
+        let Some(tid) = graph.node_id(&t_node) else {
+            continue;
+        };
+        let epoch = u32::try_from(pi).expect("more than u32::MAX units") + 1;
+        let mark = |node: usize, unit_stamps: &mut Vec<u32>, peer_idx: &mut Vec<Vec<usize>>| {
+            for &ui in &feeds[node] {
+                let ui = ui as usize;
+                if ui != pi && unit_stamps[ui] != epoch {
+                    unit_stamps[ui] = epoch;
+                    peer_idx[ui].push(pi);
+                }
+            }
+        };
+        stamps[tid] = epoch;
+        // The start node may itself be a source (a materialised grounding
+        // would have the aggregate vertex as its direct child).
+        mark(tid, &mut unit_stamps, &mut peer_idx);
+        stack.push(tid);
+        while let Some(node) = stack.pop() {
+            for &child in graph.children_of(node) {
+                if stamps[child] == epoch {
+                    continue;
+                }
+                stamps[child] = epoch;
+                stack.push(child);
+                mark(child, &mut unit_stamps, &mut peer_idx);
+            }
+        }
+    }
+
+    units
+        .iter()
+        .zip(peer_idx)
+        .map(|(unit, idx)| {
+            let mut list: Vec<UnitKey> = idx.into_iter().map(|pi| units[pi].clone()).collect();
+            list.sort();
+            (unit.clone(), list)
+        })
+        .collect()
+}
+
 /// Summary statistics about a peer map (used in answers and reports).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PeerStats {
@@ -118,7 +203,7 @@ pub fn peer_stats(peers: &PeerMap) -> PeerStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ground::ground;
+    use crate::ground::{ground, GroundedModel};
     use crate::model::RelationalCausalModel;
     use carl_lang::parse_program;
     use reldb::{Instance, RelationalSchema, Value};

@@ -679,10 +679,12 @@ mod tests {
         );
         assert!((a.mean - 1.5).abs() < 0.2, "bootstrap mean {}", a.mean);
         assert!(a.std_dev > 0.0);
-        // Determinism under a fixed seed regardless of worker-thread count.
-        std::env::set_var("RAYON_NUM_THREADS", "3");
+        // Determinism under a fixed seed regardless of worker-thread count
+        // (varied via the rayon facade's runtime override — mutating the
+        // environment would race concurrently running tests).
+        rayon::set_num_threads(3);
         let b = bootstrap_ate(&ut, EstimatorKind::Regression, 40, 99).unwrap();
-        std::env::remove_var("RAYON_NUM_THREADS");
+        rayon::set_num_threads(0);
         let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&a.replicates), bits(&b.replicates));
     }

@@ -19,7 +19,7 @@ use crate::adjust::AdjustmentPlan;
 use crate::embed::EmbeddingKind;
 use crate::error::{CarlError, CarlResult};
 use crate::graph::GroundedAttr;
-use crate::ground::GroundedModel;
+use crate::ground::{GroundedModel, GroundedValues};
 use crate::peers::PeerMap;
 use reldb::{Instance, Table, UnitKey, Value};
 use std::collections::{HashMap, HashSet};
@@ -61,6 +61,25 @@ impl NullBitmap {
             self.len
         );
         self.bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Overwrite the flag of row `i` (which must already be tracked).
+    ///
+    /// Random-access writes exist for the *sink* use of columns (dense
+    /// signature-indexed stores filled out of order during streaming
+    /// grounding); append-only tables never need them.
+    pub fn set(&mut self, i: usize, null: bool) {
+        assert!(
+            i < self.len,
+            "null bitmap index {i} out of bounds ({} rows)",
+            self.len
+        );
+        let mask = 1u64 << (i % 64);
+        if null {
+            self.bits[i / 64] |= mask;
+        } else {
+            self.bits[i / 64] &= !mask;
+        }
     }
 
     /// Number of rows tracked.
@@ -113,6 +132,37 @@ impl FloatColumn {
     pub fn push_null(&mut self) {
         self.values.push(f64::NAN);
         self.nulls.push(true);
+    }
+
+    /// Extend the column with null cells until it tracks `len` rows (no-op
+    /// when it is already at least that long).
+    pub fn grow_to(&mut self, len: usize) {
+        while self.values.len() < len {
+            self.push_null();
+        }
+    }
+
+    /// Overwrite cell `i` with an observed value, growing the column with
+    /// nulls as needed.
+    ///
+    /// Together with [`FloatColumn::get`] this turns a column into a dense
+    /// random-access *sink*: streaming grounding indexes cells by argument-
+    /// signature symbol and fills them in answer order, with the null
+    /// bitmap marking the signatures that never received a value.
+    pub fn set(&mut self, i: usize, value: f64) {
+        self.grow_to(i + 1);
+        self.values[i] = value;
+        self.nulls.set(i, false);
+    }
+
+    /// The observed value of cell `i`, or `None` when the cell is null or
+    /// beyond the column's length.
+    pub fn get(&self, i: usize) -> Option<f64> {
+        if i >= self.values.len() || self.nulls.is_null(i) {
+            None
+        } else {
+            Some(self.values[i])
+        }
     }
 
     /// The values as a zero-copy slice (null cells hold `NaN`).
@@ -307,9 +357,14 @@ impl fmt::Display for UnitTable {
 }
 
 /// Inputs to [`build_unit_table`], bundled to keep the signature readable.
-pub struct UnitTableSpec<'a> {
+///
+/// Generic over the grounded source so the same builder serves both the
+/// materialised [`GroundedModel`] and the streamed
+/// [`crate::ground::StreamedModel`] (whose derived values live in dense
+/// signature-indexed columns instead of a sorted map).
+pub struct UnitTableSpec<'a, G: GroundedValues = GroundedModel> {
     /// The grounded model (graph + derived aggregate values).
-    pub grounded: &'a GroundedModel,
+    pub grounded: &'a G,
     /// The observed instance.
     pub instance: &'a Instance,
     /// Treatment attribute name.
@@ -340,7 +395,7 @@ struct ColumnLayout {
 }
 
 impl ColumnLayout {
-    fn of(spec: &UnitTableSpec<'_>) -> Self {
+    fn of<G: GroundedValues>(spec: &UnitTableSpec<'_, G>) -> Self {
         let embedding = spec.embedding;
         let any_peers = spec.peers.values().any(|p| !p.is_empty());
         let own_cov_attrs = spec.adjustment.own_attributes.clone();
@@ -383,7 +438,7 @@ impl ColumnLayout {
 /// Units lacking an observed outcome or an observed binary treatment are
 /// skipped (they cannot contribute to estimation). Returns an error if no
 /// unit survives.
-pub fn build_unit_table(spec: &UnitTableSpec<'_>) -> CarlResult<UnitTable> {
+pub fn build_unit_table<G: GroundedValues>(spec: &UnitTableSpec<'_, G>) -> CarlResult<UnitTable> {
     let embedding = spec.embedding;
     let layout = ColumnLayout::of(spec);
     let mut columns = layout.columns();

@@ -20,6 +20,12 @@
 //! facade, honouring `RAYON_NUM_THREADS`), concatenating chunk outputs in
 //! order so results are bit-identical at any thread count.
 //!
+//! The final join step can also be *streamed*:
+//! [`evaluate_tuples_chunked`] / [`evaluate_tuples_filtered_chunked`]
+//! deliver its output to a sink as order-preserving [`TupleAnswers`]
+//! chunks without ever materialising the full answer set — the
+//! pipelined-execution entry point the grounding layer folds rows through.
+//!
 //! Two reference executors are kept alongside:
 //!
 //! * [`evaluate_naive`] — the deliberately unoptimised nested-loop
@@ -49,6 +55,11 @@ pub type Bindings = HashMap<String, Value>;
 /// threads of the `rayon` facade. Below it, thread spawn overhead dwarfs
 /// the probe work.
 const PARALLEL_ROW_THRESHOLD: usize = 4096;
+
+/// Input-row block size for sequential streamed delivery: large enough to
+/// amortise per-batch bookkeeping in the sink, small enough that the full
+/// answer set of a big join is never resident at once.
+const STREAM_BLOCK_ROWS: usize = 16 * PARALLEL_ROW_THRESHOLD;
 
 /// Dense query answers: one flat register tuple of interned symbols per
 /// answer, resolved back to [`Value`]s on demand through the skeleton's
@@ -212,6 +223,54 @@ pub fn evaluate_tuples_filtered<'a>(
         Some(instance),
         cache,
     ))
+}
+
+/// Streaming evaluation: run the plan and hand the final join step's output
+/// to `on_batch` as order-preserving [`TupleAnswers`] chunks instead of one
+/// materialised answer set.
+///
+/// The sink sees exactly the rows `evaluate_tuples` would return, in exactly
+/// the same order; only the chunk boundaries are an executor detail
+/// (fixed-size input blocks when sequential, per-worker blocks computed in
+/// bounded waves when the final step runs parallel — at most one wave's
+/// output is ever resident). A sink that folds rows in order therefore
+/// produces results that are bit-identical to folding the materialised
+/// answers — at any `RAYON_NUM_THREADS`. Queries with answers too small to
+/// chunk arrive as a single batch; queries with no answers deliver no
+/// batches at all.
+///
+/// Errors from the sink abort the evaluation and are returned as-is.
+pub fn evaluate_tuples_chunked<'a>(
+    cache: &IndexCache,
+    schema: &RelationalSchema,
+    skeleton: &'a Skeleton,
+    query: &ConjunctiveQuery,
+    on_batch: &mut dyn FnMut(&TupleAnswers<'a>) -> RelResult<()>,
+) -> RelResult<()> {
+    let plan = plan_query(schema, skeleton, query)?;
+    execute_tuples_stream(&plan, schema, skeleton, None, cache, on_batch)
+}
+
+/// Streaming filtered evaluation over a full instance (the sink-based form
+/// of [`evaluate_tuples_filtered`]; see [`evaluate_tuples_chunked`] for the
+/// delivery contract).
+pub fn evaluate_tuples_filtered_chunked<'a>(
+    cache: &IndexCache,
+    schema: &RelationalSchema,
+    instance: &'a Instance,
+    query: &ConjunctiveQuery,
+    filters: &[EqFilter],
+    on_batch: &mut dyn FnMut(&TupleAnswers<'a>) -> RelResult<()>,
+) -> RelResult<()> {
+    let plan = plan_query_filtered(schema, instance, cache, query, filters)?;
+    execute_tuples_stream(
+        &plan,
+        schema,
+        instance.skeleton(),
+        Some(instance),
+        cache,
+        on_batch,
+    )
 }
 
 /// Nested-loop reference evaluation: atoms in the order given, full scans
@@ -393,7 +452,7 @@ impl FilterEval {
             match arg {
                 Term::Const(v) => consts.push(Some(v)),
                 Term::Var(name) => {
-                    let Some(slot) = plan.slots.iter().position(|s| s == name) else {
+                    let Some(slot) = plan.slot_of(name) else {
                         return FilterEval::Never;
                     };
                     consts.push(None);
@@ -488,6 +547,95 @@ enum StepSource<'s> {
     AttrFetch(Vec<Vec<Sym>>),
 }
 
+/// Resolve one plan step's constants and candidate source, once before its
+/// row loop. Returns `None` when a constant of the step was never interned
+/// by the skeleton — such a step matches no tuple, so the whole conjunction
+/// is empty.
+fn resolve_step<'s>(
+    plan: &Plan,
+    step: &'s crate::plan::PlanStep,
+    schema: &RelationalSchema,
+    skeleton: &'s Skeleton,
+    instance: Option<&Instance>,
+    cache: &IndexCache,
+) -> Option<(Vec<Sym>, StepSource<'s>)> {
+    let interner = skeleton.interner();
+    let mut consts: Vec<Sym> = vec![Sym::UNBOUND; step.layout.len()];
+    for (p, (slot, term)) in step.layout.iter().zip(&step.atom.terms).enumerate() {
+        if *slot == SlotTerm::Const {
+            let Term::Const(v) = term else {
+                unreachable!("layout Const aligns with a constant term")
+            };
+            consts[p] = interner.get(v)?;
+        }
+    }
+
+    let source = match &step.access {
+        Access::ScanEntity => StepSource::EntityScan(
+            skeleton
+                .entity_syms(&step.atom.predicate)
+                .iter()
+                .copied()
+                .filter(|&sym| semijoins_admit(skeleton, &step.semijoins, |_| sym))
+                .collect(),
+        ),
+        Access::ProbeEntity => StepSource::EntityProbe,
+        Access::ScanRelationship => StepSource::RelScan(
+            skeleton
+                .relationship_syms(&step.atom.predicate)
+                .iter()
+                .map(Vec::as_slice)
+                // Arity-violating tuples (possible via the raw
+                // `Skeleton` API) can never unify; drop them before
+                // the semi-join passes index into them.
+                .filter(|t| t.len() == step.layout.len())
+                .filter(|t| semijoins_admit(skeleton, &step.semijoins, |p| t[p]))
+                .collect(),
+        ),
+        Access::ProbeRelationship { positions } => match positions.as_slice() {
+            [position] => StepSource::RelProbeSingle {
+                pos: *position,
+                index: skeleton.positional_index(&step.atom.predicate, *position),
+            },
+            _ => StepSource::RelProbeMulti {
+                index: cache.relationship_index(skeleton, &step.atom.predicate, positions),
+                positions,
+            },
+        },
+        Access::ProbeAttribute { filter } => {
+            let inst = instance
+                .expect("planner only emits attribute fetches when an instance is available");
+            let flt = &plan.filters[*filter];
+            let index = cache.attribute_index(inst, &flt.attr);
+            // Attribute assignments are not guaranteed to reference
+            // existing units, so intersect with the skeleton (any unit
+            // present in the skeleton is fully interned).
+            let kind = schema.predicate_kind(&step.atom.predicate);
+            let units: Vec<Vec<Sym>> = index
+                .units(&flt.value)
+                .iter()
+                .filter_map(|unit| {
+                    let syms: Option<Vec<Sym>> = unit.iter().map(|v| interner.get(v)).collect();
+                    let syms = syms?;
+                    let present = match kind {
+                        Some(PredicateKind::Entity) => {
+                            syms.len() == 1
+                                && skeleton.has_entity_sym(&step.atom.predicate, syms[0])
+                        }
+                        Some(PredicateKind::Relationship) => {
+                            skeleton.has_relationship_syms(&step.atom.predicate, &syms)
+                        }
+                        None => false,
+                    };
+                    present.then_some(syms)
+                })
+                .collect();
+            StepSource::AttrFetch(units)
+        }
+    };
+    Some((consts, source))
+}
+
 /// Run a plan against a skeleton (and, when filters are present, the
 /// instance carrying the attribute assignments they consult), producing
 /// dense register tuples.
@@ -524,95 +672,203 @@ fn execute_tuples<'a>(
         if rows.count == 0 {
             break;
         }
-        // Constants are resolved to symbols once per step. A constant the
-        // skeleton never interned matches no tuple: the step (and with it
-        // the whole conjunction) is empty.
-        let mut consts: Vec<Sym> = vec![Sym::UNBOUND; step.layout.len()];
-        let mut missing_const = false;
-        for (p, (slot, term)) in step.layout.iter().zip(&step.atom.terms).enumerate() {
-            if *slot == SlotTerm::Const {
-                let Term::Const(v) = term else {
-                    unreachable!("layout Const aligns with a constant term")
-                };
-                match interner.get(v) {
-                    Some(sym) => consts[p] = sym,
-                    None => missing_const = true,
-                }
-            }
-        }
-        if missing_const {
+        let Some((consts, source)) = resolve_step(plan, step, schema, skeleton, instance, cache)
+        else {
             rows = Rows::empty(width);
             break;
-        }
-
-        let source = match &step.access {
-            Access::ScanEntity => StepSource::EntityScan(
-                skeleton
-                    .entity_syms(&step.atom.predicate)
-                    .iter()
-                    .copied()
-                    .filter(|&sym| semijoins_admit(skeleton, &step.semijoins, |_| sym))
-                    .collect(),
-            ),
-            Access::ProbeEntity => StepSource::EntityProbe,
-            Access::ScanRelationship => StepSource::RelScan(
-                skeleton
-                    .relationship_syms(&step.atom.predicate)
-                    .iter()
-                    .map(Vec::as_slice)
-                    // Arity-violating tuples (possible via the raw
-                    // `Skeleton` API) can never unify; drop them before
-                    // the semi-join passes index into them.
-                    .filter(|t| t.len() == step.layout.len())
-                    .filter(|t| semijoins_admit(skeleton, &step.semijoins, |p| t[p]))
-                    .collect(),
-            ),
-            Access::ProbeRelationship { positions } => match positions.as_slice() {
-                [position] => StepSource::RelProbeSingle {
-                    pos: *position,
-                    index: skeleton.positional_index(&step.atom.predicate, *position),
-                },
-                _ => StepSource::RelProbeMulti {
-                    index: cache.relationship_index(skeleton, &step.atom.predicate, positions),
-                    positions,
-                },
-            },
-            Access::ProbeAttribute { filter } => {
-                let inst = instance
-                    .expect("planner only emits attribute fetches when an instance is available");
-                let flt = &plan.filters[*filter];
-                let index = cache.attribute_index(inst, &flt.attr);
-                // Attribute assignments are not guaranteed to reference
-                // existing units, so intersect with the skeleton (any unit
-                // present in the skeleton is fully interned).
-                let kind = schema.predicate_kind(&step.atom.predicate);
-                let units: Vec<Vec<Sym>> = index
-                    .units(&flt.value)
-                    .iter()
-                    .filter_map(|unit| {
-                        let syms: Option<Vec<Sym>> = unit.iter().map(|v| interner.get(v)).collect();
-                        let syms = syms?;
-                        let present = match kind {
-                            Some(PredicateKind::Entity) => {
-                                syms.len() == 1
-                                    && skeleton.has_entity_sym(&step.atom.predicate, syms[0])
-                            }
-                            Some(PredicateKind::Relationship) => {
-                                skeleton.has_relationship_syms(&step.atom.predicate, &syms)
-                            }
-                            None => false,
-                        };
-                        present.then_some(syms)
-                    })
-                    .collect();
-                StepSource::AttrFetch(units)
-            }
         };
-
         rows = run_step(skeleton, step, &source, &consts, rows);
         apply_tuple_filters(plan, i + 1, &filters, &mut rows);
     }
     done(rows)
+}
+
+/// Streaming form of [`execute_tuples`]: identical up to the final step,
+/// whose output is delivered to `on_batch` chunk by chunk (in row order)
+/// instead of being concatenated into one answer set.
+fn execute_tuples_stream<'a>(
+    plan: &Plan,
+    schema: &RelationalSchema,
+    skeleton: &'a Skeleton,
+    instance: Option<&Instance>,
+    cache: &IndexCache,
+    on_batch: &mut dyn FnMut(&TupleAnswers<'a>) -> RelResult<()>,
+) -> RelResult<()> {
+    let width = plan.slots.len();
+    let interner = skeleton.interner();
+    if plan.unsatisfiable() {
+        return Ok(());
+    }
+
+    let filters: Vec<FilterEval> = plan
+        .filters
+        .iter()
+        .map(|f| FilterEval::build(f, plan, skeleton, instance, cache))
+        .collect();
+
+    let mut rows = Rows::seed(width);
+    apply_tuple_filters(plan, 0, &filters, &mut rows);
+
+    // Deliver one chunk of (already filtered) output rows, skipping empties.
+    let deliver = |rows: Rows,
+                   on_batch: &mut dyn FnMut(&TupleAnswers<'a>) -> RelResult<()>|
+     -> RelResult<()> {
+        if rows.count == 0 {
+            return Ok(());
+        }
+        on_batch(&TupleAnswers {
+            vars: plan.slots.clone(),
+            width,
+            count: rows.count,
+            data: rows.data,
+            interner,
+        })
+    };
+
+    let Some(last) = plan.steps.len().checked_sub(1) else {
+        // The empty query: the (possibly filtered-away) seed row is the
+        // whole answer.
+        return deliver(rows, on_batch);
+    };
+
+    for (i, step) in plan.steps[..last].iter().enumerate() {
+        if rows.count == 0 {
+            return Ok(());
+        }
+        let Some((consts, source)) = resolve_step(plan, step, schema, skeleton, instance, cache)
+        else {
+            return Ok(());
+        };
+        rows = run_step(skeleton, step, &source, &consts, rows);
+        apply_tuple_filters(plan, i + 1, &filters, &mut rows);
+    }
+    if rows.count == 0 {
+        return Ok(());
+    }
+    let step = &plan.steps[last];
+    let Some((consts, source)) = resolve_step(plan, step, schema, skeleton, instance, cache) else {
+        return Ok(());
+    };
+
+    let threads = rayon::current_num_threads();
+    if rows.count >= PARALLEL_ROW_THRESHOLD && threads > 1 && width > 0 {
+        // Parallel, in bounded *waves*: the input splits into blocks (one
+        // per worker, capped at the stream block size), each wave computes
+        // `threads` blocks concurrently and delivers their outputs in
+        // order before the next wave starts. Small inputs get exactly the
+        // materialised executor's per-worker split in a single wave; big
+        // joins stay parallel while at most one wave's output is resident
+        // — never the full answer set.
+        let block = rows.count.div_ceil(threads).min(STREAM_BLOCK_ROWS);
+        for wave in chunk_ranges(rows.count, block).chunks(threads) {
+            let parts: Vec<(Vec<Sym>, usize)> = wave
+                .to_vec()
+                .into_par_iter()
+                .map(|range| run_step_range(skeleton, step, &source, &consts, &rows, range))
+                .collect();
+            for (data, count) in parts {
+                let mut out = Rows { width, count, data };
+                apply_tuple_filters(plan, last + 1, &filters, &mut out);
+                deliver(out, on_batch)?;
+            }
+        }
+    } else {
+        // Sequential: stream fixed-size input blocks so the full answer set
+        // is never resident at once.
+        for range in chunk_ranges(rows.count, STREAM_BLOCK_ROWS) {
+            let (data, count) = run_step_range(skeleton, step, &source, &consts, &rows, range);
+            let mut out = Rows { width, count, data };
+            apply_tuple_filters(plan, last + 1, &filters, &mut out);
+            deliver(out, on_batch)?;
+        }
+    }
+    Ok(())
+}
+
+/// Contiguous ranges of `0..count` in blocks of `chunk` (the final range may
+/// be shorter).
+fn chunk_ranges(count: usize, chunk: usize) -> Vec<std::ops::Range<usize>> {
+    let chunk = chunk.max(1);
+    (0..count)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(count))
+        .collect()
+}
+
+/// Extend the rows of one input range through one step, returning the flat
+/// output batch and its row count.
+fn run_step_range(
+    skeleton: &Skeleton,
+    step: &crate::plan::PlanStep,
+    source: &StepSource<'_>,
+    consts: &[Sym],
+    rows: &Rows,
+    range: std::ops::Range<usize>,
+) -> (Vec<Sym>, usize) {
+    let rel = step.atom.predicate.as_str();
+    let rel_tuples = skeleton.relationship_syms(rel);
+    let layout = step.layout.as_slice();
+    let mut out: Vec<Sym> = Vec::new();
+    let mut produced = 0usize;
+    for i in range {
+        let base = rows.row(i);
+        match source {
+            StepSource::EntityScan(candidates) => {
+                for &cand in candidates {
+                    if try_extend(&mut out, base, layout, consts, &[cand]) {
+                        produced += 1;
+                    }
+                }
+            }
+            StepSource::EntityProbe => {
+                let key = resolve_slot(layout[0], consts[0], base);
+                if skeleton.has_entity_sym(rel, key) {
+                    out.extend_from_slice(base);
+                    produced += 1;
+                }
+            }
+            StepSource::RelScan(candidates) => {
+                for tuple in candidates {
+                    if try_extend(&mut out, base, layout, consts, tuple) {
+                        produced += 1;
+                    }
+                }
+            }
+            StepSource::RelProbeSingle { pos, index } => {
+                let key = resolve_slot(layout[*pos], consts[*pos], base);
+                let hits = index
+                    .and_then(|idx| idx.get(&key))
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]);
+                for &row_id in hits {
+                    let tuple = rel_tuples[row_id as usize].as_slice();
+                    if try_extend(&mut out, base, layout, consts, tuple) {
+                        produced += 1;
+                    }
+                }
+            }
+            StepSource::RelProbeMulti { index, positions } => {
+                let key: Vec<Sym> = positions
+                    .iter()
+                    .map(|&p| resolve_slot(layout[p], consts[p], base))
+                    .collect();
+                for &row_id in index.rows(&key) {
+                    let tuple = rel_tuples[row_id as usize].as_slice();
+                    if try_extend(&mut out, base, layout, consts, tuple) {
+                        produced += 1;
+                    }
+                }
+            }
+            StepSource::AttrFetch(units) => {
+                for unit in units {
+                    if try_extend(&mut out, base, layout, consts, unit) {
+                        produced += 1;
+                    }
+                }
+            }
+        }
+    }
+    (out, produced)
 }
 
 /// Extend every row of `rows` through one step, splitting large batches
@@ -626,82 +882,12 @@ fn run_step(
     rows: Rows,
 ) -> Rows {
     let width = rows.width;
-    let rel = step.atom.predicate.as_str();
-    let rel_tuples = skeleton.relationship_syms(rel);
-    let layout = step.layout.as_slice();
-
-    let process = |range: std::ops::Range<usize>| -> (Vec<Sym>, usize) {
-        let mut out: Vec<Sym> = Vec::new();
-        let mut produced = 0usize;
-        for i in range {
-            let base = rows.row(i);
-            match source {
-                StepSource::EntityScan(candidates) => {
-                    for &cand in candidates {
-                        if try_extend(&mut out, base, layout, consts, &[cand]) {
-                            produced += 1;
-                        }
-                    }
-                }
-                StepSource::EntityProbe => {
-                    let key = resolve_slot(layout[0], consts[0], base);
-                    if skeleton.has_entity_sym(rel, key) {
-                        out.extend_from_slice(base);
-                        produced += 1;
-                    }
-                }
-                StepSource::RelScan(candidates) => {
-                    for tuple in candidates {
-                        if try_extend(&mut out, base, layout, consts, tuple) {
-                            produced += 1;
-                        }
-                    }
-                }
-                StepSource::RelProbeSingle { pos, index } => {
-                    let key = resolve_slot(layout[*pos], consts[*pos], base);
-                    let rows = index
-                        .and_then(|idx| idx.get(&key))
-                        .map(Vec::as_slice)
-                        .unwrap_or(&[]);
-                    for &row_id in rows {
-                        let tuple = rel_tuples[row_id as usize].as_slice();
-                        if try_extend(&mut out, base, layout, consts, tuple) {
-                            produced += 1;
-                        }
-                    }
-                }
-                StepSource::RelProbeMulti { index, positions } => {
-                    let key: Vec<Sym> = positions
-                        .iter()
-                        .map(|&p| resolve_slot(layout[p], consts[p], base))
-                        .collect();
-                    for &row_id in index.rows(&key) {
-                        let tuple = rel_tuples[row_id as usize].as_slice();
-                        if try_extend(&mut out, base, layout, consts, tuple) {
-                            produced += 1;
-                        }
-                    }
-                }
-                StepSource::AttrFetch(units) => {
-                    for unit in units {
-                        if try_extend(&mut out, base, layout, consts, unit) {
-                            produced += 1;
-                        }
-                    }
-                }
-            }
-        }
-        (out, produced)
-    };
-
     let threads = rayon::current_num_threads();
     let (data, count) = if rows.count >= PARALLEL_ROW_THRESHOLD && threads > 1 && width > 0 {
-        let chunk = rows.count.div_ceil(threads);
-        let ranges: Vec<std::ops::Range<usize>> = (0..rows.count)
-            .step_by(chunk)
-            .map(|start| start..(start + chunk).min(rows.count))
+        let parts: Vec<(Vec<Sym>, usize)> = chunk_ranges(rows.count, rows.count.div_ceil(threads))
+            .into_par_iter()
+            .map(|range| run_step_range(skeleton, step, source, consts, &rows, range))
             .collect();
-        let parts: Vec<(Vec<Sym>, usize)> = ranges.into_par_iter().map(process).collect();
         let mut data = Vec::with_capacity(parts.iter().map(|(d, _)| d.len()).sum());
         let mut count = 0usize;
         for (part, produced) in parts {
@@ -710,7 +896,7 @@ fn run_step(
         }
         (data, count)
     } else {
-        process(0..rows.count)
+        run_step_range(skeleton, step, source, consts, &rows, 0..rows.count)
     };
     Rows { width, count, data }
 }
@@ -1213,6 +1399,101 @@ mod tests {
         let (schema, sk) = setup();
         let q = ConjunctiveQuery::new(vec![Atom::new("Person", vec![Term::var("A")])]);
         let err = evaluate_project(&schema, &sk, &q, &["Z".to_string()]).unwrap_err();
+        assert!(matches!(err, RelError::MalformedQuery(_)));
+    }
+
+    /// Collect a streamed evaluation back into (bindings, batch count) so
+    /// it can be compared against the materialised executor.
+    fn collect_chunked(
+        inst: &Instance,
+        q: &ConjunctiveQuery,
+        filters: &[EqFilter],
+    ) -> (Vec<Bindings>, usize) {
+        let cache = IndexCache::for_instance(inst);
+        let mut all = Vec::new();
+        let mut batches = 0usize;
+        evaluate_tuples_filtered_chunked(&cache, inst.schema(), inst, q, filters, &mut |batch| {
+            batches += 1;
+            assert!(!batch.is_empty(), "empty batches are never delivered");
+            all.extend(batch.to_bindings());
+            Ok(())
+        })
+        .unwrap();
+        (all, batches)
+    }
+
+    #[test]
+    fn chunked_evaluation_streams_the_materialised_answers_in_order() {
+        let inst = Instance::review_example();
+        let cache = IndexCache::for_instance(&inst);
+        let queries = [
+            ConjunctiveQuery::truth(),
+            ConjunctiveQuery::new(vec![Atom::new("Person", vec![Term::var("A")])]),
+            ConjunctiveQuery::new(vec![
+                Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+                Atom::new("Submitted", vec![Term::var("S"), Term::var("C")]),
+            ]),
+            ConjunctiveQuery::new(vec![
+                Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+                Atom::new("Author", vec![Term::var("B"), Term::var("S")]),
+            ]),
+            // No answers at all: the sink must never be called.
+            ConjunctiveQuery::new(vec![Atom::new(
+                "Author",
+                vec![Term::var("A"), Term::constant("ghost")],
+            )]),
+        ];
+        for q in &queries {
+            let materialised =
+                evaluate_tuples_filtered(&cache, inst.schema(), &inst, q, &[]).unwrap();
+            let (streamed, batches) = collect_chunked(&inst, q, &[]);
+            // Same rows in the same order (order matters: streaming sinks
+            // fold rows without re-sorting).
+            let expected = materialised.to_bindings();
+            assert_eq!(streamed.len(), expected.len(), "query {q}");
+            for (i, (a, b)) in streamed.iter().zip(&expected).enumerate() {
+                assert_eq!(a, b, "query {q}, row {i}");
+            }
+            if expected.is_empty() {
+                assert_eq!(batches, 0, "query {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_evaluation_applies_final_step_filters() {
+        let inst = Instance::review_example();
+        let cache = IndexCache::for_instance(&inst);
+        let q = ConjunctiveQuery::new(vec![
+            Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+            Atom::new("Submitted", vec![Term::var("S"), Term::var("C")]),
+        ]);
+        let filters = vec![EqFilter {
+            attr: "Blind".into(),
+            args: vec![Term::var("C")],
+            value: Value::Bool(true),
+        }];
+        let materialised =
+            evaluate_tuples_filtered(&cache, inst.schema(), &inst, &q, &filters).unwrap();
+        let (streamed, _) = collect_chunked(&inst, &q, &filters);
+        assert_eq!(streamed, materialised.to_bindings());
+        assert_eq!(streamed.len(), 3);
+    }
+
+    #[test]
+    fn chunked_evaluation_propagates_sink_errors() {
+        let inst = Instance::review_example();
+        let cache = IndexCache::for_instance(&inst);
+        let q = ConjunctiveQuery::new(vec![Atom::new("Person", vec![Term::var("A")])]);
+        let err = evaluate_tuples_filtered_chunked(
+            &cache,
+            inst.schema(),
+            &inst,
+            &q,
+            &[],
+            &mut |_batch| Err(RelError::MalformedQuery("sink aborted".into())),
+        )
+        .unwrap_err();
         assert!(matches!(err, RelError::MalformedQuery(_)));
     }
 

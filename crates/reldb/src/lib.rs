@@ -71,8 +71,8 @@ pub use aggregate::{group_by, AggFn};
 pub use error::{RelError, RelResult};
 pub use eval::{
     evaluate, evaluate_bindings_filtered, evaluate_bindings_in, evaluate_filtered, evaluate_in,
-    evaluate_naive, evaluate_project, evaluate_tuples, evaluate_tuples_filtered, Bindings,
-    TupleAnswers,
+    evaluate_naive, evaluate_project, evaluate_tuples, evaluate_tuples_chunked,
+    evaluate_tuples_filtered, evaluate_tuples_filtered_chunked, Bindings, TupleAnswers,
 };
 pub use index::{IndexCache, IndexCacheStats};
 pub use instance::Instance;

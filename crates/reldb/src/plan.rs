@@ -164,6 +164,15 @@ impl Plan {
     pub fn unsatisfiable(&self) -> bool {
         self.filter_after.iter().any(Option::is_none)
     }
+
+    /// The register slot the executor assigns to `var`, if the query binds
+    /// it. Streaming consumers use this to compile per-row extraction specs
+    /// before (or without) seeing the first answer batch: the slot layout of
+    /// every [`crate::eval::TupleAnswers`] chunk a plan produces is exactly
+    /// `slots`.
+    pub fn slot_of(&self, var: &str) -> Option<usize> {
+        self.slots.iter().position(|s| s == var)
+    }
 }
 
 impl fmt::Display for Plan {

@@ -9,9 +9,10 @@
 //! contract at a scale large enough to actually cross the executor's
 //! parallel row threshold.
 //!
-//! All thread-count flips happen inside one `#[test]` because the rayon
-//! facade reads the environment variable per call and tests within one
-//! binary run concurrently.
+//! Thread counts are varied through [`rayon::set_num_threads`] (the
+//! environment variable is read once per process and mutating it would
+//! race tests running concurrently in the same binary), and every flip is
+//! restored before the assertion so other tests see the default.
 
 use carl::{ground_with_bindings, CarlEngine, GroundedModel};
 use carl_datagen::{generate_synthetic_review, SyntheticReviewConfig};
@@ -51,15 +52,15 @@ fn grounding_is_bit_identical_across_thread_counts() {
     let ds = generate_synthetic_review(&config);
     let engine = CarlEngine::new(ds.instance, &ds.rules).expect("model binds to schema");
 
-    let ground_at = |threads: &str| {
-        std::env::set_var("RAYON_NUM_THREADS", threads);
+    let ground_at = |threads: usize| {
+        rayon::set_num_threads(threads);
         let grounded = engine.ground_model().expect("grounding succeeds");
-        std::env::remove_var("RAYON_NUM_THREADS");
+        rayon::set_num_threads(0);
         grounded
     };
 
-    let one = ground_at("1");
-    let four = ground_at("4");
+    let one = ground_at(1);
+    let four = ground_at(4);
     assert!(one.graph.node_count() > 0 && one.graph.edge_count() > 0);
     assert_eq!(
         canonical(&one),

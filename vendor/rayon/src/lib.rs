@@ -10,25 +10,74 @@
 //!
 //! The worker count defaults to [`std::thread::available_parallelism`] and
 //! can be overridden with the `RAYON_NUM_THREADS` environment variable,
-//! mirroring the real crate. Swap in the real crate once registry access
-//! exists; the API subset here (`prelude::IntoParallelIterator`, `map`,
-//! `filter`, `filter_map`, `for_each`, `collect`) is call-compatible.
+//! mirroring the real crate. Like the real crate, the environment variable
+//! is read **once** (on first use): `std::env::var` takes a process-wide
+//! lock, and `current_num_threads` sits on the executor's per-step hot
+//! path. A value of `0` (or anything unparseable) falls back to the
+//! default rather than flowing a zero thread count into chunk sizing.
+//! Tests and benchmarks that need to vary the worker count at runtime use
+//! [`set_num_threads`] instead of mutating the process environment (env
+//! mutation races with concurrently running tests in the same binary).
+//! Swap in the real crate once registry access exists; the API subset here
+//! (`prelude::IntoParallelIterator`, `map`, `filter`, `filter_map`,
+//! `for_each`, `collect`) is call-compatible.
 
 #![warn(missing_docs)]
 
-/// The number of worker threads parallel pipelines will use:
-/// `RAYON_NUM_THREADS` if set to a positive integer, otherwise the
-/// machine's available parallelism (1 if that cannot be determined).
-pub fn current_num_threads() -> usize {
-    std::env::var("RAYON_NUM_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Runtime override of the worker count (0 = no override). Set via
+/// [`set_num_threads`]; takes precedence over the cached environment value.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The default worker count, resolved once per process from
+/// `RAYON_NUM_THREADS` / available parallelism.
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Parse a `RAYON_NUM_THREADS`-style value: a positive integer wins,
+/// everything else (missing, unparseable, or `0`) means "use the default".
+fn parse_thread_count(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|s| s.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        })
+}
+
+/// The machine default: `RAYON_NUM_THREADS` if set to a positive integer,
+/// otherwise available parallelism (1 if that cannot be determined).
+fn default_num_threads() -> usize {
+    *DEFAULT_THREADS.get_or_init(|| {
+        parse_thread_count(std::env::var("RAYON_NUM_THREADS").ok().as_deref()).unwrap_or_else(
+            || {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            },
+        )
+    })
+}
+
+/// The number of worker threads parallel pipelines will use: the
+/// [`set_num_threads`] override if one is active, otherwise the cached
+/// process default (`RAYON_NUM_THREADS` at first use, or the machine's
+/// available parallelism).
+pub fn current_num_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => default_num_threads(),
+        n => n,
+    }
+}
+
+/// Override the worker count at runtime (`0` clears the override and
+/// restores the process default).
+///
+/// This is the supported way for tests and benchmarks to compare thread
+/// counts within one process; mutating `RAYON_NUM_THREADS` mid-process is
+/// both racy (tests in one binary run concurrently) and ineffective (the
+/// variable is read once). The override is process-global; callers that
+/// set it should restore `0` afterwards.
+pub fn set_num_threads(threads: usize) {
+    THREAD_OVERRIDE.store(threads, Ordering::Relaxed);
 }
 
 /// Apply `f` to every item on scoped worker threads, preserving input order.
@@ -223,20 +272,36 @@ mod tests {
     }
 
     #[test]
+    fn zero_and_garbage_thread_counts_fall_back_to_the_default() {
+        // Regression: `RAYON_NUM_THREADS=0` must not flow a zero thread
+        // count into chunk sizing. The parse is tested directly — the
+        // process-wide default is cached, so tests never mutate the env.
+        assert_eq!(super::parse_thread_count(Some("0")), None);
+        assert_eq!(super::parse_thread_count(Some("")), None);
+        assert_eq!(super::parse_thread_count(Some("-3")), None);
+        assert_eq!(super::parse_thread_count(Some("many")), None);
+        assert_eq!(super::parse_thread_count(None), None);
+        assert_eq!(super::parse_thread_count(Some("1")), Some(1));
+        assert_eq!(super::parse_thread_count(Some(" 8 ")), Some(8));
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
     fn results_are_independent_of_thread_count() {
-        // Simulate different pool sizes via the env override; order and
-        // content must not change.
+        // Vary the pool size via the runtime override (not the env, which
+        // would race concurrently running tests); order and content must
+        // not change.
         let run = || -> Vec<u64> {
             (0..997u64)
                 .into_par_iter()
                 .map(|i| i.wrapping_mul(0x9E37_79B9))
                 .collect()
         };
-        std::env::set_var("RAYON_NUM_THREADS", "1");
+        super::set_num_threads(1);
         let one = run();
-        std::env::set_var("RAYON_NUM_THREADS", "5");
+        super::set_num_threads(5);
         let five = run();
-        std::env::remove_var("RAYON_NUM_THREADS");
+        super::set_num_threads(0);
         let auto = run();
         assert_eq!(one, five);
         assert_eq!(one, auto);
