@@ -6,6 +6,7 @@
 //! prints the same rows/series the paper reports and optionally writes a
 //! JSON record under `target/experiments/`. `run_all` executes everything.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -1,0 +1,739 @@
+//! Error-*collecting* static analysis of CaRL programs.
+//!
+//! Where [`crate::validate`] stops at the first violation (the historical
+//! fail-fast behaviour the engine relies on), this module walks the whole
+//! program and reports **every** defect it can find as a [`Diagnostic`]
+//! carrying a stable code, a severity, a byte [`Span`] into the source, a
+//! message and optional related spans — the shape a language server or a
+//! `carl-check`-style linter needs.
+//!
+//! Schema-independent checks implemented here:
+//!
+//! | code    | severity | check |
+//! |---------|----------|-------|
+//! | `E0001` | error    | variable safety in causal rules (Definition 3.3) |
+//! | `E0002` | error    | aggregate-rule shape: head/source variables bound by the `WHERE` clause |
+//! | `E0003` | error    | attribute defined by both an aggregate and a causal rule |
+//! | `E0004` | error    | query uses the same attribute as treatment and response |
+//! | `E0005` | error    | recursive model — reported with the full dependency cycle |
+//! | `E0006` | error    | unsatisfiable equality filters (two distinct constants forced equal) |
+//! | `W0001` | warning  | a condition variable bound exactly once and never used |
+//!
+//! Schema-aware checks (`E01xx`: unknown predicates/attributes, arity and
+//! comparison-type mismatches, shadowed attributes) live in the `carl`
+//! engine crate, which owns the schema; they produce the same
+//! [`Diagnostic`] type.
+
+use crate::ast::{AggregateRule, CausalRule, CompareOp, Condition, Program};
+use crate::span::{LineIndex, Span};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// How severe a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The program is ill-formed and must be rejected.
+    Error,
+    /// Suspicious but legal; the program may still run.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// A single analysis finding, anchored to a source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code, e.g. `E0001`.
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Primary source location (may be [`Span::DUMMY`] for synthetic ASTs).
+    pub span: Span,
+    /// Human-readable description of the defect.
+    pub message: String,
+    /// Additional locations that participate in the defect (e.g. the other
+    /// rules on a dependency cycle), each with a short label.
+    pub related: Vec<(Span, String)>,
+}
+
+impl Diagnostic {
+    /// Construct an error diagnostic.
+    pub fn error(code: &'static str, span: Span, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+            related: Vec::new(),
+        }
+    }
+
+    /// Construct a warning diagnostic.
+    pub fn warning(code: &'static str, span: Span, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            severity: Severity::Warning,
+            span,
+            message: message.into(),
+            related: Vec::new(),
+        }
+    }
+
+    /// Attach a related span.
+    pub fn with_related(mut self, span: Span, label: impl Into<String>) -> Self {
+        self.related.push((span, label.into()));
+        self
+    }
+
+    /// Whether this diagnostic is an error.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+/// The result of analysing a program: every diagnostic found, plus the
+/// topological order of attribute names when the model is acyclic.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// All findings, in deterministic source-then-check order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Attribute names in dependency order (causes before effects);
+    /// `None` when the model is recursive.
+    pub topo_order: Option<Vec<String>>,
+}
+
+impl Analysis {
+    /// Whether any error-severity diagnostic was reported.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(Diagnostic::is_error)
+    }
+
+    /// Iterate over error-severity diagnostics only.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.is_error())
+    }
+}
+
+/// Analyse a program, collecting every schema-independent defect.
+pub fn analyze_program(program: &Program) -> Analysis {
+    let mut diagnostics = Vec::new();
+
+    for rule in &program.rules {
+        check_rule_safety(rule, &mut diagnostics);
+        check_unsatisfiable_equalities(&rule.condition, &mut diagnostics);
+        check_unused_variables(
+            rule_variable_counts(rule),
+            &rule.condition,
+            &mut diagnostics,
+        );
+    }
+    for agg in &program.aggregates {
+        check_aggregate_shape(agg, &mut diagnostics);
+        check_unsatisfiable_equalities(&agg.condition, &mut diagnostics);
+        check_unused_variables(
+            aggregate_variable_counts(agg),
+            &agg.condition,
+            &mut diagnostics,
+        );
+    }
+
+    // Aggregate-defined names must not also have causal rules.
+    let aggregate_spans: BTreeMap<&str, Span> = program
+        .aggregates
+        .iter()
+        .map(|a| (a.name.as_str(), a.span))
+        .collect();
+    for rule in &program.rules {
+        if let Some(agg_span) = aggregate_spans.get(rule.head.attr.as_str()) {
+            diagnostics.push(
+                Diagnostic::error(
+                    "E0003",
+                    rule.head.span,
+                    format!(
+                        "attribute `{}` is defined both by an aggregate rule and a causal rule",
+                        rule.head.attr
+                    ),
+                )
+                .with_related(*agg_span, "the aggregate rule is here".to_string()),
+            );
+        }
+    }
+
+    // Queries: treatment != response, plus filter satisfiability.
+    for q in &program.queries {
+        if q.treatment.attr == q.response.attr {
+            diagnostics.push(
+                Diagnostic::error(
+                    "E0004",
+                    q.span,
+                    format!(
+                        "query `{} <= {}?` uses the same attribute as treatment and response",
+                        q.response, q.treatment
+                    ),
+                )
+                .with_related(q.treatment.span, "treatment".to_string()),
+            );
+        }
+        check_unsatisfiable_equalities(&q.condition, &mut diagnostics);
+    }
+
+    let topo_order = check_recursion(program, &mut diagnostics);
+
+    Analysis {
+        diagnostics,
+        topo_order,
+    }
+}
+
+/// Variable safety (Definition 3.3) for one causal rule, collecting a
+/// diagnostic per offending variable.
+fn check_rule_safety(rule: &CausalRule, out: &mut Vec<Diagnostic>) {
+    let cond_vars = rule.condition.variables();
+    if rule.condition.is_trivial() {
+        // Allowed only when every body atom ranges over exactly the head
+        // variables (per-unit dependency with an implicit condition).
+        let head_vars: BTreeSet<&str> = rule.head.variables().collect();
+        for b in &rule.body {
+            for v in b.variables() {
+                if !head_vars.contains(v) {
+                    out.push(Diagnostic::error(
+                        "E0001",
+                        b.span,
+                        format!(
+                            "variable `{v}` in rule for `{}` is not bound: the rule has no \
+                             WHERE clause and `{v}` does not appear in the head",
+                            rule.head.attr
+                        ),
+                    ));
+                }
+            }
+        }
+        return;
+    }
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for attr_ref in std::iter::once(&rule.head).chain(rule.body.iter()) {
+        for v in attr_ref.variables() {
+            if !cond_vars.contains(v) && seen.insert(v) {
+                out.push(Diagnostic::error(
+                    "E0001",
+                    attr_ref.span,
+                    format!(
+                        "variable `{v}` in rule for `{}` does not occur in its WHERE clause",
+                        rule.head.attr
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Aggregate-rule shape: head and source variables must be connected by the
+/// condition (or coincide when the condition is trivial).
+fn check_aggregate_shape(agg: &AggregateRule, out: &mut Vec<Diagnostic>) {
+    let cond_vars = agg.condition.variables();
+    let head_vars: BTreeSet<String> = agg
+        .head_args
+        .iter()
+        .filter_map(|a| a.as_var().map(str::to_string))
+        .collect();
+    let source_vars: BTreeSet<String> = agg.source.variables().map(str::to_string).collect();
+    if agg.condition.is_trivial() {
+        if head_vars != source_vars {
+            out.push(Diagnostic::error(
+                "E0002",
+                agg.span,
+                format!(
+                    "aggregate rule `{}` needs a WHERE clause connecting {:?} to {:?}",
+                    agg.name, head_vars, source_vars
+                ),
+            ));
+        }
+        return;
+    }
+    for v in head_vars.iter().chain(source_vars.iter()) {
+        if !cond_vars.contains(v) {
+            out.push(Diagnostic::error(
+                "E0002",
+                agg.span,
+                format!(
+                    "variable `{v}` in aggregate rule `{}` does not occur in its WHERE clause",
+                    agg.name
+                ),
+            ));
+        }
+    }
+}
+
+/// Two equality filters on the same attribute reference with distinct
+/// constants can never both hold: the condition is unsatisfiable.
+fn check_unsatisfiable_equalities(condition: &Condition, out: &mut Vec<Diagnostic>) {
+    for (i, a) in condition.comparisons.iter().enumerate() {
+        if a.op != CompareOp::Eq {
+            continue;
+        }
+        for b in condition.comparisons.iter().skip(i + 1) {
+            if b.op == CompareOp::Eq && a.attr == b.attr && a.value != b.value {
+                out.push(
+                    Diagnostic::error(
+                        "E0006",
+                        b.span,
+                        format!(
+                            "unsatisfiable condition: `{}` is required to equal both `{}` and \
+                             `{}`",
+                            a.attr, a.value, b.value
+                        ),
+                    )
+                    .with_related(
+                        a.span,
+                        format!("first required equal to `{}` here", a.value),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Count every occurrence of every variable across a causal rule.
+fn rule_variable_counts(rule: &CausalRule) -> BTreeMap<String, usize> {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut add = |v: &str| *counts.entry(v.to_string()).or_insert(0) += 1;
+    rule.head.variables().for_each(&mut add);
+    for b in &rule.body {
+        b.variables().for_each(&mut add);
+    }
+    condition_variable_occurrences(&rule.condition, &mut add);
+    counts
+}
+
+/// Count every occurrence of every variable across an aggregate rule.
+fn aggregate_variable_counts(agg: &AggregateRule) -> BTreeMap<String, usize> {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut add = |v: &str| *counts.entry(v.to_string()).or_insert(0) += 1;
+    agg.head_args
+        .iter()
+        .filter_map(|a| a.as_var())
+        .for_each(&mut add);
+    agg.source.variables().for_each(&mut add);
+    condition_variable_occurrences(&agg.condition, &mut add);
+    counts
+}
+
+fn condition_variable_occurrences(condition: &Condition, add: &mut impl FnMut(&str)) {
+    for atom in &condition.atoms {
+        atom.args
+            .iter()
+            .filter_map(|a| a.as_var())
+            .for_each(&mut *add);
+    }
+    for cmp in &condition.comparisons {
+        cmp.attr.variables().for_each(&mut *add);
+    }
+}
+
+/// Warn about condition variables that are bound exactly once and never
+/// used anywhere else in the statement — usually a typo for a variable the
+/// author meant to join on.
+fn check_unused_variables(
+    counts: BTreeMap<String, usize>,
+    condition: &Condition,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (var, count) in counts {
+        if count != 1 {
+            continue;
+        }
+        // Only warn when the single occurrence is inside a condition atom:
+        // a variable used once in a head/body/comparison position is already
+        // an E0001-style binding problem, not an unused binding.
+        let binding_atom = condition
+            .atoms
+            .iter()
+            .find(|a| a.args.iter().filter_map(|t| t.as_var()).any(|v| v == var));
+        if let Some(atom) = binding_atom {
+            out.push(Diagnostic::warning(
+                "W0001",
+                atom.span,
+                format!("variable `{var}` is bound by `{atom}` but never used"),
+            ));
+        }
+    }
+}
+
+/// Kahn's algorithm over the attribute dependency graph (edge: body → head).
+/// On success returns the topological order; on a cycle, reports the full
+/// cycle path with the spans of the rules along it.
+fn check_recursion(program: &Program, out: &mut Vec<Diagnostic>) -> Option<Vec<String>> {
+    let mut nodes: BTreeSet<String> = BTreeSet::new();
+    let mut edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new(); // from -> to
+                                                                         // Span of a defining statement for each head attribute, for reporting.
+    let mut def_spans: BTreeMap<String, Span> = BTreeMap::new();
+    let add_edge = |from: &str, to: &str, edges: &mut BTreeMap<String, BTreeSet<String>>| {
+        edges
+            .entry(from.to_string())
+            .or_default()
+            .insert(to.to_string());
+    };
+    for rule in &program.rules {
+        nodes.insert(rule.head.attr.clone());
+        def_spans.entry(rule.head.attr.clone()).or_insert(rule.span);
+        for b in &rule.body {
+            nodes.insert(b.attr.clone());
+            add_edge(&b.attr, &rule.head.attr, &mut edges);
+        }
+    }
+    for agg in &program.aggregates {
+        nodes.insert(agg.name.clone());
+        nodes.insert(agg.source.attr.clone());
+        def_spans.entry(agg.name.clone()).or_insert(agg.span);
+        add_edge(&agg.source.attr, &agg.name, &mut edges);
+    }
+
+    let mut in_degree: BTreeMap<String, usize> = nodes.iter().map(|n| (n.clone(), 0)).collect();
+    for targets in edges.values() {
+        for t in targets {
+            *in_degree.get_mut(t).expect("edge target is a node") += 1;
+        }
+    }
+    let mut queue: Vec<String> = in_degree
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(n, _)| n.clone())
+        .collect();
+    let mut order = Vec::with_capacity(nodes.len());
+    while let Some(n) = queue.pop() {
+        order.push(n.clone());
+        if let Some(targets) = edges.get(&n) {
+            for t in targets {
+                let d = in_degree.get_mut(t).expect("edge target is a node");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(t.clone());
+                }
+            }
+        }
+    }
+    if order.len() == nodes.len() {
+        return Some(order);
+    }
+
+    // Every remaining node with positive in-degree sits on or downstream of
+    // a cycle; walk predecessors-within-the-remainder until a node repeats
+    // to recover one concrete cycle path.
+    let remaining: BTreeSet<&String> = in_degree
+        .iter()
+        .filter(|(_, &d)| d > 0)
+        .map(|(n, _)| n)
+        .collect();
+    let cycle = find_cycle(&edges, &remaining);
+    let path = cycle.join("` → `");
+    let anchor = cycle.first().cloned().unwrap_or_default();
+    let mut diag = Diagnostic::error(
+        "E0005",
+        def_spans.get(&anchor).copied().unwrap_or(Span::DUMMY),
+        format!(
+            "the relational causal model is recursive (cycle: `{path}`); \
+             recursive rules are not supported"
+        ),
+    );
+    for name in cycle.iter().skip(1) {
+        if let Some(&span) = def_spans.get(name) {
+            diag = diag.with_related(span, format!("`{name}` is defined here"));
+        }
+    }
+    out.push(diag);
+    None
+}
+
+/// Find one concrete cycle among `remaining` nodes (all of which have a
+/// predecessor within `remaining`). Returns the cycle as
+/// `[a, b, …, a]` — first and last elements equal.
+fn find_cycle(
+    edges: &BTreeMap<String, BTreeSet<String>>,
+    remaining: &BTreeSet<&String>,
+) -> Vec<String> {
+    let start = match remaining.iter().next() {
+        Some(n) => (*n).clone(),
+        None => return Vec::new(),
+    };
+    // Walk forward along edges restricted to the remainder; within it every
+    // node has an outgoing edge into the remainder, so a repeat is
+    // guaranteed within |remaining| + 1 steps.
+    let mut path: Vec<String> = vec![start.clone()];
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    seen.insert(start.clone(), 0);
+    let mut current = start;
+    loop {
+        let next = edges
+            .get(&current)
+            .and_then(|ts| ts.iter().find(|t| remaining.contains(t)))
+            .cloned();
+        let next = match next {
+            Some(n) => n,
+            // Shouldn't happen (cycle nodes always have a successor on the
+            // cycle), but never loop forever on a malformed graph.
+            None => return path,
+        };
+        if let Some(&at) = seen.get(&next) {
+            let mut cycle: Vec<String> = path[at..].to_vec();
+            cycle.push(next);
+            return cycle;
+        }
+        seen.insert(next.clone(), path.len());
+        path.push(next.clone());
+        current = next;
+    }
+}
+
+/// Render one diagnostic in a compact rustc-like format with a source
+/// excerpt and caret underline.
+pub fn render_diagnostic(source: &str, diagnostic: &Diagnostic) -> String {
+    let index = LineIndex::new(source);
+    let mut out = format!(
+        "{}[{}]: {}\n",
+        diagnostic.severity, diagnostic.code, diagnostic.message
+    );
+    render_excerpt(&index, diagnostic.span, &mut out);
+    for (span, label) in &diagnostic.related {
+        let pos = index.position(span.start);
+        out.push_str(&format!("  = note: {label} ({pos})\n"));
+    }
+    out
+}
+
+/// Render every diagnostic, separated by blank lines, followed by a
+/// one-line summary count.
+pub fn render_diagnostics(source: &str, diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diagnostics {
+        out.push_str(&render_diagnostic(source, d));
+        out.push('\n');
+    }
+    let errors = diagnostics.iter().filter(|d| d.is_error()).count();
+    let warnings = diagnostics.len() - errors;
+    out.push_str(&format!(
+        "{errors} error{}, {warnings} warning{}\n",
+        if errors == 1 { "" } else { "s" },
+        if warnings == 1 { "" } else { "s" },
+    ));
+    out
+}
+
+fn render_excerpt(index: &LineIndex<'_>, span: Span, out: &mut String) {
+    if span == Span::DUMMY {
+        return;
+    }
+    let start = index.position(span.start);
+    let line_text = index.line_text(start.line);
+    let gutter = start.line.to_string();
+    let pad = " ".repeat(gutter.len());
+    out.push_str(&format!(
+        "{pad}--> line {}, column {}\n",
+        start.line, start.column
+    ));
+    out.push_str(&format!("{pad} |\n"));
+    out.push_str(&format!("{gutter} | {line_text}\n"));
+    // Caret-underline the part of the span that sits on the first line.
+    let end = index.position(span.end);
+    let caret_len = if end.line == start.line {
+        (end.column - start.column).max(1)
+    } else {
+        line_text
+            .chars()
+            .count()
+            .saturating_sub(start.column - 1)
+            .max(1)
+    };
+    out.push_str(&format!(
+        "{pad} | {}{}\n",
+        " ".repeat(start.column - 1),
+        "^".repeat(caret_len)
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn codes(analysis: &Analysis) -> Vec<&'static str> {
+        analysis.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_program_has_no_diagnostics_and_a_topo_order() {
+        let prog = parse_program(
+            r#"
+            Prestige[A]  <= Qualification[A]              WHERE Person(A)
+            Quality[S]   <= Qualification[A], Prestige[A] WHERE Author(A, S)
+            Score[S]     <= Prestige[A]                   WHERE Author(A, S)
+            AVG_Score[A] <= Score[S]                      WHERE Author(A, S)
+            "#,
+        )
+        .unwrap();
+        let analysis = analyze_program(&prog);
+        assert!(
+            analysis.diagnostics.is_empty(),
+            "{:?}",
+            analysis.diagnostics
+        );
+        let order = analysis.topo_order.unwrap();
+        let pos = |n: &str| order.iter().position(|x| x == n).unwrap();
+        assert!(pos("Qualification") < pos("Prestige"));
+        assert!(pos("Score") < pos("AVG_Score"));
+    }
+
+    #[test]
+    fn multiple_defects_are_all_collected() {
+        // Three distinct defects in one program: an unsafe variable, a
+        // recursive pair, and a treatment==response query.
+        let src = "\
+Score[S] <= Prestige[A] WHERE Submission(S)
+A[X] <= B[X] WHERE Person(X)
+B[X] <= A[X] WHERE Person(X)
+Score[S] <= Score[S]?
+";
+        let prog = parse_program(src).unwrap();
+        let analysis = analyze_program(&prog);
+        let cs = codes(&analysis);
+        assert!(cs.contains(&"E0001"), "{cs:?}");
+        assert!(cs.contains(&"E0004"), "{cs:?}");
+        assert!(cs.contains(&"E0005"), "{cs:?}");
+        assert!(analysis.topo_order.is_none());
+        assert!(analysis.has_errors());
+        assert!(analysis.errors().count() >= 3);
+        // Every span lies inside the source.
+        for d in &analysis.diagnostics {
+            assert!(d.span.end <= src.len());
+            assert!(d.span.start <= d.span.end);
+        }
+    }
+
+    #[test]
+    fn recursion_reports_the_full_cycle_path() {
+        let prog = parse_program(
+            "A[X] <= B[X] WHERE Person(X)\n\
+             B[X] <= C[X] WHERE Person(X)\n\
+             C[X] <= A[X] WHERE Person(X)\n",
+        )
+        .unwrap();
+        let analysis = analyze_program(&prog);
+        let diag = analysis
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "E0005")
+            .expect("cycle diagnostic");
+        // The cycle message names every attribute on the 3-cycle and closes
+        // the loop (first == last).
+        for name in ["A", "B", "C"] {
+            assert!(diag.message.contains(&format!("`{name}`")) || diag.message.contains(name));
+        }
+        assert!(diag.message.contains("recursive"));
+        // Related spans point at the other defining rules on the cycle.
+        assert_eq!(diag.related.len(), 3);
+    }
+
+    #[test]
+    fn unsatisfiable_equalities_are_flagged_with_related_span() {
+        let src = r#"Score[S] <= Prestige[A] WHERE Author(A, S), Blind[C] = true, Blind[C] = false, Venue(C, S)"#;
+        let prog = parse_program(src).unwrap();
+        let analysis = analyze_program(&prog);
+        let diag = analysis
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "E0006")
+            .expect("unsat diagnostic");
+        assert_eq!(&src[diag.span.start..diag.span.end], "Blind[C] = false");
+        assert_eq!(diag.related.len(), 1);
+        assert_eq!(
+            &src[diag.related[0].0.start..diag.related[0].0.end],
+            "Blind[C] = true"
+        );
+        // Same constant twice is fine; different ops are fine.
+        let prog = parse_program(
+            "Score[S] <= Prestige[A] WHERE Author(A, S), Blind[C] = true, Blind[C] = true",
+        )
+        .unwrap();
+        assert!(analyze_program(&prog).diagnostics.is_empty());
+        let prog =
+            parse_program("Score[S] <= Prestige[A] WHERE Author(A, S), Len[S] >= 1, Len[S] != 3")
+                .unwrap();
+        assert!(analyze_program(&prog).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn singleton_condition_variables_warn() {
+        let src = "Score[S] <= Prestige[A] WHERE Author(A, S), Submitted(S, C)";
+        let prog = parse_program(src).unwrap();
+        let analysis = analyze_program(&prog);
+        let diag = analysis
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "W0001")
+            .expect("unused-variable warning");
+        assert_eq!(diag.severity, Severity::Warning);
+        assert!(diag.message.contains("`C`"), "{}", diag.message);
+        assert_eq!(&src[diag.span.start..diag.span.end], "Submitted(S, C)");
+        // Warnings are not errors.
+        assert!(!analysis.has_errors());
+        assert!(analysis.topo_order.is_some());
+    }
+
+    #[test]
+    fn name_clash_links_both_definitions() {
+        use crate::ast::{AttrRef, CausalRule, Condition};
+        let mut prog = parse_program("AVG_Score[A] <= Score[S] WHERE Author(A, S)").unwrap();
+        prog.rules.push(CausalRule {
+            head: AttrRef::over_vars("AVG_Score", &["A"]),
+            body: vec![AttrRef::over_vars("Score", &["A"])],
+            condition: Condition {
+                atoms: vec![crate::ast::QueryAtom {
+                    predicate: "Person".into(),
+                    args: vec![crate::ast::ArgTerm::Var("A".into())],
+                    span: Span::DUMMY,
+                }],
+                comparisons: vec![],
+            },
+            span: Span::DUMMY,
+        });
+        let analysis = analyze_program(&prog);
+        let diag = analysis
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "E0003")
+            .expect("clash diagnostic");
+        assert!(diag.message.contains("AVG_Score"));
+        assert_eq!(diag.related.len(), 1);
+    }
+
+    #[test]
+    fn rendered_diagnostics_include_excerpt_carets_and_summary() {
+        let src = "Prestige[A] <= Qualification[A] WHERE Person(A)\n\
+                   Score[S] <= Prestige[A] WHERE Submission(S)\n";
+        let prog = parse_program(src).unwrap();
+        let analysis = analyze_program(&prog);
+        let rendered = render_diagnostics(src, &analysis.diagnostics);
+        assert!(rendered.contains("error[E0001]"), "{rendered}");
+        assert!(rendered.contains("--> line 2, column 13"), "{rendered}");
+        assert!(
+            rendered.contains("Score[S] <= Prestige[A] WHERE Submission(S)"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("^^^^^^^^^^^"), "{rendered}");
+        assert!(rendered.contains("1 error"), "{rendered}");
+    }
+
+    #[test]
+    fn dummy_spans_render_without_excerpt() {
+        let d = Diagnostic::error("E0001", Span::DUMMY, "synthetic");
+        let rendered = render_diagnostic("", &d);
+        assert!(rendered.contains("error[E0001]: synthetic"));
+        assert!(!rendered.contains("-->"));
+    }
+}

@@ -4,6 +4,7 @@
 //! (Definition 3.3), aggregate rules (§3.2.4), and the three causal query
 //! forms of §3.3 with the `WHEN … PEERS TREATED` grammar of Equation (16).
 
+use crate::span::Span;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -82,12 +83,23 @@ impl fmt::Display for ArgTerm {
 
 /// A reference to an attribute function applied to arguments, e.g.
 /// `Score[S]` or `Prestige[A]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality ignores the [`span`](Self::span): two references to the same
+/// attribute with the same arguments are equal wherever they appear.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AttrRef {
     /// Attribute name (for aggregate heads this is the full `AVG_Score`).
     pub attr: String,
     /// Arguments inside the brackets.
     pub args: Vec<ArgTerm>,
+    /// Source byte range ([`Span::DUMMY`] for synthetic nodes).
+    pub span: Span,
+}
+
+impl PartialEq for AttrRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.attr == other.attr && self.args == other.args
+    }
 }
 
 impl AttrRef {
@@ -99,6 +111,7 @@ impl AttrRef {
                 .iter()
                 .map(|v| ArgTerm::Var((*v).to_string()))
                 .collect(),
+            span: Span::DUMMY,
         }
     }
 
@@ -116,12 +129,22 @@ impl fmt::Display for AttrRef {
 }
 
 /// A predicate atom in a `WHERE` condition, e.g. `Author(A, S)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality ignores the [`span`](Self::span).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QueryAtom {
     /// Predicate (entity or relationship) name.
     pub predicate: String,
     /// Arguments.
     pub args: Vec<ArgTerm>,
+    /// Source byte range ([`Span::DUMMY`] for synthetic nodes).
+    pub span: Span,
+}
+
+impl PartialEq for QueryAtom {
+    fn eq(&self, other: &Self) -> bool {
+        self.predicate == other.predicate && self.args == other.args
+    }
 }
 
 impl fmt::Display for QueryAtom {
@@ -164,7 +187,9 @@ impl fmt::Display for CompareOp {
 
 /// An attribute comparison in a condition, e.g. `Blind[C] = false` or
 /// `Qualification[A] >= 10`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality ignores the [`span`](Self::span).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Comparison {
     /// The attribute being compared.
     pub attr: AttrRef,
@@ -172,6 +197,15 @@ pub struct Comparison {
     pub op: CompareOp,
     /// The constant on the right-hand side.
     pub value: Literal,
+    /// Source byte range of the whole comparison ([`Span::DUMMY`] for
+    /// synthetic nodes).
+    pub span: Span,
+}
+
+impl PartialEq for Comparison {
+    fn eq(&self, other: &Self) -> bool {
+        self.attr == other.attr && self.op == other.op && self.value == other.value
+    }
 }
 
 impl fmt::Display for Comparison {
@@ -300,7 +334,9 @@ impl fmt::Display for AggName {
 
 /// A relational causal rule (Definition 3.3):
 /// `A[X] <= A1[X1], …, Ak[Xk] WHERE Q(Y)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality ignores the [`span`](Self::span).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CausalRule {
     /// Head attribute reference.
     pub head: AttrRef,
@@ -308,10 +344,21 @@ pub struct CausalRule {
     pub body: Vec<AttrRef>,
     /// The `WHERE` condition.
     pub condition: Condition,
+    /// Source byte range of the whole rule ([`Span::DUMMY`] for synthetic
+    /// nodes).
+    pub span: Span,
+}
+
+impl PartialEq for CausalRule {
+    fn eq(&self, other: &Self) -> bool {
+        self.head == other.head && self.body == other.body && self.condition == other.condition
+    }
 }
 
 /// An aggregate rule (§3.2.4): `AGG_A[W] <= A[X] WHERE Q(Z)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality ignores the [`span`](Self::span).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AggregateRule {
     /// The aggregate function.
     pub agg: AggName,
@@ -323,6 +370,19 @@ pub struct AggregateRule {
     pub source: AttrRef,
     /// The `WHERE` condition relating head and source arguments.
     pub condition: Condition,
+    /// Source byte range of the whole rule ([`Span::DUMMY`] for synthetic
+    /// nodes).
+    pub span: Span,
+}
+
+impl PartialEq for AggregateRule {
+    fn eq(&self, other: &Self) -> bool {
+        self.agg == other.agg
+            && self.name == other.name
+            && self.head_args == other.head_args
+            && self.source == other.source
+            && self.condition == other.condition
+    }
 }
 
 impl AggregateRule {
@@ -331,6 +391,7 @@ impl AggregateRule {
         AttrRef {
             attr: self.name.clone(),
             args: self.head_args.clone(),
+            span: self.span,
         }
     }
 }
@@ -373,7 +434,7 @@ impl fmt::Display for PeerCondition {
 /// * `peers == None` — plain ATE query (13) or aggregated-response query
 ///   (14) when the response attribute carries an aggregate prefix.
 /// * `peers == Some(cnd)` — relational/isolated/overall effects query (15).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CausalQuery {
     /// The response attribute `Y[X']` (possibly aggregate-prefixed).
     pub response: AttrRef,
@@ -383,6 +444,18 @@ pub struct CausalQuery {
     pub peers: Option<PeerCondition>,
     /// Optional `WHERE` restriction of the analysis population.
     pub condition: Condition,
+    /// Source byte range of the whole query ([`Span::DUMMY`] for synthetic
+    /// nodes). Equality ignores it.
+    pub span: Span,
+}
+
+impl PartialEq for CausalQuery {
+    fn eq(&self, other: &Self) -> bool {
+        self.response == other.response
+            && self.treatment == other.treatment
+            && self.peers == other.peers
+            && self.condition == other.condition
+    }
 }
 
 /// A single parsed statement.
@@ -459,6 +532,7 @@ mod tests {
         let b = AttrRef {
             attr: "Blind".into(),
             args: vec![ArgTerm::Const(Literal::Str("ConfDB".into()))],
+            span: Span::DUMMY,
         };
         assert_eq!(b.to_string(), "Blind[\"ConfDB\"]");
     }
@@ -502,11 +576,13 @@ mod tests {
             atoms: vec![QueryAtom {
                 predicate: "Author".into(),
                 args: vec![ArgTerm::Var("A".into()), ArgTerm::Var("S".into())],
+                span: Span::DUMMY,
             }],
             comparisons: vec![Comparison {
                 attr: AttrRef::over_vars("Blind", &["C"]),
                 op: CompareOp::Eq,
                 value: Literal::Bool(false),
+                span: Span::DUMMY,
             }],
         };
         let vars = cond.variables();
@@ -532,6 +608,7 @@ mod tests {
                 head: AttrRef::over_vars("Score", &["S"]),
                 body: vec![AttrRef::over_vars("Prestige", &["A"])],
                 condition: Condition::truth(),
+                span: Span::DUMMY,
             }],
             aggregates: vec![],
             queries: vec![CausalQuery {
@@ -539,6 +616,7 @@ mod tests {
                 treatment: AttrRef::over_vars("Prestige", &["A"]),
                 peers: None,
                 condition: Condition::truth(),
+                span: Span::DUMMY,
             }],
         };
         let attrs = prog.mentioned_attributes();

@@ -1,5 +1,6 @@
 //! Errors for lexing, parsing and static validation of CaRL programs.
 
+use crate::span::Span;
 use std::fmt;
 
 /// A source position (1-based line and column).
@@ -26,12 +27,16 @@ pub enum LangError {
         ch: char,
         /// Where it occurred.
         position: Position,
+        /// Its byte range in the source.
+        span: Span,
     },
 
     /// An unterminated string literal.
     UnterminatedString {
         /// Where the literal started.
         position: Position,
+        /// The byte range from the opening quote to the end of input.
+        span: Span,
     },
 
     /// A malformed numeric literal.
@@ -40,6 +45,8 @@ pub enum LangError {
         text: String,
         /// Where it occurred.
         position: Position,
+        /// Its byte range in the source.
+        span: Span,
     },
 
     /// The parser expected something else.
@@ -50,6 +57,8 @@ pub enum LangError {
         found: String,
         /// Where it occurred.
         position: Position,
+        /// The byte range of the offending token.
+        span: Span,
     },
 
     /// A statement violated a syntactic well-formedness condition.
@@ -58,6 +67,8 @@ pub enum LangError {
         message: String,
         /// Where the statement started.
         position: Position,
+        /// The byte range of the offending statement head.
+        span: Span,
     },
 
     /// Static validation failure (variable safety, recursion, …).
@@ -67,27 +78,59 @@ pub enum LangError {
 impl fmt::Display for LangError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::UnexpectedCharacter { ch, position } => {
+            Self::UnexpectedCharacter { ch, position, .. } => {
                 write!(f, "unexpected character `{ch}` at {position}")
             }
-            Self::UnterminatedString { position } => {
+            Self::UnterminatedString { position, .. } => {
                 write!(f, "unterminated string literal starting at {position}")
             }
-            Self::MalformedNumber { text, position } => {
+            Self::MalformedNumber { text, position, .. } => {
                 write!(f, "malformed number `{text}` at {position}")
             }
             Self::Unexpected {
                 expected,
                 found,
                 position,
+                ..
             } => write!(
                 f,
                 "parse error at {position}: expected {expected}, found {found}"
             ),
-            Self::InvalidStatement { message, position } => {
+            Self::InvalidStatement {
+                message, position, ..
+            } => {
                 write!(f, "invalid statement at {position}: {message}")
             }
             Self::Validation(message) => write!(f, "validation error: {message}"),
+        }
+    }
+}
+
+impl LangError {
+    /// The byte span of the offending source text, when known.
+    /// [`LangError::Validation`] errors are produced from AST-level analysis
+    /// and carry their location in the message instead.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            Self::UnexpectedCharacter { span, .. }
+            | Self::UnterminatedString { span, .. }
+            | Self::MalformedNumber { span, .. }
+            | Self::Unexpected { span, .. }
+            | Self::InvalidStatement { span, .. } => Some(*span),
+            Self::Validation(_) => None,
+        }
+    }
+
+    /// The 1-based line/column position of the offending source text, when
+    /// known.
+    pub fn position(&self) -> Option<Position> {
+        match self {
+            Self::UnexpectedCharacter { position, .. }
+            | Self::UnterminatedString { position, .. }
+            | Self::MalformedNumber { position, .. }
+            | Self::Unexpected { position, .. }
+            | Self::InvalidStatement { position, .. } => Some(*position),
+            Self::Validation(_) => None,
         }
     }
 }
@@ -112,7 +155,11 @@ mod tests {
             expected: "`]`".into(),
             found: "`,`".into(),
             position: p,
+            span: Span::new(30, 31),
         };
         assert!(e.to_string().contains("line 3"));
+        assert_eq!(e.span(), Some(Span::new(30, 31)));
+        assert_eq!(e.position(), Some(p));
+        assert_eq!(LangError::Validation("x".into()).span(), None);
     }
 }

@@ -1,7 +1,53 @@
 //! Hand-written lexer for CaRL programs.
 
 use crate::error::{LangError, LangResult, Position};
+use crate::span::Span;
 use crate::token::{Token, TokenKind};
+
+/// A character cursor that tracks the byte offset and the 1-based
+/// line/column position in lockstep, so every token and error carries both
+/// a [`Span`] and a [`Position`].
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    offset: usize,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(source: &'a str) -> Self {
+        Self {
+            chars: source.chars().peekable(),
+            offset: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    /// Consume one character, advancing offset and line/column accounting.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        self.offset += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn position(&self) -> Position {
+        Position {
+            line: self.line,
+            column: self.column,
+        }
+    }
+}
 
 /// Tokenise a CaRL program.
 ///
@@ -10,179 +56,146 @@ use crate::token::{Token, TokenKind};
 /// collapsed. `#` and `//` introduce comments running to end of line.
 pub fn tokenize(source: &str) -> LangResult<Vec<Token>> {
     let mut tokens = Vec::new();
-    let mut chars = source.chars().peekable();
-    let mut line = 1usize;
-    let mut column = 1usize;
+    let mut cur = Cursor::new(source);
 
+    // Push a token spanning from `start` (byte offset) to the cursor.
     macro_rules! push {
-        ($kind:expr, $pos:expr) => {
+        ($kind:expr, $pos:expr, $start:expr) => {
             tokens.push(Token {
                 kind: $kind,
                 position: $pos,
+                span: Span::new($start, cur.offset),
             })
         };
     }
 
-    while let Some(&c) = chars.peek() {
-        let pos = Position { line, column };
+    while let Some(c) = cur.peek() {
+        let pos = cur.position();
+        let start = cur.offset;
         match c {
-            '\n' => {
-                chars.next();
-                line += 1;
-                column = 1;
+            '\n' | ';' => {
+                cur.bump();
                 if !matches!(
                     tokens.last().map(|t: &Token| &t.kind),
                     Some(TokenKind::Newline) | None
                 ) {
-                    push!(TokenKind::Newline, pos);
-                }
-            }
-            ';' => {
-                chars.next();
-                column += 1;
-                if !matches!(
-                    tokens.last().map(|t: &Token| &t.kind),
-                    Some(TokenKind::Newline) | None
-                ) {
-                    push!(TokenKind::Newline, pos);
+                    push!(TokenKind::Newline, pos, start);
                 }
             }
             c if c.is_whitespace() => {
-                chars.next();
-                column += 1;
+                cur.bump();
             }
             '#' => {
                 // Comment to end of line.
-                while let Some(&c) = chars.peek() {
+                while let Some(c) = cur.peek() {
                     if c == '\n' {
                         break;
                     }
-                    chars.next();
-                    column += 1;
+                    cur.bump();
                 }
             }
             '/' => {
-                chars.next();
-                column += 1;
-                if chars.peek() == Some(&'/') {
-                    while let Some(&c) = chars.peek() {
+                cur.bump();
+                if cur.peek() == Some('/') {
+                    while let Some(c) = cur.peek() {
                         if c == '\n' {
                             break;
                         }
-                        chars.next();
-                        column += 1;
+                        cur.bump();
                     }
                 } else {
                     return Err(LangError::UnexpectedCharacter {
                         ch: '/',
                         position: pos,
+                        span: Span::new(start, cur.offset),
                     });
                 }
             }
             '⇐' => {
-                chars.next();
-                column += 1;
-                push!(TokenKind::Arrow, pos);
+                cur.bump();
+                push!(TokenKind::Arrow, pos, start);
             }
             '<' => {
-                chars.next();
-                column += 1;
-                match chars.peek() {
-                    Some('=') => {
-                        chars.next();
-                        column += 1;
-                        push!(TokenKind::Arrow, pos);
+                cur.bump();
+                match cur.peek() {
+                    Some('=') | Some('-') => {
+                        cur.bump();
+                        push!(TokenKind::Arrow, pos, start);
                     }
-                    Some('-') => {
-                        chars.next();
-                        column += 1;
-                        push!(TokenKind::Arrow, pos);
-                    }
-                    _ => push!(TokenKind::Less, pos),
+                    _ => push!(TokenKind::Less, pos, start),
                 }
             }
             '>' => {
-                chars.next();
-                column += 1;
-                if chars.peek() == Some(&'=') {
-                    chars.next();
-                    column += 1;
-                    push!(TokenKind::GreaterEq, pos);
+                cur.bump();
+                if cur.peek() == Some('=') {
+                    cur.bump();
+                    push!(TokenKind::GreaterEq, pos, start);
                 } else {
-                    push!(TokenKind::Greater, pos);
+                    push!(TokenKind::Greater, pos, start);
                 }
             }
             '!' => {
-                chars.next();
-                column += 1;
-                if chars.peek() == Some(&'=') {
-                    chars.next();
-                    column += 1;
-                    push!(TokenKind::NotEq, pos);
+                cur.bump();
+                if cur.peek() == Some('=') {
+                    cur.bump();
+                    push!(TokenKind::NotEq, pos, start);
                 } else {
                     return Err(LangError::UnexpectedCharacter {
                         ch: '!',
                         position: pos,
+                        span: Span::new(start, cur.offset),
                     });
                 }
             }
             '=' => {
-                chars.next();
-                column += 1;
-                push!(TokenKind::Eq, pos);
+                cur.bump();
+                push!(TokenKind::Eq, pos, start);
             }
             '[' => {
-                chars.next();
-                column += 1;
-                push!(TokenKind::LBracket, pos);
+                cur.bump();
+                push!(TokenKind::LBracket, pos, start);
             }
             ']' => {
-                chars.next();
-                column += 1;
-                push!(TokenKind::RBracket, pos);
+                cur.bump();
+                push!(TokenKind::RBracket, pos, start);
             }
             '(' => {
-                chars.next();
-                column += 1;
-                push!(TokenKind::LParen, pos);
+                cur.bump();
+                push!(TokenKind::LParen, pos, start);
             }
             ')' => {
-                chars.next();
-                column += 1;
-                push!(TokenKind::RParen, pos);
+                cur.bump();
+                push!(TokenKind::RParen, pos, start);
             }
             ',' => {
-                chars.next();
-                column += 1;
-                push!(TokenKind::Comma, pos);
+                cur.bump();
+                push!(TokenKind::Comma, pos, start);
             }
             '?' => {
-                chars.next();
-                column += 1;
-                push!(TokenKind::Question, pos);
+                cur.bump();
+                push!(TokenKind::Question, pos, start);
             }
             '%' => {
-                chars.next();
-                column += 1;
-                push!(TokenKind::Percent, pos);
+                cur.bump();
+                push!(TokenKind::Percent, pos, start);
             }
             '"' => {
-                chars.next();
-                column += 1;
+                cur.bump();
                 let mut s = String::new();
                 let mut terminated = false;
-                while let Some(&c) = chars.peek() {
-                    chars.next();
-                    column += 1;
+                while let Some(c) = cur.peek() {
                     if c == '"' {
+                        cur.bump();
                         terminated = true;
                         break;
                     }
                     if c == '\\' {
                         // Escape sequences: \" \\ \n \t (so every string the
                         // pretty-printer can emit re-lexes to the same value).
-                        let escape_pos = Position { line, column };
-                        match chars.next() {
+                        cur.bump();
+                        let escape_pos = cur.position();
+                        let escape_start = cur.offset;
+                        match cur.bump() {
                             Some('"') => s.push('"'),
                             Some('\\') => s.push('\\'),
                             Some('n') => s.push('\n'),
@@ -191,90 +204,98 @@ pub fn tokenize(source: &str) -> LangResult<Vec<Token>> {
                                 return Err(LangError::UnexpectedCharacter {
                                     ch: other,
                                     position: escape_pos,
+                                    span: Span::new(escape_start, cur.offset),
                                 });
                             }
-                            None => return Err(LangError::UnterminatedString { position: pos }),
+                            None => {
+                                return Err(LangError::UnterminatedString {
+                                    position: pos,
+                                    span: Span::new(start, cur.offset),
+                                })
+                            }
                         }
-                        column += 1;
                         continue;
                     }
-                    if c == '\n' {
-                        line += 1;
-                        column = 1;
-                    }
+                    cur.bump();
                     s.push(c);
                 }
                 if !terminated {
-                    return Err(LangError::UnterminatedString { position: pos });
+                    return Err(LangError::UnterminatedString {
+                        position: pos,
+                        span: Span::new(start, cur.offset),
+                    });
                 }
-                push!(TokenKind::Str(s), pos);
+                push!(TokenKind::Str(s), pos, start);
             }
             c if c.is_ascii_digit() || c == '-' || c == '.' => {
                 let mut text = String::new();
                 if c == '-' {
                     text.push(c);
-                    chars.next();
-                    column += 1;
+                    cur.bump();
                 }
                 let mut saw_dot = false;
-                while let Some(&c) = chars.peek() {
+                while let Some(c) = cur.peek() {
                     if c.is_ascii_digit() {
                         text.push(c);
-                        chars.next();
-                        column += 1;
+                        cur.bump();
                     } else if c == '.' && !saw_dot {
                         saw_dot = true;
                         text.push(c);
-                        chars.next();
-                        column += 1;
+                        cur.bump();
                     } else {
                         break;
                     }
                 }
-                if text.is_empty() || text == "-" || text == "." || text == "-." {
+                if text == "-" || text == "." || text == "-." {
                     return Err(LangError::MalformedNumber {
                         text,
                         position: pos,
+                        span: Span::new(start, cur.offset),
                     });
                 }
+                let span = Span::new(start, cur.offset);
                 if saw_dot {
                     let f: f64 = text.parse().map_err(|_| LangError::MalformedNumber {
                         text: text.clone(),
                         position: pos,
+                        span,
                     })?;
-                    push!(TokenKind::Float(f), pos);
+                    push!(TokenKind::Float(f), pos, start);
                 } else {
                     let i: i64 = text.parse().map_err(|_| LangError::MalformedNumber {
                         text: text.clone(),
                         position: pos,
+                        span,
                     })?;
-                    push!(TokenKind::Int(i), pos);
+                    push!(TokenKind::Int(i), pos, start);
                 }
             }
             c if c.is_alphabetic() || c == '_' => {
                 let mut ident = String::new();
-                while let Some(&c) = chars.peek() {
+                while let Some(c) = cur.peek() {
                     if c.is_alphanumeric() || c == '_' {
                         ident.push(c);
-                        chars.next();
-                        column += 1;
+                        cur.bump();
                     } else {
                         break;
                     }
                 }
-                push!(TokenKind::Ident(ident), pos);
+                push!(TokenKind::Ident(ident), pos, start);
             }
             other => {
+                cur.bump();
                 return Err(LangError::UnexpectedCharacter {
                     ch: other,
                     position: pos,
+                    span: Span::new(start, cur.offset),
                 });
             }
         }
     }
     tokens.push(Token {
         kind: TokenKind::Eof,
-        position: Position { line, column },
+        position: cur.position(),
+        span: Span::new(cur.offset, cur.offset),
     });
     Ok(tokens)
 }
@@ -391,12 +412,52 @@ mod tests {
     fn bad_characters_are_reported_with_position() {
         let err = tokenize("A[X] $ B").unwrap_err();
         match err {
-            LangError::UnexpectedCharacter { ch, position } => {
+            LangError::UnexpectedCharacter { ch, position, span } => {
                 assert_eq!(ch, '$');
                 assert_eq!(position.line, 1);
                 assert!(position.column > 1);
+                assert_eq!(span, Span::new(5, 6));
             }
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn tokens_carry_byte_spans() {
+        let src = "Score[S] <= Prestige[A]";
+        let tokens = tokenize(src).unwrap();
+        // Every token's span must slice the source to its own text.
+        for t in &tokens {
+            assert!(t.span.end <= src.len());
+            assert!(t.span.start <= t.span.end);
+        }
+        assert_eq!(&src[tokens[0].span.start..tokens[0].span.end], "Score");
+        let arrow = tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Arrow)
+            .expect("arrow token");
+        assert_eq!(&src[arrow.span.start..arrow.span.end], "<=");
+        let eof = tokens.last().unwrap();
+        assert_eq!(eof.span, Span::new(src.len(), src.len()));
+    }
+
+    #[test]
+    fn spans_survive_multibyte_characters() {
+        let src = "A[X] ⇐ B[X]";
+        let tokens = tokenize(src).unwrap();
+        let arrow = tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Arrow)
+            .expect("arrow token");
+        assert_eq!(&src[arrow.span.start..arrow.span.end], "⇐");
+        let b = tokens
+            .iter()
+            .find(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "B"))
+            .expect("B token");
+        assert_eq!(&src[b.span.start..b.span.end], "B");
+        // Position columns still count characters, not bytes: `B` is the
+        // 8th character even though it starts at byte 9 (`⇐` is 3 bytes).
+        assert_eq!(b.position.column, 8);
+        assert_eq!(b.span.start, 9);
     }
 }

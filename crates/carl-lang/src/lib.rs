@@ -49,21 +49,28 @@
 //! assert_eq!(program.queries.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod analyze;
 pub mod ast;
 pub mod error;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
+pub mod span;
 pub mod token;
 pub mod validate;
 
+pub use analyze::{
+    analyze_program, render_diagnostic, render_diagnostics, Analysis, Diagnostic, Severity,
+};
 pub use ast::{
     AggName, AggregateRule, ArgTerm, AttrRef, CausalQuery, CausalRule, CompareOp, Comparison,
     Condition, Literal, PeerCondition, Program, QueryAtom, Statement,
 };
-pub use error::{LangError, LangResult};
+pub use error::{LangError, LangResult, Position};
 pub use parser::{parse_program, parse_query, parse_rule};
+pub use span::{LineIndex, Span};
 pub use validate::validate_program;

@@ -6,6 +6,7 @@ use crate::ast::{
 };
 use crate::error::{LangError, LangResult, Position};
 use crate::lexer::tokenize;
+use crate::span::Span;
 use crate::token::{Token, TokenKind};
 
 /// Parse a complete CaRL program (rules, aggregate rules and queries).
@@ -61,11 +62,17 @@ pub fn parse_query(source: &str) -> LangResult<CausalQuery> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Span of the most recently consumed token, used to close node spans.
+    last_span: Span,
 }
 
 impl Parser {
     fn new(tokens: Vec<Token>) -> Self {
-        Self { tokens, pos: 0 }
+        Self {
+            tokens,
+            pos: 0,
+            last_span: Span::DUMMY,
+        }
     }
 
     fn peek(&self) -> &Token {
@@ -80,11 +87,17 @@ impl Parser {
         self.peek().position
     }
 
+    /// Span of the next (unconsumed) token.
+    fn span(&self) -> Span {
+        self.peek().span
+    }
+
     fn advance(&mut self) -> Token {
         let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
+        self.last_span = t.span;
         t
     }
 
@@ -122,6 +135,7 @@ impl Parser {
             expected: expected.to_string(),
             found: self.peek_kind().describe(),
             position: self.position(),
+            span: self.span(),
         }
     }
 
@@ -137,6 +151,7 @@ impl Parser {
     /// statement := attr_ref `<=` (query_tail | rule_tail)
     fn parse_statement(&mut self) -> LangResult<Statement> {
         let start = self.position();
+        let start_span = self.span();
         let head = self.parse_attr_ref()?;
         self.expect(&TokenKind::Arrow, "`<=`")?;
 
@@ -154,6 +169,7 @@ impl Parser {
                 return Err(LangError::InvalidStatement {
                     message: "a causal query must have exactly one treatment attribute".to_string(),
                     position: start,
+                    span: start_span.to(self.last_span),
                 });
             }
             let peers = self.parse_optional_peer_condition()?;
@@ -168,6 +184,7 @@ impl Parser {
                 treatment: body.into_iter().next().expect("checked length 1"),
                 peers,
                 condition,
+                span: start_span.to(self.last_span),
             }));
         }
 
@@ -182,6 +199,7 @@ impl Parser {
                         head.attr
                     ),
                     position: start,
+                    span: start_span.to(self.last_span),
                 });
             }
             return Ok(Statement::Aggregate(AggregateRule {
@@ -190,6 +208,7 @@ impl Parser {
                 head_args: head.args,
                 source: body.into_iter().next().expect("checked length 1"),
                 condition,
+                span: start_span.to(self.last_span),
             }));
         }
 
@@ -197,11 +216,13 @@ impl Parser {
             head,
             body,
             condition,
+            span: start_span.to(self.last_span),
         }))
     }
 
     /// attr_ref := IDENT `[` arg (`,` arg)* `]`
     fn parse_attr_ref(&mut self) -> LangResult<AttrRef> {
+        let start_span = self.span();
         let name = match self.peek_kind().clone() {
             TokenKind::Ident(s) => {
                 self.advance();
@@ -216,7 +237,11 @@ impl Parser {
             args.push(self.parse_arg()?);
         }
         self.expect(&TokenKind::RBracket, "`]`")?;
-        Ok(AttrRef { attr: name, args })
+        Ok(AttrRef {
+            attr: name,
+            args,
+            span: start_span.to(self.last_span),
+        })
     }
 
     /// arg := IDENT | literal
@@ -296,6 +321,7 @@ impl Parser {
     ///
     /// Both start with an identifier; `(` means atom, `[` means comparison.
     fn parse_condition_item(&mut self, condition: &mut Condition) -> LangResult<()> {
+        let start_span = self.span();
         let name = match self.peek_kind().clone() {
             TokenKind::Ident(s) => {
                 self.advance();
@@ -315,6 +341,7 @@ impl Parser {
                 condition.atoms.push(QueryAtom {
                     predicate: name,
                     args,
+                    span: start_span.to(self.last_span),
                 });
                 Ok(())
             }
@@ -326,12 +353,18 @@ impl Parser {
                     args.push(self.parse_arg()?);
                 }
                 self.expect(&TokenKind::RBracket, "`]`")?;
+                let attr_span = start_span.to(self.last_span);
                 let op = self.parse_compare_op()?;
                 let value = self.parse_literal()?;
                 condition.comparisons.push(Comparison {
-                    attr: AttrRef { attr: name, args },
+                    attr: AttrRef {
+                        attr: name,
+                        args,
+                        span: attr_span,
+                    },
                     op,
                     value,
+                    span: start_span.to(self.last_span),
                 });
                 Ok(())
             }
@@ -588,6 +621,58 @@ mod tests {
             LangError::Unexpected { position, .. } => assert_eq!(position.line, 1),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn mid_program_syntax_error_reports_line_and_column() {
+        // Regression: a syntax error deep inside a multi-line program must
+        // carry the exact line:column of the offending token, and the
+        // rendered message must display it.
+        let src = "Prestige[A] <= Qualification[A] WHERE Person(A)\n\
+                   Score[S] <= Prestige[A] WHERE Author(A, ]\n\
+                   Quality[S] <= Score[S] WHERE Submission(S)\n";
+        let err = parse_program(src).unwrap_err();
+        match &err {
+            LangError::Unexpected { position, span, .. } => {
+                assert_eq!(position.line, 2);
+                // The `]` sits at character column 41 of line 2.
+                assert_eq!(position.column, 41);
+                // The span must point at the `]` byte in the source.
+                assert_eq!(&src[span.start..span.end], "]");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(err.to_string().contains("line 2, column 41"), "{err}");
+    }
+
+    #[test]
+    fn parsed_nodes_carry_source_spans() {
+        fn text(src: &str, s: crate::span::Span) -> &str {
+            &src[s.start..s.end]
+        }
+        let src = "Score[S] <= Prestige[A] WHERE Author(A, S), Blind[C] = false";
+        let prog = parse_program(src).unwrap();
+        let rule = &prog.rules[0];
+        assert_eq!(text(src, rule.span), src);
+        assert_eq!(text(src, rule.head.span), "Score[S]");
+        assert_eq!(text(src, rule.body[0].span), "Prestige[A]");
+        assert_eq!(text(src, rule.condition.atoms[0].span), "Author(A, S)");
+        assert_eq!(
+            text(src, rule.condition.comparisons[0].span),
+            "Blind[C] = false"
+        );
+        assert_eq!(
+            text(src, rule.condition.comparisons[0].attr.span),
+            "Blind[C]"
+        );
+
+        let src = "AVG_Score[A] <= Score[S] WHERE Author(A, S)\nScore[S] <= Prestige[A]?";
+        let prog = parse_program(src).unwrap();
+        assert_eq!(
+            text(src, prog.aggregates[0].span),
+            "AVG_Score[A] <= Score[S] WHERE Author(A, S)"
+        );
+        assert_eq!(text(src, prog.queries[0].span), "Score[S] <= Prestige[A]?");
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Byte-offset source spans and the line index used to map them back to
+//! human-readable 1-based line/column positions.
+//!
+//! Every token and AST node produced by the lexer/parser carries a [`Span`]
+//! — a half-open byte range `[start, end)` into the source text. Spans are
+//! deliberately *not* part of structural equality: two programs that differ
+//! only in whitespace parse to equal ASTs (this is what the
+//! parse ∘ print = id round-trip property relies on).
+
+use crate::error::Position;
+use serde::{Deserialize, Serialize};
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// The dummy span used for synthetic AST nodes that have no source text
+    /// (e.g. rules built programmatically by the engine).
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// Construct a span from byte offsets.
+    pub fn new(start: usize, end: usize) -> Self {
+        Self { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// An index of line-start byte offsets for a source text, used to convert
+/// byte offsets into 1-based [`Position`]s and to extract source lines for
+/// diagnostic rendering.
+#[derive(Debug, Clone)]
+pub struct LineIndex<'a> {
+    source: &'a str,
+    /// Byte offset at which each line starts; `line_starts[0] == 0`.
+    line_starts: Vec<usize>,
+}
+
+impl<'a> LineIndex<'a> {
+    /// Build the index for `source`.
+    pub fn new(source: &'a str) -> Self {
+        let mut line_starts = vec![0];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        Self {
+            source,
+            line_starts,
+        }
+    }
+
+    /// The 1-based line number containing byte `offset` (clamped to the
+    /// source length).
+    pub fn line_of(&self, offset: usize) -> usize {
+        let offset = offset.min(self.source.len());
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Convert a byte offset into a 1-based line/column [`Position`].
+    /// Columns count characters, matching the lexer's own accounting.
+    pub fn position(&self, offset: usize) -> Position {
+        let offset = offset.min(self.source.len());
+        let line = self.line_of(offset);
+        let line_start = self.line_starts[line - 1];
+        let column = self.source[line_start..offset].chars().count() + 1;
+        Position { line, column }
+    }
+
+    /// The text of the 1-based `line`, without its trailing newline.
+    pub fn line_text(&self, line: usize) -> &'a str {
+        if line == 0 || line > self.line_starts.len() {
+            return "";
+        }
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map(|&next| next.saturating_sub(1))
+            .unwrap_or(self.source.len());
+        &self.source[start..end.max(start)]
+    }
+
+    /// The number of lines in the source.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_join_and_measure() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+        assert_eq!(b.to(a), Span::new(2, 9));
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(Span::DUMMY.is_empty());
+    }
+
+    #[test]
+    fn line_index_maps_offsets_to_positions() {
+        let src = "abc\ndef\n\nxyz";
+        let idx = LineIndex::new(src);
+        assert_eq!(idx.line_count(), 4);
+        assert_eq!(idx.position(0), Position { line: 1, column: 1 });
+        assert_eq!(idx.position(2), Position { line: 1, column: 3 });
+        // Offset 4 is the start of line 2.
+        assert_eq!(idx.position(4), Position { line: 2, column: 1 });
+        assert_eq!(idx.position(8), Position { line: 3, column: 1 });
+        assert_eq!(idx.position(9), Position { line: 4, column: 1 });
+        // Past the end clamps to the final position.
+        assert_eq!(idx.position(1000), Position { line: 4, column: 4 });
+        assert_eq!(idx.line_text(1), "abc");
+        assert_eq!(idx.line_text(2), "def");
+        assert_eq!(idx.line_text(3), "");
+        assert_eq!(idx.line_text(4), "xyz");
+        assert_eq!(idx.line_text(99), "");
+    }
+
+    #[test]
+    fn columns_count_characters_not_bytes() {
+        let src = "⇐ x";
+        let idx = LineIndex::new(src);
+        // '⇐' is 3 bytes; the 'x' starts at byte 4 but is column 3.
+        assert_eq!(idx.position(4), Position { line: 1, column: 3 });
+    }
+}

@@ -1,6 +1,7 @@
 //! Token definitions for the CaRL surface syntax.
 
 use crate::error::Position;
+use crate::span::Span;
 
 /// The kind of a lexical token.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +56,8 @@ pub struct Token {
     pub kind: TokenKind,
     /// Where it starts in the source.
     pub position: Position,
+    /// The byte range it occupies in the source.
+    pub span: Span,
 }
 
 impl TokenKind {

@@ -1,6 +1,8 @@
-//! Schema-independent static validation of CaRL programs.
+//! Schema-independent static validation of CaRL programs — the historical
+//! fail-fast interface, now a thin wrapper over the error-collecting
+//! analyzer in [`crate::analyze`].
 //!
-//! Checks performed here:
+//! Checks enforced here (the analyzer's `E0001`–`E0005`):
 //!
 //! 1. **Variable safety** (Definition 3.3): every variable appearing in a
 //!    rule's head or body must also appear in the rule's `WHERE` condition —
@@ -15,168 +17,43 @@
 //! 4. **Query well-formedness**: treatment and response attributes must be
 //!    distinct.
 //!
+//! The analyzer's additional lints (`E0006` unsatisfiable equality filters,
+//! `W0001` unused variables) do not make a program *unsafe* to evaluate, so
+//! they are reported by `carl-check`/[`crate::analyze`] but deliberately do
+//! not fail validation here — the engine's acceptance behaviour is
+//! unchanged.
+//!
 //! Schema-aware checks (do the predicates/attributes exist? are the
 //! arguments of the right arity?) live in the `carl` engine crate, which
 //! owns the schema.
 
-use crate::ast::{CausalRule, Program};
+use crate::analyze::analyze_program;
+use crate::ast::Program;
 use crate::error::{LangError, LangResult};
-use std::collections::{BTreeMap, BTreeSet};
+
+/// The analyzer codes that correspond to the historical hard validation
+/// failures (anything else is lint-only).
+const HARD_ERROR_CODES: [&str; 5] = ["E0001", "E0002", "E0003", "E0004", "E0005"];
 
 /// Validate a parsed program. Returns the list of attribute names in a
 /// topological order consistent with the rule dependencies (causes before
 /// effects), which callers may use for deterministic processing.
+///
+/// Fails fast: the first hard error found by [`analyze_program`] is
+/// returned as a [`LangError::Validation`]. Use [`analyze_program`]
+/// directly to collect *all* diagnostics with spans.
 pub fn validate_program(program: &Program) -> LangResult<Vec<String>> {
-    for rule in &program.rules {
-        check_variable_safety(rule)?;
-    }
-    for agg in &program.aggregates {
-        // Aggregate head arguments must appear in the condition (they bind
-        // the group), and the source variables too.
-        let cond_vars = agg.condition.variables();
-        let head_vars: BTreeSet<String> = agg
-            .head_args
-            .iter()
-            .filter_map(|a| a.as_var().map(str::to_string))
-            .collect();
-        let source_vars: BTreeSet<String> = agg.source.variables().map(str::to_string).collect();
-        if agg.condition.is_trivial() {
-            // Degenerate but allowed when head and source range over the same
-            // variable (identity grouping).
-            if head_vars != source_vars {
-                return Err(LangError::Validation(format!(
-                    "aggregate rule `{}` needs a WHERE clause connecting {:?} to {:?}",
-                    agg.name, head_vars, source_vars
-                )));
-            }
-        } else {
-            for v in head_vars.iter().chain(source_vars.iter()) {
-                if !cond_vars.contains(v) {
-                    return Err(LangError::Validation(format!(
-                        "variable `{v}` in aggregate rule `{}` does not occur in its WHERE clause",
-                        agg.name
-                    )));
-                }
-            }
-        }
-    }
-
-    // Aggregate-defined names must not also have causal rules.
-    let aggregate_names: BTreeSet<&str> =
-        program.aggregates.iter().map(|a| a.name.as_str()).collect();
-    for rule in &program.rules {
-        if aggregate_names.contains(rule.head.attr.as_str()) {
-            return Err(LangError::Validation(format!(
-                "attribute `{}` is defined both by an aggregate rule and a causal rule",
-                rule.head.attr
-            )));
-        }
-    }
-
-    // Queries: treatment != response.
-    for q in &program.queries {
-        if q.treatment.attr == q.response.attr {
-            return Err(LangError::Validation(format!(
-                "query `{} <= {}?` uses the same attribute as treatment and response",
-                q.response, q.treatment
-            )));
-        }
-    }
-
-    topological_order(program)
-}
-
-/// Variable safety for a single causal rule.
-fn check_variable_safety(rule: &CausalRule) -> LangResult<()> {
-    let cond_vars = rule.condition.variables();
-    let mut rule_vars: BTreeSet<String> = rule.head.variables().map(str::to_string).collect();
-    for b in &rule.body {
-        rule_vars.extend(b.variables().map(str::to_string));
-    }
-    if rule.condition.is_trivial() {
-        // Allowed only when every body atom ranges over exactly the head
-        // variables (per-unit dependency with an implicit condition).
-        let head_vars: BTreeSet<String> = rule.head.variables().map(str::to_string).collect();
-        if rule_vars == head_vars {
-            return Ok(());
-        }
-        return Err(LangError::Validation(format!(
-            "rule for `{}` uses variables {:?} but has no WHERE clause binding them",
-            rule.head.attr,
-            rule_vars.difference(&head_vars).collect::<Vec<_>>()
-        )));
-    }
-    for v in &rule_vars {
-        if !cond_vars.contains(v) {
-            return Err(LangError::Validation(format!(
-                "variable `{v}` in rule for `{}` does not occur in its WHERE clause",
-                rule.head.attr
-            )));
-        }
-    }
-    Ok(())
-}
-
-/// Kahn's algorithm over the attribute dependency graph (edge: body → head).
-/// Returns an error naming one attribute on a cycle if the model is recursive.
-fn topological_order(program: &Program) -> LangResult<Vec<String>> {
-    let mut nodes: BTreeSet<String> = BTreeSet::new();
-    let mut edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new(); // from -> to
-    let add_edge = |from: &str, to: &str, edges: &mut BTreeMap<String, BTreeSet<String>>| {
-        edges
-            .entry(from.to_string())
-            .or_default()
-            .insert(to.to_string());
-    };
-    for rule in &program.rules {
-        nodes.insert(rule.head.attr.clone());
-        for b in &rule.body {
-            nodes.insert(b.attr.clone());
-            add_edge(&b.attr, &rule.head.attr, &mut edges);
-        }
-    }
-    for agg in &program.aggregates {
-        nodes.insert(agg.name.clone());
-        nodes.insert(agg.source.attr.clone());
-        add_edge(&agg.source.attr, &agg.name, &mut edges);
-    }
-
-    let mut in_degree: BTreeMap<String, usize> = nodes.iter().map(|n| (n.clone(), 0)).collect();
-    for targets in edges.values() {
-        for t in targets {
-            *in_degree.get_mut(t).expect("edge target is a node") += 1;
-        }
-    }
-    let mut queue: Vec<String> = in_degree
+    let analysis = analyze_program(program);
+    if let Some(d) = analysis
+        .diagnostics
         .iter()
-        .filter(|(_, &d)| d == 0)
-        .map(|(n, _)| n.clone())
-        .collect();
-    let mut order = Vec::with_capacity(nodes.len());
-    while let Some(n) = queue.pop() {
-        order.push(n.clone());
-        if let Some(targets) = edges.get(&n) {
-            for t in targets {
-                let d = in_degree.get_mut(t).expect("edge target is a node");
-                *d -= 1;
-                if *d == 0 {
-                    queue.push(t.clone());
-                }
-            }
-        }
+        .find(|d| d.is_error() && HARD_ERROR_CODES.contains(&d.code))
+    {
+        return Err(LangError::Validation(d.message.clone()));
     }
-    if order.len() != nodes.len() {
-        let on_cycle = in_degree
-            .iter()
-            .find(|(_, &d)| d > 0)
-            .map(|(n, _)| n.clone())
-            .unwrap_or_default();
-        return Err(LangError::Validation(format!(
-            "the relational causal model is recursive (cycle through `{on_cycle}`); \
-             recursive rules are not supported"
-        )));
-    }
-    Ok(order)
+    Ok(analysis
+        .topo_order
+        .expect("a program without hard errors is acyclic"))
 }
 
 #[cfg(test)]
@@ -250,6 +127,7 @@ mod tests {
     #[test]
     fn aggregate_and_rule_name_clash_is_rejected() {
         use crate::ast::{AttrRef, CausalRule, Condition};
+        use crate::span::Span;
         // The parser always classifies AGG-prefixed heads as aggregate rules,
         // so construct the conflicting causal rule directly in the AST (as an
         // embedding client of the library could).
@@ -261,9 +139,11 @@ mod tests {
                 atoms: vec![crate::ast::QueryAtom {
                     predicate: "Person".into(),
                     args: vec![crate::ast::ArgTerm::Var("A".into())],
+                    span: Span::DUMMY,
                 }],
                 comparisons: vec![],
             },
+            span: Span::DUMMY,
         });
         let err = validate_program(&prog).unwrap_err();
         assert!(err.to_string().contains("AVG_Score"));
@@ -289,6 +169,20 @@ mod tests {
         // Queries reference attribute functions; their variables are
         // placeholders, no safety requirement.
         let prog = parse_program("AVG_Score[A] <= Prestige[A]?").unwrap();
+        assert!(validate_program(&prog).is_ok());
+    }
+
+    #[test]
+    fn lint_only_diagnostics_do_not_fail_validation() {
+        // An unsatisfiable filter pair (E0006) and an unused variable
+        // (W0001) are lints: the engine still accepts the program.
+        let prog = parse_program(
+            "Score[S] <= Prestige[A] WHERE Author(A, S), Blind[C] = true, Blind[C] = false",
+        )
+        .unwrap();
+        assert!(validate_program(&prog).is_ok());
+        let prog =
+            parse_program("Score[S] <= Prestige[A] WHERE Author(A, S), Submitted(S, C)").unwrap();
         assert!(validate_program(&prog).is_ok());
     }
 }

@@ -4,7 +4,7 @@
 
 use carl_lang::{
     parse_program, pretty, AggName, AggregateRule, ArgTerm, AttrRef, CausalQuery, CausalRule,
-    CompareOp, Comparison, Condition, Literal, PeerCondition, Program, QueryAtom,
+    CompareOp, Comparison, Condition, Literal, PeerCondition, Program, QueryAtom, Span,
 };
 use proptest::prelude::*;
 
@@ -50,14 +50,20 @@ fn arb_attr_ref() -> impl Strategy<Value = AttrRef> {
         // parser classifies differently.
         attr: format!("At{attr}"),
         args,
+        span: Span::DUMMY,
     })
 }
 
 fn arb_condition() -> impl Strategy<Value = Condition> {
     (
         proptest::collection::vec(
-            (arb_ident(), proptest::collection::vec(arb_arg(), 1..3))
-                .prop_map(|(predicate, args)| QueryAtom { predicate, args }),
+            (arb_ident(), proptest::collection::vec(arb_arg(), 1..3)).prop_map(
+                |(predicate, args)| QueryAtom {
+                    predicate,
+                    args,
+                    span: Span::DUMMY,
+                },
+            ),
             0..3,
         ),
         proptest::collection::vec(
@@ -65,6 +71,7 @@ fn arb_condition() -> impl Strategy<Value = Condition> {
                 attr,
                 op: CompareOp::Eq,
                 value,
+                span: Span::DUMMY,
             }),
             0..2,
         ),
@@ -94,6 +101,7 @@ fn arb_rule() -> impl Strategy<Value = CausalRule> {
             head,
             body,
             condition,
+            span: Span::DUMMY,
         })
 }
 
@@ -119,6 +127,7 @@ fn arb_aggregate() -> impl Strategy<Value = AggregateRule> {
             head_args,
             source,
             condition,
+            span: Span::DUMMY,
         })
 }
 
@@ -134,6 +143,7 @@ fn arb_query() -> impl Strategy<Value = CausalQuery> {
             treatment,
             peers,
             condition,
+            span: Span::DUMMY,
         })
 }
 

@@ -3,7 +3,7 @@
 //! Covariates are coarsened into bins; treated and control units falling in
 //! the same multidimensional bin are matched exactly, and the effect is a
 //! size-weighted average of within-bin mean differences. Referenced by the
-//! paper via Iacus, King & Porro's `cem` software [19]; included here as an
+//! paper via Iacus, King & Porro's `cem` software (ref. 19); included here as an
 //! additional adjustment method and for ablation experiments.
 
 use crate::descriptive::min_max;

@@ -23,6 +23,7 @@
 //! All estimators operate on plain `&[f64]` / design-matrix inputs so they
 //! can be reused outside CaRL.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -1,0 +1,94 @@
+//! `carl-check` — lint a CaRL program file.
+//!
+//! Parses the program, runs the full error-collecting analysis (the
+//! schema-independent checks of `carl-lang` plus the schema-aware pass of
+//! `carl::analyze`) and prints every diagnostic with a rustc-style source
+//! excerpt. Unlike engine construction, which stops at the first error,
+//! `carl-check` reports *all* defects in one run.
+//!
+//! ```text
+//! carl-check program.carl            # against the paper's review schema
+//! carl-check --no-schema program.carl  # syntax + language checks only
+//! ```
+//!
+//! Exit status: 0 when no errors (warnings allowed), 1 when any
+//! error-severity diagnostic was reported, 2 on usage, I/O or parse
+//! failures.
+
+use carl_lang::{parse_program, render_diagnostics, Diagnostic, Span};
+use reldb::RelationalSchema;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: carl-check [--no-schema] <program.carl>");
+    eprintln!();
+    eprintln!("Lints a CaRL program file. By default the program is checked against");
+    eprintln!("the paper's peer-review schema (entities Person/Submission/Conference,");
+    eprintln!("relationships Author/Submitted, attributes Qualification/Prestige/");
+    eprintln!("Quality/Score/Blind); --no-schema runs only the schema-independent");
+    eprintln!("language checks.");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut no_schema = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--no-schema" => no_schema = true,
+            "-h" | "--help" => return usage(),
+            _ if arg.starts_with('-') => {
+                eprintln!("carl-check: unknown option `{arg}`");
+                return usage();
+            }
+            _ if path.is_none() => path = Some(arg),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else {
+        return usage();
+    };
+
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("carl-check: cannot read `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let program = match parse_program(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            // Render the parse error like any other diagnostic, pointing at
+            // the offending token when the error carries a span.
+            let span = e.span().unwrap_or(Span::DUMMY);
+            let diag = Diagnostic::error("E0000", span, e.to_string());
+            print!("{}", render_diagnostics(&source, &[diag]));
+            return ExitCode::from(2);
+        }
+    };
+
+    let diagnostics = if no_schema {
+        carl_lang::analyze_program(&program).diagnostics
+    } else {
+        carl::analyze(&RelationalSchema::review_example(), &program)
+    };
+
+    if diagnostics.is_empty() {
+        println!(
+            "{path}: no issues found ({} rule(s), {} aggregate(s), {} query(ies))",
+            program.rules.len(),
+            program.aggregates.len(),
+            program.queries.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    print!("{}", render_diagnostics(&source, &diagnostics));
+    if diagnostics.iter().any(Diagnostic::is_error) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

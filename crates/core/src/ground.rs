@@ -1082,7 +1082,7 @@ fn merge_agg_batch(
 /// Where [`ground_with`] materialises every condition's full answer set and
 /// then walks it, this path pipes each condition's register-tuple chunks
 /// straight off the executor into the merge — rule chunks fold into the
-/// [`NodeTable`] and the graph's adjacency directly, and aggregate chunks
+/// grounded-node table and the graph's adjacency directly, and aggregate chunks
 /// fold into dense signature-indexed group tables whose results land in the
 /// per-attribute [`FloatColumn`] sinks of a [`StreamedModel`]. No
 /// `O(answers)` intermediate is ever resident and no string-keyed derived

@@ -13,7 +13,7 @@
 //!
 //! 1. [`carl_lang`] parses the CaRL program (rules + queries).
 //! 2. [`model`] binds it to a [`reldb::RelationalSchema`] and validates it.
-//! 3. [`ground`] grounds the rules over the instance's relational skeleton,
+//! 3. [`mod@ground`] grounds the rules over the instance's relational skeleton,
 //!    producing the grounded causal graph ([`graph`]) and derived aggregate
 //!    values.
 //! 4. [`paths`] unifies treated and response units along relational paths;
@@ -48,10 +48,12 @@
 //! assert_eq!(prepared.unit_table.len(), 3);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod adjust;
+pub mod analyze;
 pub mod baseline;
 pub mod dsep;
 pub mod embed;
@@ -67,6 +69,7 @@ pub mod query;
 pub mod rowwise;
 pub mod unit_table;
 
+pub use analyze::{analyze, analyze_with_schema, SchemaFinding};
 pub use embed::EmbeddingKind;
 pub use engine::{CarlEngine, GroundingMode, PreparedQuery, RowPreparedQuery};
 pub use error::{CarlError, CarlResult};

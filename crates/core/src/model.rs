@@ -283,67 +283,26 @@ impl RelationalCausalModel {
     }
 
     /// Schema-aware validation of every attribute and predicate reference.
+    ///
+    /// Delegates to the collecting walker in [`crate::analyze`], resolving
+    /// subjects through [`Self::attribute_subject`], and fails with the
+    /// first finding that carries a legacy typed error — exactly the error
+    /// this method has always raised. Lint-only findings (`E0104`,
+    /// `W0102`) never fail model construction; use [`crate::analyze`] to
+    /// see them.
     fn check_schema_consistency(&self) -> CarlResult<()> {
-        let check_attr_ref = |attr: &str, args_len: usize| -> CarlResult<()> {
-            let subject = self.attribute_subject(attr)?;
-            if subject.arity != args_len {
-                return Err(CarlError::AttributeArity {
-                    attr: attr.to_string(),
-                    subject: subject.predicate,
-                    expected: subject.arity,
-                    actual: args_len,
-                });
-            }
-            Ok(())
+        let resolve = |attr: &str| -> Option<(String, usize)> {
+            self.attribute_subject(attr)
+                .ok()
+                .map(|s| (s.predicate, s.arity))
         };
-        let check_condition = |cond: &Condition| -> CarlResult<()> {
-            for atom in &cond.atoms {
-                let arity = self
-                    .schema
-                    .predicate_arity(&atom.predicate)
-                    .ok_or_else(|| CarlError::UnknownPredicate(atom.predicate.clone()))?;
-                if arity != atom.args.len() {
-                    return Err(CarlError::AttributeArity {
-                        attr: atom.predicate.clone(),
-                        subject: atom.predicate.clone(),
-                        expected: arity,
-                        actual: atom.args.len(),
-                    });
-                }
-            }
-            for cmp in &cond.comparisons {
-                check_attr_ref(&cmp.attr.attr, cmp.attr.args.len())?;
-            }
-            Ok(())
-        };
-
-        for rule in &self.program.rules {
-            check_attr_ref(&rule.head.attr, rule.head.args.len())?;
-            for body in &rule.body {
-                check_attr_ref(&body.attr, body.args.len())?;
-            }
-            check_condition(&rule.condition)?;
+        match crate::analyze::walk_schema(&self.schema, &self.program, &resolve)
+            .into_iter()
+            .find_map(|f| f.legacy)
+        {
+            Some(err) => Err(err),
+            None => Ok(()),
         }
-        for agg in &self.program.aggregates {
-            check_attr_ref(&agg.source.attr, agg.source.args.len())?;
-            check_condition(&agg.condition)?;
-        }
-        for query in &self.program.queries {
-            // Query endpoints may reference aggregate attributes that are
-            // synthesised later (unification), so only check ones we know.
-            if self.schema.attribute(&query.treatment.attr).is_some()
-                || self.aggregate_subjects.contains_key(&query.treatment.attr)
-            {
-                check_attr_ref(&query.treatment.attr, query.treatment.args.len())?;
-            }
-            if self.schema.attribute(&query.response.attr).is_some()
-                || self.aggregate_subjects.contains_key(&query.response.attr)
-            {
-                check_attr_ref(&query.response.attr, query.response.args.len())?;
-            }
-            check_condition(&query.condition)?;
-        }
-        Ok(())
     }
 }
 

@@ -14,7 +14,7 @@
 
 use crate::error::{CarlError, CarlResult};
 use crate::model::RelationalCausalModel;
-use carl_lang::{AggName, AggregateRule, ArgTerm, CausalQuery, Condition, QueryAtom};
+use carl_lang::{AggName, AggregateRule, ArgTerm, CausalQuery, Condition, QueryAtom, Span};
 use reldb::PredicateKind;
 use std::collections::{HashMap, VecDeque};
 
@@ -169,6 +169,7 @@ pub fn unify(model: &RelationalCausalModel, query: &CausalQuery) -> CarlResult<U
                 atoms.push(QueryAtom {
                     predicate: hop.relationship.clone(),
                     args,
+                    span: Span::DUMMY,
                 });
                 current_var = next_var;
             }
@@ -201,6 +202,7 @@ pub fn unify(model: &RelationalCausalModel, query: &CausalQuery) -> CarlResult<U
             let atoms = vec![QueryAtom {
                 predicate: response_subject.predicate.clone(),
                 args,
+                span: Span::DUMMY,
             }];
             (atoms, response_args)
         }
@@ -230,6 +232,7 @@ pub fn unify(model: &RelationalCausalModel, query: &CausalQuery) -> CarlResult<U
             condition.atoms.push(QueryAtom {
                 predicate: atom.predicate.clone(),
                 args: atom.args.iter().map(|a| rename_arg(a, &rename)).collect(),
+                span: Span::DUMMY,
             });
         }
         for cmp in &query.condition.comparisons {
@@ -255,8 +258,10 @@ pub fn unify(model: &RelationalCausalModel, query: &CausalQuery) -> CarlResult<U
         source: carl_lang::AttrRef {
             attr: query.response.attr.clone(),
             args: response_var,
+            span: Span::DUMMY,
         },
         condition,
+        span: Span::DUMMY,
     };
 
     Ok(UnificationPlan {

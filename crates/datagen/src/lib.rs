@@ -26,6 +26,7 @@
 //! model source text, the queries of the corresponding experiments and a
 //! ground-truth record (exact where the generative process pins it down).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -17,8 +17,11 @@
 //! * Collaboration is homophilous: prestigious authors are more likely to
 //!   collaborate with each other, so ignoring the relational structure
 //!   biases naive and universal-table analyses.
-//! * `Score[P] = 0.2 + 0.4·Quality[P] + iso(venue)·Prestige[author]
-//!   + rel·(fraction of collaborators that are prestigious) + ε`,
+//! * The structural equation for the outcome is
+//!   ```text
+//!   Score[P] = 0.2 + 0.4·Quality[P] + iso(venue)·Prestige[author]
+//!            + rel·(fraction of collaborators that are prestigious) + ε
+//!   ```
 //!   so the isolated effect is exactly `iso(venue)` and the relational
 //!   effect of ALL vs NONE collaborators treated is exactly `rel`.
 

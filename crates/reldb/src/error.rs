@@ -59,6 +59,15 @@ pub enum RelError {
     /// Query referenced an undefined variable or was otherwise malformed.
     MalformedQuery(String),
 
+    /// A [`crate::plan::Plan`] violated a structural invariant (register
+    /// discipline, access-path preconditions, semi-join soundness). Raised
+    /// by [`crate::plan::verify`]; a planner that emits one of these has a
+    /// bug.
+    InvalidPlan {
+        /// Description of the violated invariant.
+        message: String,
+    },
+
     /// A table operation referenced a column that does not exist.
     UnknownColumn(String),
 
@@ -120,6 +129,7 @@ impl fmt::Display for RelError {
                 "value `{value}` is not valid for attribute `{attribute}` with domain {domain}"
             ),
             Self::MalformedQuery(message) => write!(f, "malformed query: {message}"),
+            Self::InvalidPlan { message } => write!(f, "invalid plan: {message}"),
             Self::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
             Self::ColumnLengthMismatch {
                 column,

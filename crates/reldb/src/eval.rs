@@ -51,6 +51,20 @@ use std::collections::HashMap;
 /// A substitution binding variable names to values.
 pub type Bindings = HashMap<String, Value>;
 
+/// Debug-build check that the planner emitted a structurally sound plan
+/// (see [`crate::plan::verify`]). Free in release builds; the fuzz suite
+/// and the plan snapshot tests additionally run the verifier
+/// unconditionally.
+#[inline]
+fn debug_assert_plan(schema: &RelationalSchema, plan: &Plan) {
+    #[cfg(debug_assertions)]
+    if let Err(e) = crate::plan::verify(schema, plan) {
+        panic!("planner emitted an invalid plan: {e}\n{plan}");
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = (schema, plan);
+}
+
 /// Row count above which a step's probe loop is split across the worker
 /// threads of the `rayon` facade. Below it, thread spawn overhead dwarfs
 /// the probe work.
@@ -185,6 +199,7 @@ pub fn evaluate_tuples<'a>(
     query: &ConjunctiveQuery,
 ) -> RelResult<TupleAnswers<'a>> {
     let plan = plan_query(schema, skeleton, query)?;
+    debug_assert_plan(schema, &plan);
     Ok(execute_tuples(&plan, schema, skeleton, None, cache))
 }
 
@@ -216,6 +231,7 @@ pub fn evaluate_tuples_filtered<'a>(
     filters: &[EqFilter],
 ) -> RelResult<TupleAnswers<'a>> {
     let plan = plan_query_filtered(schema, instance, cache, query, filters)?;
+    debug_assert_plan(schema, &plan);
     Ok(execute_tuples(
         &plan,
         schema,
@@ -248,6 +264,7 @@ pub fn evaluate_tuples_chunked<'a>(
     on_batch: &mut dyn FnMut(&TupleAnswers<'a>) -> RelResult<()>,
 ) -> RelResult<()> {
     let plan = plan_query(schema, skeleton, query)?;
+    debug_assert_plan(schema, &plan);
     execute_tuples_stream(&plan, schema, skeleton, None, cache, on_batch)
 }
 
@@ -263,6 +280,7 @@ pub fn evaluate_tuples_filtered_chunked<'a>(
     on_batch: &mut dyn FnMut(&TupleAnswers<'a>) -> RelResult<()>,
 ) -> RelResult<()> {
     let plan = plan_query_filtered(schema, instance, cache, query, filters)?;
+    debug_assert_plan(schema, &plan);
     execute_tuples_stream(
         &plan,
         schema,
@@ -980,6 +998,7 @@ pub fn evaluate_bindings_in(
     query: &ConjunctiveQuery,
 ) -> RelResult<Vec<Bindings>> {
     let plan = plan_query(schema, skeleton, query)?;
+    debug_assert_plan(schema, &plan);
     Ok(execute_bindings(&plan, schema, skeleton, None, cache))
 }
 
@@ -993,6 +1012,7 @@ pub fn evaluate_bindings_filtered(
     filters: &[EqFilter],
 ) -> RelResult<Vec<Bindings>> {
     let plan = plan_query_filtered(schema, instance, cache, query, filters)?;
+    debug_assert_plan(schema, &plan);
     Ok(execute_bindings(
         &plan,
         schema,

@@ -49,6 +49,7 @@
 //! assert_eq!(inst.skeleton().entity_count("Person"), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -77,7 +78,7 @@ pub use eval::{
 pub use index::{IndexCache, IndexCacheStats};
 pub use instance::Instance;
 pub use plan::{
-    plan_query, plan_query_filtered, Access, EqFilter, Plan, PlanStep, SemiJoin, SlotTerm,
+    plan_query, plan_query_filtered, verify, Access, EqFilter, Plan, PlanStep, SemiJoin, SlotTerm,
 };
 pub use query::{Atom, ConjunctiveQuery, Term};
 pub use schema::{

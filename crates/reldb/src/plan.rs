@@ -287,6 +287,278 @@ pub(crate) fn validate(schema: &RelationalSchema, query: &ConjunctiveQuery) -> R
     Ok(())
 }
 
+/// Statically check the structural invariants of an emitted [`Plan`].
+///
+/// The planner is trusted nowhere else: every `evaluate_*` entry point
+/// asserts this in debug builds, and the reference-evaluation fuzz suite
+/// and the golden plan snapshots run it unconditionally. The invariants:
+///
+/// * every step's atom names a schema predicate with the right arity, and
+///   its access path matches the predicate kind (entity vs relationship);
+/// * each step's register `layout` aligns with the atom's terms — constants
+///   map to [`SlotTerm::Const`], variables to `Write`/`Check` of the slot
+///   holding that variable — and every slot is written exactly once, before
+///   any `Check` reads it;
+/// * probe access paths only consume bound positions: `ProbeEntity` needs
+///   its single key bound, `ProbeRelationship` positions must be strictly
+///   ascending, in range and bound, and `ProbeAttribute` must cite an
+///   existing filter whose attribute attaches to the atom's predicate and
+///   whose arguments are exactly the atom's terms;
+/// * semi-joins only prune scans, from real columns of schema predicates
+///   that share the pruned variable;
+/// * `filter_after` pins every filter to the earliest step after which all
+///   its variables are bound (`None` exactly when some variable is never
+///   bound);
+/// * every cost estimate is finite and non-negative.
+pub fn verify(schema: &RelationalSchema, plan: &Plan) -> RelResult<()> {
+    let invalid = |message: String| RelError::InvalidPlan { message };
+
+    // Register discipline: slots written exactly once, before any read.
+    let mut written: Vec<bool> = vec![false; plan.slots.len()];
+    for (si, step) in plan.steps.iter().enumerate() {
+        let n = si + 1; // steps are 1-based everywhere the plan is shown
+        let arity = schema
+            .predicate_arity(&step.atom.predicate)
+            .ok_or_else(|| {
+                invalid(format!(
+                    "step {n} references unknown predicate `{}`",
+                    step.atom.predicate
+                ))
+            })?;
+        if step.atom.terms.len() != arity {
+            return Err(invalid(format!(
+                "step {n}: `{}` expects arity {arity}, atom has {}",
+                step.atom.predicate,
+                step.atom.terms.len()
+            )));
+        }
+        if step.layout.len() != step.atom.terms.len() {
+            return Err(invalid(format!(
+                "step {n}: layout has {} entries for {} atom positions",
+                step.layout.len(),
+                step.atom.terms.len()
+            )));
+        }
+        if !step.est_rows.is_finite() || step.est_rows < 0.0 {
+            return Err(invalid(format!(
+                "step {n}: estimate {} is not a finite non-negative row count",
+                step.est_rows
+            )));
+        }
+
+        let kind = schema
+            .predicate_kind(&step.atom.predicate)
+            .expect("arity lookup above succeeded");
+        match (&step.access, kind) {
+            (Access::ScanEntity | Access::ProbeEntity, PredicateKind::Entity) => {}
+            (
+                Access::ScanRelationship | Access::ProbeRelationship { .. },
+                PredicateKind::Relationship,
+            ) => {}
+            (Access::ProbeAttribute { .. }, _) => {}
+            (access, kind) => {
+                return Err(invalid(format!(
+                    "step {n}: access path {access:?} does not fit {kind:?} predicate `{}`",
+                    step.atom.predicate
+                )));
+            }
+        }
+
+        // A position is bound *at the start of the step* if it is a constant
+        // or checks a slot written by an earlier step.
+        let bound_at_entry: Vec<bool> = step
+            .layout
+            .iter()
+            .map(|t| match t {
+                SlotTerm::Const => true,
+                SlotTerm::Check(s) => written.get(*s).copied().unwrap_or(false),
+                SlotTerm::Write(_) => false,
+            })
+            .collect();
+
+        // Layout/term alignment and the write-once/read-after-write rule.
+        // Repeated variables inside one atom write on first occurrence and
+        // check the same slot afterwards, so `written` is updated in
+        // position order.
+        for (p, (term, slot_term)) in step.atom.terms.iter().zip(&step.layout).enumerate() {
+            match (term, slot_term) {
+                (Term::Const(_), SlotTerm::Const) => {}
+                (Term::Const(_), other) => {
+                    return Err(invalid(format!(
+                        "step {n} position {p}: constant term mapped to {other:?}"
+                    )));
+                }
+                (Term::Var(v), SlotTerm::Const) => {
+                    return Err(invalid(format!(
+                        "step {n} position {p}: variable `{v}` mapped to Const"
+                    )));
+                }
+                (Term::Var(v), SlotTerm::Write(s)) => {
+                    if plan.slots.get(*s).map(String::as_str) != Some(v.as_str()) {
+                        return Err(invalid(format!(
+                            "step {n} position {p}: Write({s}) does not name slot of `{v}`"
+                        )));
+                    }
+                    if written[*s] {
+                        return Err(invalid(format!(
+                            "step {n} position {p}: slot r{s} (`{v}`) written twice"
+                        )));
+                    }
+                    written[*s] = true;
+                }
+                (Term::Var(v), SlotTerm::Check(s)) => {
+                    if plan.slots.get(*s).map(String::as_str) != Some(v.as_str()) {
+                        return Err(invalid(format!(
+                            "step {n} position {p}: Check({s}) does not name slot of `{v}`"
+                        )));
+                    }
+                    if !written[*s] {
+                        return Err(invalid(format!(
+                            "step {n} position {p}: slot r{s} (`{v}`) read before any write"
+                        )));
+                    }
+                }
+            }
+        }
+
+        // Access-path preconditions against the entry-time bound positions.
+        match &step.access {
+            Access::ScanEntity | Access::ScanRelationship => {}
+            Access::ProbeEntity => {
+                if !bound_at_entry[0] {
+                    return Err(invalid(format!(
+                        "step {n}: ProbeEntity on `{}` with unbound key",
+                        step.atom.predicate
+                    )));
+                }
+            }
+            Access::ProbeRelationship { positions } => {
+                if positions.is_empty() {
+                    return Err(invalid(format!(
+                        "step {n}: ProbeRelationship with no positions"
+                    )));
+                }
+                for pair in positions.windows(2) {
+                    if pair[0] >= pair[1] {
+                        return Err(invalid(format!(
+                            "step {n}: probe positions {positions:?} are not strictly ascending"
+                        )));
+                    }
+                }
+                for &p in positions {
+                    if p >= step.atom.terms.len() {
+                        return Err(invalid(format!(
+                            "step {n}: probe position {p} out of range for `{}`",
+                            step.atom.predicate
+                        )));
+                    }
+                    if !bound_at_entry[p] {
+                        return Err(invalid(format!(
+                            "step {n}: probe position {p} of `{}` is not bound",
+                            step.atom.predicate
+                        )));
+                    }
+                }
+            }
+            Access::ProbeAttribute { filter } => {
+                let flt = plan.filters.get(*filter).ok_or_else(|| {
+                    invalid(format!(
+                        "step {n}: ProbeAttribute cites filter {filter}, plan has {}",
+                        plan.filters.len()
+                    ))
+                })?;
+                let subject_matches = schema
+                    .attribute(&flt.attr)
+                    .is_some_and(|def| def.subject == step.atom.predicate);
+                if !subject_matches {
+                    return Err(invalid(format!(
+                        "step {n}: attribute `{}` does not attach to `{}`",
+                        flt.attr, step.atom.predicate
+                    )));
+                }
+                if flt.args != step.atom.terms {
+                    return Err(invalid(format!(
+                        "step {n}: filter `{flt}` arguments differ from the atom's terms"
+                    )));
+                }
+            }
+        }
+
+        // Semi-join soundness: scans only, pruning a real variable position
+        // against an existing column of a schema predicate.
+        let is_scan = matches!(step.access, Access::ScanEntity | Access::ScanRelationship);
+        if !is_scan && !step.semijoins.is_empty() {
+            return Err(invalid(format!(
+                "step {n}: semi-joins attached to a non-scan step"
+            )));
+        }
+        for sj in &step.semijoins {
+            let var_at = step.atom.terms.get(sj.position).and_then(Term::as_var);
+            if var_at != Some(sj.var.as_str()) {
+                return Err(invalid(format!(
+                    "step {n}: semi-join on position {} expects variable `{}`",
+                    sj.position, sj.var
+                )));
+            }
+            let Some(source_arity) = schema.predicate_arity(&sj.source_predicate) else {
+                return Err(invalid(format!(
+                    "step {n}: semi-join source `{}` is not in the schema",
+                    sj.source_predicate
+                )));
+            };
+            if schema.predicate_kind(&sj.source_predicate) != Some(sj.source_kind) {
+                return Err(invalid(format!(
+                    "step {n}: semi-join source `{}` has the wrong predicate kind",
+                    sj.source_predicate
+                )));
+            }
+            if sj.source_position >= source_arity {
+                return Err(invalid(format!(
+                    "step {n}: semi-join source position {} out of range for `{}`",
+                    sj.source_position, sj.source_predicate
+                )));
+            }
+        }
+    }
+
+    if let Some(s) = written.iter().position(|w| !w) {
+        return Err(invalid(format!(
+            "slot r{s} (`{}`) is never written by any step",
+            plan.slots[s]
+        )));
+    }
+
+    // Filter placement: one pin per filter, at the earliest step after
+    // which all the filter's variables are bound.
+    if plan.filter_after.len() != plan.filters.len() {
+        return Err(invalid(format!(
+            "{} filters but {} filter_after pins",
+            plan.filters.len(),
+            plan.filter_after.len()
+        )));
+    }
+    let mut bound_after: Vec<BTreeSet<&str>> = Vec::with_capacity(plan.steps.len() + 1);
+    bound_after.push(BTreeSet::new());
+    for step in &plan.steps {
+        let mut next = bound_after.last().expect("seeded").clone();
+        next.extend(step.atom.variables());
+        bound_after.push(next);
+    }
+    for (flt, after) in plan.filters.iter().zip(&plan.filter_after) {
+        let vars: BTreeSet<&str> = flt.args.iter().filter_map(Term::as_var).collect();
+        let earliest = bound_after
+            .iter()
+            .position(|b| vars.iter().all(|v| b.contains(v)));
+        if *after != earliest {
+            return Err(invalid(format!(
+                "filter `{flt}` pinned after step {after:?}, expected {earliest:?}"
+            )));
+        }
+    }
+
+    Ok(())
+}
+
 fn plan_impl(
     schema: &RelationalSchema,
     skeleton: &Skeleton,
@@ -699,6 +971,113 @@ mod tests {
         assert!(shown.contains("scan Submitted(S, C)"), "{shown}");
         assert!(shown.contains("probe Author(A, S) via (1)"), "{shown}");
         assert!(shown.contains("semi-join: S in Author.1"), "{shown}");
+    }
+
+    #[test]
+    fn emitted_plans_verify() {
+        let (schema, sk) = setup();
+        let inst = Instance::review_example();
+        let cache = IndexCache::for_instance(&inst);
+        let queries = vec![
+            ConjunctiveQuery::new(vec![]),
+            ConjunctiveQuery::new(vec![Atom::new("Person", vec![Term::var("A")])]),
+            ConjunctiveQuery::new(vec![
+                Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+                Atom::new("Submitted", vec![Term::var("S"), Term::var("C")]),
+                Atom::new("Person", vec![Term::var("A")]),
+            ]),
+            ConjunctiveQuery::new(vec![Atom::new(
+                "Author",
+                vec![Term::var("A"), Term::constant("s3")],
+            )]),
+        ];
+        for q in &queries {
+            let plan = plan_query(&schema, &sk, q).unwrap();
+            verify(&schema, &plan).unwrap_or_else(|e| panic!("{e}\n{plan}"));
+        }
+        let filters = vec![EqFilter {
+            attr: "Blind".into(),
+            args: vec![Term::var("C")],
+            value: Value::Bool(false),
+        }];
+        for q in &queries {
+            let plan = plan_query_filtered(&schema, &inst, &cache, q, &filters).unwrap();
+            verify(&schema, &plan).unwrap_or_else(|e| panic!("{e}\n{plan}"));
+        }
+    }
+
+    #[test]
+    fn hand_built_malformed_plans_are_rejected() {
+        let (schema, sk) = setup();
+        let q = ConjunctiveQuery::new(vec![
+            Atom::new("Submitted", vec![Term::var("S"), Term::var("C")]),
+            Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+        ]);
+        let good = plan_query(&schema, &sk, &q).unwrap();
+        verify(&schema, &good).unwrap();
+        let expect_invalid = |plan: &Plan, what: &str| match verify(&schema, plan) {
+            Err(RelError::InvalidPlan { message }) => {
+                assert!(message.contains(what), "`{message}` lacks `{what}`")
+            }
+            other => panic!("expected InvalidPlan for {what}, got {other:?}"),
+        };
+
+        // Read-before-write: swap the steps without re-deriving layouts.
+        let mut plan = good.clone();
+        plan.steps.swap(0, 1);
+        expect_invalid(&plan, "read before any write");
+
+        // Double write of one register slot.
+        let mut plan = good.clone();
+        plan.steps[1].layout[1] = SlotTerm::Write(0);
+        expect_invalid(&plan, "written twice");
+
+        // A probe on a position whose value is not yet bound.
+        let mut plan = good.clone();
+        plan.steps[1].access = Access::ProbeRelationship { positions: vec![0] };
+        expect_invalid(&plan, "not bound");
+
+        // A slot no step ever writes.
+        let mut plan = good.clone();
+        plan.slots.push("Z".into());
+        expect_invalid(&plan, "never written");
+
+        // Layout width disagreeing with the atom.
+        let mut plan = good.clone();
+        plan.steps[0].layout.pop();
+        expect_invalid(&plan, "layout");
+
+        // Semi-join from a predicate column that does not exist.
+        let mut plan = good.clone();
+        plan.steps[0].semijoins[0].source_position = 7;
+        expect_invalid(&plan, "out of range");
+
+        // Semi-joins on a probe step are unsound (pruning is scan-only).
+        let mut plan = good.clone();
+        let sj = plan.steps[0].semijoins[0].clone();
+        plan.steps[1].semijoins.push(SemiJoin {
+            position: 1,
+            var: "S".into(),
+            ..sj
+        });
+        expect_invalid(&plan, "non-scan");
+
+        // A filter pinned at the wrong step.
+        let inst = Instance::review_example();
+        let cache = IndexCache::for_instance(&inst);
+        let filters = vec![EqFilter {
+            attr: "Blind".into(),
+            args: vec![Term::var("C")],
+            value: Value::Bool(false),
+        }];
+        let mut plan = plan_query_filtered(&schema, &inst, &cache, &q, &filters).unwrap();
+        plan.filter_after[0] = Some(0);
+        expect_invalid(&plan, "pinned");
+
+        // A non-finite cost estimate.
+        let mut plan = good.clone();
+        plan.steps[0].est_rows = f64::NAN;
+        expect_invalid(&plan, "finite");
     }
 
     #[test]

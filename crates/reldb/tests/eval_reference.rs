@@ -30,9 +30,32 @@
 use proptest::prelude::*;
 use reldb::{
     evaluate, evaluate_bindings_filtered, evaluate_bindings_in, evaluate_filtered, evaluate_in,
-    evaluate_naive, evaluate_tuples, evaluate_tuples_filtered, Atom, Bindings, ConjunctiveQuery,
-    DomainType, EqFilter, IndexCache, Instance, RelationalSchema, Skeleton, Term, Value,
+    evaluate_naive, evaluate_tuples, evaluate_tuples_filtered, plan_query, plan_query_filtered,
+    Atom, Bindings, ConjunctiveQuery, DomainType, EqFilter, IndexCache, Instance, RelationalSchema,
+    Skeleton, Term, Value,
 };
+
+/// Run the static plan verifier *unconditionally* (not just as a debug
+/// assertion) on the plan the planner would emit for `query`: the fuzzer
+/// must never see a structurally unsound plan, whatever the optimisation
+/// level.
+fn assert_verified(schema: &RelationalSchema, skeleton: &Skeleton, query: &ConjunctiveQuery) {
+    if let Ok(plan) = plan_query(schema, skeleton, query) {
+        reldb::plan::verify(schema, &plan).unwrap_or_else(|e| panic!("{e}\n{plan}"));
+    }
+}
+
+/// Filtered-planning variant of [`assert_verified`].
+fn assert_verified_filtered(
+    instance: &Instance,
+    cache: &IndexCache,
+    query: &ConjunctiveQuery,
+    filters: &[EqFilter],
+) {
+    if let Ok(plan) = plan_query_filtered(instance.schema(), instance, cache, query, filters) {
+        reldb::plan::verify(instance.schema(), &plan).unwrap_or_else(|e| panic!("{e}\n{plan}"));
+    }
+}
 
 /// Canonicalise a binding set for multiset comparison.
 fn canonical(bindings: Vec<Bindings>) -> Vec<Vec<(String, String)>> {
@@ -158,6 +181,7 @@ proptest! {
         let schema = schema();
         let skeleton = skeleton_from(4, 4, &writes, &reviews);
         let query = query_from(&shapes);
+        assert_verified(&schema, &skeleton, &query);
         let fast = evaluate(&schema, &skeleton, &query).unwrap();
         let slow = canonical(evaluate_naive(&schema, &skeleton, &query).unwrap());
         prop_assert_eq!(
@@ -194,6 +218,7 @@ proptest! {
             vec![Term::var("X"), Term::constant(format!("d{person}"))]
         };
         let query = ConjunctiveQuery::new(vec![Atom::new("Writes", terms)]);
+        assert_verified(&schema, &skeleton, &query);
         let fast = evaluate(&schema, &skeleton, &query).unwrap();
         let slow = canonical(evaluate_naive(&schema, &skeleton, &query).unwrap());
         prop_assert_eq!(canonical(fast), slow.clone());
@@ -218,6 +243,7 @@ proptest! {
         let cache = IndexCache::for_skeleton(&skeleton);
         for shapes in &batch {
             let query = query_from(shapes);
+            assert_verified(&schema, &skeleton, &query);
             let shared = evaluate_in(&cache, &schema, &skeleton, &query).unwrap();
             let fresh = canonical(evaluate(&schema, &skeleton, &query).unwrap());
             prop_assert_eq!(canonical(shared), fresh.clone(), "query {}", query);
@@ -273,6 +299,7 @@ proptest! {
         }];
 
         let cache = IndexCache::for_instance(&instance);
+        assert_verified_filtered(&instance, &cache, &query, &filters);
         let fast =
             evaluate_filtered(&cache, instance.schema(), &instance, &query, &filters).unwrap();
         let reference: Vec<Bindings> =
@@ -312,6 +339,7 @@ proptest! {
         let skeleton = skeleton_from(2, 2, &[(0, 1)], &[]);
         let terms: Vec<Term> = (0..arity).map(|i| Term::var(&format!("V{i}"))).collect();
         let query = ConjunctiveQuery::new(vec![Atom::new(predicate, terms)]);
+        assert_verified(&schema, &skeleton, &query);
         let fast = evaluate(&schema, &skeleton, &query);
         let slow = evaluate_naive(&schema, &skeleton, &query);
         prop_assert_eq!(fast.is_ok(), slow.is_ok(), "query {}", query);

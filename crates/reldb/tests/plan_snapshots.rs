@@ -9,7 +9,7 @@
 //! e.g. a lost probe or a dropped pruning pass — visible in review.
 
 use reldb::{
-    plan_query, plan_query_filtered, Atom, ConjunctiveQuery, EqFilter, IndexCache, Instance,
+    plan_query, plan_query_filtered, Atom, ConjunctiveQuery, EqFilter, IndexCache, Instance, Plan,
     RelationalSchema, Skeleton, Term, Value,
 };
 
@@ -18,7 +18,9 @@ fn setup() -> (RelationalSchema, Skeleton, Instance) {
     (inst.schema().clone(), inst.skeleton().clone(), inst)
 }
 
-fn assert_plan(actual: impl ToString, expected: &str) {
+fn assert_plan(schema: &RelationalSchema, actual: Plan, expected: &str) {
+    // Every golden plan must also pass the static plan verifier.
+    reldb::plan::verify(schema, &actual).unwrap_or_else(|e| panic!("{e}\n{actual}"));
     assert_eq!(actual.to_string(), expected, "plan snapshot drifted");
 }
 
@@ -31,6 +33,7 @@ fn single_authorship_atom_is_a_scan() {
         vec![Term::var("A"), Term::var("S")],
     )]);
     assert_plan(
+        &schema,
         plan_query(&schema, &sk, &q).unwrap(),
         "plan for Author(A, S)\n\
          \x20 slots: r0=A, r1=S\n\
@@ -58,6 +61,7 @@ fn venue_restricted_condition_probes_and_pins_the_filter() {
         value: Value::Bool(false),
     }];
     assert_plan(
+        &schema,
         plan_query_filtered(&schema, &inst, &cache, &q, &filters).unwrap(),
         "plan for Submitted(S, C), Author(A, S)\n\
          \x20 slots: r0=S, r1=C, r2=A\n\
@@ -79,6 +83,7 @@ fn chain_with_entity_check() {
         Atom::new("Person", vec![Term::var("A")]),
     ]);
     assert_plan(
+        &schema,
         plan_query(&schema, &sk, &q).unwrap(),
         "plan for Submitted(S, C), Author(A, S), Person(A)\n\
          \x20 slots: r0=S, r1=C, r2=A\n\
@@ -99,6 +104,7 @@ fn constant_terms_probe_immediately() {
         vec![Term::var("A"), Term::constant("s3")],
     )]);
     assert_plan(
+        &schema,
         plan_query(&schema, &sk, &q).unwrap(),
         "plan for Author(A, \"s3\")\n\
          \x20 slots: r0=A\n\
@@ -119,6 +125,7 @@ fn selective_filter_becomes_an_attribute_fetch() {
         value: Value::Int(0),
     }];
     assert_plan(
+        &schema,
         plan_query_filtered(&schema, &inst, &cache, &q, &filters).unwrap(),
         "plan for Person(A)\n\
          \x20 slots: r0=A\n\
@@ -138,6 +145,7 @@ fn coauthor_self_join_probes_the_shared_position() {
         Atom::new("Author", vec![Term::var("B"), Term::var("S")]),
     ]);
     assert_plan(
+        &schema,
         plan_query(&schema, &sk, &q).unwrap(),
         "plan for Author(A, S), Author(B, S)\n\
          \x20 slots: r0=A, r1=S, r2=B\n\
@@ -152,6 +160,7 @@ fn coauthor_self_join_probes_the_shared_position() {
 fn empty_query_plans_to_nothing() {
     let (schema, sk, _) = setup();
     assert_plan(
+        &schema,
         plan_query(&schema, &sk, &ConjunctiveQuery::truth()).unwrap(),
         "plan for true\n",
     );

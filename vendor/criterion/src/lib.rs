@@ -7,6 +7,7 @@
 //! No statistics engine, plots or baselines; swap in the real crate once the
 //! build environment has registry access.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;

@@ -15,6 +15,7 @@
 //! message; generation is deterministic per test name, so failures
 //! reproduce exactly on re-run.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod strategy;

@@ -7,6 +7,7 @@
 //! deterministic for a given seed, which is all the callers (seeded
 //! synthetic-data generators and seeded tests) rely on.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Core trait of random generators: a source of uniform `u64`s.

@@ -22,6 +22,7 @@
 //! (`prelude::IntoParallelIterator`, `map`, `filter`, `filter_map`,
 //! `for_each`, `collect`) is call-compatible.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};

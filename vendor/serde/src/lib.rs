@@ -9,6 +9,7 @@
 //! artefacts — swap in the real crates (the manifests keep the same names)
 //! once the build environment has registry access.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Debug;

@@ -5,6 +5,8 @@
 //! (`#[derive(Serialize, Deserialize)]` and `#[serde(...)]` attributes) and
 //! emit nothing.
 
+#![deny(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Accepts `#[derive(Serialize)]`; the trait is blanket-implemented.

@@ -7,6 +7,7 @@
 //! Output files therefore contain Rust debug notation, not strict JSON,
 //! until the real crates are restored.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;
