@@ -1,0 +1,193 @@
+//! Load generator for the concurrent snapshot query service: sustained
+//! queries/sec at 1, 4 and 16 worker threads, read-only and with a
+//! concurrent writer committing mutation batches.
+//!
+//! Workers answer through a shared [`SnapshotEngine`] in-process (no TCP,
+//! so the numbers measure the engine and its epoch-swap/cache machinery,
+//! not socket overhead). Each worker rotates through query variants that
+//! share a *shape* but differ in constants, exercising the shape-keyed
+//! plan cache the way a real client mix would. In the mixed scenario a
+//! writer thread keeps committing score-update batches, so workers keep
+//! crossing epoch boundaries onto freshly built engines.
+//!
+//! Results go to `BENCH_service.json` at the workspace root (override the
+//! path with `SERVICE_LOAD_OUT`, the per-worker query count with
+//! `SERVICE_LOAD_QUERIES`, the dataset size with `SERVICE_LOAD_PAPERS`).
+//! Not a Criterion harness: one process-wide run per scenario keeps the
+//! shared-cache warm-up observable and the total runtime bounded.
+
+use carl::SnapshotEngine;
+use carl_datagen::{generate_synthetic_review, SyntheticReviewConfig};
+use reldb::{Mutation, Value};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const WORKER_COUNTS: [usize; 3] = [1, 4, 16];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Query mix: one shape, rotating filter constants (plus the unfiltered
+/// variant) — repeated shapes hit the plan-template cache, changed
+/// constants prove the templates re-instantiate.
+fn query_mix() -> Vec<String> {
+    vec![
+        "Score[P] <= Prestige[A]?".to_string(),
+        "Score[P] <= Prestige[A]? WHERE SubmittedTo(P, V), DoubleBlind[V] = false".to_string(),
+        "Score[P] <= Prestige[A]? WHERE SubmittedTo(P, V), DoubleBlind[V] = true".to_string(),
+    ]
+}
+
+fn service_at(papers: usize) -> Arc<SnapshotEngine> {
+    let config = SyntheticReviewConfig {
+        authors: (papers / 5).max(20),
+        institutions: 20,
+        papers,
+        venues: 10,
+        ..SyntheticReviewConfig::small(7)
+    };
+    let ds = generate_synthetic_review(&config);
+    Arc::new(SnapshotEngine::new(ds.instance, &ds.rules).expect("model binds to schema"))
+}
+
+/// Run `workers` threads, each answering `queries_per_worker` queries from
+/// the rotating mix. Returns (wall seconds, total queries answered).
+fn run_workers(
+    service: &Arc<SnapshotEngine>,
+    workers: usize,
+    queries_per_worker: usize,
+) -> (f64, usize) {
+    let mix = query_mix();
+    let answered = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let threads: Vec<_> = (0..workers)
+        .map(|w| {
+            let service = Arc::clone(service);
+            let mix = mix.clone();
+            let answered = Arc::clone(&answered);
+            std::thread::spawn(move || {
+                for i in 0..queries_per_worker {
+                    let query = &mix[(i + w) % mix.len()];
+                    let (_epoch, result) = service.answer_str(query);
+                    assert!(result.is_ok(), "query failed under load: {result:?}");
+                    answered.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("worker must not panic");
+    }
+    (
+        start.elapsed().as_secs_f64(),
+        answered.load(Ordering::Relaxed),
+    )
+}
+
+struct Row {
+    workers: usize,
+    read_qps: f64,
+    mixed_qps: f64,
+    commits: usize,
+    final_epoch: u64,
+}
+
+fn main() {
+    let papers = env_usize("SERVICE_LOAD_PAPERS", 2_000);
+    let queries_per_worker = env_usize("SERVICE_LOAD_QUERIES", 30);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("service_load: {papers} papers, {queries_per_worker} queries/worker, {cores} cores");
+
+    let mut rows = Vec::new();
+    for workers in WORKER_COUNTS {
+        // Read-only: one fresh service per worker count (cold caches), so
+        // runs are comparable; warm-up is part of the measured load, as it
+        // would be for a freshly deployed service.
+        let service = service_at(papers);
+        let (secs, answered) = run_workers(&service, workers, queries_per_worker);
+        let read_qps = answered as f64 / secs;
+
+        // Mixed: same load with a writer continuously committing batches
+        // that move scores around (each commit installs a fresh epoch and
+        // fresh caches — readers must keep up across epoch boundaries).
+        let service = service_at(papers);
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut commits = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let epoch = service.epoch();
+                    let batch: Vec<Mutation> = (0..3)
+                        .map(|i| Mutation::SetAttribute {
+                            attr: "Score".into(),
+                            key: vec![Value::from(format!(
+                                "p{}",
+                                (epoch as usize * 17 + i * 7) % papers
+                            ))],
+                            value: Value::Float(5.0 + (epoch % 10) as f64),
+                        })
+                        .collect();
+                    service.commit(&batch).expect("batch is valid");
+                    commits += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                commits
+            })
+        };
+        let (secs, answered) = run_workers(&service, workers, queries_per_worker);
+        stop.store(true, Ordering::Relaxed);
+        let commits = writer.join().expect("writer must not panic");
+        let mixed_qps = answered as f64 / secs;
+
+        let row = Row {
+            workers,
+            read_qps,
+            mixed_qps,
+            commits,
+            final_epoch: service.epoch(),
+        };
+        println!(
+            "  {:>2} workers: read {:>8.1} q/s | mixed {:>8.1} q/s ({} commits, final epoch {})",
+            row.workers, row.read_qps, row.mixed_qps, row.commits, row.final_epoch
+        );
+        rows.push(row);
+    }
+
+    write_json(papers, queries_per_worker, cores, &rows);
+}
+
+fn write_json(papers: usize, queries_per_worker: usize, cores: usize, rows: &[Row]) {
+    let path = std::env::var("SERVICE_LOAD_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_service.json", env!("CARGO_MANIFEST_DIR")));
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str(&format!("  \"container_cores\": {cores},\n"));
+    body.push_str(&format!("  \"papers\": {papers},\n"));
+    body.push_str(&format!(
+        "  \"queries_per_worker\": {queries_per_worker},\n"
+    ));
+    body.push_str("  \"query_mix\": \"Score[P] <= Prestige[A]? (unfiltered / DoubleBlind=false / DoubleBlind=true)\",\n");
+    body.push_str("  \"workers\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"workers\": {}, \"read_qps\": {:.1}, \"mixed_qps\": {:.1}, \
+             \"writer_commits\": {}, \"final_epoch\": {}}}{}\n",
+            row.workers,
+            row.read_qps,
+            row.mixed_qps,
+            row.commits,
+            row.final_epoch,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(&path, body).expect("write BENCH_service.json");
+    println!("service_load: wrote {path}");
+}

@@ -1,0 +1,60 @@
+//! `carl-serve` — a TCP front end for the concurrent snapshot query
+//! service.
+//!
+//! Serves the line protocol of [`carl::service`] (one request per line,
+//! one JSON object per response line) over a synthetic-review instance,
+//! with a worker-thread pool answering queries against consistent
+//! epoch snapshots while `COMMIT` requests install new epochs.
+//!
+//! ```text
+//! carl-serve [--addr 127.0.0.1:7878] [--workers 4] [--papers 2000] [--seed 7]
+//!
+//! $ printf 'EPOCH\nQUERY Score[P] <= Prestige[A]?\nQUIT\n' | nc 127.0.0.1 7878
+//! {"ok":true,"epoch":0,"fingerprint":"..."}
+//! {"ok":true,"epoch":0,"headline":...,"digest":"..."}
+//! ```
+//!
+//! `SHUTDOWN` stops the server.
+
+use carl::{serve, SnapshotEngine};
+use carl_datagen::{generate_synthetic_review, SyntheticReviewConfig};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let addr: String = arg("--addr", "127.0.0.1:7878".to_string());
+    let workers: usize = arg("--workers", 4);
+    let papers: usize = arg("--papers", 2_000);
+    let seed: u64 = arg("--seed", 7);
+
+    let config = SyntheticReviewConfig {
+        authors: (papers / 5).max(20),
+        institutions: 20,
+        papers,
+        venues: 10,
+        ..SyntheticReviewConfig::small(seed)
+    };
+    eprintln!("carl-serve: generating synthetic review data ({papers} papers, seed {seed})...");
+    let ds = generate_synthetic_review(&config);
+    let service =
+        Arc::new(SnapshotEngine::new(ds.instance, &ds.rules).expect("model binds to schema"));
+
+    let listener = TcpListener::bind(&addr).expect("bind listen address");
+    eprintln!(
+        "carl-serve: listening on {} with {} workers (epoch {})",
+        listener.local_addr().expect("bound"),
+        workers,
+        service.epoch()
+    );
+    serve(listener, service, workers).expect("server I/O");
+    eprintln!("carl-serve: shut down");
+}

@@ -45,7 +45,9 @@ use carl_lang::{
     parse_program, parse_query, AggregateRule, ArgTerm, CausalQuery, PeerCondition, Program,
 };
 use rayon::prelude::*;
-use reldb::{evaluate_tuples_filtered, IndexCache, Instance, UnitKey};
+use reldb::{
+    evaluate_tuples_filtered, IndexCache, IndexCacheStats, Instance, PlanCacheStats, UnitKey,
+};
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
@@ -330,6 +332,21 @@ impl CarlEngine {
     /// The embedding strategy currently in use.
     pub fn embedding(&self) -> EmbeddingKind {
         self.embedding
+    }
+
+    /// The content fingerprint of the instance this engine was built on.
+    ///
+    /// Both shared caches (grounding results and secondary indexes) are
+    /// keyed by this value, so two engines with equal fingerprints answer
+    /// queries bit-identically.
+    pub fn instance_fingerprint(&self) -> u64 {
+        self.instance_fingerprint
+    }
+
+    /// Hit/miss statistics of the shared secondary-index cache and of the
+    /// shape-keyed plan-template cache riding on it.
+    pub fn eval_cache_stats(&self) -> (IndexCacheStats, PlanCacheStats) {
+        (self.eval_cache.stats(), self.eval_cache.plan_stats())
     }
 
     /// Queries that were embedded in the model source text, if any.
@@ -1025,6 +1042,51 @@ mod tests {
         let prepared = engine.prepare_str("AVG_Score[A] <= Prestige[A]?").unwrap();
         assert_eq!(prepared.unit_table.len(), 3);
         assert!(engine.grounding_cache_len() >= 1);
+    }
+
+    #[test]
+    fn concurrent_clones_recover_from_poison_and_stay_bit_identical() {
+        // The concurrent sequel to the test above: clones share the
+        // grounding and index caches, a panic poisons the shared mutex
+        // mid-run, and every thread's subsequent answers must still be
+        // bit-identical to a cold sequential reference.
+        let digest = |p: &PreparedQuery| {
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            (
+                p.unit_table.units.clone(),
+                bits(p.unit_table.outcomes()),
+                bits(p.unit_table.treatments()),
+            )
+        };
+        let query = "AVG_Score[A] <= Prestige[A]?";
+        let reference = digest(&engine().prepare_str(query).unwrap());
+
+        let engine = engine();
+        let clone = engine.clone();
+        let poisoner = std::thread::spawn(move || {
+            let _guard = clone.grounding_cache.lock().unwrap();
+            panic!("poison the shared grounding cache");
+        })
+        .join();
+        assert!(poisoner.is_err());
+        assert!(engine.grounding_cache.is_poisoned());
+
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let clone = engine.clone();
+                let query = query.to_string();
+                std::thread::spawn(move || {
+                    (0..4)
+                        .map(|_| clone.prepare_str(&query).unwrap())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for thread in threads {
+            for prepared in thread.join().expect("query thread must not panic") {
+                assert_eq!(digest(&prepared), reference);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,672 @@
+//! History recording and offline consistency checking for the snapshot
+//! query service.
+//!
+//! A [`crate::snapshot::SnapshotEngine`] run produces a *history*: the
+//! sequence of epoch installs (each with its mutation batch and resulting
+//! instance fingerprint) interleaved with per-thread query observations
+//! (each tagged with the epoch it was answered on and a bit-exact digest
+//! of the answer). [`HistoryLog`] records such a history from live
+//! threads; [`check_history`] re-validates it *offline and differentially*:
+//!
+//! 1. **Replay** — the mutation batches are re-applied to the base
+//!    instance in install order. Epoch numbers must be contiguous and each
+//!    replayed instance's fingerprint must equal the recorded one (a
+//!    mismatch means the writer installed something other than what the
+//!    batch describes — e.g. a torn, half-applied batch).
+//! 2. **Cold re-ground** — for every distinct `(epoch, query)` pair
+//!    observed, a *fresh* engine (empty grounding, index and plan caches)
+//!    is built over the replayed epoch and the query re-answered. The
+//!    recorded digest must match bit-for-bit; the live service's cached
+//!    and concurrent answers are thereby checked against cold sequential
+//!    truth.
+//! 3. **Session order** — each thread's observed epochs must be
+//!    non-decreasing (the installed epoch only ever grows, so a thread
+//!    seeing it go backwards proves an illegal snapshot), and every
+//!    observed epoch must be one that was actually installed.
+//!
+//! Answers are compared through [`digest_answer`], which renders every
+//! floating-point field via `f64::to_bits` — equality means bit-identical
+//! estimates, not approximately-equal ones. Errors digest through their
+//! `Display` form, so a query that fails must fail identically on replay.
+
+use crate::engine::CarlEngine;
+use crate::error::CarlResult;
+use crate::estimate::QueryAnswer;
+use crate::snapshot::EngineSnapshot;
+use carl_lang::Program;
+use reldb::{Instance, Mutation};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::sync::{Mutex, PoisonError};
+
+/// A bit-exact, order-stable digest of a query outcome.
+///
+/// Every `f64` is rendered as its 16-hex-digit IEEE-754 bit pattern, so
+/// two digests are equal iff the answers are bit-identical. Errors digest
+/// as their `Display` rendering.
+pub fn digest_answer(result: &CarlResult<QueryAnswer>) -> String {
+    fn bits(x: f64) -> String {
+        format!("{:016x}", x.to_bits())
+    }
+    match result {
+        Ok(QueryAnswer::Ate(a)) => format!(
+            "ate[{:?};{};{}] ate={} naive={} tmean={} cmean={} corr={} nt={} nc={} n={}",
+            a.estimator,
+            a.response_attribute,
+            a.treatment_attribute,
+            bits(a.ate),
+            bits(a.naive_difference),
+            bits(a.treated_mean),
+            bits(a.control_mean),
+            bits(a.correlation),
+            a.n_treated,
+            a.n_control,
+            a.n_units,
+        ),
+        Ok(QueryAnswer::PeerEffects(p)) => format!(
+            "peer[{:?};{}] aie={} are={} aoe={} naive={} corr={} mpc={} n={} npeers={}",
+            p.estimator,
+            p.peer_regime,
+            bits(p.aie),
+            bits(p.are),
+            bits(p.aoe),
+            bits(p.naive_difference),
+            bits(p.correlation),
+            bits(p.mean_peer_count),
+            p.n_units,
+            p.n_units_with_peers,
+        ),
+        Err(e) => format!("error: {e}"),
+    }
+}
+
+/// One recorded event of a service run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HistoryEvent {
+    /// A writer installed a new epoch.
+    Install {
+        /// The installed epoch number (base = 0, first install = 1).
+        epoch: u64,
+        /// Fingerprint of the installed instance, as recorded live.
+        fingerprint: u64,
+        /// The mutation batch that produced this epoch from the previous
+        /// one.
+        mutations: Vec<Mutation>,
+    },
+    /// A reader answered a query against some snapshot.
+    Query {
+        /// Identifier of the observing thread (session order is checked
+        /// per thread).
+        thread: usize,
+        /// The epoch the snapshot claimed to be.
+        epoch: u64,
+        /// The query source text.
+        query: String,
+        /// [`digest_answer`] of the observed answer.
+        digest: String,
+    },
+}
+
+/// A concurrent, append-only recording of [`HistoryEvent`]s.
+///
+/// Install events must be appended in commit order (the single-writer
+/// discipline of [`crate::snapshot::SnapshotEngine`] guarantees commit
+/// order is well-defined); query events may interleave arbitrarily.
+#[derive(Debug, Default)]
+pub struct HistoryLog {
+    events: Mutex<Vec<HistoryEvent>>,
+}
+
+impl HistoryLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a raw event. Public so tests can seed deliberately corrupted
+    /// histories; live recording normally goes through
+    /// [`HistoryLog::record_install`] / [`HistoryLog::record_query`].
+    pub fn push(&self, event: HistoryEvent) {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(event);
+    }
+
+    /// Record a successful install of `snapshot`, produced by `mutations`.
+    pub fn record_install(&self, snapshot: &EngineSnapshot, mutations: &[Mutation]) {
+        self.push(HistoryEvent::Install {
+            epoch: snapshot.epoch(),
+            fingerprint: snapshot.fingerprint(),
+            mutations: mutations.to_vec(),
+        });
+    }
+
+    /// Record a query observation: `result` was computed for `query` on a
+    /// snapshot claiming `epoch`, by `thread`.
+    pub fn record_query(
+        &self,
+        thread: usize,
+        epoch: u64,
+        query: &str,
+        result: &CarlResult<QueryAnswer>,
+    ) {
+        self.push(HistoryEvent::Query {
+            thread,
+            epoch,
+            query: query.to_string(),
+            digest: digest_answer(result),
+        });
+    }
+
+    /// All events recorded so far, in append order.
+    pub fn events(&self) -> Vec<HistoryEvent> {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A way in which a recorded history fails to be explainable by a legal
+/// sequence of consistent snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Install events were not numbered 1, 2, 3, … in log order.
+    InstallOutOfOrder {
+        /// The epoch number the next install should have carried.
+        expected: u64,
+        /// The epoch number it actually carried.
+        found: u64,
+    },
+    /// A recorded mutation batch does not apply cleanly on replay, so the
+    /// install cannot describe a real epoch.
+    ReplayFailed {
+        /// The epoch whose batch failed.
+        epoch: u64,
+        /// The replay error.
+        error: String,
+    },
+    /// The replayed instance differs from what the writer recorded —
+    /// e.g. a torn install that applied only part of its batch.
+    FingerprintMismatch {
+        /// The epoch in question.
+        epoch: u64,
+        /// The fingerprint recorded at install time.
+        recorded: u64,
+        /// The fingerprint obtained by replaying the batches.
+        replayed: u64,
+    },
+    /// A query claims an epoch that was never installed.
+    UnknownEpoch {
+        /// The observing thread.
+        thread: usize,
+        /// The claimed epoch.
+        epoch: u64,
+        /// The query text.
+        query: String,
+    },
+    /// A thread observed a smaller epoch after a larger one; the installed
+    /// epoch is monotone, so the earlier or later snapshot was illegal.
+    EpochWentBackwards {
+        /// The observing thread.
+        thread: usize,
+        /// The epoch it had already observed.
+        from: u64,
+        /// The smaller epoch it observed afterwards.
+        to: u64,
+    },
+    /// The recorded answer digest differs from a cold re-computation on
+    /// the claimed epoch — the reader saw data no single epoch contains.
+    AnswerMismatch {
+        /// The observing thread.
+        thread: usize,
+        /// The claimed epoch.
+        epoch: u64,
+        /// The query text.
+        query: String,
+        /// The digest recorded live.
+        recorded: String,
+        /// The digest of the cold re-computation.
+        expected: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::InstallOutOfOrder { expected, found } => {
+                write!(f, "install out of order: expected epoch {expected}, found {found}")
+            }
+            Violation::ReplayFailed { epoch, error } => {
+                write!(f, "epoch {epoch}: recorded batch does not replay: {error}")
+            }
+            Violation::FingerprintMismatch {
+                epoch,
+                recorded,
+                replayed,
+            } => write!(
+                f,
+                "epoch {epoch}: recorded fingerprint {recorded:016x} but replay yields {replayed:016x}"
+            ),
+            Violation::UnknownEpoch { thread, epoch, query } => {
+                write!(f, "thread {thread}: query {query:?} claims unknown epoch {epoch}")
+            }
+            Violation::EpochWentBackwards { thread, from, to } => {
+                write!(f, "thread {thread}: epoch went backwards from {from} to {to}")
+            }
+            Violation::AnswerMismatch {
+                thread,
+                epoch,
+                query,
+                recorded,
+                expected,
+            } => write!(
+                f,
+                "thread {thread}: query {query:?} on epoch {epoch} recorded {recorded:?} but cold replay gives {expected:?}"
+            ),
+        }
+    }
+}
+
+/// Check a recorded history against cold, sequential ground truth.
+///
+/// `base` is the epoch-0 instance the service was started on and
+/// `program` the CaRL program it serves. Returns every violation found
+/// (empty = the history is consistent). Only fails with `Err` if the
+/// program itself cannot be bound to a replayed epoch — which would also
+/// have failed live — or the base engine cannot be built.
+///
+/// See the module docs for exactly what is checked.
+pub fn check_history(
+    base: &Instance,
+    program: &Program,
+    events: &[HistoryEvent],
+) -> CarlResult<Vec<Violation>> {
+    let mut violations = Vec::new();
+
+    // Phase 1: replay installs into the sequence of epoch instances.
+    let mut epochs: Vec<Instance> = vec![base.clone()];
+    let mut replay_broken = false;
+    for event in events {
+        let HistoryEvent::Install {
+            epoch,
+            fingerprint,
+            mutations,
+        } = event
+        else {
+            continue;
+        };
+        if replay_broken {
+            continue;
+        }
+        let expected = epochs.len() as u64;
+        if *epoch != expected {
+            violations.push(Violation::InstallOutOfOrder {
+                expected,
+                found: *epoch,
+            });
+            replay_broken = true;
+            continue;
+        }
+        let prev = epochs.last().expect("epochs starts with base");
+        match prev.apply(mutations) {
+            Ok(next) => {
+                if next.fingerprint() != *fingerprint {
+                    violations.push(Violation::FingerprintMismatch {
+                        epoch: *epoch,
+                        recorded: *fingerprint,
+                        replayed: next.fingerprint(),
+                    });
+                }
+                epochs.push(next);
+            }
+            Err(e) => {
+                violations.push(Violation::ReplayFailed {
+                    epoch: *epoch,
+                    error: e.to_string(),
+                });
+                replay_broken = true;
+            }
+        }
+    }
+
+    // Phase 2: cold re-ground every distinct (epoch, query) pair once.
+    let mut wanted: BTreeMap<u64, BTreeSet<&str>> = BTreeMap::new();
+    for event in events {
+        if let HistoryEvent::Query { epoch, query, .. } = event {
+            if (*epoch as usize) < epochs.len() {
+                wanted.entry(*epoch).or_default().insert(query.as_str());
+            }
+        }
+    }
+    let mut expected_digests: HashMap<(u64, &str), String> = HashMap::new();
+    for (&epoch, queries) in &wanted {
+        // A fresh engine: empty grounding-result, index and plan caches,
+        // so nothing the live service cached can leak into the oracle.
+        let engine = CarlEngine::with_program(epochs[epoch as usize].clone(), program.clone())?;
+        for &query in queries {
+            let digest = digest_answer(&engine.answer_str(query));
+            expected_digests.insert((epoch, query), digest);
+        }
+    }
+
+    // Phase 3: walk the log checking session order and answer digests.
+    let mut last_epoch_by_thread: HashMap<usize, u64> = HashMap::new();
+    for event in events {
+        let HistoryEvent::Query {
+            thread,
+            epoch,
+            query,
+            digest,
+        } = event
+        else {
+            continue;
+        };
+        if *epoch as usize >= epochs.len() {
+            violations.push(Violation::UnknownEpoch {
+                thread: *thread,
+                epoch: *epoch,
+                query: query.clone(),
+            });
+            continue;
+        }
+        let last = last_epoch_by_thread.entry(*thread).or_insert(*epoch);
+        if *epoch < *last {
+            violations.push(Violation::EpochWentBackwards {
+                thread: *thread,
+                from: *last,
+                to: *epoch,
+            });
+        } else {
+            *last = *epoch;
+        }
+        let expected = &expected_digests[&(*epoch, query.as_str())];
+        if digest != expected {
+            violations.push(Violation::AnswerMismatch {
+                thread: *thread,
+                epoch: *epoch,
+                query: query.clone(),
+                recorded: digest.clone(),
+                expected: expected.clone(),
+            });
+        }
+    }
+
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotEngine;
+    use reldb::{DomainType, RelationalSchema, Value};
+
+    const RING_RULES: &str = r#"
+        Famous[A]  <= Talent[A]             WHERE Person(A)
+        Outcome[A] <= Famous[A], Talent[A]  WHERE Person(A)
+        Outcome[A] <= Famous[B]             WHERE Collab(A, B)
+    "#;
+
+    const QUERY: &str = "Outcome[A] <= Famous[A]?";
+
+    /// A deterministic ring-collaboration instance big enough that the
+    /// query above gets a real (estimable) answer, so digests actually
+    /// depend on the data.
+    fn ring_instance(n: usize) -> Instance {
+        let mut schema = RelationalSchema::new();
+        schema.add_entity("Person").unwrap();
+        schema
+            .add_relationship("Collab", &["Person", "Person"])
+            .unwrap();
+        schema
+            .add_attribute("Talent", "Person", DomainType::Float, true)
+            .unwrap();
+        schema
+            .add_attribute("Famous", "Person", DomainType::Bool, true)
+            .unwrap();
+        schema
+            .add_attribute("Outcome", "Person", DomainType::Float, true)
+            .unwrap();
+        let mut instance = Instance::new(schema);
+        for i in 0..n {
+            let key = Value::from(format!("p{i}"));
+            instance.add_entity("Person", key.clone()).unwrap();
+            let talent = (i % 7) as f64 / 7.0;
+            let famous = i % 3 == 0;
+            instance
+                .set_attribute("Talent", std::slice::from_ref(&key), Value::Float(talent))
+                .unwrap();
+            instance
+                .set_attribute("Famous", std::slice::from_ref(&key), Value::Bool(famous))
+                .unwrap();
+            let y = f64::from(famous) + 2.0 * talent + (i % 5) as f64 * 0.01;
+            instance
+                .set_attribute("Outcome", &[key], Value::Float(y))
+                .unwrap();
+        }
+        for i in 0..n {
+            let j = (i + 1) % n;
+            for (a, b) in [(i, j), (j, i)] {
+                instance
+                    .add_relationship(
+                        "Collab",
+                        vec![Value::from(format!("p{a}")), Value::from(format!("p{b}"))],
+                    )
+                    .unwrap();
+            }
+        }
+        instance
+    }
+
+    /// Each batch changes two people's outcomes (and so the query answer);
+    /// two mutations so a "torn" half-applied batch is expressible.
+    fn batch(i: u32) -> Vec<Mutation> {
+        vec![
+            Mutation::SetAttribute {
+                attr: "Outcome".into(),
+                key: vec![Value::from(format!("p{i}"))],
+                value: Value::Float(5.0 + f64::from(i)),
+            },
+            Mutation::SetAttribute {
+                attr: "Outcome".into(),
+                key: vec![Value::from(format!("p{}", i + 8))],
+                value: Value::Float(7.0 + f64::from(i)),
+            },
+        ]
+    }
+
+    /// A small faithful history: a writer commits two batches while a
+    /// "reader" queries each epoch; the checker must find nothing.
+    fn faithful_history() -> (Instance, Program, Vec<HistoryEvent>) {
+        let base = ring_instance(24);
+        let service = SnapshotEngine::new(base.clone(), RING_RULES).unwrap();
+        let log = HistoryLog::new();
+
+        let (epoch, result) = service.answer_str(QUERY);
+        log.record_query(0, epoch, QUERY, &result);
+        for i in 0..2 {
+            let muts = batch(i);
+            let snap = service.commit(&muts).unwrap();
+            log.record_install(&snap, &muts);
+            let (epoch, result) = service.answer_str(QUERY);
+            log.record_query(0, epoch, QUERY, &result);
+        }
+        let program = service.program().clone();
+        (base, program, log.events())
+    }
+
+    #[test]
+    fn faithful_histories_check_clean() {
+        let (base, program, events) = faithful_history();
+        assert_eq!(check_history(&base, &program, &events).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn corrupted_install_fingerprint_is_flagged() {
+        let (base, program, mut events) = faithful_history();
+        for event in &mut events {
+            if let HistoryEvent::Install {
+                epoch, fingerprint, ..
+            } = event
+            {
+                if *epoch == 2 {
+                    *fingerprint ^= 1;
+                }
+            }
+        }
+        let violations = check_history(&base, &program, &events).unwrap();
+        assert!(matches!(
+            violations.as_slice(),
+            [Violation::FingerprintMismatch { epoch: 2, .. }]
+        ));
+    }
+
+    #[test]
+    fn torn_install_is_flagged_by_fingerprint() {
+        // Drop half of epoch 1's batch from the record: the recorded
+        // fingerprint (of the fully applied batch) no longer matches the
+        // replay, exactly like a writer that installed a half-applied
+        // state would be caught by replaying its claimed batch.
+        let (base, program, mut events) = faithful_history();
+        for event in &mut events {
+            if let HistoryEvent::Install {
+                epoch, mutations, ..
+            } = event
+            {
+                if *epoch == 1 {
+                    mutations.truncate(1);
+                }
+            }
+        }
+        let violations = check_history(&base, &program, &events).unwrap();
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::FingerprintMismatch { epoch: 1, .. })));
+        // Epoch 2 re-applies cleanly on top of the truncated epoch 1 but
+        // yields a different instance, so its queries mismatch too — the
+        // checker localises the first lie and distrusts what follows.
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::AnswerMismatch { .. })));
+    }
+
+    #[test]
+    fn unknown_and_backward_epochs_are_flagged() {
+        let (base, program, mut events) = faithful_history();
+        let last_digest = events
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                HistoryEvent::Query { digest, .. } => Some(digest.clone()),
+                _ => None,
+            })
+            .unwrap();
+        events.push(HistoryEvent::Query {
+            thread: 7,
+            epoch: 99,
+            query: QUERY.into(),
+            digest: last_digest.clone(),
+        });
+        events.push(HistoryEvent::Query {
+            thread: 0,
+            epoch: 1,
+            query: QUERY.into(),
+            digest: last_digest,
+        });
+        let violations = check_history(&base, &program, &events).unwrap();
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            Violation::UnknownEpoch {
+                thread: 7,
+                epoch: 99,
+                ..
+            }
+        )));
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            Violation::EpochWentBackwards {
+                thread: 0,
+                from: 2,
+                to: 1
+            }
+        )));
+    }
+
+    #[test]
+    fn out_of_order_installs_are_flagged() {
+        let (base, program, mut events) = faithful_history();
+        for event in &mut events {
+            if let HistoryEvent::Install { epoch, .. } = event {
+                if *epoch == 2 {
+                    *epoch = 3;
+                }
+            }
+        }
+        let violations = check_history(&base, &program, &events).unwrap();
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            Violation::InstallOutOfOrder {
+                expected: 2,
+                found: 3
+            }
+        )));
+        // Queries tagged with the never-installed epoch 2 become unknown.
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::UnknownEpoch { epoch: 2, .. })));
+    }
+
+    #[test]
+    fn unreplayable_batches_are_flagged() {
+        let (base, program, mut events) = faithful_history();
+        for event in &mut events {
+            if let HistoryEvent::Install {
+                epoch, mutations, ..
+            } = event
+            {
+                if *epoch == 1 {
+                    mutations.push(Mutation::InsertRelationship {
+                        rel: "NoSuchRel".into(),
+                        tuple: vec![Value::from("x")],
+                    });
+                }
+            }
+        }
+        let violations = check_history(&base, &program, &events).unwrap();
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::ReplayFailed { epoch: 1, .. })));
+    }
+
+    #[test]
+    fn digests_distinguish_answers_bitwise() {
+        let service = SnapshotEngine::new(ring_instance(24), RING_RULES).unwrap();
+        let (_, a) = service.answer_str(QUERY);
+        assert!(a.is_ok(), "ring instance must be estimable: {a:?}");
+        let (_, b) = service.answer_str(QUERY);
+        assert_eq!(digest_answer(&a), digest_answer(&b));
+        // A mutated outcome must change the digest (the digest really
+        // depends on the numbers, not just on query structure).
+        let next = service.commit(&batch(0)).unwrap();
+        let digest_after = digest_answer(&next.engine().answer_str(QUERY));
+        assert_ne!(digest_answer(&a), digest_after);
+        // Errors digest through Display and are stable too.
+        let (_, err) = service.answer_str("Nope[A] <= Famous[A]?");
+        assert!(err.is_err());
+        assert!(digest_answer(&err).starts_with("error: "));
+    }
+}

@@ -62,11 +62,14 @@ pub mod error;
 pub mod estimate;
 pub mod graph;
 pub mod ground;
+pub mod history;
 pub mod model;
 pub mod paths;
 pub mod peers;
 pub mod query;
 pub mod rowwise;
+pub mod service;
+pub mod snapshot;
 pub mod unit_table;
 
 pub use analyze::{analyze, analyze_with_schema, SchemaFinding};
@@ -79,8 +82,11 @@ pub use ground::{
     ground, ground_aggregate_extension, ground_streaming, ground_with, ground_with_bindings,
     AggregateExtension, GroundedModel, GroundedValues, StreamedModel,
 };
+pub use history::{check_history, digest_answer, HistoryEvent, HistoryLog, Violation};
 pub use model::RelationalCausalModel;
 pub use query::{bootstrap_ate, CateStratifier};
+pub use service::{handle_request, serve};
+pub use snapshot::{EngineSnapshot, SnapshotEngine};
 pub use unit_table::{FloatColumn, NullBitmap, UnitTable};
 
 // Re-export the substrate crates so downstream users need only depend on `carl`.

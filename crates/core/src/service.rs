@@ -1,0 +1,431 @@
+//! A line-oriented request/response protocol over the snapshot query
+//! service, plus a small TCP server driving it with a worker-thread pool.
+//!
+//! The protocol is deliberately trivial — one request per line, one JSON
+//! object per response line — so load generators and shell tools can speak
+//! it without a client library:
+//!
+//! | request                         | effect                                           |
+//! |---------------------------------|--------------------------------------------------|
+//! | `PING`                          | liveness check                                   |
+//! | `EPOCH`                         | current epoch number + instance fingerprint      |
+//! | `STATS`                         | cache statistics of the current snapshot         |
+//! | `QUERY <carl query text>`       | answer on a consistent snapshot                  |
+//! | `COMMIT <spec>; <spec>; …`      | apply a mutation batch, install the next epoch   |
+//! | `QUIT`                          | close this connection                            |
+//! | `SHUTDOWN`                      | stop the whole server (responds first)           |
+//!
+//! Mutation specs (for `COMMIT`) are whitespace-separated words:
+//! `entity <Entity> <key>`, `insert <Rel> <v>…`, `delete <Rel> <v>…`,
+//! `set <Attr> <key>… <value>` (value last) and `clear <Attr> <key>…`.
+//! Values parse as `true`/`false`, integer, float, or fall back to string;
+//! `null` parses as the null value.
+//!
+//! Every `QUERY` response carries the epoch it was answered on and the
+//! bit-exact [`crate::history::digest_answer`] digest, so a client can
+//! record a history and validate the service with
+//! [`crate::history::check_history`].
+
+use crate::history::digest_answer;
+use crate::snapshot::SnapshotEngine;
+use reldb::{Mutation, Value};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::thread;
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn error_response(message: &str) -> String {
+    format!("{{\"ok\":false,\"error\":\"{}\"}}", json_escape(message))
+}
+
+/// Parse one protocol value word.
+fn parse_value(word: &str) -> Value {
+    match word {
+        "null" => Value::Null,
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        _ => {
+            if let Ok(i) = word.parse::<i64>() {
+                Value::Int(i)
+            } else if let Ok(f) = word.parse::<f64>() {
+                Value::Float(f)
+            } else {
+                Value::Str(word.to_string())
+            }
+        }
+    }
+}
+
+/// Parse one `;`-separated mutation spec (see the module docs).
+fn parse_mutation(spec: &str) -> Result<Mutation, String> {
+    let words: Vec<&str> = spec.split_whitespace().collect();
+    let usage = "expected 'entity <E> <key>', 'insert|delete <Rel> <v>..', \
+                 'set <Attr> <key>.. <value>' or 'clear <Attr> <key>..'";
+    match words.as_slice() {
+        ["entity", entity, key] => Ok(Mutation::InsertEntity {
+            entity: (*entity).to_string(),
+            key: parse_value(key),
+        }),
+        ["insert", rel, args @ ..] if !args.is_empty() => Ok(Mutation::InsertRelationship {
+            rel: (*rel).to_string(),
+            tuple: args.iter().map(|w| parse_value(w)).collect(),
+        }),
+        ["delete", rel, args @ ..] if !args.is_empty() => Ok(Mutation::DeleteRelationship {
+            rel: (*rel).to_string(),
+            tuple: args.iter().map(|w| parse_value(w)).collect(),
+        }),
+        ["set", attr, args @ ..] if args.len() >= 2 => {
+            let (value, key) = args.split_last().expect("len >= 2");
+            Ok(Mutation::SetAttribute {
+                attr: (*attr).to_string(),
+                key: key.iter().map(|w| parse_value(w)).collect(),
+                value: parse_value(value),
+            })
+        }
+        ["clear", attr, args @ ..] if !args.is_empty() => Ok(Mutation::ClearAttribute {
+            attr: (*attr).to_string(),
+            key: args.iter().map(|w| parse_value(w)).collect(),
+        }),
+        _ => Err(format!("bad mutation spec {spec:?}: {usage}")),
+    }
+}
+
+/// Handle one protocol request line, returning one JSON response line
+/// (without the trailing newline). Pure with respect to I/O — the TCP
+/// layer and tests both call this.
+pub fn handle_request(service: &SnapshotEngine, line: &str) -> String {
+    let line = line.trim();
+    let (command, rest) = match line.split_once(char::is_whitespace) {
+        Some((c, r)) => (c, r.trim()),
+        None => (line, ""),
+    };
+    match command.to_ascii_uppercase().as_str() {
+        "PING" => "{\"ok\":true}".to_string(),
+        "EPOCH" => {
+            let snap = service.snapshot();
+            format!(
+                "{{\"ok\":true,\"epoch\":{},\"fingerprint\":\"{:016x}\"}}",
+                snap.epoch(),
+                snap.fingerprint()
+            )
+        }
+        "STATS" => {
+            let snap = service.snapshot();
+            let (index, plans) = snap.engine().eval_cache_stats();
+            format!(
+                "{{\"ok\":true,\"epoch\":{},\"grounding_cache\":{},\
+                 \"index_builds\":{},\"index_hits\":{},\
+                 \"plan_hits\":{},\"plan_misses\":{},\"plan_entries\":{}}}",
+                snap.epoch(),
+                snap.engine().grounding_cache_len(),
+                index.builds,
+                index.hits,
+                plans.hits,
+                plans.misses,
+                plans.entries
+            )
+        }
+        "QUERY" if !rest.is_empty() => {
+            let (epoch, result) = service.answer_str(rest);
+            let digest = digest_answer(&result);
+            match result {
+                Ok(answer) => {
+                    let headline = answer.headline();
+                    let headline = if headline.is_finite() {
+                        format!("{headline}")
+                    } else {
+                        "null".to_string()
+                    };
+                    format!(
+                        "{{\"ok\":true,\"epoch\":{},\"headline\":{},\"digest\":\"{}\"}}",
+                        epoch,
+                        headline,
+                        json_escape(&digest)
+                    )
+                }
+                Err(e) => format!(
+                    "{{\"ok\":false,\"epoch\":{},\"error\":\"{}\",\"digest\":\"{}\"}}",
+                    epoch,
+                    json_escape(&e.to_string()),
+                    json_escape(&digest)
+                ),
+            }
+        }
+        "COMMIT" if !rest.is_empty() => {
+            let mut mutations = Vec::new();
+            for spec in rest.split(';') {
+                let spec = spec.trim();
+                if spec.is_empty() {
+                    continue;
+                }
+                match parse_mutation(spec) {
+                    Ok(m) => mutations.push(m),
+                    Err(e) => return error_response(&e),
+                }
+            }
+            if mutations.is_empty() {
+                return error_response("empty mutation batch");
+            }
+            match service.commit(&mutations) {
+                Ok(snap) => format!(
+                    "{{\"ok\":true,\"epoch\":{},\"fingerprint\":\"{:016x}\"}}",
+                    snap.epoch(),
+                    snap.fingerprint()
+                ),
+                Err(e) => error_response(&e.to_string()),
+            }
+        }
+        "QUERY" => error_response("QUERY needs a query text"),
+        "COMMIT" => error_response("COMMIT needs a mutation batch"),
+        other => error_response(&format!("unknown command {other:?}")),
+    }
+}
+
+/// Serve one accepted connection until `QUIT`, `SHUTDOWN`, EOF or an I/O
+/// error. On `SHUTDOWN`, sets the flag and pokes the listener with a
+/// throw-away connection so its blocking `accept` wakes up.
+fn handle_connection(
+    service: &SnapshotEngine,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    let server_addr = stream.local_addr()?;
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed.eq_ignore_ascii_case("QUIT") {
+            break;
+        }
+        if trimmed.eq_ignore_ascii_case("SHUTDOWN") {
+            shutdown.store(true, Ordering::SeqCst);
+            writer.write_all(b"{\"ok\":true,\"shutdown\":true}\n")?;
+            writer.flush()?;
+            // Unblock the accept loop; it will observe the flag and exit.
+            let _ = TcpStream::connect(server_addr);
+            break;
+        }
+        let response = handle_request(service, trimmed);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Run the TCP server on `listener` with `workers` connection-handling
+/// threads until a client sends `SHUTDOWN`. Every worker answers queries
+/// through the same shared [`SnapshotEngine`], so concurrent clients get
+/// snapshot-consistent answers while commits install new epochs.
+pub fn serve(
+    listener: TcpListener,
+    service: Arc<SnapshotEngine>,
+    workers: usize,
+) -> std::io::Result<()> {
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (sender, receiver) = mpsc::channel::<TcpStream>();
+    let receiver = Arc::new(Mutex::new(receiver));
+
+    let mut handles = Vec::new();
+    for _ in 0..workers.max(1) {
+        let receiver = Arc::clone(&receiver);
+        let service = Arc::clone(&service);
+        let shutdown = Arc::clone(&shutdown);
+        handles.push(thread::spawn(move || loop {
+            let next = receiver
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .recv();
+            match next {
+                Ok(stream) => {
+                    // Connection-level I/O errors only kill that
+                    // connection, never the worker.
+                    let _ = handle_connection(&service, stream, &shutdown);
+                }
+                Err(_) => break, // sender dropped: server is stopping
+            }
+        }));
+    }
+
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                if sender.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(_) => continue,
+        }
+    }
+
+    drop(sender);
+    for handle in handles {
+        let _ = handle.join();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reldb::Instance;
+
+    const REVIEW_RULES: &str = r#"
+        Prestige[A]  <= Qualification[A]              WHERE Person(A)
+        Quality[S]   <= Qualification[A], Prestige[A] WHERE Author(A, S)
+        Score[S]     <= Prestige[A]                   WHERE Author(A, S)
+        Score[S]     <= Quality[S]                    WHERE Submission(S)
+        AVG_Score[A] <= Score[S]                      WHERE Author(A, S)
+    "#;
+
+    fn service() -> SnapshotEngine {
+        SnapshotEngine::new(Instance::review_example(), REVIEW_RULES).unwrap()
+    }
+
+    #[test]
+    fn protocol_round_trips_without_io() {
+        let service = service();
+        assert_eq!(handle_request(&service, "PING"), "{\"ok\":true}");
+        assert_eq!(handle_request(&service, "ping"), "{\"ok\":true}");
+
+        let epoch = handle_request(&service, "EPOCH");
+        assert!(epoch.starts_with("{\"ok\":true,\"epoch\":0,"), "{epoch}");
+
+        let commit = handle_request(
+            &service,
+            "COMMIT entity Person Dana; set Qualification Dana 30.0; \
+             insert Author Dana s1; delete Author Dana s1",
+        );
+        assert!(commit.starts_with("{\"ok\":true,\"epoch\":1,"), "{commit}");
+
+        // The query errors on 3 units (too few) but still reports its
+        // epoch and a digest.
+        let query = handle_request(&service, "QUERY AVG_Score[A] <= Prestige[A]?");
+        assert!(query.starts_with("{\"ok\":false,\"epoch\":1,"), "{query}");
+        assert!(query.contains("\"digest\":\"error: "), "{query}");
+
+        let stats = handle_request(&service, "STATS");
+        assert!(stats.contains("\"epoch\":1"), "{stats}");
+        assert!(stats.contains("\"plan_hits\""), "{stats}");
+    }
+
+    #[test]
+    fn malformed_requests_report_errors() {
+        let service = service();
+        for bad in [
+            "FROBNICATE",
+            "QUERY",
+            "COMMIT",
+            "COMMIT dance Person Dana",
+            "COMMIT set Qualification",
+            "COMMIT insert Author",
+        ] {
+            let resp = handle_request(&service, bad);
+            assert!(resp.starts_with("{\"ok\":false,"), "{bad:?} -> {resp}");
+        }
+        // A commit that parses but fails validation leaves the epoch
+        // unchanged and reports the engine's error.
+        let resp = handle_request(&service, "COMMIT insert NoSuchRel a b");
+        assert!(resp.starts_with("{\"ok\":false,"), "{resp}");
+        assert_eq!(service.epoch(), 0);
+    }
+
+    #[test]
+    fn values_parse_into_typed_mutations() {
+        assert_eq!(
+            parse_mutation("set Blind ConfX true").unwrap(),
+            Mutation::SetAttribute {
+                attr: "Blind".into(),
+                key: vec![Value::Str("ConfX".into())],
+                value: Value::Bool(true),
+            }
+        );
+        assert_eq!(
+            parse_mutation("set Score s1 0.75").unwrap(),
+            Mutation::SetAttribute {
+                attr: "Score".into(),
+                key: vec![Value::Str("s1".into())],
+                value: Value::Float(0.75),
+            }
+        );
+        assert_eq!(
+            parse_mutation("set Count s1 3").unwrap(),
+            Mutation::SetAttribute {
+                attr: "Count".into(),
+                key: vec![Value::Str("s1".into())],
+                value: Value::Int(3),
+            }
+        );
+        assert_eq!(
+            parse_mutation("clear Score s1").unwrap(),
+            Mutation::ClearAttribute {
+                attr: "Score".into(),
+                key: vec![Value::Str("s1".into())],
+            }
+        );
+    }
+
+    #[test]
+    fn json_escaping_is_safe() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let resp = error_response("quote \" and newline \n");
+        assert!(!resp.contains('\n'));
+    }
+
+    #[test]
+    fn tcp_server_round_trips_and_shuts_down() {
+        use std::io::{BufRead, BufReader, Write};
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let service = Arc::new(service());
+        let server = thread::spawn(move || serve(listener, service, 2).unwrap());
+
+        let read_line = |stream: &mut BufReader<TcpStream>| {
+            let mut line = String::new();
+            stream.read_line(&mut line).unwrap();
+            line.trim().to_string()
+        };
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"PING\nEPOCH\nQUIT\n").unwrap();
+        assert_eq!(read_line(&mut reader), "{\"ok\":true}");
+        assert!(read_line(&mut reader).contains("\"epoch\":0"));
+
+        // A second connection (exercising the worker pool) shuts the
+        // server down.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"SHUTDOWN\n").unwrap();
+        assert!(read_line(&mut reader).contains("\"shutdown\":true"));
+        server.join().unwrap();
+    }
+}

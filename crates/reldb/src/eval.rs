@@ -8,7 +8,11 @@
 //! Evaluation is planned: [`crate::plan`] chooses a most-selective-first
 //! join order, an access path per atom (scan, positional hash probe, or
 //! attribute-index fetch), semi-join pruning passes, and a register slot
-//! per variable. The executor here is *dense*: partial answers are flat
+//! per variable. Planning itself is cached by query *shape* (structure
+//! modulo constants, [`crate::plan::shape_key`]) in the shared
+//! [`IndexCache`]: repeated queries differing only in constants re-target
+//! the cached template via [`crate::plan::instantiate`] instead of
+//! replanning. The executor here is *dense*: partial answers are flat
 //! register tuples of interned [`Sym`]bols (one `u32` per variable slot,
 //! see [`Skeleton::interner`]) carried through scan/probe/check steps with
 //! zero per-row maps and zero heap values; matching is integer comparison
@@ -39,7 +43,10 @@
 use crate::error::{RelError, RelResult};
 use crate::index::IndexCache;
 use crate::instance::Instance;
-use crate::plan::{plan_query, plan_query_filtered, Access, EqFilter, Plan, SemiJoin, SlotTerm};
+use crate::plan::{
+    instantiate, plan_query, plan_query_filtered, shape_key, Access, EqFilter, Plan, SemiJoin,
+    SlotTerm,
+};
 use crate::query::{ConjunctiveQuery, Term};
 use crate::schema::{PredicateKind, RelationalSchema};
 use crate::skeleton::Skeleton;
@@ -47,6 +54,7 @@ use crate::symbols::{Sym, SymSet, SymbolTable};
 use crate::value::Value;
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A substitution binding variable names to values.
 pub type Bindings = HashMap<String, Value>;
@@ -63,6 +71,51 @@ fn debug_assert_plan(schema: &RelationalSchema, plan: &Plan) {
     }
     #[cfg(not(debug_assertions))]
     let _ = (schema, plan);
+}
+
+/// Plan `query` through the shape-keyed plan cache of `cache`: a cached
+/// template of the same [`shape_key`] is re-targeted at this query's
+/// constants with [`instantiate`] (skipping the planner entirely);
+/// otherwise the query is cold-planned and the plan stored as the shape's
+/// template. Plan *errors* (unknown predicates, arity mismatches) are never
+/// cached, so rejected queries report the same error on every attempt.
+fn plan_shaped(
+    cache: &IndexCache,
+    schema: &RelationalSchema,
+    skeleton: &Skeleton,
+    query: &ConjunctiveQuery,
+) -> RelResult<Arc<Plan>> {
+    let shape = shape_key(query, &[]);
+    if let Some(template) = cache.plan_template(&shape) {
+        if let Some(plan) = instantiate(&template, query, &[]) {
+            return Ok(Arc::new(plan));
+        }
+    }
+    let plan = Arc::new(plan_query(schema, skeleton, query)?);
+    cache.store_plan_template(shape, Arc::clone(&plan));
+    Ok(plan)
+}
+
+/// Filtered form of [`plan_shaped`] (templates keyed on query + filter
+/// shape).
+fn plan_shaped_filtered(
+    cache: &IndexCache,
+    schema: &RelationalSchema,
+    instance: &Instance,
+    query: &ConjunctiveQuery,
+    filters: &[EqFilter],
+) -> RelResult<Arc<Plan>> {
+    let shape = shape_key(query, filters);
+    if let Some(template) = cache.plan_template(&shape) {
+        if let Some(plan) = instantiate(&template, query, filters) {
+            return Ok(Arc::new(plan));
+        }
+    }
+    let plan = Arc::new(plan_query_filtered(
+        schema, instance, cache, query, filters,
+    )?);
+    cache.store_plan_template(shape, Arc::clone(&plan));
+    Ok(plan)
 }
 
 /// Row count above which a step's probe loop is split across the worker
@@ -198,7 +251,7 @@ pub fn evaluate_tuples<'a>(
     skeleton: &'a Skeleton,
     query: &ConjunctiveQuery,
 ) -> RelResult<TupleAnswers<'a>> {
-    let plan = plan_query(schema, skeleton, query)?;
+    let plan = plan_shaped(cache, schema, skeleton, query)?;
     debug_assert_plan(schema, &plan);
     Ok(execute_tuples(&plan, schema, skeleton, None, cache))
 }
@@ -230,7 +283,7 @@ pub fn evaluate_tuples_filtered<'a>(
     query: &ConjunctiveQuery,
     filters: &[EqFilter],
 ) -> RelResult<TupleAnswers<'a>> {
-    let plan = plan_query_filtered(schema, instance, cache, query, filters)?;
+    let plan = plan_shaped_filtered(cache, schema, instance, query, filters)?;
     debug_assert_plan(schema, &plan);
     Ok(execute_tuples(
         &plan,
@@ -263,7 +316,7 @@ pub fn evaluate_tuples_chunked<'a>(
     query: &ConjunctiveQuery,
     on_batch: &mut dyn FnMut(&TupleAnswers<'a>) -> RelResult<()>,
 ) -> RelResult<()> {
-    let plan = plan_query(schema, skeleton, query)?;
+    let plan = plan_shaped(cache, schema, skeleton, query)?;
     debug_assert_plan(schema, &plan);
     execute_tuples_stream(&plan, schema, skeleton, None, cache, on_batch)
 }
@@ -279,7 +332,7 @@ pub fn evaluate_tuples_filtered_chunked<'a>(
     filters: &[EqFilter],
     on_batch: &mut dyn FnMut(&TupleAnswers<'a>) -> RelResult<()>,
 ) -> RelResult<()> {
-    let plan = plan_query_filtered(schema, instance, cache, query, filters)?;
+    let plan = plan_shaped_filtered(cache, schema, instance, query, filters)?;
     debug_assert_plan(schema, &plan);
     execute_tuples_stream(
         &plan,

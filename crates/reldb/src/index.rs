@@ -15,6 +15,7 @@
 //! instance, so in steady state indexes are built exactly once.
 
 use crate::instance::Instance;
+use crate::plan::Plan;
 use crate::skeleton::{Skeleton, UnitKey};
 use crate::symbols::{Sym, SymMap};
 use crate::value::Value;
@@ -117,6 +118,17 @@ pub struct IndexCacheStats {
     pub invalidations: usize,
 }
 
+/// Counters describing the shape-keyed plan cache of an [`IndexCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Template lookups answered from the cache.
+    pub hits: usize,
+    /// Template lookups that found no entry (followed by a cold plan).
+    pub misses: usize,
+    /// Number of templates currently stored.
+    pub entries: usize,
+}
+
 /// Key of a cached composite index: (relationship name, sorted positions).
 type CompositeKey = (String, Vec<usize>);
 
@@ -130,9 +142,15 @@ pub struct IndexCache {
     fingerprint: Mutex<u64>,
     composite: Mutex<HashMap<CompositeKey, Arc<CompositeIndex>>>,
     attribute: Mutex<HashMap<String, Arc<AttributeIndex>>>,
+    /// Plan templates keyed by query shape ([`crate::plan::shape_key`]):
+    /// queries repeating a shape with different constants skip planning via
+    /// [`crate::plan::instantiate`].
+    plans: Mutex<HashMap<String, Arc<Plan>>>,
     builds: AtomicUsize,
     hits: AtomicUsize,
     invalidations: AtomicUsize,
+    plan_hits: AtomicUsize,
+    plan_misses: AtomicUsize,
 }
 
 impl IndexCache {
@@ -143,9 +161,12 @@ impl IndexCache {
             fingerprint: Mutex::new(fingerprint),
             composite: Mutex::new(HashMap::new()),
             attribute: Mutex::new(HashMap::new()),
+            plans: Mutex::new(HashMap::new()),
             builds: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
             invalidations: AtomicUsize::new(0),
+            plan_hits: AtomicUsize::new(0),
+            plan_misses: AtomicUsize::new(0),
         }
     }
 
@@ -175,6 +196,11 @@ impl IndexCache {
         *current = fingerprint;
         self.composite.lock().expect("composite index lock").clear();
         self.attribute.lock().expect("attribute index lock").clear();
+        // Plan templates stay *correct* across content changes (a plan's
+        // semantics never depend on data), but their join orders and cost
+        // estimates were chosen for the old content; drop them so the new
+        // epoch replans against its own cardinalities.
+        self.plans.lock().expect("plan template lock").clear();
         self.invalidations.fetch_add(1, Ordering::Relaxed);
         true
     }
@@ -218,6 +244,41 @@ impl IndexCache {
         self.builds.fetch_add(1, Ordering::Relaxed);
         map.insert(attr.to_string(), Arc::clone(&built));
         built
+    }
+
+    /// The cached plan template for `shape` (see [`crate::plan::shape_key`]),
+    /// counting a hit or miss.
+    pub fn plan_template(&self, shape: &str) -> Option<Arc<Plan>> {
+        let map = self.plans.lock().expect("plan template lock");
+        match map.get(shape) {
+            Some(plan) => {
+                self.plan_hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(plan))
+            }
+            None => {
+                self.plan_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store `plan` as the template for `shape`. Last writer wins: two
+    /// threads planning the same fresh shape concurrently both produce a
+    /// correct template (the planner is deterministic, so they are equal).
+    pub fn store_plan_template(&self, shape: String, plan: Arc<Plan>) {
+        self.plans
+            .lock()
+            .expect("plan template lock")
+            .insert(shape, plan);
+    }
+
+    /// Usage counters of the shape-keyed plan cache.
+    pub fn plan_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.plan_hits.load(Ordering::Relaxed),
+            misses: self.plan_misses.load(Ordering::Relaxed),
+            entries: self.plans.lock().expect("plan template lock").len(),
+        }
     }
 
     /// Usage counters (builds, hits, invalidations).
@@ -281,6 +342,35 @@ mod tests {
         );
         assert_eq!(idx.cardinality(&Value::Int(0)), 1);
         assert_eq!(idx.cardinality(&Value::Int(7)), 0);
+    }
+
+    #[test]
+    fn plan_templates_are_cached_by_shape_and_dropped_on_revalidation() {
+        use crate::plan::{plan_query, shape_key};
+        use crate::query::{Atom, ConjunctiveQuery, Term};
+
+        let mut inst = Instance::review_example();
+        let cache = IndexCache::for_instance(&inst);
+        assert_eq!(cache.plan_stats(), PlanCacheStats::default());
+
+        let q = ConjunctiveQuery::new(vec![Atom::new(
+            "Author",
+            vec![Term::var("A"), Term::constant("s3")],
+        )]);
+        let shape = shape_key(&q, &[]);
+        assert!(cache.plan_template(&shape).is_none());
+        let plan = Arc::new(plan_query(inst.schema(), inst.skeleton(), &q).unwrap());
+        cache.store_plan_template(shape.clone(), Arc::clone(&plan));
+        let hit = cache.plan_template(&shape).expect("stored template");
+        assert_eq!(*hit, *plan);
+        let stats = cache.plan_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+
+        // Content change → revalidation drops the templates with the rest.
+        inst.add_entity("Person", Value::from("Dana")).unwrap();
+        assert!(cache.revalidate(inst.fingerprint()));
+        assert!(cache.plan_template(&shape).is_none());
+        assert_eq!(cache.plan_stats().entries, 0);
     }
 
     #[test]

@@ -9,6 +9,56 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 
+/// A single edit to an [`Instance`], applied in batches by
+/// [`Instance::apply`] to produce a new immutable epoch.
+///
+/// Mutations are plain data so a recorded history of committed batches can
+/// be replayed deterministically by a checker: applying the same batches to
+/// the same base instance reproduces the same epoch instances (and hence
+/// the same [`Instance::fingerprint`] per epoch).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Mutation {
+    /// Add a grounded entity (idempotent, like [`Instance::add_entity`]).
+    InsertEntity {
+        /// Entity class name.
+        entity: String,
+        /// Key of the new entity.
+        key: Value,
+    },
+    /// Add a relationship tuple (idempotent; arity and referential
+    /// integrity checked, like [`Instance::add_relationship`]).
+    InsertRelationship {
+        /// Relationship name.
+        rel: String,
+        /// The tuple to insert.
+        tuple: UnitKey,
+    },
+    /// Remove a relationship tuple (no-op if absent).
+    DeleteRelationship {
+        /// Relationship name.
+        rel: String,
+        /// The tuple to remove.
+        tuple: UnitKey,
+    },
+    /// Assign (insert or overwrite) an attribute value, with domain and
+    /// arity checks, like [`Instance::set_attribute`].
+    SetAttribute {
+        /// Attribute name.
+        attr: String,
+        /// Unit key the value attaches to.
+        key: UnitKey,
+        /// The value to assign.
+        value: Value,
+    },
+    /// Remove an attribute assignment (no-op if unassigned).
+    ClearAttribute {
+        /// Attribute name.
+        attr: String,
+        /// Unit key whose assignment is removed.
+        key: UnitKey,
+    },
+}
+
 /// An observed relational instance conforming to a [`RelationalSchema`].
 ///
 /// The instance owns its schema, its relational skeleton, and one map per
@@ -114,6 +164,64 @@ impl Instance {
             .or_default()
             .insert(key.to_vec(), value);
         Ok(())
+    }
+
+    /// Remove a relationship tuple. Returns `Ok(true)` if the tuple was
+    /// present, `Ok(false)` if absent; errors only on an unknown or
+    /// non-relationship predicate.
+    pub fn delete_relationship(&mut self, rel: &str, tuple: &[Value]) -> RelResult<bool> {
+        if self.schema.predicate_positions(rel).is_none() {
+            return Err(RelError::UnknownPredicate(rel.to_string()));
+        }
+        if self.schema.predicate_kind(rel) != Some(PredicateKind::Relationship) {
+            return Err(RelError::UnknownPredicate(format!(
+                "`{rel}` is an entity, not a relationship"
+            )));
+        }
+        Ok(self.skeleton.remove_relationship(rel, tuple))
+    }
+
+    /// Remove the assignment of attribute `attr` for unit `key`. Returns
+    /// `Ok(true)` if an assignment was present; errors on an unknown
+    /// attribute.
+    pub fn clear_attribute(&mut self, attr: &str, key: &[Value]) -> RelResult<bool> {
+        self.schema.require_attribute(attr)?;
+        Ok(self
+            .attributes
+            .get_mut(attr)
+            .is_some_and(|m| m.remove(key).is_some()))
+    }
+
+    /// Apply a batch of [`Mutation`]s to a copy of this instance, returning
+    /// the mutated copy as a new immutable epoch. `self` is untouched —
+    /// readers holding it keep a consistent snapshot while the returned
+    /// instance becomes the next epoch.
+    ///
+    /// The batch is atomic: the first failing mutation aborts the whole
+    /// application and no partial epoch is produced. Application order is
+    /// the slice order, so replaying recorded batches is deterministic.
+    pub fn apply(&self, mutations: &[Mutation]) -> RelResult<Instance> {
+        let mut next = self.clone();
+        for m in mutations {
+            match m {
+                Mutation::InsertEntity { entity, key } => {
+                    next.add_entity(entity, key.clone())?;
+                }
+                Mutation::InsertRelationship { rel, tuple } => {
+                    next.add_relationship(rel, tuple.clone())?;
+                }
+                Mutation::DeleteRelationship { rel, tuple } => {
+                    next.delete_relationship(rel, tuple)?;
+                }
+                Mutation::SetAttribute { attr, key, value } => {
+                    next.set_attribute(attr, key, value.clone())?;
+                }
+                Mutation::ClearAttribute { attr, key } => {
+                    next.clear_attribute(attr, key)?;
+                }
+            }
+        }
+        Ok(next)
     }
 
     /// Read the value of attribute `attr` for unit `key`, if assigned.
@@ -311,6 +419,141 @@ mod tests {
         let inst = Instance::review_example();
         // 3 prestige + 3 qualification + 3 score + 2 blind = 11
         assert_eq!(inst.total_attribute_assignments(), 11);
+    }
+
+    #[test]
+    fn apply_produces_new_epoch_without_touching_base() {
+        let base = Instance::review_example();
+        let base_fp = base.fingerprint();
+        let next = base
+            .apply(&[
+                Mutation::InsertEntity {
+                    entity: "Person".into(),
+                    key: Value::from("Dana"),
+                },
+                Mutation::SetAttribute {
+                    attr: "Prestige".into(),
+                    key: vec![Value::from("Dana")],
+                    value: Value::Int(1),
+                },
+                Mutation::InsertRelationship {
+                    rel: "Author".into(),
+                    tuple: vec![Value::from("Dana"), Value::from("s2")],
+                },
+                Mutation::DeleteRelationship {
+                    rel: "Author".into(),
+                    tuple: vec![Value::from("Eva"), Value::from("s3")],
+                },
+                Mutation::SetAttribute {
+                    attr: "Score".into(),
+                    key: vec![Value::from("s1")],
+                    value: Value::Float(0.9),
+                },
+                Mutation::ClearAttribute {
+                    attr: "Score".into(),
+                    key: vec![Value::from("s3")],
+                },
+            ])
+            .unwrap();
+        // The base epoch is untouched.
+        assert_eq!(base.fingerprint(), base_fp);
+        assert_eq!(base.skeleton().relationship_count("Author"), 5);
+        assert_eq!(
+            base.attribute("Score", &[Value::from("s1")]),
+            Some(&Value::Float(0.75))
+        );
+        // The new epoch reflects every mutation, in order.
+        assert_ne!(next.fingerprint(), base_fp);
+        assert!(next.validate().is_ok());
+        assert_eq!(next.skeleton().entity_count("Person"), 4);
+        assert_eq!(next.skeleton().relationship_count("Author"), 5);
+        assert!(next
+            .skeleton()
+            .has_relationship("Author", &[Value::from("Dana"), Value::from("s2")]));
+        assert!(!next
+            .skeleton()
+            .has_relationship("Author", &[Value::from("Eva"), Value::from("s3")]));
+        assert_eq!(
+            next.attribute("Score", &[Value::from("s1")]),
+            Some(&Value::Float(0.9))
+        );
+        assert_eq!(next.attribute("Score", &[Value::from("s3")]), None);
+        // Replaying the same batch on the same base is deterministic.
+        let replay = base
+            .apply(&[Mutation::SetAttribute {
+                attr: "Score".into(),
+                key: vec![Value::from("s2")],
+                value: Value::Float(0.5),
+            }])
+            .unwrap();
+        let replay2 = base
+            .apply(&[Mutation::SetAttribute {
+                attr: "Score".into(),
+                key: vec![Value::from("s2")],
+                value: Value::Float(0.5),
+            }])
+            .unwrap();
+        assert_eq!(replay.fingerprint(), replay2.fingerprint());
+    }
+
+    #[test]
+    fn apply_is_atomic_on_error() {
+        let base = Instance::review_example();
+        // Second mutation dangles (no entity "ghost") → whole batch rejected.
+        let err = base
+            .apply(&[
+                Mutation::SetAttribute {
+                    attr: "Score".into(),
+                    key: vec![Value::from("s1")],
+                    value: Value::Float(0.99),
+                },
+                Mutation::InsertRelationship {
+                    rel: "Author".into(),
+                    tuple: vec![Value::from("ghost"), Value::from("s1")],
+                },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, RelError::DanglingReference { .. }));
+        // Nothing leaked into the base.
+        assert_eq!(
+            base.attribute("Score", &[Value::from("s1")]),
+            Some(&Value::Float(0.75))
+        );
+    }
+
+    #[test]
+    fn delete_and_clear_validate_predicates() {
+        let mut inst = Instance::review_example();
+        assert!(matches!(
+            inst.delete_relationship("Nope", &[Value::from("x")]),
+            Err(RelError::UnknownPredicate(_))
+        ));
+        assert!(matches!(
+            inst.delete_relationship("Person", &[Value::from("Bob")]),
+            Err(RelError::UnknownPredicate(_))
+        ));
+        assert!(matches!(
+            inst.clear_attribute("Nope", &[Value::from("x")]),
+            Err(RelError::UnknownAttribute(_))
+        ));
+        // Absent tuple / assignment → Ok(false).
+        assert_eq!(
+            inst.delete_relationship("Author", &[Value::from("Bob"), Value::from("s3")]),
+            Ok(false)
+        );
+        assert_eq!(
+            inst.clear_attribute("Quality", &[Value::from("s1")]),
+            Ok(false)
+        );
+        // Present → Ok(true).
+        assert_eq!(
+            inst.delete_relationship("Author", &[Value::from("Bob"), Value::from("s1")]),
+            Ok(true)
+        );
+        assert_eq!(
+            inst.clear_attribute("Score", &[Value::from("s1")]),
+            Ok(true)
+        );
     }
 
     #[test]

@@ -75,10 +75,11 @@ pub use eval::{
     evaluate_naive, evaluate_project, evaluate_tuples, evaluate_tuples_chunked,
     evaluate_tuples_filtered, evaluate_tuples_filtered_chunked, Bindings, TupleAnswers,
 };
-pub use index::{IndexCache, IndexCacheStats};
-pub use instance::Instance;
+pub use index::{IndexCache, IndexCacheStats, PlanCacheStats};
+pub use instance::{Instance, Mutation};
 pub use plan::{
-    plan_query, plan_query_filtered, verify, Access, EqFilter, Plan, PlanStep, SemiJoin, SlotTerm,
+    instantiate, plan_query, plan_query_filtered, shape_key, verify, Access, EqFilter, Plan,
+    PlanStep, SemiJoin, SlotTerm,
 };
 pub use query::{Atom, ConjunctiveQuery, Term};
 pub use schema::{

@@ -128,6 +128,11 @@ pub enum SlotTerm {
 pub struct PlanStep {
     /// The atom evaluated by this step.
     pub atom: Atom,
+    /// Index of this atom in the source query's atom list (the planner
+    /// reorders atoms, so step order generally differs from source order).
+    /// [`instantiate`] uses this to re-target a cached plan at a query of
+    /// the same shape but different constants.
+    pub atom_index: usize,
     /// Access path.
     pub access: Access,
     /// Estimated number of matching tuples (per partial binding for
@@ -528,6 +533,33 @@ pub fn verify(schema: &RelationalSchema, plan: &Plan) -> RelResult<()> {
         )));
     }
 
+    // Step provenance: the `atom_index` values must form a permutation of
+    // the step indexes, so [`instantiate`] can map every cached step back
+    // to exactly one atom of a new same-shaped query.
+    let mut atom_used = vec![false; plan.steps.len()];
+    for (si, step) in plan.steps.iter().enumerate() {
+        match atom_used.get_mut(step.atom_index) {
+            None => {
+                return Err(invalid(format!(
+                    "step {}: atom_index {} out of range for {} steps",
+                    si + 1,
+                    step.atom_index,
+                    plan.steps.len()
+                )));
+            }
+            Some(used) => {
+                if *used {
+                    return Err(invalid(format!(
+                        "step {}: atom_index {} claimed by two steps",
+                        si + 1,
+                        step.atom_index
+                    )));
+                }
+                *used = true;
+            }
+        }
+    }
+
     // Filter placement: one pin per filter, at the earliest step after
     // which all the filter's variables are bound.
     if plan.filter_after.len() != plan.filters.len() {
@@ -557,6 +589,112 @@ pub fn verify(schema: &RelationalSchema, plan: &Plan) -> RelResult<()> {
     }
 
     Ok(())
+}
+
+/// A canonical rendering of a query + filter list *modulo constants*: every
+/// constant (atom terms, filter arguments, filter values) renders as `$`,
+/// while predicates, variable names and positions render literally.
+///
+/// Two query/filter pairs with equal shape keys differ at most in constant
+/// values, so a plan built for one can be re-targeted to the other with
+/// [`instantiate`] — this is the key of the shape-keyed plan cache in
+/// [`crate::index::IndexCache`], which lets repeated user queries that vary
+/// only in constants skip planning entirely.
+pub fn shape_key(query: &ConjunctiveQuery, filters: &[EqFilter]) -> String {
+    fn push_terms(out: &mut String, terms: &[Term]) {
+        out.push('(');
+        for t in terms {
+            match t {
+                Term::Var(v) => {
+                    out.push('?');
+                    out.push_str(v);
+                }
+                Term::Const(_) => out.push('$'),
+            }
+            out.push(',');
+        }
+        out.push(')');
+    }
+    let mut out = String::new();
+    for atom in &query.atoms {
+        out.push_str(&atom.predicate);
+        push_terms(&mut out, &atom.terms);
+        out.push(';');
+    }
+    out.push('|');
+    for flt in filters {
+        out.push_str(&flt.attr);
+        push_terms(&mut out, &flt.args);
+        out.push_str("=$;");
+    }
+    out
+}
+
+/// Re-target a cached plan `template` (built for a query of the same
+/// [`shape_key`]) at a new `query`/`filters` pair that differs only in
+/// constant values.
+///
+/// Everything shape-determined is reused verbatim: the join order, register
+/// slots, per-step layouts, semi-join passes and filter pins depend only on
+/// predicates, variable names and constant *positions* — never on constant
+/// values. The atoms and filters themselves are substituted from the new
+/// query (via each step's [`PlanStep::atom_index`]), so the executor — which
+/// reads constants from the plan's atoms and filters — evaluates the new
+/// constants. Only `est_rows` is carried over stale; estimates influence
+/// which plan the planner *picks*, never what a plan *computes*, so a
+/// same-shape template stays correct (at worst suboptimal for the new
+/// constants).
+///
+/// Returns `None` when the template does not structurally match the query
+/// (callers then fall back to cold planning).
+pub fn instantiate(
+    template: &Plan,
+    query: &ConjunctiveQuery,
+    filters: &[EqFilter],
+) -> Option<Plan> {
+    fn same_shape(a: &[Term], b: &[Term]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| match (x, y) {
+                (Term::Var(p), Term::Var(q)) => p == q,
+                (Term::Const(_), Term::Const(_)) => true,
+                _ => false,
+            })
+    }
+    if template.steps.len() != query.atoms.len() || template.filters.len() != filters.len() {
+        return None;
+    }
+    for (tf, nf) in template.filters.iter().zip(filters) {
+        if tf.attr != nf.attr || !same_shape(&tf.args, &nf.args) {
+            return None;
+        }
+    }
+    let mut steps = Vec::with_capacity(template.steps.len());
+    for step in &template.steps {
+        let atom = query.atoms.get(step.atom_index)?;
+        if atom.predicate != step.atom.predicate || !same_shape(&atom.terms, &step.atom.terms) {
+            return None;
+        }
+        // An attribute fetch requires its filter's arguments to equal the
+        // atom's terms *exactly* (constants included); the shape key only
+        // guarantees equality modulo constants, so re-check against the new
+        // constants and bail to cold planning if they disagree.
+        if let Access::ProbeAttribute { filter } = &step.access {
+            let flt = filters.get(*filter)?;
+            if flt.args != atom.terms {
+                return None;
+            }
+        }
+        steps.push(PlanStep {
+            atom: atom.clone(),
+            ..step.clone()
+        });
+    }
+    Some(Plan {
+        steps,
+        slots: template.slots.clone(),
+        filters: filters.to_vec(),
+        filter_after: template.filter_after.clone(),
+    })
 }
 
 fn plan_impl(
@@ -601,6 +739,7 @@ fn plan_impl(
         }
         steps.push(PlanStep {
             atom,
+            atom_index: chosen,
             access,
             est_rows: est,
             semijoins,
@@ -1078,6 +1217,113 @@ mod tests {
         let mut plan = good.clone();
         plan.steps[0].est_rows = f64::NAN;
         expect_invalid(&plan, "finite");
+    }
+
+    #[test]
+    fn shape_key_abstracts_constants_and_nothing_else() {
+        let q1 = ConjunctiveQuery::new(vec![Atom::new(
+            "Author",
+            vec![Term::var("A"), Term::constant("s3")],
+        )]);
+        let q2 = ConjunctiveQuery::new(vec![Atom::new(
+            "Author",
+            vec![Term::var("A"), Term::constant("s1")],
+        )]);
+        // Same shape, different constants.
+        assert_eq!(shape_key(&q1, &[]), shape_key(&q2, &[]));
+        // A variable in place of the constant is a different shape.
+        let q3 = ConjunctiveQuery::new(vec![Atom::new(
+            "Author",
+            vec![Term::var("A"), Term::var("S")],
+        )]);
+        assert_ne!(shape_key(&q1, &[]), shape_key(&q3, &[]));
+        // Variable *names* are part of the shape (slots are name-keyed).
+        let q4 = ConjunctiveQuery::new(vec![Atom::new(
+            "Author",
+            vec![Term::var("B"), Term::constant("s3")],
+        )]);
+        assert_ne!(shape_key(&q1, &[]), shape_key(&q4, &[]));
+        // Filters: value is abstracted, attribute and argument shape are not.
+        let f = |value: Value| {
+            vec![EqFilter {
+                attr: "Blind".into(),
+                args: vec![Term::var("C")],
+                value,
+            }]
+        };
+        assert_eq!(
+            shape_key(&q1, &f(Value::Bool(true))),
+            shape_key(&q1, &f(Value::Bool(false)))
+        );
+        assert_ne!(shape_key(&q1, &f(Value::Bool(true))), shape_key(&q1, &[]));
+    }
+
+    #[test]
+    fn instantiate_retargets_constants_and_verifies() {
+        let (schema, sk) = setup();
+        let q_s3 = ConjunctiveQuery::new(vec![
+            Atom::new("Author", vec![Term::var("A"), Term::constant("s3")]),
+            Atom::new("Person", vec![Term::var("A")]),
+        ]);
+        let q_s1 = ConjunctiveQuery::new(vec![
+            Atom::new("Author", vec![Term::var("A"), Term::constant("s1")]),
+            Atom::new("Person", vec![Term::var("A")]),
+        ]);
+        let template = plan_query(&schema, &sk, &q_s3).unwrap();
+        let plan = instantiate(&template, &q_s1, &[]).expect("same shape must instantiate");
+        verify(&schema, &plan).unwrap_or_else(|e| panic!("{e}\n{plan}"));
+        // Join order, slots and access paths are reused; constants are new.
+        assert_eq!(plan.slots, template.slots);
+        for (ts, ns) in template.steps.iter().zip(&plan.steps) {
+            assert_eq!(ts.access, ns.access);
+            assert_eq!(ts.layout, ns.layout);
+            assert_eq!(ts.atom_index, ns.atom_index);
+        }
+        let author_step = plan
+            .steps
+            .iter()
+            .find(|s| s.atom.predicate == "Author")
+            .unwrap();
+        assert_eq!(author_step.atom.terms[1], Term::constant("s1"));
+        // A different shape refuses to instantiate.
+        let q_other = ConjunctiveQuery::new(vec![
+            Atom::new("Author", vec![Term::var("A"), Term::var("S")]),
+            Atom::new("Person", vec![Term::var("A")]),
+        ]);
+        assert!(instantiate(&template, &q_other, &[]).is_none());
+        assert!(instantiate(
+            &template,
+            &q_s1,
+            &[EqFilter {
+                attr: "Blind".into(),
+                args: vec![Term::var("C")],
+                value: Value::Bool(true),
+            }]
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn instantiate_substitutes_filters_for_attribute_fetches() {
+        let schema = RelationalSchema::review_example();
+        let inst = Instance::review_example();
+        let cache = IndexCache::for_instance(&inst);
+        let q = ConjunctiveQuery::new(vec![Atom::new("Person", vec![Term::var("A")])]);
+        let f = |v: i64| {
+            vec![EqFilter {
+                attr: "Prestige".into(),
+                args: vec![Term::var("A")],
+                value: Value::Int(v),
+            }]
+        };
+        let template = plan_query_filtered(&schema, &inst, &cache, &q, &f(0)).unwrap();
+        assert_eq!(
+            template.steps[0].access,
+            Access::ProbeAttribute { filter: 0 }
+        );
+        let plan = instantiate(&template, &q, &f(1)).expect("same filter shape");
+        verify(&schema, &plan).unwrap_or_else(|e| panic!("{e}\n{plan}"));
+        assert_eq!(plan.filters[0].value, Value::Int(1));
     }
 
     #[test]

@@ -136,6 +136,25 @@ impl Skeleton {
         self.rel_syms.entry(rel.to_string()).or_default().push(syms);
     }
 
+    /// Remove a grounded relationship tuple. Returns `true` if the tuple
+    /// was present (and removed), `false` if it was absent.
+    ///
+    /// Removal shifts the row ids of every later tuple of `rel`, so the
+    /// derived positional state for that relationship is rebuilt from
+    /// canonical storage. The interner is append-only and untouched:
+    /// symbols issued earlier stay valid.
+    pub fn remove_relationship(&mut self, rel: &str, tuple: &[Value]) -> bool {
+        let Some(rows) = self.relationships.get_mut(rel) else {
+            return false;
+        };
+        let Some(pos) = rows.iter().position(|t| t.as_slice() == tuple) else {
+            return false;
+        };
+        rows.remove(pos);
+        self.resync_relationship(rel);
+        true
+    }
+
     /// Rebuild the derived state of one entity class from canonical storage.
     fn resync_entity(&mut self, entity: &str) {
         let keys = self.entities.get(entity).cloned().unwrap_or_default();
@@ -567,6 +586,30 @@ mod tests {
                 .len(),
             1
         );
+    }
+
+    #[test]
+    fn remove_relationship_resyncs_derived_state() {
+        let (schema, mut sk) = paper_skeleton();
+        let fp = sk.fingerprint();
+        assert!(sk.remove_relationship("Author", &[Value::from("Eva"), Value::from("s2")]));
+        assert_eq!(sk.relationship_count("Author"), 4);
+        assert_ne!(sk.fingerprint(), fp);
+        // Positional indexes, membership sets, and dense mirrors all agree.
+        assert_eq!(
+            sk.relationship_tuples_with("Author", 0, &Value::from("Eva"))
+                .len(),
+            2
+        );
+        assert!(!sk.has_relationship("Author", &[Value::from("Eva"), Value::from("s2")]));
+        assert_eq!(sk.relationship_syms("Author").len(), 4);
+        assert!(sk.validate(&schema).is_ok());
+        // The tuple can be re-added (dedupe set was rebuilt correctly).
+        sk.add_relationship("Author", vec![Value::from("Eva"), Value::from("s2")]);
+        assert_eq!(sk.relationship_count("Author"), 5);
+        // Removing an absent tuple or unknown relationship is a no-op.
+        assert!(!sk.remove_relationship("Author", &[Value::from("Bob"), Value::from("s9")]));
+        assert!(!sk.remove_relationship("Nope", &[Value::from("Bob")]));
     }
 
     #[test]
