@@ -8,7 +8,11 @@
 //! share a *shape* but differ in constants, exercising the shape-keyed
 //! plan cache the way a real client mix would. In the mixed scenario a
 //! writer thread keeps committing score-update batches, so workers keep
-//! crossing epoch boundaries onto freshly built engines.
+//! crossing epoch boundaries onto freshly built engines. The mixed
+//! scenario runs twice per worker count: once with incremental commits
+//! (attribute deltas patch the previous epoch's grounded state — the
+//! default) and once with [`CommitMode::Cold`] forcing a full engine
+//! rebuild per epoch, quantifying the delta-grounding fast path.
 //!
 //! Results go to `BENCH_service.json` at the workspace root (override the
 //! path with `SERVICE_LOAD_OUT`, the per-worker query count with
@@ -16,7 +20,7 @@
 //! Not a Criterion harness: one process-wide run per scenario keeps the
 //! shared-cache warm-up observable and the total runtime bounded.
 
-use carl::SnapshotEngine;
+use carl::{CommitMode, SnapshotEngine};
 use carl_datagen::{generate_synthetic_review, SyntheticReviewConfig};
 use reldb::{Mutation, Value};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -89,11 +93,80 @@ fn run_workers(
     )
 }
 
+struct MixedRun {
+    qps: f64,
+    commits: usize,
+    final_epoch: u64,
+}
+
+/// Run the mixed read/write scenario on a fresh service pinned to `mode`:
+/// `workers` readers churn through the query mix while a writer thread
+/// keeps committing score-update batches every couple of milliseconds.
+fn mixed_run(
+    papers: usize,
+    workers: usize,
+    queries_per_worker: usize,
+    mode: CommitMode,
+) -> MixedRun {
+    let service = service_at(papers);
+    service.set_commit_mode(mode);
+    // Warm the base grounding so the first incremental commit has a
+    // streamed model to patch (a freshly deployed service answers at
+    // least one query before its first write in any realistic mix).
+    let (_epoch, result) = service.answer_str(&query_mix()[0]);
+    assert!(result.is_ok(), "warm-up query failed: {result:?}");
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut commits = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let epoch = service.epoch();
+                let batch: Vec<Mutation> = (0..3)
+                    .map(|i| Mutation::SetAttribute {
+                        attr: "Score".into(),
+                        key: vec![Value::from(format!(
+                            "p{}",
+                            (epoch as usize * 17 + i * 7) % papers
+                        ))],
+                        value: Value::Float(5.0 + (epoch % 10) as f64),
+                    })
+                    .collect();
+                service.commit(&batch).expect("batch is valid");
+                commits += 1;
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            commits
+        })
+    };
+    let (secs, answered) = run_workers(&service, workers, queries_per_worker);
+    stop.store(true, Ordering::Relaxed);
+    let commits = writer.join().expect("writer must not panic");
+    let stats = service.commit_stats();
+    match mode {
+        CommitMode::Incremental => assert!(
+            stats.incremental > 0,
+            "incremental run never took the fast path: {stats:?}"
+        ),
+        CommitMode::Cold => {
+            assert_eq!(stats.incremental, 0, "cold run must never patch: {stats:?}")
+        }
+    }
+    MixedRun {
+        qps: answered as f64 / secs,
+        commits,
+        final_epoch: service.epoch(),
+    }
+}
+
 struct Row {
     workers: usize,
     read_qps: f64,
     mixed_qps: f64,
+    mixed_qps_cold: f64,
     commits: usize,
+    commits_cold: usize,
     final_epoch: u64,
 }
 
@@ -113,49 +186,32 @@ fn main() {
         let read_qps = answered as f64 / secs;
 
         // Mixed: same load with a writer continuously committing batches
-        // that move scores around (each commit installs a fresh epoch and
-        // fresh caches — readers must keep up across epoch boundaries).
-        let service = service_at(papers);
-        let stop = Arc::new(AtomicBool::new(false));
-        let writer = {
-            let service = Arc::clone(&service);
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || {
-                let mut commits = 0usize;
-                while !stop.load(Ordering::Relaxed) {
-                    let epoch = service.epoch();
-                    let batch: Vec<Mutation> = (0..3)
-                        .map(|i| Mutation::SetAttribute {
-                            attr: "Score".into(),
-                            key: vec![Value::from(format!(
-                                "p{}",
-                                (epoch as usize * 17 + i * 7) % papers
-                            ))],
-                            value: Value::Float(5.0 + (epoch % 10) as f64),
-                        })
-                        .collect();
-                    service.commit(&batch).expect("batch is valid");
-                    commits += 1;
-                    std::thread::sleep(std::time::Duration::from_millis(2));
-                }
-                commits
-            })
-        };
-        let (secs, answered) = run_workers(&service, workers, queries_per_worker);
-        stop.store(true, Ordering::Relaxed);
-        let commits = writer.join().expect("writer must not panic");
-        let mixed_qps = answered as f64 / secs;
+        // that move scores around — once with every commit patching the
+        // previous epoch's grounded state (incremental, the default) and
+        // once forcing the PR 7 behaviour of a cold engine rebuild per
+        // epoch, so the fast path's effect on sustained throughput is
+        // measured directly.
+        let incremental = mixed_run(papers, workers, queries_per_worker, CommitMode::Incremental);
+        let cold = mixed_run(papers, workers, queries_per_worker, CommitMode::Cold);
 
         let row = Row {
             workers,
             read_qps,
-            mixed_qps,
-            commits,
-            final_epoch: service.epoch(),
+            mixed_qps: incremental.qps,
+            mixed_qps_cold: cold.qps,
+            commits: incremental.commits,
+            commits_cold: cold.commits,
+            final_epoch: incremental.final_epoch,
         };
         println!(
-            "  {:>2} workers: read {:>8.1} q/s | mixed {:>8.1} q/s ({} commits, final epoch {})",
-            row.workers, row.read_qps, row.mixed_qps, row.commits, row.final_epoch
+            "  {:>2} workers: read {:>8.1} q/s | mixed {:>8.1} q/s incremental ({} commits) \
+             | {:>8.1} q/s cold ({} commits)",
+            row.workers,
+            row.read_qps,
+            row.mixed_qps,
+            row.commits,
+            row.mixed_qps_cold,
+            row.commits_cold
         );
         rows.push(row);
     }
@@ -178,11 +234,14 @@ fn write_json(papers: usize, queries_per_worker: usize, cores: usize, rows: &[Ro
     for (i, row) in rows.iter().enumerate() {
         body.push_str(&format!(
             "    {{\"workers\": {}, \"read_qps\": {:.1}, \"mixed_qps\": {:.1}, \
-             \"writer_commits\": {}, \"final_epoch\": {}}}{}\n",
+             \"mixed_qps_cold\": {:.1}, \"writer_commits\": {}, \"writer_commits_cold\": {}, \
+             \"final_epoch\": {}}}{}\n",
             row.workers,
             row.read_qps,
             row.mixed_qps,
+            row.mixed_qps_cold,
             row.commits,
+            row.commits_cold,
             row.final_epoch,
             if i + 1 == rows.len() { "" } else { "," }
         ));

@@ -29,9 +29,9 @@ use crate::error::{CarlError, CarlResult};
 use crate::estimate::{CateSeries, EstimatorKind, QueryAnswer};
 use crate::graph::CausalGraph;
 use crate::ground::{
-    ground, ground_aggregate_extension, ground_streaming, ground_with, ground_with_bindings,
-    partition_comparisons, AggregateExtension, GroundedModel, GroundedValues, RowComparisons,
-    StreamedModel,
+    attribute_delta_patchable, ground, ground_aggregate_extension, ground_streaming, ground_with,
+    ground_with_bindings, partition_comparisons, patch_streamed, AggregateExtension, GroundedModel,
+    GroundedValues, RowComparisons, StreamedModel,
 };
 use crate::model::RelationalCausalModel;
 use crate::paths::unify;
@@ -46,7 +46,8 @@ use carl_lang::{
 };
 use rayon::prelude::*;
 use reldb::{
-    evaluate_tuples_filtered, IndexCache, IndexCacheStats, Instance, PlanCacheStats, UnitKey,
+    evaluate_tuples_filtered, DeltaSet, IndexCache, IndexCacheStats, Instance, PlanCacheStats,
+    UnitKey,
 };
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
@@ -294,6 +295,90 @@ impl CarlEngine {
             grounding_mode: GroundingMode::default(),
             grounding_cache: Arc::new(Mutex::new(HashMap::new())),
             eval_cache: Arc::new(IndexCache::with_fingerprint(instance_fingerprint)),
+            instance_fingerprint,
+        })
+    }
+
+    /// Whether [`CarlEngine::patched_next`] can build the engine of the
+    /// epoch `delta` leads to by patching this engine's state instead of
+    /// re-grounding cold.
+    ///
+    /// True exactly when the engine streams its groundings
+    /// ([`GroundingMode::Streaming`] — the patch operates on the dense-sink
+    /// [`StreamedModel`] form), the delta is attribute-only
+    /// (`!delta.is_structural()`), and none of the touched attributes can
+    /// influence grounding *structure* (`attribute_delta_patchable` in the
+    /// grounding module: the attribute is not read by a rule-body
+    /// comparison and is not the head of an aggregate whose groundings
+    /// gate other rules). Everything else must go through a cold
+    /// [`CarlEngine::with_program`].
+    pub fn can_patch(&self, delta: &DeltaSet) -> bool {
+        self.grounding_mode == GroundingMode::Streaming
+            && !delta.is_structural()
+            && attribute_delta_patchable(&self.model, &delta.touched_attrs())
+    }
+
+    /// Build the engine of the next epoch by *patching* this engine's
+    /// grounded state with an attribute-only `delta`, instead of paying a
+    /// cold re-ground: secondary indexes that the delta cannot invalidate
+    /// are inherited (`Arc`-shared) and, when this engine has already
+    /// grounded its streamed base, the derived aggregate values are
+    /// incrementally maintained cell by cell (`patch_streamed` in the
+    /// grounding module).
+    ///
+    /// `instance` must be the epoch `delta` produced (i.e. the result of
+    /// the [`reldb::Instance::apply_with_delta`] call that returned
+    /// `delta`). Errors if [`CarlEngine::can_patch`] does not hold —
+    /// callers screen first and fall back to the cold constructor.
+    ///
+    /// The patch is copy-on-write: this engine, its caches, and any
+    /// snapshot still serving readers are never mutated.
+    pub fn patched_next(&self, instance: Instance, delta: &DeltaSet) -> CarlResult<CarlEngine> {
+        if !self.can_patch(delta) {
+            return Err(CarlError::Grounding(
+                "delta is not attribute-patchable; use a cold rebuild".into(),
+            ));
+        }
+        let instance_fingerprint = instance.fingerprint();
+        // The skeleton is unchanged, so composite indexes (and attribute
+        // indexes of untouched attrs) stay valid for the new epoch.
+        let eval_cache = Arc::new(
+            self.eval_cache
+                .rebase_for_attribute_delta(instance_fingerprint, &delta.touched_attrs()),
+        );
+        // If this engine already grounded its streamed base, patch it into
+        // the new epoch's base grounding; otherwise start the new engine
+        // with an empty cache and let the first query ground lazily (cold
+        // bases are not worth grounding the *old* epoch just to patch).
+        let grounding_cache: Arc<GroundingCache> = Arc::new(Mutex::new(HashMap::new()));
+        let warm_base = match self
+            .lock_grounding_cache()
+            .get(&(String::new(), self.instance_fingerprint))
+        {
+            Some(CachedGrounding::Handle(GroundedHandle::Streamed(base))) => Some(Arc::clone(base)),
+            _ => None,
+        };
+        if let Some(base) = warm_base {
+            if let Some(patched) =
+                patch_streamed(&base, &self.model, &instance, &delta.changed_cells())
+            {
+                grounding_cache
+                    .lock()
+                    .expect("fresh grounding cache lock")
+                    .insert(
+                        (String::new(), instance_fingerprint),
+                        CachedGrounding::Handle(GroundedHandle::Streamed(Arc::new(patched))),
+                    );
+            }
+        }
+        Ok(CarlEngine {
+            instance,
+            model: self.model.clone(),
+            embedding: self.embedding,
+            estimator: self.estimator,
+            grounding_mode: self.grounding_mode,
+            grounding_cache,
+            eval_cache,
             instance_fingerprint,
         })
     }

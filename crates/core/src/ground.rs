@@ -760,6 +760,18 @@ impl DerivedStore {
         }
     }
 
+    /// Remove a derived value (the patch path's inverse of
+    /// [`DerivedStore::set`]): the cell reverts to null, exactly as if the
+    /// aggregate had never produced a value for this signature.
+    fn unset(&mut self, attr_id: usize, sig: &SigKey) {
+        match sig {
+            SigKey::Single(sig) => self.single[attr_id].unset(*sig as usize),
+            SigKey::Multi(sig) => {
+                self.multi[attr_id].remove(sig);
+            }
+        }
+    }
+
     /// The signature symbol of a key value: its interner symbol, or the
     /// pseudo-symbol the merge assigned to a non-interned constant.
     fn sig_of(&self, interner: &reldb::SymbolTable, value: &Value) -> Option<u32> {
@@ -794,13 +806,17 @@ impl DerivedStore {
 #[derive(Debug, Clone)]
 pub struct StreamedModel {
     /// The grounded relational causal graph `G(Φ_Δ)` (bit-identical to the
-    /// graph [`ground_with`] produces for the same inputs).
-    pub graph: CausalGraph,
+    /// graph [`ground_with`] produces for the same inputs). Behind an
+    /// `Arc`: an attribute-only delta patch (`patch_streamed`) rewrites
+    /// derived *values* but never the graph, so patched epochs share one
+    /// graph allocation instead of deep-cloning it per commit.
+    pub graph: std::sync::Arc<CausalGraph>,
     derived: DerivedStore,
     /// The `(attribute, signature)` → node memo of the merge, retained so
     /// query-synthesised aggregate extensions can resolve their source
     /// groundings to base-graph nodes without re-hashing [`GroundedAttr`]s.
-    nodes: NodeTable,
+    /// `Arc`-shared across patched epochs for the same reason as `graph`.
+    nodes: std::sync::Arc<NodeTable>,
 }
 
 impl StreamedModel {
@@ -1261,10 +1277,211 @@ pub fn ground_streaming(
         );
     }
     Ok(StreamedModel {
-        graph,
+        graph: std::sync::Arc::new(graph),
         derived: store,
-        nodes,
+        nodes: std::sync::Arc::new(nodes),
     })
+}
+
+// ---------------------------------------------------------------------------
+// Incremental patching of a streamed base grounding (delta grounding).
+// ---------------------------------------------------------------------------
+
+/// Whether an **attribute-only** delta touching exactly the attributes in
+/// `touched` can be patched into an existing [`StreamedModel`] of `model`
+/// rather than re-grounding cold.
+///
+/// The streamed graph's *structure* (nodes, edges, and their insertion
+/// order — which fixes `parents_of` order and hence the bit-exact fold
+/// order of every aggregate) depends only on the skeleton and on which
+/// condition rows survive the rules' comparisons. Attribute values enter
+/// structure through exactly one door: condition comparisons. So a delta
+/// is patchable when
+///
+/// * no touched attribute appears in any rule or aggregate condition
+///   comparison (the surviving row set — and with it groups, sources and
+///   edges — is provably unchanged), and
+/// * no touched attribute is itself an aggregate head (an observed cell
+///   shadow-interleaving with derived values is rare enough to not be
+///   worth the extra reasoning on the fast path), and
+/// * aggregate head names are unique and disjoint from rule head
+///   attributes (otherwise a head node's `parents_of` mixes rule-body
+///   parents into the aggregate's source fold and the patch could not
+///   reconstruct the cold fold order).
+///
+/// Anything else — and any structural delta, which the caller must screen
+/// out first via [`reldb::DeltaSet::is_structural`] — takes the cold
+/// re-ground path. Fallback is always correct; this predicate only gates
+/// the optimisation.
+pub(crate) fn attribute_delta_patchable(
+    model: &RelationalCausalModel,
+    touched: &std::collections::BTreeSet<&str>,
+) -> bool {
+    use std::collections::BTreeSet;
+    if touched.is_empty() {
+        return true;
+    }
+    let rules = model.rules();
+    let aggregates = model.aggregates();
+    let conditions = rules
+        .iter()
+        .map(|r| &r.condition)
+        .chain(aggregates.iter().map(|a| &a.condition));
+    for cond in conditions {
+        for cmp in &cond.comparisons {
+            if touched.contains(cmp.attr.attr.as_str()) {
+                return false;
+            }
+        }
+    }
+    let mut agg_names: BTreeSet<&str> = BTreeSet::new();
+    for agg in aggregates {
+        if !agg_names.insert(agg.name.as_str()) || touched.contains(agg.name.as_str()) {
+            return false;
+        }
+    }
+    !rules
+        .iter()
+        .any(|rule| agg_names.contains(rule.head.attr.as_str()))
+}
+
+/// The [`SigKey`] of a head key, resolved through the same interner +
+/// constant pseudo-symbol tables the merge used (mirrors
+/// [`DerivedStore::get`]'s key handling).
+fn sig_key_of(
+    store: &DerivedStore,
+    interner: &reldb::SymbolTable,
+    key: &UnitKey,
+) -> Option<SigKey> {
+    if let [single] = key.as_slice() {
+        return Some(SigKey::Single(store.sig_of(interner, single)?));
+    }
+    let sig: Option<Vec<u32>> = key.iter().map(|v| store.sig_of(interner, v)).collect();
+    Some(SigKey::Multi(sig?))
+}
+
+/// Patch `base` (grounded from the *previous* epoch under `model`) into
+/// the grounding of `instance` (the *next* epoch), given that the two
+/// epochs differ only in the attribute cells listed in `changed` and that
+/// [`attribute_delta_patchable`] held for the touched attributes.
+///
+/// The graph, node table and constant pseudo-symbols carry over untouched
+/// — the eligibility check proved the structure identical. What can change
+/// are derived aggregate values, maintained by incremental view
+/// maintenance: for each aggregate in the same topological order the cold
+/// merge uses, the dirty cells of its source attribute locate their source
+/// nodes in the graph, each affected head refolds its `parents_of` (edge
+/// insertion order == the cold merge's first-seen source order, so sums
+/// and averages refold in the bit-exact same sequence, with the same
+/// derived-before-observed lookup discipline), and heads whose value
+/// changed cascade as dirty cells of the derived attribute for
+/// aggregates-over-aggregates downstream.
+///
+/// Observed (non-derived) values are never copied anywhere — the unit
+/// table and `value_of` read them live from `instance` — so cells that no
+/// aggregate consumes cost nothing beyond the dirty-map entry.
+///
+/// Returns `None` when the patch meets a shape it cannot prove it
+/// maintains bit-identically (e.g. a head whose parents mix attributes);
+/// the caller falls back to a cold re-ground.
+pub(crate) fn patch_streamed(
+    base: &StreamedModel,
+    model: &RelationalCausalModel,
+    instance: &Instance,
+    changed: &[(&str, &UnitKey)],
+) -> Option<StreamedModel> {
+    use std::collections::BTreeSet;
+
+    let interner = instance.skeleton().interner();
+    let mut patched = base.clone();
+
+    // Dirty cells per attribute: seeded by the delta's observed-cell
+    // changes, extended by derived-value changes as aggregates cascade.
+    let mut dirty: BTreeMap<String, Vec<UnitKey>> = BTreeMap::new();
+    for (attr, key) in changed {
+        dirty
+            .entry((*attr).to_string())
+            .or_default()
+            .push((*key).clone());
+    }
+
+    // Aggregates in the exact topological order `ground_streaming` merges
+    // them in — the `registered` set reproduces its "derived lookups only
+    // consult attributes an *earlier* aggregate registered" discipline.
+    let order: Vec<&str> = model
+        .topological_order()
+        .iter()
+        .map(String::as_str)
+        .collect();
+    let mut aggregates: Vec<&AggregateRule> = model.aggregates().iter().collect();
+    aggregates.sort_by_key(|a| {
+        order
+            .iter()
+            .position(|n| *n == a.name)
+            .unwrap_or(usize::MAX)
+    });
+
+    let mut registered: BTreeSet<&str> = BTreeSet::new();
+    for agg in aggregates {
+        let head_store_id = *patched.derived.attr_ids.get(&agg.name)?;
+        let source_registered = registered.contains(agg.source.attr.as_str());
+        registered.insert(agg.name.as_str());
+
+        // Heads whose fold consumed a dirty source cell: the children of
+        // the dirty cells' source nodes. A dirty cell with no source node
+        // fed no group and affects nothing derived.
+        let mut heads: BTreeSet<usize> = BTreeSet::new();
+        if let Some(keys) = dirty.get(&agg.source.attr) {
+            for key in keys {
+                let probe = GroundedAttr::new(&agg.source.attr, key.clone());
+                if let Some(sid) = patched.graph.node_id(&probe) {
+                    for &hid in patched.graph.children_of(sid) {
+                        if patched.graph.node(hid).attr == agg.name {
+                            heads.insert(hid);
+                        }
+                    }
+                }
+            }
+        }
+
+        let agg_fn = agg_fn_of(agg.agg);
+        for hid in heads {
+            let mut values = Vec::new();
+            for &pid in patched.graph.parents_of(hid) {
+                let pnode = patched.graph.node(pid);
+                if pnode.attr != agg.source.attr {
+                    // Parents this patch does not understand — give up and
+                    // let the caller re-ground cold.
+                    return None;
+                }
+                let v = if source_registered {
+                    patched.derived.get(interner, pnode)
+                } else {
+                    None
+                }
+                .or_else(|| instance.attribute_f64(&pnode.attr, &pnode.key));
+                if let Some(v) = v {
+                    values.push(v);
+                }
+            }
+            let new = agg_fn.apply(&values);
+            let head_node = patched.graph.node(hid).clone();
+            let old = patched.derived.get(interner, &head_node);
+            if old.map(f64::to_bits) == new.map(f64::to_bits) {
+                continue;
+            }
+            let sig = sig_key_of(&patched.derived, interner, &head_node.key)?;
+            match new {
+                Some(v) => patched.derived.set(head_store_id, &sig, v),
+                None => patched.derived.unset(head_store_id, &sig),
+            }
+            dirty
+                .entry(agg.name.clone())
+                .or_default()
+                .push(head_node.key);
+        }
+    }
+    Some(patched)
 }
 
 // ---------------------------------------------------------------------------
@@ -1826,6 +2043,88 @@ mod tests {
         assert!((val("Bob") - 0.75).abs() < 1e-12);
         assert!((val("Carlos") - 0.1).abs() < 1e-12);
         assert!((val("Eva") - (0.75 + 0.4 + 0.1) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn patch_matches_cold_reground_on_attribute_deltas() {
+        let model = review_model();
+        let base_inst = Instance::review_example();
+        let cache = IndexCache::for_instance(&base_inst);
+        let base = ground_streaming(&model, &base_inst, &cache).unwrap();
+
+        // Attribute-only epoch change: rescore s1, clear s3's score, tweak a
+        // qualification nothing derived depends on.
+        let (next_inst, delta) = base_inst
+            .apply_with_delta(&[
+                reldb::Mutation::SetAttribute {
+                    attr: "Score".into(),
+                    key: vec![Value::from("s1")],
+                    value: Value::Float(0.95),
+                },
+                reldb::Mutation::ClearAttribute {
+                    attr: "Score".into(),
+                    key: vec![Value::from("s3")],
+                },
+                reldb::Mutation::SetAttribute {
+                    attr: "Qualification".into(),
+                    key: vec![Value::from("Bob")],
+                    value: Value::Float(60.0),
+                },
+            ])
+            .unwrap();
+        assert!(!delta.is_structural());
+        assert!(attribute_delta_patchable(&model, &delta.touched_attrs()));
+
+        let patched = patch_streamed(&base, &model, &next_inst, &delta.changed_cells())
+            .expect("delta is patchable");
+        let cold_cache = IndexCache::for_instance(&next_inst);
+        let cold = ground_streaming(&model, &next_inst, &cold_cache).unwrap();
+
+        // Identical structure and bit-identical values, node for node.
+        assert_eq!(patched.graph.node_count(), cold.graph.node_count());
+        assert_eq!(patched.graph.edge_count(), cold.graph.edge_count());
+        for (_, node) in cold.graph.iter() {
+            assert_eq!(
+                patched.value_of(&next_inst, node).map(f64::to_bits),
+                cold.value_of(&next_inst, node).map(f64::to_bits),
+                "value mismatch at {node}"
+            );
+        }
+        // The averages actually moved: Bob now averages the new 0.95 and
+        // Carlos's only submission lost its score entirely.
+        let avg = |m: &StreamedModel, who: &str| {
+            m.value_of(&next_inst, &GroundedAttr::single("AVG_Score", who))
+        };
+        assert_eq!(avg(&patched, "Bob"), Some(0.95));
+        assert_eq!(avg(&patched, "Carlos"), None);
+        assert_eq!(avg(&patched, "Eva"), Some((0.95 + 0.4) / 2.0));
+        // The shared base grounding is untouched (copy-on-write).
+        assert_eq!(
+            base.value_of(&base_inst, &GroundedAttr::single("AVG_Score", "Bob")),
+            Some(0.75)
+        );
+    }
+
+    #[test]
+    fn patch_eligibility_refuses_comparison_gated_attributes() {
+        let schema = RelationalSchema::review_example();
+        let program = parse_program(
+            r#"
+            Score[S] <= Prestige[A] WHERE Author(A, S), Qualification[A] > 10.0
+            AVG_Score[A] <= Score[S] WHERE Author(A, S)
+            "#,
+        )
+        .unwrap();
+        let model = RelationalCausalModel::new(schema, program).unwrap();
+        let gated: std::collections::BTreeSet<&str> = ["Qualification"].into_iter().collect();
+        // Qualification gates which rows ground → structure could change.
+        assert!(!attribute_delta_patchable(&model, &gated));
+        // Score only feeds values, never structure.
+        let safe: std::collections::BTreeSet<&str> = ["Score"].into_iter().collect();
+        assert!(attribute_delta_patchable(&model, &safe));
+        // A touched aggregate head is refused too.
+        let head: std::collections::BTreeSet<&str> = ["AVG_Score"].into_iter().collect();
+        assert!(!attribute_delta_patchable(&model, &head));
     }
 
     #[test]

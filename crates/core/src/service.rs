@@ -19,7 +19,10 @@
 //! `entity <Entity> <key>`, `insert <Rel> <v>…`, `delete <Rel> <v>…`,
 //! `set <Attr> <key>… <value>` (value last) and `clear <Attr> <key>…`.
 //! Values parse as `true`/`false`, integer, float, or fall back to string;
-//! `null` parses as the null value.
+//! `null` parses as the null value. Words that parse as **non-finite**
+//! floats (`nan`, `inf`, `-inf`, overflowing literals like `1e999`) are
+//! rejected with a protocol error before any mutation is applied, so no
+//! epoch ever holds a non-finite cell.
 //!
 //! Every `QUERY` response carries the epoch it was answered on and the
 //! bit-exact [`crate::history::digest_answer`] digest, so a client can
@@ -57,21 +60,39 @@ fn error_response(message: &str) -> String {
 }
 
 /// Parse one protocol value word.
-fn parse_value(word: &str) -> Value {
+///
+/// Numeric words that parse as non-finite floats (`nan`, `inf`, `1e999`,
+/// …) are rejected with a typed error instead of falling through to the
+/// string case: a `NaN` cell would silently poison every aggregate fold
+/// it reaches, and `to_bits`-based digests would then depend on which
+/// NaN payload the platform produced it with. Rejecting at COMMIT parse
+/// time keeps the instance finite by construction.
+fn parse_value(word: &str) -> Result<Value, String> {
     match word {
-        "null" => Value::Null,
-        "true" => Value::Bool(true),
-        "false" => Value::Bool(false),
+        "null" => Ok(Value::Null),
+        "true" => Ok(Value::Bool(true)),
+        "false" => Ok(Value::Bool(false)),
         _ => {
             if let Ok(i) = word.parse::<i64>() {
-                Value::Int(i)
+                Ok(Value::Int(i))
             } else if let Ok(f) = word.parse::<f64>() {
-                Value::Float(f)
+                if f.is_finite() {
+                    Ok(Value::Float(f))
+                } else {
+                    Err(format!(
+                        "non-finite numeric value {word:?}: only finite floats are storable"
+                    ))
+                }
             } else {
-                Value::Str(word.to_string())
+                Ok(Value::Str(word.to_string()))
             }
         }
     }
+}
+
+/// Parse a slice of protocol value words, failing on the first bad word.
+fn parse_values(words: &[&str]) -> Result<Vec<Value>, String> {
+    words.iter().map(|w| parse_value(w)).collect()
 }
 
 /// Parse one `;`-separated mutation spec (see the module docs).
@@ -82,27 +103,35 @@ fn parse_mutation(spec: &str) -> Result<Mutation, String> {
     match words.as_slice() {
         ["entity", entity, key] => Ok(Mutation::InsertEntity {
             entity: (*entity).to_string(),
-            key: parse_value(key),
+            key: parse_value(key)?,
         }),
         ["insert", rel, args @ ..] if !args.is_empty() => Ok(Mutation::InsertRelationship {
             rel: (*rel).to_string(),
-            tuple: args.iter().map(|w| parse_value(w)).collect(),
+            tuple: parse_values(args)?,
         }),
         ["delete", rel, args @ ..] if !args.is_empty() => Ok(Mutation::DeleteRelationship {
             rel: (*rel).to_string(),
-            tuple: args.iter().map(|w| parse_value(w)).collect(),
+            tuple: parse_values(args)?,
         }),
-        ["set", attr, args @ ..] if args.len() >= 2 => {
-            let (value, key) = args.split_last().expect("len >= 2");
+        ["set", attr, args @ ..] => {
+            // A slice pattern, not `split_last().expect(..)` — a `set`
+            // spec with fewer than two trailing words is a protocol
+            // error, never a panic in the serving thread.
+            let [key @ .., value] = args else {
+                return Err(format!("bad mutation spec {spec:?}: {usage}"));
+            };
+            if key.is_empty() {
+                return Err(format!("bad mutation spec {spec:?}: {usage}"));
+            }
             Ok(Mutation::SetAttribute {
                 attr: (*attr).to_string(),
-                key: key.iter().map(|w| parse_value(w)).collect(),
-                value: parse_value(value),
+                key: parse_values(key)?,
+                value: parse_value(value)?,
             })
         }
         ["clear", attr, args @ ..] if !args.is_empty() => Ok(Mutation::ClearAttribute {
             attr: (*attr).to_string(),
-            key: args.iter().map(|w| parse_value(w)).collect(),
+            key: parse_values(args)?,
         }),
         _ => Err(format!("bad mutation spec {spec:?}: {usage}")),
     }
@@ -388,6 +417,101 @@ mod tests {
                 key: vec![Value::Str("s1".into())],
             }
         );
+    }
+
+    #[test]
+    fn malformed_set_specs_are_protocol_errors_not_panics() {
+        // `set` with no key/value words used to be guarded by a slice
+        // length test in front of `split_last().expect(..)`; the slice
+        // pattern now makes the unpanickable shape structural. Both
+        // truncated forms must come back as protocol errors.
+        assert!(parse_mutation("set Qualification").is_err());
+        assert!(parse_mutation("set Qualification Dana").is_err());
+
+        let service = service();
+        for bad in [
+            "COMMIT set Qualification",
+            "COMMIT set Qualification Dana",
+            "COMMIT entity Person Dana; set Qualification",
+        ] {
+            let resp = handle_request(&service, bad);
+            assert!(resp.starts_with("{\"ok\":false,"), "{bad:?} -> {resp}");
+            assert!(resp.contains("bad mutation spec"), "{bad:?} -> {resp}");
+        }
+        // Nothing was installed: even the batch whose first spec was
+        // valid fails atomically at parse time.
+        assert_eq!(service.epoch(), 0);
+    }
+
+    #[test]
+    fn non_finite_values_are_rejected_at_parse_time() {
+        for bad in ["nan", "NaN", "inf", "-inf", "Infinity", "1e999"] {
+            let err = parse_value(bad).unwrap_err();
+            assert!(err.contains("non-finite"), "{bad:?} -> {err}");
+        }
+        // Finite numerics still parse; words that merely *contain* a
+        // non-finite spelling stay strings.
+        assert_eq!(parse_value("0.75"), Ok(Value::Float(0.75)));
+        assert_eq!(parse_value("-3"), Ok(Value::Int(-3)));
+        assert_eq!(parse_value("nanette"), Ok(Value::Str("nanette".into())));
+
+        let service = service();
+        for bad in [
+            "COMMIT set Score s1 nan",
+            "COMMIT set Score s1 inf",
+            "COMMIT set Score s1 1e999",
+            "COMMIT insert Author nan s1",
+        ] {
+            let resp = handle_request(&service, bad);
+            assert!(resp.starts_with("{\"ok\":false,"), "{bad:?} -> {resp}");
+            assert!(resp.contains("non-finite"), "{bad:?} -> {resp}");
+        }
+        assert_eq!(service.epoch(), 0);
+    }
+
+    #[test]
+    fn rejected_nan_commits_never_reach_the_history() {
+        use crate::history::{check_history, HistoryLog};
+
+        let service = service();
+        let log = HistoryLog::new();
+        let query = "AVG_Score[A] <= Prestige[A]?";
+
+        let (epoch, result) = service.answer_str(query);
+        log.record_query(0, epoch, query, &result);
+
+        // The poisoned commit is refused at parse time: no epoch is
+        // installed, so there is nothing to record and no NaN cell whose
+        // platform-dependent bit pattern could enter a digest.
+        let resp = handle_request(&service, "COMMIT set Score s1 nan");
+        assert!(resp.starts_with("{\"ok\":false,"), "{resp}");
+        assert_eq!(service.epoch(), 0);
+
+        // A clean commit (taking the incremental fast path) extends the
+        // history as usual…
+        let resp = handle_request(&service, "COMMIT set Score s1 0.9");
+        assert!(resp.starts_with("{\"ok\":true,\"epoch\":1,"), "{resp}");
+        let snap = service.snapshot();
+        log.record_install(
+            &snap,
+            &[Mutation::SetAttribute {
+                attr: "Score".into(),
+                key: vec![Value::Str("s1".into())],
+                value: Value::Float(0.9),
+            }],
+        );
+        let (epoch, result) = service.answer_str(query);
+        log.record_query(0, epoch, query, &result);
+
+        // …and the recorded history replays bit-identically against a
+        // cold re-ground of every epoch: the checker finds nothing.
+        let violations = check_history(
+            &Instance::review_example(),
+            &service.program().clone(),
+            &log.events(),
+        )
+        .unwrap();
+        assert_eq!(violations, vec![]);
     }
 
     #[test]

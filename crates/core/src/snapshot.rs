@@ -23,6 +23,34 @@
 //! Queries in flight on the previous epoch keep their `Arc` and finish on
 //! the old, still-consistent engine.
 //!
+//! # Incremental commits (delta grounding)
+//!
+//! "Fresh engine per epoch" does not have to mean "cold engine per epoch".
+//! [`Instance::apply_with_delta`] reports exactly which cells a batch
+//! changed, and when the delta is attribute-only and touches nothing that
+//! can change grounding *structure* ([`CarlEngine::can_patch`]), commit
+//! takes a fast path: the next epoch's engine is built by
+//! [`CarlEngine::patched_next`], inheriting the skeleton-valid secondary
+//! indexes and incrementally maintaining the previous epoch's streamed
+//! base grounding instead of throwing the grounded world away. The decision
+//! rule is:
+//!
+//! * structural delta (entities/relationship tuples changed), a touched
+//!   attribute appearing in a rule/aggregate condition comparison, or a
+//!   touched attribute that is itself an aggregate head → **cold rebuild**
+//!   (always correct, same as PR 7);
+//! * otherwise → **patch**: copy-on-write, so the previous snapshot and
+//!   its caches are never mutated, and the new engine is still keyed by
+//!   the new fingerprint.
+//!
+//! Either way the installed epoch is indistinguishable from a cold
+//! re-ground — `crate::history::check_history` re-validates recorded runs
+//! against cold re-grounds bit for bit, making the harness the
+//! differential oracle for the fast path. [`SnapshotEngine::commit_stats`]
+//! reports which path commits actually took, and
+//! [`SnapshotEngine::set_commit_mode`] can force [`CommitMode::Cold`] for
+//! benchmarking or bisection.
+//!
 //! The [`crate::history`] module records installs and query observations
 //! from such a service and re-validates them offline against cold
 //! re-grounds of every epoch.
@@ -62,7 +90,32 @@ use crate::error::CarlResult;
 use crate::estimate::QueryAnswer;
 use carl_lang::{parse_program, CausalQuery, Program};
 use reldb::{Instance, Mutation};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
+
+/// How [`SnapshotEngine::commit`] builds the next epoch's engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CommitMode {
+    /// Patch the previous epoch's engine when the delta allows it
+    /// ([`CarlEngine::can_patch`]), falling back to a cold rebuild
+    /// otherwise (default).
+    #[default]
+    Incremental,
+    /// Always rebuild cold (the PR 7 behaviour) — for benchmarking the
+    /// fast path against its baseline and for bisecting suspected
+    /// incremental-maintenance bugs.
+    Cold,
+}
+
+/// How many commits each path served (see [`SnapshotEngine::commit_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitStats {
+    /// Commits that patched the previous epoch's engine.
+    pub incremental: u64,
+    /// Commits that rebuilt the engine cold (structural or otherwise
+    /// unpatchable deltas, or [`CommitMode::Cold`]).
+    pub cold: u64,
+}
 
 /// One immutable epoch of the database together with the engine built over
 /// it. Shared between reader threads via `Arc`; never mutated after
@@ -114,6 +167,12 @@ pub struct SnapshotEngine {
     /// Serialises writers so epochs install in commit order. Readers never
     /// touch this lock.
     writer: Mutex<()>,
+    /// Whether commits may take the incremental fast path.
+    commit_mode: Mutex<CommitMode>,
+    /// Fast-path commits served so far.
+    incremental_commits: AtomicU64,
+    /// Cold-rebuild commits served so far.
+    cold_commits: AtomicU64,
 }
 
 impl SnapshotEngine {
@@ -131,12 +190,40 @@ impl SnapshotEngine {
             current: RwLock::new(Arc::new(EngineSnapshot { epoch: 0, engine })),
             program,
             writer: Mutex::new(()),
+            commit_mode: Mutex::new(CommitMode::default()),
+            incremental_commits: AtomicU64::new(0),
+            cold_commits: AtomicU64::new(0),
         })
     }
 
     /// The program every epoch's engine is built from.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// The current [`CommitMode`].
+    pub fn commit_mode(&self) -> CommitMode {
+        *self
+            .commit_mode
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Switch how commits build epochs (takes effect for the next commit;
+    /// commits in flight finish under the mode they started with).
+    pub fn set_commit_mode(&self, mode: CommitMode) {
+        *self
+            .commit_mode
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = mode;
+    }
+
+    /// How many commits took the incremental fast path vs a cold rebuild.
+    pub fn commit_stats(&self) -> CommitStats {
+        CommitStats {
+            incremental: self.incremental_commits.load(Ordering::Relaxed),
+            cold: self.cold_commits.load(Ordering::Relaxed),
+        }
     }
 
     /// The currently installed snapshot. Cheap (`RwLock` read + `Arc`
@@ -162,14 +249,24 @@ impl SnapshotEngine {
     /// nothing is installed and the current epoch is unchanged — readers
     /// never observe a partially applied batch. Writers are serialised;
     /// readers are only blocked for the final pointer swap.
+    /// See the module docs for the incremental fast path: attribute-only
+    /// deltas that cannot change grounding structure patch the previous
+    /// epoch's engine; everything else rebuilds cold.
     pub fn commit(&self, mutations: &[Mutation]) -> CarlResult<Arc<EngineSnapshot>> {
         let _writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
         let base = self.snapshot();
-        // The expensive part — applying mutations and rebuilding the
-        // engine (validation, index-cache setup) — happens outside the
-        // read/write lock, on the writer's thread only.
-        let next_instance = base.instance().apply(mutations)?;
-        let engine = CarlEngine::with_program(next_instance, self.program.clone())?;
+        // The expensive part — applying mutations and building the next
+        // engine (patched or cold) — happens outside the read/write lock,
+        // on the writer's thread only.
+        let (next_instance, delta) = base.instance().apply_with_delta(mutations)?;
+        let engine =
+            if self.commit_mode() == CommitMode::Incremental && base.engine().can_patch(&delta) {
+                self.incremental_commits.fetch_add(1, Ordering::Relaxed);
+                base.engine().patched_next(next_instance, &delta)?
+            } else {
+                self.cold_commits.fetch_add(1, Ordering::Relaxed);
+                CarlEngine::with_program(next_instance, self.program.clone())?
+            };
         let next = Arc::new(EngineSnapshot {
             epoch: base.epoch() + 1,
             engine,
@@ -348,6 +445,102 @@ mod tests {
                 .unit_table
                 .len(),
             3
+        );
+    }
+
+    #[test]
+    fn attribute_commits_take_the_incremental_fast_path() {
+        let service = service();
+        // Warm the base grounding so the patch has something to maintain.
+        let _ = service
+            .snapshot()
+            .engine()
+            .answer_str("AVG_Score[A] <= Prestige[A]?");
+
+        // Attribute-only commit: Score feeds values, never structure.
+        let snap = service
+            .commit(&[Mutation::SetAttribute {
+                attr: "Score".into(),
+                key: vec![Value::from("s1")],
+                value: Value::Float(0.95),
+            }])
+            .unwrap();
+        assert_eq!(
+            service.commit_stats(),
+            CommitStats {
+                incremental: 1,
+                cold: 0
+            }
+        );
+        // The patched epoch answers bit-identically to a cold rebuild of
+        // the same data.
+        let cold =
+            CarlEngine::with_program(snap.instance().clone(), service.program().clone()).unwrap();
+        let fast = snap.engine().answer_str("AVG_Score[A] <= Prestige[A]?");
+        let slow = cold.answer_str("AVG_Score[A] <= Prestige[A]?");
+        assert_eq!(
+            crate::history::digest_answer(&fast),
+            crate::history::digest_answer(&slow)
+        );
+
+        // A structural commit falls back to the cold path.
+        service
+            .commit(&[Mutation::InsertEntity {
+                entity: "Person".into(),
+                key: Value::from("Dana"),
+            }])
+            .unwrap();
+        assert_eq!(
+            service.commit_stats(),
+            CommitStats {
+                incremental: 1,
+                cold: 1
+            }
+        );
+
+        // Forcing Cold mode disables the fast path entirely.
+        service.set_commit_mode(CommitMode::Cold);
+        service
+            .commit(&[Mutation::SetAttribute {
+                attr: "Score".into(),
+                key: vec![Value::from("s2")],
+                value: Value::Float(0.5),
+            }])
+            .unwrap();
+        assert_eq!(
+            service.commit_stats(),
+            CommitStats {
+                incremental: 1,
+                cold: 2
+            }
+        );
+    }
+
+    #[test]
+    fn incremental_commit_leaves_previous_snapshot_untouched() {
+        let service = service();
+        let before = service.snapshot();
+        // Warm epoch 0's base grounding, then patch an attribute.
+        let (_, a0) = service.answer_str("AVG_Score[A] <= Prestige[A]?");
+        service
+            .commit(&[Mutation::SetAttribute {
+                attr: "Score".into(),
+                key: vec![Value::from("s1")],
+                value: Value::Float(0.95),
+            }])
+            .unwrap();
+        assert_eq!(service.commit_stats().incremental, 1);
+        // The old snapshot still answers over the old data, bit-identically
+        // to its pre-commit answer (copy-on-write: the patch cloned, never
+        // mutated, the shared grounded state).
+        let a0_again = before.engine().answer_str("AVG_Score[A] <= Prestige[A]?");
+        assert_eq!(
+            crate::history::digest_answer(&a0),
+            crate::history::digest_answer(&a0_again)
+        );
+        assert_eq!(
+            before.instance().attribute("Score", &[Value::from("s1")]),
+            Some(&Value::Float(0.75))
         );
     }
 

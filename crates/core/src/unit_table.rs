@@ -155,6 +155,17 @@ impl FloatColumn {
         self.nulls.set(i, false);
     }
 
+    /// Mark cell `i` null again (stored as `NaN`, flagged in the bitmap).
+    /// A no-op beyond the column's length — an absent cell is already null
+    /// as far as [`FloatColumn::get`] is concerned, and incremental
+    /// patching must not allocate rows just to mark them missing.
+    pub fn unset(&mut self, i: usize) {
+        if i < self.values.len() {
+            self.values[i] = f64::NAN;
+            self.nulls.set(i, true);
+        }
+    }
+
     /// The observed value of cell `i`, or `None` when the cell is null or
     /// beyond the column's length.
     pub fn get(&self, i: usize) -> Option<f64> {
@@ -718,6 +729,25 @@ mod tests {
         }
         assert!(!NullBitmap::new().any_null());
         assert!(NullBitmap::new().is_empty());
+    }
+
+    #[test]
+    fn unset_reverts_cells_to_null_without_growing() {
+        let mut col = FloatColumn::new("x");
+        col.set(3, 7.0);
+        assert_eq!(col.len(), 4);
+        assert_eq!(col.get(3), Some(7.0));
+        col.unset(3);
+        assert_eq!(col.get(3), None);
+        assert!(col.nulls().is_null(3));
+        assert!(col.values()[3].is_nan());
+        // Beyond-length unset is a no-op: the cell is already null.
+        col.unset(100);
+        assert_eq!(col.len(), 4);
+        // Round trip: set after unset observes again.
+        col.set(3, 2.5);
+        assert_eq!(col.get(3), Some(2.5));
+        assert_eq!(col.nulls().null_count(), 3);
     }
 
     #[test]

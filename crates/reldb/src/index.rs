@@ -281,6 +281,56 @@ impl IndexCache {
         }
     }
 
+    /// A new cache for the epoch fingerprinted `fingerprint`, inheriting
+    /// every index of `self` that an **attribute-only** delta cannot
+    /// invalidate.
+    ///
+    /// Contract (the caller asserts it, typically from a
+    /// [`crate::DeltaSet`] with `is_structural() == false`): the new
+    /// epoch's *skeleton* is identical to the one `self`'s indexes were
+    /// built from, and only attribute cells of the attrs in
+    /// `changed_attrs` differ. Then:
+    ///
+    /// * composite indexes are skeleton-only → all shared (`Arc` clone);
+    /// * attribute indexes of *unchanged* attrs are shared; changed attrs
+    ///   are dropped and lazily rebuilt against the new epoch;
+    /// * plan templates are **kept** — unlike [`IndexCache::revalidate`]
+    ///   (which faces arbitrary content changes), an attribute-only delta
+    ///   leaves every relationship cardinality the plans were costed
+    ///   against untouched, and a template is always *correct* regardless
+    ///   (join order never affects results), so replanning per patched
+    ///   epoch would only burn the write-heavy fast path's latency budget.
+    ///
+    /// Counters start fresh: the inherited indexes were built by the old
+    /// epoch and are free here.
+    pub fn rebase_for_attribute_delta(
+        &self,
+        fingerprint: u64,
+        changed_attrs: &std::collections::BTreeSet<&str>,
+    ) -> IndexCache {
+        let composite = self.composite.lock().expect("composite index lock").clone();
+        let attribute: HashMap<String, Arc<AttributeIndex>> = self
+            .attribute
+            .lock()
+            .expect("attribute index lock")
+            .iter()
+            .filter(|(attr, _)| !changed_attrs.contains(attr.as_str()))
+            .map(|(attr, idx)| (attr.clone(), Arc::clone(idx)))
+            .collect();
+        let plans = self.plans.lock().expect("plan template lock").clone();
+        IndexCache {
+            fingerprint: Mutex::new(fingerprint),
+            composite: Mutex::new(composite),
+            attribute: Mutex::new(attribute),
+            plans: Mutex::new(plans),
+            builds: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+            invalidations: AtomicUsize::new(0),
+            plan_hits: AtomicUsize::new(0),
+            plan_misses: AtomicUsize::new(0),
+        }
+    }
+
     /// Usage counters (builds, hits, invalidations).
     pub fn stats(&self) -> IndexCacheStats {
         IndexCacheStats {
@@ -371,6 +421,58 @@ mod tests {
         assert!(cache.revalidate(inst.fingerprint()));
         assert!(cache.plan_template(&shape).is_none());
         assert_eq!(cache.plan_stats().entries, 0);
+    }
+
+    #[test]
+    fn rebase_shares_survivors_and_drops_changed_attrs() {
+        use std::collections::BTreeSet;
+
+        let inst = Instance::review_example();
+        let cache = IndexCache::for_instance(&inst);
+        let composite = cache.relationship_index(inst.skeleton(), "Author", &[0, 1]);
+        let blind = cache.attribute_index(&inst, "Blind");
+        let score = cache.attribute_index(&inst, "Score");
+        let query = crate::ConjunctiveQuery::new(vec![crate::Atom::new(
+            "Author",
+            vec![crate::Term::var("A"), crate::Term::var("S")],
+        )]);
+        let template =
+            Arc::new(crate::plan::plan_query(inst.schema(), inst.skeleton(), &query).unwrap());
+        cache.store_plan_template(crate::plan::shape_key(&query, &[]), Arc::clone(&template));
+
+        // Attribute-only epoch change: Score rewritten, skeleton untouched.
+        let next = inst
+            .apply(&[crate::Mutation::SetAttribute {
+                attr: "Score".into(),
+                key: vec![Value::from("s1")],
+                value: Value::Float(0.9),
+            }])
+            .unwrap();
+        let changed: BTreeSet<&str> = ["Score"].into_iter().collect();
+        let rebased = cache.rebase_for_attribute_delta(next.fingerprint(), &changed);
+        assert_eq!(rebased.fingerprint(), next.fingerprint());
+        assert_eq!(rebased.stats(), IndexCacheStats::default());
+
+        // Skeleton-only composite index is shared, not rebuilt.
+        let composite2 = rebased.relationship_index(next.skeleton(), "Author", &[0, 1]);
+        assert!(Arc::ptr_eq(&composite, &composite2));
+        // Unchanged attribute index is shared too.
+        let blind2 = rebased.attribute_index(&next, "Blind");
+        assert!(Arc::ptr_eq(&blind, &blind2));
+        // The changed attr was dropped and rebuilds against the new epoch.
+        let score2 = rebased.attribute_index(&next, "Score");
+        assert!(!Arc::ptr_eq(&score, &score2));
+        assert_eq!(score2.cardinality(&Value::Float(0.9)), 1);
+        assert_eq!(score2.cardinality(&Value::Float(0.75)), 0);
+        // Sharing counts as hits on the rebased cache, one build for Score.
+        assert_eq!(rebased.stats().builds, 1);
+        // Plan templates ride along: the skeleton (and so every relationship
+        // cardinality the planner costed) is unchanged by an attribute delta.
+        assert_eq!(rebased.plan_stats().entries, 1);
+        let carried = rebased
+            .plan_template(&crate::plan::shape_key(&query, &[]))
+            .expect("template survives the rebase");
+        assert!(Arc::ptr_eq(&carried, &template));
     }
 
     #[test]

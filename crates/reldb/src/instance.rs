@@ -4,10 +4,11 @@
 use crate::error::{RelError, RelResult};
 use crate::schema::{PredicateKind, RelationalSchema};
 use crate::skeleton::{Skeleton, UnitKey};
-use crate::value::{fnv1a, Value, FNV_OFFSET};
+use crate::value::{fnv1a, Value, ValueKey, FNV_OFFSET};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// A single edit to an [`Instance`], applied in batches by
 /// [`Instance::apply`] to produce a new immutable epoch.
@@ -59,18 +60,171 @@ pub enum Mutation {
     },
 }
 
+/// One *effective* change produced by applying a [`Mutation`] batch.
+///
+/// Deltas describe what actually changed between two epochs, not what was
+/// requested: an idempotent re-insert, a delete of an absent tuple, or a
+/// `SetAttribute` overwriting a cell with a bit-identical value emits no
+/// delta at all. This is the contract incremental view maintenance relies
+/// on — an empty [`DeltaSet`] guarantees the two epochs have identical
+/// content (and hence identical [`Instance::fingerprint`]s).
+///
+/// Cell comparisons are *strict* (variant- and bit-exact, like
+/// [`crate::ValueKey`] and the fingerprint), not coercing like `Value`
+/// equality: overwriting `Int(2)` with `Float(2.0)` changes the stored
+/// bytes and therefore *is* a delta, even though the two values compare
+/// equal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DeltaOp {
+    /// A previously absent entity key was added to the skeleton.
+    EntityAdded {
+        /// Entity class name.
+        entity: String,
+        /// Key of the added entity.
+        key: Value,
+    },
+    /// A previously absent relationship tuple was added to the skeleton.
+    RelationshipAdded {
+        /// Relationship name.
+        rel: String,
+        /// The added tuple.
+        tuple: UnitKey,
+    },
+    /// A previously present relationship tuple was removed.
+    RelationshipRemoved {
+        /// Relationship name.
+        rel: String,
+        /// The removed tuple.
+        tuple: UnitKey,
+    },
+    /// An attribute cell changed value (or was assigned for the first
+    /// time, in which case `old` is `None`).
+    CellSet {
+        /// Attribute name.
+        attr: String,
+        /// Unit key of the changed cell.
+        key: UnitKey,
+        /// The previous value, if the cell was assigned.
+        old: Option<Value>,
+        /// The new value.
+        new: Value,
+    },
+    /// A previously assigned attribute cell was cleared.
+    CellCleared {
+        /// Attribute name.
+        attr: String,
+        /// Unit key of the cleared cell.
+        key: UnitKey,
+        /// The value that was removed.
+        old: Value,
+    },
+}
+
+impl DeltaOp {
+    /// Whether this op changes the relational skeleton (entity set or
+    /// relationship tuples) rather than just attribute cells.
+    pub fn is_structural(&self) -> bool {
+        matches!(
+            self,
+            DeltaOp::EntityAdded { .. }
+                | DeltaOp::RelationshipAdded { .. }
+                | DeltaOp::RelationshipRemoved { .. }
+        )
+    }
+}
+
+/// The ordered stream of effective changes from one [`Instance::apply`]
+/// batch, produced by [`Instance::apply_with_delta`].
+///
+/// Ops appear in application order. Because only *effective* changes are
+/// recorded, the set is empty exactly when the batch was a no-op, and a
+/// later op on the same cell reflects the state left by earlier ops in the
+/// same batch (e.g. set-then-clear of a previously absent cell emits
+/// `CellSet { old: None, .. }` followed by `CellCleared`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeltaSet {
+    ops: Vec<DeltaOp>,
+}
+
+impl DeltaSet {
+    /// The recorded ops, in application order.
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.ops
+    }
+
+    /// Number of effective changes.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the batch changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Whether any op touches the skeleton. Structural deltas invalidate
+    /// node tables and join results; attribute-only deltas can be patched
+    /// into grounded state in place.
+    pub fn is_structural(&self) -> bool {
+        self.ops.iter().any(DeltaOp::is_structural)
+    }
+
+    /// The set of attribute names with at least one changed cell.
+    pub fn touched_attrs(&self) -> BTreeSet<&str> {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                DeltaOp::CellSet { attr, .. } | DeltaOp::CellCleared { attr, .. } => {
+                    Some(attr.as_str())
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Deduplicated `(attr, key)` pairs of every changed attribute cell,
+    /// in first-touched order. For patching, only *which* cells changed
+    /// matters — the new value is read back from the new epoch.
+    pub fn changed_cells(&self) -> Vec<(&str, &UnitKey)> {
+        let mut seen: BTreeSet<(&str, Vec<String>)> = BTreeSet::new();
+        let mut cells = Vec::new();
+        for op in &self.ops {
+            if let DeltaOp::CellSet { attr, key, .. } | DeltaOp::CellCleared { attr, key, .. } = op
+            {
+                let repr: Vec<String> = key.iter().map(Value::key_repr).collect();
+                if seen.insert((attr.as_str(), repr)) {
+                    cells.push((attr.as_str(), key));
+                }
+            }
+        }
+        cells
+    }
+
+    fn push(&mut self, op: DeltaOp) {
+        self.ops.push(op);
+    }
+}
+
 /// An observed relational instance conforming to a [`RelationalSchema`].
 ///
 /// The instance owns its schema, its relational skeleton, and one map per
 /// attribute function from unit keys to values. Unobserved attribute
 /// functions (e.g. `Quality[S]` in the running example) simply have no
 /// stored assignments.
+///
+/// The skeleton and each per-attribute map live behind [`Arc`]s with
+/// copy-on-write mutation ([`Arc::make_mut`]): cloning an instance — the
+/// first step of every [`Instance::apply`], i.e. of every committed epoch —
+/// is O(#attributes) pointer bumps, and a mutation batch deep-copies only
+/// the maps it actually writes. An attribute-only commit therefore never
+/// re-copies the skeleton (or the untouched attributes), which is what
+/// keeps epoch creation proportional to the delta rather than the world.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Instance {
     schema: RelationalSchema,
-    skeleton: Skeleton,
+    skeleton: Arc<Skeleton>,
     /// attribute name → (unit key → value)
-    attributes: BTreeMap<String, HashMap<UnitKey, Value>>,
+    attributes: BTreeMap<String, Arc<HashMap<UnitKey, Value>>>,
 }
 
 impl Instance {
@@ -78,7 +232,7 @@ impl Instance {
     pub fn new(schema: RelationalSchema) -> Self {
         Self {
             schema,
-            skeleton: Skeleton::new(),
+            skeleton: Arc::new(Skeleton::new()),
             attributes: BTreeMap::new(),
         }
     }
@@ -97,7 +251,7 @@ impl Instance {
     pub fn add_entity(&mut self, entity: &str, key: Value) -> RelResult<()> {
         match self.schema.require_predicate(entity)? {
             PredicateKind::Entity => {
-                self.skeleton.add_entity(entity, key);
+                Arc::make_mut(&mut self.skeleton).add_entity(entity, key);
                 Ok(())
             }
             PredicateKind::Relationship => Err(RelError::UnknownPredicate(format!(
@@ -134,12 +288,20 @@ impl Instance {
                 });
             }
         }
-        self.skeleton.add_relationship(rel, tuple);
+        Arc::make_mut(&mut self.skeleton).add_relationship(rel, tuple);
         Ok(())
     }
 
     /// Assign `value` to attribute `attr` of the unit identified by `key`.
-    pub fn set_attribute(&mut self, attr: &str, key: &[Value], value: Value) -> RelResult<()> {
+    /// Returns the previous value of the cell, if it was assigned — delta
+    /// emission uses this to distinguish effective changes from rewrites
+    /// of the same bits.
+    pub fn set_attribute(
+        &mut self,
+        attr: &str,
+        key: &[Value],
+        value: Value,
+    ) -> RelResult<Option<Value>> {
         let def = self.schema.require_attribute(attr)?.clone();
         let arity = self
             .schema
@@ -159,11 +321,10 @@ impl Instance {
                 value: value.to_string(),
             });
         }
-        self.attributes
-            .entry(attr.to_string())
-            .or_default()
-            .insert(key.to_vec(), value);
-        Ok(())
+        Ok(
+            Arc::make_mut(self.attributes.entry(attr.to_string()).or_default())
+                .insert(key.to_vec(), value),
+        )
     }
 
     /// Remove a relationship tuple. Returns `Ok(true)` if the tuple was
@@ -178,18 +339,26 @@ impl Instance {
                 "`{rel}` is an entity, not a relationship"
             )));
         }
-        Ok(self.skeleton.remove_relationship(rel, tuple))
+        // Probe before `make_mut`: a retraction of an absent tuple must
+        // stay a no-op, not force a deep copy of a shared skeleton.
+        if !self.skeleton.has_relationship(rel, tuple) {
+            return Ok(false);
+        }
+        Ok(Arc::make_mut(&mut self.skeleton).remove_relationship(rel, tuple))
     }
 
     /// Remove the assignment of attribute `attr` for unit `key`. Returns
-    /// `Ok(true)` if an assignment was present; errors on an unknown
-    /// attribute.
-    pub fn clear_attribute(&mut self, attr: &str, key: &[Value]) -> RelResult<bool> {
+    /// the removed value if an assignment was present, `Ok(None)` if the
+    /// cell was never assigned; errors on an unknown attribute.
+    pub fn clear_attribute(&mut self, attr: &str, key: &[Value]) -> RelResult<Option<Value>> {
         self.schema.require_attribute(attr)?;
+        // Probe before `make_mut`: clearing an unassigned cell must stay a
+        // no-op, not force a deep copy of a shared attribute map.
         Ok(self
             .attributes
             .get_mut(attr)
-            .is_some_and(|m| m.remove(key).is_some()))
+            .filter(|m| m.contains_key(key))
+            .and_then(|m| Arc::make_mut(m).remove(key)))
     }
 
     /// Apply a batch of [`Mutation`]s to a copy of this instance, returning
@@ -201,27 +370,79 @@ impl Instance {
     /// application and no partial epoch is produced. Application order is
     /// the slice order, so replaying recorded batches is deterministic.
     pub fn apply(&self, mutations: &[Mutation]) -> RelResult<Instance> {
+        self.apply_with_delta(mutations).map(|(next, _)| next)
+    }
+
+    /// Like [`Instance::apply`], but also returns the [`DeltaSet`] of
+    /// *effective* changes: ops appear in application order and only when
+    /// they changed stored content. Idempotent inserts, deletes/clears of
+    /// absent tuples/cells, and attribute writes of bit-identical values
+    /// emit nothing — so `delta.is_empty()` implies the returned epoch has
+    /// the same fingerprint as `self`, and downstream incremental view
+    /// maintenance never sees phantom additions or retractions.
+    ///
+    /// The batch is atomic exactly like `apply`: on the first failing
+    /// mutation, no epoch and no delta are produced.
+    pub fn apply_with_delta(&self, mutations: &[Mutation]) -> RelResult<(Instance, DeltaSet)> {
         let mut next = self.clone();
+        let mut delta = DeltaSet::default();
         for m in mutations {
             match m {
                 Mutation::InsertEntity { entity, key } => {
+                    let present = next.skeleton.has_entity(entity, key);
                     next.add_entity(entity, key.clone())?;
+                    if !present {
+                        delta.push(DeltaOp::EntityAdded {
+                            entity: entity.clone(),
+                            key: key.clone(),
+                        });
+                    }
                 }
                 Mutation::InsertRelationship { rel, tuple } => {
+                    let present = next.skeleton.has_relationship(rel, tuple);
                     next.add_relationship(rel, tuple.clone())?;
+                    if !present {
+                        delta.push(DeltaOp::RelationshipAdded {
+                            rel: rel.clone(),
+                            tuple: tuple.clone(),
+                        });
+                    }
                 }
                 Mutation::DeleteRelationship { rel, tuple } => {
-                    next.delete_relationship(rel, tuple)?;
+                    if next.delete_relationship(rel, tuple)? {
+                        delta.push(DeltaOp::RelationshipRemoved {
+                            rel: rel.clone(),
+                            tuple: tuple.clone(),
+                        });
+                    }
                 }
                 Mutation::SetAttribute { attr, key, value } => {
-                    next.set_attribute(attr, key, value.clone())?;
+                    let old = next.set_attribute(attr, key, value.clone())?;
+                    // Strict comparison: Int(2) → Float(2.0) changes the
+                    // stored bytes (and the fingerprint) even though the
+                    // values compare equal under coercion.
+                    let changed = !old.as_ref().is_some_and(|o| ValueKey(o) == ValueKey(value));
+                    if changed {
+                        delta.push(DeltaOp::CellSet {
+                            attr: attr.clone(),
+                            key: key.clone(),
+                            old,
+                            new: value.clone(),
+                        });
+                    }
                 }
                 Mutation::ClearAttribute { attr, key } => {
-                    next.clear_attribute(attr, key)?;
+                    if let Some(old) = next.clear_attribute(attr, key)? {
+                        delta.push(DeltaOp::CellCleared {
+                            attr: attr.clone(),
+                            key: key.clone(),
+                            old,
+                        });
+                    }
                 }
             }
         }
-        Ok(next)
+        Ok((next, delta))
     }
 
     /// Read the value of attribute `attr` for unit `key`, if assigned.
@@ -237,7 +458,7 @@ impl Instance {
 
     /// Number of stored assignments for attribute `attr`.
     pub fn attribute_count(&self, attr: &str) -> usize {
-        self.attributes.get(attr).map_or(0, HashMap::len)
+        self.attributes.get(attr).map_or(0, |m| m.len())
     }
 
     /// Iterate over all assignments of attribute `attr`.
@@ -273,7 +494,7 @@ impl Instance {
             fnv(&mut h, attr.as_bytes());
             fnv(&mut h, &[0xfa]);
             let mut combined: u64 = 0;
-            for (key, value) in assignments {
+            for (key, value) in assignments.iter() {
                 let mut entry = FNV_OFFSET;
                 for v in key {
                     v.fold_key_bytes(&mut |bytes| fnv(&mut entry, bytes));
@@ -291,7 +512,7 @@ impl Instance {
     /// Total number of attribute assignments across all attributes
     /// (a proxy for "rows" when reporting dataset sizes).
     pub fn total_attribute_assignments(&self) -> usize {
-        self.attributes.values().map(HashMap::len).sum()
+        self.attributes.values().map(|m| m.len()).sum()
     }
 
     /// Build the full REVIEWDATA instance of the paper's Figure 2,
@@ -536,24 +757,205 @@ mod tests {
             inst.clear_attribute("Nope", &[Value::from("x")]),
             Err(RelError::UnknownAttribute(_))
         ));
-        // Absent tuple / assignment → Ok(false).
+        // Absent tuple / assignment → no-op results.
         assert_eq!(
             inst.delete_relationship("Author", &[Value::from("Bob"), Value::from("s3")]),
             Ok(false)
         );
         assert_eq!(
             inst.clear_attribute("Quality", &[Value::from("s1")]),
-            Ok(false)
+            Ok(None)
         );
-        // Present → Ok(true).
+        // Present → removed (clear reports the removed value).
         assert_eq!(
             inst.delete_relationship("Author", &[Value::from("Bob"), Value::from("s1")]),
             Ok(true)
         );
         assert_eq!(
             inst.clear_attribute("Score", &[Value::from("s1")]),
-            Ok(true)
+            Ok(Some(Value::Float(0.75)))
         );
+    }
+
+    #[test]
+    fn epoch_clones_share_storage_copy_on_write() {
+        let base = Instance::review_example();
+        let next = base
+            .apply(&[Mutation::SetAttribute {
+                attr: "Score".into(),
+                key: vec![Value::from("s1")],
+                value: Value::Float(0.9),
+            }])
+            .expect("attribute batch applies");
+        // An attribute-only epoch shares the skeleton and every untouched
+        // attribute map with its base; only the written map is re-allocated.
+        assert!(Arc::ptr_eq(&base.skeleton, &next.skeleton));
+        assert!(Arc::ptr_eq(
+            &base.attributes["Prestige"],
+            &next.attributes["Prestige"]
+        ));
+        assert!(!Arc::ptr_eq(
+            &base.attributes["Score"],
+            &next.attributes["Score"]
+        ));
+        // Copy-on-write isolation: the base still reads the old value.
+        assert_eq!(
+            base.attribute("Score", &[Value::from("s1")]),
+            Some(&Value::Float(0.75))
+        );
+        assert_eq!(
+            next.attribute("Score", &[Value::from("s1")]),
+            Some(&Value::Float(0.9))
+        );
+        // No-op retractions (absent tuple, unassigned cell) deep-copy
+        // nothing: the probe-before-`make_mut` guards keep sharing intact.
+        let noop = next
+            .apply(&[
+                Mutation::DeleteRelationship {
+                    rel: "Author".into(),
+                    tuple: vec![Value::from("Bob"), Value::from("s2")],
+                },
+                Mutation::ClearAttribute {
+                    attr: "Quality".into(),
+                    key: vec![Value::from("s1")],
+                },
+            ])
+            .expect("no-op batch applies");
+        assert!(Arc::ptr_eq(&next.skeleton, &noop.skeleton));
+        assert!(Arc::ptr_eq(
+            &next.attributes["Score"],
+            &noop.attributes["Score"]
+        ));
+        assert_eq!(base.fingerprint(), {
+            let mut b = base.clone();
+            b.set_attribute("Prestige", &[Value::from("Bob")], Value::Int(1))
+                .expect("rewrite of identical value");
+            b.fingerprint()
+        });
+    }
+
+    #[test]
+    fn apply_with_delta_records_only_effective_changes() {
+        let base = Instance::review_example();
+        let (next, delta) = base
+            .apply_with_delta(&[
+                // Idempotent re-insert of an existing entity: no delta.
+                Mutation::InsertEntity {
+                    entity: "Person".into(),
+                    key: Value::from("Bob"),
+                },
+                // Fresh entity: delta.
+                Mutation::InsertEntity {
+                    entity: "Person".into(),
+                    key: Value::from("Dana"),
+                },
+                // Re-insert of an existing relationship tuple: no delta.
+                Mutation::InsertRelationship {
+                    rel: "Author".into(),
+                    tuple: vec![Value::from("Bob"), Value::from("s1")],
+                },
+                // Delete of an absent tuple: no phantom retraction.
+                Mutation::DeleteRelationship {
+                    rel: "Author".into(),
+                    tuple: vec![Value::from("Carlos"), Value::from("s1")],
+                },
+                // Overwrite with bit-identical value: no delta.
+                Mutation::SetAttribute {
+                    attr: "Score".into(),
+                    key: vec![Value::from("s1")],
+                    value: Value::Float(0.75),
+                },
+                // Effective overwrite: delta with the old value.
+                Mutation::SetAttribute {
+                    attr: "Score".into(),
+                    key: vec![Value::from("s2")],
+                    value: Value::Float(0.9),
+                },
+                // Clear of a never-assigned cell: no phantom retraction.
+                Mutation::ClearAttribute {
+                    attr: "Quality".into(),
+                    key: vec![Value::from("s1")],
+                },
+                // Effective clear.
+                Mutation::ClearAttribute {
+                    attr: "Score".into(),
+                    key: vec![Value::from("s3")],
+                },
+            ])
+            .unwrap();
+        assert_eq!(
+            delta.ops(),
+            &[
+                DeltaOp::EntityAdded {
+                    entity: "Person".into(),
+                    key: Value::from("Dana"),
+                },
+                DeltaOp::CellSet {
+                    attr: "Score".into(),
+                    key: vec![Value::from("s2")],
+                    old: Some(Value::Float(0.4)),
+                    new: Value::Float(0.9),
+                },
+                DeltaOp::CellCleared {
+                    attr: "Score".into(),
+                    key: vec![Value::from("s3")],
+                    old: Value::Float(0.1),
+                },
+            ]
+        );
+        assert!(delta.is_structural());
+        assert_eq!(
+            delta.touched_attrs().into_iter().collect::<Vec<_>>(),
+            ["Score"]
+        );
+        assert_eq!(delta.changed_cells().len(), 2);
+        assert_eq!(next.skeleton().entity_count("Person"), 4);
+    }
+
+    #[test]
+    fn empty_delta_means_identical_fingerprint() {
+        let base = Instance::review_example();
+        let (next, delta) = base
+            .apply_with_delta(&[
+                Mutation::InsertEntity {
+                    entity: "Person".into(),
+                    key: Value::from("Bob"),
+                },
+                Mutation::SetAttribute {
+                    attr: "Score".into(),
+                    key: vec![Value::from("s1")],
+                    value: Value::Float(0.75),
+                },
+                Mutation::ClearAttribute {
+                    attr: "Quality".into(),
+                    key: vec![Value::from("s1")],
+                },
+            ])
+            .unwrap();
+        assert!(delta.is_empty());
+        assert!(!delta.is_structural());
+        assert_eq!(next.fingerprint(), base.fingerprint());
+    }
+
+    #[test]
+    fn strict_cell_comparison_sees_int_to_float_rewrites() {
+        let base = Instance::review_example();
+        // Qualification holds floats; overwrite Prestige (Bool domain admits
+        // ints 0/1) — Int(1) → Float(1.0)? Bool domain rejects floats, so use
+        // Qualification: Float(50.0) → Int(50) is an effective change even
+        // though Value::eq coerces them equal.
+        let (_, delta) = base
+            .apply_with_delta(&[Mutation::SetAttribute {
+                attr: "Qualification".into(),
+                key: vec![Value::from("Bob")],
+                value: Value::Int(50),
+            }])
+            .unwrap();
+        assert_eq!(delta.len(), 1);
+        assert!(matches!(
+            &delta.ops()[0],
+            DeltaOp::CellSet { old: Some(Value::Float(f)), new: Value::Int(50), .. } if *f == 50.0
+        ));
     }
 
     #[test]

@@ -76,7 +76,7 @@ pub use eval::{
     evaluate_tuples_filtered, evaluate_tuples_filtered_chunked, Bindings, TupleAnswers,
 };
 pub use index::{IndexCache, IndexCacheStats, PlanCacheStats};
-pub use instance::{Instance, Mutation};
+pub use instance::{DeltaOp, DeltaSet, Instance, Mutation};
 pub use plan::{
     instantiate, plan_query, plan_query_filtered, shape_key, verify, Access, EqFilter, Plan,
     PlanStep, SemiJoin, SlotTerm,
