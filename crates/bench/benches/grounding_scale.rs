@@ -92,6 +92,99 @@ struct PipelineRow {
     ground_threads4_s: f64,
 }
 
+/// Measurements from the skewed power-law venue scenario: wall-clock plus
+/// the work-stealing scheduler's per-worker morsel and steal counts.
+struct SkewedRow {
+    papers: usize,
+    venue_skew: f64,
+    hot_venue_share: f64,
+    ground_threads1_s: f64,
+    ground_threads4_s: f64,
+    pipeline_threads4_s: f64,
+    morsels_per_worker: Vec<u64>,
+    steals_per_worker: Vec<u64>,
+    grounded_attr_constructions: u64,
+    graph_nodes: usize,
+}
+
+/// The skewed scenario: a power-law venue distribution (one venue takes
+/// ~83% of submissions at exponent 3) over a collaboration-heavy corpus,
+/// so one rule dominates the grounded row volume. Measures cold grounding
+/// at 1 and 4 workers, the streamed pipeline at 4 workers, and captures
+/// the scheduler's per-worker morsel/steal counts over the 4-worker legs —
+/// the work-stealing balance evidence that goes into `BENCH_pipeline.json`.
+fn skewed_pipeline(papers: usize, iters: usize) -> SkewedRow {
+    let venue_skew = 3.0;
+    let config = SyntheticReviewConfig {
+        authors: papers / 5,
+        institutions: 20,
+        papers,
+        venues: 10,
+        mean_collaborators: 8.0,
+        ..SyntheticReviewConfig::small(7)
+    }
+    .with_venue_skew(venue_skew);
+    let ds = generate_synthetic_review(&config);
+    let hot = reldb::Value::from("v0");
+    let hot_venue_share = ds
+        .instance
+        .skeleton()
+        .relationship_tuples("SubmittedTo")
+        .iter()
+        .filter(|t| t[1] == hot)
+        .count() as f64
+        / papers as f64;
+    let engine = CarlEngine::new(ds.instance, &ds.rules).expect("model binds to schema");
+    let query = carl::carl_lang::parse_query(QUERY).expect("query parses");
+
+    rayon::set_num_threads(1);
+    let ground_threads1_s = time_best(iters, || {
+        engine.ground_model().expect("grounds").graph.node_count()
+    });
+
+    rayon::set_num_threads(4);
+    rayon::reset_scheduler_stats();
+    carl::reset_grounded_attr_constructions();
+    let mut graph_nodes = 0usize;
+    let ground_threads4_s = time_best(iters, || {
+        let grounded = engine.ground_model().expect("grounds");
+        graph_nodes = grounded.graph.node_count();
+        graph_nodes
+    });
+    let grounded_attr_constructions =
+        carl::grounded_attr_constructions() / (iters.max(1) as u64 + 1);
+    let pipeline_threads4_s = time_best(iters, || {
+        let prepared = engine.prepare_cold(&query).expect("prepares");
+        let _ = engine.answer_prepared(&prepared);
+        prepared.unit_table.len()
+    });
+    let stats = rayon::scheduler_stats();
+    rayon::set_num_threads(0);
+
+    println!(
+        "answer_pipeline/skewed/{papers}: hot venue share {hot_venue_share:.2}, \
+         ground 1 thread {ground_threads1_s:.4}s, 4 threads {ground_threads4_s:.4}s \
+         ({:.2}x), streamed pipeline 4 threads {pipeline_threads4_s:.4}s; \
+         morsels/worker {:?}, steals/worker {:?}; \
+         grounded-attr constructions {grounded_attr_constructions} over {graph_nodes} nodes",
+        ground_threads1_s / ground_threads4_s,
+        stats.morsels_per_worker,
+        stats.steals_per_worker,
+    );
+    SkewedRow {
+        papers,
+        venue_skew,
+        hot_venue_share,
+        ground_threads1_s,
+        ground_threads4_s,
+        pipeline_threads4_s,
+        morsels_per_worker: stats.morsels_per_worker,
+        steals_per_worker: stats.steals_per_worker,
+        grounded_attr_constructions,
+        graph_nodes,
+    }
+}
+
 /// Race the full query pipeline (query-cold prepare → unit table → ATE) on
 /// the streamed pipeline vs the preserved materialised tuple and bindings
 /// pipelines, single-threaded, and measure parallel-grounding thread
@@ -171,7 +264,7 @@ fn answer_pipeline_race(papers: usize, iters: usize) -> PipelineRow {
 
 /// Write the race results as real JSON (hand-rendered: the vendored
 /// serde_json stand-in emits Debug text, which is not machine-readable).
-fn write_pipeline_json(rows: &[PipelineRow]) {
+fn write_pipeline_json(rows: &[PipelineRow], skewed: &SkewedRow) {
     // Default next to the workspace root (cargo bench runs with the
     // package directory as cwd), overridable via BENCH_PIPELINE_OUT.
     let path = std::env::var("BENCH_PIPELINE_OUT")
@@ -200,7 +293,27 @@ fn write_pipeline_json(rows: &[PipelineRow]) {
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
-    body.push_str("  ]\n}\n");
+    body.push_str("  ],\n");
+    let fmt_u64s = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+    body.push_str(&format!(
+        "  \"skewed\": {{\"papers\": {}, \"venue_skew\": {:.1}, \"hot_venue_share\": {:.3}, \
+         \"ground_threads1_s\": {:.6}, \"ground_threads4_s\": {:.6}, \"thread_scaling\": {:.2}, \
+         \"streamed_pipeline_threads4_s\": {:.6}, \"morsels_per_worker\": [{}], \
+         \"steals_per_worker\": [{}], \"grounded_attr_constructions\": {}, \
+         \"graph_nodes\": {}}}\n",
+        skewed.papers,
+        skewed.venue_skew,
+        skewed.hot_venue_share,
+        skewed.ground_threads1_s,
+        skewed.ground_threads4_s,
+        skewed.ground_threads1_s / skewed.ground_threads4_s,
+        skewed.pipeline_threads4_s,
+        fmt_u64s(&skewed.morsels_per_worker),
+        fmt_u64s(&skewed.steals_per_worker),
+        skewed.grounded_attr_constructions,
+        skewed.graph_nodes,
+    ));
+    body.push_str("}\n");
     match std::fs::write(&path, body) {
         Ok(()) => println!("answer_pipeline: wrote {path}"),
         Err(e) => eprintln!("answer_pipeline: could not write {path}: {e}"),
@@ -271,7 +384,10 @@ fn bench_grounding_scale(c: &mut Criterion) {
         .iter()
         .map(|&papers| answer_pipeline_race(papers, iters))
         .collect();
-    write_pipeline_json(&rows);
+    // The skewed power-law venue scenario runs at the largest configured
+    // scale: that is where work-stealing balance actually matters.
+    let skewed = skewed_pipeline(scales.iter().copied().max().unwrap_or(2_000), iters);
+    write_pipeline_json(&rows, &skewed);
 }
 
 criterion_group!(benches, bench_grounding_scale);

@@ -64,6 +64,26 @@ fn main() {
             .graph
             .node_count()
     });
+
+    // Grounded-attr construction audit: with interned node identities the
+    // streamed cold grounding builds one boxed `GroundedAttr` per distinct
+    // derived node (graph insertion), not one per processed row — lookups
+    // go through packed symbol signatures instead.
+    carl::reset_grounded_attr_constructions();
+    let streamed = engine.ground_model_streamed().expect("grounds");
+    let constructions = carl::grounded_attr_constructions();
+    let nodes = streamed.graph.node_count() as u64;
+    println!(
+        "  grounded-attr constructions (streamed cold): {constructions} \
+         over {nodes} graph nodes ({:.2} per node)",
+        constructions as f64 / nodes.max(1) as f64
+    );
+    assert!(
+        constructions <= 2 * nodes + 64,
+        "grounded-attr constructions regressed to per-row allocation: \
+         {constructions} for {nodes} nodes"
+    );
+    drop(streamed);
     time("ground (bindings)", || {
         bindings.ground_model().expect("grounds").graph.node_count()
     });
@@ -128,4 +148,36 @@ fn main() {
             .unwrap()
             .len()
     });
+
+    // Scheduler-stats smoke: a 4-worker cold ground must populate the
+    // morsel scheduler's counters whenever any batch crossed the parallel
+    // row threshold (the CI smoke run asserts this holds at its scale).
+    rayon::set_num_threads(4);
+    rayon::reset_scheduler_stats();
+    time("ground (tuples, 4 threads)", || {
+        tuples.ground_model().expect("grounds").graph.node_count()
+    });
+    let stats = rayon::scheduler_stats();
+    rayon::set_num_threads(0);
+    println!(
+        "  scheduler stats @4 threads: {} morsels over {} workers \
+         (max/worker {}, steals {}), {} parallel + {} sequential runs",
+        stats.total_morsels(),
+        stats.morsels_per_worker.len(),
+        stats.max_worker_morsels(),
+        stats.total_steals(),
+        stats.parallel_runs,
+        stats.sequential_runs,
+    );
+    assert!(
+        stats.parallel_runs == 0 || stats.total_morsels() > 0,
+        "parallel runs executed but no morsels were recorded: {stats:?}"
+    );
+    if papers >= 6_000 {
+        assert!(
+            stats.parallel_runs > 0 && stats.total_morsels() > 0,
+            "a {papers}-paper cold ground at 4 workers must engage the \
+             morsel scheduler: {stats:?}"
+        );
+    }
 }

@@ -176,6 +176,13 @@ impl GroundedValues for GroundedHandle {
             GroundedHandle::Streamed(s) => s.value_of(instance, node),
         }
     }
+
+    fn node_of(&self, attr: &str, key: &reldb::UnitKey) -> Option<crate::graph::NodeId> {
+        match self {
+            GroundedHandle::Model(m) => m.node_of(attr, key),
+            GroundedHandle::Streamed(s) => s.node_of(attr, key),
+        }
+    }
 }
 
 /// The grounding a query actually runs against: a full grounded model, or
@@ -217,6 +224,16 @@ impl GroundedValues for QueryGrounding {
             QueryGrounding::Extended { base, ext } => ext
                 .value_of(instance, node)
                 .or_else(|| base.value_of(instance, node)),
+        }
+    }
+
+    fn node_of(&self, attr: &str, key: &reldb::UnitKey) -> Option<crate::graph::NodeId> {
+        match self {
+            QueryGrounding::Full(handle) => handle.node_of(attr, key),
+            // The extension's would-be vertices are graph leaves that never
+            // enter the base graph; node probes resolve against the base
+            // (exactly the nodes a descendant walk can reach).
+            QueryGrounding::Extended { base, .. } => base.node_of(attr, key),
         }
     }
 }

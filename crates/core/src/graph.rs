@@ -11,6 +11,59 @@ use reldb::value::{fnv1a, FNV_OFFSET};
 use reldb::{UnitKey, Value};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of [`GroundedAttr`] constructions.
+///
+/// `GroundedAttr` allocates (it owns its attribute name and key), so every
+/// construction on a hot path is a heap hit plus a later re-hash. The
+/// interned-identity work keeps them off the streamed grounding path except
+/// at API boundaries; this counter lets `profile_pipeline` *prove* that —
+/// constructions during a cold streamed ground must stay O(distinct derived
+/// nodes), not O(rows).
+static GROUNDED_ATTR_CONSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total `GroundedAttr` constructions since process start (or the last
+/// [`reset_grounded_attr_constructions`]).
+pub fn grounded_attr_constructions() -> u64 {
+    GROUNDED_ATTR_CONSTRUCTIONS.load(Ordering::Relaxed)
+}
+
+/// Reset the [`grounded_attr_constructions`] counter (bench/test scoping).
+pub fn reset_grounded_attr_constructions() {
+    GROUNDED_ATTR_CONSTRUCTIONS.store(0, Ordering::Relaxed);
+}
+
+/// Interned identity of a grounded node: a dense `u32` issued by the
+/// grounding node table, keyed on `(attribute symbol, key-symbol
+/// signature)`. Hot paths (streamed grounding, incremental patching, peer
+/// discovery) pass these around instead of constructing string-keyed
+/// [`GroundedAttr`]s and re-fingerprinting them per probe.
+///
+/// The value equals the node's [`NodeId`] in the causal graph, so
+/// `id.index()` indexes every graph-side table directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroundedNodeId(pub u32);
+
+impl GroundedNodeId {
+    /// Sentinel for "no node" in dense tables (mirrors the node table's
+    /// `NO_NODE`).
+    pub const NONE: GroundedNodeId = GroundedNodeId(u32::MAX);
+
+    /// Construct from a graph [`NodeId`].
+    ///
+    /// # Panics
+    /// Panics if `id` does not fit the interned `u32` space.
+    pub fn from_node(id: NodeId) -> Self {
+        debug_assert!(id < u32::MAX as usize, "grounded node space exhausted");
+        Self(id as u32)
+    }
+
+    /// The graph [`NodeId`] this identity interns.
+    pub fn index(self) -> NodeId {
+        self.0 as usize
+    }
+}
 
 /// A grounded attribute `A[x]`: the vertex type of the causal graph.
 ///
@@ -27,6 +80,7 @@ pub struct GroundedAttr {
 impl GroundedAttr {
     /// Construct a grounded attribute.
     pub fn new(attr: &str, key: UnitKey) -> Self {
+        GROUNDED_ATTR_CONSTRUCTIONS.fetch_add(1, Ordering::Relaxed);
         Self {
             attr: attr.to_string(),
             key,

@@ -25,7 +25,7 @@
 //! `answer_pipeline` benchmark races the dense pipeline against.
 
 use crate::error::{CarlError, CarlResult};
-use crate::graph::{CausalGraph, GroundedAttr};
+use crate::graph::{CausalGraph, GroundedAttr, GroundedNodeId, NodeId};
 use crate::model::{RelationalCausalModel, TypedComparison};
 use crate::unit_table::FloatColumn;
 use carl_lang::{AggName, AggregateRule, ArgTerm, CausalRule, CompareOp};
@@ -101,6 +101,19 @@ pub trait GroundedValues {
     /// The observed or derived numeric value of a grounded attribute (see
     /// [`GroundedModel::value_of`]).
     fn value_of(&self, instance: &Instance, node: &GroundedAttr) -> Option<f64>;
+
+    /// The graph node grounding `attr` with `key`, if one exists.
+    ///
+    /// The default probes the graph with a freshly built [`GroundedAttr`]
+    /// (one string clone + content fingerprint per call). Groundings that
+    /// retain an interned node table — notably [`StreamedModel`] — override
+    /// this to resolve through `(attribute id, key-symbol signature)`
+    /// without constructing or re-hashing a `GroundedAttr` at all, which is
+    /// what keeps per-unit probes (peer discovery, incremental patching)
+    /// off the allocator.
+    fn node_of(&self, attr: &str, key: &UnitKey) -> Option<NodeId> {
+        self.graph().node_id(&GroundedAttr::new(attr, key.clone()))
+    }
 }
 
 impl GroundedValues for GroundedModel {
@@ -288,9 +301,6 @@ fn first_unbound(spec: &[ArgSlot]) -> Option<&str> {
     })
 }
 
-/// Sentinel for "no node yet" in the dense node table.
-const NO_NODE: u32 = u32::MAX;
-
 /// Bounds-check a signature symbol against the tracked symbol range
 /// (interner symbols + constant pseudo-symbols), surfacing a typed error
 /// instead of indexing dense grounding storage out of bounds.
@@ -318,10 +328,11 @@ fn guard_sig(attr: &str, sig: u32, bound: usize) -> CarlResult<usize> {
 #[derive(Debug, Clone, Default)]
 struct NodeTable {
     attr_ids: HashMap<String, usize>,
-    /// `single[attr_id][sig]` → node id (dense, `NO_NODE` = absent).
-    single: Vec<Vec<u32>>,
-    /// `multi[attr_id][full signature]` → node id (other arities).
-    multi: Vec<SymMap<Vec<u32>, usize>>,
+    /// `single[attr_id][sig]` → interned node id (dense,
+    /// [`GroundedNodeId::NONE`] = absent).
+    single: Vec<Vec<GroundedNodeId>>,
+    /// `multi[attr_id][full signature]` → interned node id (other arities).
+    multi: Vec<SymMap<Vec<u32>, GroundedNodeId>>,
     /// Exclusive upper bound on valid signature symbols: the skeleton's
     /// interner length plus the constant pseudo-symbols registered so far.
     /// Guards the dense arrays — a signature past this bound would mean a
@@ -356,18 +367,16 @@ impl NodeTable {
     }
 
     /// Read-only lookup of the node for a single-argument signature.
-    fn lookup_single(&self, attr_id: usize, sig: usize) -> Option<u32> {
+    fn lookup_single(&self, attr_id: usize, sig: usize) -> Option<GroundedNodeId> {
         match self.single[attr_id].get(sig) {
-            Some(&id) if id != NO_NODE => Some(id),
+            Some(&id) if id != GroundedNodeId::NONE => Some(id),
             _ => None,
         }
     }
 
     /// Read-only lookup of the node for a full signature.
-    fn lookup_multi(&self, attr_id: usize, sig: &[u32]) -> Option<u32> {
-        self.multi[attr_id]
-            .get(sig)
-            .map(|&id| u32::try_from(id).expect("node ids fit u32"))
+    fn lookup_multi(&self, attr_id: usize, sig: &[u32]) -> Option<GroundedNodeId> {
+        self.multi[attr_id].get(sig).copied()
     }
 
     /// Check a dense signature index against the tracked symbol range.
@@ -379,18 +388,18 @@ impl NodeTable {
     /// graph only after its group closes) under its signature, so that
     /// later signature lookups — both the memoised `node_id` path and the
     /// read-only extension lookups — see it like any rule-created node.
-    fn record(&mut self, attr_id: usize, sig: &SigKey, id: usize) {
+    fn record(&mut self, attr_id: usize, sig: &SigKey, id: NodeId) {
         match sig {
             SigKey::Single(sig) => {
                 let sig = *sig as usize;
                 let ids = &mut self.single[attr_id];
                 if sig >= ids.len() {
-                    ids.resize(sig + 1, NO_NODE);
+                    ids.resize(sig + 1, GroundedNodeId::NONE);
                 }
-                ids[sig] = u32::try_from(id).expect("node ids fit u32");
+                ids[sig] = GroundedNodeId::from_node(id);
             }
             SigKey::Multi(sig) => {
-                self.multi[attr_id].insert(sig.clone(), id);
+                self.multi[attr_id].insert(sig.clone(), GroundedNodeId::from_node(id));
             }
         }
     }
@@ -405,29 +414,29 @@ impl NodeTable {
         spec: &[ArgSlot],
         row: &[Sym],
         answers: &TupleAnswers<'_>,
-    ) -> CarlResult<usize> {
+    ) -> CarlResult<NodeId> {
         if let [arg] = spec {
             let sig = self.checked_sig(attr, arg_sig(arg, row)?)?;
             let ids = &mut self.single[attr_id];
             if sig >= ids.len() {
-                ids.resize(sig + 1, NO_NODE);
+                ids.resize(sig + 1, GroundedNodeId::NONE);
             }
-            if ids[sig] != NO_NODE {
-                return Ok(ids[sig] as usize);
+            if ids[sig] != GroundedNodeId::NONE {
+                return Ok(ids[sig].index());
             }
             let key = resolve_args(spec, row, answers)?;
             let id = graph.add_node(GroundedAttr::new(attr, key));
-            self.single[attr_id][sig] = u32::try_from(id).expect("node ids fit u32");
+            self.single[attr_id][sig] = GroundedNodeId::from_node(id);
             return Ok(id);
         }
         let mut signature = Vec::with_capacity(spec.len());
         sig_into(spec, row, &mut signature)?;
         if let Some(&id) = self.multi[attr_id].get(signature.as_slice()) {
-            return Ok(id);
+            return Ok(id.index());
         }
         let key = resolve_args(spec, row, answers)?;
         let id = graph.add_node(GroundedAttr::new(attr, key));
-        self.multi[attr_id].insert(signature, id);
+        self.multi[attr_id].insert(signature, GroundedNodeId::from_node(id));
         Ok(id)
     }
 }
@@ -817,6 +826,12 @@ pub struct StreamedModel {
     /// groundings to base-graph nodes without re-hashing [`GroundedAttr`]s.
     /// `Arc`-shared across patched epochs for the same reason as `graph`.
     nodes: std::sync::Arc<NodeTable>,
+    /// The skeleton this model was grounded against, retained for its
+    /// interner: [`StreamedModel::node_of`] resolves probe keys to symbol
+    /// signatures through it. The interner is append-only, so symbols stay
+    /// valid across the attribute-only epoch patches that share this model's
+    /// graph and node table.
+    skeleton: std::sync::Arc<reldb::Skeleton>,
 }
 
 impl StreamedModel {
@@ -828,6 +843,37 @@ impl StreamedModel {
         }
         instance.attribute_f64(&node.attr, &node.key)
     }
+
+    /// The graph node grounding `attr` with `key`, resolved through the
+    /// interned node table: attribute name → dense id (one hash on a plain
+    /// `&str`), key values → symbol signature, signature → node. No
+    /// [`GroundedAttr`] is built and nothing is fingerprinted, so hot
+    /// per-unit probes (peer discovery, dirty-cell patching) cost a couple
+    /// of array reads.
+    ///
+    /// Sound because the node table is a *complete* index of the graph:
+    /// every rule-created node registers through `NodeTable::node_id` and
+    /// every aggregate head through `NodeTable::record`, and every key value
+    /// of every node has a signature symbol (skeleton interner or merge
+    /// pseudo-symbol). A key that fails to resolve therefore names no node.
+    pub fn node_of(&self, attr: &str, key: &UnitKey) -> Option<NodeId> {
+        let attr_id = self.nodes.lookup_attr(attr)?;
+        let interner = self.skeleton.interner();
+        if let [single] = key.as_slice() {
+            let sig = self.derived.sig_of(interner, single)? as usize;
+            return self
+                .nodes
+                .lookup_single(attr_id, sig)
+                .map(GroundedNodeId::index);
+        }
+        let sig: Option<Vec<u32>> = key
+            .iter()
+            .map(|v| self.derived.sig_of(interner, v))
+            .collect();
+        self.nodes
+            .lookup_multi(attr_id, &sig?)
+            .map(GroundedNodeId::index)
+    }
 }
 
 impl GroundedValues for StreamedModel {
@@ -837,6 +883,10 @@ impl GroundedValues for StreamedModel {
 
     fn value_of(&self, instance: &Instance, node: &GroundedAttr) -> Option<f64> {
         StreamedModel::value_of(self, instance, node)
+    }
+
+    fn node_of(&self, attr: &str, key: &UnitKey) -> Option<NodeId> {
+        StreamedModel::node_of(self, attr, key)
     }
 }
 
@@ -929,9 +979,11 @@ fn merge_rule_batch(
 struct SGroup {
     head_key: UnitKey,
     sig: SigKey,
-    /// (source node id, observed-or-derived value) per distinct source
-    /// grounding, in first-seen order.
-    sources: Vec<(u32, Option<f64>)>,
+    /// (source node, observed-or-derived value) per distinct source
+    /// grounding, in first-seen order. The node is `None` only for
+    /// read-only resolvers probing sources absent from their base graph —
+    /// the mutable streamed merge creates every source node on first sight.
+    sources: Vec<(Option<GroundedNodeId>, Option<f64>)>,
 }
 
 /// Per-aggregate merge specs, compiled once from the first answer batch.
@@ -939,7 +991,6 @@ struct AggSpecs<'c> {
     residual: RowComparisons<'c>,
     head_spec: Vec<ArgSlot>,
     source_spec: Vec<ArgSlot>,
-    source_attr_id: usize,
     /// Unbound-variable error to raise if any row survives (matching the
     /// lazy error semantics of per-binding substitution).
     spec_error: Option<String>,
@@ -967,17 +1018,242 @@ struct AggTables {
     source_sig_buf: Vec<u32>,
 }
 
+/// How the unified aggregate fold ([`merge_agg_batch`]) resolves a distinct
+/// source grounding to a node identity and an (un-memoised) base value.
+///
+/// The streamed cold merge *creates* graph nodes and reads its own
+/// partially built derived store; a query-synthesised extension resolves
+/// read-only against an immutable base grounding. Everything else — group
+/// discovery in first-seen order, `(group, source)` dedup, source-value
+/// memoisation — is shared, so the bit-identity invariant of the aggregate
+/// fold lives in exactly one row loop.
+trait SourceResolver {
+    /// Bounds-check a signature symbol against the tracked symbol range.
+    fn checked_sig(&self, attr: &str, sig: u32) -> CarlResult<usize>;
+
+    /// The source node of a single-signature grounding (created on first
+    /// sight by mutable resolvers, looked up read-only otherwise).
+    fn node_single(
+        &mut self,
+        ssig: usize,
+        spec: &[ArgSlot],
+        row: &[Sym],
+        answers: &TupleAnswers<'_>,
+    ) -> CarlResult<Option<GroundedNodeId>>;
+
+    /// The source node of a full-signature grounding.
+    fn node_multi(
+        &mut self,
+        sig: &[u32],
+        spec: &[ArgSlot],
+        row: &[Sym],
+        answers: &TupleAnswers<'_>,
+    ) -> CarlResult<Option<GroundedNodeId>>;
+
+    /// The un-memoised observed-or-derived value of a single-signature
+    /// source grounding (the fold caches the result per signature).
+    fn value_single(
+        &mut self,
+        ssig: usize,
+        node: Option<GroundedNodeId>,
+        spec: &[ArgSlot],
+        row: &[Sym],
+        answers: &TupleAnswers<'_>,
+    ) -> CarlResult<Option<f64>>;
+
+    /// The un-memoised value of a full-signature source grounding.
+    fn value_multi(
+        &mut self,
+        sig: &[u32],
+        node: Option<GroundedNodeId>,
+        spec: &[ArgSlot],
+        row: &[Sym],
+        answers: &TupleAnswers<'_>,
+    ) -> CarlResult<Option<f64>>;
+}
+
+/// The streamed cold merge's resolver: source nodes are created in the
+/// grounding's own graph/node table, values read from its partially built
+/// derived store (aggregates-over-aggregates) with an instance fallback.
+struct MergeSources<'a, 'b> {
+    source_attr: &'a str,
+    source_attr_id: usize,
+    /// Derived-store id of the source attribute, when an earlier aggregate
+    /// derived values for it.
+    source_store_id: Option<usize>,
+    store: &'b DerivedStore,
+    instance: &'a Instance,
+    nodes: &'b mut NodeTable,
+    graph: &'b mut CausalGraph,
+}
+
+impl SourceResolver for MergeSources<'_, '_> {
+    fn checked_sig(&self, attr: &str, sig: u32) -> CarlResult<usize> {
+        self.nodes.checked_sig(attr, sig)
+    }
+
+    fn node_single(
+        &mut self,
+        _ssig: usize,
+        spec: &[ArgSlot],
+        row: &[Sym],
+        answers: &TupleAnswers<'_>,
+    ) -> CarlResult<Option<GroundedNodeId>> {
+        let id = self.nodes.node_id(
+            self.graph,
+            self.source_attr,
+            self.source_attr_id,
+            spec,
+            row,
+            answers,
+        )?;
+        Ok(Some(GroundedNodeId::from_node(id)))
+    }
+
+    fn node_multi(
+        &mut self,
+        _sig: &[u32],
+        spec: &[ArgSlot],
+        row: &[Sym],
+        answers: &TupleAnswers<'_>,
+    ) -> CarlResult<Option<GroundedNodeId>> {
+        self.node_single(0, spec, row, answers)
+    }
+
+    fn value_single(
+        &mut self,
+        ssig: usize,
+        node: Option<GroundedNodeId>,
+        _spec: &[ArgSlot],
+        _row: &[Sym],
+        _answers: &TupleAnswers<'_>,
+    ) -> CarlResult<Option<f64>> {
+        let node = node.expect("merge resolver creates every source node");
+        Ok(self
+            .source_store_id
+            .and_then(|id| self.store.single[id].get(ssig))
+            .or_else(|| {
+                self.instance
+                    .attribute_f64(self.source_attr, &self.graph.node(node.index()).key)
+            }))
+    }
+
+    fn value_multi(
+        &mut self,
+        sig: &[u32],
+        node: Option<GroundedNodeId>,
+        _spec: &[ArgSlot],
+        _row: &[Sym],
+        _answers: &TupleAnswers<'_>,
+    ) -> CarlResult<Option<f64>> {
+        let node = node.expect("merge resolver creates every source node");
+        Ok(self
+            .source_store_id
+            .and_then(|id| self.store.multi[id].get(sig).copied())
+            .or_else(|| {
+                self.instance
+                    .attribute_f64(self.source_attr, &self.graph.node(node.index()).key)
+            }))
+    }
+}
+
+/// A query-synthesised extension's resolver: source nodes are looked up
+/// read-only in the immutable base grounding's node table (sources absent
+/// from the base graph contribute their value but no node), values read
+/// from the base's derived sinks with an instance fallback.
+struct ExtensionSources<'a> {
+    source_attr: &'a str,
+    /// The base node table's id for the source attribute, if it ever
+    /// grounded one.
+    source_node_attr: Option<usize>,
+    source_store_id: Option<usize>,
+    base: &'a StreamedModel,
+    instance: &'a Instance,
+    /// Signature bound at this batch (the extension mints constant
+    /// pseudo-symbols on top of the base's, so the bound is per-batch).
+    sig_bound: usize,
+}
+
+impl SourceResolver for ExtensionSources<'_> {
+    fn checked_sig(&self, attr: &str, sig: u32) -> CarlResult<usize> {
+        guard_sig(attr, sig, self.sig_bound)
+    }
+
+    fn node_single(
+        &mut self,
+        ssig: usize,
+        _spec: &[ArgSlot],
+        _row: &[Sym],
+        _answers: &TupleAnswers<'_>,
+    ) -> CarlResult<Option<GroundedNodeId>> {
+        Ok(self
+            .source_node_attr
+            .and_then(|aid| self.base.nodes.lookup_single(aid, ssig)))
+    }
+
+    fn node_multi(
+        &mut self,
+        sig: &[u32],
+        _spec: &[ArgSlot],
+        _row: &[Sym],
+        _answers: &TupleAnswers<'_>,
+    ) -> CarlResult<Option<GroundedNodeId>> {
+        Ok(self
+            .source_node_attr
+            .and_then(|aid| self.base.nodes.lookup_multi(aid, sig)))
+    }
+
+    fn value_single(
+        &mut self,
+        ssig: usize,
+        _node: Option<GroundedNodeId>,
+        spec: &[ArgSlot],
+        row: &[Sym],
+        answers: &TupleAnswers<'_>,
+    ) -> CarlResult<Option<f64>> {
+        if let Some(v) = self
+            .source_store_id
+            .and_then(|id| self.base.derived.single[id].get(ssig))
+        {
+            return Ok(Some(v));
+        }
+        let key = resolve_args(spec, row, answers)?;
+        Ok(self.instance.attribute_f64(self.source_attr, &key))
+    }
+
+    fn value_multi(
+        &mut self,
+        sig: &[u32],
+        _node: Option<GroundedNodeId>,
+        spec: &[ArgSlot],
+        row: &[Sym],
+        answers: &TupleAnswers<'_>,
+    ) -> CarlResult<Option<f64>> {
+        if let Some(v) = self
+            .source_store_id
+            .and_then(|id| self.base.derived.multi[id].get(sig).copied())
+        {
+            return Ok(Some(v));
+        }
+        let key = resolve_args(spec, row, answers)?;
+        Ok(self.instance.attribute_f64(self.source_attr, &key))
+    }
+}
+
 /// Fold one batch of an aggregate condition's answers into the group
 /// tables (see [`merge_rule_batch`] for why this is a free function).
-#[allow(clippy::too_many_arguments)]
-fn merge_agg_batch(
+///
+/// This is the one row loop behind both the streamed cold merge and
+/// query-synthesised aggregate extensions — the [`SourceResolver`] supplies
+/// the only parts that differ. Group creation order, `(group, source)`
+/// dedup and the per-signature value memo are byte-for-byte shared, so any
+/// change to the fold's bit-identity discipline applies to both paths at
+/// once.
+fn merge_agg_batch<R: SourceResolver>(
     agg: &AggregateRule,
     specs: &AggSpecs<'_>,
-    source_store_id: Option<usize>,
-    store: &DerivedStore,
+    resolver: &mut R,
     instance: &Instance,
-    nodes: &mut NodeTable,
-    graph: &mut CausalGraph,
     t: &mut AggTables,
     answers: &TupleAnswers<'_>,
 ) -> CarlResult<()> {
@@ -990,7 +1266,7 @@ fn merge_agg_batch(
         }
         // Group of the row's head signature.
         let gi = if let [arg] = specs.head_spec.as_slice() {
-            let sig = nodes.checked_sig(&agg.name, arg_sig(arg, row)?)?;
+            let sig = resolver.checked_sig(&agg.name, arg_sig(arg, row)?)?;
             if sig >= t.group_dense.len() {
                 t.group_dense.resize(sig + 1, NO_GROUP);
             }
@@ -1022,19 +1298,12 @@ fn merge_agg_batch(
         // Distinct source groundings per group, with the value memoised
         // across groups on the source signature.
         if let [arg] = specs.source_spec.as_slice() {
-            let ssig = nodes.checked_sig(&agg.source.attr, arg_sig(arg, row)?)?;
+            let ssig = resolver.checked_sig(&agg.source.attr, arg_sig(arg, row)?)?;
             let packed = (u64::from(gi) << 32) | (ssig as u64);
             if !t.pair_seen.insert(packed) {
                 continue;
             }
-            let source_id = nodes.node_id(
-                graph,
-                &agg.source.attr,
-                specs.source_attr_id,
-                &specs.source_spec,
-                row,
-                answers,
-            )?;
+            let node = resolver.node_single(ssig, &specs.source_spec, row, answers)?;
             if ssig >= t.sval_state.len() {
                 t.sval_state.resize(ssig + 1, 0);
                 t.sval.resize(ssig + 1, 0.0);
@@ -1043,11 +1312,8 @@ fn merge_agg_batch(
                 2 => Some(t.sval[ssig]),
                 1 => None,
                 _ => {
-                    let value = source_store_id
-                        .and_then(|id| store.single[id].get(ssig))
-                        .or_else(|| {
-                            instance.attribute_f64(&agg.source.attr, &graph.node(source_id).key)
-                        });
+                    let value =
+                        resolver.value_single(ssig, node, &specs.source_spec, row, answers)?;
                     match value {
                         Some(v) => {
                             t.sval_state[ssig] = 2;
@@ -1058,36 +1324,32 @@ fn merge_agg_batch(
                     value
                 }
             };
-            t.groups[gi as usize]
-                .sources
-                .push((u32::try_from(source_id).expect("node ids fit u32"), value));
+            t.groups[gi as usize].sources.push((node, value));
         } else {
             sig_into(&specs.source_spec, row, &mut t.source_sig_buf)?;
             if !t.pair_seen_multi.insert((gi, t.source_sig_buf.clone())) {
                 continue;
             }
-            let source_id = nodes.node_id(
-                graph,
-                &agg.source.attr,
-                specs.source_attr_id,
-                &specs.source_spec,
-                row,
-                answers,
-            )?;
-            let value = match t.sval_map.get(t.source_sig_buf.as_slice()) {
+            // The buffer is lent to the resolver, so probe through a local
+            // move-out-and-back (`std::mem::take` keeps the allocation).
+            let source_sig = std::mem::take(&mut t.source_sig_buf);
+            let node = resolver.node_multi(&source_sig, &specs.source_spec, row, answers)?;
+            let value = match t.sval_map.get(source_sig.as_slice()) {
                 Some(&value) => value,
                 None => {
-                    let source_node = graph.node(source_id);
-                    let value = source_store_id
-                        .and_then(|id| store.multi[id].get(t.source_sig_buf.as_slice()).copied())
-                        .or_else(|| instance.attribute_f64(&agg.source.attr, &source_node.key));
-                    t.sval_map.insert(t.source_sig_buf.clone(), value);
+                    let value = resolver.value_multi(
+                        &source_sig,
+                        node,
+                        &specs.source_spec,
+                        row,
+                        answers,
+                    )?;
+                    t.sval_map.insert(source_sig.clone(), value);
                     value
                 }
             };
-            t.groups[gi as usize]
-                .sources
-                .push((u32::try_from(source_id).expect("node ids fit u32"), value));
+            t.source_sig_buf = source_sig;
+            t.groups[gi as usize].sources.push((node, value));
         }
     }
     Ok(())
@@ -1202,6 +1464,7 @@ pub fn ground_streaming(
 
         let mut tables = AggTables::default();
         let mut specs: Option<AggSpecs<'_>> = None;
+        let mut source_attr_id = 0;
         stream_condition(
             cache,
             schema,
@@ -1213,7 +1476,7 @@ pub fn ground_streaming(
                     let residual = RowComparisons::compile(&prep.residual, answers);
                     let head_spec = arg_slots(&agg.head_args, answers, interner, &mut consts);
                     let source_spec = arg_slots(&agg.source.args, answers, interner, &mut consts);
-                    let source_attr_id = nodes.attr_id(&agg.source.attr);
+                    source_attr_id = nodes.attr_id(&agg.source.attr);
                     nodes.set_sig_bound(consts.bound());
                     let spec_error = first_unbound(&head_spec)
                         .or_else(|| first_unbound(&source_spec))
@@ -1222,22 +1485,20 @@ pub fn ground_streaming(
                         residual,
                         head_spec,
                         source_spec,
-                        source_attr_id,
                         spec_error,
                     });
                 }
                 let specs = specs.as_ref().expect("specs compiled above");
-                merge_agg_batch(
-                    agg,
-                    specs,
+                let mut resolver = MergeSources {
+                    source_attr: &agg.source.attr,
+                    source_attr_id,
                     source_store_id,
-                    &store,
+                    store: &store,
                     instance,
-                    &mut nodes,
-                    &mut graph,
-                    &mut tables,
-                    answers,
-                )
+                    nodes: &mut nodes,
+                    graph: &mut graph,
+                };
+                merge_agg_batch(agg, specs, &mut resolver, instance, &mut tables, answers)
             },
         )?;
 
@@ -1252,7 +1513,8 @@ pub fn ground_streaming(
             nodes.record(head_node_attr, &group.sig, head_id);
             let mut values = Vec::with_capacity(group.sources.len());
             for &(source_id, value) in &group.sources {
-                graph.add_edge(source_id as usize, head_id);
+                let source_id = source_id.expect("merge resolver creates every source node");
+                graph.add_edge(source_id.index(), head_id);
                 if let Some(v) = value {
                     values.push(v);
                 }
@@ -1280,6 +1542,7 @@ pub fn ground_streaming(
         graph: std::sync::Arc::new(graph),
         derived: store,
         nodes: std::sync::Arc::new(nodes),
+        skeleton: instance.skeleton_shared(),
     })
 }
 
@@ -1433,8 +1696,9 @@ pub(crate) fn patch_streamed(
         let mut heads: BTreeSet<usize> = BTreeSet::new();
         if let Some(keys) = dirty.get(&agg.source.attr) {
             for key in keys {
-                let probe = GroundedAttr::new(&agg.source.attr, key.clone());
-                if let Some(sid) = patched.graph.node_id(&probe) {
+                // Interned probe: no `GroundedAttr` construction or
+                // fingerprinting per dirty cell.
+                if let Some(sid) = patched.node_of(&agg.source.attr, key) {
                     for &hid in patched.graph.children_of(sid) {
                         if patched.graph.node(hid).attr == agg.name {
                             heads.insert(hid);
@@ -1508,11 +1772,11 @@ pub struct AggregateExtension {
     /// The synthesised aggregate attribute this extension derives.
     pub attr: String,
     derived: DerivedStore,
-    /// Per group, the base-graph node ids of its distinct source
+    /// Per group, the interned base-graph node ids of its distinct source
     /// groundings (sources absent from the base graph contribute their
     /// value but no node — exactly the reachability a materialised
     /// grounding would give them, since such nodes have no in-edges).
-    group_sources: Vec<Vec<u32>>,
+    group_sources: Vec<Vec<GroundedNodeId>>,
     /// Head signature → group index (dense for single-argument heads).
     group_dense: Vec<u32>,
     group_map: SymMap<Vec<u32>, u32>,
@@ -1549,8 +1813,8 @@ impl AggregateExtension {
         }
     }
 
-    /// Base-graph node ids of a group's sources.
-    pub(crate) fn sources_of(&self, group: usize) -> &[u32] {
+    /// Interned base-graph node ids of a group's sources.
+    pub(crate) fn sources_of(&self, group: usize) -> &[GroundedNodeId] {
         &self.group_sources[group]
     }
 }
@@ -1577,32 +1841,9 @@ pub fn ground_aggregate_extension(
     let source_node_attr = base.nodes.lookup_attr(&agg.source.attr);
     let source_store_id = base.derived.attr_ids.get(&agg.source.attr).copied();
 
-    /// One group under construction: distinct sources in first-seen order.
-    struct ExtGroup {
-        sig: SigKey,
-        sources: Vec<(Option<u32>, Option<f64>)>,
-    }
-    let mut groups: Vec<ExtGroup> = Vec::new();
-    let mut group_dense: Vec<u32> = Vec::new();
-    let mut group_map: SymMap<Vec<u32>, u32> = SymMap::default();
-    let mut pair_seen: SymSet<u64> = SymSet::default();
-    let mut pair_seen_multi: SymSet<(u32, Vec<u32>)> = SymSet::default();
-    let mut sval_state: Vec<u8> = Vec::new();
-    let mut sval: Vec<f64> = Vec::new();
-    let mut sval_map: SymMap<Vec<u32>, Option<f64>> = SymMap::default();
-    let mut head_sig_buf: Vec<u32> = Vec::new();
-    let mut source_sig_buf: Vec<u32> = Vec::new();
+    let mut tables = AggTables::default();
+    let mut specs: Option<AggSpecs<'_>> = None;
     let mut single_head = true;
-
-    /// Extension merge specs: as [`AggSpecs`], minus the node-table
-    /// attribute id (extension sources resolve read-only via `base.nodes`).
-    struct ExtSpecs<'c> {
-        residual: RowComparisons<'c>,
-        head_spec: Vec<ArgSlot>,
-        source_spec: Vec<ArgSlot>,
-        spec_error: Option<String>,
-    }
-    let mut specs: Option<ExtSpecs<'_>> = None;
     stream_condition(
         cache,
         schema,
@@ -1618,7 +1859,7 @@ pub fn ground_aggregate_extension(
                 let spec_error = first_unbound(&head_spec)
                     .or_else(|| first_unbound(&source_spec))
                     .map(str::to_string);
-                specs = Some(ExtSpecs {
+                specs = Some(AggSpecs {
                     residual,
                     head_spec,
                     source_spec,
@@ -1626,107 +1867,23 @@ pub fn ground_aggregate_extension(
                 });
             }
             let specs = specs.as_ref().expect("specs compiled above");
-            let sig_bound = consts.bound();
-            let checked = |attr: &str, sig: u32| guard_sig(attr, sig, sig_bound);
-            for row in answers.rows() {
-                if !specs.residual.hold(row, answers, instance) {
-                    continue;
-                }
-                if let Some(var) = &specs.spec_error {
-                    return Err(unbound_error(var));
-                }
-                let gi = if let [arg] = specs.head_spec.as_slice() {
-                    let sig = checked(&agg.name, arg_sig(arg, row)?)?;
-                    if sig >= group_dense.len() {
-                        group_dense.resize(sig + 1, NO_GROUP);
-                    }
-                    if group_dense[sig] == NO_GROUP {
-                        group_dense[sig] = u32::try_from(groups.len()).expect("groups fit u32");
-                        groups.push(ExtGroup {
-                            sig: SigKey::Single(u32::try_from(sig).expect("sig fits u32")),
-                            sources: Vec::new(),
-                        });
-                    }
-                    group_dense[sig]
-                } else {
-                    sig_into(&specs.head_spec, row, &mut head_sig_buf)?;
-                    match group_map.get(head_sig_buf.as_slice()) {
-                        Some(&gi) => gi,
-                        None => {
-                            let gi = u32::try_from(groups.len()).expect("groups fit u32");
-                            groups.push(ExtGroup {
-                                sig: SigKey::Multi(head_sig_buf.clone()),
-                                sources: Vec::new(),
-                            });
-                            group_map.insert(head_sig_buf.clone(), gi);
-                            gi
-                        }
-                    }
-                };
-                if let [arg] = specs.source_spec.as_slice() {
-                    let ssig = checked(&agg.source.attr, arg_sig(arg, row)?)?;
-                    let packed = (u64::from(gi) << 32) | (ssig as u64);
-                    if !pair_seen.insert(packed) {
-                        continue;
-                    }
-                    let node = source_node_attr.and_then(|aid| base.nodes.lookup_single(aid, ssig));
-                    if ssig >= sval_state.len() {
-                        sval_state.resize(ssig + 1, 0);
-                        sval.resize(ssig + 1, 0.0);
-                    }
-                    let value = match sval_state[ssig] {
-                        2 => Some(sval[ssig]),
-                        1 => None,
-                        _ => {
-                            let key = resolve_args(&specs.source_spec, row, answers)?;
-                            let value = source_store_id
-                                .and_then(|id| base.derived.single[id].get(ssig))
-                                .or_else(|| instance.attribute_f64(&agg.source.attr, &key));
-                            match value {
-                                Some(v) => {
-                                    sval_state[ssig] = 2;
-                                    sval[ssig] = v;
-                                }
-                                None => sval_state[ssig] = 1,
-                            }
-                            value
-                        }
-                    };
-                    groups[gi as usize].sources.push((node, value));
-                } else {
-                    sig_into(&specs.source_spec, row, &mut source_sig_buf)?;
-                    if !pair_seen_multi.insert((gi, source_sig_buf.clone())) {
-                        continue;
-                    }
-                    let node = source_node_attr
-                        .and_then(|aid| base.nodes.lookup_multi(aid, source_sig_buf.as_slice()));
-                    let value = match sval_map.get(source_sig_buf.as_slice()) {
-                        Some(&value) => value,
-                        None => {
-                            let key = resolve_args(&specs.source_spec, row, answers)?;
-                            let value = source_store_id
-                                .and_then(|id| {
-                                    base.derived.multi[id]
-                                        .get(source_sig_buf.as_slice())
-                                        .copied()
-                                })
-                                .or_else(|| instance.attribute_f64(&agg.source.attr, &key));
-                            sval_map.insert(source_sig_buf.clone(), value);
-                            value
-                        }
-                    };
-                    groups[gi as usize].sources.push((node, value));
-                }
-            }
-            Ok(())
+            let mut resolver = ExtensionSources {
+                source_attr: &agg.source.attr,
+                source_node_attr,
+                source_store_id,
+                base,
+                instance,
+                sig_bound: consts.bound(),
+            };
+            merge_agg_batch(agg, specs, &mut resolver, instance, &mut tables, answers)
         },
     )?;
 
     let agg_fn = agg_fn_of(agg.agg);
     let mut derived = DerivedStore::default();
     let attr_id = derived.attr_id(&agg.name);
-    let mut group_sources: Vec<Vec<u32>> = Vec::with_capacity(groups.len());
-    for group in groups {
+    let mut group_sources: Vec<Vec<GroundedNodeId>> = Vec::with_capacity(tables.groups.len());
+    for group in tables.groups {
         let values: Vec<f64> = group.sources.iter().filter_map(|&(_, v)| v).collect();
         if let Some(v) = agg_fn.apply(&values) {
             derived.set(attr_id, &group.sig, v);
@@ -1739,8 +1896,8 @@ pub fn ground_aggregate_extension(
         attr: agg.name.clone(),
         derived,
         group_sources,
-        group_dense,
-        group_map,
+        group_dense: tables.group_dense,
+        group_map: tables.group_map,
         single_head,
     })
 }

@@ -77,7 +77,10 @@ pub use embed::EmbeddingKind;
 pub use engine::{CarlEngine, GroundingMode, PreparedQuery, RowPreparedQuery};
 pub use error::{CarlError, CarlResult};
 pub use estimate::{AteAnswer, CateSeries, EstimatorKind, PeerEffectAnswer, QueryAnswer};
-pub use graph::{CausalGraph, GroundedAttr};
+pub use graph::{
+    grounded_attr_constructions, reset_grounded_attr_constructions, CausalGraph, GroundedAttr,
+    GroundedNodeId,
+};
 pub use ground::{
     ground, ground_aggregate_extension, ground_streaming, ground_with, ground_with_bindings,
     AggregateExtension, GroundedModel, GroundedValues, StreamedModel,

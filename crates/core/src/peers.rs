@@ -6,7 +6,6 @@
 //! grounded causal graph — exactly the units whose treatment can interfere
 //! with `x`'s outcome (e.g. Bob's co-author Eva in Figure 5).
 
-use crate::graph::GroundedAttr;
 use crate::ground::{AggregateExtension, GroundedValues, StreamedModel};
 use reldb::{Instance, UnitKey};
 use std::collections::HashMap;
@@ -47,11 +46,11 @@ pub fn compute_peers<G: GroundedValues>(
     let mut peer_idx: Vec<Vec<usize>> = vec![Vec::new(); units.len()];
     let mut stamps: Vec<u32> = vec![0; n];
     let mut stack: Vec<usize> = Vec::new();
-    let mut t_node = GroundedAttr::new(treatment_attr, Vec::new());
     for (pi, p) in units.iter().enumerate() {
-        t_node.key.clear();
-        t_node.key.extend_from_slice(p);
-        let Some(tid) = graph.node_id(&t_node) else {
+        // Interned node lookup where the grounding supports it (streamed
+        // models resolve through symbol signatures); the default probes the
+        // graph's fingerprint index.
+        let Some(tid) = grounded.node_of(treatment_attr, p) else {
             continue;
         };
         let epoch = u32::try_from(pi).expect("more than u32::MAX units") + 1;
@@ -112,7 +111,7 @@ pub fn compute_peers_streamed(
     for (ui, unit) in units.iter().enumerate() {
         if let Some(group) = ext.group_of_key(interner, unit) {
             for &sid in ext.sources_of(group) {
-                feeds[sid as usize].push(u32::try_from(ui).expect("unit count fits u32"));
+                feeds[sid.index()].push(u32::try_from(ui).expect("unit count fits u32"));
             }
         }
     }
@@ -124,11 +123,10 @@ pub fn compute_peers_streamed(
     let mut stamps: Vec<u32> = vec![0; n];
     let mut unit_stamps: Vec<u32> = vec![0; units.len()];
     let mut stack: Vec<usize> = Vec::new();
-    let mut t_node = GroundedAttr::new(treatment_attr, Vec::new());
     for (pi, p) in units.iter().enumerate() {
-        t_node.key.clear();
-        t_node.key.extend_from_slice(p);
-        let Some(tid) = graph.node_id(&t_node) else {
+        // Interned probe through the base's node table — no `GroundedAttr`
+        // construction or fingerprint hash per unit.
+        let Some(tid) = base.node_of(treatment_attr, p) else {
             continue;
         };
         let epoch = u32::try_from(pi).expect("more than u32::MAX units") + 1;

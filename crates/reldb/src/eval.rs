@@ -128,6 +128,26 @@ const PARALLEL_ROW_THRESHOLD: usize = 4096;
 /// answer set of a big join is never resident at once.
 const STREAM_BLOCK_ROWS: usize = 16 * PARALLEL_ROW_THRESHOLD;
 
+/// Floor on the parallel input-block size: below this, per-range Vec and
+/// scheduling bookkeeping dwarfs the probe work, so a pathologically small
+/// configured morsel size (the stress matrix runs morsel = 1) degrades
+/// gracefully instead of drowning the executor in one-row ranges.
+const MIN_PAR_BLOCK_ROWS: usize = 256;
+
+/// Input-row block size for one parallel work item of a probe step.
+///
+/// Blocks follow the facade's configured morsel size, so a skewed step (one
+/// hub row fanning out to thousands of join partners) splits into many
+/// stealable ranges instead of serialising one chunk-per-worker — the
+/// work-stealing scheduler rebalances them across workers. Outputs are
+/// concatenated in range order, so results stay bit-identical at any thread
+/// count and any morsel size.
+fn par_block_rows(count: usize, threads: usize) -> usize {
+    rayon::current_morsel_size()
+        .max(MIN_PAR_BLOCK_ROWS)
+        .min(count.div_ceil(threads).max(1))
+}
+
 /// Dense query answers: one flat register tuple of interned symbols per
 /// answer, resolved back to [`Value`]s on demand through the skeleton's
 /// interner.
@@ -823,15 +843,14 @@ fn execute_tuples_stream<'a>(
 
     let threads = rayon::current_num_threads();
     if rows.count >= PARALLEL_ROW_THRESHOLD && threads > 1 && width > 0 {
-        // Parallel, in bounded *waves*: the input splits into blocks (one
-        // per worker, capped at the stream block size), each wave computes
-        // `threads` blocks concurrently and delivers their outputs in
-        // order before the next wave starts. Small inputs get exactly the
-        // materialised executor's per-worker split in a single wave; big
-        // joins stay parallel while at most one wave's output is resident
-        // — never the full answer set.
-        let block = rows.count.div_ceil(threads).min(STREAM_BLOCK_ROWS);
-        for wave in chunk_ranges(rows.count, block).chunks(threads) {
+        // Parallel, in bounded *waves*: the input splits into morsel-sized
+        // blocks, each wave computes a few blocks per worker concurrently
+        // (enough surplus that the scheduler can steal within the wave) and
+        // delivers their outputs in order before the next wave starts. Big
+        // joins stay parallel while at most one wave's output is resident —
+        // never the full answer set.
+        let block = par_block_rows(rows.count, threads).min(STREAM_BLOCK_ROWS);
+        for wave in chunk_ranges(rows.count, block).chunks(threads * 4) {
             let parts: Vec<(Vec<Sym>, usize)> = wave
                 .to_vec()
                 .into_par_iter()
@@ -955,10 +974,11 @@ fn run_step(
     let width = rows.width;
     let threads = rayon::current_num_threads();
     let (data, count) = if rows.count >= PARALLEL_ROW_THRESHOLD && threads > 1 && width > 0 {
-        let parts: Vec<(Vec<Sym>, usize)> = chunk_ranges(rows.count, rows.count.div_ceil(threads))
-            .into_par_iter()
-            .map(|range| run_step_range(skeleton, step, source, consts, &rows, range))
-            .collect();
+        let parts: Vec<(Vec<Sym>, usize)> =
+            chunk_ranges(rows.count, par_block_rows(rows.count, threads))
+                .into_par_iter()
+                .map(|range| run_step_range(skeleton, step, source, consts, &rows, range))
+                .collect();
         let mut data = Vec::with_capacity(parts.iter().map(|(d, _)| d.len()).sum());
         let mut count = 0usize;
         for (part, produced) in parts {

@@ -247,6 +247,13 @@ impl Instance {
         &self.skeleton
     }
 
+    /// A shared handle to the skeleton, for groundings that outlive the
+    /// borrow of `self` (e.g. streamed models resolving interned node
+    /// identities after grounding).
+    pub fn skeleton_shared(&self) -> Arc<Skeleton> {
+        Arc::clone(&self.skeleton)
+    }
+
     /// Add a grounded entity.
     pub fn add_entity(&mut self, entity: &str, key: Value) -> RelResult<()> {
         match self.schema.require_predicate(entity)? {

@@ -70,6 +70,12 @@ impl SymbolTable {
         self.lookup.get(value).copied()
     }
 
+    /// The raw `u32` symbol index of `value`, if it has been interned.
+    /// Convenience for signature builders that store packed symbol ids.
+    pub fn get_u32(&self, value: &Value) -> Option<u32> {
+        self.lookup.get(value).map(|s| s.0)
+    }
+
     /// Resolve a symbol back to (the first-interned representative of) its
     /// value.
     ///

@@ -251,13 +251,14 @@ fn check_history_passes_over_patched_epochs() {
     );
 }
 
-/// Patched epochs are bit-identical at any worker-thread count: the same
-/// commit sequence under a 1-thread and a 4-thread rayon pool yields the
-/// same digest for every (epoch, query) pair.
+/// Patched epochs are bit-identical at any worker-thread count and morsel
+/// size: the same commit sequence under different scheduler knobs yields
+/// the same digest for every (epoch, query) pair.
 #[test]
 fn patched_epochs_are_bit_identical_across_thread_counts() {
-    let run = |threads: usize| -> Vec<String> {
+    let run = |threads: usize, morsel: usize| -> Vec<String> {
         rayon::set_num_threads(threads);
+        rayon::set_morsel_size(morsel);
         let service = SnapshotEngine::new(dataset(51), CASCADE_RULES).expect("model binds");
         let _ = service.answer_str(QUERIES[0]);
         let mut rng = SmallRng::seed_from_u64(0x7EAD5);
@@ -272,11 +273,16 @@ fn patched_epochs_are_bit_identical_across_thread_counts() {
         }
         assert_eq!(service.commit_stats().incremental, 3);
         rayon::set_num_threads(0);
+        rayon::set_morsel_size(0);
         digests
     };
-    assert_eq!(
-        run(1),
-        run(4),
-        "patched epochs depend on the worker-thread count"
-    );
+    let baseline = run(1, rayon::DEFAULT_MORSEL_SIZE);
+    for (threads, morsel) in [(4, 1), (2, 7), (8, 1024)] {
+        assert_eq!(
+            baseline,
+            run(threads, morsel),
+            "patched epochs depend on the scheduler knobs \
+             (threads {threads}, morsel {morsel})"
+        );
+    }
 }

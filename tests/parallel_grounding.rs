@@ -9,14 +9,28 @@
 //! contract at a scale large enough to actually cross the executor's
 //! parallel row threshold.
 //!
-//! Thread counts are varied through [`rayon::set_num_threads`] (the
-//! environment variable is read once per process and mutating it would
+//! Thread counts and morsel sizes are varied through
+//! [`rayon::set_num_threads`] / [`rayon::set_morsel_size`] (the
+//! environment variables are read once per process and mutating them would
 //! race tests running concurrently in the same binary), and every flip is
-//! restored before the assertion so other tests see the default.
+//! restored before the assertion so other tests see the default. Tests in
+//! this binary that flip knobs or read [`rayon::scheduler_stats`] hold the
+//! [`KNOBS`] lock so they serialise against each other.
 
-use carl::{ground_with_bindings, CarlEngine, GroundedModel};
+use carl::{digest_answer, ground_with_bindings, CarlEngine, GroundedModel};
 use carl_datagen::{generate_synthetic_review, SyntheticReviewConfig};
-use reldb::IndexCache;
+use reldb::{IndexCache, UnitKey};
+use std::sync::{Mutex, MutexGuard};
+
+/// Serialises knob-mutating tests; the scheduler knobs and statistics are
+/// process-global.
+static KNOBS: Mutex<()> = Mutex::new(());
+
+fn hold_knobs() -> MutexGuard<'static, ()> {
+    KNOBS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// A canonical, construction-order-sensitive rendering of a grounded model:
 /// nodes in id order, edges as (parent, child) pairs in adjacency order,
@@ -42,6 +56,7 @@ fn canonical(g: &GroundedModel) -> (Vec<String>, Vec<(String, String)>, Vec<(Str
 
 #[test]
 fn grounding_is_bit_identical_across_thread_counts() {
+    let _k = hold_knobs();
     let config = SyntheticReviewConfig {
         authors: 400,
         institutions: 20,
@@ -78,4 +93,139 @@ fn grounding_is_bit_identical_across_thread_counts() {
     let (_, _, fast_derived) = canonical(&one);
     let (_, _, slow_derived) = canonical(&reference);
     assert_eq!(fast_derived, slow_derived, "derived values bit-identical");
+}
+
+/// The full thread × morsel matrix: grounding, prepared unit-table bits,
+/// peer maps and answer digests must be bit-identical in every cell of
+/// `RAYON_NUM_THREADS` ∈ {1, 2, 4, 8} × morsel size ∈ {1, 7, 1024, huge}.
+/// The morsel size only repartitions work between workers; the per-worker
+/// order buffers reassemble results in submission order, so no knob value
+/// may leak into any output bit.
+#[test]
+fn grounding_matrix_is_bit_identical_across_threads_and_morsels() {
+    let _k = hold_knobs();
+    let ds = generate_synthetic_review(&SyntheticReviewConfig {
+        authors: 120,
+        institutions: 10,
+        papers: 800,
+        venues: 8,
+        mean_collaborators: 6.0,
+        ..SyntheticReviewConfig::small(7)
+    });
+    let query = "Score[P] <= Prestige[A]? WHERE SubmittedTo(P, V), DoubleBlind[V] = false";
+
+    // One matrix cell: ground the model cold, prepare the query (streamed
+    // grounding + unit table + peers) and digest the full answer, all under
+    // the cell's scheduler knobs. A fresh engine per cell keeps its
+    // grounding caches from short-circuiting later cells.
+    #[allow(clippy::type_complexity)]
+    let cell = |threads: usize,
+                morsel: usize|
+     -> (
+        (Vec<String>, Vec<(String, String)>, Vec<(String, u64)>),
+        Vec<UnitKey>,
+        Vec<(String, Vec<u64>)>,
+        Vec<(UnitKey, Vec<UnitKey>)>,
+        String,
+    ) {
+        rayon::set_num_threads(threads);
+        rayon::set_morsel_size(morsel);
+        let engine = CarlEngine::new(ds.instance.clone(), &ds.rules).expect("model binds");
+        let grounded = engine.ground_model().expect("grounds");
+        let prepared = engine.prepare_str(query).expect("prepares");
+        let digest = digest_answer(&engine.answer_str(query));
+        rayon::set_num_threads(0);
+        rayon::set_morsel_size(0);
+
+        let ut = &prepared.unit_table;
+        let bits: Vec<(String, Vec<u64>)> = ut
+            .column_names()
+            .into_iter()
+            .map(|name| {
+                let col = ut.column(name).expect("column exists");
+                (name.to_string(), col.iter().map(|v| v.to_bits()).collect())
+            })
+            .collect();
+        let mut peers: Vec<(UnitKey, Vec<UnitKey>)> = prepared.peers.into_iter().collect();
+        peers.sort();
+        (canonical(&grounded), ut.units.clone(), bits, peers, digest)
+    };
+
+    let baseline = cell(1, rayon::DEFAULT_MORSEL_SIZE);
+    assert!(
+        !baseline.0 .0.is_empty(),
+        "baseline grounding is non-trivial"
+    );
+    for threads in [1usize, 2, 4, 8] {
+        for morsel in [1usize, 7, 1024, usize::MAX / 4] {
+            let got = cell(threads, morsel);
+            assert!(
+                got == baseline,
+                "cell (threads {threads}, morsel {morsel}) diverged from the \
+                 single-thread default-morsel baseline"
+            );
+        }
+    }
+}
+
+/// A deliberately skewed workload — the collaboration-join rule carries
+/// ~90% of all grounded rows — still grounds bit-identically, and the
+/// work-stealing scheduler keeps the morsel counts balanced: at 4
+/// configured threads no worker executes more than twice the mean.
+#[test]
+fn skewed_workload_is_balanced_and_bit_identical() {
+    let _k = hold_knobs();
+    // 300 authors × ~20 collaborators each over 6,000 papers: the rule
+    // `Score[P] <= Prestige[B] WHERE Writes(A, P), Collab(A, B)` grounds
+    // roughly 20 rows per paper (~120k) against ~18k for the other four
+    // rules combined — one rule is ~87% of the grounded row volume, and
+    // its join step is the only one whose input crosses the executor's
+    // parallel row threshold.
+    let ds = generate_synthetic_review(&SyntheticReviewConfig {
+        authors: 300,
+        institutions: 10,
+        papers: 6_000,
+        venues: 8,
+        mean_collaborators: 20.0,
+        ..SyntheticReviewConfig::small(13)
+    });
+    let engine = CarlEngine::new(ds.instance, &ds.rules).expect("model binds");
+
+    let baseline = {
+        rayon::set_num_threads(1);
+        let grounded = engine.ground_model().expect("grounds");
+        rayon::set_num_threads(0);
+        canonical(&grounded)
+    };
+
+    // Small morsels force many stealable units out of the one dominant
+    // rule, so a chunk-per-worker scheduler would show up here as one
+    // worker owning nearly all morsels.
+    rayon::set_num_threads(4);
+    rayon::set_morsel_size(1);
+    rayon::reset_scheduler_stats();
+    let skewed = engine.ground_model().expect("grounds");
+    let stats = rayon::scheduler_stats();
+    rayon::set_num_threads(0);
+    rayon::set_morsel_size(0);
+
+    assert_eq!(
+        canonical(&skewed),
+        baseline,
+        "skewed grounding must not depend on threads or morsel size"
+    );
+    assert!(
+        stats.parallel_runs > 0,
+        "the skewed workload never crossed the parallel threshold: {stats:?}"
+    );
+    assert!(
+        stats.total_morsels() >= 12,
+        "too few morsels to measure balance: {stats:?}"
+    );
+    let mean = stats.mean_worker_morsels();
+    let max = stats.max_worker_morsels() as f64;
+    assert!(
+        max <= 2.0 * mean,
+        "worker morsel counts are skewed: max {max} > 2 × mean {mean:.2} ({stats:?})"
+    );
 }

@@ -269,11 +269,12 @@ fn extension_sources_that_are_base_aggregate_heads_keep_peer_reachability() {
     assert_answers_identical(&streamed, &materialised, query);
 }
 
-/// Streamed results are bit-identical at any worker-thread count (the
-/// acceptance bar: `RAYON_NUM_THREADS` ∈ {1, 4}), both for the full
-/// streamed grounding and for the end-to-end prepared unit table. Thread
-/// counts are varied via `rayon::set_num_threads` (the env var is read
-/// once per process and mutating it would race concurrent tests).
+/// Streamed results are bit-identical at any worker-thread count and any
+/// morsel size (the acceptance bar: `RAYON_NUM_THREADS` ∈ {1, 2, 4, 8} ×
+/// morsel ∈ {1, 7, 1024, huge}), both for the full streamed grounding and
+/// for the end-to-end prepared unit table. Knobs are varied via
+/// `rayon::set_num_threads` / `rayon::set_morsel_size` (the env vars are
+/// read once per process and mutating them would race concurrent tests).
 #[test]
 fn streamed_pipeline_is_bit_identical_across_thread_counts() {
     let ds = generate_synthetic_review(&SyntheticReviewConfig {
@@ -286,11 +287,13 @@ fn streamed_pipeline_is_bit_identical_across_thread_counts() {
     let query = "Score[P] <= Prestige[A]? WHERE SubmittedTo(P, V), DoubleBlind[V] = false";
     let engine = CarlEngine::new(ds.instance, &ds.rules).expect("model binds");
 
-    let table_bits = |threads: usize| {
+    let table_bits = |threads: usize, morsel: usize| {
         rayon::set_num_threads(threads);
+        rayon::set_morsel_size(morsel);
         let query = carl::carl_lang::parse_query(query).expect("query parses");
         let prepared = engine.prepare_cold(&query).expect("prepares");
         rayon::set_num_threads(0);
+        rayon::set_morsel_size(0);
         let ut = &prepared.unit_table;
         let mut bits: Vec<(String, Vec<u64>)> = Vec::new();
         for name in ut.column_names() {
@@ -299,15 +302,28 @@ fn streamed_pipeline_is_bit_identical_across_thread_counts() {
         }
         (ut.units.clone(), bits)
     };
-    let one = table_bits(1);
-    let four = table_bits(4);
-    assert_eq!(one.0, four.0, "unit keys depend on the thread count");
-    assert_eq!(one.1, four.1, "unit table bits depend on the thread count");
+    let baseline = table_bits(1, rayon::DEFAULT_MORSEL_SIZE);
+    // Sampled off-diagonal of the {1,2,4,8} × {1,7,1024,huge} matrix; the
+    // full cross product runs on the cheaper grounding-only harness in
+    // `parallel_grounding.rs`.
+    for (threads, morsel) in [(2, 7), (4, 1), (8, 1024), (4, usize::MAX / 4)] {
+        let cell = table_bits(threads, morsel);
+        assert_eq!(
+            baseline.0, cell.0,
+            "unit keys depend on the knobs (threads {threads}, morsel {morsel})"
+        );
+        assert_eq!(
+            baseline.1, cell.1,
+            "unit table bits depend on the knobs (threads {threads}, morsel {morsel})"
+        );
+    }
 
-    let ground_shape = |threads: usize| {
+    let ground_shape = |threads: usize, morsel: usize| {
         rayon::set_num_threads(threads);
+        rayon::set_morsel_size(morsel);
         let grounded = engine.ground_model_streamed().expect("grounds");
         rayon::set_num_threads(0);
+        rayon::set_morsel_size(0);
         let nodes: Vec<String> = (0..grounded.graph.node_count())
             .map(|id| grounded.graph.node(id).to_string())
             .collect();
@@ -319,9 +335,12 @@ fn streamed_pipeline_is_bit_identical_across_thread_counts() {
         }
         (nodes, edges)
     };
-    assert_eq!(
-        ground_shape(1),
-        ground_shape(4),
-        "streamed grounding depends on the thread count"
-    );
+    let shape = ground_shape(1, rayon::DEFAULT_MORSEL_SIZE);
+    for (threads, morsel) in [(4, 1), (8, 7), (2, usize::MAX / 4)] {
+        assert_eq!(
+            shape,
+            ground_shape(threads, morsel),
+            "streamed grounding depends on the knobs (threads {threads}, morsel {morsel})"
+        );
+    }
 }

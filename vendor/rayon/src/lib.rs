@@ -1,23 +1,41 @@
-//! Offline stand-in for [`rayon`](https://crates.io/crates/rayon) — now with
-//! real data parallelism.
+//! Offline stand-in for [`rayon`](https://crates.io/crates/rayon) — now a
+//! morsel-driven work-stealing scheduler.
 //!
-//! Earlier revisions of this stand-in executed sequentially; this version
-//! runs the map/filter pipelines the workspace uses on `std::thread` scoped
-//! workers. The input is split into contiguous chunks (one per worker) and
-//! the per-chunk results are concatenated **in chunk order**, so the output
-//! order is identical to sequential execution regardless of the number of
-//! threads — which is what keeps seeded bootstrap resampling deterministic.
+//! Earlier revisions split the input into one contiguous chunk per worker,
+//! so a single expensive chunk (a skewed rule condition, a hub entity)
+//! serialized the whole pipeline behind its worker. This version splits the
+//! input into small fixed-size **morsels** instead. Each worker's deque is
+//! seeded with a contiguous block of morsel indices; owners pop from the
+//! front and, when their own deque runs dry, steal from the back of another
+//! worker's deque. Workers append `(morsel index, results)` pairs to a
+//! private order buffer; after the join, the buffers are concatenated in
+//! morsel-index order.
+//!
+//! **Determinism argument:** morsel boundaries depend only on the input
+//! length and the configured morsel size — never on which worker ran a
+//! morsel or in what order. Items inside a morsel are processed in input
+//! order, and the final concatenation is by morsel index, so the output is
+//! byte-identical to sequential execution at any thread count *and* any
+//! morsel size. That is what keeps seeded bootstrap resampling and the
+//! grounding digests bit-stable.
 //!
 //! The worker count defaults to [`std::thread::available_parallelism`] and
 //! can be overridden with the `RAYON_NUM_THREADS` environment variable,
-//! mirroring the real crate. Like the real crate, the environment variable
-//! is read **once** (on first use): `std::env::var` takes a process-wide
-//! lock, and `current_num_threads` sits on the executor's per-step hot
-//! path. A value of `0` (or anything unparseable) falls back to the
-//! default rather than flowing a zero thread count into chunk sizing.
-//! Tests and benchmarks that need to vary the worker count at runtime use
-//! [`set_num_threads`] instead of mutating the process environment (env
-//! mutation races with concurrently running tests in the same binary).
+//! mirroring the real crate. The morsel size defaults to
+//! [`DEFAULT_MORSEL_SIZE`] items and can be overridden with
+//! `RAYON_MORSEL_SIZE`. Both variables are read **once** (on first use):
+//! `std::env::var` takes a process-wide lock and both getters sit on hot
+//! paths. A value of `0` (or anything unparseable) falls back to the
+//! default. Tests and benchmarks that need to vary either knob at runtime
+//! use [`set_num_threads`] / [`set_morsel_size`] instead of mutating the
+//! process environment (env mutation races with concurrently running tests
+//! in the same binary).
+//!
+//! The scheduler keeps cumulative statistics — morsels executed and steals
+//! per worker index — readable via [`scheduler_stats`] so benchmarks can
+//! prove balance under skew even when wall-clock scaling is invisible
+//! (e.g. on a single-core CI container).
+//!
 //! Swap in the real crate once registry access exists; the API subset here
 //! (`prelude::IntoParallelIterator`, `map`, `filter`, `filter_map`,
 //! `for_each`, `collect`) is call-compatible.
@@ -25,8 +43,9 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Runtime override of the worker count (0 = no override). Set via
 /// [`set_num_threads`]; takes precedence over the cached environment value.
@@ -36,9 +55,31 @@ static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// `RAYON_NUM_THREADS` / available parallelism.
 static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
 
-/// Parse a `RAYON_NUM_THREADS`-style value: a positive integer wins,
-/// everything else (missing, unparseable, or `0`) means "use the default".
-fn parse_thread_count(value: Option<&str>) -> Option<usize> {
+/// Runtime override of the morsel size (0 = no override). Set via
+/// [`set_morsel_size`]; takes precedence over the cached environment value.
+static MORSEL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The default morsel size, resolved once per process from
+/// `RAYON_MORSEL_SIZE`.
+static DEFAULT_MORSEL: OnceLock<usize> = OnceLock::new();
+
+/// Morsel size used when neither `RAYON_MORSEL_SIZE` nor
+/// [`set_morsel_size`] applies: the scheduling granularity in *items* (for
+/// the executor's row pipelines, rows).
+pub const DEFAULT_MORSEL_SIZE: usize = 1024;
+
+/// The scheduler aims for at least this many morsels per worker so there is
+/// always something to steal: the configured morsel size acts as an *upper
+/// bound* and is shrunk when the input is too small to yield
+/// `workers × MORSEL_OVERSUBSCRIPTION` morsels at full size. This keeps
+/// coarse item streams (a handful of rule conditions, a few row ranges)
+/// spread across workers instead of collapsing into one giant morsel.
+const MORSEL_OVERSUBSCRIPTION: usize = 4;
+
+/// Parse a `RAYON_NUM_THREADS` / `RAYON_MORSEL_SIZE`-style value: a positive
+/// integer wins, everything else (missing, unparseable, or `0`) means "use
+/// the default".
+fn parse_positive(value: Option<&str>) -> Option<usize> {
     value
         .and_then(|s| s.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
@@ -48,13 +89,11 @@ fn parse_thread_count(value: Option<&str>) -> Option<usize> {
 /// otherwise available parallelism (1 if that cannot be determined).
 fn default_num_threads() -> usize {
     *DEFAULT_THREADS.get_or_init(|| {
-        parse_thread_count(std::env::var("RAYON_NUM_THREADS").ok().as_deref()).unwrap_or_else(
-            || {
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1)
-            },
-        )
+        parse_positive(std::env::var("RAYON_NUM_THREADS").ok().as_deref()).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
     })
 }
 
@@ -81,43 +120,263 @@ pub fn set_num_threads(threads: usize) {
     THREAD_OVERRIDE.store(threads, Ordering::Relaxed);
 }
 
-/// Apply `f` to every item on scoped worker threads, preserving input order.
+/// The configured morsel size (an upper bound on the scheduling unit): the
+/// [`set_morsel_size`] override if one is active, otherwise the cached
+/// process default (`RAYON_MORSEL_SIZE` at first use, or
+/// [`DEFAULT_MORSEL_SIZE`]).
+pub fn current_morsel_size() -> usize {
+    match MORSEL_OVERRIDE.load(Ordering::Relaxed) {
+        0 => *DEFAULT_MORSEL.get_or_init(|| {
+            parse_positive(std::env::var("RAYON_MORSEL_SIZE").ok().as_deref())
+                .unwrap_or(DEFAULT_MORSEL_SIZE)
+        }),
+        n => n,
+    }
+}
+
+/// Override the morsel size at runtime (`0` clears the override and
+/// restores the process default). Output is bit-identical at any morsel
+/// size; this knob only moves the balance/overhead trade-off. Like
+/// [`set_num_threads`], this is the supported way for tests to sweep morsel
+/// sizes — the environment variable is read once per process.
+pub fn set_morsel_size(size: usize) {
+    MORSEL_OVERRIDE.store(size, Ordering::Relaxed);
+}
+
+/// The morsel size actually used for an input of `len` items on `threads`
+/// workers: the configured size, shrunk so large inputs always yield at
+/// least `threads × MORSEL_OVERSUBSCRIPTION` morsels (there must be enough
+/// morsels in flight for stealing to balance skew).
+fn effective_morsel_size(len: usize, threads: usize) -> usize {
+    let configured = current_morsel_size().max(1);
+    let spread = len
+        .div_ceil(threads.max(1) * MORSEL_OVERSUBSCRIPTION)
+        .max(1);
+    configured.min(spread)
+}
+
+/// Cumulative scheduler counters (since process start or the last
+/// [`reset_scheduler_stats`]). Workers are identified by their index within
+/// a run; counts accumulate across runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Morsels executed by each worker index, across all parallel runs.
+    pub morsels_per_worker: Vec<u64>,
+    /// Of those, morsels each worker obtained by stealing from the back of
+    /// another worker's deque.
+    pub steals_per_worker: Vec<u64>,
+    /// Pipeline runs that went through the work-stealing scheduler.
+    pub parallel_runs: u64,
+    /// Pipeline runs executed inline on the calling thread (single-thread
+    /// configuration, or too few items to split). Their morsels are
+    /// attributed to worker 0, so stats stay populated on single-core CI.
+    pub sequential_runs: u64,
+}
+
+impl SchedulerStats {
+    /// Total morsels executed across all workers.
+    pub fn total_morsels(&self) -> u64 {
+        self.morsels_per_worker.iter().sum()
+    }
+
+    /// Total steals across all workers.
+    pub fn total_steals(&self) -> u64 {
+        self.steals_per_worker.iter().sum()
+    }
+
+    /// The largest per-worker morsel count.
+    pub fn max_worker_morsels(&self) -> u64 {
+        self.morsels_per_worker.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean morsels per tracked worker (0.0 when nothing has run).
+    pub fn mean_worker_morsels(&self) -> f64 {
+        if self.morsels_per_worker.is_empty() {
+            0.0
+        } else {
+            self.total_morsels() as f64 / self.morsels_per_worker.len() as f64
+        }
+    }
+}
+
+/// Global stats cell. A plain mutex: it is taken once per pipeline *run*
+/// (not per morsel), which is noise next to spawning the scoped workers.
+static STATS: Mutex<SchedulerStats> = Mutex::new(SchedulerStats {
+    morsels_per_worker: Vec::new(),
+    steals_per_worker: Vec::new(),
+    parallel_runs: 0,
+    sequential_runs: 0,
+});
+
+/// Lock a mutex, tolerating poison: a panicking worker must still propagate
+/// its payload (not a `PoisonError`) to the caller, exactly like real rayon.
+fn lock_tolerant<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Snapshot the cumulative scheduler statistics.
+pub fn scheduler_stats() -> SchedulerStats {
+    lock_tolerant(&STATS).clone()
+}
+
+/// Reset all scheduler statistics to zero.
+pub fn reset_scheduler_stats() {
+    let mut stats = lock_tolerant(&STATS);
+    *stats = SchedulerStats::default();
+}
+
+/// Fold one run's per-worker `(morsels, steals)` counts into the globals.
+fn record_parallel(per_worker: &[(u64, u64)]) {
+    let mut stats = lock_tolerant(&STATS);
+    if stats.morsels_per_worker.len() < per_worker.len() {
+        stats.morsels_per_worker.resize(per_worker.len(), 0);
+        stats.steals_per_worker.resize(per_worker.len(), 0);
+    }
+    for (w, &(morsels, steals)) in per_worker.iter().enumerate() {
+        stats.morsels_per_worker[w] += morsels;
+        stats.steals_per_worker[w] += steals;
+    }
+    stats.parallel_runs += 1;
+}
+
+/// Record an inline (sequential) run of `morsels` scheduling units.
+fn record_sequential(morsels: u64) {
+    let mut stats = lock_tolerant(&STATS);
+    if stats.morsels_per_worker.is_empty() {
+        stats.morsels_per_worker.push(0);
+        stats.steals_per_worker.push(0);
+    }
+    stats.morsels_per_worker[0] += morsels;
+    stats.sequential_runs += 1;
+}
+
+/// Pop a morsel index from the *front* of a worker's own deque.
+fn pop_own(queue: &Mutex<VecDeque<usize>>) -> Option<usize> {
+    lock_tolerant(queue).pop_front()
+}
+
+/// Steal a morsel index from the *back* of a victim's deque.
+fn steal_back(queue: &Mutex<VecDeque<usize>>) -> Option<usize> {
+    lock_tolerant(queue).pop_back()
+}
+
+/// The scheduler core: run `per_item` over every item on the work-stealing
+/// pool, collecting whatever it pushes into the output — in input order.
+///
+/// `per_item` pushes zero or more results per item, which lets `map`,
+/// `filter`, `filter_map` and `for_each` all share this path without any
+/// per-item `Option` round-trips or per-chunk `Vec` materialisation: the
+/// only full pass over the input is the move into the `Option` slot buffer
+/// that lets workers extract owned items from disjoint `&mut` morsel slices
+/// without unsafe code.
 ///
 /// Panics in workers are re-raised on the caller (as with real rayon).
-fn run_chunked<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+fn run_morsels<T, R, F>(items: Vec<T>, per_item: F) -> Vec<R>
 where
     T: Send,
     R: Send,
-    F: Fn(T) -> R + Sync,
+    F: Fn(T, &mut Vec<R>) + Sync,
 {
-    let threads = current_num_threads().min(items.len());
-    if threads <= 1 {
-        return items.into_iter().map(f).collect();
+    let len = items.len();
+    if len == 0 {
+        return Vec::new();
     }
-    let chunk_size = items.len().div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut iter = items.into_iter();
-    loop {
-        let chunk: Vec<T> = iter.by_ref().take(chunk_size).collect();
-        if chunk.is_empty() {
-            break;
+    let threads = current_num_threads();
+    let morsel = effective_morsel_size(len, threads);
+    let n_morsels = len.div_ceil(morsel);
+    if threads <= 1 || n_morsels <= 1 {
+        let mut out = Vec::with_capacity(len);
+        for item in items {
+            per_item(item, &mut out);
         }
-        chunks.push(chunk);
+        record_sequential(n_morsels as u64);
+        return out;
     }
-    let f = &f;
-    let mut out: Vec<R> = Vec::new();
+
+    // Wrap items in `Option` slots so workers can move them out of disjoint
+    // `&mut` morsel slices (`slot.take()`) without unsafe code. Each morsel
+    // slice sits behind its own mutex purely to satisfy the borrow checker:
+    // every morsel index is claimed by exactly one worker, so the locks are
+    // uncontended.
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let morsel_cells: Vec<Mutex<&mut [Option<T>]>> =
+        slots.chunks_mut(morsel).map(Mutex::new).collect();
+
+    let workers = threads.min(n_morsels);
+    // Seed each worker's deque with a contiguous block of morsel indices:
+    // owners pop from the front (cache-friendly sequential sweep), thieves
+    // take from the back (the work farthest from the owner's cursor).
+    let seed = n_morsels.div_ceil(workers);
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            let lo = (w * seed).min(n_morsels);
+            let hi = ((w + 1) * seed).min(n_morsels);
+            Mutex::new((lo..hi).collect())
+        })
+        .collect();
+
+    let per_item = &per_item;
+    let queues = &queues;
+    let morsel_cells = &morsel_cells;
+    let mut order_buffers: Vec<(usize, Vec<R>)> = Vec::with_capacity(n_morsels);
+    let mut per_worker: Vec<(u64, u64)> = vec![(0, 0); workers];
     std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut buffer: Vec<(usize, Vec<R>)> = Vec::new();
+                    let mut morsels_done = 0u64;
+                    let mut steals = 0u64;
+                    loop {
+                        // Own queue first; on exhaustion, scan the other
+                        // workers (starting at our right neighbour) and
+                        // steal from the back of the first non-empty deque.
+                        let next = pop_own(&queues[w]).or_else(|| {
+                            (1..workers).find_map(|offset| {
+                                let victim = (w + offset) % workers;
+                                let stolen = steal_back(&queues[victim]);
+                                if stolen.is_some() {
+                                    steals += 1;
+                                }
+                                stolen
+                            })
+                        });
+                        let Some(index) = next else { break };
+                        let mut cell = lock_tolerant(&morsel_cells[index]);
+                        let mut out = Vec::with_capacity(cell.len());
+                        for slot in cell.iter_mut() {
+                            if let Some(item) = slot.take() {
+                                per_item(item, &mut out);
+                            }
+                        }
+                        buffer.push((index, out));
+                        morsels_done += 1;
+                    }
+                    (buffer, morsels_done, steals)
+                })
+            })
             .collect();
-        for handle in handles {
+        for (w, handle) in handles.into_iter().enumerate() {
             match handle.join() {
-                Ok(part) => out.extend(part),
+                Ok((buffer, morsels, steals)) => {
+                    order_buffers.extend(buffer);
+                    per_worker[w] = (morsels, steals);
+                }
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
     });
+    record_parallel(&per_worker);
+
+    // Concatenate the per-worker order buffers in morsel-index order: the
+    // output is identical to sequential execution regardless of which
+    // worker ran which morsel.
+    order_buffers.sort_unstable_by_key(|&(index, _)| index);
+    let total: usize = order_buffers.iter().map(|(_, part)| part.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for (_, part) in order_buffers {
+        out.extend(part);
+    }
     out
 }
 
@@ -136,7 +395,7 @@ impl<T: Send> ParIter<T> {
         F: Fn(T) -> R + Sync,
     {
         ParIter {
-            items: run_chunked(self.items, f),
+            items: run_morsels(self.items, |item, out| out.push(f(item))),
         }
     }
 
@@ -147,7 +406,7 @@ impl<T: Send> ParIter<T> {
         F: Fn(T) -> Option<R> + Sync,
     {
         ParIter {
-            items: run_chunked(self.items, f).into_iter().flatten().collect(),
+            items: run_morsels(self.items, |item, out| out.extend(f(item))),
         }
     }
 
@@ -156,7 +415,13 @@ impl<T: Send> ParIter<T> {
     where
         F: Fn(&T) -> bool + Sync,
     {
-        self.filter_map(|t| if f(&t) { Some(t) } else { None })
+        ParIter {
+            items: run_morsels(self.items, |item, out| {
+                if f(&item) {
+                    out.push(item);
+                }
+            }),
+        }
     }
 
     /// Run `f` on every item in parallel, discarding results.
@@ -164,7 +429,7 @@ impl<T: Send> ParIter<T> {
     where
         F: Fn(T) + Sync,
     {
-        run_chunked(self.items, f);
+        run_morsels::<_, (), _>(self.items, |item, _| f(item));
     }
 
     /// Collect the (order-preserved) items into any collection.
@@ -213,6 +478,17 @@ where
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    /// Tests that mutate (or assert on) the process-global thread/morsel
+    /// knobs must not interleave: `cargo test` runs tests in this binary
+    /// concurrently.
+    static KNOBS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn hold_knobs() -> std::sync::MutexGuard<'static, ()> {
+        KNOBS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 
     #[test]
     fn map_preserves_order() {
@@ -273,18 +549,19 @@ mod tests {
     }
 
     #[test]
-    fn zero_and_garbage_thread_counts_fall_back_to_the_default() {
-        // Regression: `RAYON_NUM_THREADS=0` must not flow a zero thread
-        // count into chunk sizing. The parse is tested directly — the
-        // process-wide default is cached, so tests never mutate the env.
-        assert_eq!(super::parse_thread_count(Some("0")), None);
-        assert_eq!(super::parse_thread_count(Some("")), None);
-        assert_eq!(super::parse_thread_count(Some("-3")), None);
-        assert_eq!(super::parse_thread_count(Some("many")), None);
-        assert_eq!(super::parse_thread_count(None), None);
-        assert_eq!(super::parse_thread_count(Some("1")), Some(1));
-        assert_eq!(super::parse_thread_count(Some(" 8 ")), Some(8));
+    fn zero_and_garbage_knob_values_fall_back_to_the_default() {
+        // Regression: `RAYON_NUM_THREADS=0` / `RAYON_MORSEL_SIZE=0` must not
+        // flow a zero into chunk sizing. The parse is tested directly — the
+        // process-wide defaults are cached, so tests never mutate the env.
+        assert_eq!(super::parse_positive(Some("0")), None);
+        assert_eq!(super::parse_positive(Some("")), None);
+        assert_eq!(super::parse_positive(Some("-3")), None);
+        assert_eq!(super::parse_positive(Some("many")), None);
+        assert_eq!(super::parse_positive(None), None);
+        assert_eq!(super::parse_positive(Some("1")), Some(1));
+        assert_eq!(super::parse_positive(Some(" 8 ")), Some(8));
         assert!(super::current_num_threads() >= 1);
+        assert!(super::current_morsel_size() >= 1);
     }
 
     #[test]
@@ -292,6 +569,7 @@ mod tests {
         // Vary the pool size via the runtime override (not the env, which
         // would race concurrently running tests); order and content must
         // not change.
+        let _guard = hold_knobs();
         let run = || -> Vec<u64> {
             (0..997u64)
                 .into_par_iter()
@@ -306,5 +584,93 @@ mod tests {
         let auto = run();
         assert_eq!(one, five);
         assert_eq!(one, auto);
+    }
+
+    #[test]
+    fn results_are_independent_of_morsel_size() {
+        let _guard = hold_knobs();
+        let run = || -> Vec<u64> {
+            (0..4_001u64)
+                .into_par_iter()
+                .filter_map(|i| (i % 5 != 0).then(|| i.wrapping_mul(0x51_7C_C1_B7)))
+                .collect()
+        };
+        super::set_num_threads(4);
+        let mut outs = Vec::new();
+        for morsel in [1, 7, 1024, usize::MAX / 4] {
+            super::set_morsel_size(morsel);
+            outs.push(run());
+        }
+        super::set_morsel_size(0);
+        super::set_num_threads(0);
+        let baseline = run();
+        for out in outs {
+            assert_eq!(out, baseline, "output must not depend on morsel size");
+        }
+    }
+
+    #[test]
+    fn effective_morsel_size_is_capped_by_oversubscription() {
+        let _guard = hold_knobs();
+        // Large inputs honour the configured size...
+        super::set_morsel_size(1024);
+        assert_eq!(super::effective_morsel_size(1_000_000, 4), 1024);
+        // ...small inputs shrink it so every worker still gets morsels.
+        assert_eq!(super::effective_morsel_size(14, 4), 1);
+        assert_eq!(super::effective_morsel_size(64, 4), 4);
+        // A huge configured size is clamped to the oversubscription spread.
+        super::set_morsel_size(usize::MAX / 2);
+        assert_eq!(super::effective_morsel_size(1_000_000, 4), 62_500);
+        super::set_morsel_size(0);
+    }
+
+    #[test]
+    fn scheduler_stats_are_populated_and_resettable() {
+        // Stats are process-global and this binary's tests run
+        // concurrently, so only assert monotone growth — not exact counts.
+        let before = super::scheduler_stats().total_morsels();
+        let _: Vec<usize> = (0..10_000usize).into_par_iter().map(|i| i).collect();
+        let after = super::scheduler_stats();
+        assert!(after.total_morsels() > before, "a run must record morsels");
+        assert!(after.parallel_runs + after.sequential_runs > 0);
+        assert!(after.max_worker_morsels() as f64 >= after.mean_worker_morsels());
+    }
+
+    #[test]
+    fn skewed_workloads_balance_by_stealing() {
+        // One morsel region is ~100× more expensive than the rest. With
+        // contiguous seeding the slow region lands on one worker; stealing
+        // must spread it. We can only observe balance through the stats
+        // (the container may be single-core), and other tests run
+        // concurrently, so run a dedicated pool size and check the run's
+        // own deltas via a quiesced before/after diff would race — instead
+        // just assert correctness of the output under skew.
+        let _guard = hold_knobs();
+        super::set_num_threads(4);
+        super::set_morsel_size(16);
+        let out: Vec<u64> = (0..2_048u64)
+            .into_par_iter()
+            .map(|i| {
+                let mut acc = i;
+                let spins = if i < 256 { 2_000 } else { 10 };
+                for _ in 0..spins {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                acc
+            })
+            .collect();
+        super::set_morsel_size(0);
+        super::set_num_threads(0);
+        let expected: Vec<u64> = (0..2_048u64)
+            .map(|i| {
+                let mut acc = i;
+                let spins = if i < 256 { 2_000 } else { 10 };
+                for _ in 0..spins {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                acc
+            })
+            .collect();
+        assert_eq!(out, expected);
     }
 }
