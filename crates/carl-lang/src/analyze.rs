@@ -16,15 +16,18 @@
 //! | `E0003` | error    | attribute defined by both an aggregate and a causal rule |
 //! | `E0004` | error    | query uses the same attribute as treatment and response |
 //! | `E0005` | error    | recursive model — reported with the full dependency cycle |
-//! | `E0006` | error    | unsatisfiable equality filters (two distinct constants forced equal) |
+//! | `E0006` | error    | statically unsatisfiable condition (conflicting equalities, empty comparison intervals, non-numeric ordering — see [`crate::deps`]) |
 //! | `W0001` | warning  | a condition variable bound exactly once and never used |
+//! | `W0002` | warning  | dead statement: its condition is proven unsatisfiable, so it can never fire |
+//! | `W0003` | warning  | attribute never grounded (every defining statement dead) / aggregate unreachable (its source is never grounded) |
 //!
 //! Schema-aware checks (`E01xx`: unknown predicates/attributes, arity and
 //! comparison-type mismatches, shadowed attributes) live in the `carl`
 //! engine crate, which owns the schema; they produce the same
 //! [`Diagnostic`] type.
 
-use crate::ast::{AggregateRule, CausalRule, CompareOp, Condition, Program};
+use crate::ast::{AggregateRule, CausalRule, Condition, Program};
+use crate::deps::{ConditionFact, ProgramDeps, StatementId};
 use crate::span::{LineIndex, Span};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -124,19 +127,23 @@ impl Analysis {
 /// Analyse a program, collecting every schema-independent defect.
 pub fn analyze_program(program: &Program) -> Analysis {
     let mut diagnostics = Vec::new();
+    // One whole-program dependency analysis feeds the per-condition
+    // satisfiability diagnostics (E0006) and the dead/unreachable lints
+    // (W0002/W0003).
+    let deps = ProgramDeps::analyze(program);
 
-    for rule in &program.rules {
+    for (i, rule) in program.rules.iter().enumerate() {
         check_rule_safety(rule, &mut diagnostics);
-        check_unsatisfiable_equalities(&rule.condition, &mut diagnostics);
+        push_unsat_diagnostic(&deps.rule_facts[i], &mut diagnostics);
         check_unused_variables(
             rule_variable_counts(rule),
             &rule.condition,
             &mut diagnostics,
         );
     }
-    for agg in &program.aggregates {
+    for (i, agg) in program.aggregates.iter().enumerate() {
         check_aggregate_shape(agg, &mut diagnostics);
-        check_unsatisfiable_equalities(&agg.condition, &mut diagnostics);
+        push_unsat_diagnostic(&deps.aggregate_facts[i], &mut diagnostics);
         check_unused_variables(
             aggregate_variable_counts(agg),
             &agg.condition,
@@ -167,7 +174,7 @@ pub fn analyze_program(program: &Program) -> Analysis {
     }
 
     // Queries: treatment != response, plus filter satisfiability.
-    for q in &program.queries {
+    for (i, q) in program.queries.iter().enumerate() {
         if q.treatment.attr == q.response.attr {
             diagnostics.push(
                 Diagnostic::error(
@@ -181,14 +188,104 @@ pub fn analyze_program(program: &Program) -> Analysis {
                 .with_related(q.treatment.span, "treatment".to_string()),
             );
         }
-        check_unsatisfiable_equalities(&q.condition, &mut diagnostics);
+        push_unsat_diagnostic(&deps.query_facts[i], &mut diagnostics);
     }
 
     let topo_order = check_recursion(program, &mut diagnostics);
+    check_dead_and_unreachable(program, &deps, &mut diagnostics);
 
     Analysis {
         diagnostics,
         topo_order,
+    }
+}
+
+/// Map an abstract-interpretation unsatisfiability proof onto an `E0006`
+/// diagnostic anchored at the comparison that completed the conflict.
+fn push_unsat_diagnostic(fact: &ConditionFact, out: &mut Vec<Diagnostic>) {
+    if let Some(proof) = &fact.unsat {
+        let mut diag = Diagnostic::error("E0006", proof.span, proof.message.clone());
+        for (span, label) in &proof.related {
+            diag = diag.with_related(*span, label.clone());
+        }
+        out.push(diag);
+    }
+}
+
+/// `W0002` for every statement whose condition is proven empty (it can
+/// never fire) and `W0003` for attributes that are never grounded plus
+/// aggregates whose source is never grounded.
+fn check_dead_and_unreachable(program: &Program, deps: &ProgramDeps, out: &mut Vec<Diagnostic>) {
+    for (i, rule) in program.rules.iter().enumerate() {
+        if deps.rule_dead(i) {
+            let mut diag = Diagnostic::warning(
+                "W0002",
+                rule.head.span,
+                format!(
+                    "rule for `{}` is dead: its condition is statically unsatisfiable, so it \
+                     can never fire",
+                    rule.head.attr
+                ),
+            );
+            if let Some(proof) = &deps.rule_facts[i].unsat {
+                diag = diag.with_related(proof.span, "condition proven empty here".to_string());
+            }
+            out.push(diag);
+        }
+    }
+    for (i, agg) in program.aggregates.iter().enumerate() {
+        if deps.aggregate_dead(i) {
+            let mut diag = Diagnostic::warning(
+                "W0002",
+                agg.span,
+                format!(
+                    "aggregate rule `{}` is dead: its condition is statically unsatisfiable, \
+                     so it can never fire",
+                    agg.name
+                ),
+            );
+            if let Some(proof) = &deps.aggregate_facts[i].unsat {
+                diag = diag.with_related(proof.span, "condition proven empty here".to_string());
+            }
+            out.push(diag);
+        }
+    }
+    for attr in &deps.never_grounded {
+        let writers = &deps.writers[attr];
+        let span = writers
+            .first()
+            .map(|w| match w {
+                StatementId::Rule(i) => program.rules[*i].head.span,
+                StatementId::Aggregate(i) => program.aggregates[*i].span,
+            })
+            .unwrap_or(Span::DUMMY);
+        let mut diag = Diagnostic::warning(
+            "W0003",
+            span,
+            format!(
+                "attribute `{attr}` may never be grounded: every statement deriving it is \
+                 dead or reads a never-grounded source"
+            ),
+        );
+        for w in writers.iter().skip(1) {
+            let s = match w {
+                StatementId::Rule(i) => program.rules[*i].head.span,
+                StatementId::Aggregate(i) => program.aggregates[*i].span,
+            };
+            diag = diag.with_related(s, format!("also derived by {}", w.label(program)));
+        }
+        out.push(diag);
+    }
+    for &i in &deps.unreachable_aggregates {
+        let agg = &program.aggregates[i];
+        out.push(Diagnostic::warning(
+            "W0003",
+            agg.span,
+            format!(
+                "aggregate `{}` is unreachable: its source `{}` may never be grounded",
+                agg.name, agg.source.attr
+            ),
+        ));
     }
 }
 
@@ -267,35 +364,6 @@ fn check_aggregate_shape(agg: &AggregateRule, out: &mut Vec<Diagnostic>) {
                     agg.name
                 ),
             ));
-        }
-    }
-}
-
-/// Two equality filters on the same attribute reference with distinct
-/// constants can never both hold: the condition is unsatisfiable.
-fn check_unsatisfiable_equalities(condition: &Condition, out: &mut Vec<Diagnostic>) {
-    for (i, a) in condition.comparisons.iter().enumerate() {
-        if a.op != CompareOp::Eq {
-            continue;
-        }
-        for b in condition.comparisons.iter().skip(i + 1) {
-            if b.op == CompareOp::Eq && a.attr == b.attr && a.value != b.value {
-                out.push(
-                    Diagnostic::error(
-                        "E0006",
-                        b.span,
-                        format!(
-                            "unsatisfiable condition: `{}` is required to equal both `{}` and \
-                             `{}`",
-                            a.attr, a.value, b.value
-                        ),
-                    )
-                    .with_related(
-                        a.span,
-                        format!("first required equal to `{}` here", a.value),
-                    ),
-                );
-            }
         }
     }
 }
@@ -557,6 +625,184 @@ fn render_excerpt(index: &LineIndex<'_>, span: Span, out: &mut String) {
     ));
 }
 
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn span_json(index: &LineIndex<'_>, span: Span) -> String {
+    let pos = index.position(span.start);
+    format!(
+        r#"{{ "start": {}, "end": {}, "line": {}, "column": {} }}"#,
+        span.start, span.end, pos.line, pos.column
+    )
+}
+
+/// Render diagnostics as a stable machine-readable JSON document:
+/// `{ "errors": N, "warnings": M, "diagnostics": [ { "code", "severity",
+/// "message", "span": { "start", "end", "line", "column" }, "related":
+/// [ { "label", "span" } ] } ] }`. Spans carry both byte offsets and
+/// 1-based line/column. Field order and shape are part of the
+/// `carl-check --json` contract and covered by golden snapshots.
+pub fn diagnostics_to_json(source: &str, diagnostics: &[Diagnostic]) -> String {
+    let index = LineIndex::new(source);
+    let errors = diagnostics.iter().filter(|d| d.is_error()).count();
+    let warnings = diagnostics.len() - errors;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"errors\": {errors},\n"));
+    out.push_str(&format!("  \"warnings\": {warnings},\n"));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n");
+        out.push_str(&format!("      \"code\": \"{}\",\n", json_escape(d.code)));
+        out.push_str(&format!("      \"severity\": \"{}\",\n", d.severity));
+        out.push_str(&format!(
+            "      \"message\": \"{}\",\n",
+            json_escape(&d.message)
+        ));
+        out.push_str(&format!("      \"span\": {},\n", span_json(&index, d.span)));
+        out.push_str("      \"related\": [");
+        for (j, (span, label)) in d.related.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n        {{ \"label\": \"{}\", \"span\": {} }}",
+                json_escape(label),
+                span_json(&index, *span)
+            ));
+        }
+        if !d.related.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }");
+    }
+    if !diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}");
+    out
+}
+
+/// Long-form prose for a diagnostic code, for `carl-check --explain`.
+/// Returns `None` for codes this crate does not own (the schema-aware
+/// `E01xx` family is explained by the engine crate).
+pub fn explain_code(code: &str) -> Option<&'static str> {
+    Some(match code {
+        "E0000" => {
+            "E0000: the source could not be parsed as a CaRL program.\n\n\
+             The file failed at the lexical or syntactic level before any\n\
+             semantic analysis ran — for example an unterminated string, a\n\
+             malformed number, or a statement that is neither a rule, an\n\
+             aggregate rule, nor a query. The message carries the exact\n\
+             position of the first offending token. Nothing after the parse\n\
+             error is analysed."
+        }
+        "E0001" => {
+            "E0001: a rule variable is unsafe (Definition 3.3 of the paper).\n\n\
+             Every variable appearing in the head or body of a causal rule\n\
+             must be bound by the rule's WHERE clause, so that grounding can\n\
+             enumerate its values from the database. A rule with no WHERE\n\
+             clause is allowed only when every body atom ranges over exactly\n\
+             the head variables."
+        }
+        "E0002" => {
+            "E0002: an aggregate rule is ill-shaped.\n\n\
+             The head arguments and the source attribute's variables of an\n\
+             aggregate rule (for example `AVG_Score[A] <= Score[S] WHERE\n\
+             Author(A, S)`) must all be bound by its WHERE clause; when the\n\
+             clause is omitted, head and source variables must coincide.\n\
+             Otherwise the grouping of source values under head units is\n\
+             undefined."
+        }
+        "E0003" => {
+            "E0003: an attribute is defined by both an aggregate rule and a\n\
+             causal rule.\n\n\
+             Aggregate heads are computed by folding source values per unit;\n\
+             causal-rule heads are grounded from rule bodies. One attribute\n\
+             cannot be both — the engine would have two conflicting\n\
+             definitions for the same grounded node."
+        }
+        "E0004" => {
+            "E0004: a causal query uses the same attribute as treatment and\n\
+             response.\n\n\
+             The effect of an attribute on itself is not a well-defined\n\
+             causal quantity; treatment and response must be distinct\n\
+             attributes."
+        }
+        "E0005" => {
+            "E0005: the relational causal model is recursive.\n\n\
+             The attribute dependency graph (edges from every body/source\n\
+             read to the statement's head) contains a cycle, which the\n\
+             diagnostic spells out. Grounding evaluates attributes in\n\
+             dependency order (causes before effects), so cyclic models are\n\
+             rejected. The related spans point at each defining statement on\n\
+             the cycle."
+        }
+        "E0006" => {
+            "E0006: a WHERE condition is statically unsatisfiable.\n\n\
+             Abstract interpretation of the condition's comparison chains —\n\
+             an interval/constant domain per attribute reference, under the\n\
+             database value model (integers and equal-valued floats compare\n\
+             equal; ordered comparisons require numeric operands; missing\n\
+             values never satisfy a comparison) — proves that no tuple of\n\
+             values can pass every comparison at once. Covered conflicts\n\
+             include: two equalities pinning distinct values, an equality\n\
+             plus a disequality on the same value, empty comparison\n\
+             intervals such as `X > 5, X < 2`, ordered comparisons against\n\
+             non-numeric constants, and equality-pinned values outside the\n\
+             proven interval. The condition passes no row on any database\n\
+             instance, so the statement or query it guards can never match."
+        }
+        "W0001" => {
+            "W0001: a condition variable is bound exactly once and never\n\
+             used.\n\n\
+             A variable bound by a single predicate atom and mentioned\n\
+             nowhere else does not constrain the query: it is usually a typo\n\
+             for a variable the author meant to join on. The binding atom is\n\
+             highlighted."
+        }
+        "W0002" => {
+            "W0002: a statement is dead.\n\n\
+             The statement's WHERE condition is statically unsatisfiable\n\
+             (see E0006), so the rule or aggregate can never fire on any\n\
+             database instance. The engine skips dead statements during\n\
+             grounding and ignores their comparison reads when deciding\n\
+             whether a commit may take the incremental patch fast path —\n\
+             both without changing results, since a dead statement\n\
+             contributes nothing."
+        }
+        "W0003" => {
+            "W0003: an attribute may never be grounded, or an aggregate is\n\
+             unreachable.\n\n\
+             A derived attribute whose every defining statement is dead (or\n\
+             itself reads a never-grounded source) will never receive\n\
+             grounded nodes from those statements. An aggregate whose source\n\
+             attribute is never grounded folds over observed values only —\n\
+             or over nothing at all. Either way the program text promises a\n\
+             derivation that cannot happen; the dead upstream statements are\n\
+             the root cause."
+        }
+        _ => return None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -735,5 +981,92 @@ Score[S] <= Score[S]?
         let rendered = render_diagnostic("", &d);
         assert!(rendered.contains("error[E0001]: synthetic"));
         assert!(!rendered.contains("-->"));
+    }
+
+    #[test]
+    fn interval_conflicts_are_promoted_to_e0006() {
+        let src = "Score[S] <= Prestige[A] WHERE Author(A, S), Len[S] > 5.0, Len[S] < 2.0";
+        let prog = parse_program(src).unwrap();
+        let analysis = analyze_program(&prog);
+        let cs = codes(&analysis);
+        assert!(cs.contains(&"E0006"), "{cs:?}");
+        // The dead rule is also reported as W0002, anchored at the head.
+        let dead = analysis
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "W0002")
+            .expect("dead-rule warning");
+        assert_eq!(&src[dead.span.start..dead.span.end], "Score[S]");
+        assert_eq!(dead.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn cross_type_equal_literals_are_not_flagged() {
+        // 1 and 1.0 denote the same database value — not a conflict.
+        let prog =
+            parse_program("Score[S] <= Prestige[A] WHERE Author(A, S), Len[S] = 1, Len[S] = 1.0")
+                .unwrap();
+        assert!(analyze_program(&prog).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn never_grounded_and_unreachable_aggregates_warn_w0003() {
+        let src = "\
+Prestige[A] <= Qualification[A] WHERE Person(A)
+Quality[S] <= Prestige[A] WHERE Author(A, S), Score[S] > 5.0, Score[S] < 2.0
+AVG_Quality[A] <= Quality[S] WHERE Author(A, S)
+";
+        let prog = parse_program(src).unwrap();
+        let analysis = analyze_program(&prog);
+        let w3: Vec<&Diagnostic> = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "W0003")
+            .collect();
+        assert!(w3.iter().any(|d| d.message.contains("`Quality`")), "{w3:?}");
+        assert!(
+            w3.iter()
+                .any(|d| d.message.contains("`AVG_Quality` is unreachable")),
+            "{w3:?}"
+        );
+        // Only the intentionally dead rule errors; the program still has a
+        // topo order (deadness is not recursion).
+        assert!(analysis.topo_order.is_some());
+    }
+
+    #[test]
+    fn json_output_is_stable_and_escaped() {
+        let src = "Prestige[A] <= Qualification[A] WHERE Person(A)\n\
+                   Score[S] <= Prestige[A] WHERE Submission(S)\n";
+        let prog = parse_program(src).unwrap();
+        let analysis = analyze_program(&prog);
+        let json = diagnostics_to_json(src, &analysis.diagnostics);
+        assert!(json.contains("\"errors\": 1"), "{json}");
+        assert!(json.contains("\"code\": \"E0001\""), "{json}");
+        assert!(json.contains("\"severity\": \"error\""), "{json}");
+        assert!(json.contains("\"line\": 2"), "{json}");
+        // Messages with quotes/backslashes stay valid JSON.
+        let d = Diagnostic::error("E0001", Span::DUMMY, "a \"quoted\" \\ message\nline2");
+        let json = diagnostics_to_json("", &[d]);
+        assert!(json.contains(r#"a \"quoted\" \\ message\nline2"#), "{json}");
+        // Empty diagnostics render an empty array.
+        let json = diagnostics_to_json("", &[]);
+        assert!(json.contains("\"diagnostics\": []"), "{json}");
+    }
+
+    #[test]
+    fn every_owned_code_has_an_explanation() {
+        for code in [
+            "E0000", "E0001", "E0002", "E0003", "E0004", "E0005", "E0006", "W0001", "W0002",
+            "W0003",
+        ] {
+            let prose = explain_code(code).unwrap_or_else(|| panic!("no explanation for {code}"));
+            assert!(
+                prose.starts_with(code),
+                "{code} prose must lead with the code"
+            );
+        }
+        assert!(explain_code("E0101").is_none());
+        assert!(explain_code("bogus").is_none());
     }
 }

@@ -1,0 +1,1125 @@
+//! Whole-program dependency analysis for CaRL programs.
+//!
+//! Two cooperating analyses over a parsed [`Program`], both purely
+//! syntactic (no schema, no instance):
+//!
+//! 1. **Program dependency graph** — one attribute-level edge from every
+//!    read site (a rule-body attribute, a condition comparison, an
+//!    aggregate source) to the head attribute the enclosing statement
+//!    writes, with per-attribute provenance (who reads / who writes) and a
+//!    stratification assigning every attribute its causes-first layer.
+//! 2. **Abstract interpretation of conditions** — an interval/constant
+//!    domain over the comparison chains of each `WHERE` clause, proving
+//!    conditions **statically unsatisfiable** (no tuple of attribute
+//!    values can pass every comparison at once) or **value-bounded**
+//!    (every surviving row confines an attribute to a proven interval).
+//!
+//! The unsatisfiability proofs are *value-independent*: they follow from
+//! the comparison literals alone, under the exact runtime comparison
+//! semantics (missing values never satisfy a comparison; ordered
+//! operators require both sides to be numeric; equality follows the
+//! database value model, where integers and equal-valued floats compare
+//! equal). A condition proven empty here is empty over **every** instance,
+//! which is what lets downstream consumers prune grounding work and relax
+//! the incremental patch-safety screen without ever changing results.
+//!
+//! Schema-aware callers refine the domain through a [`DomainHint`]
+//! callback (booleans live in `{0, 1}`, integer attributes admit no
+//! fractional values, categorical attributes are never numeric); with the
+//! default [`DomainHint::Other`] every deduction is schema-free.
+
+use crate::ast::{AggregateRule, CausalRule, CompareOp, Comparison, Condition, Literal, Program};
+use crate::span::Span;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Domain hints.
+// ---------------------------------------------------------------------------
+
+/// Schema-supplied refinement of an attribute's value domain.
+///
+/// The language crate knows nothing about schemas; a schema-aware caller
+/// (the engine's analyzer) maps its declared domain types onto these hints
+/// to sharpen the abstract interpretation. [`DomainHint::Other`] disables
+/// every refinement and is always sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainHint {
+    /// Values are booleans (numerically `{0, 1}`).
+    Bool,
+    /// Values are 64-bit integers.
+    Int,
+    /// Values are reals (floats or integers).
+    Float,
+    /// Values are strings — never numeric, so ordered comparisons can
+    /// never hold.
+    Str,
+    /// Unknown domain: no refinement.
+    Other,
+}
+
+/// Whether two comparison literals denote the same database value (the
+/// value model treats integers and equal-valued floats as equal, so
+/// `= 1` and `= 1.0` constrain an attribute identically).
+pub fn literals_semantically_equal(a: &Literal, b: &Literal) -> bool {
+    match (a, b) {
+        (Literal::Bool(x), Literal::Bool(y)) => x == y,
+        (Literal::Str(x), Literal::Str(y)) => x == y,
+        (Literal::Int(x), Literal::Int(y)) => x == y,
+        (Literal::Float(x), Literal::Float(y)) => x.to_bits() == y.to_bits(),
+        (Literal::Int(x), Literal::Float(y)) | (Literal::Float(y), Literal::Int(x)) => {
+            (*x as f64).to_bits() == y.to_bits()
+        }
+        _ => false,
+    }
+}
+
+/// The numeric reading of a literal under the runtime's `as_f64`
+/// conversion (`true` → 1, `false` → 0, strings → not numeric).
+fn literal_f64(lit: &Literal) -> Option<f64> {
+    match lit {
+        Literal::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+        Literal::Int(i) => Some(*i as f64),
+        Literal::Float(f) => Some(*f),
+        Literal::Str(_) => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unsatisfiability proofs and condition facts.
+// ---------------------------------------------------------------------------
+
+/// How a condition was proven unsatisfiable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsatKind {
+    /// Two equality comparisons force the same reference to two distinct
+    /// values (the historical `E0006` shape).
+    EqPair,
+    /// An equality and a disequality name the same value.
+    EqNotEq,
+    /// An ordered comparison against a non-numeric constant (or, under a
+    /// [`DomainHint::Str`] refinement, against a string-valued attribute)
+    /// can never hold.
+    NonNumericOrdered,
+    /// An equality pins a value outside the interval the ordered
+    /// comparisons allow, or pins a value the attribute's domain cannot
+    /// hold.
+    EqOutsideBounds,
+    /// The ordered comparisons alone describe an empty interval (possibly
+    /// after integral tightening under a `Bool`/`Int` domain hint).
+    EmptyInterval,
+}
+
+/// A machine-checkable proof that a condition can never be satisfied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnsatProof {
+    /// Which deduction closed the proof.
+    pub kind: UnsatKind,
+    /// Human-readable statement of the conflict.
+    pub message: String,
+    /// The comparison that completed the conflict.
+    pub span: Span,
+    /// The other comparisons participating in the conflict, labelled.
+    pub related: Vec<(Span, String)>,
+}
+
+/// A one-sided numeric bound, `(value, inclusive)`.
+pub type Bound = (f64, bool);
+
+/// Proven value bounds for one attribute reference inside a condition:
+/// every row surviving the condition confines the referenced value to
+/// this set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrBounds {
+    /// Display form of the attribute reference, e.g. `Score[S]`.
+    pub attr: String,
+    /// Greatest proven lower bound, if any ordered comparison supplies one.
+    pub lower: Option<Bound>,
+    /// Least proven upper bound.
+    pub upper: Option<Bound>,
+    /// Equality-pinned constant, if an `=` comparison fixes the value.
+    pub constant: Option<Literal>,
+}
+
+impl fmt::Display for AttrBounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(c) = &self.constant {
+            return write!(f, "{} = {}", self.attr, c);
+        }
+        let lo = match self.lower {
+            Some((v, true)) => format!("[{v}"),
+            Some((v, false)) => format!("({v}"),
+            None => "(-inf".to_string(),
+        };
+        let hi = match self.upper {
+            Some((v, true)) => format!("{v}]"),
+            Some((v, false)) => format!("{v})"),
+            None => "+inf)".to_string(),
+        };
+        write!(f, "{} in {lo}, {hi}", self.attr)
+    }
+}
+
+/// The abstract-interpretation verdict for one `WHERE` condition.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConditionFact {
+    /// A proof the condition can never be satisfied, when one exists.
+    pub unsat: Option<UnsatProof>,
+    /// Per-reference value bounds for satisfiable conditions (empty when
+    /// the condition is proven empty — bounds over no rows are vacuous).
+    pub bounds: Vec<AttrBounds>,
+}
+
+impl ConditionFact {
+    /// Whether the condition is proven to pass no row.
+    pub fn is_empty_proven(&self) -> bool {
+        self.unsat.is_some()
+    }
+}
+
+/// Analyse one condition's comparison chains under a domain-hint callback.
+///
+/// Comparisons are grouped by attribute *reference* (attribute name plus
+/// argument terms): within one candidate row all comparisons of one
+/// reference observe the same value, so a contradiction inside a group
+/// kills every row.
+pub fn analyze_condition(
+    condition: &Condition,
+    hint: &dyn Fn(&str) -> DomainHint,
+) -> ConditionFact {
+    // Group comparisons by structural reference key, preserving source
+    // order within each group and ordering groups by first appearance.
+    let mut keys: Vec<String> = Vec::new();
+    let mut groups: BTreeMap<String, Vec<&Comparison>> = BTreeMap::new();
+    for cmp in &condition.comparisons {
+        let key = reference_key(cmp);
+        if !groups.contains_key(&key) {
+            keys.push(key.clone());
+        }
+        groups.entry(key).or_default().push(cmp);
+    }
+
+    let mut bounds = Vec::new();
+    for key in keys {
+        let group = &groups[&key];
+        match analyze_group(group, hint(&group[0].attr.attr)) {
+            Ok(Some(b)) => bounds.push(b),
+            Ok(None) => {}
+            Err(proof) => {
+                return ConditionFact {
+                    unsat: Some(proof),
+                    bounds: Vec::new(),
+                }
+            }
+        }
+    }
+    ConditionFact {
+        unsat: None,
+        bounds,
+    }
+}
+
+/// A structural grouping key for an attribute reference: name plus the
+/// exact argument terms (variables and constants kept distinct, so
+/// `A[X]` and `A["X"]` never share a group).
+fn reference_key(cmp: &Comparison) -> String {
+    use crate::ast::ArgTerm;
+    let mut key = cmp.attr.attr.clone();
+    for arg in &cmp.attr.args {
+        match arg {
+            ArgTerm::Var(v) => key.push_str(&format!("|v:{v}")),
+            ArgTerm::Const(c) => key.push_str(&format!("|c:{c:?}")),
+        }
+    }
+    key
+}
+
+/// Whether an `=`-comparison against `lit` can hold for *some* value of an
+/// attribute with domain `hint` (missing values never satisfy, so only
+/// admissible non-null values matter).
+fn eq_admissible(hint: DomainHint, lit: &Literal) -> bool {
+    // The exact integer a float compares equal to, if one exists.
+    let int_equivalent = |f: f64| -> Option<i64> {
+        if !f.is_finite() || f.fract() != 0.0 || f.abs() >= 9.2e18 {
+            return None;
+        }
+        let k = f as i64;
+        ((k as f64).to_bits() == f.to_bits()).then_some(k)
+    };
+    match hint {
+        DomainHint::Other => true,
+        DomainHint::Str => matches!(lit, Literal::Str(_)),
+        DomainHint::Float => matches!(lit, Literal::Int(_) | Literal::Float(_)),
+        DomainHint::Int => match lit {
+            Literal::Int(_) => true,
+            Literal::Float(f) => int_equivalent(*f).is_some(),
+            _ => false,
+        },
+        DomainHint::Bool => match lit {
+            Literal::Bool(_) => true,
+            Literal::Int(i) => *i == 0 || *i == 1,
+            Literal::Float(f) => matches!(int_equivalent(*f), Some(0 | 1)),
+            Literal::Str(_) => false,
+        },
+    }
+}
+
+/// Interval/constant analysis of all comparisons on one attribute
+/// reference. `Ok(Some(_))` carries proven bounds, `Ok(None)` means no
+/// usable fact, `Err(_)` is an unsatisfiability proof.
+fn analyze_group(
+    group: &[&Comparison],
+    hint: DomainHint,
+) -> Result<Option<AttrBounds>, UnsatProof> {
+    let display = group[0].attr.to_string();
+    let mut eqs: Vec<&Comparison> = Vec::new();
+    let mut neqs: Vec<&Comparison> = Vec::new();
+    // Tightest bounds seen so far, with the comparison that set each.
+    let mut lower: Option<(f64, bool, &Comparison)> = None;
+    let mut upper: Option<(f64, bool, &Comparison)> = None;
+
+    for cmp in group {
+        match cmp.op {
+            CompareOp::Eq => eqs.push(cmp),
+            CompareOp::NotEq => neqs.push(cmp),
+            CompareOp::Less | CompareOp::LessEq | CompareOp::Greater | CompareOp::GreaterEq => {
+                let Some(v) = literal_f64(&cmp.value) else {
+                    // Ordered comparison against a string constant:
+                    // `as_f64` of the constant is undefined, so the
+                    // comparison holds for no observed value.
+                    return Err(UnsatProof {
+                        kind: UnsatKind::NonNumericOrdered,
+                        message: format!(
+                            "unsatisfiable condition: `{cmp}` compares against a \
+                             non-numeric constant and can never hold"
+                        ),
+                        span: cmp.span,
+                        related: Vec::new(),
+                    });
+                };
+                if v.is_nan() {
+                    // No ordered comparison against NaN ever holds.
+                    return Err(UnsatProof {
+                        kind: UnsatKind::NonNumericOrdered,
+                        message: format!(
+                            "unsatisfiable condition: `{cmp}` compares against NaN \
+                             and can never hold"
+                        ),
+                        span: cmp.span,
+                        related: Vec::new(),
+                    });
+                }
+                if hint == DomainHint::Str {
+                    return Err(UnsatProof {
+                        kind: UnsatKind::NonNumericOrdered,
+                        message: format!(
+                            "unsatisfiable condition: `{cmp}` orders a string-valued \
+                             attribute and can never hold"
+                        ),
+                        span: cmp.span,
+                        related: Vec::new(),
+                    });
+                }
+                let strict = matches!(cmp.op, CompareOp::Less | CompareOp::Greater);
+                match cmp.op {
+                    CompareOp::Greater | CompareOp::GreaterEq => {
+                        let tighter = match lower {
+                            None => true,
+                            Some((lv, ls, _)) => v > lv || (v == lv && strict && !ls),
+                        };
+                        if tighter {
+                            lower = Some((v, strict, cmp));
+                        }
+                    }
+                    _ => {
+                        let tighter = match upper {
+                            None => true,
+                            Some((uv, us, _)) => v < uv || (v == uv && strict && !us),
+                        };
+                        if tighter {
+                            upper = Some((v, strict, cmp));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Conflicting equalities: two `=` pinning semantically distinct values.
+    for (i, a) in eqs.iter().enumerate() {
+        for b in eqs.iter().skip(i + 1) {
+            if !literals_semantically_equal(&a.value, &b.value) {
+                return Err(UnsatProof {
+                    kind: UnsatKind::EqPair,
+                    message: format!(
+                        "unsatisfiable condition: `{}` is required to equal both `{}` \
+                         and `{}`",
+                        a.attr, a.value, b.value
+                    ),
+                    span: b.span,
+                    related: vec![(
+                        a.span,
+                        format!("first required equal to `{}` here", a.value),
+                    )],
+                });
+            }
+        }
+    }
+    // An equality and a disequality naming the same value.
+    for eq in &eqs {
+        for neq in &neqs {
+            if literals_semantically_equal(&eq.value, &neq.value) {
+                return Err(UnsatProof {
+                    kind: UnsatKind::EqNotEq,
+                    message: format!(
+                        "unsatisfiable condition: `{}` is required to both equal and \
+                         differ from `{}`",
+                        eq.attr, eq.value
+                    ),
+                    span: neq.span,
+                    related: vec![(eq.span, "required equal here".to_string())],
+                });
+            }
+        }
+    }
+
+    // Equality-pinned value against the domain and the ordered interval.
+    if let Some(eq) = eqs.first() {
+        if !eq_admissible(hint, &eq.value) {
+            return Err(UnsatProof {
+                kind: UnsatKind::EqOutsideBounds,
+                message: format!(
+                    "unsatisfiable condition: `{eq}` pins a value outside the \
+                     attribute's declared domain"
+                ),
+                span: eq.span,
+                related: Vec::new(),
+            });
+        }
+        match literal_f64(&eq.value) {
+            Some(c) => {
+                let violates_lower = lower
+                    .map(|(lv, ls, _)| c < lv || (c == lv && ls))
+                    .unwrap_or(false);
+                let violates_upper = upper
+                    .map(|(uv, us, _)| c > uv || (c == uv && us))
+                    .unwrap_or(false);
+                if violates_lower || violates_upper {
+                    let (_, _, witness) = if violates_lower {
+                        lower.expect("violated bound exists")
+                    } else {
+                        upper.expect("violated bound exists")
+                    };
+                    return Err(UnsatProof {
+                        kind: UnsatKind::EqOutsideBounds,
+                        message: format!(
+                            "unsatisfiable condition: `{eq}` pins a value that \
+                             violates `{witness}`"
+                        ),
+                        span: witness.span,
+                        related: vec![(eq.span, "value pinned here".to_string())],
+                    });
+                }
+            }
+            None => {
+                // `= "<string>"` plus any ordered comparison: the ordered
+                // comparison needs a numeric observed value, the equality
+                // forbids one.
+                if let Some((_, _, witness)) = lower.or(upper) {
+                    return Err(UnsatProof {
+                        kind: UnsatKind::EqOutsideBounds,
+                        message: format!(
+                            "unsatisfiable condition: `{eq}` pins a non-numeric \
+                             value but `{witness}` requires a numeric one"
+                        ),
+                        span: witness.span,
+                        related: vec![(eq.span, "value pinned here".to_string())],
+                    });
+                }
+            }
+        }
+    }
+
+    // Interval emptiness, with integral tightening for Bool/Int domains.
+    let integral = matches!(hint, DomainHint::Bool | DomainHint::Int);
+    let mut lo = lower.map(|(v, s, c)| (v, s, Some(c)));
+    let mut hi = upper.map(|(v, s, c)| (v, s, Some(c)));
+    if hint == DomainHint::Bool {
+        // Boolean values are numerically 0 or 1.
+        if lo
+            .map(|(v, s, _)| v < 0.0 || (v == 0.0 && !s))
+            .unwrap_or(true)
+        {
+            lo = Some((0.0, false, lo.and_then(|(_, _, c)| c)));
+        }
+        if hi
+            .map(|(v, s, _)| v > 1.0 || (v == 1.0 && !s))
+            .unwrap_or(true)
+        {
+            hi = Some((1.0, false, hi.and_then(|(_, _, c)| c)));
+        }
+    }
+    if let (Some((lv, ls, lc)), Some((uv, us, uc))) = (lo, hi) {
+        let empty = if integral {
+            // Smallest admissible integer above the lower bound vs the
+            // largest below the upper bound.
+            let ilo = if ls { lv.floor() + 1.0 } else { lv.ceil() };
+            let ihi = if us { uv.ceil() - 1.0 } else { uv.floor() };
+            ilo > ihi
+        } else {
+            lv > uv || (lv == uv && (ls || us))
+        };
+        if empty {
+            // Prefer real comparison spans over synthetic domain clamps.
+            let witnesses: Vec<&Comparison> = [lc, uc].into_iter().flatten().collect();
+            let (span, related) = match witnesses.as_slice() {
+                [a, b] => (b.span, vec![(a.span, format!("conflicts with `{a}` here"))]),
+                [a] => (a.span, Vec::new()),
+                _ => (group[0].span, Vec::new()),
+            };
+            let domain_note = match hint {
+                DomainHint::Bool => " for a boolean attribute",
+                DomainHint::Int => " for an integer attribute",
+                _ => "",
+            };
+            return Err(UnsatProof {
+                kind: UnsatKind::EmptyInterval,
+                message: format!(
+                    "unsatisfiable condition: the comparisons on `{display}` describe \
+                     an empty interval{domain_note} — no value satisfies all of them"
+                ),
+                span,
+                related,
+            });
+        }
+    }
+
+    let constant = eqs.first().map(|c| c.value.clone());
+    if constant.is_none() && lower.is_none() && upper.is_none() {
+        return Ok(None);
+    }
+    Ok(Some(AttrBounds {
+        attr: display,
+        lower: lower.map(|(v, s, _)| (v, !s)),
+        upper: upper.map(|(v, s, _)| (v, !s)),
+        constant,
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// The program dependency graph.
+// ---------------------------------------------------------------------------
+
+/// Which kind of read feeds a dependency edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DepKind {
+    /// A rule-body attribute read (a direct cause).
+    Body,
+    /// A condition-comparison read (a population restriction).
+    Comparison,
+    /// An aggregate's source attribute read.
+    AggregateSource,
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepKind::Body => write!(f, "body"),
+            DepKind::Comparison => write!(f, "comparison"),
+            DepKind::AggregateSource => write!(f, "source"),
+        }
+    }
+}
+
+/// Identity of a defining statement inside a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StatementId {
+    /// `rules[i]`.
+    Rule(usize),
+    /// `aggregates[i]`.
+    Aggregate(usize),
+}
+
+impl StatementId {
+    /// The head attribute the statement writes.
+    pub fn head<'p>(&self, program: &'p Program) -> &'p str {
+        match self {
+            StatementId::Rule(i) => &program.rules[*i].head.attr,
+            StatementId::Aggregate(i) => &program.aggregates[*i].name,
+        }
+    }
+
+    /// Human-readable label, e.g. ``rule 2 (`Quality`)``.
+    pub fn label(&self, program: &Program) -> String {
+        match self {
+            StatementId::Rule(i) => format!("rule {} (`{}`)", i + 1, self.head(program)),
+            StatementId::Aggregate(i) => {
+                format!("aggregate {} (`{}`)", i + 1, self.head(program))
+            }
+        }
+    }
+}
+
+/// One attribute-level dependency edge: a read site feeding a head write.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepEdge {
+    /// Attribute being read.
+    pub from: String,
+    /// Head attribute being written.
+    pub to: String,
+    /// What kind of read this is.
+    pub kind: DepKind,
+    /// The statement the edge belongs to.
+    pub site: StatementId,
+    /// Source span of the read.
+    pub span: Span,
+}
+
+/// The whole-program analysis result: dependency edges, provenance,
+/// stratification, per-condition facts and the dead/never-grounded
+/// statement classification.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramDeps {
+    /// Every attribute-level dependency edge, in statement order.
+    pub edges: Vec<DepEdge>,
+    /// Per-attribute read provenance: every `(statement, kind, span)` that
+    /// reads the attribute.
+    pub readers: BTreeMap<String, Vec<(StatementId, DepKind, Span)>>,
+    /// Per-attribute write provenance: every statement whose head is the
+    /// attribute.
+    pub writers: BTreeMap<String, Vec<StatementId>>,
+    /// Stratum of every mentioned attribute (causes-first layering over
+    /// the dependency edges); `None` for attributes on a dependency cycle.
+    pub strata: BTreeMap<String, Option<usize>>,
+    /// Abstract-interpretation verdict per causal rule (program order).
+    pub rule_facts: Vec<ConditionFact>,
+    /// Verdict per aggregate rule (program order).
+    pub aggregate_facts: Vec<ConditionFact>,
+    /// Verdict per causal query (program order).
+    pub query_facts: Vec<ConditionFact>,
+    /// Derived attributes none of whose defining statements can ever fire.
+    pub never_grounded: BTreeSet<String>,
+    /// Live aggregates whose source attribute is never grounded (program
+    /// index into `aggregates`).
+    pub unreachable_aggregates: Vec<usize>,
+}
+
+impl ProgramDeps {
+    /// Analyse `program` without schema knowledge.
+    pub fn analyze(program: &Program) -> Self {
+        Self::analyze_with_hints(program, &|_| DomainHint::Other)
+    }
+
+    /// Analyse `program` with a schema-supplied domain-hint callback.
+    pub fn analyze_with_hints(program: &Program, hint: &dyn Fn(&str) -> DomainHint) -> Self {
+        let mut deps = ProgramDeps::default();
+
+        for (i, rule) in program.rules.iter().enumerate() {
+            let site = StatementId::Rule(i);
+            for body in &rule.body {
+                deps.add_edge(&body.attr, &rule.head.attr, DepKind::Body, site, body.span);
+            }
+            for cmp in &rule.condition.comparisons {
+                deps.add_edge(
+                    &cmp.attr.attr,
+                    &rule.head.attr,
+                    DepKind::Comparison,
+                    site,
+                    cmp.span,
+                );
+            }
+            deps.writers
+                .entry(rule.head.attr.clone())
+                .or_default()
+                .push(site);
+            deps.rule_facts
+                .push(analyze_condition(&rule.condition, hint));
+        }
+        for (i, agg) in program.aggregates.iter().enumerate() {
+            let site = StatementId::Aggregate(i);
+            deps.add_edge(
+                &agg.source.attr,
+                &agg.name,
+                DepKind::AggregateSource,
+                site,
+                agg.source.span,
+            );
+            for cmp in &agg.condition.comparisons {
+                deps.add_edge(
+                    &cmp.attr.attr,
+                    &agg.name,
+                    DepKind::Comparison,
+                    site,
+                    cmp.span,
+                );
+            }
+            deps.writers.entry(agg.name.clone()).or_default().push(site);
+            deps.aggregate_facts
+                .push(analyze_condition(&agg.condition, hint));
+        }
+        for q in &program.queries {
+            deps.query_facts.push(analyze_condition(&q.condition, hint));
+        }
+
+        deps.compute_strata(program);
+        deps.compute_reachability(program);
+        deps
+    }
+
+    /// Whether `rules[i]` can never fire (its condition is proven empty).
+    pub fn rule_dead(&self, i: usize) -> bool {
+        self.rule_facts[i].is_empty_proven()
+    }
+
+    /// Whether `aggregates[i]` can never fire.
+    pub fn aggregate_dead(&self, i: usize) -> bool {
+        self.aggregate_facts[i].is_empty_proven()
+    }
+
+    fn add_edge(&mut self, from: &str, to: &str, kind: DepKind, site: StatementId, span: Span) {
+        self.edges.push(DepEdge {
+            from: from.to_string(),
+            to: to.to_string(),
+            kind,
+            site,
+            span,
+        });
+        self.readers
+            .entry(from.to_string())
+            .or_default()
+            .push((site, kind, span));
+        // Heads with no readers still appear in the strata, so register
+        // them lazily in `compute_strata` instead.
+    }
+
+    /// Causes-first layering: stratum 0 for attributes with no
+    /// dependencies, `1 + max(stratum of reads)` otherwise; `None` for
+    /// attributes on a cycle (the fixpoint never settles for them).
+    fn compute_strata(&mut self, program: &Program) {
+        let mut attrs: BTreeSet<String> = BTreeSet::new();
+        for e in &self.edges {
+            attrs.insert(e.from.clone());
+            attrs.insert(e.to.clone());
+        }
+        for a in program.mentioned_attributes() {
+            attrs.insert(a);
+        }
+        // Incoming reads per head attribute.
+        let mut preds: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for e in &self.edges {
+            preds
+                .entry(e.to.as_str())
+                .or_default()
+                .insert(e.from.as_str());
+        }
+        let mut strata: BTreeMap<String, Option<usize>> =
+            attrs.iter().map(|a| (a.clone(), None)).collect();
+        // Kahn-style rounds: an attribute settles once every predecessor
+        // has; at most |attrs| rounds are ever needed, and whatever never
+        // settles sits on (or downstream of) a cycle.
+        for _ in 0..attrs.len() {
+            let mut changed = false;
+            for attr in &attrs {
+                if strata[attr].is_some() {
+                    continue;
+                }
+                let ps = preds.get(attr.as_str());
+                let settled: Option<usize> = match ps {
+                    None => Some(0),
+                    Some(ps) => {
+                        let mut level = 0usize;
+                        let mut all = true;
+                        for p in ps {
+                            if p == attr {
+                                all = false; // self-loop: never settles
+                                break;
+                            }
+                            match strata.get(*p).copied().flatten() {
+                                Some(s) => level = level.max(s + 1),
+                                None => {
+                                    all = false;
+                                    break;
+                                }
+                            }
+                        }
+                        all.then_some(level)
+                    }
+                };
+                if let Some(level) = settled {
+                    strata.insert(attr.clone(), Some(level));
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.strata = strata;
+    }
+
+    /// Never-grounded attributes and unreachable aggregates.
+    ///
+    /// A derived attribute (one with at least one defining statement) is
+    /// *never grounded* when every statement defining it is dead. A live
+    /// aggregate is *unreachable* when its source attribute is never
+    /// grounded — it may then fold over observed values only, or over
+    /// nothing at all.
+    fn compute_reachability(&mut self, program: &Program) {
+        // Fixpoint: deadness of aggregates can cascade through
+        // aggregate-over-aggregate chains.
+        let mut never: BTreeSet<String> = BTreeSet::new();
+        loop {
+            let mut changed = false;
+            for (attr, writers) in &self.writers {
+                if never.contains(attr) {
+                    continue;
+                }
+                let all_out = writers.iter().all(|w| match w {
+                    StatementId::Rule(i) => self.rule_dead(*i),
+                    StatementId::Aggregate(i) => {
+                        self.aggregate_dead(*i)
+                            || never.contains(&program.aggregates[*i].source.attr)
+                    }
+                });
+                if all_out {
+                    never.insert(attr.clone());
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.unreachable_aggregates = program
+            .aggregates
+            .iter()
+            .enumerate()
+            .filter(|(i, agg)| !self.aggregate_dead(*i) && never.contains(&agg.source.attr))
+            .map(|(i, _)| i)
+            .collect();
+        self.never_grounded = never;
+    }
+
+    /// Render the dependency report (edges, strata, condition facts) for
+    /// `carl-check --report deps`. Patch-safety classification is appended
+    /// by the schema-aware engine layer, which owns that analysis.
+    pub fn render(&self, program: &Program) -> String {
+        let mut out = format!(
+            "dependency report: {} rule(s), {} aggregate(s), {} query(ies)\n\n",
+            program.rules.len(),
+            program.aggregates.len(),
+            program.queries.len()
+        );
+
+        out.push_str("attribute dependency edges:\n");
+        if self.edges.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for e in &self.edges {
+            out.push_str(&format!(
+                "  {} -> {}  [{}]  in {}\n",
+                e.from,
+                e.to,
+                e.kind,
+                e.site.label(program)
+            ));
+        }
+
+        out.push_str("\nstrata (causes before effects):\n");
+        let mut by_level: BTreeMap<usize, Vec<&str>> = BTreeMap::new();
+        let mut cyclic: Vec<&str> = Vec::new();
+        for (attr, stratum) in &self.strata {
+            match stratum {
+                Some(level) => by_level.entry(*level).or_default().push(attr),
+                None => cyclic.push(attr),
+            }
+        }
+        for (level, attrs) in &by_level {
+            out.push_str(&format!("  {level}: {}\n", attrs.join(", ")));
+        }
+        if !cyclic.is_empty() {
+            out.push_str(&format!("  cyclic (no stratum): {}\n", cyclic.join(", ")));
+        }
+
+        out.push_str("\ncondition facts:\n");
+        let mut any = false;
+        let statements = self
+            .rule_facts
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (StatementId::Rule(i), f))
+            .chain(
+                self.aggregate_facts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| (StatementId::Aggregate(i), f)),
+            );
+        for (site, fact) in statements {
+            if let Some(proof) = &fact.unsat {
+                out.push_str(&format!(
+                    "  {}: proven empty — {}\n",
+                    site.label(program),
+                    proof.message
+                ));
+                any = true;
+            }
+            for b in &fact.bounds {
+                out.push_str(&format!("  {}: {}\n", site.label(program), b));
+                any = true;
+            }
+        }
+        for attr in &self.never_grounded {
+            out.push_str(&format!("  `{attr}` is never grounded\n"));
+            any = true;
+        }
+        for &i in &self.unreachable_aggregates {
+            out.push_str(&format!(
+                "  {} is unreachable (source `{}` is never grounded)\n",
+                StatementId::Aggregate(i).label(program),
+                program.aggregates[i].source.attr
+            ));
+            any = true;
+        }
+        if !any {
+            out.push_str("  (no statically-derived facts)\n");
+        }
+        out
+    }
+}
+
+/// Convenience access to the statements of a program in
+/// rules-then-aggregates order, paired with their condition.
+pub fn statement_conditions(program: &Program) -> impl Iterator<Item = (StatementId, &Condition)> {
+    program
+        .rules
+        .iter()
+        .enumerate()
+        .map(|(i, r): (usize, &CausalRule)| (StatementId::Rule(i), &r.condition))
+        .chain(
+            program
+                .aggregates
+                .iter()
+                .enumerate()
+                .map(|(i, a): (usize, &AggregateRule)| (StatementId::Aggregate(i), &a.condition)),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn no_hint(_: &str) -> DomainHint {
+        DomainHint::Other
+    }
+
+    fn fact_of(src: &str) -> ConditionFact {
+        let prog = parse_program(src).unwrap();
+        analyze_condition(&prog.rules[0].condition, &no_hint)
+    }
+
+    #[test]
+    fn satisfiable_chains_produce_bounds_not_proofs() {
+        let fact = fact_of("Score[S] <= Prestige[A] WHERE Author(A, S), Len[S] >= 1, Len[S] != 3");
+        assert!(fact.unsat.is_none());
+        assert_eq!(fact.bounds.len(), 1);
+        assert_eq!(fact.bounds[0].lower, Some((1.0, true)));
+        assert_eq!(fact.bounds[0].upper, None);
+
+        let fact =
+            fact_of("Score[S] <= Prestige[A] WHERE Author(A, S), Len[S] >= 1.0, Len[S] <= 1.0");
+        assert!(
+            fact.unsat.is_none(),
+            "touching inclusive bounds are satisfiable"
+        );
+    }
+
+    #[test]
+    fn empty_intervals_are_proven() {
+        let fact =
+            fact_of("Score[S] <= Prestige[A] WHERE Author(A, S), Len[S] > 5.0, Len[S] < 2.0");
+        let proof = fact.unsat.expect("empty interval");
+        assert_eq!(proof.kind, UnsatKind::EmptyInterval);
+        assert_eq!(proof.related.len(), 1);
+
+        // Touching bounds with strictness on either side.
+        let fact =
+            fact_of("Score[S] <= Prestige[A] WHERE Author(A, S), Len[S] >= 2.0, Len[S] < 2.0");
+        assert_eq!(fact.unsat.unwrap().kind, UnsatKind::EmptyInterval);
+    }
+
+    #[test]
+    fn eq_conflicts_respect_value_semantics() {
+        // 1 and 1.0 denote the same database value: satisfiable.
+        let fact = fact_of("Score[S] <= Prestige[A] WHERE Author(A, S), Len[S] = 1, Len[S] = 1.0");
+        assert!(fact.unsat.is_none());
+
+        let fact = fact_of("Score[S] <= Prestige[A] WHERE Author(A, S), Len[S] = 1, Len[S] = 2");
+        assert_eq!(fact.unsat.unwrap().kind, UnsatKind::EqPair);
+
+        // = v plus != v.
+        let fact = fact_of("Score[S] <= Prestige[A] WHERE Author(A, S), Len[S] = 3, Len[S] != 3.0");
+        assert_eq!(fact.unsat.unwrap().kind, UnsatKind::EqNotEq);
+    }
+
+    #[test]
+    fn eq_outside_interval_and_non_numeric_cases() {
+        let fact = fact_of("Score[S] <= Prestige[A] WHERE Author(A, S), Len[S] = 1, Len[S] > 4.0");
+        assert_eq!(fact.unsat.unwrap().kind, UnsatKind::EqOutsideBounds);
+
+        // Ordered comparison against a string constant.
+        let fact = fact_of(r#"Score[S] <= Prestige[A] WHERE Author(A, S), Name[S] > "abc""#);
+        assert_eq!(fact.unsat.unwrap().kind, UnsatKind::NonNumericOrdered);
+
+        // Eq-pinned string plus an ordered comparison.
+        let fact =
+            fact_of(r#"Score[S] <= Prestige[A] WHERE Author(A, S), Name[S] = "x", Name[S] < 9.0"#);
+        assert_eq!(fact.unsat.unwrap().kind, UnsatKind::EqOutsideBounds);
+    }
+
+    #[test]
+    fn distinct_references_never_conflict() {
+        // Same attribute, different argument: no shared group.
+        let fact =
+            fact_of("Score[S] <= Prestige[A] WHERE Author(A, S), Len[S] > 5.0, Len[A] < 2.0");
+        assert!(fact.unsat.is_none());
+        assert_eq!(fact.bounds.len(), 2);
+    }
+
+    #[test]
+    fn domain_hints_tighten_integral_intervals() {
+        let prog =
+            parse_program("Score[S] <= Prestige[A] WHERE Author(A, S), Len[S] > 1.0, Len[S] < 2.0")
+                .unwrap();
+        let cond = &prog.rules[0].condition;
+        // Real interval (1, 2) is non-empty…
+        assert!(analyze_condition(cond, &no_hint).unsat.is_none());
+        // …but holds no integer.
+        let int_hint = |_: &str| DomainHint::Int;
+        assert_eq!(
+            analyze_condition(cond, &int_hint).unsat.unwrap().kind,
+            UnsatKind::EmptyInterval
+        );
+
+        // Booleans live in {0, 1}.
+        let prog =
+            parse_program("Score[S] <= Prestige[A] WHERE Author(A, S), Blind[S] >= 2.0").unwrap();
+        let bool_hint = |_: &str| DomainHint::Bool;
+        assert_eq!(
+            analyze_condition(&prog.rules[0].condition, &bool_hint)
+                .unsat
+                .unwrap()
+                .kind,
+            UnsatKind::EmptyInterval
+        );
+        // But = true is fine.
+        let prog =
+            parse_program("Score[S] <= Prestige[A] WHERE Author(A, S), Blind[S] = true").unwrap();
+        assert!(analyze_condition(&prog.rules[0].condition, &bool_hint)
+            .unsat
+            .is_none());
+    }
+
+    #[test]
+    fn string_domain_rejects_ordering() {
+        let prog =
+            parse_program("Score[S] <= Prestige[A] WHERE Author(A, S), Cat[S] > 3.0").unwrap();
+        let str_hint = |_: &str| DomainHint::Str;
+        assert_eq!(
+            analyze_condition(&prog.rules[0].condition, &str_hint)
+                .unsat
+                .unwrap()
+                .kind,
+            UnsatKind::NonNumericOrdered
+        );
+    }
+
+    #[test]
+    fn dependency_graph_edges_strata_and_provenance() {
+        let prog = parse_program(
+            r#"
+            Prestige[A]  <= Qualification[A]              WHERE Person(A)
+            Score[S]     <= Prestige[A]                   WHERE Author(A, S), Blind[S] = false
+            AVG_Score[A] <= Score[S]                      WHERE Author(A, S)
+            "#,
+        )
+        .unwrap();
+        let deps = ProgramDeps::analyze(&prog);
+        assert_eq!(deps.edges.len(), 4);
+        let kinds: Vec<DepKind> = deps.edges.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                DepKind::Body,
+                DepKind::Body,
+                DepKind::Comparison,
+                DepKind::AggregateSource
+            ]
+        );
+        assert_eq!(deps.strata["Qualification"], Some(0));
+        assert_eq!(deps.strata["Prestige"], Some(1));
+        assert_eq!(deps.strata["Score"], Some(2));
+        assert_eq!(deps.strata["AVG_Score"], Some(3));
+        assert_eq!(deps.readers["Score"].len(), 1);
+        assert_eq!(deps.writers["Score"], vec![StatementId::Rule(1)]);
+        assert!(deps.never_grounded.is_empty());
+        assert!(deps.unreachable_aggregates.is_empty());
+        // The rendered report mentions every section.
+        let report = deps.render(&prog);
+        assert!(report.contains("attribute dependency edges:"), "{report}");
+        assert!(report.contains("strata"), "{report}");
+        assert!(
+            report.contains("Blind = false") || report.contains("Blind[S] = false"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn cyclic_programs_get_no_strata_but_never_panic() {
+        let prog = parse_program(
+            "A[X] <= B[X] WHERE Person(X)\n\
+             B[X] <= C[X] WHERE Person(X)\n\
+             C[X] <= A[X] WHERE Person(X)\n",
+        )
+        .unwrap();
+        let deps = ProgramDeps::analyze(&prog);
+        assert_eq!(deps.strata["A"], None);
+        assert_eq!(deps.strata["B"], None);
+        assert_eq!(deps.strata["C"], None);
+        let report = deps.render(&prog);
+        assert!(report.contains("cyclic"), "{report}");
+    }
+
+    #[test]
+    fn dead_statements_drive_reachability() {
+        let prog = parse_program(
+            r#"
+            Prestige[A]  <= Qualification[A] WHERE Person(A)
+            Quality[S]   <= Prestige[A]      WHERE Author(A, S), Score[S] > 5.0, Score[S] < 2.0
+            AVG_Quality[A] <= Quality[S]     WHERE Author(A, S)
+            "#,
+        )
+        .unwrap();
+        let deps = ProgramDeps::analyze(&prog);
+        assert!(!deps.rule_dead(0));
+        assert!(deps.rule_dead(1));
+        assert!(!deps.aggregate_dead(0));
+        assert!(deps.never_grounded.contains("Quality"));
+        assert_eq!(deps.unreachable_aggregates, vec![0]);
+        // An aggregate over an aggregate cascades.
+        let prog = parse_program(
+            r#"
+            Quality[S]    <= Prestige[A]   WHERE Author(A, S), Score[S] > 5.0, Score[S] < 2.0
+            AVG_Quality[A] <= Quality[S]   WHERE Author(A, S)
+            MAX_Quality[A] <= AVG_Quality[A] WHERE Person(A)
+            "#,
+        )
+        .unwrap();
+        let deps = ProgramDeps::analyze(&prog);
+        assert!(deps.never_grounded.contains("Quality"));
+        assert!(deps.never_grounded.contains("AVG_Quality"));
+        // Both aggregates are unreachable: the first reads the dead rule's
+        // head directly, the second reads the first's (never-derived) head.
+        assert_eq!(deps.unreachable_aggregates, vec![0, 1]);
+    }
+}

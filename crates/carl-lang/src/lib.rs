@@ -55,6 +55,7 @@
 
 pub mod analyze;
 pub mod ast;
+pub mod deps;
 pub mod error;
 pub mod lexer;
 pub mod parser;
@@ -64,11 +65,16 @@ pub mod token;
 pub mod validate;
 
 pub use analyze::{
-    analyze_program, render_diagnostic, render_diagnostics, Analysis, Diagnostic, Severity,
+    analyze_program, diagnostics_to_json, explain_code, render_diagnostic, render_diagnostics,
+    Analysis, Diagnostic, Severity,
 };
 pub use ast::{
     AggName, AggregateRule, ArgTerm, AttrRef, CausalQuery, CausalRule, CompareOp, Comparison,
     Condition, Literal, PeerCondition, Program, QueryAtom, Statement,
+};
+pub use deps::{
+    AttrBounds, ConditionFact, DepEdge, DepKind, DomainHint, ProgramDeps, StatementId, UnsatKind,
+    UnsatProof,
 };
 pub use error::{LangError, LangResult, Position};
 pub use parser::{parse_program, parse_query, parse_rule};

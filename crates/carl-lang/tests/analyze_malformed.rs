@@ -1,9 +1,10 @@
 //! Property-based tests for the error-collecting analyzer over *malformed*
 //! CaRL programs: randomly generated defect mixes (unbound variables,
-//! recursive rule pairs, disconnected aggregates, unsatisfiable filters,
-//! self-treatment queries) must each surface as a diagnostic with the right
-//! code, the analyzer must never panic, and every reported span must lie
-//! inside the source text.
+//! recursive pairs/triangles/multi-hop cycles, disconnected aggregates,
+//! unsatisfiable equality filters and interval conflicts, self-treatment
+//! queries) must each surface as a diagnostic with the right code, the
+//! analyzer and the whole-program dependency analysis must never panic, and
+//! every reported span must lie inside the source text.
 
 use carl_lang::analyze::analyze_program;
 use carl_lang::parse_program;
@@ -22,8 +23,14 @@ enum Defect {
     DisconnectedAggregate,
     /// Two equality filters forcing one attribute to two constants → E0006.
     UnsatisfiableFilters,
+    /// Ordered comparisons whose intervals cannot overlap → E0006.
+    IntervalConflict,
     /// A query using one attribute as both treatment and response → E0004.
     SelfTreatmentQuery,
+    /// A three-rule dependency triangle → E0005.
+    TriangleCycle,
+    /// A four-rule dependency cycle → E0005.
+    MultiHopCycle,
 }
 
 impl Defect {
@@ -33,8 +40,20 @@ impl Defect {
             Defect::RecursivePair => "E0005",
             Defect::DisconnectedAggregate => "E0002",
             Defect::UnsatisfiableFilters => "E0006",
+            Defect::IntervalConflict => "E0006",
             Defect::SelfTreatmentQuery => "E0004",
+            Defect::TriangleCycle => "E0005",
+            Defect::MultiHopCycle => "E0005",
         }
+    }
+
+    /// Whether the defect introduces a rule-dependency cycle (and therefore
+    /// suppresses the topological order).
+    fn is_cycle(self) -> bool {
+        matches!(
+            self,
+            Defect::RecursivePair | Defect::TriangleCycle | Defect::MultiHopCycle
+        )
     }
 
     /// Render the defect as source text, using names namespaced by `i`.
@@ -55,8 +74,29 @@ impl Defect {
             Defect::UnsatisfiableFilters => {
                 format!("Fa{i}[S] <= Fb{i}[A] WHERE Fq{i}(A, S), Fw{i}[A] = 1, Fw{i}[A] = 2\n")
             }
+            Defect::IntervalConflict => {
+                format!(
+                    "Ia{i}[S] <= Ib{i}[A] WHERE Iq{i}(A, S), \
+                     Iw{i}[A] > 5.0, Iw{i}[A] < 2.0\n"
+                )
+            }
             Defect::SelfTreatmentQuery => {
                 format!("Qq{i}[X] <= Qq{i}[Y]?\n")
+            }
+            Defect::TriangleCycle => {
+                format!(
+                    "Ta{i}[V] <= Tb{i}[V] WHERE Tp{i}(V)\n\
+                     Tb{i}[V] <= Tc{i}[V] WHERE Tp{i}(V)\n\
+                     Tc{i}[V] <= Ta{i}[V] WHERE Tp{i}(V)\n"
+                )
+            }
+            Defect::MultiHopCycle => {
+                format!(
+                    "Ma{i}[V] <= Mb{i}[V] WHERE Mp{i}(V)\n\
+                     Mb{i}[V] <= Mc{i}[V] WHERE Mp{i}(V)\n\
+                     Mc{i}[V] <= Md{i}[V] WHERE Mp{i}(V)\n\
+                     Md{i}[V] <= Ma{i}[V] WHERE Mp{i}(V)\n"
+                )
             }
         }
     }
@@ -68,7 +108,10 @@ fn arb_defect() -> impl Strategy<Value = Defect> {
         Just(Defect::RecursivePair),
         Just(Defect::DisconnectedAggregate),
         Just(Defect::UnsatisfiableFilters),
+        Just(Defect::IntervalConflict),
         Just(Defect::SelfTreatmentQuery),
+        Just(Defect::TriangleCycle),
+        Just(Defect::MultiHopCycle),
     ]
 }
 
@@ -116,10 +159,24 @@ proptest! {
                 prop_assert!(span.end <= src.len(), "related span out of bounds");
             }
         }
-        // Defect programs with a cycle must not produce a topo order.
-        if defects.contains(&Defect::RecursivePair) {
-            prop_assert!(analysis.topo_order.is_none());
+        // The topological order exists exactly when no cycle defect was
+        // injected: no other defect kind creates a dependency cycle.
+        let has_cycle = defects.iter().any(|d| d.is_cycle());
+        prop_assert_eq!(
+            analysis.topo_order.is_none(),
+            has_cycle,
+            "topo order presence disagrees with cycle defects in:\n{}", src,
+        );
+        // The whole-program dependency analysis must never panic on malformed
+        // input, and its dead/unreachable verdicts must cover every statement.
+        let deps = carl_lang::ProgramDeps::analyze(&program);
+        for i in 0..program.rules.len() {
+            let _ = deps.rule_dead(i);
         }
+        for i in 0..program.aggregates.len() {
+            let _ = deps.aggregate_dead(i);
+        }
+        let _ = deps.render(&program);
     }
 
     /// The analyzer never panics on anything the parser accepts, and spans
@@ -132,6 +189,9 @@ proptest! {
                 prop_assert!(diag.span.end <= input.len());
                 prop_assert!(diag.span.start <= diag.span.end);
             }
+            // The dependency analysis and its report must be total too.
+            let deps = carl_lang::ProgramDeps::analyze(&program);
+            let _ = deps.render(&program);
         }
     }
 }

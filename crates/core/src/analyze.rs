@@ -26,8 +26,10 @@
 
 use crate::error::CarlError;
 use crate::model::literal_to_value;
-use carl_lang::{analyze_program, ArgTerm, AttrRef, Condition, Diagnostic, Program};
-use reldb::{PredicateKind, RelationalSchema};
+use carl_lang::{
+    analyze_program, ArgTerm, AttrRef, Condition, Diagnostic, DomainHint, Program, ProgramDeps,
+};
+use reldb::{DomainType, PredicateKind, RelationalSchema};
 use std::collections::HashMap;
 
 /// One schema-aware finding: a renderable [`Diagnostic`] plus, when the
@@ -328,6 +330,89 @@ pub fn analyze(schema: &RelationalSchema, program: &Program) -> Vec<Diagnostic> 
     );
     diagnostics.sort_by_key(|d| (d.span.start, d.span.end));
     diagnostics
+}
+
+/// Map a schema's declared [`DomainType`]s onto the language crate's
+/// [`DomainHint`]s for the abstract-interpretation pass. Instances enforce
+/// domain admissibility on every write, so refining the analysis by the
+/// declared domain is sound at runtime: a condition proven empty for every
+/// admissible value is empty for every storable value.
+pub(crate) fn domain_hints(schema: &RelationalSchema) -> impl Fn(&str) -> DomainHint + '_ {
+    move |attr: &str| match schema.attribute(attr).map(|def| def.domain) {
+        Some(DomainType::Bool) => DomainHint::Bool,
+        Some(DomainType::Int) => DomainHint::Int,
+        Some(DomainType::Float) => DomainHint::Float,
+        Some(DomainType::Categorical) => DomainHint::Str,
+        // Aggregate-defined or unknown attributes: no refinement.
+        None => DomainHint::Other,
+    }
+}
+
+/// Schema-refined whole-program dependency analysis: the language-level
+/// [`ProgramDeps`] with every condition comparison interpreted under the
+/// attribute's declared domain.
+pub fn deps_with_schema(schema: &RelationalSchema, program: &Program) -> ProgramDeps {
+    ProgramDeps::analyze_with_hints(program, &domain_hints(schema))
+}
+
+/// Render the full `carl-check --report deps` report: dependency edges,
+/// stratification, condition facts, and the precomputed patch-safety
+/// classification the incremental-commit screen uses.
+pub fn deps_report(schema: &RelationalSchema, program: &Program) -> String {
+    let deps = deps_with_schema(schema, program);
+    let mut out = deps.render(program);
+    out.push_str("\npatch safety (incremental-commit screen):\n");
+    match crate::model::RelationalCausalModel::new(schema.clone(), program.clone()) {
+        Ok(model) => out.push_str(&crate::ground::PatchSafety::of(&model).render()),
+        Err(e) => out.push_str(&format!("  unavailable: model construction failed ({e})\n")),
+    }
+    out
+}
+
+/// Long-form prose for any diagnostic code `carl-check` can emit: the
+/// language-level codes (`E0000`–`E0006`, `W0001`–`W0003`) plus the
+/// schema-aware family this crate owns.
+pub fn explain_code(code: &str) -> Option<&'static str> {
+    if let Some(prose) = carl_lang::explain_code(code) {
+        return Some(prose);
+    }
+    Some(match code {
+        "E0101" => {
+            "E0101: a WHERE clause references an undeclared predicate.\n\n\
+             Every predicate atom must name an entity class or relationship\n\
+             declared by the schema; grounding has no relation to scan\n\
+             otherwise."
+        }
+        "E0102" => {
+            "E0102: an attribute is neither declared by the schema nor\n\
+             defined by an aggregate rule.\n\n\
+             Attribute references resolve against the schema first, then\n\
+             against aggregate heads; a name matching neither cannot be\n\
+             grounded or queried."
+        }
+        "E0103" => {
+            "E0103: an attribute or predicate reference has the wrong\n\
+             arity.\n\n\
+             The number of argument terms must match the declared arity of\n\
+             the attribute's subject predicate (or of the predicate itself\n\
+             for condition atoms)."
+        }
+        "E0104" => {
+            "E0104: a comparison constant is inadmissible for the\n\
+             attribute's declared domain.\n\n\
+             For example comparing a boolean attribute to a string. The\n\
+             instance enforces domain admissibility on every write, so such\n\
+             a filter can never hold. Lint-only: the program still runs (the\n\
+             filter simply matches nothing)."
+        }
+        "W0102" => {
+            "W0102: an aggregate rule shadows a schema attribute of the same\n\
+             name.\n\n\
+             Subject resolution prefers the declared attribute everywhere,\n\
+             so the aggregate rule silently loses; rename one of the two."
+        }
+        _ => return None,
+    })
 }
 
 #[cfg(test)]

@@ -7,35 +7,66 @@
 //! `carl-check` reports *all* defects in one run.
 //!
 //! ```text
-//! carl-check program.carl            # against the paper's review schema
+//! carl-check program.carl              # against the paper's review schema
 //! carl-check --no-schema program.carl  # syntax + language checks only
+//! carl-check --json program.carl       # machine-readable diagnostics
+//! carl-check --report deps program.carl  # dependency/analysis report
+//! carl-check --explain E0006           # prose for a diagnostic code
 //! ```
 //!
 //! Exit status: 0 when no errors (warnings allowed), 1 when any
 //! error-severity diagnostic was reported, 2 on usage, I/O or parse
-//! failures.
+//! failures. `--json` keeps the same exit semantics, emitting the parse
+//! error as an `E0000` diagnostic object before exiting 2.
 
-use carl_lang::{parse_program, render_diagnostics, Diagnostic, Span};
+use carl_lang::{diagnostics_to_json, parse_program, render_diagnostics, Diagnostic, Span};
 use reldb::RelationalSchema;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: carl-check [--no-schema] <program.carl>");
+    eprintln!("usage: carl-check [--no-schema] [--json] [--report deps] <program.carl>");
+    eprintln!("       carl-check --explain <CODE>");
     eprintln!();
     eprintln!("Lints a CaRL program file. By default the program is checked against");
     eprintln!("the paper's peer-review schema (entities Person/Submission/Conference,");
     eprintln!("relationships Author/Submitted, attributes Qualification/Prestige/");
     eprintln!("Quality/Score/Blind); --no-schema runs only the schema-independent");
     eprintln!("language checks.");
+    eprintln!();
+    eprintln!("  --json          emit diagnostics as JSON (stable code/severity/span/");
+    eprintln!("                  message fields) instead of rendered excerpts");
+    eprintln!("  --report deps   print the whole-program dependency analysis: attribute");
+    eprintln!("                  dependency edges, strata, statically-derived condition");
+    eprintln!("                  facts and the incremental-commit patch-safety screen");
+    eprintln!("  --explain CODE  describe a diagnostic code (e.g. E0006, W0002)");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut no_schema = false;
+    let mut json = false;
+    let mut report: Option<String> = None;
+    let mut explain: Option<String> = None;
     let mut path: Option<String> = None;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--no-schema" => no_schema = true,
+            "--json" => json = true,
+            "--report" => match args.next() {
+                Some(kind) => report = Some(kind),
+                None => {
+                    eprintln!("carl-check: --report needs an argument (supported: deps)");
+                    return usage();
+                }
+            },
+            "--explain" => match args.next() {
+                Some(code) => explain = Some(code),
+                None => {
+                    eprintln!("carl-check: --explain needs a diagnostic code (e.g. E0006)");
+                    return usage();
+                }
+            },
             "-h" | "--help" => return usage(),
             _ if arg.starts_with('-') => {
                 eprintln!("carl-check: unknown option `{arg}`");
@@ -45,6 +76,26 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
+
+    if let Some(code) = explain {
+        return match carl::explain_code(&code) {
+            Some(prose) => {
+                println!("{prose}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("carl-check: no extended help for `{code}`");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if let Some(kind) = &report {
+        if kind != "deps" {
+            eprintln!("carl-check: unknown report `{kind}` (supported: deps)");
+            return usage();
+        }
+    }
+
     let Some(path) = path else {
         return usage();
     };
@@ -64,10 +115,26 @@ fn main() -> ExitCode {
             // the offending token when the error carries a span.
             let span = e.span().unwrap_or(Span::DUMMY);
             let diag = Diagnostic::error("E0000", span, e.to_string());
-            print!("{}", render_diagnostics(&source, &[diag]));
+            if json {
+                println!("{}", diagnostics_to_json(&source, &[diag]));
+            } else {
+                print!("{}", render_diagnostics(&source, &[diag]));
+            }
             return ExitCode::from(2);
         }
     };
+
+    if report.is_some() {
+        // The deps report is schema-refined; --no-schema falls back to
+        // domain-blind analysis rendered through the same surface.
+        let schema = if no_schema {
+            RelationalSchema::new()
+        } else {
+            RelationalSchema::review_example()
+        };
+        print!("{}", carl::deps_report(&schema, &program));
+        return ExitCode::SUCCESS;
+    }
 
     let diagnostics = if no_schema {
         carl_lang::analyze_program(&program).diagnostics
@@ -75,7 +142,9 @@ fn main() -> ExitCode {
         carl::analyze(&RelationalSchema::review_example(), &program)
     };
 
-    if diagnostics.is_empty() {
+    if json {
+        println!("{}", diagnostics_to_json(&source, &diagnostics));
+    } else if diagnostics.is_empty() {
         println!(
             "{path}: no issues found ({} rule(s), {} aggregate(s), {} query(ies))",
             program.rules.len(),
@@ -83,9 +152,9 @@ fn main() -> ExitCode {
             program.queries.len()
         );
         return ExitCode::SUCCESS;
+    } else {
+        print!("{}", render_diagnostics(&source, &diagnostics));
     }
-
-    print!("{}", render_diagnostics(&source, &diagnostics));
     if diagnostics.iter().any(Diagnostic::is_error) {
         ExitCode::FAILURE
     } else {

@@ -29,9 +29,9 @@ use crate::error::{CarlError, CarlResult};
 use crate::estimate::{CateSeries, EstimatorKind, QueryAnswer};
 use crate::graph::CausalGraph;
 use crate::ground::{
-    attribute_delta_patchable, ground, ground_aggregate_extension, ground_streaming, ground_with,
-    ground_with_bindings, partition_comparisons, patch_streamed, AggregateExtension, GroundedModel,
-    GroundedValues, RowComparisons, StreamedModel,
+    ground, ground_aggregate_extension, ground_streaming, ground_with, ground_with_bindings,
+    partition_comparisons, patch_streamed, AggregateExtension, GroundedModel, GroundedValues,
+    PatchSafety, RowComparisons, StreamedModel,
 };
 use crate::model::RelationalCausalModel;
 use crate::paths::unify;
@@ -288,6 +288,12 @@ pub struct CarlEngine {
     /// [`Instance::fingerprint`] of the (immutable) instance, computed once
     /// at construction so cache lookups don't re-walk the instance.
     instance_fingerprint: u64,
+    /// The precomputed patch-safety screen: which attribute deltas can be
+    /// patched incrementally and which force a cold rebuild, derived once
+    /// from the program's dependency analysis (see
+    /// [`crate::ground::PatchSafety`]). Shared across epochs — the screen
+    /// depends only on the program, never on instance content.
+    patch_safety: Arc<PatchSafety>,
 }
 
 impl CarlEngine {
@@ -304,6 +310,7 @@ impl CarlEngine {
     pub fn with_program(instance: Instance, program: Program) -> CarlResult<Self> {
         let model = RelationalCausalModel::new(instance.schema().clone(), program)?;
         let instance_fingerprint = instance.fingerprint();
+        let patch_safety = Arc::new(PatchSafety::of(&model));
         Ok(Self {
             instance,
             model,
@@ -313,6 +320,7 @@ impl CarlEngine {
             grounding_cache: Arc::new(Mutex::new(HashMap::new())),
             eval_cache: Arc::new(IndexCache::with_fingerprint(instance_fingerprint)),
             instance_fingerprint,
+            patch_safety,
         })
     }
 
@@ -324,15 +332,26 @@ impl CarlEngine {
     /// ([`GroundingMode::Streaming`] — the patch operates on the dense-sink
     /// [`StreamedModel`] form), the delta is attribute-only
     /// (`!delta.is_structural()`), and none of the touched attributes can
-    /// influence grounding *structure* (`attribute_delta_patchable` in the
-    /// grounding module: the attribute is not read by a rule-body
-    /// comparison and is not the head of an aggregate whose groundings
-    /// gate other rules). Everything else must go through a cold
-    /// [`CarlEngine::with_program`].
+    /// influence grounding *structure* per the precomputed
+    /// [`PatchSafety`] screen: the attribute is not read by a comparison of
+    /// a *live* statement (dead statements never fire, so their reads
+    /// cannot change structure) and is not the head of an aggregate whose
+    /// groundings gate other rules. The screen is computed once at engine
+    /// construction from the program's dependency analysis — this check
+    /// never re-walks the program, no matter how many commits screen
+    /// through it.
     pub fn can_patch(&self, delta: &DeltaSet) -> bool {
         self.grounding_mode == GroundingMode::Streaming
             && !delta.is_structural()
-            && attribute_delta_patchable(&self.model, &delta.touched_attrs())
+            && self.patch_safety.delta_patchable(&delta.touched_attrs())
+    }
+
+    /// The engine's precomputed patch-safety screen (see
+    /// [`crate::ground::PatchSafety`]): per-attribute machine-readable
+    /// reasons why a delta touching that attribute would force a cold
+    /// rebuild.
+    pub fn patch_safety(&self) -> &PatchSafety {
+        &self.patch_safety
     }
 
     /// Build the engine of the next epoch by *patching* this engine's
@@ -397,6 +416,9 @@ impl CarlEngine {
             grounding_cache,
             eval_cache,
             instance_fingerprint,
+            // The screen depends only on the (unchanged) program, so the
+            // patched epoch inherits it without recomputation.
+            patch_safety: Arc::clone(&self.patch_safety),
         })
     }
 
@@ -483,6 +505,92 @@ impl CarlEngine {
     /// [`CarlEngine::ground_model`]'s.
     pub fn ground_model_streamed(&self) -> CarlResult<StreamedModel> {
         ground_streaming(&self.model, &self.instance, &self.eval_cache)
+    }
+
+    /// Render, for every rule and aggregate of the program, the executable
+    /// grounding plan of its condition, annotated with the whole-program
+    /// analysis facts: a condition proven statically empty carries a
+    /// [`reldb::PlanFact::ProvenEmpty`] fact — such a plan reports
+    /// [`reldb::Plan::unsatisfiable`], so the executors return no rows
+    /// without scanning anything — and proven value bounds become
+    /// [`reldb::PlanFact::ValueBound`] facts, with a cardinality clamp
+    /// when an equality pins the attribute to a constant whose assignment
+    /// count the instance can answer directly.
+    pub fn explain_grounding_plans(&self) -> CarlResult<String> {
+        use crate::ground::{prep_condition, PreppedCondition};
+        use carl_lang::{ConditionFact, StatementId};
+
+        let deps = crate::analyze::deps_with_schema(self.instance.schema(), self.model.program());
+        let program = self.model.program();
+        let mut out = String::new();
+        let explain =
+            |id: StatementId, prep: PreppedCondition, fact: &ConditionFact| -> CarlResult<String> {
+                let plan = reldb::plan_query_filtered(
+                    self.instance.schema(),
+                    &self.instance,
+                    &self.eval_cache,
+                    &prep.query,
+                    &prep.filters,
+                )
+                .map_err(CarlError::Rel)?;
+                let mut facts = Vec::new();
+                if let Some(proof) = &fact.unsat {
+                    facts.push(reldb::PlanFact::ProvenEmpty {
+                        reason: proof.message.clone(),
+                    });
+                } else {
+                    for bounds in &fact.bounds {
+                        // `bounds.attr` is the display reference (`Score[S]`);
+                        // the clamp probe needs the bare attribute name.
+                        let attr = bounds
+                            .attr
+                            .split('[')
+                            .next()
+                            .unwrap_or(&bounds.attr)
+                            .to_string();
+                        let max_rows = bounds.constant.as_ref().map(|lit| {
+                            let want = crate::model::literal_to_value(lit);
+                            self.instance
+                                .attribute_assignments(&attr)
+                                .filter(|(_, v)| **v == want)
+                                .count() as f64
+                        });
+                        facts.push(reldb::PlanFact::ValueBound {
+                            attr,
+                            bounds: bounds.to_string(),
+                            max_rows,
+                        });
+                    }
+                }
+                Ok(format!(
+                    "{}:\n{}",
+                    id.label(program),
+                    plan.with_facts(facts)
+                ))
+            };
+        for (i, rule) in self.model.rules().iter().enumerate() {
+            let prep = prep_condition(
+                &self.model,
+                &rule.head.attr,
+                &rule.head.args,
+                &rule.condition,
+            )?;
+            out.push_str(&explain(StatementId::Rule(i), prep, &deps.rule_facts[i])?);
+        }
+        for (i, agg) in self.model.aggregates().iter().enumerate() {
+            let prep = prep_condition(
+                &self.model,
+                &agg.source.attr,
+                &agg.source.args,
+                &agg.condition,
+            )?;
+            out.push_str(&explain(
+                StatementId::Aggregate(i),
+                prep,
+                &deps.aggregate_facts[i],
+            )?);
+        }
+        Ok(out)
     }
 
     /// Prepare a query given as CaRL text.
@@ -1241,6 +1349,31 @@ mod tests {
         let engine = engine();
         let grounded = engine.ground_model().unwrap();
         assert_eq!(grounded.graph.nodes_of_attr("Score").len(), 3);
+    }
+
+    #[test]
+    fn explain_grounding_plans_carries_analysis_facts() {
+        let engine = CarlEngine::new(
+            Instance::review_example(),
+            r#"
+            Prestige[A] <= Qualification[A] WHERE Person(A), Qualification[A] > 5.0
+            Quality[S]  <= Prestige[A] WHERE Author(A, S), Score[S] > 9000.0, Score[S] < -9000.0
+            AVG_Score[A] <= Score[S] WHERE Author(A, S), Blind[C] = true, Submitted(S, C)
+            "#,
+        )
+        .unwrap();
+        let explained = engine.explain_grounding_plans().unwrap();
+        // Live rule 1: its comparison becomes a value-bound fact.
+        assert!(explained.contains("rule 1 (`Prestige`)"));
+        assert!(explained.contains("fact: bound: Qualification[A] in (5, +inf)"));
+        // Dead rule 2: proven empty, plan short-circuits.
+        assert!(explained.contains("rule 2 (`Quality`)"));
+        assert!(explained.contains("fact: proven empty"));
+        // Aggregate: the Bool equality pins Blind and clamps cardinality
+        // (one conference in Figure 2 is double-blind).
+        assert!(explained.contains("aggregate 1 (`AVG_Score`)"));
+        assert!(explained.contains("Blind[C] = true"));
+        assert!(explained.contains("(≤1 rows via `Blind`)"));
     }
 
     #[test]

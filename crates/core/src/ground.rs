@@ -50,6 +50,36 @@ fn profile_ground() -> bool {
     env_flag("CARL_PROFILE_GROUND", &FLAG)
 }
 
+/// Whether analysis-driven pruning (skipping statements whose condition
+/// the whole-program analysis proved unsatisfiable) is enabled. On by
+/// default; the differential suite flips it off to prove the pruning is
+/// semantically inert.
+static ANALYSIS_PRUNING: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Enable or disable analysis-driven dead-statement pruning in the
+/// grounding pipelines. Pruning is proven semantics-neutral (a dead
+/// statement passes no row, so merging it is a no-op); this switch exists
+/// so differential tests can demonstrate exactly that.
+pub fn set_analysis_pruning(enabled: bool) {
+    ANALYSIS_PRUNING.store(enabled, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Whether analysis-driven pruning is currently enabled.
+pub fn analysis_pruning() -> bool {
+    ANALYSIS_PRUNING.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+/// Process-wide count of full-model patch-safety rescans (calls to the
+/// legacy [`attribute_delta_patchable`] walk). The commit fast path now
+/// consults the precomputed [`PatchSafety`] classification instead, so
+/// this counter lets tests prove no per-commit rescans remain.
+static SCREEN_RESCANS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Total legacy patch-safety rescans performed by this process so far.
+pub fn screen_rescan_count() -> u64 {
+    SCREEN_RESCANS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// The result of grounding a relational causal model against an instance:
 /// the grounded causal graph plus the derived values of aggregate attributes.
 #[derive(Debug, Clone)]
@@ -162,13 +192,13 @@ pub fn partition_comparisons(
 
 /// A rule or aggregate condition compiled to a query plus filters, ready
 /// for (parallel) evaluation, with the residual comparisons kept aside.
-struct PreppedCondition {
-    query: ConjunctiveQuery,
-    filters: Vec<EqFilter>,
+pub(crate) struct PreppedCondition {
+    pub(crate) query: ConjunctiveQuery,
+    pub(crate) filters: Vec<EqFilter>,
     residual: Vec<TypedComparison>,
 }
 
-fn prep_condition(
+pub(crate) fn prep_condition(
     model: &RelationalCausalModel,
     attr: &str,
     args: &[ArgTerm],
@@ -515,21 +545,26 @@ pub fn ground_with(
     let schema = model.schema();
 
     // Aggregates in topological order so that aggregates over aggregates,
-    // while unusual, are well defined.
+    // while unusual, are well defined. The original program index rides
+    // along so per-statement analysis facts (deadness) stay addressable
+    // after the sort.
     let order: Vec<&str> = model
         .topological_order()
         .iter()
         .map(String::as_str)
         .collect();
-    let mut aggregates: Vec<&AggregateRule> = model.aggregates().iter().collect();
-    aggregates.sort_by_key(|a| {
+    let mut aggregates: Vec<(usize, &AggregateRule)> =
+        model.aggregates().iter().enumerate().collect();
+    aggregates.sort_by_key(|(_, a)| {
         order
             .iter()
             .position(|n| *n == a.name)
             .unwrap_or(usize::MAX)
     });
 
-    // Compile every condition (sequential, cheap, fallible)...
+    // Compile every condition (sequential, cheap, fallible) — including
+    // dead statements, so compile-time errors are raised identically with
+    // pruning on or off...
     let mut prepped: Vec<PreppedCondition> = Vec::with_capacity(model.rules().len());
     for rule in model.rules() {
         prepped.push(prep_condition(
@@ -539,7 +574,7 @@ pub fn ground_with(
             &rule.condition,
         )?);
     }
-    for agg in &aggregates {
+    for (_, agg) in &aggregates {
         prepped.push(prep_condition(
             model,
             &agg.source.attr,
@@ -548,14 +583,31 @@ pub fn ground_with(
         )?);
     }
 
+    // Dead statements (statically unsatisfiable conditions) pass no row,
+    // so evaluating and merging them is a no-op; skip both when pruning
+    // is on. Alignment with `prepped` is by rules-then-sorted-aggregates.
+    let prune = analysis_pruning();
+    let dead: Vec<bool> = (0..model.rules().len())
+        .map(|i| prune && model.rule_is_dead(i))
+        .chain(
+            aggregates
+                .iter()
+                .map(|(i, _)| prune && model.aggregate_is_dead(*i)),
+        )
+        .collect();
+
     let t0 = std::time::Instant::now();
-    // ... phase 1: evaluate them all in parallel (order-preserving).
-    let evaluated: Vec<reldb::RelResult<TupleAnswers<'_>>> = prepped
+    // ... phase 1: evaluate them all in parallel (order-preserving);
+    // `None` marks a pruned statement.
+    let evaluated: Vec<Option<reldb::RelResult<TupleAnswers<'_>>>> = prepped
         .iter()
-        .map(|p| (&p.query, &p.filters))
+        .zip(&dead)
+        .map(|(p, skip)| (*skip, &p.query, &p.filters))
         .collect::<Vec<_>>()
         .into_par_iter()
-        .map(|(query, filters)| evaluate_tuples_filtered(cache, schema, instance, query, filters))
+        .map(|(skip, query, filters)| {
+            (!skip).then(|| evaluate_tuples_filtered(cache, schema, instance, query, filters))
+        })
         .collect();
     let mut evaluated = evaluated.into_iter();
     let t1 = std::time::Instant::now();
@@ -569,7 +621,9 @@ pub fn ground_with(
     let mut nodes = NodeTable::default();
     let mut graph = CausalGraph::new();
     for (rule, prep) in model.rules().iter().zip(&prepped) {
-        let answers = evaluated.next().expect("one answer batch per condition");
+        let Some(answers) = evaluated.next().expect("one answer batch per condition") else {
+            continue; // dead rule: no row can survive its condition
+        };
         let answers = answers.map_err(CarlError::Rel)?;
         let residual = RowComparisons::compile(&prep.residual, &answers);
         let head_spec = arg_slots(&rule.head.args, &answers, interner, &mut consts);
@@ -609,8 +663,10 @@ pub fn ground_with(
     // Phase 2b: merge aggregate rules, streaming rows into insertion-
     // ordered groups with O(1) symbol-tuple dedup per source grounding.
     let mut derived: BTreeMap<GroundedAttr, f64> = BTreeMap::new();
-    for (agg, prep) in aggregates.iter().zip(prepped[model.rules().len()..].iter()) {
-        let answers = evaluated.next().expect("one answer batch per condition");
+    for ((_, agg), prep) in aggregates.iter().zip(prepped[model.rules().len()..].iter()) {
+        let Some(answers) = evaluated.next().expect("one answer batch per condition") else {
+            continue; // dead aggregate: no row can survive its condition
+        };
         let answers = answers.map_err(CarlError::Rel)?;
         let residual = RowComparisons::compile(&prep.residual, &answers);
         let head_spec = arg_slots(&agg.head_args, &answers, interner, &mut consts);
@@ -1377,14 +1433,16 @@ pub fn ground_streaming(
 ) -> CarlResult<StreamedModel> {
     let schema = model.schema();
 
-    // Aggregates in topological order (as in `ground_with`).
+    // Aggregates in topological order (as in `ground_with`), keeping the
+    // original program index for per-statement analysis facts.
     let order: Vec<&str> = model
         .topological_order()
         .iter()
         .map(String::as_str)
         .collect();
-    let mut aggregates: Vec<&AggregateRule> = model.aggregates().iter().collect();
-    aggregates.sort_by_key(|a| {
+    let mut aggregates: Vec<(usize, &AggregateRule)> =
+        model.aggregates().iter().enumerate().collect();
+    aggregates.sort_by_key(|(_, a)| {
         order
             .iter()
             .position(|n| *n == a.name)
@@ -1400,7 +1458,7 @@ pub fn ground_streaming(
             &rule.condition,
         )?);
     }
-    for agg in &aggregates {
+    for (_, agg) in &aggregates {
         prepped.push(prep_condition(
             model,
             &agg.source.attr,
@@ -1409,14 +1467,20 @@ pub fn ground_streaming(
         )?);
     }
 
+    let prune = analysis_pruning();
     let interner = instance.skeleton().interner();
     let mut consts = ConstSyms::new(interner.len());
     let mut nodes = NodeTable::default();
     let mut graph = CausalGraph::new();
 
     let t0 = std::time::Instant::now();
-    // Phase 1: stream-merge the causal rules, in rule order.
-    for (rule, prep) in model.rules().iter().zip(&prepped) {
+    // Phase 1: stream-merge the causal rules, in rule order. Dead rules
+    // (statically unsatisfiable conditions) pass no row; skip their
+    // evaluation entirely when pruning is on.
+    for (i, (rule, prep)) in model.rules().iter().zip(&prepped).enumerate() {
+        if prune && model.rule_is_dead(i) {
+            continue;
+        }
         let mut specs: Option<RuleSpecs<'_>> = None;
         stream_condition(
             cache,
@@ -1456,7 +1520,10 @@ pub fn ground_streaming(
     let t1 = std::time::Instant::now();
     // Phase 2: stream-merge the aggregate rules into dense group tables.
     let mut store = DerivedStore::default();
-    for (agg, prep) in aggregates.iter().zip(prepped[model.rules().len()..].iter()) {
+    for ((agg_idx, agg), prep) in aggregates.iter().zip(prepped[model.rules().len()..].iter()) {
+        if prune && model.aggregate_is_dead(*agg_idx) {
+            continue; // dead aggregate: no row can survive its condition
+        }
         // The store id of the *source* attribute, when an earlier aggregate
         // derived values for it (aggregates over aggregates; topological
         // order guarantees those values are complete by now).
@@ -1576,11 +1643,16 @@ pub fn ground_streaming(
 /// out first via [`reldb::DeltaSet::is_structural`] — takes the cold
 /// re-ground path. Fallback is always correct; this predicate only gates
 /// the optimisation.
+#[cfg_attr(not(test), allow(dead_code))] // superseded by `PatchSafety`; kept as the tests' reference
 pub(crate) fn attribute_delta_patchable(
     model: &RelationalCausalModel,
     touched: &std::collections::BTreeSet<&str>,
 ) -> bool {
     use std::collections::BTreeSet;
+    // Every call walks the whole model; the commit path must never get
+    // here (it consults the precomputed `PatchSafety` instead), and the
+    // counter is how tests prove that.
+    SCREEN_RESCANS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     if touched.is_empty() {
         return true;
     }
@@ -1606,6 +1678,177 @@ pub(crate) fn attribute_delta_patchable(
     !rules
         .iter()
         .any(|rule| agg_names.contains(rule.head.attr.as_str()))
+}
+
+/// Why a program (or one of its attributes) blocks the incremental
+/// attribute-patch fast path. Machine-readable so tooling (`carl-check
+/// --report deps`) can explain every cold rebuild.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatchBlock {
+    /// Two aggregate rules share a head name: `parents_of` of a head node
+    /// would mix both folds, so no attribute delta can be patched.
+    DuplicateAggregateName(String),
+    /// A causal rule's head is also an aggregate head: same fold-mixing
+    /// hazard, program-wide.
+    AggregateHeadNamedByRule(String),
+    /// The attribute is read by a condition comparison of a *live*
+    /// statement: changing it can change which rows survive, i.e. the
+    /// graph structure itself.
+    ComparisonRead {
+        /// `"rule"` or `"aggregate"`.
+        statement_kind: &'static str,
+        /// Index of the reading statement in program order.
+        index: usize,
+        /// The statement's head attribute, for rendering.
+        head: String,
+    },
+    /// The attribute is itself an aggregate head: patching would have to
+    /// reason about observed cells shadow-interleaving with derived values.
+    AggregateHead,
+}
+
+impl std::fmt::Display for PatchBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatchBlock::DuplicateAggregateName(name) => {
+                write!(f, "aggregate head `{name}` is defined more than once")
+            }
+            PatchBlock::AggregateHeadNamedByRule(name) => {
+                write!(f, "aggregate head `{name}` is also a causal-rule head")
+            }
+            PatchBlock::ComparisonRead {
+                statement_kind,
+                index,
+                head,
+            } => write!(
+                f,
+                "read by a condition comparison of live {statement_kind} {} (`{head}`)",
+                index + 1
+            ),
+            PatchBlock::AggregateHead => write!(f, "attribute is an aggregate head"),
+        }
+    }
+}
+
+/// Precomputed per-program patch-safety classification: the whole-program
+/// replacement for the per-commit `attribute_delta_patchable` rescan.
+///
+/// Computed once at engine build from the model's statically-analysed
+/// structure. Strictly more precise than the legacy rescan: comparison
+/// reads inside **dead** statements (conditions proven unsatisfiable, so
+/// they can never filter a row) no longer block the fast path, while
+/// everything the legacy screen allowed is still allowed.
+#[derive(Debug, Clone, Default)]
+pub struct PatchSafety {
+    /// A program-wide blocker: when set, no non-empty attribute delta can
+    /// take the fast path (same shape conditions the legacy screen
+    /// enforced over all statements, dead or not — they concern fold
+    /// structure, not row survival).
+    pub global: Option<PatchBlock>,
+    /// Per-attribute blockers: a delta touching any of these attributes
+    /// must re-ground cold, for the recorded (first) reason.
+    pub unsafe_attrs: BTreeMap<String, PatchBlock>,
+}
+
+impl PatchSafety {
+    /// Classify `model` once. Comparison reads are collected from live
+    /// statements only (skipping statements the analysis proved dead);
+    /// aggregate-name constraints are collected from all statements, as in
+    /// the legacy screen, since they constrain the fold structure of the
+    /// grounding itself.
+    pub fn of(model: &RelationalCausalModel) -> Self {
+        let mut safety = PatchSafety::default();
+        let mut record = |attr: &str, block: PatchBlock| {
+            safety.unsafe_attrs.entry(attr.to_string()).or_insert(block);
+        };
+
+        for (i, rule) in model.rules().iter().enumerate() {
+            if model.rule_is_dead(i) {
+                continue; // a dead rule filters no row: its reads are inert
+            }
+            for cmp in &rule.condition.comparisons {
+                record(
+                    &cmp.attr.attr,
+                    PatchBlock::ComparisonRead {
+                        statement_kind: "rule",
+                        index: i,
+                        head: rule.head.attr.clone(),
+                    },
+                );
+            }
+        }
+        for (i, agg) in model.aggregates().iter().enumerate() {
+            if !model.aggregate_is_dead(i) {
+                for cmp in &agg.condition.comparisons {
+                    record(
+                        &cmp.attr.attr,
+                        PatchBlock::ComparisonRead {
+                            statement_kind: "aggregate",
+                            index: i,
+                            head: agg.name.clone(),
+                        },
+                    );
+                }
+            }
+        }
+
+        let mut agg_names: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        for agg in model.aggregates() {
+            if !agg_names.insert(agg.name.as_str()) {
+                safety.global = safety
+                    .global
+                    .take()
+                    .or(Some(PatchBlock::DuplicateAggregateName(agg.name.clone())));
+            }
+            safety
+                .unsafe_attrs
+                .entry(agg.name.clone())
+                .or_insert(PatchBlock::AggregateHead);
+        }
+        if safety.global.is_none() {
+            if let Some(rule) = model
+                .rules()
+                .iter()
+                .find(|r| agg_names.contains(r.head.attr.as_str()))
+            {
+                safety.global = Some(PatchBlock::AggregateHeadNamedByRule(rule.head.attr.clone()));
+            }
+        }
+        safety
+    }
+
+    /// Whether an attribute-only delta touching exactly `touched` can take
+    /// the incremental patch fast path. Empty deltas always can.
+    pub fn delta_patchable(&self, touched: &std::collections::BTreeSet<&str>) -> bool {
+        if touched.is_empty() {
+            return true;
+        }
+        self.global.is_none()
+            && !touched
+                .iter()
+                .any(|attr| self.unsafe_attrs.contains_key(*attr))
+    }
+
+    /// Render the classification for `carl-check --report deps`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some(block) = &self.global {
+            out.push_str(&format!(
+                "  every attribute delta re-grounds cold: {block}\n"
+            ));
+        }
+        if self.unsafe_attrs.is_empty() {
+            if self.global.is_none() {
+                out.push_str("  every attribute delta takes the incremental fast path\n");
+            }
+            return out;
+        }
+        for (attr, block) in &self.unsafe_attrs {
+            out.push_str(&format!("  `{attr}`: cold rebuild — {block}\n"));
+        }
+        out.push_str("  (deltas touching none of the above patch incrementally)\n");
+        out
+    }
 }
 
 /// The [`SigKey`] of a head key, resolved through the same interner +
@@ -1676,16 +1919,24 @@ pub(crate) fn patch_streamed(
         .iter()
         .map(String::as_str)
         .collect();
-    let mut aggregates: Vec<&AggregateRule> = model.aggregates().iter().collect();
-    aggregates.sort_by_key(|a| {
+    let mut aggregates: Vec<(usize, &AggregateRule)> =
+        model.aggregates().iter().enumerate().collect();
+    aggregates.sort_by_key(|(_, a)| {
         order
             .iter()
             .position(|n| *n == a.name)
             .unwrap_or(usize::MAX)
     });
 
+    let prune = analysis_pruning();
     let mut registered: BTreeSet<&str> = BTreeSet::new();
-    for agg in aggregates {
+    for (agg_idx, agg) in aggregates {
+        if prune && model.aggregate_is_dead(agg_idx) {
+            // The cold pipeline skips dead aggregates (they derive
+            // nothing), so the patch skips them identically — their head
+            // attribute has no store entry to refold.
+            continue;
+        }
         let head_store_id = *patched.derived.attr_ids.get(&agg.name)?;
         let source_registered = registered.contains(agg.source.attr.as_str());
         registered.insert(agg.name.as_str());
@@ -2282,6 +2533,105 @@ mod tests {
         // A touched aggregate head is refused too.
         let head: std::collections::BTreeSet<&str> = ["AVG_Score"].into_iter().collect();
         assert!(!attribute_delta_patchable(&model, &head));
+    }
+
+    #[test]
+    fn patch_safety_agrees_with_the_legacy_screen_when_nothing_is_dead() {
+        // With no dead statements the precomputed screen must answer every
+        // delta exactly like the per-commit rescan it replaces.
+        for rules in [
+            r#"
+            Prestige[A]  <= Qualification[A]              WHERE Person(A)
+            Quality[S]   <= Qualification[A], Prestige[A] WHERE Author(A, S)
+            Score[S]     <= Prestige[A]                   WHERE Author(A, S)
+            AVG_Score[A] <= Score[S]                      WHERE Author(A, S)
+            "#,
+            r#"
+            Score[S] <= Prestige[A] WHERE Author(A, S), Qualification[A] > 10.0
+            AVG_Score[A] <= Score[S] WHERE Author(A, S), Blind[C] = true, Submitted(S, C)
+            "#,
+            "Prestige[A] <= Qualification[A] WHERE Person(A)",
+        ] {
+            let schema = RelationalSchema::review_example();
+            let model = RelationalCausalModel::new(schema, parse_program(rules).unwrap()).unwrap();
+            let safety = PatchSafety::of(&model);
+            for touched_attrs in [
+                vec![],
+                vec!["Score"],
+                vec!["Qualification"],
+                vec!["Blind"],
+                vec!["AVG_Score"],
+                vec!["Score", "Qualification"],
+                vec!["Prestige", "Quality"],
+            ] {
+                let touched: std::collections::BTreeSet<&str> =
+                    touched_attrs.iter().copied().collect();
+                assert_eq!(
+                    safety.delta_patchable(&touched),
+                    attribute_delta_patchable(&model, &touched),
+                    "screens disagree on {touched_attrs:?} for program {rules}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn patch_safety_ignores_comparison_reads_in_dead_rules() {
+        // The precision win: `Score` is read only by the comparisons of a
+        // rule whose condition is statically unsatisfiable (an empty
+        // interval), so a Score delta cannot change which rows survive —
+        // the dead rule never fires either way. The legacy rescan forces a
+        // cold rebuild; the analysis-backed screen patches.
+        let schema = RelationalSchema::review_example();
+        let program = parse_program(
+            r#"
+            Prestige[A] <= Qualification[A] WHERE Person(A)
+            Quality[S]  <= Prestige[A] WHERE Author(A, S), Score[S] > 9000.0, Score[S] < -9000.0
+            "#,
+        )
+        .unwrap();
+        let model = RelationalCausalModel::new(schema, program).unwrap();
+        assert!(model.rule_is_dead(1));
+        let safety = PatchSafety::of(&model);
+        let touched: std::collections::BTreeSet<&str> = ["Score"].into_iter().collect();
+        assert!(!attribute_delta_patchable(&model, &touched));
+        assert!(safety.delta_patchable(&touched));
+        assert!(!safety.unsafe_attrs.contains_key("Score"));
+        // Qualification is read by no comparison at all: both screens agree.
+        let quals: std::collections::BTreeSet<&str> = ["Qualification"].into_iter().collect();
+        assert!(safety.delta_patchable(&quals));
+        assert!(attribute_delta_patchable(&model, &quals));
+    }
+
+    #[test]
+    fn patch_safety_records_machine_readable_reasons() {
+        let schema = RelationalSchema::review_example();
+        let program = parse_program(
+            r#"
+            Score[S] <= Prestige[A] WHERE Author(A, S), Qualification[A] > 10.0
+            AVG_Score[A] <= Score[S] WHERE Author(A, S)
+            "#,
+        )
+        .unwrap();
+        let model = RelationalCausalModel::new(schema, program).unwrap();
+        let safety = PatchSafety::of(&model);
+        assert!(safety.global.is_none());
+        assert_eq!(
+            safety.unsafe_attrs.get("Qualification"),
+            Some(&PatchBlock::ComparisonRead {
+                statement_kind: "rule",
+                index: 0,
+                head: "Score".into(),
+            })
+        );
+        assert_eq!(
+            safety.unsafe_attrs.get("AVG_Score"),
+            Some(&PatchBlock::AggregateHead)
+        );
+        let rendered = safety.render();
+        assert!(rendered.contains("`Qualification`: cold rebuild"));
+        assert!(rendered.contains("read by a condition comparison of live rule 1 (`Score`)"));
+        assert!(rendered.contains("deltas touching none of the above patch incrementally"));
     }
 
     #[test]

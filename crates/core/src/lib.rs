@@ -72,7 +72,9 @@ pub mod service;
 pub mod snapshot;
 pub mod unit_table;
 
-pub use analyze::{analyze, analyze_with_schema, SchemaFinding};
+pub use analyze::{
+    analyze, analyze_with_schema, deps_report, deps_with_schema, explain_code, SchemaFinding,
+};
 pub use embed::EmbeddingKind;
 pub use engine::{CarlEngine, GroundingMode, PreparedQuery, RowPreparedQuery};
 pub use error::{CarlError, CarlResult};
@@ -82,8 +84,9 @@ pub use graph::{
     GroundedNodeId,
 };
 pub use ground::{
-    ground, ground_aggregate_extension, ground_streaming, ground_with, ground_with_bindings,
-    AggregateExtension, GroundedModel, GroundedValues, StreamedModel,
+    analysis_pruning, ground, ground_aggregate_extension, ground_streaming, ground_with,
+    ground_with_bindings, screen_rescan_count, set_analysis_pruning, AggregateExtension,
+    GroundedModel, GroundedValues, PatchBlock, PatchSafety, StreamedModel,
 };
 pub use history::{check_history, digest_answer, HistoryEvent, HistoryLog, Violation};
 pub use model::RelationalCausalModel;

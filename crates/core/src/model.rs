@@ -96,6 +96,12 @@ pub struct RelationalCausalModel {
     topo_order: Vec<String>,
     /// Subjects of aggregate-defined attributes, inferred from their rules.
     aggregate_subjects: HashMap<String, AttributeSubject>,
+    /// Per-rule deadness: `rule_dead[i]` iff rule `i`'s condition is proven
+    /// statically unsatisfiable (under the schema's domain refinements), so
+    /// the rule can never fire on any admissible instance.
+    rule_dead: Vec<bool>,
+    /// Per-aggregate deadness, same proof obligation.
+    aggregate_dead: Vec<bool>,
 }
 
 impl RelationalCausalModel {
@@ -104,11 +110,27 @@ impl RelationalCausalModel {
     pub fn new(schema: RelationalSchema, program: Program) -> CarlResult<Self> {
         let topo_order = validate_program(&program)?;
 
+        // Whole-program analysis under the schema's domain refinements:
+        // deadness proofs are value-independent, so they hold for every
+        // admissible instance and downstream pruning is semantics-neutral.
+        let deps = carl_lang::ProgramDeps::analyze_with_hints(
+            &program,
+            &crate::analyze::domain_hints(&schema),
+        );
+        let rule_dead = (0..program.rules.len())
+            .map(|i| deps.rule_dead(i))
+            .collect();
+        let aggregate_dead = (0..program.aggregates.len())
+            .map(|i| deps.aggregate_dead(i))
+            .collect();
+
         let mut model = Self {
             schema,
             program,
             topo_order,
             aggregate_subjects: HashMap::new(),
+            rule_dead,
+            aggregate_dead,
         };
         model.infer_aggregate_subjects()?;
         model.check_schema_consistency()?;
@@ -138,6 +160,20 @@ impl RelationalCausalModel {
     /// Attribute names in a topological (causes-first) order.
     pub fn topological_order(&self) -> &[String] {
         &self.topo_order
+    }
+
+    /// Whether `rules()[i]` is dead: its condition was proven statically
+    /// unsatisfiable at model-build time, so it matches no row on any
+    /// admissible instance. Grounding may skip dead statements and the
+    /// patch-safety screen may ignore their comparison reads without
+    /// changing any result.
+    pub fn rule_is_dead(&self, i: usize) -> bool {
+        self.rule_dead[i]
+    }
+
+    /// Whether `aggregates()[i]` is dead (see [`Self::rule_is_dead`]).
+    pub fn aggregate_is_dead(&self, i: usize) -> bool {
+        self.aggregate_dead[i]
     }
 
     /// The aggregate rule defining `attr`, if any.

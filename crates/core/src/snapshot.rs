@@ -115,6 +115,12 @@ pub struct CommitStats {
     /// Commits that rebuilt the engine cold (structural or otherwise
     /// unpatchable deltas, or [`CommitMode::Cold`]).
     pub cold: u64,
+    /// Legacy per-commit patch-eligibility rescans observed since this
+    /// service was built. The commit path consults the engine's
+    /// precomputed [`crate::ground::PatchSafety`] screen instead of
+    /// re-walking the program, so in a process that never calls the legacy
+    /// screen directly this stays 0 no matter how many commits land.
+    pub screen_rescans: u64,
 }
 
 /// One immutable epoch of the database together with the engine built over
@@ -173,6 +179,10 @@ pub struct SnapshotEngine {
     incremental_commits: AtomicU64,
     /// Cold-rebuild commits served so far.
     cold_commits: AtomicU64,
+    /// Process-wide legacy-rescan count at construction, so
+    /// [`SnapshotEngine::commit_stats`] reports rescans *since* this
+    /// service was built.
+    rescan_base: u64,
 }
 
 impl SnapshotEngine {
@@ -193,6 +203,7 @@ impl SnapshotEngine {
             commit_mode: Mutex::new(CommitMode::default()),
             incremental_commits: AtomicU64::new(0),
             cold_commits: AtomicU64::new(0),
+            rescan_base: crate::ground::screen_rescan_count(),
         })
     }
 
@@ -218,11 +229,15 @@ impl SnapshotEngine {
             .unwrap_or_else(PoisonError::into_inner) = mode;
     }
 
-    /// How many commits took the incremental fast path vs a cold rebuild.
+    /// How many commits took the incremental fast path vs a cold rebuild,
+    /// and how many legacy per-commit eligibility rescans ran since this
+    /// service was built (0 unless something calls the legacy screen —
+    /// the commit path itself never does).
     pub fn commit_stats(&self) -> CommitStats {
         CommitStats {
             incremental: self.incremental_commits.load(Ordering::Relaxed),
             cold: self.cold_commits.load(Ordering::Relaxed),
+            screen_rescans: crate::ground::screen_rescan_count().saturating_sub(self.rescan_base),
         }
     }
 
@@ -465,13 +480,10 @@ mod tests {
                 value: Value::Float(0.95),
             }])
             .unwrap();
-        assert_eq!(
-            service.commit_stats(),
-            CommitStats {
-                incremental: 1,
-                cold: 0
-            }
-        );
+        // Tuple compare: `screen_rescans` reads a process-global counter
+        // that other tests in this binary may bump concurrently.
+        let stats = service.commit_stats();
+        assert_eq!((stats.incremental, stats.cold), (1, 0));
         // The patched epoch answers bit-identically to a cold rebuild of
         // the same data.
         let cold =
@@ -490,13 +502,8 @@ mod tests {
                 key: Value::from("Dana"),
             }])
             .unwrap();
-        assert_eq!(
-            service.commit_stats(),
-            CommitStats {
-                incremental: 1,
-                cold: 1
-            }
-        );
+        let stats = service.commit_stats();
+        assert_eq!((stats.incremental, stats.cold), (1, 1));
 
         // Forcing Cold mode disables the fast path entirely.
         service.set_commit_mode(CommitMode::Cold);
@@ -507,13 +514,8 @@ mod tests {
                 value: Value::Float(0.5),
             }])
             .unwrap();
-        assert_eq!(
-            service.commit_stats(),
-            CommitStats {
-                incremental: 1,
-                cold: 2
-            }
-        );
+        let stats = service.commit_stats();
+        assert_eq!((stats.incremental, stats.cold), (1, 2));
     }
 
     #[test]

@@ -730,7 +730,7 @@ fn resolve_step<'s>(
 /// Run a plan against a skeleton (and, when filters are present, the
 /// instance carrying the attribute assignments they consult), producing
 /// dense register tuples.
-fn execute_tuples<'a>(
+pub(crate) fn execute_tuples<'a>(
     plan: &Plan,
     schema: &RelationalSchema,
     skeleton: &'a Skeleton,

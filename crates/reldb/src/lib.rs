@@ -79,7 +79,7 @@ pub use index::{IndexCache, IndexCacheStats, PlanCacheStats};
 pub use instance::{DeltaOp, DeltaSet, Instance, Mutation};
 pub use plan::{
     instantiate, plan_query, plan_query_filtered, shape_key, verify, Access, EqFilter, Plan,
-    PlanStep, SemiJoin, SlotTerm,
+    PlanFact, PlanStep, SemiJoin, SlotTerm,
 };
 pub use query::{Atom, ConjunctiveQuery, Term};
 pub use schema::{

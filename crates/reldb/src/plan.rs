@@ -144,6 +144,52 @@ pub struct PlanStep {
     pub layout: Vec<SlotTerm>,
 }
 
+/// A statically-derived fact attached to a [`Plan`] by a higher layer
+/// (the CaRL whole-program condition analysis). The planner itself never
+/// synthesises facts — it has no visibility into attribute comparisons
+/// beyond equality filters — but it honours them: a [`PlanFact::ProvenEmpty`]
+/// fact makes [`Plan::unsatisfiable`] true, so the executors return no
+/// rows without scanning anything, and [`PlanFact::ValueBound`] facts clamp
+/// the plan's cardinality estimate via [`Plan::cardinality_clamp`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanFact {
+    /// The condition this plan evaluates was proven to admit no satisfying
+    /// rows (e.g. conflicting equalities or an empty comparison interval).
+    ProvenEmpty {
+        /// Human-readable proof sketch, for `Display` and explain output.
+        reason: String,
+    },
+    /// Every surviving row's value of `attr` lies within `bounds`.
+    ValueBound {
+        /// The bounded attribute.
+        attr: String,
+        /// Rendered interval or constant (e.g. `Score in (5, +inf)`).
+        bounds: String,
+        /// Optional row-count clamp implied by the bound (e.g. a Bool
+        /// attribute pinned to one value over `n` units).
+        max_rows: Option<f64>,
+    },
+}
+
+impl fmt::Display for PlanFact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanFact::ProvenEmpty { reason } => write!(f, "proven empty: {reason}"),
+            PlanFact::ValueBound {
+                attr,
+                bounds,
+                max_rows,
+            } => {
+                write!(f, "bound: {bounds}")?;
+                if let Some(rows) = max_rows {
+                    write!(f, " (≤{} rows via `{attr}`)", rows.round())?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// An executable, inspectable evaluation plan for a conjunctive query with
 /// optional equality filters.
 #[derive(Debug, Clone, PartialEq)]
@@ -161,13 +207,44 @@ pub struct Plan {
     /// `None` when some variable is never bound by the query, which makes
     /// the query unsatisfiable under CaRL's comparison semantics.
     pub filter_after: Vec<Option<usize>>,
+    /// Statically-derived facts attached by the caller (empty unless a
+    /// higher layer ran condition analysis — see [`PlanFact`]).
+    pub facts: Vec<PlanFact>,
 }
 
 impl Plan {
-    /// Whether a filter references a variable the query never binds (such
-    /// queries have no answers).
+    /// Whether this plan provably has no answers: a filter references a
+    /// variable the query never binds, or an attached [`PlanFact`] proved
+    /// the underlying condition empty. The executors consult this before
+    /// touching any data.
     pub fn unsatisfiable(&self) -> bool {
         self.filter_after.iter().any(Option::is_none)
+            || self
+                .facts
+                .iter()
+                .any(|fact| matches!(fact, PlanFact::ProvenEmpty { .. }))
+    }
+
+    /// Attach statically-derived facts (builder style).
+    #[must_use]
+    pub fn with_facts(mut self, facts: Vec<PlanFact>) -> Self {
+        self.facts = facts;
+        self
+    }
+
+    /// The tightest row-count clamp the attached facts imply: 0 for a
+    /// proven-empty plan, the smallest `max_rows` among value bounds
+    /// otherwise, `None` when no fact clamps cardinality.
+    pub fn cardinality_clamp(&self) -> Option<f64> {
+        self.facts
+            .iter()
+            .filter_map(|fact| match fact {
+                PlanFact::ProvenEmpty { .. } => Some(0.0),
+                PlanFact::ValueBound { max_rows, .. } => *max_rows,
+            })
+            .fold(None, |acc, rows| {
+                Some(acc.map_or(rows, |a: f64| a.min(rows)))
+            })
     }
 
     /// The register slot the executor assigns to `var`, if the query binds
@@ -240,6 +317,9 @@ impl fmt::Display for Plan {
                 Some(k) => writeln!(f, "  filter {filter} (after step {k})")?,
                 None => writeln!(f, "  filter {filter} (never bound: no answers)")?,
             }
+        }
+        for fact in &self.facts {
+            writeln!(f, "  fact: {fact}")?;
         }
         Ok(())
     }
@@ -588,6 +668,23 @@ pub fn verify(schema: &RelationalSchema, plan: &Plan) -> RelResult<()> {
         }
     }
 
+    // Attached facts: a cardinality clamp must be a finite non-negative
+    // row count (the planner multiplies estimates by it downstream).
+    for fact in &plan.facts {
+        if let PlanFact::ValueBound {
+            max_rows: Some(rows),
+            attr,
+            ..
+        } = fact
+        {
+            if !rows.is_finite() || *rows < 0.0 {
+                return Err(invalid(format!(
+                    "fact on `{attr}`: clamp {rows} is not a finite non-negative row count"
+                )));
+            }
+        }
+    }
+
     Ok(())
 }
 
@@ -694,6 +791,7 @@ pub fn instantiate(
         slots: template.slots.clone(),
         filters: filters.to_vec(),
         filter_after: template.filter_after.clone(),
+        facts: template.facts.clone(),
     })
 }
 
@@ -797,6 +895,7 @@ fn plan_impl(
         slots,
         filters: filters.to_vec(),
         filter_after,
+        facts: Vec::new(),
     })
 }
 
@@ -1079,6 +1178,74 @@ mod tests {
         let plan = plan_query_filtered(&schema, &inst, &cache, &q, &filters).unwrap();
         assert!(plan.unsatisfiable());
         assert_eq!(sk.entity_count("Person"), 3);
+    }
+
+    #[test]
+    fn attached_facts_drive_unsatisfiability_and_cardinality_clamps() {
+        let (schema, sk) = setup();
+        let q = ConjunctiveQuery::new(vec![Atom::new("Person", vec![Term::var("A")])]);
+        let plan = plan_query(&schema, &sk, &q).unwrap();
+        assert!(!plan.unsatisfiable());
+        assert_eq!(plan.cardinality_clamp(), None);
+
+        // A value bound clamps cardinality without making the plan empty.
+        let bounded = plan.clone().with_facts(vec![PlanFact::ValueBound {
+            attr: "Qualification".into(),
+            bounds: "Qualification in [10, +inf)".into(),
+            max_rows: Some(2.0),
+        }]);
+        assert!(!bounded.unsatisfiable());
+        assert_eq!(bounded.cardinality_clamp(), Some(2.0));
+        verify(&schema, &bounded).unwrap();
+        let shown = bounded.to_string();
+        assert!(shown.contains("fact: bound: Qualification in [10, +inf)"));
+
+        // A proven-empty fact short-circuits the whole plan.
+        let empty = plan.with_facts(vec![
+            PlanFact::ValueBound {
+                attr: "Qualification".into(),
+                bounds: "Qualification in [10, +inf)".into(),
+                max_rows: Some(2.0),
+            },
+            PlanFact::ProvenEmpty {
+                reason: "`Score` required both > 9000 and < -9000".into(),
+            },
+        ]);
+        assert!(empty.unsatisfiable());
+        assert_eq!(empty.cardinality_clamp(), Some(0.0));
+        assert!(empty.to_string().contains("fact: proven empty"));
+
+        // `verify` rejects non-finite clamps.
+        let (schema2, sk2) = setup();
+        let bad = plan_query(&schema2, &sk2, &ConjunctiveQuery::new(vec![]))
+            .unwrap()
+            .with_facts(vec![PlanFact::ValueBound {
+                attr: "Qualification".into(),
+                bounds: "?".into(),
+                max_rows: Some(f64::NAN),
+            }]);
+        assert!(matches!(
+            verify(&schema2, &bad),
+            Err(RelError::InvalidPlan { .. })
+        ));
+    }
+
+    #[test]
+    fn proven_empty_facts_short_circuit_evaluation() {
+        // The executors consult `unsatisfiable()` before touching data, so
+        // a fact-annotated plan returns no rows without scanning.
+        let (schema, _) = setup();
+        let inst = Instance::review_example();
+        let cache = IndexCache::for_instance(&inst);
+        let q = ConjunctiveQuery::new(vec![Atom::new("Person", vec![Term::var("A")])]);
+        let plan = plan_query_filtered(&schema, &inst, &cache, &q, &[])
+            .unwrap()
+            .with_facts(vec![PlanFact::ProvenEmpty {
+                reason: "condition proven empty".into(),
+            }]);
+        let answers =
+            crate::eval::execute_tuples(&plan, &schema, inst.skeleton(), Some(&inst), &cache);
+        assert!(answers.is_empty());
     }
 
     #[test]

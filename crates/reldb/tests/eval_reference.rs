@@ -327,6 +327,53 @@ proptest! {
         prop_assert_eq!(canonical(legacy), reference, "bindings {}", query);
     }
 
+    /// Cyclic join shapes — triangles and longer `Reviews` chains that
+    /// close back on their first variable (`Reviews(X0,·,X1),
+    /// Reviews(X1,·,X2), …, Reviews(Xn-1,·,X0)`) — match the reference.
+    /// Cycles stress the planner differently from the chains `arb_shapes`
+    /// mostly produces: every atom shares variables with two others, so
+    /// greedy ordering always leaves a closing atom whose both endpoint
+    /// variables are already bound.
+    #[test]
+    fn cyclic_join_chains_match_the_reference(
+        writes in proptest::collection::vec((0usize..4, 0usize..4), 0..8),
+        reviews in proptest::collection::vec((0usize..4, 0usize..4, 0usize..4), 0..12),
+        hops in 2usize..5,
+        share_paper in any::<bool>(),
+    ) {
+        const POOL: [&str; 4] = ["A", "B", "C", "D"];
+        let schema = schema();
+        let skeleton = skeleton_from(4, 4, &writes, &reviews);
+        let atoms: Vec<Atom> = (0..hops)
+            .map(|i| {
+                let from = POOL[i];
+                let to = POOL[(i + 1) % hops];
+                // One shared paper variable makes the cycle "about" a single
+                // paper (triangle reviews of one submission); distinct paper
+                // variables leave the cycle only through the person column.
+                let paper = if share_paper {
+                    "P".to_string()
+                } else {
+                    format!("P{i}")
+                };
+                Atom::new(
+                    "Reviews",
+                    vec![Term::var(from), Term::var(&paper), Term::var(to)],
+                )
+            })
+            .collect();
+        let query = ConjunctiveQuery::new(atoms);
+        assert_verified(&schema, &skeleton, &query);
+        let slow = canonical(evaluate_naive(&schema, &skeleton, &query).unwrap());
+        let fast = evaluate(&schema, &skeleton, &query).unwrap();
+        prop_assert_eq!(canonical(fast), slow.clone(), "query {}", query);
+        let cache = IndexCache::for_skeleton(&skeleton);
+        let tuples = evaluate_tuples(&cache, &schema, &skeleton, &query).unwrap();
+        prop_assert_eq!(canonical(tuples.to_bindings()), slow.clone(), "tuples {}", query);
+        let legacy = evaluate_bindings_in(&cache, &schema, &skeleton, &query).unwrap();
+        prop_assert_eq!(canonical(legacy), slow, "bindings {}", query);
+    }
+
     /// Both evaluators reject exactly the same malformed queries.
     #[test]
     fn error_behaviour_matches(

@@ -1,0 +1,111 @@
+//! Golden-snapshot coverage for `carl-check --json`: every CaRL program
+//! under `examples/programs/` (including the deliberately defective lint
+//! showcases in `lints/`) has a checked-in JSON diagnostics snapshot in
+//! `examples/programs/snapshots/` mirroring its relative path, and the
+//! machine-readable output must match it byte for byte.
+//!
+//! The snapshots are produced by `carl-check --json <program>`; this test
+//! recomputes them through the same library surface
+//! ([`carl_lang::diagnostics_to_json`] over [`carl::analyze`] against the
+//! paper's review schema) so a drift in codes, severities, spans, messages
+//! or JSON shape fails here *and* in the CI golden-diff leg. To refresh
+//! after an intentional change:
+//!
+//! ```text
+//! cargo run --release --bin carl-check -- --json examples/programs/X.carl \
+//!   > examples/programs/snapshots/X.json
+//! ```
+
+use carl_lang::{diagnostics_to_json, parse_program};
+use reldb::RelationalSchema;
+use std::path::{Path, PathBuf};
+
+fn programs_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/programs")
+}
+
+/// All `.carl` files under `dir`, recursively, skipping `snapshots/`.
+fn collect_programs(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("examples/programs is readable") {
+        let path = entry.expect("directory entry").path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "snapshots") {
+                continue;
+            }
+            collect_programs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "carl") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn every_example_program_matches_its_json_snapshot() {
+    let root = programs_dir();
+    let mut programs = Vec::new();
+    collect_programs(&root, &mut programs);
+    programs.sort();
+    assert!(
+        programs.len() >= 4,
+        "expected the example corpus (incl. lints/), found {programs:?}"
+    );
+
+    let mut missing = Vec::new();
+    for path in &programs {
+        let rel = path.strip_prefix(&root).expect("program under root");
+        let snap_path = root.join("snapshots").join(rel).with_extension("json");
+        let source = std::fs::read_to_string(path).expect("program readable");
+        let program = parse_program(&source)
+            .unwrap_or_else(|e| panic!("{}: example programs must parse: {e}", rel.display()));
+        let diagnostics = carl::analyze(&RelationalSchema::review_example(), &program);
+        // `carl-check --json` prints via println!, so snapshots carry a
+        // trailing newline.
+        let rendered = format!("{}\n", diagnostics_to_json(&source, &diagnostics));
+        match std::fs::read_to_string(&snap_path) {
+            Ok(snapshot) => assert_eq!(
+                rendered,
+                snapshot,
+                "{}: JSON diagnostics drifted from {} — refresh with \
+                 `carl-check --json` if the change is intentional",
+                rel.display(),
+                snap_path.display(),
+            ),
+            Err(_) => missing.push(snap_path),
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "programs without a checked-in snapshot: {missing:?}"
+    );
+}
+
+/// Every snapshot corresponds to a program that still exists — stale
+/// snapshots fail loudly instead of rotting.
+#[test]
+fn no_orphaned_snapshots() {
+    let root = programs_dir();
+    let snaps_root = root.join("snapshots");
+    let mut snaps = Vec::new();
+    collect_json(&snaps_root, &mut snaps);
+    for snap in snaps {
+        let rel = snap.strip_prefix(&snaps_root).expect("snapshot under root");
+        let program = root.join(rel).with_extension("carl");
+        assert!(
+            program.is_file(),
+            "snapshot {} has no matching program {}",
+            snap.display(),
+            program.display()
+        );
+    }
+}
+
+fn collect_json(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("snapshots dir is readable") {
+        let path = entry.expect("directory entry").path();
+        if path.is_dir() {
+            collect_json(&path, out);
+        } else if path.extension().is_some_and(|e| e == "json") {
+            out.push(path);
+        }
+    }
+}
